@@ -1,0 +1,64 @@
+"""Ablation — the BTI time exponent shapes Fig. 6a.
+
+The paper observes that the monthly WCHD change is larger in year one
+than in year two (Section IV-D), which the power-law aging clock
+``tau = t**n`` produces for ``n < 1``.  This bench sweeps the exponent
+and shows how it controls the deceleration (year-1 growth over year-2
+growth) while the endpoints are re-anchored by the drift amplitude.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.campaign import LongTermCampaign
+from repro.sram.profiles import ATMEGA32U4
+
+EXPONENTS = [0.2, 0.35, 0.6, 1.0]
+
+
+def sweep_exponents():
+    rows = []
+    for exponent in EXPONENTS:
+        profile = ATMEGA32U4.with_overrides(bti_time_exponent=exponent)
+        result = LongTermCampaign(
+            device_count=8, months=24, measurements=500,
+            profile=profile, random_state=4,
+        ).run()
+        wchd = np.stack([snap.wchd for snap in result.snapshots]).mean(axis=1)
+        year1 = wchd[12] - wchd[0]
+        year2 = wchd[24] - wchd[12]
+        rows.append((exponent, wchd[0], wchd[12], wchd[24], year1, year2))
+    return rows
+
+
+def test_ablation_aging_exponent(benchmark):
+    rows = benchmark.pedantic(sweep_exponents, rounds=1, iterations=1)
+
+    ratios = {}
+    for exponent, start, mid, end, year1, year2 in rows:
+        assert year1 > 0
+        ratios[exponent] = year1 / max(year2, 1e-9)
+
+    # Deceleration weakens monotonically as n -> 1.
+    assert ratios[0.2] > ratios[0.35] > ratios[0.6] > ratios[1.0] * 0.9
+    # The calibrated exponent reproduces a clearly front-loaded curve.
+    assert ratios[0.35] > 1.3
+    # Linear aging (n = 1) shows no meaningful deceleration.
+    assert ratios[1.0] == pytest.approx(1.0, abs=0.45)
+
+    lines = [
+        "Ablation — BTI time exponent vs Fig. 6a shape",
+        f"{'n':>5} {'WCHD@0':>8} {'WCHD@12':>8} {'WCHD@24':>8} "
+        f"{'year1':>7} {'year2':>7} {'ratio':>6}",
+    ]
+    for exponent, start, mid, end, year1, year2 in rows:
+        lines.append(
+            f"{exponent:5.2f} {100 * start:7.2f}% {100 * mid:7.2f}% "
+            f"{100 * end:7.2f}% {100 * year1:6.2f}% {100 * year2:6.2f}% "
+            f"{year1 / max(year2, 1e-9):6.2f}"
+        )
+    lines.append("(paper: year-1 change visibly exceeds year-2 change)")
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_artifact("ablation_aging_exponent", text)

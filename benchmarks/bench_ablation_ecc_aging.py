@@ -1,0 +1,93 @@
+"""Ablation — ECC choice for key generation under aging.
+
+Measures key-reconstruction failure rates for four code choices at
+month 0 and after 24 months of aging, quantifying the margin argument:
+the paper's WCHD (2.49 % -> 2.97 %) sits far inside a production
+code's capability, but a margin-free code feels the degradation.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.keygen.ecc import (
+    BCHCode,
+    ConcatenatedCode,
+    ExtendedGolayCode,
+    HammingCode,
+    RepetitionCode,
+)
+from repro.keygen.keygen import SRAMKeyGenerator
+from repro.rng import SeedHierarchy
+from repro.sram.chip import SRAMChip
+
+CODES = [
+    ("Hamming(7,4)", lambda: HammingCode(3)),
+    ("Golay(24,12)", lambda: ExtendedGolayCode()),
+    ("BCH(127,64,t=10)", lambda: BCHCode(7, 10)),
+    ("Golay x rep5", lambda: ConcatenatedCode(ExtendedGolayCode(), RepetitionCode(5))),
+]
+
+DEVICES = 6
+TRIALS_PER_DEVICE = 4
+
+
+def failure_rates():
+    """Per-code reconstruction failure rates at month 0 and month 24."""
+    rows = []
+    for name, make_code in CODES:
+        generators, keys, records = [], [], []
+        for device in range(DEVICES):
+            chip = SRAMChip(device, random_state=SeedHierarchy(50 + device))
+            generator = SRAMKeyGenerator(
+                chip, code=make_code(), debias=False, key_bits=128, secret_bits=48
+            )
+            key, record = generator.enroll(random_state=device)
+            generators.append(generator)
+            keys.append(key)
+            records.append(record)
+
+        fresh_failures = sum(
+            not generator.reconstruction_succeeds(record, key)
+            for generator, key, record in zip(generators, keys, records)
+            for _ in range(TRIALS_PER_DEVICE)
+        )
+        for generator in generators:
+            generator.chip.age_months(24.0, steps=8)
+        aged_failures = sum(
+            not generator.reconstruction_succeeds(record, key)
+            for generator, key, record in zip(generators, keys, records)
+            for _ in range(TRIALS_PER_DEVICE)
+        )
+        total = DEVICES * TRIALS_PER_DEVICE
+        rows.append((name, fresh_failures / total, aged_failures / total))
+    return rows
+
+
+def test_ablation_ecc_aging(benchmark):
+    rows = benchmark.pedantic(failure_rates, rounds=1, iterations=1)
+    by_name = {name: (fresh, aged) for name, fresh, aged in rows}
+
+    # Production-style codes never fail, fresh or aged.
+    assert by_name["Golay x rep5"] == (0.0, 0.0)
+    assert by_name["BCH(127,64,t=10)"][1] <= 0.05
+    # The single-error code is measurably exposed.
+    assert by_name["Hamming(7,4)"][1] > 0.0
+
+    lines = [
+        "Ablation — key reconstruction failure rate by ECC "
+        f"({DEVICES} devices x {TRIALS_PER_DEVICE} trials)",
+        f"{'code':<18} {'t':>4} {'rate':>6} {'fail@0mo':>9} {'fail@24mo':>10}",
+    ]
+    for (name, make_code), (name2, fresh, aged) in zip(CODES, rows):
+        code = make_code()
+        lines.append(
+            f"{name:<18} {code.correctable_errors:>4} {code.rate:6.3f} "
+            f"{100 * fresh:8.1f}% {100 * aged:9.1f}%"
+        )
+    lines.append(
+        "(paper context: WCHD grows 2.49% -> 2.97%; ECC can handle up to "
+        "25% BER)"
+    )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_artifact("ablation_ecc_aging", text)

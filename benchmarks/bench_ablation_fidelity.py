@@ -1,0 +1,82 @@
+"""Ablation — statistical vs measurement-level simulation fidelity.
+
+DESIGN.md §2 claims the Binomial sufficient-statistic path is exact in
+distribution and ~1000x faster.  This bench runs the same monthly
+evaluation at both fidelities, compares the metrics, and reports the
+speedup (both paths are timed with the same harness).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.monthly import evaluate_month
+from repro.rng import SeedHierarchy
+from repro.sram.chip import SRAMChip
+
+DEVICES = 8
+MEASUREMENTS = 1000
+
+
+def build_fleet(seed: int):
+    seeds = SeedHierarchy(seed)
+    chips = [SRAMChip(i, random_state=seeds) for i in range(DEVICES)]
+    references = {chip.chip_id: chip.read_startup() for chip in chips}
+    return chips, references
+
+
+def test_ablation_fidelity(benchmark):
+    chips, references = build_fleet(3)
+
+    def statistical_path():
+        return evaluate_month(chips, references, 0, MEASUREMENTS, statistical=True)
+
+    statistical = benchmark.pedantic(statistical_path, rounds=3, iterations=1)
+
+    start = time.perf_counter()
+    chips_m, references_m = build_fleet(3)
+    measurement = evaluate_month(
+        chips_m, references_m, 0, MEASUREMENTS, statistical=False
+    )
+    measurement_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    chips_s, references_s = build_fleet(3)
+    evaluate_month(chips_s, references_s, 0, MEASUREMENTS, statistical=True)
+    statistical_seconds = time.perf_counter() - start
+
+    # The two fidelities agree on every metric (same devices, new noise).
+    assert statistical.wchd.mean() == pytest.approx(
+        measurement.wchd.mean(), abs=0.002
+    )
+    assert statistical.fhw.mean() == pytest.approx(measurement.fhw.mean(), abs=0.01)
+    assert statistical.stable_ratio.mean() == pytest.approx(
+        measurement.stable_ratio.mean(), abs=0.01
+    )
+    assert statistical.noise_entropy.mean() == pytest.approx(
+        measurement.noise_entropy.mean(), abs=0.003
+    )
+    speedup = measurement_seconds / statistical_seconds
+    assert speedup > 3.0  # conservatively below the observed 2 orders
+
+    lines = [
+        "Ablation — simulation fidelity "
+        f"({DEVICES} devices x {MEASUREMENTS} measurements)",
+        f"{'metric':<16} {'statistical':>12} {'measurement':>12}",
+        f"{'WCHD':<16} {100 * statistical.wchd.mean():11.3f}% "
+        f"{100 * measurement.wchd.mean():11.3f}%",
+        f"{'FHW':<16} {100 * statistical.fhw.mean():11.3f}% "
+        f"{100 * measurement.fhw.mean():11.3f}%",
+        f"{'stable ratio':<16} {100 * statistical.stable_ratio.mean():11.3f}% "
+        f"{100 * measurement.stable_ratio.mean():11.3f}%",
+        f"{'noise entropy':<16} {100 * statistical.noise_entropy.mean():11.3f}% "
+        f"{100 * measurement.noise_entropy.mean():11.3f}%",
+        f"wall clock: statistical {statistical_seconds * 1e3:.1f} ms, "
+        f"measurement-level {measurement_seconds * 1e3:.1f} ms "
+        f"({speedup:.0f}x speedup)",
+    ]
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_artifact("ablation_fidelity", text)

@@ -1,0 +1,82 @@
+"""Ablation — TRNG conditioning strategies on harvested SRAM noise.
+
+Compares von Neumann, XOR-folding and hash conditioning on the same
+raw reference-XOR noise stream: output volume per raw bit, output
+bias, and whether the conditioned stream clears the SP 800-22 monobit
+and runs tests.  Hash conditioning (the SRAMTRNG default) is the only
+scheme that both extracts near the entropy bound and passes everything.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.rng import SeedHierarchy
+from repro.sram.chip import SRAMChip
+from repro.trng.conditioner import hash_condition, von_neumann_condition, xor_fold
+from repro.trng.estimators import most_common_value_estimate
+from repro.trng.harvester import NoiseHarvester
+from repro.trng.sp800_22 import monobit_test, runs_test
+
+RAW_BITS = 400_000
+
+
+def run_conditioners():
+    chip = SRAMChip(0, random_state=SeedHierarchy(70))
+    raw = NoiseHarvester(chip, strategy="reference-xor").harvest(RAW_BITS)
+    raw_entropy = most_common_value_estimate(raw)
+
+    results = {}
+    vn = von_neumann_condition(raw)
+    results["von Neumann"] = vn
+    results["XOR fold x32"] = xor_fold(raw, 32)
+    budget = int(RAW_BITS * raw_entropy / 2)  # safety factor 2
+    results["hash (SHA-256)"] = hash_condition(raw, budget)
+    return raw, raw_entropy, results
+
+
+def test_ablation_trng(benchmark):
+    raw, raw_entropy, results = benchmark.pedantic(
+        run_conditioners, rounds=1, iterations=1
+    )
+
+    stats = {}
+    for name, bits in results.items():
+        stats[name] = {
+            "bits": bits.size,
+            "rate": bits.size / raw.size,
+            "bias": float(bits.mean()),
+            "monobit": monobit_test(bits).passed,
+            "runs": runs_test(bits).passed,
+        }
+
+    # Hash conditioning passes everything at the principled budget
+    # (raw entropy / safety factor).
+    assert stats["hash (SHA-256)"]["monobit"] and stats["hash (SHA-256)"]["runs"]
+    assert stats["hash (SHA-256)"]["rate"] == pytest.approx(raw_entropy / 2, rel=0.1)
+    # Von Neumann debiases to near 1/2 — only *near*, because the pair
+    # positions are fixed across power-ups and SRAM cells have
+    # heterogeneous flip probabilities (the i.i.d. assumption behind
+    # exact VN unbiasedness does not hold for this source).  It also
+    # emits MORE bits than the raw stream's assessed min-entropy
+    # justifies: VN removes bias, not predictability.
+    assert stats["von Neumann"]["bias"] == pytest.approx(0.5, abs=0.06)
+    assert stats["von Neumann"]["bits"] > raw.size * raw_entropy / 2
+    # A 32-fold XOR of ~3 % noise is still visibly biased.
+    assert abs(stats["XOR fold x32"]["bias"] - 0.5) > 0.05
+
+    lines = [
+        f"Ablation — TRNG conditioning on {RAW_BITS} raw noise bits "
+        f"(raw MCV entropy {raw_entropy:.4f} bits/bit)",
+        f"{'conditioner':<16} {'out bits':>9} {'rate':>8} {'bias':>7} "
+        f"{'monobit':>8} {'runs':>6}",
+    ]
+    for name, row in stats.items():
+        lines.append(
+            f"{name:<16} {row['bits']:>9} {row['rate']:8.4f} "
+            f"{100 * row['bias']:6.1f}% {'PASS' if row['monobit'] else 'FAIL':>8} "
+            f"{'PASS' if row['runs'] else 'FAIL':>6}"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_artifact("ablation_trng", text)

@@ -1,0 +1,98 @@
+"""Extension — the anti-aging countermeasure (paper ref. [5]).
+
+Maes & van der Leest (HOST 2014) counter NBTI degradation by storing
+the *complement* of the power-up pattern while the device is powered,
+so the stress reinforces each cell's preference instead of eroding it.
+This bench runs the paper's 24-month campaign under both data policies
+and quantifies the trade: reliability improves, TRNG noise entropy is
+sacrificed.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.metrics.entropy import noise_min_entropy_from_counts
+from repro.metrics.hamming import within_class_hd_from_counts
+from repro.sram.aging import AgingSimulator, DataPolicy
+from repro.sram.chip import SRAMChip
+from repro.sram.profiles import ATMEGA32U4
+
+DEVICES = 8
+MEASUREMENTS = 1000
+CHECKPOINTS = [0, 6, 12, 18, 24]
+
+
+def run_policy(policy: DataPolicy, seed_base: int):
+    simulator = AgingSimulator(ATMEGA32U4)
+    wchd = np.zeros((len(CHECKPOINTS), DEVICES))
+    entropy = np.zeros((len(CHECKPOINTS), DEVICES))
+    for device in range(DEVICES):
+        chip = SRAMChip(device, random_state=seed_base + device)
+        reference = chip.read_startup()
+        previous = 0
+        for index, month in enumerate(CHECKPOINTS):
+            if month > previous:
+                simulator.age_array_months(
+                    chip.array, float(month - previous),
+                    steps=month - previous, data_policy=policy,
+                )
+                previous = month
+            counts = chip.read_window_ones_counts(MEASUREMENTS)
+            wchd[index, device] = within_class_hd_from_counts(
+                counts, MEASUREMENTS, reference
+            )
+            entropy[index, device] = noise_min_entropy_from_counts(
+                counts, MEASUREMENTS
+            )
+    return wchd.mean(axis=1), entropy.mean(axis=1)
+
+
+def run_both():
+    aged = run_policy(DataPolicy.POWER_UP, seed_base=100)
+    reinforced = run_policy(DataPolicy.INVERTED, seed_base=100)
+    return aged, reinforced
+
+
+def test_ext_antiaging(benchmark):
+    (aged_wchd, aged_entropy), (anti_wchd, anti_entropy) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    # Same devices, same start.
+    assert aged_wchd[0] == pytest.approx(anti_wchd[0], abs=0.002)
+    # Normal aging degrades WCHD by ~20 %.
+    assert aged_wchd[-1] > aged_wchd[0] * 1.1
+    # Anti-aging cancels the *systematic* NBTI drift: WCHD stays flat
+    # (within a few percent of start) instead of growing.  It cannot
+    # cancel the stochastic aging component, which is independent of
+    # the stored data — so "flat", not "improving", is the honest
+    # physical expectation.
+    assert anti_wchd[-1] == pytest.approx(anti_wchd[0], rel=0.05)
+    assert anti_wchd[-1] < aged_wchd[-1]
+    # The TRNG cost shows in the same comparison: the reinforced
+    # device ends with measurably less harvestable noise entropy.
+    assert aged_entropy[-1] > aged_entropy[0]
+    assert anti_entropy[-1] < aged_entropy[-1]
+
+    lines = [
+        "Extension — anti-aging (store the complement, HOST 2014 [5])",
+        f"{'month':>6} {'WCHD aged':>10} {'WCHD anti':>10} "
+        f"{'Hnoise aged':>12} {'Hnoise anti':>12}",
+    ]
+    for index, month in enumerate(CHECKPOINTS):
+        lines.append(
+            f"{month:>6} {100 * aged_wchd[index]:9.2f}% "
+            f"{100 * anti_wchd[index]:9.2f}% "
+            f"{100 * aged_entropy[index]:11.2f}% "
+            f"{100 * anti_entropy[index]:11.2f}%"
+        )
+    lines.append(
+        "anti-aging cancels the systematic NBTI drift (WCHD flat instead of "
+        "+20%) at the cost of harvestable noise — use it on key-storage "
+        "devices, not entropy sources; the residual stochastic aging "
+        "component is data-independent and cannot be countered"
+    )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_artifact("ext_antiaging", text)

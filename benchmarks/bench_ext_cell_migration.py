@@ -1,0 +1,59 @@
+"""Extension — cell-category migration under aging (Section IV-D).
+
+The paper explains its results with cells migrating from fully-skewed
+to partially-skewed under NBTI.  This bench measures the category
+populations and transition matrix over the two years and checks the
+claimed directionality.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.migration import CellCategory, CellMigrationStudy
+
+LABELS = {0: "fully-skewed", 1: "partially-skewed", 2: "balanced"}
+
+
+def run_study():
+    study = CellMigrationStudy(measurements=1000, random_state=12)
+    return study.run(months=24, snapshot_every=6)
+
+
+def test_ext_cell_migration(benchmark):
+    result = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    fully = result.population(CellCategory.FULLY_SKEWED)
+    partially = result.population(CellCategory.PARTIALLY_SKEWED)
+    # The paper's stable-cell numbers bound the fully-skewed series.
+    assert fully[0] == pytest.approx(0.859, abs=0.02)
+    assert fully[-1] == pytest.approx(0.84, abs=0.02)
+    # Directionality: fully-skewed shrinks, partially-skewed grows.
+    assert fully[-1] < fully[0]
+    assert partially[-1] > partially[0]
+
+    lines = [
+        "Extension — cell-category populations over the aging test",
+        f"{'month':>6} {'fully-skewed':>13} {'partially':>10} {'balanced':>9}",
+    ]
+    for index, month in enumerate(result.months):
+        row = result.populations[index]
+        lines.append(
+            f"{month:6.0f} {100 * row[0]:12.2f}% {100 * row[1]:9.2f}% "
+            f"{100 * row[2]:8.2f}%"
+        )
+    lines.append("")
+    lines.append("mean 6-month transition matrix (rows: from, columns: to):")
+    mean_transition = result.transitions.mean(axis=0)
+    header = " ".join(f"{LABELS[i]:>17}" for i in range(3))
+    lines.append(f"{'':>18}{header}")
+    for source in range(3):
+        cells = " ".join(f"{100 * mean_transition[source, to]:16.2f}%" for to in range(3))
+        lines.append(f"{LABELS[source]:>18}{cells}")
+    lines.append(
+        f"net destabilisation over 24 months: "
+        f"{100 * result.net_destabilisation():.2f}% of all cells"
+    )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_artifact("ext_cell_migration", text)

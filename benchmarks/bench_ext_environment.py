@@ -1,0 +1,60 @@
+"""Extension — environmental sensitivity of the reliability metrics.
+
+The paper measures at room temperature only; this bench sweeps the
+measurement temperature and the supply ramp time (the mechanism of the
+paper's reference [17]) and checks the analytic cell model against the
+simulated silicon at every corner.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.environment import EnvironmentStudy
+from repro.physics.constants import celsius_to_kelvin
+
+TEMPERATURES_C = [-25.0, 0.0, 25.0, 55.0, 85.0]
+RAMP_TIMES_US = [5.0, 20.0, 50.0, 150.0, 500.0]
+
+
+def run_sweeps():
+    study = EnvironmentStudy(measurements=600, random_state=8)
+    temp_points = study.temperature_sweep(
+        [celsius_to_kelvin(t) for t in TEMPERATURES_C]
+    )
+    ramp_points = study.ramp_sweep(RAMP_TIMES_US)
+    return temp_points, ramp_points
+
+
+def test_ext_environment(benchmark):
+    temp_points, ramp_points = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+
+    # Hot corner is strictly worse than the cold corner.
+    assert temp_points[-1].measured_wchd > temp_points[0].measured_wchd
+    # Slow ramps are quieter than steep ones (the [17] mechanism).
+    assert ramp_points[0].measured_wchd > ramp_points[-1].measured_wchd
+    # The analytic model tracks the simulator at every corner.
+    for point in temp_points + ramp_points:
+        assert point.measured_wchd == pytest.approx(point.predicted_wchd, abs=0.008)
+    # Room temperature reproduces the paper's start-of-life WCHD.
+    room = temp_points[TEMPERATURES_C.index(25.0)]
+    assert room.measured_wchd == pytest.approx(0.0249, abs=0.006)
+
+    lines = [
+        "Extension — environmental WCHD sensitivity (reference at 25 degC)",
+        f"{'temp (degC)':>12} {'measured':>9} {'model':>9}",
+    ]
+    for celsius, point in zip(TEMPERATURES_C, temp_points):
+        lines.append(
+            f"{celsius:12.0f} {100 * point.measured_wchd:8.2f}% "
+            f"{100 * point.predicted_wchd:8.2f}%"
+        )
+    lines.append(f"{'ramp (us)':>12} {'measured':>9} {'model':>9}")
+    for point in ramp_points:
+        lines.append(
+            f"{point.condition:12.0f} {100 * point.measured_wchd:8.2f}% "
+            f"{100 * point.predicted_wchd:8.2f}%"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_artifact("ext_environment", text)

@@ -1,0 +1,76 @@
+"""Extension — device-lifetime projection from the measured aging trend.
+
+Fits the power-law trend to the full campaign's WCHD series (the
+Fig. 6a data) and projects key-failure probability decades ahead — the
+paper's "lifetime of the device is a significant concern" motivation
+made quantitative, including the over-pessimistic projection an
+accelerated-aging trend would give.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.lifetime import LifetimeProjection
+from repro.analysis.timeseries import QualityTimeSeries
+from repro.analysis.trends import fit_power_law_trend
+from repro.keygen.ecc import ConcatenatedCode, ExtendedGolayCode, HammingCode, RepetitionCode
+
+HORIZON_MONTHS = np.array([0.0, 24.0, 60.0, 120.0, 240.0])
+
+
+def build_projections(campaign):
+    wchd = QualityTimeSeries(campaign).metric("WCHD")
+    nominal_trend = fit_power_law_trend(wchd.months.astype(float), wchd.mean)
+    # The accelerated trend: same start, the HOST'14 monthly rate.
+    months = wchd.months.astype(float)
+    accelerated_series = wchd.mean[0] * (0.072 / 0.053) ** (months / 24.0)
+    accelerated_trend = fit_power_law_trend(months, accelerated_series)
+
+    strong = ConcatenatedCode(ExtendedGolayCode(), RepetitionCode(5))
+    weak = HammingCode(3)
+    return {
+        "nominal/strong": LifetimeProjection(nominal_trend, strong, secret_bits=128),
+        "nominal/weak": LifetimeProjection(nominal_trend, weak, secret_bits=128),
+        "accelerated/strong": LifetimeProjection(
+            accelerated_trend, strong, secret_bits=128
+        ),
+    }
+
+
+def test_ext_lifetime(benchmark, paper_campaign):
+    projections = benchmark.pedantic(
+        lambda: build_projections(paper_campaign), rounds=1, iterations=1
+    )
+
+    strong = projections["nominal/strong"]
+    weak = projections["nominal/weak"]
+    pessimistic = projections["accelerated/strong"]
+
+    # The paper's conclusion: measured nominal aging never threatens a
+    # production key over decades.
+    assert strong.failure_probability_at(240.0) < 1e-6
+    assert strong.months_until(1e-6) == float("inf")
+    # An unmargined code is broken out of the box.
+    assert weak.months_until(1e-6) < 1.0
+    # The accelerated trend predicts (much) higher error rates.
+    assert pessimistic.bit_error_rate_at(240.0) > strong.bit_error_rate_at(240.0)
+
+    lines = [
+        "Extension — projected key failure probability (128-bit secret)",
+        f"{'month':>6} " + " ".join(f"{name:>20}" for name in projections),
+    ]
+    for month in HORIZON_MONTHS:
+        cells = " ".join(
+            f"{proj.failure_probability_at(float(month)):>20.2e}"
+            for proj in projections.values()
+        )
+        lines.append(f"{month:6.0f} {cells}")
+    lines.append(
+        "nominal-trend BER at 20 years: "
+        f"{100 * strong.bit_error_rate_at(240.0):.2f}% vs accelerated-trend "
+        f"{100 * pessimistic.bit_error_rate_at(240.0):.2f}%"
+    )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_artifact("ext_lifetime", text)

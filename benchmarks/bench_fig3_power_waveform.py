@@ -1,0 +1,57 @@
+"""Fig. 3 — power-cycle waveforms of boards S3, S4, S19, S20.
+
+Regenerates the oscilloscope measurement: 5.4 s period, 3.8 s on /
+1.6 s off, same-layer boards synchronized, cross-layer boards
+staggered.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.hardware import Testbed
+
+
+OBSERVED_SECONDS = 30.0
+
+
+def run_fig3():
+    testbed = Testbed(device_count=16, random_state=2017)
+    testbed.run_seconds(OBSERVED_SECONDS)
+    switch = testbed.power_switch
+    # The paper probes S3, S4 (layer 0) and S19, S20 (layer 1).
+    boards = [3, 4, 19, 20]
+    waveforms = {board: switch.waveform(board) for board in boards}
+    return testbed, waveforms
+
+
+def test_fig3_power_waveform(benchmark):
+    testbed, waveforms = benchmark.pedantic(run_fig3, rounds=1, iterations=1)
+
+    lines = ["Fig. 3 — measured power curves (paper: 5.4s / 3.8s on / 1.6s off)"]
+    for board, waveform in waveforms.items():
+        period = waveform.measured_period_s()
+        on_time = waveform.measured_on_time_s()
+        off_time = waveform.measured_off_time_s()
+        lines.append(
+            f"S{board:<3} period={period:.2f}s on={on_time:.2f}s off={off_time:.2f}s"
+        )
+        assert period == pytest.approx(5.4, abs=0.05)
+        assert on_time == pytest.approx(3.8, abs=0.05)
+        assert off_time == pytest.approx(1.6, abs=0.05)
+
+    same_layer = waveforms[3].overlap_fraction(waveforms[4], OBSERVED_SECONDS)
+    cross_layer = waveforms[3].overlap_fraction(waveforms[19], OBSERVED_SECONDS)
+    lines.append(f"same-layer overlap  (S3,S4):  {100 * same_layer:.0f}%")
+    lines.append(f"cross-layer overlap (S3,S19): {100 * cross_layer:.0f}%")
+    assert same_layer > cross_layer + 0.2  # layers deliberately staggered
+
+    # Grid render of the four waveforms, one column per 0.2 s.
+    grid_times = np.arange(0.0, 22.0, 0.2)
+    for board, waveform in waveforms.items():
+        levels = waveform.sample(grid_times)
+        trace = "".join("#" if level else "." for level in levels)
+        lines.append(f"S{board:<3} {trace}")
+
+    print("\n" + "\n".join(lines))
+    write_artifact("fig3_power_waveform", "\n".join(lines))

@@ -1,0 +1,66 @@
+"""Fig. 5 — initial WCHD / BCHD / FHW distributions over 16 devices.
+
+Regenerates the pooled histograms from the first 1,000 read-outs of
+each board (measurement fidelity, as the paper's protocol requires)
+and checks the published bands: WCHD below 3 %, BCHD between 40 % and
+50 %, FHW between 60 % and 70 %.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.initial import InitialQualityEvaluation
+from repro.rng import SeedHierarchy
+from repro.sram.chip import SRAMChip
+
+DEVICES = 16
+MEASUREMENTS = 1000
+
+
+def run_initial_evaluation():
+    seeds = SeedHierarchy(1)
+    chips = [SRAMChip(i, random_state=seeds) for i in range(DEVICES)]
+    return InitialQualityEvaluation.measure(chips, measurements=MEASUREMENTS)
+
+
+def render_histogram(summary, label: str) -> list:
+    lines = [label]
+    for center, pct in zip(summary.bin_centers, summary.percentages):
+        if pct > 0.05:
+            lines.append(f"  {center:5.3f} {pct:6.2f}% {'#' * int(round(pct))}")
+    return lines
+
+
+def test_fig5_initial_histograms(benchmark):
+    evaluation = benchmark.pedantic(run_initial_evaluation, rounds=1, iterations=1)
+
+    wchd = evaluation.wchd_histogram(bins=100)
+    bchd = evaluation.bchd_histogram(bins=100)
+    fhw = evaluation.fhw_histogram(bins=100)
+
+    # Paper bands (Section IV-A).
+    assert float(np.max(evaluation.wchd_samples)) < 0.05
+    assert wchd.mass_between(0.0, 0.03) > 95.0
+    assert bchd.mass_between(0.40, 0.50) > 95.0
+    assert fhw.mass_between(0.60, 0.70) > 90.0
+    # Within-class and between-class distributions must be far apart.
+    assert float(np.max(evaluation.wchd_samples)) < float(
+        np.min(evaluation.bchd_samples)
+    )
+
+    lines = [
+        "Fig. 5 — fractional HD / HW distributions over "
+        f"{evaluation.board_count} devices, {evaluation.measurements} "
+        "measurements each",
+        f"WCHD: n={evaluation.wchd_samples.size} mean="
+        f"{100 * evaluation.wchd_samples.mean():.2f}% (paper: <3%)",
+        f"BCHD: n={evaluation.bchd_samples.size} mean="
+        f"{100 * evaluation.bchd_samples.mean():.2f}% (paper: 40-50%)",
+        f"FHW:  n={evaluation.fhw_samples.size} mean="
+        f"{100 * evaluation.fhw_samples.mean():.2f}% (paper: 60-70%)",
+    ]
+    lines += render_histogram(wchd, "Within-class HD histogram:")
+    lines += render_histogram(bchd, "Between-class HD histogram:")
+    lines += render_histogram(fhw, "Fractional HW histogram:")
+    print("\n" + "\n".join(lines[:10]) + "\n...")
+    write_artifact("fig5_initial_histograms", "\n".join(lines))

@@ -1,0 +1,35 @@
+"""Fig. 6a — development of WCHD over the two-year aging test.
+
+Regenerates the per-device monthly WCHD series against the day-0
+references and checks the published shape: growth from ~2.49 % to
+~2.97 % on average, decelerating over time.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import series_table, write_artifact
+from repro.analysis.timeseries import QualityTimeSeries
+from repro.analysis.trends import fit_power_law_trend
+
+
+def test_fig6a_wchd(benchmark, paper_campaign):
+    series = benchmark.pedantic(
+        lambda: QualityTimeSeries(paper_campaign).metric("WCHD"),
+        rounds=1, iterations=1,
+    )
+    mean = series.mean
+    assert mean[0] == pytest.approx(0.0249, rel=0.05)
+    assert mean[-1] == pytest.approx(0.0297, rel=0.06)
+    assert np.all(np.diff(mean) > -0.001)  # monotone growth up to noise
+
+    # Section IV-D: the monthly change is larger at the start.
+    trend = fit_power_law_trend(series.months.astype(float), mean)
+    assert trend.rate_ratio(1.0, 12.0) > 1.3
+
+    text = series_table(
+        series.months, series.per_board,
+        "Fig. 6a — average within-class Hamming distance (%, per device)",
+    )
+    print("\n" + "\n".join(text.splitlines()[:8]) + "\n...")
+    write_artifact("fig6a_wchd", text)

@@ -1,0 +1,37 @@
+"""Fig. 6b — development of the Hamming weight over the aging test.
+
+Regenerates the per-device monthly FHW series and checks the published
+behaviour: per-device weights between ~60 % and ~66 %, essentially
+constant over two years (the uniqueness-preservation half of the
+paper's conclusion).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import series_table, write_artifact
+from repro.analysis.timeseries import QualityTimeSeries
+
+
+def test_fig6b_hamming_weight(benchmark, paper_campaign):
+    series = benchmark.pedantic(
+        lambda: QualityTimeSeries(paper_campaign).metric("HW"),
+        rounds=1, iterations=1,
+    )
+    mean = series.mean
+    assert mean[0] == pytest.approx(0.627, abs=0.01)
+
+    # Constancy: every device's total drift over 24 months is tiny.
+    drift = np.abs(series.per_board[-1] - series.per_board[0])
+    assert float(drift.max()) < 0.005
+
+    # Device spread matches the figure's 0.60-0.66 band.
+    assert float(series.per_board.min()) > 0.58
+    assert float(series.per_board.max()) < 0.68
+
+    text = series_table(
+        series.months, series.per_board,
+        "Fig. 6b — average Hamming weight (%, per device)",
+    )
+    print("\n" + "\n".join(text.splitlines()[:8]) + "\n...")
+    write_artifact("fig6b_hamming_weight", text)

@@ -1,0 +1,31 @@
+"""Fig. 6d — development of PUF entropy over the aging test.
+
+Regenerates the fleet-level monthly PUF min-entropy series and checks
+the published behaviour: ~64.9 % throughout, unaffected by aging.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.analysis.timeseries import QualityTimeSeries
+
+
+def test_fig6d_puf_entropy(benchmark, paper_campaign):
+    series = benchmark.pedantic(
+        lambda: QualityTimeSeries(paper_campaign).metric("PUF entropy"),
+        rounds=1, iterations=1,
+    )
+    values = series.per_board
+    assert values[0] == pytest.approx(0.6492, abs=0.02)
+    # Constancy: total change over two years is negligible.
+    assert abs(values[-1] - values[0]) < 0.005
+    assert float(np.ptp(values)) < 0.02  # the Fig. 6d band is narrow
+
+    lines = ["Fig. 6d — PUF entropy over the aging test (fleet level)"]
+    lines.append("month  PUF entropy")
+    for month, value in zip(series.months, values):
+        lines.append(f"{int(month):>5}  {100 * value:6.2f}%")
+    text = "\n".join(lines)
+    print("\n" + "\n".join(lines[:8]) + "\n...")
+    write_artifact("fig6d_puf_entropy", text)

@@ -1,0 +1,44 @@
+"""Table I — evaluation result of SRAM PUF qualities at start and end.
+
+Regenerates the paper's summary table from the full-scale campaign and
+prints it next to the published values, asserting every cell within
+10 % relative error.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_artifact
+from repro.core.assessment import AssessmentResult
+from repro.core.config import StudyConfig
+from repro.core.paper import PAPER
+from repro.core.report import build_quality_report
+
+
+def test_table1_summary(benchmark, paper_campaign):
+    table = benchmark.pedantic(
+        lambda: build_quality_report(paper_campaign), rounds=1, iterations=1
+    )
+    result = AssessmentResult(
+        config=StudyConfig(seed=1), campaign=paper_campaign, table=table
+    )
+
+    for row in result.compare_with_paper():
+        assert abs(row.relative_error) < 0.10, (
+            f"{row.metric}/{row.column}: paper {row.paper_value} "
+            f"vs measured {row.measured_value}"
+        )
+
+    # The two published monthly rates.
+    assert table["WCHD"].monthly_change_avg == pytest.approx(0.0074, abs=0.002)
+    assert table["Noise entropy"].monthly_change_avg == pytest.approx(
+        0.0074, abs=0.002
+    )
+
+    text = (
+        "TABLE I — regenerated\n"
+        + table.render()
+        + "\n\nPaper vs measured:\n"
+        + result.render_comparison()
+    )
+    print("\n" + text)
+    write_artifact("table1_summary", text)

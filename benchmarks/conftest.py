@@ -1,0 +1,49 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it times the
+computation via pytest-benchmark and writes the regenerated rows/series
+to ``benchmarks/output/<name>.txt`` so the artifacts are inspectable
+after a run (stdout is captured by pytest unless ``-s`` is passed).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.campaign import CampaignResult, LongTermCampaign
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+#: Full paper scale: 16 devices, 24 months, 1,000 measurements/month.
+PAPER_SCALE = dict(device_count=16, months=24, measurements=1000)
+
+
+def write_artifact(name: str, text: str) -> str:
+    """Persist a regenerated table/series and return its path."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def paper_campaign() -> CampaignResult:
+    """One full-scale nominal campaign shared by the Fig. 6 / Table I benches."""
+    campaign = LongTermCampaign(random_state=1, **PAPER_SCALE)
+    return campaign.run()
+
+
+def series_table(months, per_device_matrix, label: str, scale: float = 100.0) -> str:
+    """Render a Fig. 6 style series as text: one column per device."""
+    lines = [label]
+    device_count = per_device_matrix.shape[1]
+    header = "month " + " ".join(f"d{d:<5}" for d in range(device_count)) + "  mean"
+    lines.append(header)
+    for index, month in enumerate(months):
+        row = per_device_matrix[index]
+        cells = " ".join(f"{scale * value:6.2f}" for value in row)
+        lines.append(f"{int(month):>5} {cells} {scale * row.mean():6.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The paper's central comparison: accelerated vs nominal aging.
+
+Runs both sides of Section IV-D on simulated silicon:
+
+* a nominal-condition campaign on the ATmega32u4 fleet (the paper's
+  own experiment: WCHD 2.49 % -> 2.97 %, +0.74 %/month), and
+* an 85 degC / +20 % overvoltage accelerated stress on a 65 nm fleet
+  (the HOST 2014 baseline: 5.3 % -> 7.2 %, +1.28 %/month),
+
+then prints the rate comparison that motivates the paper: projecting
+accelerated-test results to the field *overestimates* degradation.
+
+Usage::
+
+    python examples/accelerated_vs_nominal.py [--months 24]
+"""
+
+import argparse
+
+from repro.analysis.accelerated import AcceleratedAgingStudy
+from repro.analysis.campaign import LongTermCampaign
+from repro.metrics.summary import geometric_monthly_change
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--months", type=int, default=24)
+    args = parser.parse_args()
+
+    print(f"Nominal campaign: 16 ATmega32u4 boards, {args.months} months at 25 degC/5V")
+    nominal = LongTermCampaign(
+        device_count=16, months=args.months, measurements=1000, random_state=1
+    ).run()
+    nominal_start = float(nominal.start.wchd.mean())
+    nominal_end = float(nominal.end.wchd.mean())
+    nominal_rate = geometric_monthly_change(nominal_start, nominal_end, args.months)
+
+    print("Accelerated stress: 8 x 65nm devices at 85 degC / 1.44V")
+    study = AcceleratedAgingStudy(device_count=8, random_state=2)
+    accelerated = study.run(equivalent_months=args.months, checkpoints=9)
+
+    print()
+    print(f"{'':<22} {'start':>8} {'end':>8} {'monthly rate':>13}")
+    print("-" * 55)
+    print(
+        f"{'nominal (this paper)':<22} {100 * nominal_start:7.2f}% "
+        f"{100 * nominal_end:7.2f}% {100 * nominal_rate:+12.2f}%"
+    )
+    print(
+        f"{'accelerated (HOST 14)':<22} {100 * accelerated.wchd_mean[0]:7.2f}% "
+        f"{100 * accelerated.wchd_mean[-1]:7.2f}% "
+        f"{100 * accelerated.monthly_rate:+12.2f}%"
+    )
+    print(
+        f"\nAcceleration factor {accelerated.acceleration_factor:.0f}x "
+        f"compressed {args.months} equivalent months into "
+        f"{accelerated.stress_hours_total:.1f} stress hours."
+    )
+    print(
+        f"\nPaper's published rates: nominal +0.74%/month, accelerated "
+        f"+1.28%/month.\nMeasured ratio accelerated/nominal: "
+        f"{accelerated.monthly_rate / nominal_rate:.2f}x — accelerated aging "
+        "overestimates\nnominal-condition degradation, the paper's headline "
+        "conclusion."
+    )
+
+    print("\nWCHD trajectory under accelerated stress (equivalent months):")
+    for month, wchd in zip(accelerated.equivalent_months, accelerated.wchd_mean):
+        bar = "#" * int(round(1500 * wchd))
+        print(f"  {month:5.1f} {100 * wchd:6.2f}% {bar}")
+
+
+if __name__ == "__main__":
+    main()

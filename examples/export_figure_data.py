@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Export every figure's data as CSV for external plotting.
+
+Runs the full campaign plus the initial evaluation and writes one CSV
+per paper figure into an output directory, ready for matplotlib /
+gnuplot / a spreadsheet:
+
+* ``fig4_startup_pattern.csv`` — the 64x128 bitmap of board S0;
+* ``fig5_wchd.csv`` / ``fig5_bchd.csv`` / ``fig5_fhw.csv`` — histogram
+  bins and percentages;
+* ``fig6a_wchd.csv`` … ``fig6d_puf_entropy.csv`` — month-indexed
+  series, one column per device (or the fleet value);
+* ``table1.csv`` — the summary table cells.
+
+Usage::
+
+    python examples/export_figure_data.py [--out figure_data] [--seed 1]
+"""
+
+import argparse
+import csv
+import os
+
+from repro.analysis.initial import InitialQualityEvaluation, startup_pattern_image
+from repro.core.assessment import LongTermAssessment
+from repro.core.config import StudyConfig
+from repro.rng import SeedHierarchy
+from repro.sram.chip import SRAMChip
+
+
+def write_csv(path: str, header, rows) -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    print(f"  wrote {path}")
+
+
+def export_fig4(out_dir: str, seed: int) -> None:
+    chip = SRAMChip(0, random_state=SeedHierarchy(seed))
+    image = startup_pattern_image(chip.read_startup(), width=128)
+    write_csv(
+        os.path.join(out_dir, "fig4_startup_pattern.csv"),
+        [f"col{i}" for i in range(image.shape[1])],
+        image.tolist(),
+    )
+
+
+def export_fig5(out_dir: str, seed: int, devices: int, measurements: int) -> None:
+    seeds = SeedHierarchy(seed)
+    chips = [SRAMChip(i, random_state=seeds) for i in range(devices)]
+    evaluation = InitialQualityEvaluation.measure(chips, measurements=measurements)
+    for name, histogram in [
+        ("wchd", evaluation.wchd_histogram()),
+        ("bchd", evaluation.bchd_histogram()),
+        ("fhw", evaluation.fhw_histogram()),
+    ]:
+        write_csv(
+            os.path.join(out_dir, f"fig5_{name}.csv"),
+            ["bin_center", "percentage"],
+            list(zip(histogram.bin_centers, histogram.percentages)),
+        )
+
+
+def export_fig6_and_table(out_dir: str, config: StudyConfig) -> None:
+    result = LongTermAssessment(config).run()
+    figure_map = {
+        "fig6a_wchd": "WCHD",
+        "fig6b_hamming_weight": "HW",
+        "fig6c_noise_entropy": "Noise entropy",
+        "fig6d_puf_entropy": "PUF entropy",
+    }
+    for filename, metric_name in figure_map.items():
+        metric = result.series.metric(metric_name)
+        if metric.is_fleet_metric:
+            header = ["month", "value"]
+            rows = list(zip(metric.months.tolist(), metric.per_board.tolist()))
+        else:
+            header = ["month"] + [f"device_{b}" for b in metric.board_ids]
+            rows = [
+                [int(month)] + metric.per_board[index].tolist()
+                for index, month in enumerate(metric.months)
+            ]
+        write_csv(os.path.join(out_dir, f"{filename}.csv"), header, rows)
+
+    table_rows = []
+    for name, summary in result.table.summaries.items():
+        table_rows.append(
+            [name, "AVG", summary.start_avg, summary.end_avg,
+             summary.relative_change_avg, summary.monthly_change_avg]
+        )
+        table_rows.append(
+            [name, "WC", summary.start_worst, summary.end_worst,
+             summary.relative_change_worst, summary.monthly_change_worst]
+        )
+    write_csv(
+        os.path.join(out_dir, "table1.csv"),
+        ["metric", "row", "start", "end", "relative_change", "monthly_change"],
+        table_rows,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="figure_data", help="output directory")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--devices", type=int, default=16)
+    parser.add_argument("--months", type=int, default=24)
+    parser.add_argument(
+        "--fig5-measurements", type=int, default=1000,
+        help="read-outs per board for the Fig. 5 histograms",
+    )
+    args = parser.parse_args()
+
+    os.makedirs(args.out, exist_ok=True)
+    print(f"Exporting figure data to {args.out}/ ...")
+    export_fig4(args.out, args.seed)
+    export_fig5(args.out, args.seed, args.devices, args.fig5_measurements)
+    export_fig6_and_table(
+        args.out,
+        StudyConfig(device_count=args.devices, months=args.months, seed=args.seed),
+    )
+    print("Done. Plot with your tool of choice.")
+
+
+if __name__ == "__main__":
+    main()

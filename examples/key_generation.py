@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""SRAM PUF as a key generation scheme, across two years of aging.
+
+Demonstrates the full commercial-style pipeline on a simulated
+ATmega32u4: CVN debiasing of the 62.7 %-biased response, a code-offset
+fuzzy extractor over Golay[24,12,8] x repetition-5, and SHA-256 key
+derivation — then ages the device month by month and shows the key
+reconstructing bit-exactly the whole time, while a deliberately
+under-designed code starts failing.
+
+Usage::
+
+    python examples/key_generation.py [--seed 7]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.errors import ReconstructionFailure
+from repro.keygen import HammingCode, SRAMKeyGenerator
+from repro.metrics.hamming import within_class_hd_from_counts
+from repro.sram import SRAMChip
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    chip = SRAMChip(0, random_state=args.seed)
+    print(f"Device: {chip.profile.name}, {chip.profile.read_bits} PUF bits per read")
+
+    strong = SRAMKeyGenerator(chip, key_bits=256, secret_bits=96)
+    # The weak pipeline skips debiasing (so it faces the raw ~3 % error
+    # rate rather than the quieter debiased stream) and corrects only a
+    # single error per 7-bit block.
+    weak = SRAMKeyGenerator(
+        chip, code=HammingCode(3), debias=False, key_bits=256, secret_bits=96
+    )
+
+    key_strong, record_strong = strong.enroll(random_state=1)
+    key_weak, record_weak = weak.enroll(random_state=2)
+    reference = chip.read_startup()
+    print(f"Enrolled a 256-bit key: {np.packbits(key_strong)[:8].tobytes().hex()}...")
+    print(f"Strong code: {strong.code!r} (guaranteed t={strong.code.correctable_errors})")
+    print(f"Weak code:   {weak.code!r} (guaranteed t={weak.code.correctable_errors})")
+    print()
+    print(f"{'Month':>5} {'WCHD':>7} {'strong code':>12} {'weak code':>10}")
+
+    for month in range(0, 25, 3):
+        counts = chip.read_window_ones_counts(200)
+        wchd = within_class_hd_from_counts(counts, 200, reference)
+        strong_ok = strong.reconstruction_succeeds(record_strong, key_strong)
+        try:
+            weak_ok = bool(np.array_equal(weak.reconstruct(record_weak), key_weak))
+        except ReconstructionFailure:
+            weak_ok = False
+        print(
+            f"{month:>5} {100 * wchd:6.2f}% {'OK' if strong_ok else 'FAIL':>12}"
+            f" {'OK' if weak_ok else 'FAIL':>10}"
+        )
+        if month < 24:
+            chip.age_months(3.0, steps=3)
+
+    print()
+    print(
+        "The production-style code keeps reconstructing through two years of\n"
+        "aging (the paper's WCHD stays below 3.3 % — an order of magnitude\n"
+        "inside the code's random-error capability), while the margin-free\n"
+        "code is exposed to every unlucky block."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Project key reliability over a device's deployment lifetime.
+
+Runs a (scaled-down) nominal aging campaign, fits the paper's
+decelerating power-law trend to the measured WCHD series, and projects
+the key-reconstruction failure probability decades beyond the
+measurement window — for a production-grade code and for a deliberately
+thin one.  Also shows how an accelerated-aging trend (the HOST 2014
+monthly rate) would overstate the risk, which is the paper's central
+point.
+
+Usage::
+
+    python examples/lifetime_projection.py [--seed 1]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis.campaign import LongTermCampaign
+from repro.analysis.lifetime import LifetimeProjection
+from repro.analysis.timeseries import QualityTimeSeries
+from repro.analysis.trends import fit_power_law_trend
+from repro.keygen.ecc import (
+    ConcatenatedCode,
+    ExtendedGolayCode,
+    HammingCode,
+    RepetitionCode,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    print("Measuring 8 devices for 24 months (simulated) ...")
+    campaign = LongTermCampaign(
+        device_count=8, months=24, measurements=1000, random_state=args.seed
+    ).run()
+    wchd = QualityTimeSeries(campaign).metric("WCHD")
+    trend = fit_power_law_trend(wchd.months.astype(float), wchd.mean)
+    print(
+        f"Fitted trend: WCHD(t) = {100 * trend.y0:.2f}% + "
+        f"{100 * trend.amplitude:.3f}% * t^{trend.exponent:.2f} "
+        f"(residual {100 * trend.residual_rms:.3f}%)"
+    )
+    print(
+        f"Early/late rate ratio (month 1 vs 12): {trend.rate_ratio():.1f}x "
+        "- aging decelerates, as the paper observes."
+    )
+
+    strong_code = ConcatenatedCode(ExtendedGolayCode(), RepetitionCode(5))
+    strong = LifetimeProjection(trend, strong_code, secret_bits=128)
+    weak = LifetimeProjection(trend, HammingCode(3), secret_bits=128)
+
+    months = np.arange(25.0)
+    accelerated_series = wchd.mean[0] * (0.072 / 0.053) ** (months / 24.0)
+    accelerated = LifetimeProjection(
+        fit_power_law_trend(months, accelerated_series), strong_code, secret_bits=128
+    )
+
+    print(f"\n{'years':>6} {'BER (wc)':>9} {'strong code':>12} {'weak code':>12} "
+          f"{'strong, accel. trend':>21}")
+    for years in (0, 2, 5, 10, 20, 40):
+        month = years * 12.0
+        print(
+            f"{years:>6} {100 * strong.bit_error_rate_at(month):8.2f}% "
+            f"{strong.failure_probability_at(month):>12.2e} "
+            f"{weak.failure_probability_at(month):>12.2e} "
+            f"{accelerated.failure_probability_at(month):>21.2e}"
+        )
+
+    budget = 1e-6
+    horizon = strong.months_until(budget)
+    verdict = "never within 50 years" if horizon == float("inf") else f"{horizon:.0f} months"
+    print(
+        f"\nWith the production code, the {budget:.0e} failure budget is "
+        f"exceeded: {verdict}."
+    )
+    print(
+        "The accelerated-aging trend inflates the projected error rate — "
+        "sizing ECC\nfrom it wastes response bits, which is why the paper's "
+        "nominal-condition\nmeasurement matters."
+    )
+
+
+if __name__ == "__main__":
+    main()

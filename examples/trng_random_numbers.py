@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""SRAM PUF as a true random number generator — and how aging helps.
+
+Harvests power-up noise from a simulated device at the start of life
+and after two years of aging, estimates the raw min-entropy with SP
+800-90B estimators (matching the paper's noise-entropy column), runs
+the online health tests, conditions the noise into output bits and
+vets those with a NIST SP 800-22 battery.
+
+Usage::
+
+    python examples/trng_random_numbers.py [--seed 11] [--bits 20000]
+"""
+
+import argparse
+
+from repro.sram import SRAMChip
+from repro.trng import SP80022Battery, SRAMTRNG
+from repro.trng.estimators import (
+    collision_estimate,
+    markov_estimate,
+    most_common_value_estimate,
+)
+from repro.trng.harvester import NoiseHarvester
+
+
+def describe_raw_stream(chip: SRAMChip, label: str) -> None:
+    harvester = NoiseHarvester(chip, strategy="reference-xor")
+    raw = harvester.harvest(200_000)
+    print(f"  raw noise density  : {100 * raw.mean():.2f}% of bits flipped")
+    print(f"  MCV estimate       : {most_common_value_estimate(raw):.4f} bits/bit")
+    print(f"  collision estimate : {collision_estimate(raw):.4f} bits/bit")
+    print(f"  Markov estimate    : {markov_estimate(raw):.4f} bits/bit")
+
+    masked = NoiseHarvester(chip, strategy="unstable-mask")
+    masked.characterize()
+    print(
+        f"  unstable cells     : {masked.unstable_cell_count} / "
+        f"{chip.profile.read_bits} "
+        f"({100 * masked.unstable_cell_count / chip.profile.read_bits:.1f}%)"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--bits", type=int, default=20_000)
+    args = parser.parse_args()
+
+    chip = SRAMChip(0, random_state=args.seed)
+
+    print("Start of life:")
+    describe_raw_stream(chip, "fresh")
+
+    print("\nAging the device 24 months at nominal conditions ...")
+    chip.age_months(24.0, steps=12)
+
+    print("\nAfter two years:")
+    describe_raw_stream(chip, "aged")
+    print(
+        "\n(The paper: noise entropy improves 3.05% -> 3.64% and the stable-"
+        "cell\n ratio falls 85.9% -> 83.7% — aging helps the TRNG.)"
+    )
+
+    print(f"\nGenerating {args.bits} conditioned output bits ...")
+    trng = SRAMTRNG(chip)
+    bits = trng.generate(args.bits)
+    print(
+        f"  consumed {trng.raw_bits_consumed} raw bits over "
+        f"{chip.power_up_count} total power-ups"
+    )
+
+    battery = SP80022Battery()
+    results = battery.run_all(bits)
+    print("\nNIST SP 800-22 battery on the conditioned output:")
+    print(battery.render(results))
+    verdict = "PASSES" if all(r.passed for r in results) else "FAILS"
+    print(f"\nThe conditioned SRAM TRNG output {verdict} the battery.")
+
+
+if __name__ == "__main__":
+    main()

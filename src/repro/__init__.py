@@ -1,0 +1,70 @@
+"""repro — reproduction of Wang et al., "Long-term Continuous Assessment
+of SRAM PUF and Source of Random Numbers" (DATE 2020).
+
+The library simulates the paper's two-year, 16-board nominal-condition
+aging study end to end — device physics, testbed, measurement database,
+quality metrics, key generation and TRNG — and regenerates every table
+and figure of the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import LongTermAssessment, StudyConfig
+>>> assessment = LongTermAssessment(StudyConfig(device_count=4, months=6))
+>>> result = assessment.run()
+>>> 0.0 < result.table["WCHD"].start_avg < 0.05
+True
+
+See ``examples/quickstart.py`` for a narrated tour and DESIGN.md for
+the system inventory.
+
+Top-level names are loaded lazily (PEP 562) so that ``import repro``
+stays cheap and subpackages can be imported independently.
+"""
+
+from typing import TYPE_CHECKING
+
+__version__ = "1.0.0"
+
+#: Maps public top-level names to the modules that define them.
+_EXPORTS = {
+    "AssessmentResult": "repro.core.assessment",
+    "LongTermAssessment": "repro.core.assessment",
+    "StudyConfig": "repro.core.config",
+    "PAPER": "repro.core.paper",
+    "ATMEGA32U4": "repro.sram.profiles",
+    "TESTCHIP_65NM": "repro.sram.profiles",
+    "DeviceProfile": "repro.sram.profiles",
+    "SRAMChip": "repro.sram.chip",
+    "SRAMArray": "repro.sram.array",
+    "SRAMKeyGenerator": "repro.keygen.keygen",
+    "SRAMTRNG": "repro.trng.trng",
+    "SeedHierarchy": "repro.rng",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+if TYPE_CHECKING:  # pragma: no cover - import-time typing aid only
+    from repro.core.assessment import AssessmentResult, LongTermAssessment
+    from repro.core.config import StudyConfig
+    from repro.core.paper import PAPER
+    from repro.keygen.keygen import SRAMKeyGenerator
+    from repro.rng import SeedHierarchy
+    from repro.sram.array import SRAMArray
+    from repro.sram.chip import SRAMChip
+    from repro.sram.profiles import ATMEGA32U4, TESTCHIP_65NM, DeviceProfile
+    from repro.trng.trng import SRAMTRNG
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        import importlib
+
+        module = importlib.import_module(_EXPORTS[name])
+        value = getattr(module, name)
+        globals()[name] = value  # cache for subsequent lookups
+        return value
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return __all__

@@ -1,0 +1,76 @@
+"""Longitudinal analysis: the paper's evaluation pipeline.
+
+* :mod:`repro.analysis.initial` — initial quality evaluation
+  (Section IV-A; Fig. 4 and Fig. 5).
+* :mod:`repro.analysis.monthly` — the monthly evaluation protocol
+  (Section IV-B: 1,000 consecutive measurements after midnight on the
+  8th of each month).
+* :mod:`repro.analysis.campaign` — the two-year campaign driver
+  producing the Fig. 6 / Table I data.
+* :mod:`repro.analysis.timeseries` — per-metric series extraction.
+* :mod:`repro.analysis.trends` — trend fitting and change rates.
+* :mod:`repro.analysis.accelerated` — the accelerated-aging
+  comparison study (Section IV-D vs Maes & van der Leest, HOST 2014).
+"""
+
+from repro.analysis.accelerated import AcceleratedAgingStudy, AcceleratedResult
+from repro.analysis.campaign import CampaignResult, LongTermCampaign
+from repro.analysis.comparison import SourceComparisonStudy, SourceSnapshot
+from repro.analysis.environment import EnvironmentStudy, SweepPoint
+from repro.analysis.initial import InitialQualityEvaluation, startup_pattern_image
+from repro.analysis.lifetime import LifetimePoint, LifetimeProjection
+from repro.analysis.migration import (
+    CellCategory,
+    CellMigrationStudy,
+    MigrationResult,
+    classify_cells,
+)
+from repro.analysis.monthly import MonthlyEvaluation, evaluate_month
+from repro.analysis.reliability import (
+    CellReliabilityModel,
+    block_failure_probability,
+    key_failure_probability,
+)
+from repro.analysis.statistics import (
+    CampaignInference,
+    ConfidenceInterval,
+    PairedChangeTest,
+    bootstrap_mean_ci,
+    paired_change_test,
+)
+from repro.analysis.timeseries import MetricSeries, QualityTimeSeries
+from repro.analysis.trends import fit_power_law_trend, monthly_rates, PowerLawTrend
+
+__all__ = [
+    "AcceleratedAgingStudy",
+    "AcceleratedResult",
+    "CampaignResult",
+    "LongTermCampaign",
+    "SourceComparisonStudy",
+    "SourceSnapshot",
+    "EnvironmentStudy",
+    "SweepPoint",
+    "InitialQualityEvaluation",
+    "startup_pattern_image",
+    "LifetimePoint",
+    "LifetimeProjection",
+    "CellCategory",
+    "CellMigrationStudy",
+    "MigrationResult",
+    "classify_cells",
+    "MonthlyEvaluation",
+    "evaluate_month",
+    "CellReliabilityModel",
+    "block_failure_probability",
+    "key_failure_probability",
+    "CampaignInference",
+    "ConfidenceInterval",
+    "PairedChangeTest",
+    "bootstrap_mean_ci",
+    "paired_change_test",
+    "MetricSeries",
+    "QualityTimeSeries",
+    "fit_power_law_trend",
+    "monthly_rates",
+    "PowerLawTrend",
+]

@@ -1,0 +1,175 @@
+"""The long-term campaign driver.
+
+:class:`LongTermCampaign` reproduces the paper's two-year study: it
+manufactures a fleet of devices, takes each device's first-ever
+read-out as the lifetime reference, then alternates monthly snapshots
+(:func:`~repro.analysis.monthly.evaluate_month`) with one month of
+nominal-condition aging, for 25 snapshots in total (Feb 2017 through
+Feb 2019 inclusive).
+
+An optional ambient-temperature random walk perturbs each month's
+measurement temperature around the nominal, mimicking an uncontrolled
+"room temperature" lab.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.monthly import MonthlyEvaluation, evaluate_month
+from repro.errors import ConfigurationError
+from repro.rng import RandomState, SeedHierarchy
+from repro.sram.aging import AgingSimulator
+from repro.sram.chip import SRAMChip
+from repro.sram.profiles import ATMEGA32U4, DeviceProfile
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything a finished campaign produced.
+
+    ``snapshots[m]`` is the evaluation at age ``m`` months;
+    ``snapshots[0]`` is the initial (unaged) evaluation.
+    """
+
+    profile_name: str
+    months: int
+    measurements: int
+    board_ids: List[int]
+    references: Dict[int, np.ndarray] = field(repr=False)
+    snapshots: List[MonthlyEvaluation] = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.snapshots) != self.months + 1:
+            raise ConfigurationError(
+                f"expected {self.months + 1} snapshots, got {len(self.snapshots)}"
+            )
+
+    @property
+    def start(self) -> MonthlyEvaluation:
+        """The month-0 snapshot."""
+        return self.snapshots[0]
+
+    @property
+    def end(self) -> MonthlyEvaluation:
+        """The final snapshot."""
+        return self.snapshots[-1]
+
+
+class LongTermCampaign:
+    """Drives a fleet of simulated devices through months of aging.
+
+    Parameters
+    ----------
+    device_count:
+        Fleet size (the paper's 16 boards).
+    months:
+        Aging duration; snapshots are taken at every month boundary
+        including 0 (the paper's 24 months give 25 snapshots).
+    measurements:
+        Monthly block size (1,000 in the paper).
+    profile:
+        Device profile of the fleet.
+    statistical:
+        Simulation fidelity of the monthly blocks (see DESIGN.md §2).
+    temperature_walk_k:
+        Standard deviation of the month-to-month ambient-temperature
+        random walk; 0 disables it.
+    aging_steps_per_month:
+        Integration sub-steps of the self-limiting drift per month.
+    random_state:
+        Seed material; the same seed reproduces the same fleet and
+        campaign.
+    """
+
+    def __init__(
+        self,
+        device_count: int = 16,
+        months: int = 24,
+        measurements: int = 1000,
+        profile: DeviceProfile = ATMEGA32U4,
+        statistical: bool = True,
+        temperature_walk_k: float = 0.0,
+        aging_steps_per_month: int = 2,
+        random_state: RandomState = None,
+    ):
+        if device_count < 1:
+            raise ConfigurationError(f"device_count must be >= 1, got {device_count}")
+        if months < 1:
+            raise ConfigurationError(f"months must be >= 1, got {months}")
+        if measurements < 2:
+            raise ConfigurationError(f"measurements must be >= 2, got {measurements}")
+        if temperature_walk_k < 0:
+            raise ConfigurationError(
+                f"temperature_walk_k cannot be negative, got {temperature_walk_k}"
+            )
+        if aging_steps_per_month < 1:
+            raise ConfigurationError(
+                f"aging_steps_per_month must be >= 1, got {aging_steps_per_month}"
+            )
+        self._device_count = device_count
+        self._months = months
+        self._measurements = measurements
+        self._profile = profile
+        self._statistical = statistical
+        self._temperature_walk_k = temperature_walk_k
+        self._aging_steps = aging_steps_per_month
+        self._seeds = (
+            random_state
+            if isinstance(random_state, SeedHierarchy)
+            else SeedHierarchy(random_state if isinstance(random_state, int) else 0)
+        )
+
+    def build_fleet(self) -> List[SRAMChip]:
+        """Manufacture the campaign's devices (deterministic per seed)."""
+        return [
+            SRAMChip(chip_id, self._profile, random_state=self._seeds)
+            for chip_id in range(self._device_count)
+        ]
+
+    def run(self, chips: Optional[Sequence[SRAMChip]] = None) -> CampaignResult:
+        """Execute the campaign and return its result.
+
+        ``chips`` may inject an externally built fleet (e.g. boards
+        pulled out of a :class:`~repro.hardware.testbed.Testbed`);
+        their current state is taken as day 0.
+        """
+        fleet = list(chips) if chips is not None else self.build_fleet()
+        if not fleet:
+            raise ConfigurationError("campaign fleet is empty")
+
+        references = {chip.chip_id: chip.read_startup() for chip in fleet}
+        temp_rng = self._seeds.stream("ambient-temperature")
+        simulator = AgingSimulator(self._profile)
+
+        snapshots: List[MonthlyEvaluation] = []
+        temperature = self._profile.temperature_k
+        for month in range(self._months + 1):
+            if self._temperature_walk_k > 0.0:
+                temperature += float(temp_rng.normal(0.0, self._temperature_walk_k))
+            snapshot_temp = temperature if self._temperature_walk_k > 0.0 else None
+            snapshots.append(
+                evaluate_month(
+                    fleet,
+                    references,
+                    month=month,
+                    measurements=self._measurements,
+                    statistical=self._statistical,
+                    temperature_k=snapshot_temp,
+                )
+            )
+            if month < self._months:
+                for chip in fleet:
+                    simulator.age_array_months(chip.array, 1.0, steps=self._aging_steps)
+
+        return CampaignResult(
+            profile_name=self._profile.name,
+            months=self._months,
+            measurements=self._measurements,
+            board_ids=[chip.chip_id for chip in fleet],
+            references=references,
+            snapshots=snapshots,
+        )

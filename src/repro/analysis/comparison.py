@@ -1,0 +1,162 @@
+"""Cross-source comparison: SRAM vs alternative memory PUFs.
+
+The paper's min-entropy methodology comes from a *comparison* paper —
+Simons et al. (HOST 2012, ref. [16]) pitting buskeeper cells against
+D flip-flops.  :class:`SourceComparisonStudy` runs the same head-to-head
+on simulated populations: each source's reliability, bias, stability
+and noise entropy at the start of life and after aging, in one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.metrics.entropy import noise_min_entropy_from_counts
+from repro.metrics.hamming import (
+    fractional_hamming_weight_from_counts,
+    within_class_hd_from_counts,
+)
+from repro.metrics.stability import stable_cell_ratio_from_counts
+from repro.rng import RandomState, SeedHierarchy
+from repro.sram.aging import AgingSimulator
+from repro.sram.chip import SRAMChip
+from repro.sram.profiles import ATMEGA32U4, BUSKEEPER_PUF, DFF_PUF, DeviceProfile
+
+#: The default contenders (the paper's device + its ref. [16] pair).
+DEFAULT_SOURCES: Tuple[DeviceProfile, ...] = (ATMEGA32U4, DFF_PUF, BUSKEEPER_PUF)
+
+
+@dataclass(frozen=True)
+class SourceSnapshot:
+    """One source's quality metrics at one age."""
+
+    source: str
+    month: float
+    wchd: float
+    fhw: float
+    stable_ratio: float
+    noise_entropy: float
+
+
+class SourceComparisonStudy:
+    """Head-to-head quality comparison of memory-PUF sources.
+
+    Parameters
+    ----------
+    sources:
+        The device profiles to compare.
+    devices_per_source:
+        Fleet size per source (metrics are fleet means).
+    measurements:
+        Block size per evaluation.
+    random_state:
+        Seed material.
+    """
+
+    def __init__(
+        self,
+        sources: Sequence[DeviceProfile] = DEFAULT_SOURCES,
+        devices_per_source: int = 4,
+        measurements: int = 1000,
+        random_state: RandomState = None,
+    ):
+        if not sources:
+            raise ConfigurationError("need at least one source profile")
+        names = [profile.name for profile in sources]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate source names: {names}")
+        if devices_per_source < 1:
+            raise ConfigurationError(
+                f"devices_per_source must be >= 1, got {devices_per_source}"
+            )
+        if measurements < 2:
+            raise ConfigurationError(f"measurements must be >= 2, got {measurements}")
+        self._sources = tuple(sources)
+        self._devices = devices_per_source
+        self._measurements = measurements
+        self._seeds = (
+            random_state
+            if isinstance(random_state, SeedHierarchy)
+            else SeedHierarchy(random_state if isinstance(random_state, int) else 0)
+        )
+
+    def run(self, months: float = 24.0) -> Dict[str, List[SourceSnapshot]]:
+        """Evaluate every source fresh and after ``months`` of aging.
+
+        Returns ``{source_name: [start_snapshot, end_snapshot]}``.
+        """
+        if months < 0:
+            raise ConfigurationError(f"months cannot be negative, got {months}")
+        report: Dict[str, List[SourceSnapshot]] = {}
+        for profile in self._sources:
+            seeds = self._seeds.child(f"source-{profile.name}")
+            fleet = [
+                SRAMChip(index, profile, random_state=seeds)
+                for index in range(self._devices)
+            ]
+            references = {chip.chip_id: chip.read_startup() for chip in fleet}
+            snapshots = [self._snapshot(profile.name, 0.0, fleet, references)]
+            if months > 0:
+                simulator = AgingSimulator(profile)
+                for chip in fleet:
+                    simulator.age_array_months(
+                        chip.array, months, steps=max(2, int(months))
+                    )
+                snapshots.append(
+                    self._snapshot(profile.name, months, fleet, references)
+                )
+            report[profile.name] = snapshots
+        return report
+
+    def _snapshot(
+        self,
+        source: str,
+        month: float,
+        fleet: Sequence[SRAMChip],
+        references: Dict[int, np.ndarray],
+    ) -> SourceSnapshot:
+        wchd, fhw, stable, entropy = [], [], [], []
+        for chip in fleet:
+            counts = chip.read_window_ones_counts(self._measurements)
+            wchd.append(
+                within_class_hd_from_counts(
+                    counts, self._measurements, references[chip.chip_id]
+                )
+            )
+            fhw.append(
+                fractional_hamming_weight_from_counts(counts, self._measurements)
+            )
+            stable.append(
+                stable_cell_ratio_from_counts(counts, self._measurements)
+            )
+            entropy.append(
+                noise_min_entropy_from_counts(counts, self._measurements)
+            )
+        return SourceSnapshot(
+            source=source,
+            month=month,
+            wchd=float(np.mean(wchd)),
+            fhw=float(np.mean(fhw)),
+            stable_ratio=float(np.mean(stable)),
+            noise_entropy=float(np.mean(entropy)),
+        )
+
+    @staticmethod
+    def render(report: Dict[str, List[SourceSnapshot]]) -> str:
+        """Text table of a finished comparison."""
+        lines = [
+            f"{'source':<14} {'month':>6} {'WCHD':>7} {'FHW':>7} "
+            f"{'stable':>7} {'Hnoise':>7}",
+        ]
+        for source, snapshots in report.items():
+            for snap in snapshots:
+                lines.append(
+                    f"{source:<14} {snap.month:6.0f} {100 * snap.wchd:6.2f}% "
+                    f"{100 * snap.fhw:6.2f}% {100 * snap.stable_ratio:6.2f}% "
+                    f"{100 * snap.noise_entropy:6.2f}%"
+                )
+        return "\n".join(lines)

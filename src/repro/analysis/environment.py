@@ -1,0 +1,123 @@
+"""Environmental sensitivity studies.
+
+The paper tests at room temperature only; qualification in practice
+sweeps the environment.  :class:`EnvironmentStudy` measures (on
+simulated silicon) how the reliability metrics respond to
+
+* **measurement temperature** — hotter power-ups are noisier
+  (``sigma ~ sqrt(T)``), so WCHD rises at the hot corner; and
+* **supply ramp time** — the [17] mechanism wrapped by
+  :mod:`repro.sram.ramp`.
+
+Analytic expectations come from
+:class:`~repro.analysis.reliability.CellReliabilityModel`, empirical
+points from measurement blocks on live chips — the study reports both
+so the model can be audited against the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analysis.reliability import CellReliabilityModel
+from repro.errors import ConfigurationError
+from repro.metrics.hamming import within_class_hd_from_counts
+from repro.rng import RandomState, SeedHierarchy
+from repro.sram.chip import SRAMChip
+from repro.sram.profiles import ATMEGA32U4, DeviceProfile
+from repro.sram.ramp import VoltageRamp
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One environmental condition's reliability measurement."""
+
+    condition: float
+    measured_wchd: float
+    predicted_wchd: float
+
+
+class EnvironmentStudy:
+    """Temperature / ramp sensitivity of the reliability metrics.
+
+    Parameters
+    ----------
+    profile:
+        Device profile under study.
+    measurements:
+        Block size per empirical point.
+    random_state:
+        Seed material.
+    """
+
+    def __init__(
+        self,
+        profile: DeviceProfile = ATMEGA32U4,
+        measurements: int = 500,
+        random_state: RandomState = None,
+    ):
+        if measurements < 2:
+            raise ConfigurationError(f"measurements must be >= 2, got {measurements}")
+        self._profile = profile
+        self._measurements = measurements
+        self._seeds = (
+            random_state
+            if isinstance(random_state, SeedHierarchy)
+            else SeedHierarchy(random_state if isinstance(random_state, int) else 0)
+        )
+        self._model = CellReliabilityModel(profile)
+
+    def _fresh_chip(self, label: str) -> SRAMChip:
+        return SRAMChip(0, self._profile, random_state=self._seeds.child(label))
+
+    def temperature_sweep(self, temperatures_k) -> List[SweepPoint]:
+        """WCHD at each measurement temperature (reference at nominal).
+
+        The reference pattern is captured at the nominal temperature —
+        the enrollment condition — and the block re-measured at each
+        sweep temperature, exactly how corner qualification works.
+        """
+        temps = np.asarray(temperatures_k, dtype=float)
+        if temps.size == 0:
+            raise ConfigurationError("temperature sweep needs at least one point")
+        points = []
+        for temp in temps:
+            chip = self._fresh_chip(f"temp-{temp:.2f}")
+            reference = chip.read_startup()
+            counts = chip.read_window_ones_counts(
+                self._measurements, temperature_k=float(temp)
+            )
+            measured = within_class_hd_from_counts(
+                counts, self._measurements, reference
+            )
+            predicted = self._model.cross_condition_error_rate(
+                measurement_temperature_k=float(temp)
+            )
+            points.append(SweepPoint(float(temp), measured, predicted))
+        return points
+
+    def ramp_sweep(self, ramp_times_us) -> List[SweepPoint]:
+        """WCHD versus supply ramp time (reference at nominal ramp)."""
+        times = np.asarray(ramp_times_us, dtype=float)
+        if times.size == 0:
+            raise ConfigurationError("ramp sweep needs at least one point")
+        points = []
+        for ramp_time in times:
+            ramp = VoltageRamp(float(ramp_time))
+            chip = self._fresh_chip(f"ramp-{ramp_time:.2f}")
+            reference = chip.read_startup()
+            equivalent = ramp.equivalent_temperature_k(self._profile.temperature_k)
+            counts = chip.read_window_ones_counts(
+                self._measurements, temperature_k=equivalent
+            )
+            measured = within_class_hd_from_counts(
+                counts, self._measurements, reference
+            )
+            predicted = self._model.cross_condition_error_rate(
+                measurement_temperature_k=equivalent
+            )
+            points.append(SweepPoint(float(ramp_time), measured, predicted))
+        return points

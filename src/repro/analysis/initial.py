@@ -1,0 +1,108 @@
+"""Initial quality evaluation (paper Section IV-A).
+
+Runs on the first 1,000 read-outs of each board at the start of the
+test and produces the data behind:
+
+* **Fig. 4** — the visualised 1 KB start-up pattern of board S0
+  (:func:`startup_pattern_image`);
+* **Fig. 5** — pooled distributions of within-class HD, between-class
+  HD and fractional Hamming weight over all boards
+  (:class:`InitialQualityEvaluation`).
+
+This evaluation needs the per-measurement FHD *distribution* (not just
+its mean), so it always runs at measurement fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.metrics.hamming import between_class_hd
+from repro.metrics.histograms import HistogramSummary, fractional_histogram
+from repro.sram.chip import SRAMChip
+
+
+def startup_pattern_image(bits: np.ndarray, width: int = 128) -> np.ndarray:
+    """Reshape a start-up read-out into a 2-D image (Fig. 4).
+
+    Returns a ``(bits/width, width)`` uint8 matrix suitable for
+    rendering; the paper shows the 8,192-bit pattern of board S0.
+    """
+    vector = np.asarray(bits)
+    if vector.ndim != 1:
+        raise ConfigurationError(f"bits must be 1-D, got shape {vector.shape}")
+    if width <= 0 or vector.size % width != 0:
+        raise ConfigurationError(
+            f"width {width} does not tile a {vector.size}-bit pattern"
+        )
+    return vector.reshape(-1, width).astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class InitialQualityEvaluation:
+    """Pooled initial-quality distributions over a fleet (Fig. 5).
+
+    Attributes
+    ----------
+    wchd_samples:
+        FHD of every non-reference measurement against its board's
+        reference, pooled over boards.
+    bchd_samples:
+        Pairwise FHD between board references.
+    fhw_samples:
+        Per-measurement fractional Hamming weight, pooled over boards.
+    """
+
+    measurements: int
+    board_count: int
+    wchd_samples: np.ndarray = field(repr=False)
+    bchd_samples: np.ndarray = field(repr=False)
+    fhw_samples: np.ndarray = field(repr=False)
+
+    @classmethod
+    def measure(
+        cls, chips: Sequence[SRAMChip], measurements: int = 1000
+    ) -> "InitialQualityEvaluation":
+        """Take the first ``measurements`` read-outs of each chip.
+
+        The first read-out of each chip doubles as its reference (the
+        paper's convention), so each board contributes
+        ``measurements - 1`` WCHD samples.
+        """
+        if len(chips) < 2:
+            raise ConfigurationError("initial evaluation needs at least two chips")
+        if measurements < 2:
+            raise ConfigurationError(f"measurements must be >= 2, got {measurements}")
+        wchd_all: List[np.ndarray] = []
+        fhw_all: List[np.ndarray] = []
+        references: List[np.ndarray] = []
+        for chip in chips:
+            block = chip.read_startup(measurements)
+            reference = block[0]
+            references.append(reference)
+            distances = (block[1:] != reference[np.newaxis, :]).mean(axis=1)
+            wchd_all.append(distances)
+            fhw_all.append(block.mean(axis=1))
+        return cls(
+            measurements=measurements,
+            board_count=len(chips),
+            wchd_samples=np.concatenate(wchd_all),
+            bchd_samples=between_class_hd(references),
+            fhw_samples=np.concatenate(fhw_all),
+        )
+
+    def wchd_histogram(self, bins: int = 100) -> HistogramSummary:
+        """Within-class HD distribution (the Fig. 5 spike near 0)."""
+        return fractional_histogram(self.wchd_samples, bins=bins)
+
+    def bchd_histogram(self, bins: int = 100) -> HistogramSummary:
+        """Between-class HD distribution (the Fig. 5 mass at 40–50 %)."""
+        return fractional_histogram(self.bchd_samples, bins=bins)
+
+    def fhw_histogram(self, bins: int = 100) -> HistogramSummary:
+        """Hamming-weight distribution (the Fig. 5 mass at 60–70 %)."""
+        return fractional_histogram(self.fhw_samples, bins=bins)

@@ -1,0 +1,179 @@
+"""Cell-population migration under aging (paper Section IV-D).
+
+The paper explains its non-monotonic aging observation by classifying
+cells as **fully-skewed** (stable: never flip), **partially-skewed**
+(flip occasionally but keep a preference) and **balanced** (near-50 %
+one-probability), and arguing that NBTI converts fully-skewed cells
+into partially-skewed ones — whereupon the alternating stored state
+makes the drift self-limiting.
+
+:class:`CellMigrationStudy` measures exactly that: it tracks each
+cell's estimated one-probability across the campaign months and
+reports the category populations and the month-to-month transition
+matrix.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import RandomState, SeedHierarchy
+from repro.sram.aging import AgingSimulator
+from repro.sram.chip import SRAMChip
+from repro.sram.profiles import ATMEGA32U4, DeviceProfile
+
+
+class CellCategory(enum.IntEnum):
+    """Skew categories of the paper's Section IV-D discussion."""
+
+    FULLY_SKEWED = 0
+    PARTIALLY_SKEWED = 1
+    BALANCED = 2
+
+
+#: Cells whose one-probability estimate sits within this margin of 0.5
+#: count as balanced.
+BALANCED_MARGIN = 0.2
+
+
+def classify_cells(one_probabilities: np.ndarray, measurements: int) -> np.ndarray:
+    """Categorise cells from their estimated one-probabilities.
+
+    * fully-skewed: the estimate is exactly 0 or 1 over the block
+      (the paper's stable-cell criterion);
+    * balanced: within :data:`BALANCED_MARGIN` of 0.5;
+    * partially-skewed: everything in between.
+    """
+    probs = np.asarray(one_probabilities, dtype=float)
+    if probs.size == 0:
+        raise ConfigurationError("cannot classify an empty population")
+    if probs.min() < 0.0 or probs.max() > 1.0:
+        raise ConfigurationError("probabilities must lie in [0, 1]")
+    if measurements < 2:
+        raise ConfigurationError(f"measurements must be >= 2, got {measurements}")
+    epsilon = 0.5 / measurements  # anything below one observed flip
+    categories = np.full(probs.shape, CellCategory.PARTIALLY_SKEWED, dtype=np.int64)
+    fully = (probs <= epsilon) | (probs >= 1.0 - epsilon)
+    balanced = np.abs(probs - 0.5) <= BALANCED_MARGIN
+    categories[balanced] = CellCategory.BALANCED
+    categories[fully] = CellCategory.FULLY_SKEWED
+    return categories
+
+
+@dataclass(frozen=True)
+class MigrationResult:
+    """Outcome of a cell-migration study.
+
+    Attributes
+    ----------
+    months:
+        Snapshot ages.
+    populations:
+        ``(snapshots, 3)`` category fractions per snapshot, indexed by
+        :class:`CellCategory`.
+    transitions:
+        ``(snapshots - 1, 3, 3)`` row-normalised transition matrices:
+        ``transitions[k, a, b]`` is the probability that a category-a
+        cell at snapshot k is category b at snapshot k+1.
+    """
+
+    months: np.ndarray
+    populations: np.ndarray = field(repr=False)
+    transitions: np.ndarray = field(repr=False)
+
+    def population(self, category: CellCategory) -> np.ndarray:
+        """One category's fraction over the months."""
+        return self.populations[:, int(category)]
+
+    def net_destabilisation(self) -> float:
+        """Total loss of fully-skewed population over the study."""
+        series = self.population(CellCategory.FULLY_SKEWED)
+        return float(series[0] - series[-1])
+
+
+class CellMigrationStudy:
+    """Tracks per-cell category migration through months of aging.
+
+    Parameters
+    ----------
+    profile:
+        Device profile.
+    measurements:
+        Block size per snapshot for one-probability estimation.
+    random_state:
+        Seed material.
+    """
+
+    def __init__(
+        self,
+        profile: DeviceProfile = ATMEGA32U4,
+        measurements: int = 1000,
+        random_state: RandomState = None,
+    ):
+        if measurements < 2:
+            raise ConfigurationError(f"measurements must be >= 2, got {measurements}")
+        self._profile = profile
+        self._measurements = measurements
+        self._seeds = (
+            random_state
+            if isinstance(random_state, SeedHierarchy)
+            else SeedHierarchy(random_state if isinstance(random_state, int) else 0)
+        )
+
+    def run(self, months: int = 24, snapshot_every: int = 6) -> MigrationResult:
+        """Age one device and record category snapshots.
+
+        ``snapshot_every`` months between snapshots keeps the
+        transition matrices well-populated without drowning in output.
+        """
+        if months < 1:
+            raise ConfigurationError(f"months must be >= 1, got {months}")
+        if snapshot_every < 1:
+            raise ConfigurationError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        chip = SRAMChip(0, self._profile, random_state=self._seeds)
+        simulator = AgingSimulator(self._profile)
+
+        snapshot_months = list(range(0, months + 1, snapshot_every))
+        if snapshot_months[-1] != months:
+            snapshot_months.append(months)
+
+        categories: List[np.ndarray] = []
+        previous_month = 0
+        for month in snapshot_months:
+            if month > previous_month:
+                simulator.age_array_months(
+                    chip.array, float(month - previous_month),
+                    steps=month - previous_month,
+                )
+                previous_month = month
+            counts = chip.read_window_ones_counts(self._measurements)
+            probs = counts / float(self._measurements)
+            categories.append(classify_cells(probs, self._measurements))
+
+        populations = np.stack(
+            [np.bincount(snapshot, minlength=3) / snapshot.size
+             for snapshot in categories]
+        )
+        transitions = np.zeros((len(categories) - 1, 3, 3))
+        for index in range(len(categories) - 1):
+            before, after = categories[index], categories[index + 1]
+            for source in range(3):
+                mask = before == source
+                total = int(mask.sum())
+                if total == 0:
+                    transitions[index, source, source] = 1.0
+                    continue
+                counts = np.bincount(after[mask], minlength=3)
+                transitions[index, source] = counts / total
+        return MigrationResult(
+            months=np.asarray(snapshot_months, dtype=float),
+            populations=populations,
+            transitions=transitions,
+        )

@@ -1,0 +1,136 @@
+"""The monthly evaluation protocol (paper Section IV-B).
+
+Each month the paper takes the first 1,000 consecutive measurements
+after midnight on the 8th for every board and computes:
+
+* **WCHD** per board against the board's day-0 reference;
+* **FHW** per board over the block;
+* **stable-cell ratio** and **noise entropy** per board from the
+  block's one-probability estimates;
+* **BCHD** and **PUF entropy** across boards from the first read-out
+  of each board's block.
+
+:func:`evaluate_month` runs that protocol on live chips;
+:class:`MonthlyEvaluation` is the resulting snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.metrics.entropy import noise_min_entropy_from_counts, puf_min_entropy
+from repro.metrics.hamming import (
+    between_class_hd,
+    fractional_hamming_weight_from_counts,
+    within_class_hd_from_counts,
+)
+from repro.metrics.stability import stable_cell_ratio_from_counts
+from repro.sram.chip import SRAMChip
+from repro.sram.powerup import sample_measurement_block
+
+
+@dataclass(frozen=True)
+class MonthlyEvaluation:
+    """All quality metrics of one monthly snapshot.
+
+    Per-board arrays are ordered like the campaign's board list.
+    """
+
+    month: int
+    measurements: int
+    board_ids: List[int]
+    wchd: np.ndarray
+    fhw: np.ndarray
+    stable_ratio: np.ndarray
+    noise_entropy: np.ndarray
+    bchd_pairs: np.ndarray = field(repr=False)
+    puf_entropy: float
+
+    def __post_init__(self) -> None:
+        boards = len(self.board_ids)
+        for name in ("wchd", "fhw", "stable_ratio", "noise_entropy"):
+            if getattr(self, name).shape != (boards,):
+                raise ConfigurationError(
+                    f"{name} must have one value per board ({boards}), "
+                    f"got shape {getattr(self, name).shape}"
+                )
+
+    @property
+    def bchd_mean(self) -> float:
+        """Mean pairwise between-class HD of the month."""
+        return float(self.bchd_pairs.mean())
+
+    @property
+    def bchd_min(self) -> float:
+        """Worst-case (lowest) pairwise BCHD of the month."""
+        return float(self.bchd_pairs.min())
+
+
+def evaluate_month(
+    chips: Sequence[SRAMChip],
+    references: Dict[int, np.ndarray],
+    month: int,
+    measurements: int = 1000,
+    statistical: bool = True,
+    temperature_k: Optional[float] = None,
+) -> MonthlyEvaluation:
+    """Run the Section IV-B protocol on live chips.
+
+    Parameters
+    ----------
+    chips:
+        The devices under test (their current aging state is used).
+    references:
+        Day-0 reference read-out per ``chip_id`` (first-ever pattern).
+    month:
+        Month index recorded in the snapshot.
+    measurements:
+        Block size (the paper's 1,000 consecutive measurements).
+    statistical:
+        Use Binomial sufficient statistics (default) or full
+        measurement-level simulation.
+    temperature_k:
+        Ambient override for this month's measurements.
+    """
+    if not chips:
+        raise ConfigurationError("evaluate_month needs at least one chip")
+    if measurements < 2:
+        raise ConfigurationError(f"measurements must be >= 2, got {measurements}")
+
+    board_ids, wchd, fhw, stable, noise_h, first_readouts = [], [], [], [], [], []
+    for chip in chips:
+        if chip.chip_id not in references:
+            raise ConfigurationError(f"no reference read-out for chip {chip.chip_id}")
+        block = sample_measurement_block(
+            chip, measurements, temperature_k=temperature_k, statistical=statistical
+        )
+        reference = references[chip.chip_id]
+        board_ids.append(chip.chip_id)
+        wchd.append(within_class_hd_from_counts(block.ones_counts, measurements, reference))
+        fhw.append(fractional_hamming_weight_from_counts(block.ones_counts, measurements))
+        stable.append(stable_cell_ratio_from_counts(block.ones_counts, measurements))
+        noise_h.append(noise_min_entropy_from_counts(block.ones_counts, measurements))
+        first_readouts.append(block.first_readout)
+
+    if len(chips) >= 2:
+        bchd = between_class_hd(first_readouts)
+        puf_h = puf_min_entropy(first_readouts)
+    else:
+        bchd = np.array([], dtype=float)
+        puf_h = float("nan")
+
+    return MonthlyEvaluation(
+        month=month,
+        measurements=measurements,
+        board_ids=board_ids,
+        wchd=np.asarray(wchd),
+        fhw=np.asarray(fhw),
+        stable_ratio=np.asarray(stable),
+        noise_entropy=np.asarray(noise_h),
+        bchd_pairs=bchd,
+        puf_entropy=puf_h,
+    )

@@ -1,0 +1,181 @@
+"""Analytic PUF reliability modelling (Maes, CHES 2013 — ref. [18]).
+
+The paper's evaluation is empirical; its reference [18] supplies the
+analytic counterpart used throughout industry to *extrapolate* such
+measurements: every cell's one-probability is ``p = Phi(skew /
+sigma_noise)`` with Gaussian-distributed skew, which yields closed
+forms (up to one quadrature) for the error-rate distribution across
+cells, its temperature dependence, and the failure rate of an
+ECC-protected key built on top.
+
+:class:`CellReliabilityModel` — the cell-population model.
+:func:`block_failure_probability` / :func:`key_failure_probability` —
+bounded-distance ECC failure under i.i.d. or heterogeneous bit errors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError
+from repro.keygen.ecc.base import BlockCode
+from repro.sram.profiles import DeviceProfile
+
+
+class CellReliabilityModel:
+    """Analytic one-probability / error-rate model of a cell population.
+
+    Parameters
+    ----------
+    profile:
+        Device profile supplying the skew distribution and the noise
+        model.
+    quadrature_points:
+        Resolution of the Gaussian quadrature over the skew population.
+    """
+
+    def __init__(self, profile: DeviceProfile, quadrature_points: int = 4001):
+        if quadrature_points < 101:
+            raise ConfigurationError(
+                f"quadrature_points must be >= 101, got {quadrature_points}"
+            )
+        self._profile = profile
+        nodes = np.linspace(-8.0, 8.0, quadrature_points)
+        weights = stats.norm.pdf(nodes)
+        self._nodes = nodes
+        self._weights = weights / weights.sum()
+
+    @property
+    def profile(self) -> DeviceProfile:
+        """The modelled device profile."""
+        return self._profile
+
+    def _skews_v(self) -> np.ndarray:
+        return self._profile.skew_mean_v + self._profile.skew_sigma_v * self._nodes
+
+    def one_probabilities(self, temperature_k: Optional[float] = None) -> np.ndarray:
+        """One-probabilities at the quadrature nodes (population grid)."""
+        noise = self._profile.noise_model()
+        temp = self._profile.temperature_k if temperature_k is None else temperature_k
+        return stats.norm.cdf(self._skews_v() / noise.sigma_at(temp))
+
+    def _expect(self, values: np.ndarray) -> float:
+        return float(np.sum(self._weights * values))
+
+    def expected_bias(self, temperature_k: Optional[float] = None) -> float:
+        """Population fractional Hamming weight (the paper's ~62.7 %)."""
+        return self._expect(self.one_probabilities(temperature_k))
+
+    def expected_error_rate(self, temperature_k: Optional[float] = None) -> float:
+        """Expected FHD against a same-condition sampled reference.
+
+        ``E[2 p (1 - p)]`` — the analytic WCHD the paper measures as
+        2.49 % at the start of the test.
+        """
+        probs = self.one_probabilities(temperature_k)
+        return self._expect(2.0 * probs * (1.0 - probs))
+
+    def error_rate_quantile(
+        self, quantile: float, temperature_k: Optional[float] = None
+    ) -> float:
+        """Per-cell error-probability quantile across the population.
+
+        The per-cell error probability against a matching reference is
+        ``2 p (1 - p)``; most cells sit near 0 while a heavy tail
+        approaches 1/2 — the distribution ECC design margins come from.
+        """
+        if not 0.0 <= quantile <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {quantile}")
+        probs = self.one_probabilities(temperature_k)
+        error = np.sort(2.0 * probs * (1.0 - probs))
+        cumulative = np.cumsum(self._weights[np.argsort(2.0 * probs * (1.0 - probs))])
+        index = int(np.searchsorted(cumulative, quantile))
+        return float(error[min(index, error.size - 1)])
+
+    def expected_stable_ratio(
+        self, measurements: int = 1000, temperature_k: Optional[float] = None
+    ) -> float:
+        """Expected stable-cell ratio over a measurement block."""
+        if measurements < 1:
+            raise ConfigurationError(f"measurements must be >= 1, got {measurements}")
+        probs = self.one_probabilities(temperature_k)
+        return self._expect(probs**measurements + (1.0 - probs) ** measurements)
+
+    def expected_noise_entropy(self, temperature_k: Optional[float] = None) -> float:
+        """Expected per-cell noise min-entropy (the paper's ~3.05 %)."""
+        probs = self.one_probabilities(temperature_k)
+        return self._expect(-np.log2(np.maximum(probs, 1.0 - probs)))
+
+    def cross_condition_error_rate(
+        self,
+        reference_temperature_k: Optional[float] = None,
+        measurement_temperature_k: Optional[float] = None,
+    ) -> float:
+        """Expected FHD between a reference and a re-measurement taken
+        under different conditions.
+
+        ``E[p_ref (1 - p_meas) + (1 - p_ref) p_meas]`` — the corner-
+        qualification quantity: enroll at the nominal condition,
+        reconstruct at the corner.
+        """
+        probs_ref = self.one_probabilities(reference_temperature_k)
+        probs_meas = self.one_probabilities(measurement_temperature_k)
+        return self._expect(
+            probs_ref * (1.0 - probs_meas) + (1.0 - probs_ref) * probs_meas
+        )
+
+    def temperature_sensitivity(
+        self, temperatures_k: np.ndarray
+    ) -> np.ndarray:
+        """Expected error rate across measurement temperatures.
+
+        Hotter measurements mean more noise and therefore more flips —
+        the mechanism behind the environmental corners of qualification
+        tests (the paper tests at room temperature only).
+        """
+        return np.array(
+            [self.expected_error_rate(float(t)) for t in np.asarray(temperatures_k)]
+        )
+
+
+def block_failure_probability(code: BlockCode, bit_error_rate: float) -> float:
+    """Failure probability of one code block under i.i.d. bit errors.
+
+    For a plain bounded-distance decoder this is ``P[Bin(n, ber) > t]``
+    (exact).  Concatenated codes get the exact two-stage formula
+    instead: an inner repetition block mis-votes with probability
+    ``q = P[Bin(n_in, ber) > t_in]`` and the outer code then sees i.i.d.
+    bit errors of rate ``q`` — the generic radius bound would be wildly
+    pessimistic (a concatenation corrects far beyond its guaranteed
+    radius for *random* errors).
+    """
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise ConfigurationError(
+            f"bit_error_rate must be in [0, 1], got {bit_error_rate}"
+        )
+    from repro.keygen.ecc.concatenated import ConcatenatedCode
+
+    if isinstance(code, ConcatenatedCode):
+        inner_failure = block_failure_probability(code.inner, bit_error_rate)
+        return block_failure_probability(code.outer, inner_failure)
+    n = code.codeword_bits
+    t = code.correctable_errors
+    return float(stats.binom.sf(t, n, bit_error_rate))
+
+
+def key_failure_probability(
+    code: BlockCode, bit_error_rate: float, secret_bits: int
+) -> float:
+    """Failure probability of a whole key reconstruction.
+
+    A key of ``secret_bits`` needs ``ceil(secret_bits / k)`` blocks;
+    reconstruction fails when any block does.
+    """
+    if secret_bits < 1:
+        raise ConfigurationError(f"secret_bits must be >= 1, got {secret_bits}")
+    blocks = -(-secret_bits // code.message_bits)
+    block_failure = block_failure_probability(code, bit_error_rate)
+    return float(1.0 - (1.0 - block_failure) ** blocks)

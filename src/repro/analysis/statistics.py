@@ -1,0 +1,183 @@
+"""Statistical inference over campaign results.
+
+The paper reports point values from a 16-device fleet; a careful
+reader asks how much of the reported change is signal.  This module
+answers with standard tools:
+
+* :func:`bootstrap_mean_ci` — percentile-bootstrap confidence interval
+  of a fleet-mean metric (resampling devices, the unit of independent
+  replication);
+* :func:`paired_change_test` — a paired t-test on per-device start/end
+  values (every device is its own control, which is what makes a
+  16-device aging study powerful);
+* :class:`CampaignInference` — runs both over every Table I metric of
+  a finished campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis.campaign import CampaignResult
+from repro.analysis.timeseries import QualityTimeSeries
+from repro.errors import ConfigurationError
+from repro.rng import RandomState, as_generator
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval for a mean."""
+
+    mean: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        """Whether the interval covers ``value``."""
+        return self.lower <= value <= self.upper
+
+    @property
+    def halfwidth(self) -> float:
+        """Half the interval width (a precision summary)."""
+        return (self.upper - self.lower) / 2.0
+
+
+def bootstrap_mean_ci(
+    per_device_values: np.ndarray,
+    confidence: float = 0.95,
+    resamples: int = 10_000,
+    random_state: RandomState = None,
+) -> ConfidenceInterval:
+    """Percentile-bootstrap CI of the fleet mean.
+
+    Devices — not measurements — are the resampling unit: monthly
+    blocks of one device are highly correlated, but devices are
+    manufactured independently.
+    """
+    values = np.asarray(per_device_values, dtype=float)
+    if values.ndim != 1 or values.size < 2:
+        raise ConfigurationError("need a 1-D array of >= 2 device values")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 100:
+        raise ConfigurationError(f"resamples must be >= 100, got {resamples}")
+    rng = as_generator(random_state, "bootstrap")
+    indices = rng.integers(0, values.size, size=(resamples, values.size))
+    means = values[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        mean=float(values.mean()),
+        lower=float(np.quantile(means, alpha)),
+        upper=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+@dataclass(frozen=True)
+class PairedChangeTest:
+    """Result of a paired t-test on per-device start/end values."""
+
+    mean_change: float
+    t_statistic: float
+    p_value: float
+    device_count: int
+
+    def significant(self, alpha: float = 0.01) -> bool:
+        """Whether the change is significant at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def paired_change_test(
+    start_values: np.ndarray, end_values: np.ndarray
+) -> PairedChangeTest:
+    """Paired t-test of end-vs-start per-device values."""
+    start = np.asarray(start_values, dtype=float)
+    end = np.asarray(end_values, dtype=float)
+    if start.shape != end.shape or start.ndim != 1:
+        raise ConfigurationError("start and end must be equal-length 1-D arrays")
+    if start.size < 3:
+        raise ConfigurationError("paired test needs at least 3 devices")
+    differences = end - start
+    if np.allclose(differences, differences[0]):
+        # Degenerate zero-variance case: report certainty directly.
+        changed = not np.allclose(differences, 0.0)
+        return PairedChangeTest(
+            mean_change=float(differences.mean()),
+            t_statistic=float("inf") if changed else 0.0,
+            p_value=0.0 if changed else 1.0,
+            device_count=start.size,
+        )
+    t_statistic, p_value = stats.ttest_rel(end, start)
+    return PairedChangeTest(
+        mean_change=float(differences.mean()),
+        t_statistic=float(t_statistic),
+        p_value=float(p_value),
+        device_count=int(start.size),
+    )
+
+
+class CampaignInference:
+    """Bootstrap CIs and change tests for every Table I metric.
+
+    Parameters
+    ----------
+    result:
+        A finished campaign.
+    confidence:
+        CI level for the bootstrap intervals.
+    """
+
+    #: Per-board metrics amenable to device-level inference.
+    METRICS = ("WCHD", "HW", "Ratio of Stable Cells", "Noise entropy")
+
+    def __init__(self, result: CampaignResult, confidence: float = 0.95):
+        self._series = QualityTimeSeries(result)
+        self._confidence = confidence
+
+    def start_interval(self, metric: str, random_state: RandomState = None) -> ConfidenceInterval:
+        """Bootstrap CI of the month-0 fleet mean."""
+        values = self._series.metric(metric).start_values
+        return bootstrap_mean_ci(values, self._confidence, random_state=random_state)
+
+    def end_interval(self, metric: str, random_state: RandomState = None) -> ConfidenceInterval:
+        """Bootstrap CI of the final-month fleet mean."""
+        values = self._series.metric(metric).end_values
+        return bootstrap_mean_ci(values, self._confidence, random_state=random_state)
+
+    def change_test(self, metric: str) -> PairedChangeTest:
+        """Paired test of the metric's start-to-end change."""
+        series = self._series.metric(metric)
+        return paired_change_test(series.start_values, series.end_values)
+
+    def summary(self, random_state: RandomState = None) -> Dict[str, dict]:
+        """All metrics' intervals and tests, keyed by metric name."""
+        report = {}
+        for metric in self.METRICS:
+            report[metric] = {
+                "start": self.start_interval(metric, random_state),
+                "end": self.end_interval(metric, random_state),
+                "change": self.change_test(metric),
+            }
+        return report
+
+    def render(self, random_state: RandomState = None) -> str:
+        """Text table of the inference summary."""
+        lines = [
+            f"{'Metric':<22} {'start mean [CI]':>24} {'end mean [CI]':>24} "
+            f"{'p(change)':>10}",
+        ]
+        for metric, entry in self.summary(random_state).items():
+            start, end = entry["start"], entry["end"]
+            test = entry["change"]
+            lines.append(
+                f"{metric:<22} "
+                f"{100 * start.mean:6.2f}% [{100 * start.lower:5.2f},{100 * start.upper:5.2f}] "
+                f"{100 * end.mean:6.2f}% [{100 * end.lower:5.2f},{100 * end.upper:5.2f}] "
+                f"{test.p_value:10.1e}"
+            )
+        return "\n".join(lines)

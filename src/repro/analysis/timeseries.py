@@ -1,0 +1,120 @@
+"""Per-metric time series extracted from a campaign (Fig. 6).
+
+:class:`QualityTimeSeries` reshapes a
+:class:`~repro.analysis.campaign.CampaignResult` into one
+:class:`MetricSeries` per quality metric — a months x boards matrix
+for per-board metrics (Fig. 6a/6b/6c show one line per SRAM) or a
+single series for fleet-level metrics (Fig. 6d's PUF entropy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.analysis.campaign import CampaignResult
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MetricSeries:
+    """One metric's trajectory over the campaign months.
+
+    Attributes
+    ----------
+    name:
+        Metric label.
+    months:
+        Month indices (0 .. campaign length).
+    per_board:
+        months x boards matrix, or a months-long vector for
+        fleet-level metrics.
+    board_ids:
+        Column labels of ``per_board`` (empty for fleet metrics).
+    """
+
+    name: str
+    months: np.ndarray
+    per_board: np.ndarray
+    board_ids: List[int]
+
+    @property
+    def is_fleet_metric(self) -> bool:
+        """True when the series has a single fleet-level value per month."""
+        return self.per_board.ndim == 1
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Fleet average per month."""
+        if self.is_fleet_metric:
+            return self.per_board
+        return self.per_board.mean(axis=1)
+
+    def board_series(self, board_id: int) -> np.ndarray:
+        """One board's trajectory (a Fig. 6 line)."""
+        if self.is_fleet_metric:
+            raise ConfigurationError(f"{self.name} is a fleet-level metric")
+        if board_id not in self.board_ids:
+            raise ConfigurationError(f"board {board_id} not in series {self.name}")
+        return self.per_board[:, self.board_ids.index(board_id)]
+
+    @property
+    def start_values(self) -> np.ndarray:
+        """Per-board values at month 0 (scalar array for fleet metrics)."""
+        return np.atleast_1d(self.per_board[0])
+
+    @property
+    def end_values(self) -> np.ndarray:
+        """Per-board values at the final month."""
+        return np.atleast_1d(self.per_board[-1])
+
+
+class QualityTimeSeries:
+    """All Fig. 6 series of one campaign."""
+
+    #: Metric extraction map: attribute name on MonthlyEvaluation.
+    _PER_BOARD_METRICS = {
+        "WCHD": "wchd",
+        "HW": "fhw",
+        "Ratio of Stable Cells": "stable_ratio",
+        "Noise entropy": "noise_entropy",
+    }
+
+    def __init__(self, result: CampaignResult):
+        self._result = result
+        self._months = np.arange(len(result.snapshots))
+
+    @property
+    def result(self) -> CampaignResult:
+        """The campaign result the series were extracted from."""
+        return self._result
+
+    def metric(self, name: str) -> MetricSeries:
+        """Extract one metric's series by its Table I row name.
+
+        Valid names: ``WCHD``, ``HW``, ``Ratio of Stable Cells``,
+        ``Noise entropy``, ``BCHD``, ``PUF entropy``.
+        """
+        snapshots = self._result.snapshots
+        if name in self._PER_BOARD_METRICS:
+            attr = self._PER_BOARD_METRICS[name]
+            matrix = np.stack([getattr(snap, attr) for snap in snapshots])
+            return MetricSeries(name, self._months, matrix, list(self._result.board_ids))
+        if name == "BCHD":
+            matrix = np.stack([snap.bchd_pairs for snap in snapshots])
+            pair_ids = list(range(matrix.shape[1]))
+            return MetricSeries(name, self._months, matrix, pair_ids)
+        if name == "PUF entropy":
+            vector = np.array([snap.puf_entropy for snap in snapshots])
+            return MetricSeries(name, self._months, vector, [])
+        raise ConfigurationError(
+            f"unknown metric {name!r}; valid: "
+            f"{sorted(self._PER_BOARD_METRICS) + ['BCHD', 'PUF entropy']}"
+        )
+
+    def all_metrics(self) -> List[MetricSeries]:
+        """Every Table I metric as a series."""
+        names = list(self._PER_BOARD_METRICS) + ["BCHD", "PUF entropy"]
+        return [self.metric(name) for name in names]

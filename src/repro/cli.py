@@ -1,0 +1,154 @@
+"""Command-line interface: regenerate the paper from a terminal.
+
+::
+
+    python -m repro table1 [--seed 1] [--devices 16] [--months 24]
+    python -m repro fig6 --metric WCHD [--save campaign.json]
+    python -m repro compare [--seed 1]
+    python -m repro calibrate
+    python -m repro accelerated
+
+Every command is a thin shell over the library; scripts that need the
+data programmatically should use :class:`repro.LongTermAssessment`
+directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.assessment import LongTermAssessment
+from repro.core.config import StudyConfig
+
+
+def _add_study_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+    parser.add_argument("--devices", type=int, default=16, help="fleet size")
+    parser.add_argument("--months", type=int, default=24, help="aging months")
+    parser.add_argument(
+        "--measurements", type=int, default=1000, help="monthly block size"
+    )
+
+
+def _study_config(args: argparse.Namespace) -> StudyConfig:
+    return StudyConfig(
+        device_count=args.devices,
+        months=args.months,
+        measurements=args.measurements,
+        seed=args.seed,
+    )
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    result = LongTermAssessment(_study_config(args)).run()
+    print(result.table.render())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    result = LongTermAssessment(_study_config(args)).run()
+    print(result.render_comparison())
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    result = LongTermAssessment(_study_config(args)).run()
+    metric = result.series.metric(args.metric)
+    if args.save:
+        from repro.io.resultstore import save_campaign
+
+        save_campaign(result.campaign, args.save)
+        print(f"campaign saved to {args.save}")
+    print(f"{metric.name} development over {args.months} months (fleet mean):")
+    for month, value in zip(metric.months, metric.mean):
+        print(f"  month {int(month):>2}: {100 * value:7.3f}%")
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.core.calibration import (
+        calibrate_skew_distribution,
+        predicted_initial_metrics,
+    )
+
+    mean, sigma = calibrate_skew_distribution(fhw=args.fhw, wchd=args.wchd)
+    metrics = predicted_initial_metrics(mean, sigma)
+    print(f"skew mean  = {mean:.6f} (noise sigmas)")
+    print(f"skew sigma = {sigma:.6f} (noise sigmas)")
+    print("predicted initial metrics:")
+    for name, value in metrics.items():
+        print(f"  {name:<14} {100 * value:7.3f}%")
+    return 0
+
+
+def _cmd_accelerated(args: argparse.Namespace) -> int:
+    from repro.analysis.accelerated import AcceleratedAgingStudy
+
+    study = AcceleratedAgingStudy(device_count=args.devices, random_state=args.seed)
+    result = study.run(equivalent_months=args.months)
+    print(
+        f"accelerated aging at {result.stress_temperature_k - 273.15:.0f} degC / "
+        f"{result.stress_voltage_v:.2f} V (AF {result.acceleration_factor:.0f}x, "
+        f"{result.stress_hours_total:.1f} stress hours)"
+    )
+    for month, wchd in zip(result.equivalent_months, result.wchd_mean):
+        print(f"  eq. month {month:5.1f}: WCHD {100 * wchd:6.2f}%")
+    print(f"monthly rate: {100 * result.monthly_rate:+.2f}% (paper: +1.28%)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce Wang et al., DATE 2020 (SRAM PUF long-term aging).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    table1 = commands.add_parser("table1", help="regenerate Table I")
+    _add_study_arguments(table1)
+    table1.set_defaults(handler=_cmd_table1)
+
+    compare = commands.add_parser("compare", help="paper-vs-measured comparison")
+    _add_study_arguments(compare)
+    compare.set_defaults(handler=_cmd_compare)
+
+    fig6 = commands.add_parser("fig6", help="regenerate a Fig. 6 series")
+    _add_study_arguments(fig6)
+    fig6.add_argument(
+        "--metric",
+        default="WCHD",
+        choices=["WCHD", "HW", "Ratio of Stable Cells", "Noise entropy",
+                 "BCHD", "PUF entropy"],
+    )
+    fig6.add_argument("--save", help="also save the campaign result as JSON")
+    fig6.set_defaults(handler=_cmd_fig6)
+
+    calibrate = commands.add_parser(
+        "calibrate", help="solve skew parameters for target FHW/WCHD"
+    )
+    calibrate.add_argument("--fhw", type=float, default=0.627)
+    calibrate.add_argument("--wchd", type=float, default=0.0249)
+    calibrate.set_defaults(handler=_cmd_calibrate)
+
+    accelerated = commands.add_parser(
+        "accelerated", help="run the accelerated-aging comparison"
+    )
+    accelerated.add_argument("--seed", type=int, default=2)
+    accelerated.add_argument("--devices", type=int, default=8)
+    accelerated.add_argument("--months", type=int, default=24)
+    accelerated.set_defaults(handler=_cmd_accelerated)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""The paper-facing API.
+
+* :mod:`repro.core.config` — :class:`StudyConfig`, the one-object
+  description of an assessment run.
+* :mod:`repro.core.paper` — the published numbers (Table I, figure
+  ranges, setup constants) as structured constants.
+* :mod:`repro.core.calibration` — solves simulator parameters from
+  target statistics (how the shipped profiles were derived).
+* :mod:`repro.core.assessment` — :class:`LongTermAssessment`, the
+  headline orchestrator.
+* :mod:`repro.core.report` — Table I construction and rendering.
+"""
+
+from repro.core.assessment import AssessmentResult, LongTermAssessment
+from repro.core.calibration import (
+    CalibrationTargets,
+    calibrate_aging,
+    calibrate_skew_distribution,
+    predicted_initial_metrics,
+)
+from repro.core.config import StudyConfig
+from repro.core.paper import PAPER, PaperFacts
+from repro.core.report import build_quality_report
+
+__all__ = [
+    "AssessmentResult",
+    "LongTermAssessment",
+    "CalibrationTargets",
+    "calibrate_aging",
+    "calibrate_skew_distribution",
+    "predicted_initial_metrics",
+    "StudyConfig",
+    "PAPER",
+    "PaperFacts",
+    "build_quality_report",
+]

@@ -1,0 +1,132 @@
+"""The headline API: run the paper's study end to end.
+
+:class:`LongTermAssessment` wires the campaign driver, the time-series
+extraction and the Table I builder behind one call:
+
+>>> from repro import LongTermAssessment, StudyConfig
+>>> result = LongTermAssessment(StudyConfig(device_count=4, months=3)).run()
+>>> sorted(result.table.summaries)[:2]
+['BCHD', 'HW']
+
+For paper-vs-measured reporting,
+:meth:`AssessmentResult.compare_with_paper` lines every Table I cell up
+against the published value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.campaign import CampaignResult, LongTermCampaign
+from repro.analysis.timeseries import QualityTimeSeries
+from repro.core.config import StudyConfig
+from repro.core.paper import PAPER, PaperFacts
+from repro.core.report import build_quality_report
+from repro.metrics.summary import QualityReport
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured cell of the Table I comparison."""
+
+    metric: str
+    column: str
+    paper_value: float
+    measured_value: float
+
+    @property
+    def absolute_error(self) -> float:
+        """``measured - paper``."""
+        return self.measured_value - self.paper_value
+
+    @property
+    def relative_error(self) -> float:
+        """Absolute error over the paper value."""
+        return self.absolute_error / self.paper_value
+
+
+@dataclass(frozen=True)
+class AssessmentResult:
+    """Everything one assessment produced."""
+
+    config: StudyConfig
+    campaign: CampaignResult = field(repr=False)
+    table: QualityReport
+
+    @property
+    def series(self) -> QualityTimeSeries:
+        """Fig. 6 time series of the campaign."""
+        return QualityTimeSeries(self.campaign)
+
+    def compare_with_paper(self, paper: PaperFacts = PAPER) -> List[ComparisonRow]:
+        """Line every Table I cell up against the published value.
+
+        Only cells the paper actually prints are compared (PUF entropy
+        has no worst-case column).
+        """
+        rows: List[ComparisonRow] = []
+        for name, published in paper.table_rows().items():
+            summary = self.table[name]
+            rows.append(ComparisonRow(name, "start_avg", published.start_avg, summary.start_avg))
+            rows.append(ComparisonRow(name, "end_avg", published.end_avg, summary.end_avg))
+            if published.start_worst is not None:
+                rows.append(
+                    ComparisonRow(name, "start_worst", published.start_worst, summary.start_worst)
+                )
+            if published.end_worst is not None:
+                rows.append(
+                    ComparisonRow(name, "end_worst", published.end_worst, summary.end_worst)
+                )
+        return rows
+
+    def render_comparison(self, paper: PaperFacts = PAPER) -> str:
+        """Text table of the paper-vs-measured comparison."""
+        lines = [
+            f"{'Metric':<24} {'Cell':<12} {'Paper':>9} {'Measured':>9} {'Error':>8}",
+            "-" * 66,
+        ]
+        for row in self.compare_with_paper(paper):
+            lines.append(
+                f"{row.metric:<24} {row.column:<12} {100 * row.paper_value:8.2f}% "
+                f"{100 * row.measured_value:8.2f}% {100 * row.relative_error:+7.1f}%"
+            )
+        return "\n".join(lines)
+
+
+class LongTermAssessment:
+    """Run the paper's long-term study on simulated silicon.
+
+    Parameters
+    ----------
+    config:
+        The study description; defaults reproduce the paper.
+    """
+
+    def __init__(self, config: Optional[StudyConfig] = None):
+        self._config = config if config is not None else StudyConfig()
+
+    @property
+    def config(self) -> StudyConfig:
+        """The study configuration."""
+        return self._config
+
+    def run(self) -> AssessmentResult:
+        """Execute the campaign and summarise it."""
+        cfg = self._config
+        campaign = LongTermCampaign(
+            device_count=cfg.device_count,
+            months=cfg.months,
+            measurements=cfg.measurements,
+            profile=cfg.profile,
+            statistical=cfg.statistical,
+            temperature_walk_k=cfg.temperature_walk_k,
+            aging_steps_per_month=cfg.aging_steps_per_month,
+            random_state=cfg.seed,
+        )
+        result = campaign.run()
+        return AssessmentResult(
+            config=cfg,
+            campaign=result,
+            table=build_quality_report(result),
+        )

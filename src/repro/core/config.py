@@ -1,0 +1,79 @@
+"""Study configuration.
+
+:class:`StudyConfig` is the single object that fully determines a
+:class:`~repro.core.assessment.LongTermAssessment` run — fleet size,
+duration, protocol parameters, fidelity and seed.  Two runs with equal
+configs produce identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.sram.profiles import ATMEGA32U4, DeviceProfile
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Parameters of one long-term assessment.
+
+    Defaults reproduce the paper's study (16 boards, 24 months, 1,000
+    measurements per monthly block).
+
+    Parameters
+    ----------
+    device_count:
+        Fleet size.
+    months:
+        Aging duration in months; snapshots at every boundary plus
+        month 0.
+    measurements:
+        Monthly block size.
+    profile:
+        Device profile of the fleet.
+    seed:
+        Root seed of the run.
+    statistical:
+        Monthly-block fidelity: Binomial sufficient statistics
+        (default) or full per-measurement simulation.
+    temperature_walk_k:
+        Ambient random-walk amplitude per month (0 disables).
+    aging_steps_per_month:
+        Drift-integration sub-steps per month.
+    initial_measurements:
+        Block size of the Section IV-A initial evaluation.
+    """
+
+    device_count: int = 16
+    months: int = 24
+    measurements: int = 1000
+    profile: DeviceProfile = field(default=ATMEGA32U4)
+    seed: int = 0
+    statistical: bool = True
+    temperature_walk_k: float = 0.0
+    aging_steps_per_month: int = 2
+    initial_measurements: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.device_count < 2:
+            raise ConfigurationError(
+                f"device_count must be >= 2 (uniqueness metrics need pairs), "
+                f"got {self.device_count}"
+            )
+        if self.months < 1:
+            raise ConfigurationError(f"months must be >= 1, got {self.months}")
+        if self.measurements < 2:
+            raise ConfigurationError(f"measurements must be >= 2, got {self.measurements}")
+        if self.initial_measurements < 2:
+            raise ConfigurationError(
+                f"initial_measurements must be >= 2, got {self.initial_measurements}"
+            )
+        if self.temperature_walk_k < 0:
+            raise ConfigurationError(
+                f"temperature_walk_k cannot be negative, got {self.temperature_walk_k}"
+            )
+        if self.aging_steps_per_month < 1:
+            raise ConfigurationError(
+                f"aging_steps_per_month must be >= 1, got {self.aging_steps_per_month}"
+            )

@@ -1,0 +1,79 @@
+"""The paper's published numbers, as structured constants.
+
+Everything the benchmarks compare against lives here, so
+"paper-vs-measured" reporting has a single source of truth.  Values are
+fractions (not percent) unless the name says otherwise.
+
+One published inconsistency is preserved deliberately: Table I prints a
+monthly change of −0.87 % for the worst-case stable-cell ratio, but its
+own start/end pair (87.2 % → 85.4 %) gives a geometric rate of −0.09 %
+— consistent with every *other* monthly figure in the table.  We treat
+the −0.87 % as a typo; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class TableRow:
+    """One Table I row: start/end for the average and worst case."""
+
+    start_avg: float
+    end_avg: float
+    start_worst: Optional[float] = None
+    end_worst: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class PaperFacts:
+    """Setup constants and evaluation results of the DATE 2020 paper."""
+
+    # --- measurement setup (Section III) -----------------------------
+    device_count: int = 16
+    months: int = 24
+    monthly_measurements: int = 1000
+    sram_bytes: int = 2560
+    read_bytes: int = 1024
+    supply_v: float = 5.0
+    power_cycle_period_s: float = 5.4
+    power_on_time_s: float = 3.8
+    power_off_time_s: float = 1.6
+    measurements_per_board_total: float = 11e6
+    measurements_total: float = 175e6
+
+    # --- Table I ------------------------------------------------------
+    wchd: TableRow = TableRow(0.0249, 0.0297, 0.0272, 0.0325)
+    hamming_weight: TableRow = TableRow(0.6270, 0.6270, 0.6578, 0.6562)
+    stable_cells: TableRow = TableRow(0.859, 0.837, 0.872, 0.854)
+    noise_entropy: TableRow = TableRow(0.0305, 0.0364, 0.0273, 0.0329)
+    bchd: TableRow = TableRow(0.4679, 0.4680, 0.4431, 0.4467)
+    puf_entropy: TableRow = TableRow(0.6492, 0.6491)
+
+    # --- Section IV-D comparison ---------------------------------------
+    accelerated_wchd_start: float = 0.053
+    accelerated_wchd_end: float = 0.072
+    nominal_monthly_wchd_rate: float = 0.0074
+    accelerated_monthly_wchd_rate: float = 0.0128
+
+    # --- Fig. 5 qualitative bands --------------------------------------
+    wchd_upper_band: float = 0.03
+    bchd_band: tuple = (0.40, 0.50)
+    fhw_band: tuple = (0.60, 0.70)
+
+    def table_rows(self) -> Dict[str, TableRow]:
+        """Table I keyed by the row names the report builder uses."""
+        return {
+            "WCHD": self.wchd,
+            "HW": self.hamming_weight,
+            "Ratio of Stable Cells": self.stable_cells,
+            "Noise entropy": self.noise_entropy,
+            "BCHD": self.bchd,
+            "PUF entropy": self.puf_entropy,
+        }
+
+
+#: The singleton set of published facts.
+PAPER = PaperFacts()

@@ -1,0 +1,67 @@
+"""Table I construction.
+
+Turns a campaign result into the paper's summary table, using each
+metric's own notion of "worst case":
+
+=====================  ==========================================
+WCHD                   highest (least reliable device)
+HW                     highest (most biased device)
+Ratio of Stable Cells  highest (least TRNG entropy available)
+Noise entropy          lowest (least TRNG entropy measured)
+BCHD                   lowest (least distinguishable device pair)
+PUF entropy            fleet-level metric — no worst-case column
+=====================  ==========================================
+
+The stable-cell direction is not a guess: in the published table the
+worst-case row (87.2 %) exceeds the average (85.9 %), which only makes
+sense if "worst" means "most stable cells" — the worst device to
+harvest randomness from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.analysis.campaign import CampaignResult
+from repro.analysis.timeseries import QualityTimeSeries
+from repro.metrics.summary import MetricSummary, QualityReport, WorstDirection
+
+#: Worst-case direction per Table I row.
+WORST_DIRECTIONS: Dict[str, WorstDirection] = {
+    "WCHD": WorstDirection.HIGHEST,
+    "HW": WorstDirection.HIGHEST,
+    "Ratio of Stable Cells": WorstDirection.HIGHEST,
+    "Noise entropy": WorstDirection.LOWEST,
+    "BCHD": WorstDirection.LOWEST,
+}
+
+
+def build_quality_report(result: CampaignResult) -> QualityReport:
+    """Assemble the Table I summary of a finished campaign."""
+    series = QualityTimeSeries(result)
+    months = float(result.months)
+    summaries: Dict[str, MetricSummary] = {}
+
+    for name, direction in WORST_DIRECTIONS.items():
+        metric = series.metric(name)
+        summaries[name] = MetricSummary.from_device_values(
+            name,
+            metric.start_values,
+            metric.end_values,
+            months,
+            worst=direction,
+        )
+
+    puf = series.metric("PUF entropy")
+    start = float(puf.start_values[0])
+    end = float(puf.end_values[0])
+    summaries["PUF entropy"] = MetricSummary(
+        name="PUF entropy",
+        months=months,
+        start_avg=start,
+        end_avg=end,
+        start_worst=start,
+        end_worst=end,
+    )
+
+    return QualityReport(months=months, summaries=summaries)

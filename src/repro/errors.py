@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+masking genuine programming errors (``TypeError`` and friends are
+never wrapped).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with inconsistent or out-of-range parameters."""
+
+
+class CalibrationError(ReproError):
+    """Model calibration failed to converge to the requested targets."""
+
+
+class DecodingFailure(ReproError):
+    """An error-correcting code could not decode the received word.
+
+    Raised by bounded-distance decoders when the received word lies
+    outside the decoding radius of every codeword.  Key reconstruction
+    translates this into :class:`ReconstructionFailure`.
+    """
+
+
+class ReconstructionFailure(ReproError):
+    """PUF key reconstruction did not reproduce the enrolled key."""
+
+
+class EntropyExhausted(ReproError):
+    """A TRNG harvesting session ran out of raw source material."""
+
+
+class HealthTestFailure(ReproError):
+    """An online health test (SP 800-90B style) rejected the noise source."""
+
+
+class ProtocolError(ReproError):
+    """A simulated hardware protocol (I2C, testbed handshake) was violated."""
+
+
+class StorageError(ReproError):
+    """The measurement database could not read or write a record."""

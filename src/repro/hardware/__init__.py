@@ -1,0 +1,51 @@
+"""Measurement-testbed substrate (paper Section III).
+
+A discrete-event simulation of the paper's read-out platform:
+
+* :mod:`repro.hardware.scheduler` — the event loop.
+* :mod:`repro.hardware.signals` — digital waveforms (the Fig. 3
+  oscilloscope traces).
+* :mod:`repro.hardware.power` — the power-switch board gating each
+  slave's supply.
+* :mod:`repro.hardware.i2c` — the master/slave I2C transport.
+* :mod:`repro.hardware.board` — slave boards (SRAM chip + firmware)
+  and master boards (layer controllers).
+* :mod:`repro.hardware.testbed` — the assembled two-layer testbed
+  running Algorithm 1 and streaming records to the measurement
+  database.
+
+The testbed exists to exercise the paper's *data collection* path —
+power cycling cadence, layer interleaving, record shapes; campaign
+analyses over months of simulated time use the statistical fidelity of
+:mod:`repro.sram` directly (see DESIGN.md §2).
+"""
+
+from repro.hardware.board import MasterBoard, SlaveBoard
+from repro.hardware.firmware import (
+    Command,
+    FirmwareState,
+    FlakyFirmware,
+    MasterProtocol,
+    SlaveFirmware,
+)
+from repro.hardware.i2c import I2CBus
+from repro.hardware.power import PowerSwitch
+from repro.hardware.scheduler import DiscreteEventScheduler
+from repro.hardware.signals import DigitalWaveform
+from repro.hardware.testbed import Testbed, TestbedTiming
+
+__all__ = [
+    "MasterBoard",
+    "SlaveBoard",
+    "Command",
+    "FirmwareState",
+    "FlakyFirmware",
+    "MasterProtocol",
+    "SlaveFirmware",
+    "I2CBus",
+    "PowerSwitch",
+    "DiscreteEventScheduler",
+    "DigitalWaveform",
+    "Testbed",
+    "TestbedTiming",
+]

@@ -1,0 +1,171 @@
+"""Slave and master Arduino boards.
+
+A :class:`SlaveBoard` owns one simulated SRAM chip.  When its supply
+channel switches on, the chip powers up and the board's firmware
+captures the first 1 KB of SRAM; a subsequent I2C read returns that
+capture.  Reading an unpowered or not-yet-captured board is a protocol
+error — the real firmware cannot respond either.
+
+A :class:`MasterBoard` owns the I2C bus of its layer and executes the
+layer's half of Algorithm 1: power the slaves, collect each capture,
+forward records to the data sink, power down and hand over to the
+other layer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.hardware.i2c import I2CBus
+from repro.hardware.power import PowerSwitch
+from repro.io.bitutil import bits_to_bytes, unpack_bits
+from repro.io.records import MeasurementRecord
+from repro.sram.chip import SRAMChip
+
+
+class SlaveBoard:
+    """One Arduino Leonardo slave: an SRAM chip plus capture firmware.
+
+    Parameters
+    ----------
+    board_id:
+        Slave index (0–7 on layer 0, 16–23 on layer 1 in the paper's
+        numbering; the data records use this id).
+    chip:
+        The simulated SRAM device.
+    i2c_address:
+        The board's bus address; defaults to ``0x10 + board_id``.
+    """
+
+    def __init__(self, board_id: int, chip: SRAMChip, i2c_address: Optional[int] = None):
+        self._board_id = int(board_id)
+        self._chip = chip
+        self._i2c_address = (0x10 + board_id) if i2c_address is None else int(i2c_address)
+        self._powered = False
+        self._capture: Optional[np.ndarray] = None
+        self._capture_count = 0
+
+    @property
+    def board_id(self) -> int:
+        """Slave index used in measurement records."""
+        return self._board_id
+
+    @property
+    def chip(self) -> SRAMChip:
+        """The board's SRAM device."""
+        return self._chip
+
+    @property
+    def i2c_address(self) -> int:
+        """The board's bus address."""
+        return self._i2c_address
+
+    @property
+    def powered(self) -> bool:
+        """Whether the board currently has supply."""
+        return self._powered
+
+    @property
+    def capture_count(self) -> int:
+        """Number of power-up captures performed so far."""
+        return self._capture_count
+
+    def on_power_change(self, powered: bool) -> None:
+        """Power-switch hook: power-up captures the SRAM pattern."""
+        self._powered = powered
+        if powered:
+            self._capture = self._chip.read_startup()
+            self._capture_count += 1
+        else:
+            self._capture = None
+
+    def i2c_read_handler(self) -> bytes:
+        """Firmware response to a master read: the last capture."""
+        if not self._powered:
+            raise ProtocolError(f"slave {self._board_id} is unpowered and cannot respond")
+        if self._capture is None:
+            raise ProtocolError(f"slave {self._board_id} has no capture to report")
+        return bits_to_bytes(self._capture)
+
+
+class MasterBoard:
+    """A layer controller: owns the layer's bus, slaves and power group.
+
+    Parameters
+    ----------
+    name:
+        Label ("M0", "M1").
+    slaves:
+        The layer's slave boards, in read-out order.
+    power_switch:
+        The shared power-switch board.
+    bus:
+        The layer's I2C bus.
+    clock:
+        Callable returning current simulation time (for record
+        timestamps).
+    sink:
+        Called with each :class:`MeasurementRecord` (the Raspberry Pi
+        uplink).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        slaves: List[SlaveBoard],
+        power_switch: PowerSwitch,
+        bus: I2CBus,
+        clock: Callable[[], float],
+        sink: Callable[[MeasurementRecord], None],
+    ):
+        if not slaves:
+            raise ProtocolError(f"master {name} needs at least one slave")
+        self._name = name
+        self._slaves = list(slaves)
+        self._switch = power_switch
+        self._bus = bus
+        self._clock = clock
+        self._sink = sink
+        self._sequence = {slave.board_id: 0 for slave in self._slaves}
+        for slave in self._slaves:
+            power_switch.register_channel(slave.board_id, slave.on_power_change)
+            bus.attach_slave(slave.i2c_address, slave.i2c_read_handler)
+
+    @property
+    def name(self) -> str:
+        """Board label."""
+        return self._name
+
+    @property
+    def slaves(self) -> List[SlaveBoard]:
+        """The layer's slave boards."""
+        return list(self._slaves)
+
+    def power_on_layer(self) -> None:
+        """Algorithm 1 step 2: enable the supply of every slave."""
+        self._switch.set_layer_power((s.board_id for s in self._slaves), True)
+
+    def power_off_layer(self) -> None:
+        """Algorithm 1 step 6: disable the supply of every slave."""
+        self._switch.set_layer_power((s.board_id for s in self._slaves), False)
+
+    def collect_readouts(self) -> None:
+        """Algorithm 1 steps 4–5: read every slave and uplink records."""
+        for slave in self._slaves:
+            expected = slave.chip.profile.read_bytes
+            payload = self._bus.read(slave.i2c_address, expected_bytes=expected)
+            bits = unpack_bits(payload, bit_count=expected * 8)
+            record = MeasurementRecord(
+                board_id=slave.board_id,
+                sequence=self._sequence[slave.board_id],
+                timestamp_s=self._clock(),
+                bits=bits,
+            )
+            self._sequence[slave.board_id] += 1
+            self._sink(record)
+
+    def __repr__(self) -> str:
+        return f"MasterBoard({self._name}, {len(self._slaves)} slaves)"

@@ -1,0 +1,257 @@
+"""Slave firmware: the byte-level command protocol.
+
+The testbed's :class:`~repro.hardware.board.MasterBoard` models I2C at
+the *transaction* level (a read returns the capture).  This module
+models one level lower — the framed command protocol a real slave
+sketch would implement — so protocol-level failure modes (corrupted
+frames, busy slaves, retries) can be exercised:
+
+====================  =======================================
+``GET_STATUS (0x01)``  1-byte state: OFF / BOOTING / READY
+``READ_PATTERN (0x02)``  the 1 KB capture
+``GET_INFO (0x03)``    board id + SRAM geometry
+====================  =======================================
+
+Frames are ``[command][len_hi][len_lo][payload...][checksum]`` with an
+XOR checksum over every preceding byte.  :class:`MasterProtocol`
+builds requests, validates responses and retries on checksum errors —
+which :class:`FlakyFirmware` injects on demand.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.io.bitutil import bits_to_bytes
+from repro.rng import RandomState, as_generator
+from repro.sram.chip import SRAMChip
+
+
+class Command(enum.IntEnum):
+    """Firmware command codes."""
+
+    GET_STATUS = 0x01
+    READ_PATTERN = 0x02
+    GET_INFO = 0x03
+
+
+class FirmwareState(enum.IntEnum):
+    """Slave firmware states."""
+
+    OFF = 0x00
+    BOOTING = 0x01
+    READY = 0x02
+
+
+def xor_checksum(data: bytes) -> int:
+    """XOR of all bytes (the protocol's frame checksum)."""
+    checksum = 0
+    for byte in data:
+        checksum ^= byte
+    return checksum
+
+
+def build_frame(command: int, payload: bytes = b"") -> bytes:
+    """Assemble a protocol frame with length and checksum."""
+    if not 0 <= command <= 0xFF:
+        raise ProtocolError(f"command byte out of range: {command}")
+    if len(payload) > 0xFFFF:
+        raise ProtocolError(f"payload too long: {len(payload)} bytes")
+    head = bytes([command, len(payload) >> 8, len(payload) & 0xFF]) + payload
+    return head + bytes([xor_checksum(head)])
+
+
+def parse_frame(frame: bytes) -> tuple:
+    """Validate a frame and return ``(command, payload)``.
+
+    Raises :class:`ProtocolError` on truncation, length mismatch or a
+    bad checksum.
+    """
+    if len(frame) < 4:
+        raise ProtocolError(f"frame too short: {len(frame)} bytes")
+    command = frame[0]
+    length = (frame[1] << 8) | frame[2]
+    if len(frame) != 4 + length:
+        raise ProtocolError(
+            f"frame length mismatch: header says {length} payload bytes, "
+            f"frame has {len(frame) - 4}"
+        )
+    if xor_checksum(frame[:-1]) != frame[-1]:
+        raise ProtocolError("frame checksum mismatch")
+    return command, frame[3:-1]
+
+
+class SlaveFirmware:
+    """The firmware running on one slave board.
+
+    Parameters
+    ----------
+    board_id:
+        Identity reported by ``GET_INFO``.
+    chip:
+        The SRAM device captured at power-up.
+    """
+
+    def __init__(self, board_id: int, chip: SRAMChip):
+        self._board_id = int(board_id)
+        self._chip = chip
+        self._state = FirmwareState.OFF
+        self._capture: Optional[np.ndarray] = None
+
+    @property
+    def state(self) -> FirmwareState:
+        """Current firmware state."""
+        return self._state
+
+    def power_on(self) -> None:
+        """Boot: capture the SRAM pattern, then become READY."""
+        self._state = FirmwareState.BOOTING
+        self._capture = self._chip.read_startup()
+        self._state = FirmwareState.READY
+
+    def power_off(self) -> None:
+        """Drop power: capture is lost."""
+        self._state = FirmwareState.OFF
+        self._capture = None
+
+    def handle_request(self, frame: bytes) -> bytes:
+        """Process one request frame and return the response frame.
+
+        An unpowered slave cannot respond at all — that is a bus-level
+        NACK, modelled as :class:`ProtocolError`.
+        """
+        if self._state is FirmwareState.OFF:
+            raise ProtocolError(f"slave {self._board_id} is unpowered (NACK)")
+        command, payload = parse_frame(frame)
+        if payload:
+            raise ProtocolError(f"command 0x{command:02x} takes no payload")
+        if command == Command.GET_STATUS:
+            return self._respond(command, bytes([int(self._state)]))
+        if command == Command.GET_INFO:
+            info = bytes(
+                [
+                    self._board_id,
+                    self._chip.profile.sram_bytes >> 8,
+                    self._chip.profile.sram_bytes & 0xFF,
+                    self._chip.profile.read_bytes >> 8,
+                    self._chip.profile.read_bytes & 0xFF,
+                ]
+            )
+            return self._respond(command, info)
+        if command == Command.READ_PATTERN:
+            if self._capture is None:
+                raise ProtocolError(f"slave {self._board_id} has no capture")
+            return self._respond(command, bits_to_bytes(self._capture))
+        raise ProtocolError(f"unknown command 0x{command:02x}")
+
+    def _respond(self, command: int, payload: bytes) -> bytes:
+        return build_frame(command, payload)
+
+
+class FlakyFirmware(SlaveFirmware):
+    """A slave whose responses are occasionally corrupted in transit.
+
+    Parameters
+    ----------
+    corruption_rate:
+        Probability that a response frame has one byte flipped.
+    random_state:
+        Seed for the corruption process.
+    """
+
+    def __init__(
+        self,
+        board_id: int,
+        chip: SRAMChip,
+        corruption_rate: float = 0.2,
+        random_state: RandomState = None,
+    ):
+        super().__init__(board_id, chip)
+        if not 0.0 <= corruption_rate <= 1.0:
+            raise ProtocolError(
+                f"corruption_rate must be in [0, 1], got {corruption_rate}"
+            )
+        self._corruption_rate = corruption_rate
+        self._rng = as_generator(random_state, "flaky-firmware")
+
+    def handle_request(self, frame: bytes) -> bytes:
+        response = super().handle_request(frame)
+        if self._rng.random() < self._corruption_rate:
+            position = int(self._rng.integers(0, len(response)))
+            corrupted = bytearray(response)
+            corrupted[position] ^= 1 << int(self._rng.integers(0, 8))
+            return bytes(corrupted)
+        return response
+
+
+class MasterProtocol:
+    """The master-side protocol driver with retry on corruption.
+
+    Parameters
+    ----------
+    transport:
+        Callable sending a request frame and returning the response
+        frame (typically ``firmware.handle_request``).
+    max_attempts:
+        Retries per request before giving up.
+    """
+
+    def __init__(self, transport: Callable[[bytes], bytes], max_attempts: int = 3):
+        if max_attempts < 1:
+            raise ProtocolError(f"max_attempts must be >= 1, got {max_attempts}")
+        self._transport = transport
+        self._max_attempts = max_attempts
+        self._retries = 0
+
+    @property
+    def retries(self) -> int:
+        """Total retransmissions performed so far."""
+        return self._retries
+
+    def _request(self, command: Command) -> bytes:
+        frame = build_frame(int(command))
+        last_error: Optional[ProtocolError] = None
+        for attempt in range(self._max_attempts):
+            response = self._transport(frame)
+            try:
+                response_command, payload = parse_frame(response)
+            except ProtocolError as exc:
+                last_error = exc
+                self._retries += 1
+                continue
+            if response_command != int(command):
+                raise ProtocolError(
+                    f"response command 0x{response_command:02x} does not match "
+                    f"request 0x{int(command):02x}"
+                )
+            return payload
+        raise ProtocolError(
+            f"request 0x{int(command):02x} failed after "
+            f"{self._max_attempts} attempts: {last_error}"
+        )
+
+    def read_status(self) -> FirmwareState:
+        """``GET_STATUS``: the slave's firmware state."""
+        payload = self._request(Command.GET_STATUS)
+        if len(payload) != 1:
+            raise ProtocolError(f"status payload has {len(payload)} bytes, expected 1")
+        return FirmwareState(payload[0])
+
+    def read_info(self) -> dict:
+        """``GET_INFO``: board identity and geometry."""
+        payload = self._request(Command.GET_INFO)
+        if len(payload) != 5:
+            raise ProtocolError(f"info payload has {len(payload)} bytes, expected 5")
+        return {
+            "board_id": payload[0],
+            "sram_bytes": (payload[1] << 8) | payload[2],
+            "read_bytes": (payload[3] << 8) | payload[4],
+        }
+
+    def read_pattern(self) -> bytes:
+        """``READ_PATTERN``: the 1 KB start-up capture."""
+        return self._request(Command.READ_PATTERN)

@@ -1,0 +1,142 @@
+"""A behavioural I2C bus model.
+
+Each master board owns one bus; its slave boards attach at 7-bit
+addresses.  The model is transaction-level: a master issues a *read*
+to an address and receives the slave's response bytes, with bus timing
+approximated from the clock rate and payload size.  Electrical details
+(start/stop bits, clock stretching) are below the abstraction the
+testbed needs, but addressing errors, unpowered slaves and payload
+accounting are modelled because Algorithm 1 depends on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class I2CTransaction:
+    """Log entry of one completed bus transaction."""
+
+    time_s: float
+    address: int
+    byte_count: int
+    duration_s: float
+
+
+class I2CBus:
+    """Transaction-level I2C bus with a transfer log.
+
+    Parameters
+    ----------
+    clock:
+        Callable returning current simulation time.
+    clock_hz:
+        Bus clock; standard-mode I2C at 100 kHz by default.
+    """
+
+    #: Bits on the wire per payload byte: 8 data bits + ACK.
+    BITS_PER_BYTE = 9
+    #: 7-bit addressing.
+    MAX_ADDRESS = 0x7F
+
+    def __init__(self, clock: Callable[[], float], clock_hz: float = 100_000.0):
+        if clock_hz <= 0:
+            raise ProtocolError(f"clock_hz must be positive, got {clock_hz}")
+        self._clock = clock
+        self._clock_hz = clock_hz
+        self._slaves: Dict[int, Callable[[], bytes]] = {}
+        self._transactional_slaves: Dict[int, Callable[[bytes], bytes]] = {}
+        self._log: List[I2CTransaction] = []
+
+    @property
+    def transactions(self) -> List[I2CTransaction]:
+        """Completed transactions, oldest first."""
+        return list(self._log)
+
+    def attach_slave(self, address: int, read_handler: Callable[[], bytes]) -> None:
+        """Attach a read-only slave at ``address``.
+
+        ``read_handler`` is called on each master read and must return
+        the response payload, or raise :class:`ProtocolError` (e.g. the
+        slave is unpowered).
+        """
+        self._validate_address(address)
+        if address in self._slaves or address in self._transactional_slaves:
+            raise ProtocolError(f"address 0x{address:02x} already attached")
+        self._slaves[address] = read_handler
+
+    def attach_transactional_slave(
+        self, address: int, handler: Callable[[bytes], bytes]
+    ) -> None:
+        """Attach a write-then-read (command/response) slave.
+
+        ``handler`` receives the master's request bytes and returns the
+        response bytes — how a framed firmware protocol rides the bus.
+        """
+        self._validate_address(address)
+        if address in self._slaves or address in self._transactional_slaves:
+            raise ProtocolError(f"address 0x{address:02x} already attached")
+        self._transactional_slaves[address] = handler
+
+    def write_read(self, address: int, request: bytes) -> bytes:
+        """Combined write + repeated-start read transaction.
+
+        The wire time covers both directions; failures (NACK, slave
+        errors) are not logged, matching :meth:`read`.
+        """
+        self._validate_address(address)
+        handler = self._transactional_slaves.get(address)
+        if handler is None:
+            raise ProtocolError(
+                f"NACK: no transactional slave at address 0x{address:02x}"
+            )
+        response = handler(bytes(request))
+        duration = self.transfer_time_s(len(request)) + self.transfer_time_s(
+            len(response)
+        )
+        self._log.append(
+            I2CTransaction(
+                self._clock(), address, len(request) + len(response), duration
+            )
+        )
+        return response
+
+    def read(self, address: int, expected_bytes: int = None) -> bytes:
+        """Master read: returns the slave's payload.
+
+        Raises :class:`ProtocolError` on a NACK (unknown address), a
+        failing slave, or — when ``expected_bytes`` is given — a
+        payload size mismatch.
+        """
+        self._validate_address(address)
+        handler = self._slaves.get(address)
+        if handler is None:
+            raise ProtocolError(f"NACK: no slave at address 0x{address:02x}")
+        payload = handler()
+        if expected_bytes is not None and len(payload) != expected_bytes:
+            raise ProtocolError(
+                f"slave 0x{address:02x} returned {len(payload)} bytes, "
+                f"expected {expected_bytes}"
+            )
+        duration = self.transfer_time_s(len(payload))
+        self._log.append(
+            I2CTransaction(self._clock(), address, len(payload), duration)
+        )
+        return payload
+
+    def transfer_time_s(self, byte_count: int) -> float:
+        """Wire time for a payload of ``byte_count`` bytes.
+
+        Address byte + payload bytes, 9 bits each at the bus clock.
+        """
+        if byte_count < 0:
+            raise ProtocolError(f"byte_count cannot be negative, got {byte_count}")
+        return (byte_count + 1) * self.BITS_PER_BYTE / self._clock_hz
+
+    def _validate_address(self, address: int) -> None:
+        if not 0 <= address <= self.MAX_ADDRESS:
+            raise ProtocolError(f"invalid 7-bit I2C address: {address}")

@@ -1,0 +1,82 @@
+"""The power-switch board.
+
+One switch channel per slave board, each with an independently recorded
+supply waveform — the paper stresses that separate connections between
+the switch and each slave avoid interference inside a stack.  Masters
+command whole *layers* on or off; the switch fans the command out to
+the layer's channels.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import ProtocolError
+from repro.hardware.signals import DigitalWaveform
+
+
+class PowerSwitch:
+    """Gates the supply of each slave board and records the waveforms.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable returning the current simulation time —
+        normally ``scheduler.now`` bound via ``lambda``.
+    """
+
+    def __init__(self, clock: Callable[[], float]):
+        self._clock = clock
+        self._channels: Dict[int, DigitalWaveform] = {}
+        self._power_callbacks: Dict[int, Callable[[bool], None]] = {}
+
+    def register_channel(
+        self, board_id: int, on_power_change: Optional[Callable[[bool], None]] = None
+    ) -> None:
+        """Add a switch channel for ``board_id``.
+
+        ``on_power_change`` is invoked with ``True``/``False`` whenever
+        the channel switches — the slave board hooks its power-up logic
+        here.
+        """
+        if board_id in self._channels:
+            raise ProtocolError(f"channel for board {board_id} already registered")
+        self._channels[board_id] = DigitalWaveform(f"S{board_id}.power", initial_level=0)
+        if on_power_change is not None:
+            self._power_callbacks[board_id] = on_power_change
+
+    @property
+    def board_ids(self) -> List[int]:
+        """Registered channels, sorted."""
+        return sorted(self._channels)
+
+    def is_powered(self, board_id: int) -> bool:
+        """Whether the channel currently supplies power."""
+        return self._waveform(board_id).level_at(self._clock()) == 1
+
+    def set_power(self, board_id: int, powered: bool) -> None:
+        """Switch one channel; records the waveform and notifies the board."""
+        waveform = self._waveform(board_id)
+        now = self._clock()
+        previous = waveform.level_at(now)
+        level = 1 if powered else 0
+        if previous == level:
+            return
+        waveform.record(now, level)
+        callback = self._power_callbacks.get(board_id)
+        if callback is not None:
+            callback(powered)
+
+    def set_layer_power(self, board_ids: Iterable[int], powered: bool) -> None:
+        """Switch a group of channels together (a master's layer command)."""
+        for board_id in board_ids:
+            self.set_power(board_id, powered)
+
+    def waveform(self, board_id: int) -> DigitalWaveform:
+        """The recorded supply waveform of one channel."""
+        return self._waveform(board_id)
+
+    def _waveform(self, board_id: int) -> DigitalWaveform:
+        if board_id not in self._channels:
+            raise ProtocolError(f"no power channel registered for board {board_id}")
+        return self._channels[board_id]

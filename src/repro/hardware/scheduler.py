@@ -1,0 +1,87 @@
+"""A minimal discrete-event scheduler.
+
+Events are ``(time, sequence, callback)`` triples in a heap; the
+sequence number makes simultaneous events run in scheduling order,
+which keeps the testbed deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class DiscreteEventScheduler:
+    """Runs callbacks at simulated times.
+
+    Examples
+    --------
+    >>> sched = DiscreteEventScheduler()
+    >>> fired = []
+    >>> sched.schedule(2.0, lambda: fired.append("b"))
+    >>> sched.schedule(1.0, lambda: fired.append("a"))
+    >>> sched.run()
+    2.0
+    >>> fired
+    ['a', 'b']
+    """
+
+    def __init__(self):
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending_count(self) -> int:
+        """Number of events not yet executed."""
+        return len(self._queue)
+
+    def schedule(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute time ``when``.
+
+        Scheduling into the past is a logic error and raises
+        immediately rather than silently reordering history.
+        """
+        if when < self._now:
+            raise ConfigurationError(
+                f"cannot schedule at {when:.6f}s: time is already {self._now:.6f}s"
+            )
+        heapq.heappush(self._queue, (when, next(self._counter), callback))
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ConfigurationError(f"delay cannot be negative, got {delay}")
+        self.schedule(self._now + delay, callback)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events until the queue drains or time passes ``until``.
+
+        Returns the simulation time when the run stopped.  Events
+        scheduled exactly at ``until`` still execute.
+        """
+        if self._running:
+            raise ConfigurationError("scheduler is already running (reentrant run call)")
+        self._running = True
+        try:
+            while self._queue:
+                when, _seq, callback = self._queue[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = when
+                callback()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now

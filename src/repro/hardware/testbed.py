@@ -1,0 +1,247 @@
+"""The assembled two-layer measurement testbed (Algorithm 1).
+
+Eighteen boards in two layers: master M0 with slaves S0–S7 on layer 0,
+master M1 with slaves S16–S23 on layer 1 (the paper's numbering).  The
+layers run identical power-cycle loops, phase-shifted by half a period
+so their power curves never align — the paper staggers them "to avoid
+interference, and to increase the throughput of measurements".
+
+One layer cycle (Fig. 3 timing):
+
+====================  ==========================================
+t                     layer power on; every slave captures SRAM
+t + read_delay        master collects captures over I2C, uplinks
+t + handover          master signals the other layer to start
+t + on_time (3.8 s)   layer power off
+t + period (5.4 s)    the layer's next cycle would begin
+====================  ==========================================
+
+Alternation is driven by the handover *signals*, exactly like
+Algorithm 1's M0/M1 handshake — neither layer free-runs on a timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.hardware.board import MasterBoard, SlaveBoard
+from repro.hardware.i2c import I2CBus
+from repro.hardware.power import PowerSwitch
+from repro.hardware.scheduler import DiscreteEventScheduler
+from repro.io.jsonstore import MeasurementDatabase
+from repro.rng import RandomState, SeedHierarchy
+from repro.sram.chip import SRAMChip
+from repro.sram.profiles import ATMEGA32U4, DeviceProfile
+
+
+@dataclass(frozen=True)
+class TestbedTiming:
+    """Power-cycle timing (defaults are the paper's Fig. 3 values)."""
+
+    __test__ = False  # "Test" prefix is domain language, not a pytest class
+
+    period_s: float = 5.4
+    on_time_s: float = 3.8
+    read_delay_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ConfigurationError(f"period_s must be positive, got {self.period_s}")
+        if not 0 < self.on_time_s < self.period_s:
+            raise ConfigurationError("on_time_s must lie strictly inside the period")
+        if not 0 <= self.read_delay_s < self.on_time_s:
+            raise ConfigurationError("read_delay_s must fit inside the on phase")
+
+    @property
+    def off_time_s(self) -> float:
+        """Power-off duration per cycle (1.6 s in the paper)."""
+        return self.period_s - self.on_time_s
+
+    @property
+    def handover_s(self) -> float:
+        """Offset at which a layer starts its peer (half a period)."""
+        return self.period_s / 2.0
+
+    @property
+    def power_duty(self) -> float:
+        """Powered fraction of the cycle (what the aging model sees)."""
+        return self.on_time_s / self.period_s
+
+
+class _Layer:
+    """One layer's Algorithm 1 loop, driven by handover signals."""
+
+    def __init__(
+        self,
+        index: int,
+        master: MasterBoard,
+        scheduler: DiscreteEventScheduler,
+        timing: TestbedTiming,
+    ):
+        self.index = index
+        self.master = master
+        self._scheduler = scheduler
+        self._timing = timing
+        self.peer: Optional["_Layer"] = None
+        self.cycles_completed = 0
+        self._cycle_active = False
+
+    def signal_start(self) -> None:
+        """The peer layer's handover signal: begin one cycle now."""
+        if self._cycle_active:
+            raise ProtocolError(
+                f"layer {self.index} received a start signal mid-cycle"
+            )
+        self._cycle_active = True
+        self.master.power_on_layer()
+        self._scheduler.schedule_after(self._timing.read_delay_s, self.master.collect_readouts)
+        self._scheduler.schedule_after(self._timing.handover_s, self._handover)
+        self._scheduler.schedule_after(self._timing.on_time_s, self._power_down)
+
+    def _handover(self) -> None:
+        if self.peer is None:
+            raise ProtocolError(f"layer {self.index} has no peer to hand over to")
+        self.peer.signal_start()
+
+    def _power_down(self) -> None:
+        self.master.power_off_layer()
+        self.cycles_completed += 1
+        self._cycle_active = False
+
+
+class Testbed:
+    """The complete measurement setup of paper Section III.
+
+    Parameters
+    ----------
+    device_count:
+        Total slave boards, split evenly over the two layers (the
+        paper uses 16).
+    profile:
+        SRAM device profile for every slave.
+    timing:
+        Power-cycle timing; defaults to Fig. 3.
+    database:
+        Measurement sink; an in-memory store by default.
+    random_state:
+        Seed material for the devices.
+
+    Examples
+    --------
+    >>> bed = Testbed(device_count=4, random_state=7)
+    >>> bed.run_cycles(3)
+    >>> len(bed.database) == 3 * 4
+    True
+    """
+
+    __test__ = False  # "Test" prefix is domain language, not a pytest class
+
+    #: Board-id offset of layer 1 (the paper labels its slaves S16-S23).
+    LAYER1_ID_OFFSET = 16
+
+    def __init__(
+        self,
+        device_count: int = 16,
+        profile: DeviceProfile = ATMEGA32U4,
+        timing: TestbedTiming = TestbedTiming(),
+        database: Optional[MeasurementDatabase] = None,
+        random_state: RandomState = None,
+    ):
+        if device_count < 2 or device_count % 2 != 0:
+            raise ConfigurationError(
+                f"device_count must be an even number >= 2, got {device_count}"
+            )
+        self._timing = timing
+        self._profile = profile
+        self._scheduler = DiscreteEventScheduler()
+        self._database = database if database is not None else MeasurementDatabase()
+        self._switch = PowerSwitch(clock=lambda: self._scheduler.now)
+
+        seeds = (
+            random_state
+            if isinstance(random_state, SeedHierarchy)
+            else SeedHierarchy(random_state if isinstance(random_state, int) else 0)
+        )
+
+        per_layer = device_count // 2
+        self._slaves: List[SlaveBoard] = []
+        self._layers: List[_Layer] = []
+        for layer_index in range(2):
+            id_base = 0 if layer_index == 0 else self.LAYER1_ID_OFFSET
+            layer_slaves = []
+            for position in range(per_layer):
+                board_id = id_base + position
+                chip = SRAMChip(board_id, profile, random_state=seeds)
+                layer_slaves.append(SlaveBoard(board_id, chip))
+            bus = I2CBus(clock=lambda: self._scheduler.now)
+            master = MasterBoard(
+                name=f"M{layer_index}",
+                slaves=layer_slaves,
+                power_switch=self._switch,
+                bus=bus,
+                clock=lambda: self._scheduler.now,
+                sink=self._database.append,
+            )
+            self._slaves.extend(layer_slaves)
+            self._layers.append(_Layer(layer_index, master, self._scheduler, timing))
+        self._layers[0].peer = self._layers[1]
+        self._layers[1].peer = self._layers[0]
+        self._started = False
+
+    @property
+    def timing(self) -> TestbedTiming:
+        """The configured power-cycle timing."""
+        return self._timing
+
+    @property
+    def database(self) -> MeasurementDatabase:
+        """The measurement store records stream into."""
+        return self._database
+
+    @property
+    def power_switch(self) -> PowerSwitch:
+        """The power-switch board (source of the Fig. 3 waveforms)."""
+        return self._switch
+
+    @property
+    def slaves(self) -> List[SlaveBoard]:
+        """All slave boards, layer 0 first."""
+        return list(self._slaves)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._scheduler.now
+
+    def slave(self, board_id: int) -> SlaveBoard:
+        """Look up a slave by its board id."""
+        for candidate in self._slaves:
+            if candidate.board_id == board_id:
+                return candidate
+        raise ConfigurationError(f"no slave with board id {board_id}")
+
+    def run_seconds(self, seconds: float) -> None:
+        """Advance the testbed by ``seconds`` of simulated time."""
+        if seconds <= 0:
+            raise ConfigurationError(f"seconds must be positive, got {seconds}")
+        if not self._started:
+            # Power-on of the whole setup: layer 0 receives the initial
+            # start signal (Algorithm 1 step 1 bootstraps from M1's
+            # "end" state).
+            self._scheduler.schedule(0.0, self._layers[0].signal_start)
+            self._started = True
+        self._scheduler.run(until=self._scheduler.now + seconds)
+
+    def run_cycles(self, cycles: int) -> None:
+        """Run until every layer completed ``cycles`` power cycles."""
+        if cycles <= 0:
+            raise ConfigurationError(f"cycles must be positive, got {cycles}")
+        target = self._layers[0].cycles_completed + cycles
+        while min(layer.cycles_completed for layer in self._layers) < target:
+            self.run_seconds(self._timing.period_s)
+
+    def measurements_per_minute(self) -> float:
+        """Per-board measurement cadence (the paper quotes ~10/min)."""
+        return 60.0 / self._timing.period_s

@@ -1,0 +1,40 @@
+"""Data plumbing: bit packing and the measurement database.
+
+* :mod:`repro.io.bitutil` — conversions between bit vectors, bytes and
+  hex strings, plus popcount helpers.
+* :mod:`repro.io.records` — the measurement record schema (board id,
+  sequence number, timestamp, payload).
+* :mod:`repro.io.jsonstore` — a JSON-lines measurement database
+  mirroring the paper's Raspberry-Pi-fed JSON store.
+"""
+
+from repro.io.bitutil import (
+    bits_from_bytes,
+    bits_from_hex,
+    bits_to_bytes,
+    bits_to_hex,
+    ensure_bits,
+    hamming_weight,
+    pack_bits,
+    random_bits,
+    unpack_bits,
+)
+from repro.io.jsonstore import MeasurementDatabase
+from repro.io.records import MeasurementRecord
+from repro.io.resultstore import load_campaign, save_campaign
+
+__all__ = [
+    "bits_from_bytes",
+    "bits_from_hex",
+    "bits_to_bytes",
+    "bits_to_hex",
+    "ensure_bits",
+    "hamming_weight",
+    "pack_bits",
+    "random_bits",
+    "unpack_bits",
+    "MeasurementDatabase",
+    "MeasurementRecord",
+    "load_campaign",
+    "save_campaign",
+]

@@ -1,0 +1,114 @@
+"""JSON-lines measurement database.
+
+The paper's setup streams every read-out to a Raspberry Pi which stores
+it "in a JSON format".  :class:`MeasurementDatabase` reproduces that
+sink as a JSON-lines file (one measurement document per line), which
+keeps appends O(1) and lets analyses stream through hundreds of
+millions of records without loading them all.
+
+The store also works fully in memory (``path=None``), which the test
+suite and the testbed simulator use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Iterator, List, Optional
+
+from repro.errors import StorageError
+from repro.io.records import MeasurementRecord
+
+
+class MeasurementDatabase:
+    """Append-only store of :class:`MeasurementRecord` documents.
+
+    Parameters
+    ----------
+    path:
+        File to persist to (JSON lines).  ``None`` keeps everything in
+        memory.
+
+    Examples
+    --------
+    >>> db = MeasurementDatabase()
+    >>> import numpy as np
+    >>> db.append(MeasurementRecord(0, 0, 0.0, np.zeros(8, dtype=np.uint8)))
+    >>> len(db)
+    1
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self._path = path
+        self._records: List[MeasurementRecord] = []
+        if path is not None and os.path.exists(path):
+            self._records = list(self._read_file(path))
+
+    @property
+    def path(self) -> Optional[str]:
+        """Backing file, or ``None`` for an in-memory store."""
+        return self._path
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[MeasurementRecord]:
+        return iter(self._records)
+
+    def append(self, record: MeasurementRecord) -> None:
+        """Append one record (and persist it if file-backed)."""
+        if not isinstance(record, MeasurementRecord):
+            raise StorageError(f"expected MeasurementRecord, got {type(record).__name__}")
+        self._records.append(record)
+        if self._path is not None:
+            with open(self._path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record.to_json_dict()) + "\n")
+
+    def extend(self, records: Iterable[MeasurementRecord]) -> None:
+        """Append many records; file-backed stores batch the write."""
+        batch = list(records)
+        for record in batch:
+            if not isinstance(record, MeasurementRecord):
+                raise StorageError(f"expected MeasurementRecord, got {type(record).__name__}")
+        self._records.extend(batch)
+        if self._path is not None and batch:
+            with open(self._path, "a", encoding="utf-8") as handle:
+                for record in batch:
+                    handle.write(json.dumps(record.to_json_dict()) + "\n")
+
+    def for_board(self, board_id: int) -> List[MeasurementRecord]:
+        """All records of one board, in insertion order."""
+        return [record for record in self._records if record.board_id == board_id]
+
+    def board_ids(self) -> List[int]:
+        """Sorted list of distinct board ids present in the store."""
+        return sorted({record.board_id for record in self._records})
+
+    def first_for_board(self, board_id: int) -> MeasurementRecord:
+        """The reference (first) measurement of a board.
+
+        Raises :class:`StorageError` if the board has no records —
+        the reference read-out is load-bearing for WCHD analysis, so a
+        silent ``None`` would only defer the failure.
+        """
+        for record in self._records:
+            if record.board_id == board_id:
+                return record
+        raise StorageError(f"no measurements recorded for board {board_id}")
+
+    @staticmethod
+    def _read_file(path: str) -> Iterator[MeasurementRecord]:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise StorageError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
+                yield MeasurementRecord.from_json_dict(doc)
+
+    def __repr__(self) -> str:
+        where = self._path if self._path is not None else "memory"
+        return f"MeasurementDatabase({len(self._records)} records, {where})"

@@ -1,0 +1,94 @@
+"""Measurement record schema.
+
+The paper's Raspberry Pi stores every SRAM read-out as a JSON document;
+:class:`MeasurementRecord` is the in-memory form of one such document.
+A record carries the identity of the board, a monotone per-board
+sequence number, the simulated wall-clock timestamp of the power-up and
+the 1 KB (8,192-bit) SRAM payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.errors import ReproError, StorageError
+from repro.io.bitutil import bits_from_hex, bits_to_hex, ensure_bits
+
+#: Bits captured per measurement: the first 1 KByte of SRAM.
+PAYLOAD_BITS = 8 * 1024
+
+
+@dataclass(frozen=True)
+class MeasurementRecord:
+    """One SRAM power-up read-out.
+
+    Attributes
+    ----------
+    board_id:
+        Slave board index (0–15 in the paper's setup).
+    sequence:
+        Zero-based power-up counter for this board.
+    timestamp_s:
+        Seconds since the start of the test at which the read-out
+        completed.
+    bits:
+        The power-up payload as a uint8 0/1 vector.
+    """
+
+    board_id: int
+    sequence: int
+    timestamp_s: float
+    bits: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bits", ensure_bits(self.bits))
+        if self.board_id < 0:
+            raise StorageError(f"board_id cannot be negative, got {self.board_id}")
+        if self.sequence < 0:
+            raise StorageError(f"sequence cannot be negative, got {self.sequence}")
+        if self.timestamp_s < 0:
+            raise StorageError(f"timestamp_s cannot be negative, got {self.timestamp_s}")
+
+    @property
+    def bit_count(self) -> int:
+        """Number of bits in the payload."""
+        return int(self.bits.size)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Serialise to the on-disk JSON document shape."""
+        return {
+            "board": self.board_id,
+            "seq": self.sequence,
+            "t": round(self.timestamp_s, 6),
+            "bits": self.bit_count,
+            "data": bits_to_hex(self.bits),
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: Dict[str, Any]) -> "MeasurementRecord":
+        """Parse a document produced by :meth:`to_json_dict`."""
+        try:
+            bits = bits_from_hex(doc["data"], bit_count=int(doc["bits"]))
+            return cls(
+                board_id=int(doc["board"]),
+                sequence=int(doc["seq"]),
+                timestamp_s=float(doc["t"]),
+                bits=bits,
+            )
+        except StorageError:
+            raise
+        except (KeyError, ValueError, TypeError, ReproError) as exc:
+            raise StorageError(f"malformed measurement document: {exc}") from exc
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MeasurementRecord):
+            return NotImplemented
+        return (
+            self.board_id == other.board_id
+            and self.sequence == other.sequence
+            and self.timestamp_s == other.timestamp_s
+            and np.array_equal(self.bits, other.bits)
+        )

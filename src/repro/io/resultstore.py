@@ -1,0 +1,115 @@
+"""Campaign result persistence.
+
+A two-year, 16-board campaign takes seconds to *simulate* but its
+results still deserve artifacts: :func:`save_campaign` /
+:func:`load_campaign` serialise a
+:class:`~repro.analysis.campaign.CampaignResult` — references, every
+monthly snapshot, the lot — to a single JSON document, so analyses and
+reports can be regenerated without re-running the study (or exchanged
+with collaborators who do not trust re-simulation).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.io.bitutil import bits_from_hex, bits_to_hex
+
+FORMAT_VERSION = 1
+
+
+def _snapshot_to_dict(snapshot) -> Dict[str, Any]:
+    return {
+        "month": snapshot.month,
+        "measurements": snapshot.measurements,
+        "board_ids": list(snapshot.board_ids),
+        "wchd": snapshot.wchd.tolist(),
+        "fhw": snapshot.fhw.tolist(),
+        "stable_ratio": snapshot.stable_ratio.tolist(),
+        "noise_entropy": snapshot.noise_entropy.tolist(),
+        "bchd_pairs": snapshot.bchd_pairs.tolist(),
+        "puf_entropy": None if np.isnan(snapshot.puf_entropy) else snapshot.puf_entropy,
+    }
+
+
+def _snapshot_from_dict(doc: Dict[str, Any]):
+    from repro.analysis.monthly import MonthlyEvaluation
+
+    puf_entropy = doc["puf_entropy"]
+    return MonthlyEvaluation(
+        month=int(doc["month"]),
+        measurements=int(doc["measurements"]),
+        board_ids=[int(b) for b in doc["board_ids"]],
+        wchd=np.asarray(doc["wchd"], dtype=float),
+        fhw=np.asarray(doc["fhw"], dtype=float),
+        stable_ratio=np.asarray(doc["stable_ratio"], dtype=float),
+        noise_entropy=np.asarray(doc["noise_entropy"], dtype=float),
+        bchd_pairs=np.asarray(doc["bchd_pairs"], dtype=float),
+        puf_entropy=float("nan") if puf_entropy is None else float(puf_entropy),
+    )
+
+
+def campaign_to_dict(result) -> Dict[str, Any]:
+    """Serialise a campaign result to a plain JSON-ready dict."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "profile_name": result.profile_name,
+        "months": result.months,
+        "measurements": result.measurements,
+        "board_ids": list(result.board_ids),
+        "references": {
+            str(board): bits_to_hex(bits) for board, bits in result.references.items()
+        },
+        "reference_bits": {
+            str(board): int(bits.size) for board, bits in result.references.items()
+        },
+        "snapshots": [_snapshot_to_dict(snap) for snap in result.snapshots],
+    }
+
+
+def campaign_from_dict(doc: Dict[str, Any]):
+    """Rebuild a campaign result from :func:`campaign_to_dict` output."""
+    from repro.analysis.campaign import CampaignResult
+
+    try:
+        version = doc["format_version"]
+        if version != FORMAT_VERSION:
+            raise StorageError(f"unsupported campaign format version {version}")
+        references = {
+            int(board): bits_from_hex(
+                payload, bit_count=int(doc["reference_bits"][board])
+            )
+            for board, payload in doc["references"].items()
+        }
+        return CampaignResult(
+            profile_name=str(doc["profile_name"]),
+            months=int(doc["months"]),
+            measurements=int(doc["measurements"]),
+            board_ids=[int(b) for b in doc["board_ids"]],
+            references=references,
+            snapshots=[_snapshot_from_dict(snap) for snap in doc["snapshots"]],
+        )
+    except StorageError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise StorageError(f"malformed campaign document: {exc}") from exc
+
+
+def save_campaign(result, path: str) -> None:
+    """Write a campaign result to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(campaign_to_dict(result), handle)
+
+
+def load_campaign(path: str):
+    """Read a campaign result written by :func:`save_campaign`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StorageError(f"cannot load campaign from {path}: {exc}") from exc
+    return campaign_from_dict(doc)

@@ -1,0 +1,62 @@
+"""SRAM PUF key generation (paper Section II-A.1).
+
+The paper's first application: derive a stable cryptographic key from
+a noisy, biased PUF response via a helper-data scheme.  This
+subpackage provides every piece:
+
+* :mod:`repro.keygen.ecc` — error-correcting codes: repetition,
+  Hamming, extended Golay [24,12,8], BCH with Berlekamp–Massey
+  decoding, and code concatenation (the paper cites schemes correcting
+  up to 25 % bit error rate).
+* :mod:`repro.keygen.helper_data` — the code-offset fuzzy extractor
+  (secure sketch): enrollment produces public helper data,
+  reconstruction recovers the enrolled secret from a noisy
+  re-measurement.
+* :mod:`repro.keygen.debias` — von Neumann debiasing with retained-
+  pair helper data (Maes et al., CHES 2015 handle bias up to
+  25 %/75 %; the paper's devices sit at 62.7 %).
+* :mod:`repro.keygen.kdf` — hash-based key derivation.
+* :mod:`repro.keygen.keygen` — :class:`SRAMKeyGenerator`, the
+  end-to-end enroll/reconstruct flow on a simulated chip.
+"""
+
+from repro.keygen.accounting import EntropyBudget, audit_pipeline
+from repro.keygen.debias import DebiasResult, pair_output_von_neumann, von_neumann_debias
+from repro.keygen.ecc import (
+    BCHCode,
+    BlockCode,
+    ConcatenatedCode,
+    ExtendedGolayCode,
+    HammingCode,
+    PolarCode,
+    ReedMullerCode,
+    RepetitionCode,
+)
+from repro.keygen.multireadout import VotedReadout, majority_vote, voted_error_rate
+from repro.keygen.helper_data import CodeOffsetSketch, HelperData
+from repro.keygen.kdf import derive_key
+from repro.keygen.keygen import EnrolledKey, SRAMKeyGenerator
+
+__all__ = [
+    "EntropyBudget",
+    "audit_pipeline",
+    "DebiasResult",
+    "pair_output_von_neumann",
+    "von_neumann_debias",
+    "BCHCode",
+    "BlockCode",
+    "ConcatenatedCode",
+    "ExtendedGolayCode",
+    "HammingCode",
+    "PolarCode",
+    "ReedMullerCode",
+    "VotedReadout",
+    "majority_vote",
+    "voted_error_rate",
+    "RepetitionCode",
+    "CodeOffsetSketch",
+    "HelperData",
+    "derive_key",
+    "EnrolledKey",
+    "SRAMKeyGenerator",
+]

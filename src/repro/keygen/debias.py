@@ -1,0 +1,132 @@
+"""Debiasing schemes for biased PUF responses.
+
+The paper's devices power up to '1' with probability ≈62.7 %; a
+code-offset sketch over such a response leaks more than the usual
+``n - k`` bound, so commercial key generators debias first.  The
+schemes here follow Maes, van der Leest, van der Sluis & Willems,
+"Secure key generation from biased PUFs" (CHES 2015) — the paper's
+reference [14], which handles bias up to 25 %/75 %:
+
+* :func:`von_neumann_debias` — **classic von Neumann (CVN)**: consume
+  non-overlapping bit pairs, keep one bit per *discordant* pair
+  (01 → 0, 10 → 1).  The output is exactly unbiased for i.i.d. input
+  bits, at the cost of rate ``p(1-p)``.
+* :class:`CVNDebiaser` — the *enrollment/reconstruction* variant: the
+  retained-pair mask is published as helper data so the reconstructor
+  selects the same pairs from its noisy re-measurement.
+* :func:`pair_output_von_neumann` — **2O-VN**: a second von Neumann
+  pass over the discarded concordant pairs (00/11 treated as
+  super-symbols), recovering part of the lost rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.io.bitutil import ensure_bits
+
+
+@dataclass(frozen=True)
+class DebiasResult:
+    """Output of a debiasing pass.
+
+    Attributes
+    ----------
+    bits:
+        The debiased output bits.
+    selected_pairs:
+        Indices (into the sequence of non-overlapping input pairs) of
+        the pairs that produced output — the CVN helper data.
+    input_bits:
+        Length of the consumed input.
+    """
+
+    bits: np.ndarray = field(repr=False)
+    selected_pairs: np.ndarray = field(repr=False)
+    input_bits: int
+
+    @property
+    def rate(self) -> float:
+        """Output bits per input bit."""
+        if self.input_bits == 0:
+            return 0.0
+        return self.bits.size / self.input_bits
+
+
+def _split_pairs(bits: np.ndarray) -> np.ndarray:
+    """Reshape to non-overlapping pairs, dropping a trailing odd bit."""
+    usable = bits.size - (bits.size % 2)
+    if usable == 0:
+        raise ConfigurationError("need at least one bit pair to debias")
+    return bits[:usable].reshape(-1, 2)
+
+
+def von_neumann_debias(bits: np.ndarray) -> DebiasResult:
+    """Classic von Neumann extraction (01 → 0, 10 → 1)."""
+    vector = ensure_bits(bits)
+    pairs = _split_pairs(vector)
+    discordant = pairs[:, 0] != pairs[:, 1]
+    selected = np.flatnonzero(discordant)
+    # Convention: a (0, 1) pair outputs 0 and a (1, 0) pair outputs 1 —
+    # the *first* bit of the pair.
+    output = pairs[selected, 0]
+    return DebiasResult(
+        bits=output.astype(np.uint8),
+        selected_pairs=selected,
+        input_bits=int(vector.size),
+    )
+
+
+def pair_output_von_neumann(bits: np.ndarray) -> DebiasResult:
+    """2O-VN: a second extraction pass over the concordant pairs.
+
+    Pass 1 is classic von Neumann.  Pass 2 treats the discarded 00/11
+    pairs as symbols (00 → '0', 11 → '1') and von-Neumann-extracts
+    *those*, which is again exactly unbiased for i.i.d. inputs.  The
+    combined rate approaches ``p(1-p) + p'(1-p')/2`` with
+    ``p' = p² / (p² + (1-p)²)``.
+    """
+    vector = ensure_bits(bits)
+    pairs = _split_pairs(vector)
+    discordant = pairs[:, 0] != pairs[:, 1]
+    first_pass = np.flatnonzero(discordant)
+    output_bits = [pairs[first_pass, 0]]
+
+    concordant_symbols = pairs[~discordant, 0]  # 00 -> 0, 11 -> 1
+    if concordant_symbols.size >= 2:
+        second = von_neumann_debias(concordant_symbols)
+        output_bits.append(second.bits)
+    return DebiasResult(
+        bits=np.concatenate(output_bits).astype(np.uint8),
+        selected_pairs=first_pass,
+        input_bits=int(vector.size),
+    )
+
+
+class CVNDebiaser:
+    """CVN debiasing with retained-pair helper data (CHES 2015).
+
+    Enrollment runs classic von Neumann and publishes which pairs were
+    retained; reconstruction extracts the first bit of exactly those
+    pairs from the noisy re-measurement.  A retained bit survives
+    reconstruction with roughly the raw reliability of its cell, so the
+    debiased stream feeds a code-offset sketch unchanged.
+    """
+
+    def enroll(self, response: np.ndarray) -> DebiasResult:
+        """Debias an enrollment response; the result carries the mask."""
+        return von_neumann_debias(response)
+
+    def apply(self, response: np.ndarray, selected_pairs: np.ndarray) -> np.ndarray:
+        """Re-extract the enrolled pair positions from a re-measurement."""
+        vector = ensure_bits(response)
+        pairs = _split_pairs(vector)
+        selected = np.asarray(selected_pairs)
+        if selected.size and (selected.min() < 0 or selected.max() >= pairs.shape[0]):
+            raise ConfigurationError(
+                "selected_pairs indices exceed the response's pair count"
+            )
+        return pairs[selected, 0].astype(np.uint8)

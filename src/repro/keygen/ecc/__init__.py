@@ -1,0 +1,29 @@
+"""Error-correcting codes for PUF key generation.
+
+All codes implement the :class:`~repro.keygen.ecc.base.BlockCode`
+interface (``encode`` / ``decode`` on 0/1 numpy vectors) and are
+bounded-distance decoders that raise
+:class:`~repro.errors.DecodingFailure` instead of silently
+miscorrecting when the error weight detectably exceeds their
+capability.
+"""
+
+from repro.keygen.ecc.base import BlockCode
+from repro.keygen.ecc.bch import BCHCode
+from repro.keygen.ecc.concatenated import ConcatenatedCode
+from repro.keygen.ecc.golay import ExtendedGolayCode
+from repro.keygen.ecc.hamming import HammingCode
+from repro.keygen.ecc.polar import PolarCode
+from repro.keygen.ecc.reedmuller import ReedMullerCode
+from repro.keygen.ecc.repetition import RepetitionCode
+
+__all__ = [
+    "BlockCode",
+    "BCHCode",
+    "ConcatenatedCode",
+    "ExtendedGolayCode",
+    "HammingCode",
+    "PolarCode",
+    "ReedMullerCode",
+    "RepetitionCode",
+]

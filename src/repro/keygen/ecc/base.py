@@ -1,0 +1,88 @@
+"""The block-code interface.
+
+A :class:`BlockCode` maps ``k`` message bits to ``n`` codeword bits and
+back.  Implementations are *bounded-distance* decoders: within their
+guaranteed correction radius ``t`` they always return the transmitted
+message; beyond it they either still succeed, or raise
+:class:`~repro.errors.DecodingFailure` — they never silently return a
+wrong answer for a detectable error.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.io.bitutil import ensure_bits
+
+
+class BlockCode(abc.ABC):
+    """Abstract binary block code."""
+
+    @property
+    @abc.abstractmethod
+    def message_bits(self) -> int:
+        """Message length ``k``."""
+
+    @property
+    @abc.abstractmethod
+    def codeword_bits(self) -> int:
+        """Codeword length ``n``."""
+
+    @property
+    @abc.abstractmethod
+    def correctable_errors(self) -> int:
+        """Guaranteed correction radius ``t``."""
+
+    @property
+    def rate(self) -> float:
+        """Code rate ``k / n``."""
+        return self.message_bits / self.codeword_bits
+
+    @abc.abstractmethod
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        """Encode ``k`` message bits into an ``n``-bit codeword."""
+
+    @abc.abstractmethod
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        """Decode a (possibly corrupted) ``n``-bit word to ``k`` bits.
+
+        Raises
+        ------
+        DecodingFailure
+            When the word detectably lies outside the decoding radius.
+        """
+
+    # Shared validation helpers ------------------------------------------
+
+    def _check_message(self, message: np.ndarray) -> np.ndarray:
+        return ensure_bits(message, length=self.message_bits)
+
+    def _check_received(self, received: np.ndarray) -> np.ndarray:
+        return ensure_bits(received, length=self.codeword_bits)
+
+    def encode_blocks(self, messages: np.ndarray) -> np.ndarray:
+        """Encode a (blocks x k) matrix row-wise."""
+        matrix = np.asarray(messages)
+        if matrix.ndim != 2 or matrix.shape[1] != self.message_bits:
+            raise ConfigurationError(
+                f"expected (blocks, {self.message_bits}) messages, got {matrix.shape}"
+            )
+        return np.stack([self.encode(row) for row in matrix])
+
+    def decode_blocks(self, received: np.ndarray) -> np.ndarray:
+        """Decode a (blocks x n) matrix row-wise."""
+        matrix = np.asarray(received)
+        if matrix.ndim != 2 or matrix.shape[1] != self.codeword_bits:
+            raise ConfigurationError(
+                f"expected (blocks, {self.codeword_bits}) words, got {matrix.shape}"
+            )
+        return np.stack([self.decode(row) for row in matrix])
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}[n={self.codeword_bits}, "
+            f"k={self.message_bits}, t={self.correctable_errors}]"
+        )

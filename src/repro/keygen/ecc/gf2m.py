@@ -1,0 +1,166 @@
+"""Arithmetic in the Galois fields GF(2^m).
+
+Exp/log-table implementation over the standard primitive polynomials,
+supporting the BCH encoder/decoder.  Elements are plain ints in
+``[0, 2^m)``; 0 is the field zero and has no logarithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Standard primitive polynomials (including the x^m term), per degree.
+PRIMITIVE_POLYNOMIALS: Dict[int, int] = {
+    2: 0b111,
+    3: 0b1011,
+    4: 0b10011,
+    5: 0b100101,
+    6: 0b1000011,
+    7: 0b10001001,
+    8: 0b100011101,
+    9: 0b1000010001,
+    10: 0b10000001001,
+}
+
+
+class GF2m:
+    """The field GF(2^m) with exp/log tables.
+
+    Parameters
+    ----------
+    m:
+        Field degree, 2..10.
+
+    Examples
+    --------
+    >>> field = GF2m(4)
+    >>> field.multiply(0b0110, 0b0011) == field.exp((field.log(0b0110) + field.log(0b0011)) % 15)
+    True
+    """
+
+    def __init__(self, m: int):
+        if m not in PRIMITIVE_POLYNOMIALS:
+            raise ConfigurationError(
+                f"m must be one of {sorted(PRIMITIVE_POLYNOMIALS)}, got {m}"
+            )
+        self._m = m
+        self._size = 1 << m
+        self._order = self._size - 1
+        poly = PRIMITIVE_POLYNOMIALS[m]
+
+        exp_table = np.zeros(2 * self._order, dtype=np.int64)
+        log_table = np.zeros(self._size, dtype=np.int64)
+        value = 1
+        for power in range(self._order):
+            exp_table[power] = value
+            log_table[value] = power
+            value <<= 1
+            if value & self._size:
+                value ^= poly
+        if value != 1:
+            raise ConfigurationError(
+                f"polynomial 0x{poly:x} is not primitive for m={m}"
+            )
+        # Duplicate the table so exp(i + j) never needs a modulo.
+        exp_table[self._order :] = exp_table[: self._order]
+        self._exp = exp_table
+        self._log = log_table
+
+    @property
+    def m(self) -> int:
+        """Field degree."""
+        return self._m
+
+    @property
+    def order(self) -> int:
+        """Multiplicative group order ``2^m - 1``."""
+        return self._order
+
+    @property
+    def size(self) -> int:
+        """Number of field elements ``2^m``."""
+        return self._size
+
+    def exp(self, power: int) -> int:
+        """``alpha ** power`` (power taken modulo the group order)."""
+        return int(self._exp[power % self._order])
+
+    def log(self, element: int) -> int:
+        """Discrete logarithm base alpha; undefined (raises) for 0."""
+        self._check_element(element)
+        if element == 0:
+            raise ConfigurationError("log(0) is undefined in GF(2^m)")
+        return int(self._log[element])
+
+    def multiply(self, a: int, b: int) -> int:
+        """Field product."""
+        self._check_element(a)
+        self._check_element(b)
+        if a == 0 or b == 0:
+            return 0
+        return int(self._exp[self._log[a] + self._log[b]])
+
+    def inverse(self, element: int) -> int:
+        """Multiplicative inverse; raises for 0."""
+        self._check_element(element)
+        if element == 0:
+            raise ConfigurationError("0 has no inverse in GF(2^m)")
+        return int(self._exp[self._order - self._log[element]])
+
+    def power(self, element: int, exponent: int) -> int:
+        """``element ** exponent`` (negative exponents allowed)."""
+        self._check_element(element)
+        if element == 0:
+            if exponent <= 0:
+                raise ConfigurationError("0 ** e undefined for e <= 0")
+            return 0
+        return int(self._exp[(self._log[element] * exponent) % self._order])
+
+    def poly_eval(self, coefficients: List[int], point: int) -> int:
+        """Evaluate a polynomial (lowest-degree coefficient first)."""
+        result = 0
+        for coefficient in reversed(coefficients):
+            result = self.multiply(result, point) ^ coefficient
+        return result
+
+    def minimal_polynomial(self, element_log: int) -> int:
+        """Minimal polynomial over GF(2) of ``alpha ** element_log``.
+
+        Returned as a GF(2) bitmask polynomial (bit i = coefficient of
+        x^i).  Built from the conjugacy class
+        ``{alpha^(e*2^j)}`` — the product of ``(x - conjugate)`` has
+        coefficients in GF(2).
+        """
+        # Collect the conjugacy class exponents.
+        exponents = []
+        current = element_log % self._order
+        while current not in exponents:
+            exponents.append(current)
+            current = (current * 2) % self._order
+        # poly(x) = prod (x + alpha^e), coefficients in GF(2^m).
+        poly = [1]
+        for exponent in exponents:
+            root = self.exp(exponent)
+            # Multiply poly by (x + root).
+            shifted = [0] + poly
+            scaled = [self.multiply(coefficient, root) for coefficient in poly] + [0]
+            poly = [a ^ b for a, b in zip(shifted, scaled)]
+        mask = 0
+        for degree, coefficient in enumerate(poly):
+            if coefficient not in (0, 1):
+                raise ConfigurationError(
+                    "minimal polynomial has a coefficient outside GF(2); "
+                    "conjugacy-class construction is inconsistent"
+                )
+            mask |= coefficient << degree
+        return mask
+
+    def _check_element(self, element: int) -> None:
+        if not 0 <= element < self._size:
+            raise ConfigurationError(
+                f"{element} is not an element of GF(2^{self._m})"
+            )

@@ -1,0 +1,75 @@
+"""Hamming codes.
+
+``[2^r - 1, 2^r - 1 - r, 3]`` single-error-correcting codes with
+syndrome decoding.  The parity-check matrix columns are the binary
+representations of 1..n, so the syndrome of a single error *is* the
+(1-based) error position — the classic construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodingFailure
+from repro.keygen.ecc.base import BlockCode
+
+
+class HammingCode(BlockCode):
+    """Hamming code of order ``r`` (``r >= 2``).
+
+    Data bits live at the non-power-of-two positions, parity bits at
+    positions 1, 2, 4, ... (1-based), as in the classic layout.
+    """
+
+    def __init__(self, order: int):
+        if order < 2:
+            raise ConfigurationError(f"order must be >= 2, got {order}")
+        self._r = int(order)
+        self._n = (1 << order) - 1
+        self._k = self._n - order
+        positions = np.arange(1, self._n + 1)
+        self._parity_positions = np.array([1 << i for i in range(order)])
+        self._data_positions = np.array(
+            [p for p in positions if p not in set(self._parity_positions)]
+        )
+        # H columns: binary representation of the (1-based) position.
+        self._check_matrix = (
+            (positions[np.newaxis, :] >> np.arange(order)[:, np.newaxis]) & 1
+        ).astype(np.uint8)
+
+    @property
+    def message_bits(self) -> int:
+        return self._k
+
+    @property
+    def codeword_bits(self) -> int:
+        return self._n
+
+    @property
+    def correctable_errors(self) -> int:
+        return 1
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        bits = self._check_message(message)
+        codeword = np.zeros(self._n, dtype=np.uint8)
+        codeword[self._data_positions - 1] = bits
+        syndrome = self._syndrome(codeword)
+        # Setting each parity bit to its syndrome component zeroes the
+        # syndrome: parity position 2^i touches only syndrome bit i.
+        codeword[self._parity_positions - 1] = syndrome
+        return codeword
+
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        word = self._check_received(received).copy()
+        syndrome = self._syndrome(word)
+        position = int(syndrome @ (1 << np.arange(self._r)))
+        if position != 0:
+            if position > self._n:
+                raise DecodingFailure(
+                    f"syndrome {position} exceeds the code length {self._n}"
+                )
+            word[position - 1] ^= 1
+        return word[self._data_positions - 1]
+
+    def _syndrome(self, word: np.ndarray) -> np.ndarray:
+        return (self._check_matrix @ word) % 2

@@ -1,0 +1,209 @@
+"""Polar codes with successive-cancellation decoding.
+
+The paper's ECC boundary ("error correction codes can be designed to
+correct up to 25 % of bit error rate without reproduction failure")
+cites Chen et al., "A Robust SRAM-PUF Key Generation Scheme Based on
+Polar Codes" (GLOBECOM 2017) — reference [13].  This module implements
+that ingredient: a binary polar code designed for a BSC with the PUF's
+expected bit error probability, encoded with the standard butterfly
+and decoded with successive cancellation (SC) in the log-likelihood
+ratio domain.
+
+Construction uses the Bhattacharyya-parameter heuristic: starting from
+``z = 2 sqrt(p (1 - p))`` for the design BSC, the channel split
+recursion ``z- = 2z - z^2`` (degraded) / ``z+ = z^2`` (upgraded) ranks
+the N synthetic channels; the ``k`` most reliable carry data, the rest
+are frozen to zero.
+
+Unlike the bounded-distance decoders in this package, SC decoding has
+no guaranteed correction radius — its strength is *statistical*
+(vanishing error probability below capacity).  ``correctable_errors``
+is therefore reported as 0; use :meth:`failure_rate_estimate` or the
+``bench_ablation_polar`` harness to size a code for a target PUF error
+rate, exactly as [13] does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.keygen.ecc.base import BlockCode
+from repro.rng import RandomState, as_generator
+
+
+def bhattacharyya_parameters(n_levels: int, design_p: float) -> np.ndarray:
+    """Bhattacharyya z-parameters of the ``2**n_levels`` split channels.
+
+    Index order matches the SC decoding order used by this module
+    (natural order, first half = degraded transforms).
+    """
+    if not 0.0 < design_p < 0.5:
+        raise ConfigurationError(f"design_p must be in (0, 0.5), got {design_p}")
+    if n_levels < 1:
+        raise ConfigurationError(f"n_levels must be >= 1, got {n_levels}")
+    def construct(z0: float, levels: int) -> List[float]:
+        # Z_N = [Z_{N/2} over the degraded split, Z_{N/2} over the
+        # upgraded split] — the first half of the u-indices goes into
+        # the left (f-channel) sub-decoder, recursively.
+        if levels == 0:
+            return [z0]
+        return construct(2.0 * z0 - z0 * z0, levels - 1) + construct(
+            z0 * z0, levels - 1
+        )
+
+    return np.array(construct(2.0 * np.sqrt(design_p * (1.0 - design_p)), n_levels))
+
+
+class PolarCode(BlockCode):
+    """Binary polar code over a design BSC.
+
+    Parameters
+    ----------
+    n_levels:
+        Code length is ``2**n_levels``.
+    message_bits:
+        Number of information bits ``k``.
+    design_p:
+        Crossover probability of the BSC the code is designed (and
+        decoded) for — use the PUF's expected worst-case bit error
+        rate.
+
+    Examples
+    --------
+    >>> code = PolarCode(n_levels=7, message_bits=64, design_p=0.05)
+    >>> (code.codeword_bits, code.message_bits)
+    (128, 64)
+    """
+
+    def __init__(self, n_levels: int, message_bits: int, design_p: float = 0.05):
+        self._n = 1 << n_levels
+        if not 0 < message_bits < self._n:
+            raise ConfigurationError(
+                f"message_bits must be in (0, {self._n}), got {message_bits}"
+            )
+        self._k = int(message_bits)
+        self._design_p = float(design_p)
+        z = bhattacharyya_parameters(n_levels, design_p)
+        # The k most reliable (smallest z) synthetic channels carry data.
+        order = np.argsort(z, kind="stable")
+        data_positions = np.sort(order[: self._k])
+        self._frozen = np.ones(self._n, dtype=bool)
+        self._frozen[data_positions] = False
+        self._data_positions = data_positions
+        self._z = z
+
+    @property
+    def message_bits(self) -> int:
+        return self._k
+
+    @property
+    def codeword_bits(self) -> int:
+        return self._n
+
+    @property
+    def correctable_errors(self) -> int:
+        """0 — SC decoding has no guaranteed radius (see module docs)."""
+        return 0
+
+    @property
+    def design_p(self) -> float:
+        """The BSC crossover probability the code was designed for."""
+        return self._design_p
+
+    @property
+    def frozen_mask(self) -> np.ndarray:
+        """Boolean mask of frozen synthetic-channel positions."""
+        return self._frozen.copy()
+
+    def bhattacharyya_bound(self) -> float:
+        """Union (Bhattacharyya) bound on the block error probability.
+
+        The sum of z-parameters over the information set — the design-
+        time proxy [13] uses to pick code dimensions.
+        """
+        return float(self._z[self._data_positions].sum())
+
+    # -- encoding ---------------------------------------------------------
+
+    @staticmethod
+    def _transform(u: np.ndarray) -> np.ndarray:
+        """The polar butterfly ``x = u G_N`` (natural order, in place)."""
+        x = u.copy()
+        n = x.size
+        half = 1
+        while half < n:
+            for start in range(0, n, 2 * half):
+                x[start : start + half] ^= x[start + half : start + 2 * half]
+            half *= 2
+        return x
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        bits = self._check_message(message)
+        u = np.zeros(self._n, dtype=np.uint8)
+        u[self._data_positions] = bits
+        return self._transform(u)
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        word = self._check_received(received)
+        # Channel LLR of a BSC(design_p): +llr0 for a received 0.
+        llr0 = float(np.log((1.0 - self._design_p) / self._design_p))
+        llrs = np.where(word == 0, llr0, -llr0).astype(float)
+        u_hat, _x_hat = self._sc_decode(llrs, self._frozen)
+        return u_hat[self._data_positions]
+
+    def _sc_decode(
+        self, llrs: np.ndarray, frozen: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Recursive SC: returns (u estimates, re-encoded x estimates)."""
+        if llrs.size == 1:
+            if frozen[0]:
+                u = np.zeros(1, dtype=np.uint8)
+            else:
+                u = np.array([0 if llrs[0] >= 0 else 1], dtype=np.uint8)
+            return u, u.copy()
+        half = llrs.size // 2
+        a, b = llrs[:half], llrs[half:]
+        # f (check-node, min-sum): degraded channel for the left half.
+        f = np.sign(a) * np.sign(b) * np.minimum(np.abs(a), np.abs(b))
+        u_left, x_left = self._sc_decode(f, frozen[:half])
+        # g (variable-node): upgraded channel given the left decisions.
+        g = b + (1.0 - 2.0 * x_left.astype(float)) * a
+        u_right, x_right = self._sc_decode(g, frozen[half:])
+        return (
+            np.concatenate([u_left, u_right]),
+            np.concatenate([x_left ^ x_right, x_right]),
+        )
+
+    # -- design-time evaluation -------------------------------------------
+
+    def failure_rate_estimate(
+        self,
+        channel_p: float = None,
+        trials: int = 200,
+        random_state: RandomState = None,
+    ) -> float:
+        """Monte-Carlo block error rate on a BSC.
+
+        ``channel_p`` defaults to the design probability.  Used by the
+        polar ablation bench to reproduce the sizing methodology of
+        [13].
+        """
+        if trials < 1:
+            raise ConfigurationError(f"trials must be >= 1, got {trials}")
+        p = self._design_p if channel_p is None else float(channel_p)
+        if not 0.0 <= p < 0.5:
+            raise ConfigurationError(f"channel_p must be in [0, 0.5), got {p}")
+        rng = as_generator(random_state, "polar-mc")
+        failures = 0
+        for _ in range(trials):
+            message = rng.integers(0, 2, self._k, dtype=np.uint8)
+            codeword = self.encode(message)
+            noise = (rng.random(self._n) < p).astype(np.uint8)
+            decoded = self.decode(codeword ^ noise)
+            failures += not np.array_equal(decoded, message)
+        return failures / trials

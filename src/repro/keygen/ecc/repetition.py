@@ -1,0 +1,54 @@
+"""Repetition code.
+
+The simplest PUF workhorse: each message bit is repeated ``n`` times
+and decoded by majority vote.  An odd-length repetition code corrects
+``(n - 1) / 2`` errors per bit — an ``n = 11`` repetition code already
+handles the >25 % bit error rates the paper's ECC boundary mentions,
+at a steep rate cost.  Usually used as the *inner* code of a
+concatenation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.keygen.ecc.base import BlockCode
+
+
+class RepetitionCode(BlockCode):
+    """``[n, 1, n]`` repetition code with majority decoding.
+
+    Parameters
+    ----------
+    repetitions:
+        Codeword length; must be odd so majority votes cannot tie.
+    """
+
+    def __init__(self, repetitions: int):
+        if repetitions < 1 or repetitions % 2 == 0:
+            raise ConfigurationError(
+                f"repetitions must be a positive odd number, got {repetitions}"
+            )
+        self._n = int(repetitions)
+
+    @property
+    def message_bits(self) -> int:
+        return 1
+
+    @property
+    def codeword_bits(self) -> int:
+        return self._n
+
+    @property
+    def correctable_errors(self) -> int:
+        return (self._n - 1) // 2
+
+    def encode(self, message: np.ndarray) -> np.ndarray:
+        bits = self._check_message(message)
+        return np.repeat(bits, self._n)
+
+    def decode(self, received: np.ndarray) -> np.ndarray:
+        word = self._check_received(received)
+        majority = 1 if int(word.sum()) * 2 > self._n else 0
+        return np.array([majority], dtype=np.uint8)

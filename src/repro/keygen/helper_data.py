@@ -1,0 +1,141 @@
+"""The code-offset fuzzy extractor (helper-data scheme).
+
+Enrollment draws a uniformly random message, encodes it, and publishes
+``helper = codeword XOR puf_response``.  Reconstruction XORs the helper
+with a *noisy* re-measurement — yielding ``codeword XOR error`` — and
+decodes; success reproduces the enrolled message exactly.
+
+The helper data is public: for a full-entropy PUF response it leaks
+nothing about the message (one-time-pad argument); for a *biased*
+response it leaks ``n - k`` bits at most, which is why debiasing
+(:mod:`repro.keygen.debias`) precedes sketching for sources like the
+paper's 62.7 %-biased SRAMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DecodingFailure, ReconstructionFailure
+from repro.io.bitutil import ensure_bits
+from repro.keygen.ecc.base import BlockCode
+from repro.rng import RandomState, as_generator
+
+
+@dataclass(frozen=True)
+class HelperData:
+    """Public helper data of one enrolled secret.
+
+    Attributes
+    ----------
+    offset:
+        ``codeword XOR response`` per block, flattened.
+    blocks:
+        Number of code blocks the response was split into.
+    code_name:
+        Descriptive label of the code used (consistency check at
+        reconstruction time).
+    """
+
+    offset: np.ndarray = field(repr=False)
+    blocks: int
+    code_name: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "offset", ensure_bits(self.offset))
+        if self.blocks < 1:
+            raise ConfigurationError(f"blocks must be >= 1, got {self.blocks}")
+        if self.offset.size % self.blocks != 0:
+            raise ConfigurationError("offset length must divide evenly into blocks")
+
+
+class CodeOffsetSketch:
+    """Code-offset secure sketch over a block code.
+
+    Parameters
+    ----------
+    code:
+        The error-correcting code; its correction radius must exceed
+        the worst-case response noise for reliable reconstruction.
+    """
+
+    def __init__(self, code: BlockCode):
+        self._code = code
+
+    @property
+    def code(self) -> BlockCode:
+        """The underlying block code."""
+        return self._code
+
+    def response_bits_needed(self, secret_bits: int) -> int:
+        """PUF response bits consumed to sketch ``secret_bits``."""
+        if secret_bits < 1:
+            raise ConfigurationError(f"secret_bits must be >= 1, got {secret_bits}")
+        blocks = -(-secret_bits // self._code.message_bits)  # ceil division
+        return blocks * self._code.codeword_bits
+
+    def enroll(
+        self, response: np.ndarray, secret_bits: int, random_state: RandomState = None
+    ) -> tuple:
+        """Enroll: returns ``(secret, helper_data)``.
+
+        ``response`` must supply at least
+        :meth:`response_bits_needed` bits; extras are ignored.
+        """
+        bits = ensure_bits(response)
+        needed = self.response_bits_needed(secret_bits)
+        if bits.size < needed:
+            raise ConfigurationError(
+                f"response too short: need {needed} bits, got {bits.size}"
+            )
+        rng = as_generator(random_state, "code-offset-enroll")
+        blocks = needed // self._code.codeword_bits
+        secret = rng.integers(
+            0, 2, size=blocks * self._code.message_bits, dtype=np.uint8
+        )
+        messages = secret.reshape(blocks, self._code.message_bits)
+        codewords = self._code.encode_blocks(messages)
+        offset = codewords.ravel() ^ bits[:needed]
+        helper = HelperData(
+            offset=offset, blocks=blocks, code_name=repr(self._code)
+        )
+        return secret[:secret_bits], helper
+
+    def reconstruct(self, response: np.ndarray, helper: HelperData, secret_bits: int) -> np.ndarray:
+        """Recover the enrolled secret from a noisy re-measurement.
+
+        Raises
+        ------
+        ReconstructionFailure
+            When any block's error weight exceeds the code's decoding
+            capability.
+        """
+        if helper.code_name != repr(self._code):
+            raise ConfigurationError(
+                f"helper data was made with {helper.code_name}, "
+                f"not {self._code!r}"
+            )
+        bits = ensure_bits(response)
+        needed = helper.offset.size
+        if bits.size < needed:
+            raise ConfigurationError(
+                f"response too short: need {needed} bits, got {bits.size}"
+            )
+        noisy_codewords = (helper.offset ^ bits[:needed]).reshape(
+            helper.blocks, self._code.codeword_bits
+        )
+        try:
+            messages = self._code.decode_blocks(noisy_codewords)
+        except DecodingFailure as exc:
+            raise ReconstructionFailure(
+                f"secret reconstruction failed: {exc}"
+            ) from exc
+        secret = messages.ravel()
+        if secret.size < secret_bits:
+            raise ConfigurationError(
+                f"helper data only covers {secret.size} secret bits, "
+                f"requested {secret_bits}"
+            )
+        return secret[:secret_bits]

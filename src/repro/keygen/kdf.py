@@ -1,0 +1,49 @@
+"""Key derivation: hash conditioning of reconstructed secrets.
+
+The fuzzy extractor's reconstructed message still reflects the sketch's
+entropy loss, so the final key is derived through a cryptographic hash
+(SHA-256), optionally domain-separated by a context label — the
+standard "conditioning" stage of commercial PUF key generators.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.io.bitutil import ensure_bits, pack_bits, unpack_bits
+
+
+def derive_key(
+    secret_bits: np.ndarray, key_bits: int = 256, context: str = "repro-sram-puf-key"
+) -> np.ndarray:
+    """Derive ``key_bits`` key bits from a reconstructed secret.
+
+    Uses SHA-256 in counter mode (NIST SP 800-108 style) over the
+    packed secret, domain-separated by ``context``.
+    """
+    if key_bits < 1:
+        raise ConfigurationError(f"key_bits must be >= 1, got {key_bits}")
+    bits = ensure_bits(secret_bits)
+    if bits.size == 0:
+        raise ConfigurationError("cannot derive a key from an empty secret")
+    # Pad the secret to a byte boundary for packing.
+    padding = (-bits.size) % 8
+    padded = np.concatenate([bits, np.zeros(padding, dtype=np.uint8)])
+    secret_bytes = pack_bits(padded)
+
+    output = bytearray()
+    counter = 0
+    while len(output) * 8 < key_bits:
+        block = hashlib.sha256(
+            counter.to_bytes(4, "big")
+            + context.encode("utf-8")
+            + b"\x00"
+            + len(bits).to_bytes(4, "big")
+            + secret_bytes
+        ).digest()
+        output.extend(block)
+        counter += 1
+    return unpack_bits(bytes(output), bit_count=key_bits)

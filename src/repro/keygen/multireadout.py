@@ -1,0 +1,90 @@
+"""Temporal majority voting (TMV) over repeated power-ups.
+
+A standard pre-ECC noise reducer in deployed PUF key generators: read
+the PUF ``votes`` times (odd), take the per-bit majority, and hand the
+ECC a far cleaner response.  A cell with flip probability ``q`` mis-
+votes with probability ``P[Bin(votes, q) > votes / 2]`` — e.g. 3 %
+per-read error becomes ~0.26 % with 3 votes and ~0.03 % with 5.
+
+TMV trades *time* (power cycles at reconstruction) for ECC *rate*, the
+dual of what an inner repetition code does with *space*.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError
+from repro.sram.chip import SRAMChip
+
+
+def majority_vote(readouts: np.ndarray) -> np.ndarray:
+    """Per-bit majority of a ``(votes, bits)`` read-out block.
+
+    Requires an odd number of rows so no tie-breaking rule is needed.
+    """
+    block = np.asarray(readouts)
+    if block.ndim != 2:
+        raise ConfigurationError(f"readouts must be 2-D, got shape {block.shape}")
+    votes = block.shape[0]
+    if votes % 2 == 0:
+        raise ConfigurationError(f"vote count must be odd, got {votes}")
+    if block.size and (block.min() < 0 or block.max() > 1):
+        raise ConfigurationError("readouts may only contain 0 and 1")
+    return (block.sum(axis=0) * 2 > votes).astype(np.uint8)
+
+
+def voted_error_rate(per_read_error: float, votes: int) -> float:
+    """Post-TMV bit error probability for a per-read error rate.
+
+    ``P[Bin(votes, q) > votes / 2]`` — exact for independent reads.
+    """
+    if not 0.0 <= per_read_error <= 1.0:
+        raise ConfigurationError(
+            f"per_read_error must be in [0, 1], got {per_read_error}"
+        )
+    if votes < 1 or votes % 2 == 0:
+        raise ConfigurationError(f"votes must be a positive odd number, got {votes}")
+    return float(stats.binom.sf(votes // 2, votes, per_read_error))
+
+
+class VotedReadout:
+    """Reads a chip with temporal majority voting.
+
+    Parameters
+    ----------
+    chip:
+        The device.
+    votes:
+        Odd number of power-ups per logical read-out.
+
+    Examples
+    --------
+    >>> from repro.sram import SRAMChip
+    >>> reader = VotedReadout(SRAMChip(0, random_state=3), votes=5)
+    >>> reader.read().size
+    8192
+    """
+
+    def __init__(self, chip: SRAMChip, votes: int = 3):
+        if votes < 1 or votes % 2 == 0:
+            raise ConfigurationError(f"votes must be a positive odd number, got {votes}")
+        self._chip = chip
+        self._votes = votes
+
+    @property
+    def chip(self) -> SRAMChip:
+        """The underlying device."""
+        return self._chip
+
+    @property
+    def votes(self) -> int:
+        """Power-ups per logical read-out."""
+        return self._votes
+
+    def read(self) -> np.ndarray:
+        """One TMV read-out (costs ``votes`` power cycles)."""
+        if self._votes == 1:
+            return self._chip.read_startup()
+        return majority_vote(self._chip.read_startup(self._votes))

@@ -1,0 +1,68 @@
+"""Histogram summaries for Fig. 5 style plots.
+
+Fig. 5 of the paper overlays the distributions of within-class HD,
+between-class HD and fractional Hamming weight over the [0, 1] range.
+:func:`fractional_histogram` bins fractional statistics on that range
+and reports counts as percentages, which is exactly the figure's
+y-axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """A binned distribution of a fractional statistic.
+
+    Attributes
+    ----------
+    bin_edges:
+        ``bins + 1`` edges spanning [0, 1].
+    percentages:
+        Per-bin share of samples, in percent (sums to 100).
+    sample_count:
+        Number of samples binned.
+    """
+
+    bin_edges: np.ndarray
+    percentages: np.ndarray
+    sample_count: int
+
+    @property
+    def bin_centers(self) -> np.ndarray:
+        """Midpoints of the bins (convenient for plotting)."""
+        return (self.bin_edges[:-1] + self.bin_edges[1:]) / 2.0
+
+    def mode_center(self) -> float:
+        """Center of the most populated bin."""
+        return float(self.bin_centers[int(np.argmax(self.percentages))])
+
+    def mass_between(self, low: float, high: float) -> float:
+        """Percentage of samples whose bin center lies in [low, high]."""
+        centers = self.bin_centers
+        mask = (centers >= low) & (centers <= high)
+        return float(self.percentages[mask].sum())
+
+
+def fractional_histogram(values, bins: int = 50) -> HistogramSummary:
+    """Bin fractional statistics over [0, 1] with percentage counts."""
+    arr = np.asarray(values, dtype=float).ravel()
+    if arr.size == 0:
+        raise ConfigurationError("cannot histogram an empty sample")
+    if arr.min() < 0.0 or arr.max() > 1.0:
+        raise ConfigurationError("fractional statistics must lie in [0, 1]")
+    if bins <= 0:
+        raise ConfigurationError(f"bins must be positive, got {bins}")
+    counts, edges = np.histogram(arr, bins=bins, range=(0.0, 1.0))
+    return HistogramSummary(
+        bin_edges=edges,
+        percentages=100.0 * counts / arr.size,
+        sample_count=int(arr.size),
+    )

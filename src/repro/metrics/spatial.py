@@ -1,0 +1,112 @@
+"""Spatial and cross-device bit statistics.
+
+Complements the paper's metric set with the standard PUF
+characterisation suite (Maiti et al., Hori et al.):
+
+* **bit aliasing** — per bit *location*, the fraction of devices that
+  power up to 1 there.  Systematic layout effects show up as locations
+  aliased toward 0 or 1 across the whole population; the ideal is 0.5.
+* **uniformity** — per-device fraction of ones (the paper's FHW).
+* **autocorrelation** — correlation of a response with shifted copies
+  of itself; reveals address-pattern structure a histogram hides.
+* **neighbourhood correlation** — correlation between physically
+  adjacent cells in the 2-D layout (Fig. 4's visual randomness,
+  quantified).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.io.bitutil import ensure_bits
+
+
+def bit_aliasing(readouts: Sequence) -> np.ndarray:
+    """Per-location one-fraction across devices (ideal: 0.5).
+
+    ``readouts`` holds one response per device; the result has one
+    value per bit location.
+    """
+    vectors = [ensure_bits(r) for r in readouts]
+    if len(vectors) < 2:
+        raise ConfigurationError("bit aliasing needs at least two devices")
+    length = vectors[0].size
+    for vec in vectors[1:]:
+        if vec.size != length:
+            raise ConfigurationError("all read-outs must have equal length")
+    return np.stack(vectors).mean(axis=0)
+
+
+def uniformity(response) -> float:
+    """Fraction of ones in one device's response (= FHW)."""
+    bits = ensure_bits(response)
+    if bits.size == 0:
+        raise ConfigurationError("cannot compute uniformity of an empty response")
+    return float(bits.mean())
+
+
+def autocorrelation(response, max_lag: int = 64) -> np.ndarray:
+    """Normalised autocorrelation of a response for lags 1..max_lag.
+
+    Values near 0 indicate no address-dependent structure; the PUF
+    ideal.  Lag ``k`` compares ``bits[:-k]`` with ``bits[k:]``.
+    """
+    bits = ensure_bits(response).astype(float)
+    if max_lag < 1:
+        raise ConfigurationError(f"max_lag must be >= 1, got {max_lag}")
+    if bits.size <= max_lag + 1:
+        raise ConfigurationError(
+            f"response of {bits.size} bits is too short for max_lag={max_lag}"
+        )
+    centered = bits - bits.mean()
+    variance = float(np.dot(centered, centered))
+    if variance == 0.0:
+        raise ConfigurationError("constant response has undefined autocorrelation")
+    return np.array(
+        [
+            float(np.dot(centered[:-lag], centered[lag:])) / variance
+            for lag in range(1, max_lag + 1)
+        ]
+    )
+
+
+def neighbourhood_correlation(response, width: int) -> dict:
+    """Pearson correlation of horizontally/vertically adjacent cells.
+
+    Interprets the response as a ``(rows, width)`` bitmap (the Fig. 4
+    layout) and correlates each cell with its right and lower
+    neighbour.
+    """
+    bits = ensure_bits(response)
+    if width < 2 or bits.size % width != 0:
+        raise ConfigurationError(f"width {width} does not tile {bits.size} bits")
+    image = bits.reshape(-1, width).astype(float)
+    if image.shape[0] < 2:
+        raise ConfigurationError("need at least two rows for vertical correlation")
+
+    def correlation(a: np.ndarray, b: np.ndarray) -> float:
+        a_flat, b_flat = a.ravel(), b.ravel()
+        if a_flat.std() == 0 or b_flat.std() == 0:
+            raise ConfigurationError("constant plane has undefined correlation")
+        return float(np.corrcoef(a_flat, b_flat)[0, 1])
+
+    return {
+        "horizontal": correlation(image[:, :-1], image[:, 1:]),
+        "vertical": correlation(image[:-1, :], image[1:, :]),
+    }
+
+
+def aliasing_extremes(readouts: Sequence, threshold: float = 0.1) -> float:
+    """Fraction of locations aliased within ``threshold`` of 0 or 1.
+
+    Heavily aliased locations are predictable across devices and
+    contribute no uniqueness; this is the scalar the paper's PUF
+    entropy ultimately reflects.
+    """
+    if not 0.0 < threshold < 0.5:
+        raise ConfigurationError(f"threshold must be in (0, 0.5), got {threshold}")
+    aliasing = bit_aliasing(readouts)
+    return float(((aliasing < threshold) | (aliasing > 1.0 - threshold)).mean())

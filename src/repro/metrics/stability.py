@@ -1,0 +1,62 @@
+"""Cell stability metrics (paper Section IV-C.1).
+
+A cell's **one-probability** ``p_i = Pr(R_i = 1)`` is estimated as the
+fraction of a measurement block's power-ups reading 1.  A cell is
+**stable** (in a given month) when its estimate over the block is
+exactly 0 or 1 — it never flipped in 1,000 consecutive power-ups.  The
+stable-cell *ratio* is the paper's proxy for how much of the SRAM is
+useless to a TRNG; aging pushes it down (85.9 % → 83.7 % over the two
+years).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def one_probabilities_from_counts(ones_counts: np.ndarray, measurements: int) -> np.ndarray:
+    """Per-cell one-probability estimates from a measurement block."""
+    counts = np.asarray(ones_counts)
+    if measurements <= 0:
+        raise ConfigurationError(f"measurements must be positive, got {measurements}")
+    if counts.size == 0:
+        raise ConfigurationError("cannot estimate probabilities of an empty array")
+    if counts.min() < 0 or counts.max() > measurements:
+        raise ConfigurationError("ones_counts out of range for the measurement count")
+    return counts / float(measurements)
+
+
+def stable_cell_mask(ones_counts: np.ndarray, measurements: int) -> np.ndarray:
+    """Boolean mask of cells that never flipped in the block."""
+    counts = np.asarray(ones_counts)
+    if measurements <= 0:
+        raise ConfigurationError(f"measurements must be positive, got {measurements}")
+    if counts.size and (counts.min() < 0 or counts.max() > measurements):
+        raise ConfigurationError("ones_counts out of range for the measurement count")
+    return (counts == 0) | (counts == measurements)
+
+
+def stable_cell_ratio_from_counts(ones_counts: np.ndarray, measurements: int) -> float:
+    """Fraction of cells stable over the block."""
+    mask = stable_cell_mask(ones_counts, measurements)
+    if mask.size == 0:
+        raise ConfigurationError("cannot compute stable ratio of an empty array")
+    return float(mask.mean())
+
+
+def stable_cell_ratio(measurements: np.ndarray) -> float:
+    """Stable-cell ratio from a raw (measurements x cells) bit block."""
+    block = np.asarray(measurements)
+    if block.ndim != 2:
+        raise ConfigurationError(
+            f"measurements must be 2-D (measurements x cells), got shape {block.shape}"
+        )
+    if block.shape[0] < 2:
+        raise ConfigurationError("stability needs at least two measurements")
+    if block.min() < 0 or block.max() > 1:
+        raise ConfigurationError("bit matrix may only contain 0 and 1")
+    return stable_cell_ratio_from_counts(
+        block.sum(axis=0, dtype=np.int64), block.shape[0]
+    )

@@ -1,0 +1,163 @@
+"""Table I style aggregation.
+
+The paper summarises each quality metric with four numbers: the
+**start** and **end** values, the **relative change** between them, and
+the **monthly change** — which, as reverse-engineering the published
+table shows, is the *geometric* mean monthly rate
+``(end / start) ** (1 / months) - 1`` (it reproduces every printed
+value: +0.74 %, −0.11 %, +1.28 %, ...).
+
+Each row is reported for the **average (AVG.)** and the **worst-case
+(WC.)** device.  "Worst" is metric-specific: the highest WCHD, the
+most biased HW, the fewest stable cells, the lowest noise entropy, the
+lowest BCHD.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def geometric_monthly_change(start: float, end: float, months: float) -> float:
+    """Geometric mean monthly rate between two values.
+
+    ``(end / start) ** (1 / months) - 1``; the paper's "Monthly
+    Change" column.  Requires positive values and a positive duration.
+    """
+    if months <= 0:
+        raise ConfigurationError(f"months must be positive, got {months}")
+    if start <= 0 or end <= 0:
+        raise ConfigurationError("geometric rate needs positive start and end values")
+    return (end / start) ** (1.0 / months) - 1.0
+
+
+def relative_change(start: float, end: float) -> float:
+    """Fractional change ``(end - start) / start``."""
+    if start == 0:
+        raise ConfigurationError("relative change undefined for a zero start value")
+    return (end - start) / start
+
+
+class WorstDirection(enum.Enum):
+    """Which tail of the device population is the worst case."""
+
+    HIGHEST = "highest"
+    LOWEST = "lowest"
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """One Table I row: a metric's start/end/changes for AVG and WC.
+
+    ``negligible`` mirrors the paper's footnote: a change whose
+    magnitude is below 0.01 % absolute is reported as negligible.
+    """
+
+    name: str
+    months: float
+    start_avg: float
+    end_avg: float
+    start_worst: float
+    end_worst: float
+
+    #: Absolute change below which the paper prints "negligible".
+    NEGLIGIBLE_THRESHOLD = 1e-4
+
+    def _changes(self, start: float, end: float):
+        if abs(end - start) < self.NEGLIGIBLE_THRESHOLD:
+            return None, None
+        return relative_change(start, end), geometric_monthly_change(start, end, self.months)
+
+    @property
+    def relative_change_avg(self) -> Optional[float]:
+        """AVG relative change, or None when negligible."""
+        return self._changes(self.start_avg, self.end_avg)[0]
+
+    @property
+    def monthly_change_avg(self) -> Optional[float]:
+        """AVG geometric monthly change, or None when negligible."""
+        return self._changes(self.start_avg, self.end_avg)[1]
+
+    @property
+    def relative_change_worst(self) -> Optional[float]:
+        """WC relative change, or None when negligible."""
+        return self._changes(self.start_worst, self.end_worst)[0]
+
+    @property
+    def monthly_change_worst(self) -> Optional[float]:
+        """WC geometric monthly change, or None when negligible."""
+        return self._changes(self.start_worst, self.end_worst)[1]
+
+    @staticmethod
+    def from_device_values(
+        name: str,
+        start_per_device: Sequence[float],
+        end_per_device: Sequence[float],
+        months: float,
+        worst: WorstDirection,
+    ) -> "MetricSummary":
+        """Build a row from per-device start and end values.
+
+        The worst-case column tracks the single worst device at each
+        epoch (matching the paper, whose WC start and end need not be
+        the same physical board).
+        """
+        start = np.asarray(start_per_device, dtype=float)
+        end = np.asarray(end_per_device, dtype=float)
+        if start.size == 0 or end.size == 0:
+            raise ConfigurationError("need at least one device value per epoch")
+        pick = np.max if worst is WorstDirection.HIGHEST else np.min
+        return MetricSummary(
+            name=name,
+            months=months,
+            start_avg=float(start.mean()),
+            end_avg=float(end.mean()),
+            start_worst=float(pick(start)),
+            end_worst=float(pick(end)),
+        )
+
+    def format_rows(self) -> List[str]:
+        """Render the row pair (AVG., WC.) as aligned text lines."""
+
+        def fmt_pct(value: float) -> str:
+            return f"{100 * value:7.2f}%"
+
+        def fmt_change(value: Optional[float]) -> str:
+            return "  negligible" if value is None else f"{100 * value:+10.2f}%"
+
+        return [
+            f"{self.name:<22} AVG. {fmt_pct(self.start_avg)} {fmt_pct(self.end_avg)}"
+            f" {fmt_change(self.relative_change_avg)} {fmt_change(self.monthly_change_avg)}",
+            f"{'':<22} WC.  {fmt_pct(self.start_worst)} {fmt_pct(self.end_worst)}"
+            f" {fmt_change(self.relative_change_worst)} {fmt_change(self.monthly_change_worst)}",
+        ]
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """A full Table I: one :class:`MetricSummary` per quality metric."""
+
+    months: float
+    summaries: Dict[str, MetricSummary]
+
+    def __getitem__(self, name: str) -> MetricSummary:
+        if name not in self.summaries:
+            raise KeyError(f"no summary named {name!r}; have {sorted(self.summaries)}")
+        return self.summaries[name]
+
+    def render(self) -> str:
+        """Render the whole table as text (the Table I bench output)."""
+        header = (
+            f"{'Evaluation':<22}      {'Start':>8} {'End':>8}"
+            f" {'Relative':>11} {'Monthly':>11}"
+        )
+        lines = [header, "-" * len(header)]
+        for summary in self.summaries.values():
+            lines.extend(summary.format_rows())
+        return "\n".join(lines)

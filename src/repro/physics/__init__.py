@@ -1,0 +1,53 @@
+"""Device-level physics models.
+
+This subpackage provides the silicon-level building blocks used by the
+SRAM simulator:
+
+* :mod:`repro.physics.constants` — physical constants and nominal
+  operating points.
+* :mod:`repro.physics.process` — manufacturing process variation
+  (Pelgrom threshold-voltage mismatch).
+* :mod:`repro.physics.transistor` — a minimal MOSFET threshold-voltage
+  model.
+* :mod:`repro.physics.nbti` — Bias Temperature Instability (NBTI/PBTI)
+  aging: power-law threshold drift with duty-cycle stress and recovery.
+* :mod:`repro.physics.noise` — additive electrical noise with
+  temperature dependence.
+* :mod:`repro.physics.acceleration` — Arrhenius / voltage acceleration
+  factors linking accelerated stress tests to nominal-condition aging.
+"""
+
+from repro.physics.acceleration import AccelerationModel, arrhenius_factor, voltage_factor
+from repro.physics.constants import (
+    BOLTZMANN_EV,
+    CELSIUS_OFFSET,
+    HOURS_PER_MONTH,
+    ROOM_TEMPERATURE_K,
+    SECONDS_PER_MONTH,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+)
+from repro.physics.nbti import BTIModel, BTIStress
+from repro.physics.noise import NoiseModel
+from repro.physics.process import MismatchSpec, PelgromModel
+from repro.physics.transistor import Transistor, TransistorType
+
+__all__ = [
+    "AccelerationModel",
+    "arrhenius_factor",
+    "voltage_factor",
+    "BOLTZMANN_EV",
+    "CELSIUS_OFFSET",
+    "HOURS_PER_MONTH",
+    "ROOM_TEMPERATURE_K",
+    "SECONDS_PER_MONTH",
+    "celsius_to_kelvin",
+    "kelvin_to_celsius",
+    "BTIModel",
+    "BTIStress",
+    "NoiseModel",
+    "MismatchSpec",
+    "PelgromModel",
+    "Transistor",
+    "TransistorType",
+]

@@ -1,0 +1,103 @@
+"""Acceleration factors for stress testing.
+
+Accelerated aging tests run devices at elevated temperature and supply
+voltage so that months of field aging are compressed into days.  The
+link between stress time and equivalent field time is the product of an
+Arrhenius temperature factor and an exponential (or power-law) voltage
+factor.
+
+The paper's central comparison — nominal-condition aging at +0.74 %
+WCHD/month versus the +1.28 %/month inferred from accelerated aging
+(Maes & van der Leest, HOST 2014) — is an argument about exactly these
+factors: projecting accelerated stress back to the field with standard
+factors *overestimates* nominal degradation.  :class:`AccelerationModel`
+lets benchmarks reproduce both sides of that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.physics.constants import BOLTZMANN_EV
+
+
+def arrhenius_factor(
+    use_temperature_k: float, stress_temperature_k: float, activation_energy_ev: float
+) -> float:
+    """Arrhenius acceleration of stress at ``stress_temperature_k``.
+
+    Returns how many seconds of use-condition aging one second of
+    stress-condition aging is worth:
+
+    .. math:: AF_T = e^{\\frac{E_a}{k}(\\frac{1}{T_{use}} - \\frac{1}{T_{stress}})}
+    """
+    if use_temperature_k <= 0 or stress_temperature_k <= 0:
+        raise ConfigurationError("temperatures must be positive")
+    if activation_energy_ev < 0:
+        raise ConfigurationError("activation energy cannot be negative")
+    return float(
+        np.exp(
+            (activation_energy_ev / BOLTZMANN_EV)
+            * (1.0 / use_temperature_k - 1.0 / stress_temperature_k)
+        )
+    )
+
+
+def voltage_factor(use_voltage_v: float, stress_voltage_v: float, gamma: float) -> float:
+    """Voltage acceleration ``(V_stress / V_use) ** gamma``."""
+    if use_voltage_v <= 0 or stress_voltage_v <= 0:
+        raise ConfigurationError("voltages must be positive")
+    return float((stress_voltage_v / use_voltage_v) ** gamma)
+
+
+@dataclass(frozen=True)
+class AccelerationModel:
+    """Combined temperature + voltage acceleration between two conditions.
+
+    Parameters
+    ----------
+    use_temperature_k, use_voltage_v:
+        The field (nominal) condition.
+    stress_temperature_k, stress_voltage_v:
+        The accelerated test condition.
+    activation_energy_ev:
+        NBTI Arrhenius activation energy.
+    voltage_exponent:
+        NBTI voltage-overdrive exponent.
+    """
+
+    use_temperature_k: float
+    use_voltage_v: float
+    stress_temperature_k: float
+    stress_voltage_v: float
+    activation_energy_ev: float = 0.5
+    voltage_exponent: float = 3.0
+
+    @property
+    def temperature_factor(self) -> float:
+        """Arrhenius contribution to the overall acceleration."""
+        return arrhenius_factor(
+            self.use_temperature_k, self.stress_temperature_k, self.activation_energy_ev
+        )
+
+    @property
+    def overall_factor(self) -> float:
+        """Total drift acceleration (applies to the BTI *amplitude*)."""
+        return self.temperature_factor * voltage_factor(
+            self.use_voltage_v, self.stress_voltage_v, self.voltage_exponent
+        )
+
+    def equivalent_field_seconds(self, stress_seconds: float, time_exponent: float) -> float:
+        """Field seconds matched by ``stress_seconds`` of accelerated stress.
+
+        Because BTI drift goes as ``t**n``, an amplitude acceleration
+        ``AF`` is equivalent to a *time* acceleration ``AF**(1/n)``.
+        """
+        if stress_seconds < 0:
+            raise ConfigurationError("stress_seconds cannot be negative")
+        if not 0.0 < time_exponent <= 1.0:
+            raise ConfigurationError(f"time_exponent must be in (0, 1], got {time_exponent}")
+        return stress_seconds * self.overall_factor ** (1.0 / time_exponent)

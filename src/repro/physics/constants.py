@@ -1,0 +1,33 @@
+"""Physical constants and unit helpers.
+
+The simulator works in SI-ish engineering units: volts, seconds,
+kelvin.  Campaign-level code frequently thinks in *months* (the paper's
+evaluation cadence), so month/second conversions live here too.
+"""
+
+from __future__ import annotations
+
+#: Boltzmann constant in eV/K (used by Arrhenius factors).
+BOLTZMANN_EV = 8.617333262e-5
+
+#: 0 degrees Celsius in kelvin.
+CELSIUS_OFFSET = 273.15
+
+#: Room temperature — the paper's nominal test condition.
+ROOM_TEMPERATURE_K = 25.0 + CELSIUS_OFFSET
+
+#: Mean Gregorian month length in hours (365.2425 days / 12).
+HOURS_PER_MONTH = 365.2425 * 24.0 / 12.0
+
+#: Mean Gregorian month length in seconds.
+SECONDS_PER_MONTH = HOURS_PER_MONTH * 3600.0
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from Celsius to kelvin."""
+    return temp_c + CELSIUS_OFFSET
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from kelvin to Celsius."""
+    return temp_k - CELSIUS_OFFSET

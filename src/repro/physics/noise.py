@@ -1,0 +1,68 @@
+"""Electrical noise model.
+
+Each SRAM power-up adds an independent noise perturbation to the cell's
+static threshold imbalance; cells whose imbalance is comparable to the
+noise amplitude flip from power-up to power-up, which is the physical
+source of both PUF *unreliability* and TRNG *entropy*.
+
+The model is additive zero-mean Gaussian voltage noise whose standard
+deviation scales with the square root of absolute temperature (thermal
+noise), optionally with slow ambient-temperature drift to mimic an
+uncontrolled lab (the paper's "room temperature" condition produces
+visibly jagged month-to-month curves in Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.physics.constants import ROOM_TEMPERATURE_K
+from repro.rng import RandomState, as_generator
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Temperature-dependent additive Gaussian voltage noise.
+
+    Parameters
+    ----------
+    sigma_v:
+        Noise standard deviation in volts at the reference temperature.
+    reference_temperature_k:
+        Temperature at which ``sigma_v`` is specified.
+    """
+
+    sigma_v: float
+    reference_temperature_k: float = ROOM_TEMPERATURE_K
+
+    def __post_init__(self) -> None:
+        if self.sigma_v <= 0:
+            raise ConfigurationError(f"sigma_v must be positive, got {self.sigma_v}")
+        if self.reference_temperature_k <= 0:
+            raise ConfigurationError(
+                f"reference_temperature_k must be positive, got {self.reference_temperature_k}"
+            )
+
+    def sigma_at(self, temperature_k: float) -> float:
+        """Noise standard deviation in volts at ``temperature_k``.
+
+        Thermal noise power is proportional to absolute temperature, so
+        the voltage amplitude scales with its square root.
+        """
+        if temperature_k <= 0:
+            raise ConfigurationError(f"temperature_k must be positive, got {temperature_k}")
+        return self.sigma_v * float(np.sqrt(temperature_k / self.reference_temperature_k))
+
+    def sample(
+        self,
+        shape,
+        temperature_k: float = None,
+        random_state: RandomState = None,
+    ) -> np.ndarray:
+        """Draw noise samples in volts with the given array ``shape``."""
+        temp = self.reference_temperature_k if temperature_k is None else temperature_k
+        rng = as_generator(random_state, "noise")
+        return rng.normal(0.0, self.sigma_at(temp), size=shape)

@@ -1,0 +1,109 @@
+"""Manufacturing process variation.
+
+Threshold-voltage mismatch between nominally identical transistors is
+the physical origin of the SRAM PUF: it follows the Pelgrom model,
+
+.. math:: \\sigma_{\\Delta V_{th}} = \\frac{A_{VT}}{\\sqrt{W L}}
+
+where :math:`A_{VT}` is a technology constant (mV·µm) and :math:`W L`
+is the gate area.  :class:`PelgromModel` draws per-transistor threshold
+offsets from this distribution; :class:`MismatchSpec` describes the
+*population* of a given technology node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import RandomState, as_generator
+
+
+@dataclass(frozen=True)
+class MismatchSpec:
+    """Pelgrom mismatch description of one transistor geometry.
+
+    Parameters
+    ----------
+    avt_mv_um:
+        Pelgrom coefficient :math:`A_{VT}` in mV·µm.  Typical values
+        are ~1–2 mV·µm per nm of oxide thickness; mature nodes like the
+        350 nm process of the ATmega32u4 land around 10–20 mV·µm.
+    width_um, length_um:
+        Drawn gate width and length in µm.
+    """
+
+    avt_mv_um: float
+    width_um: float
+    length_um: float
+
+    def __post_init__(self) -> None:
+        if self.avt_mv_um <= 0:
+            raise ConfigurationError(f"avt_mv_um must be positive, got {self.avt_mv_um}")
+        if self.width_um <= 0 or self.length_um <= 0:
+            raise ConfigurationError(
+                f"gate dimensions must be positive, got W={self.width_um} L={self.length_um}"
+            )
+
+    @property
+    def gate_area_um2(self) -> float:
+        """Gate area in µm²."""
+        return self.width_um * self.length_um
+
+    @property
+    def sigma_vth_mv(self) -> float:
+        """Standard deviation of the threshold-voltage offset in mV."""
+        return self.avt_mv_um / np.sqrt(self.gate_area_um2)
+
+    @property
+    def sigma_vth_v(self) -> float:
+        """Standard deviation of the threshold-voltage offset in volts."""
+        return self.sigma_vth_mv * 1e-3
+
+
+class PelgromModel:
+    """Draws static threshold-voltage offsets for transistor populations.
+
+    Parameters
+    ----------
+    spec:
+        The geometry/technology description.
+    systematic_offset_v:
+        A deterministic offset added to every draw, modelling layout
+        asymmetry.  SRAM cells are rarely perfectly symmetric — the
+        paper's devices power up to '1' with probability ≈62.7 %, which
+        a systematic skew between the two inverter halves captures.
+    """
+
+    def __init__(self, spec: MismatchSpec, systematic_offset_v: float = 0.0):
+        self._spec = spec
+        self._systematic_offset_v = float(systematic_offset_v)
+
+    @property
+    def spec(self) -> MismatchSpec:
+        """The mismatch specification this model draws from."""
+        return self._spec
+
+    @property
+    def systematic_offset_v(self) -> float:
+        """Deterministic skew added to every offset draw, in volts."""
+        return self._systematic_offset_v
+
+    def draw_offsets(self, count: int, random_state: RandomState = None) -> np.ndarray:
+        """Draw ``count`` static threshold offsets in volts.
+
+        The offsets are frozen at manufacturing time: callers draw them
+        once per device and keep them for the device's lifetime.
+        """
+        if count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {count}")
+        rng = as_generator(random_state, "pelgrom-offsets")
+        return rng.normal(self._systematic_offset_v, self._spec.sigma_vth_v, size=count)
+
+    def __repr__(self) -> str:
+        return (
+            f"PelgromModel(sigma={self._spec.sigma_vth_mv:.2f} mV, "
+            f"systematic={self._systematic_offset_v * 1e3:.2f} mV)"
+        )

@@ -1,0 +1,80 @@
+"""A minimal MOSFET threshold-voltage model.
+
+The cell-level simulator (:mod:`repro.sram.cell`) only needs each
+transistor's *threshold voltage* and how it drifts under BTI stress;
+:class:`Transistor` tracks exactly that.  Drain current and switching
+dynamics are deliberately out of scope — the power-up outcome of an
+SRAM cell is decided by the threshold imbalance of its two inverter
+halves, which this model captures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+class TransistorType(enum.Enum):
+    """MOSFET polarity.
+
+    NBTI stresses switched-on PMOS devices; PBTI stresses switched-on
+    NMOS devices (significant with high-k gate dielectrics).
+    """
+
+    PMOS = "pmos"
+    NMOS = "nmos"
+
+
+@dataclass
+class Transistor:
+    """One MOSFET with a nominal threshold plus a static mismatch offset.
+
+    Attributes
+    ----------
+    kind:
+        PMOS or NMOS.
+    vth_nominal_v:
+        Design threshold voltage magnitude in volts (treated as a
+        positive number for both polarities, following the paper's
+        convention in Section II-B).
+    vth_offset_v:
+        Static manufacturing mismatch (Pelgrom draw), in volts.
+    vth_drift_v:
+        Accumulated BTI threshold increase, in volts.  Always >= 0;
+        BTI only ever *raises* the threshold magnitude.
+    """
+
+    kind: TransistorType
+    vth_nominal_v: float
+    vth_offset_v: float = 0.0
+    vth_drift_v: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.vth_nominal_v <= 0:
+            raise ConfigurationError(
+                f"vth_nominal_v must be positive (magnitude), got {self.vth_nominal_v}"
+            )
+        if self.vth_drift_v < 0:
+            raise ConfigurationError(f"vth_drift_v cannot be negative, got {self.vth_drift_v}")
+
+    @property
+    def vth_v(self) -> float:
+        """Current effective threshold magnitude in volts."""
+        return self.vth_nominal_v + self.vth_offset_v + self.vth_drift_v
+
+    def apply_drift(self, delta_v: float) -> None:
+        """Accumulate a BTI threshold increase of ``delta_v`` volts.
+
+        Negative deltas model *recovery* and are clamped so the total
+        accumulated drift never goes below zero (a device cannot
+        recover past its unstressed state).
+        """
+        self.vth_drift_v = max(0.0, self.vth_drift_v + delta_v)
+
+    def __repr__(self) -> str:
+        return (
+            f"Transistor({self.kind.value}, Vth={self.vth_v * 1e3:.1f} mV, "
+            f"drift={self.vth_drift_v * 1e3:.2f} mV)"
+        )

@@ -1,0 +1,60 @@
+"""SRAM PUF substrate: cells, arrays, chips and their aging.
+
+The simulator follows the probabilistic PUF model of Maes (CHES 2013),
+which also underlies the paper's analysis: every cell has a static
+*skew* voltage (the threshold imbalance of its two inverter halves,
+frozen at manufacturing) and each power-up adds independent Gaussian
+noise, so the cell's one-probability is
+``p = Phi(skew / sigma_noise)``.
+
+Aging (NBTI) drifts the skew toward balance along a power-law clock;
+see :mod:`repro.sram.aging`.
+
+Two fidelities are offered (see DESIGN.md §2):
+
+* measurement level — :meth:`SRAMArray.power_up` returns actual bit
+  vectors;
+* statistical — :meth:`SRAMArray.sample_ones_counts` returns the
+  Binomial sufficient statistic of ``n`` power-ups per cell, exact in
+  distribution for every metric the paper evaluates and ~1000x faster.
+"""
+
+from repro.sram.aging import AgingSimulator, DataPolicy
+from repro.sram.array import SRAMArray
+from repro.sram.cell import SixTransistorCell
+from repro.sram.chip import SRAMChip
+from repro.sram.powerup import (
+    PowerUpSample,
+    binomial_ones_counts,
+    measure_power_ups,
+    sample_measurement_block,
+)
+from repro.sram.profiles import (
+    ATMEGA32U4,
+    BUSKEEPER_PUF,
+    DFF_PUF,
+    TESTCHIP_65NM,
+    DeviceProfile,
+    NOISE_SIGMA_V,
+)
+from repro.sram.ramp import VoltageRamp, read_startup_with_ramp
+
+__all__ = [
+    "AgingSimulator",
+    "DataPolicy",
+    "SRAMArray",
+    "SixTransistorCell",
+    "SRAMChip",
+    "PowerUpSample",
+    "binomial_ones_counts",
+    "measure_power_ups",
+    "sample_measurement_block",
+    "ATMEGA32U4",
+    "BUSKEEPER_PUF",
+    "DFF_PUF",
+    "TESTCHIP_65NM",
+    "DeviceProfile",
+    "NOISE_SIGMA_V",
+    "VoltageRamp",
+    "read_startup_with_ramp",
+]

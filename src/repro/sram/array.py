@@ -1,0 +1,187 @@
+"""Vectorized SRAM cell array.
+
+:class:`SRAMArray` is the simulation workhorse: it keeps one skew value
+per cell (plus the accumulated aging state) as numpy arrays and
+evaluates power-ups, one-probabilities and Binomial sufficient
+statistics for the whole array at once.  A 1 KB (8,192-cell) array
+power-up costs one vectorized Gaussian draw.
+
+The array is deliberately unaware of *campaign* concepts (months,
+boards, references); those live in :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.errors import ConfigurationError
+from repro.rng import RandomState, as_generator
+from repro.sram.profiles import DeviceProfile
+
+
+class SRAMArray:
+    """A population of simulated SRAM cells with shared physics.
+
+    Parameters
+    ----------
+    profile:
+        Device profile supplying the skew distribution, noise model
+        and aging law.
+    cell_count:
+        Number of cells; defaults to the profile's full SRAM size.
+    random_state:
+        Seeds both the manufacturing draw and the measurement noise.
+
+    Notes
+    -----
+    The manufacturing draw happens in ``__init__`` and is frozen; the
+    same ``random_state`` therefore reproduces the same *device*,
+    including its subsequent noisy measurements.
+    """
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        cell_count: Optional[int] = None,
+        random_state: RandomState = None,
+    ):
+        self._profile = profile
+        count = profile.cell_count if cell_count is None else int(cell_count)
+        if count <= 0:
+            raise ConfigurationError(f"cell_count must be positive, got {count}")
+        self._rng = as_generator(random_state, "sram-array")
+        chip_mean_v = profile.skew_mean_v
+        if profile.chip_mean_sigma_v > 0.0:
+            chip_mean_v += self._rng.normal(0.0, profile.chip_mean_sigma_v)
+        self._skew_v = self._rng.normal(chip_mean_v, profile.skew_sigma_v, size=count)
+        self._noise = profile.noise_model()
+        self._age_seconds = 0.0
+        self._power_up_count = 0
+
+    @property
+    def profile(self) -> DeviceProfile:
+        """The device profile this array was built from."""
+        return self._profile
+
+    @property
+    def cell_count(self) -> int:
+        """Number of cells in the array."""
+        return int(self._skew_v.size)
+
+    @property
+    def age_seconds(self) -> float:
+        """Accumulated wall-clock age in seconds (advanced by aging)."""
+        return self._age_seconds
+
+    @property
+    def power_up_count(self) -> int:
+        """Total number of simulated power-ups."""
+        return self._power_up_count
+
+    @property
+    def skew_v(self) -> np.ndarray:
+        """Read-only view of the per-cell skew voltages."""
+        view = self._skew_v.view()
+        view.flags.writeable = False
+        return view
+
+    def one_probabilities(self, temperature_k: Optional[float] = None) -> np.ndarray:
+        """Per-cell probability of powering up to 1.
+
+        ``p_i = Phi(skew_i / sigma_noise(T))`` — the ground-truth
+        one-probabilities; measurements estimate these.
+        """
+        sigma = self._noise.sigma_at(
+            self._profile.temperature_k if temperature_k is None else temperature_k
+        )
+        return norm.cdf(self._skew_v / sigma)
+
+    def power_up(
+        self, count: int = 1, temperature_k: Optional[float] = None
+    ) -> np.ndarray:
+        """Simulate ``count`` power-ups at measurement fidelity.
+
+        Returns a ``(count, cell_count)`` uint8 array of observed
+        states; each row is one independent power-up.
+        """
+        if count <= 0:
+            raise ConfigurationError(f"count must be positive, got {count}")
+        sigma = self._noise.sigma_at(
+            self._profile.temperature_k if temperature_k is None else temperature_k
+        )
+        noise = self._rng.normal(0.0, sigma, size=(count, self._skew_v.size))
+        self._power_up_count += count
+        return (self._skew_v[np.newaxis, :] + noise > 0.0).astype(np.uint8)
+
+    def power_up_once(self, temperature_k: Optional[float] = None) -> np.ndarray:
+        """Simulate a single power-up; returns a 1-D uint8 bit vector."""
+        return self.power_up(1, temperature_k)[0]
+
+    def sample_ones_counts(
+        self, measurements: int, temperature_k: Optional[float] = None
+    ) -> np.ndarray:
+        """Statistical fidelity: ones-count of ``measurements`` power-ups.
+
+        Draws one Binomial(``measurements``, ``p_i``) sample per cell —
+        exactly distributed as the per-cell ones-count of that many
+        independent measurement-level power-ups, at a fraction of the
+        cost.  Every metric in the paper's monthly evaluation (WCHD
+        against a reference, FHW, stable-cell ratio, noise entropy) is
+        a function of these counts.
+        """
+        if measurements <= 0:
+            raise ConfigurationError(f"measurements must be positive, got {measurements}")
+        probs = self.one_probabilities(temperature_k)
+        self._power_up_count += measurements
+        return self._rng.binomial(measurements, probs)
+
+    def age_by(
+        self,
+        seconds: float,
+        temperature_k: Optional[float] = None,
+        voltage_v: Optional[float] = None,
+        steps: int = 1,
+    ) -> None:
+        """Advance the array's age under (possibly non-nominal) stress.
+
+        Delegates to :class:`~repro.sram.aging.AgingSimulator`; kept as
+        a method so simple usage stays one call.  ``steps`` subdivides
+        the interval for the self-limiting drift integration.
+        """
+        from repro.sram.aging import AgingSimulator
+
+        simulator = AgingSimulator(self._profile)
+        simulator.age_array(
+            self,
+            seconds,
+            temperature_k=temperature_k,
+            voltage_v=voltage_v,
+            steps=steps,
+        )
+
+    # Internal mutators used by AgingSimulator ---------------------------
+
+    def _advance_age(self, new_age_seconds: float) -> None:
+        if new_age_seconds < self._age_seconds:
+            raise ConfigurationError("array age cannot decrease")
+        self._age_seconds = float(new_age_seconds)
+
+    def _apply_skew_delta(self, delta_v: np.ndarray) -> None:
+        if delta_v.shape != self._skew_v.shape:
+            raise ConfigurationError(
+                f"skew delta shape {delta_v.shape} != array shape {self._skew_v.shape}"
+            )
+        self._skew_v = self._skew_v + delta_v
+
+    def _noise_rng(self) -> np.random.Generator:
+        return self._rng
+
+    def __repr__(self) -> str:
+        months = self._age_seconds / (365.2425 * 24 * 3600 / 12)
+        return (
+            f"SRAMArray({self.cell_count} cells, {self._profile.name}, "
+            f"age={months:.1f} months)"
+        )

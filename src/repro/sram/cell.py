@@ -1,0 +1,142 @@
+"""Object-level model of one 6T SRAM cell.
+
+:class:`SixTransistorCell` mirrors Fig. 1 of the paper: two
+cross-coupled inverters (P1/N1 and P2/N2; the two access transistors do
+not participate in the power-up race).  At power-up the cell resolves
+to the state favoured by its *skew* — the effective threshold imbalance
+between the two halves — perturbed by that power-up's noise sample.
+
+Following the paper's Section II-B sign conventions (all PMOS
+quantities treated as positive magnitudes):
+
+* a **positive** skew means the Q-side half is stronger, so the cell
+  prefers to power up to ``Q = 1``;
+* storing ``Q = 0`` switches P2 on, so NBTI raises ``Vth,P2`` and the
+  skew drifts *upward* (toward 1, i.e. toward balance for a 0-skewed
+  cell); storing ``Q = 1`` stresses P1 and drifts the skew downward.
+
+The vectorized :class:`~repro.sram.array.SRAMArray` implements exactly
+the same arithmetic for millions of cells; this class is the readable,
+single-cell reference used by documentation, tests and the physics
+examples.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.physics.nbti import BTIModel, BTIStress
+from repro.physics.noise import NoiseModel
+from repro.physics.transistor import Transistor, TransistorType
+from repro.rng import RandomState, as_generator
+
+
+class SixTransistorCell:
+    """One 6T SRAM cell with explicit transistors.
+
+    Parameters
+    ----------
+    vth_p_nominal_v:
+        Nominal PMOS threshold magnitude.
+    vth_n_nominal_v:
+        Nominal NMOS threshold magnitude.
+    p1_offset_v, p2_offset_v, n1_offset_v, n2_offset_v:
+        Static Pelgrom mismatch offsets of the four inverter
+        transistors.
+    noise:
+        Per-power-up noise model (defaults to 25 mV at room
+        temperature).
+    """
+
+    #: Relative weight of the NMOS threshold imbalance in the power-up
+    #: decision.  The power-up race is dominated by the PMOS pull-ups
+    #: (the paper analyses NBTI on P1/P2); NMOS mismatch enters with a
+    #: reduced weight.
+    NMOS_WEIGHT = 0.5
+
+    def __init__(
+        self,
+        vth_p_nominal_v: float = 0.7,
+        vth_n_nominal_v: float = 0.5,
+        p1_offset_v: float = 0.0,
+        p2_offset_v: float = 0.0,
+        n1_offset_v: float = 0.0,
+        n2_offset_v: float = 0.0,
+        noise: Optional[NoiseModel] = None,
+    ):
+        self.p1 = Transistor(TransistorType.PMOS, vth_p_nominal_v, p1_offset_v)
+        self.p2 = Transistor(TransistorType.PMOS, vth_p_nominal_v, p2_offset_v)
+        self.n1 = Transistor(TransistorType.NMOS, vth_n_nominal_v, n1_offset_v)
+        self.n2 = Transistor(TransistorType.NMOS, vth_n_nominal_v, n2_offset_v)
+        self.noise = noise if noise is not None else NoiseModel(sigma_v=0.025)
+        self._power_ups = 0
+
+    @property
+    def skew_v(self) -> float:
+        """Effective decision skew in volts (positive favours Q=1).
+
+        ``Q = 1`` requires the Q-side pull-up P1 to win the race, which
+        it does when its threshold magnitude is *lower* than P2's;
+        symmetrically a weak N1 (high threshold) helps hold Q high.
+        """
+        pmos_term = self.p2.vth_v - self.p1.vth_v
+        nmos_term = self.n1.vth_v - self.n2.vth_v
+        return pmos_term + self.NMOS_WEIGHT * nmos_term
+
+    @property
+    def power_up_count(self) -> int:
+        """Number of power-ups simulated so far."""
+        return self._power_ups
+
+    def one_probability(self, temperature_k: Optional[float] = None) -> float:
+        """Probability that the next power-up resolves to 1.
+
+        ``Phi(skew / sigma_noise)`` — the cell model of Maes (CHES
+        2013) that the paper's evaluation builds on.
+        """
+        from scipy.stats import norm
+
+        temp = self.noise.reference_temperature_k if temperature_k is None else temperature_k
+        return float(norm.cdf(self.skew_v / self.noise.sigma_at(temp)))
+
+    def power_up(
+        self, temperature_k: Optional[float] = None, random_state: RandomState = None
+    ) -> int:
+        """Resolve one power-up; returns the observed state (0 or 1)."""
+        rng = as_generator(random_state, "cell-powerup")
+        noise_v = float(self.noise.sample((), temperature_k, rng))
+        self._power_ups += 1
+        return int(self.skew_v + noise_v > 0.0)
+
+    def apply_bti_stress(
+        self,
+        stored_state: int,
+        t_start_seconds: float,
+        t_end_seconds: float,
+        model: BTIModel,
+        stress: BTIStress,
+    ) -> None:
+        """Age the cell between two absolute ages while holding a state.
+
+        Storing ``Q = 0`` keeps P2 switched on (NBTI raises
+        ``Vth,P2``); storing ``Q = 1`` stresses P1.  Either way the
+        threshold gap — and hence ``|skew|`` for a cell skewed toward
+        the stored state — shrinks, which is the paper's Section II-B
+        reliability-degradation mechanism.
+        """
+        if stored_state not in (0, 1):
+            raise ConfigurationError(f"stored_state must be 0 or 1, got {stored_state}")
+        delta = model.drift_increment_v(t_start_seconds, t_end_seconds, stress)
+        if stored_state == 0:
+            self.p2.apply_drift(delta)
+        else:
+            self.p1.apply_drift(delta)
+
+    def __repr__(self) -> str:
+        return (
+            f"SixTransistorCell(skew={self.skew_v * 1e3:+.2f} mV, "
+            f"p1={self.one_probability():.3f})"
+        )

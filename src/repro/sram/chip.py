@@ -1,0 +1,121 @@
+"""A simulated SRAM chip: the device under test.
+
+:class:`SRAMChip` wraps an :class:`~repro.sram.array.SRAMArray` with
+the device identity and read-out geometry of the paper's setup: a chip
+has the full SRAM of its profile (2.5 KB for the ATmega32u4), but each
+measurement captures only the first ``read_bytes`` (1 KB).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import RandomState, SeedHierarchy
+from repro.sram.array import SRAMArray
+from repro.sram.profiles import ATMEGA32U4, DeviceProfile
+
+
+class SRAMChip:
+    """One simulated SRAM device with a stable identity.
+
+    Parameters
+    ----------
+    chip_id:
+        Device index (slave board number in the paper's testbed).
+    profile:
+        Device profile; defaults to the paper's ATmega32u4.
+    random_state:
+        Seed material.  Passing the same :class:`SeedHierarchy` (or
+        int) and ``chip_id`` reproduces the identical device; distinct
+        chip ids produce independent devices.
+
+    Examples
+    --------
+    >>> chip = SRAMChip(0, random_state=42)
+    >>> bits = chip.read_startup()
+    >>> bits.size
+    8192
+    """
+
+    def __init__(
+        self,
+        chip_id: int,
+        profile: DeviceProfile = ATMEGA32U4,
+        random_state: RandomState = None,
+    ):
+        if chip_id < 0:
+            raise ConfigurationError(f"chip_id cannot be negative, got {chip_id}")
+        self._chip_id = int(chip_id)
+        self._profile = profile
+        if isinstance(random_state, (int, np.integer)):
+            random_state = SeedHierarchy(int(random_state))
+        if isinstance(random_state, SeedHierarchy):
+            stream = random_state.stream(f"chip-{chip_id}")
+        else:
+            stream = random_state  # Generator or None
+        self._array = SRAMArray(profile, random_state=stream)
+
+    @property
+    def chip_id(self) -> int:
+        """Device index."""
+        return self._chip_id
+
+    @property
+    def profile(self) -> DeviceProfile:
+        """The device profile."""
+        return self._profile
+
+    @property
+    def array(self) -> SRAMArray:
+        """The underlying full-SRAM cell array."""
+        return self._array
+
+    @property
+    def age_seconds(self) -> float:
+        """Equivalent nominal-condition age in seconds."""
+        return self._array.age_seconds
+
+    @property
+    def power_up_count(self) -> int:
+        """Number of power-ups the chip has experienced."""
+        return self._array.power_up_count
+
+    def read_startup(
+        self, count: int = 1, temperature_k: Optional[float] = None
+    ) -> np.ndarray:
+        """Power-cycle the chip ``count`` times and read the PUF window.
+
+        Returns the first ``profile.read_bytes`` of SRAM per power-up —
+        a ``(count, read_bits)`` array, squeezed to 1-D when
+        ``count == 1`` (matching the common single-measurement use).
+        """
+        bits = self._array.power_up(count, temperature_k)[:, : self._profile.read_bits]
+        return bits[0] if count == 1 else bits
+
+    def read_window_ones_counts(
+        self, measurements: int, temperature_k: Optional[float] = None
+    ) -> np.ndarray:
+        """Binomial sufficient statistic of the PUF window.
+
+        Per-cell ones-count over ``measurements`` power-ups, restricted
+        to the measured 1 KB window (statistical fidelity; see
+        :meth:`~repro.sram.array.SRAMArray.sample_ones_counts`).
+        """
+        counts = self._array.sample_ones_counts(measurements, temperature_k)
+        return counts[: self._profile.read_bits]
+
+    def window_one_probabilities(self, temperature_k: Optional[float] = None) -> np.ndarray:
+        """Ground-truth one-probabilities of the measured window."""
+        return self._array.one_probabilities(temperature_k)[: self._profile.read_bits]
+
+    def age_months(self, months: float, **stress_kwargs) -> None:
+        """Age the chip by ``months`` under optional stress overrides."""
+        from repro.sram.aging import AgingSimulator
+
+        AgingSimulator(self._profile).age_array_months(self._array, months, **stress_kwargs)
+
+    def __repr__(self) -> str:
+        return f"SRAMChip(id={self._chip_id}, {self._profile.name})"

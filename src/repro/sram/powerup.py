@@ -1,0 +1,103 @@
+"""Power-up sampling helpers.
+
+Free-function conveniences over the two simulation fidelities, plus
+:class:`PowerUpSample` — the bundle a monthly evaluation consumes: the
+ones-counts of a block of consecutive measurements together with the
+first full read-out of that block (needed for BCHD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sram.chip import SRAMChip
+
+
+@dataclass(frozen=True)
+class PowerUpSample:
+    """Sufficient statistics of a block of consecutive power-ups.
+
+    Attributes
+    ----------
+    measurements:
+        Number of power-ups in the block (the paper uses 1,000).
+    ones_counts:
+        Per-cell count of 1 observations over the block.
+    first_readout:
+        The first measurement of the block as a full bit vector (used
+        as the monthly BCHD/PUF-entropy read-out).
+    """
+
+    measurements: int
+    ones_counts: np.ndarray
+    first_readout: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.measurements <= 0:
+            raise ConfigurationError(
+                f"measurements must be positive, got {self.measurements}"
+            )
+        if self.ones_counts.shape != self.first_readout.shape:
+            raise ConfigurationError(
+                "ones_counts and first_readout must describe the same cells"
+            )
+        if self.ones_counts.size and int(self.ones_counts.max()) > self.measurements:
+            raise ConfigurationError("ones_counts cannot exceed the measurement count")
+
+    @property
+    def cell_count(self) -> int:
+        """Number of cells covered by the sample."""
+        return int(self.ones_counts.size)
+
+    @property
+    def one_probability_estimates(self) -> np.ndarray:
+        """Per-cell one-probability estimates (ones / measurements)."""
+        return self.ones_counts / float(self.measurements)
+
+
+def measure_power_ups(
+    chip: SRAMChip, count: int, temperature_k: Optional[float] = None
+) -> np.ndarray:
+    """Measurement-level sampling: ``(count, read_bits)`` bit matrix."""
+    bits = chip.read_startup(count, temperature_k)
+    return bits[np.newaxis, :] if bits.ndim == 1 else bits
+
+
+def binomial_ones_counts(
+    chip: SRAMChip, measurements: int, temperature_k: Optional[float] = None
+) -> np.ndarray:
+    """Statistical sampling: per-cell ones-counts over ``measurements``."""
+    return chip.read_window_ones_counts(measurements, temperature_k)
+
+
+def sample_measurement_block(
+    chip: SRAMChip,
+    measurements: int,
+    temperature_k: Optional[float] = None,
+    statistical: bool = True,
+) -> PowerUpSample:
+    """Draw one monthly-evaluation block from a chip.
+
+    With ``statistical=True`` (default) the block's ones-counts come
+    from one Binomial draw per cell and only the first read-out is
+    simulated at measurement level; with ``statistical=False`` all
+    ``measurements`` power-ups are simulated bit-by-bit.  The two are
+    identically distributed (see ``benchmarks/bench_ablation_fidelity``).
+    """
+    if measurements <= 0:
+        raise ConfigurationError(f"measurements must be positive, got {measurements}")
+    if statistical:
+        first = chip.read_startup(1, temperature_k)
+        if measurements == 1:
+            counts = first.astype(np.int64)
+        else:
+            counts = first + chip.read_window_ones_counts(measurements - 1, temperature_k)
+        return PowerUpSample(measurements, counts, first)
+    block = measure_power_ups(chip, measurements, temperature_k)
+    return PowerUpSample(
+        measurements, block.sum(axis=0, dtype=np.int64), block[0].astype(np.uint8)
+    )

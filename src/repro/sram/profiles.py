@@ -1,0 +1,266 @@
+"""Device profiles: calibrated parameter sets for simulated silicon.
+
+A :class:`DeviceProfile` bundles everything the simulator needs to
+instantiate a population of SRAM chips of one device type: geometry
+(memory size, read-out size), operating point, the skew distribution of
+the cell population, the noise amplitude and the BTI aging law.
+
+Two calibrated profiles ship with the library:
+
+``ATMEGA32U4``
+    The paper's device — SRAM of the ATmega32u4 on an Arduino Leonardo
+    (5 V, 2.5 KB SRAM, first 1 KB read out).  Skew and aging parameters
+    were solved (see :mod:`repro.core.calibration`) so that an infinite
+    cell population reproduces the paper's Table I start/end columns:
+    FHW 62.7 %, WCHD 2.49 % → 2.97 %, stable-cell ratio 85.9 % →
+    ~84 %, noise min-entropy 3.05 % → 3.64 % over 24 months of the
+    testbed's power-cycling duty.
+
+``TESTCHIP_65NM``
+    A 65 nm test-chip population matching the accelerated-aging
+    baseline of Maes & van der Leest (HOST 2014): unbiased (FHW 50 %),
+    initial WCHD 5.3 % growing to 7.2 % over 24 equivalent months.
+
+All skew/noise quantities are *effective decision-margin voltages*: the
+static imbalance (and per-power-up noise) referred to the cell's
+metastable decision point.  Their ratios — not their absolute values —
+determine every observable statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.physics.constants import ROOM_TEMPERATURE_K
+from repro.physics.nbti import BTIModel, BTIStress
+from repro.physics.noise import NoiseModel
+
+#: Effective per-power-up noise amplitude (volts) shared by the
+#: calibrated profiles.  Only the skew/noise ratio is observable; 25 mV
+#: is a physically plausible decision-margin noise for these cells.
+NOISE_SIGMA_V = 0.025
+
+#: Fraction of each 5.4 s testbed power cycle the boards spend powered
+#: (3.8 s on / 1.6 s off — Fig. 3 of the paper).
+TESTBED_POWER_DUTY = 3.8 / 5.4
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Calibrated description of one SRAM device population.
+
+    Parameters
+    ----------
+    name:
+        Human-readable device name.
+    technology:
+        Process node label (documentation only).
+    sram_bytes:
+        Total SRAM size of the device.
+    read_bytes:
+        Bytes captured per measurement (the paper reads the first 1 KB).
+    supply_v:
+        Nominal supply voltage.
+    temperature_k:
+        Nominal operating temperature.
+    skew_mean_v, skew_sigma_v:
+        Population distribution of the static cell skew.  A positive
+        mean models the systematic layout asymmetry responsible for the
+        ~62.7 % one-bias of the paper's devices.
+    chip_mean_sigma_v:
+        Chip-to-chip standard deviation of the skew mean (die-level
+        process variation).  Spreads per-device bias the way Fig. 5
+        shows (FHW between 60 % and 70 % across the 16 boards).
+    noise_sigma_v:
+        Per-power-up additive noise amplitude at ``temperature_k``.
+    bti_amplitude_v:
+        Deterministic skew drift toward balance after one month at the
+        profile's own nominal stress (supply, temperature, power duty).
+    bti_dispersion_v:
+        Amplitude of the stochastic (cell-to-cell random) component of
+        aging per unit square-root of the power-law clock.
+    bti_time_exponent:
+        Power-law exponent ``n`` of the aging clock ``tau = t**n``.
+    power_duty:
+        Fraction of wall-clock time the device is powered in its
+        nominal deployment (the testbed's 3.8/5.4 cycle for the
+        paper's boards).
+    """
+
+    name: str
+    technology: str
+    sram_bytes: int
+    read_bytes: int
+    supply_v: float
+    temperature_k: float
+    skew_mean_v: float
+    skew_sigma_v: float
+    chip_mean_sigma_v: float
+    noise_sigma_v: float
+    bti_amplitude_v: float
+    bti_dispersion_v: float
+    bti_time_exponent: float
+    power_duty: float
+
+    def __post_init__(self) -> None:
+        if self.sram_bytes <= 0:
+            raise ConfigurationError(f"sram_bytes must be positive, got {self.sram_bytes}")
+        if not 0 < self.read_bytes <= self.sram_bytes:
+            raise ConfigurationError(
+                f"read_bytes must be in (0, sram_bytes], got {self.read_bytes}"
+            )
+        if self.skew_sigma_v <= 0:
+            raise ConfigurationError(f"skew_sigma_v must be positive, got {self.skew_sigma_v}")
+        if self.chip_mean_sigma_v < 0:
+            raise ConfigurationError(
+                f"chip_mean_sigma_v cannot be negative, got {self.chip_mean_sigma_v}"
+            )
+        if self.noise_sigma_v <= 0:
+            raise ConfigurationError(f"noise_sigma_v must be positive, got {self.noise_sigma_v}")
+        if self.bti_amplitude_v < 0 or self.bti_dispersion_v < 0:
+            raise ConfigurationError("BTI amplitudes cannot be negative")
+        if not 0 < self.bti_time_exponent <= 1:
+            raise ConfigurationError(
+                f"bti_time_exponent must be in (0, 1], got {self.bti_time_exponent}"
+            )
+        if not 0 < self.power_duty <= 1:
+            raise ConfigurationError(f"power_duty must be in (0, 1], got {self.power_duty}")
+
+    @property
+    def cell_count(self) -> int:
+        """Total number of SRAM cells (bits) on the device."""
+        return self.sram_bytes * 8
+
+    @property
+    def read_bits(self) -> int:
+        """Bits captured per measurement."""
+        return self.read_bytes * 8
+
+    def noise_model(self) -> NoiseModel:
+        """The profile's noise model."""
+        return NoiseModel(self.noise_sigma_v, reference_temperature_k=self.temperature_k)
+
+    def bti_model(self) -> BTIModel:
+        """The profile's BTI law, referenced to the nominal stress.
+
+        The amplitude is specified *at* the nominal deployment stress
+        (``nominal_stress``), so evaluating the model there reproduces
+        the calibrated drift with condition factor 1.
+        """
+        return BTIModel(
+            amplitude_v=self.bti_amplitude_v,
+            time_exponent=self.bti_time_exponent,
+            reference_temperature_k=self.temperature_k,
+            reference_voltage_v=self.supply_v,
+        )
+
+    def nominal_stress(self) -> BTIStress:
+        """The stress condition of the profile's nominal deployment."""
+        return BTIStress(
+            temperature_k=self.temperature_k,
+            voltage_v=self.supply_v,
+            duty=self.power_duty,
+        )
+
+    def with_overrides(self, **changes) -> "DeviceProfile":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+#: Calibration constants, expressed as multiples of the noise sigma.
+#: Solved against the paper's Table I; see repro.core.calibration.
+_ATMEGA_SKEW_MEAN_SIGMAS = 5.55811355
+_ATMEGA_SKEW_SIGMA_SIGMAS = 17.12984204
+_ATMEGA_BTI_AMPLITUDE_SIGMAS = 0.10830120
+_ATMEGA_BTI_DISPERSION_SIGMAS = 0.36285638
+_BTI_TIME_EXPONENT = 0.35
+
+#: Chip-to-chip skew-mean spread (in noise sigmas) matching the paper's
+#: device-level FHW spread of roughly 60-66 % (worst case 65.78 %).
+_ATMEGA_CHIP_MEAN_SIGMAS = 0.68
+
+_65NM_SKEW_SIGMA_SIGMAS = 8.44436452
+_65NM_BTI_AMPLITUDE_SIGMAS = 0.15581683
+_65NM_BTI_DISPERSION_SIGMAS = 0.52198639
+
+
+ATMEGA32U4 = DeviceProfile(
+    name="ATmega32u4",
+    technology="~350 nm CMOS (COTS microcontroller)",
+    sram_bytes=2560,
+    read_bytes=1024,
+    supply_v=5.0,
+    temperature_k=ROOM_TEMPERATURE_K,
+    skew_mean_v=_ATMEGA_SKEW_MEAN_SIGMAS * NOISE_SIGMA_V,
+    skew_sigma_v=_ATMEGA_SKEW_SIGMA_SIGMAS * NOISE_SIGMA_V,
+    chip_mean_sigma_v=_ATMEGA_CHIP_MEAN_SIGMAS * NOISE_SIGMA_V,
+    noise_sigma_v=NOISE_SIGMA_V,
+    bti_amplitude_v=_ATMEGA_BTI_AMPLITUDE_SIGMAS * NOISE_SIGMA_V,
+    bti_dispersion_v=_ATMEGA_BTI_DISPERSION_SIGMAS * NOISE_SIGMA_V,
+    bti_time_exponent=_BTI_TIME_EXPONENT,
+    power_duty=TESTBED_POWER_DUTY,
+)
+
+#: Illustrative alternative memory-PUF sources, after Simons, van der
+#: Sluis & van der Leest, "Buskeeper PUFs, a promising alternative to
+#: D Flip-Flop PUFs" (HOST 2012) — the paper's reference [16], whose
+#: min-entropy methodology Section IV-B adopts.  D flip-flop PUFs are
+#: modelled as strongly biased (75 %) and noisier; buskeeper PUFs as
+#: near-unbiased.  Parameters were solved with
+#: :func:`repro.core.calibration.calibrate_skew_distribution`.
+_DFF_SKEW_MEAN_SIGMAS = 6.04975284
+_DFF_SKEW_SIGMA_SIGMAS = 8.91345744
+_BUSKEEPER_SKEW_MEAN_SIGMAS = 0.64457231
+_BUSKEEPER_SKEW_SIGMA_SIGMAS = 12.81300555
+
+DFF_PUF = DeviceProfile(
+    name="dff-puf",
+    technology="D flip-flop array (HOST 2012 comparison device)",
+    sram_bytes=1024,
+    read_bytes=1024,
+    supply_v=1.8,
+    temperature_k=ROOM_TEMPERATURE_K,
+    skew_mean_v=_DFF_SKEW_MEAN_SIGMAS * NOISE_SIGMA_V,
+    skew_sigma_v=_DFF_SKEW_SIGMA_SIGMAS * NOISE_SIGMA_V,
+    chip_mean_sigma_v=0.8 * NOISE_SIGMA_V,
+    noise_sigma_v=NOISE_SIGMA_V,
+    bti_amplitude_v=_ATMEGA_BTI_AMPLITUDE_SIGMAS * NOISE_SIGMA_V,
+    bti_dispersion_v=_ATMEGA_BTI_DISPERSION_SIGMAS * NOISE_SIGMA_V,
+    bti_time_exponent=_BTI_TIME_EXPONENT,
+    power_duty=1.0,
+)
+
+BUSKEEPER_PUF = DeviceProfile(
+    name="buskeeper-puf",
+    technology="buskeeper cell array (HOST 2012 proposal)",
+    sram_bytes=1024,
+    read_bytes=1024,
+    supply_v=1.8,
+    temperature_k=ROOM_TEMPERATURE_K,
+    skew_mean_v=_BUSKEEPER_SKEW_MEAN_SIGMAS * NOISE_SIGMA_V,
+    skew_sigma_v=_BUSKEEPER_SKEW_SIGMA_SIGMAS * NOISE_SIGMA_V,
+    chip_mean_sigma_v=0.4 * NOISE_SIGMA_V,
+    noise_sigma_v=NOISE_SIGMA_V,
+    bti_amplitude_v=_ATMEGA_BTI_AMPLITUDE_SIGMAS * NOISE_SIGMA_V,
+    bti_dispersion_v=_ATMEGA_BTI_DISPERSION_SIGMAS * NOISE_SIGMA_V,
+    bti_time_exponent=_BTI_TIME_EXPONENT,
+    power_duty=1.0,
+)
+
+TESTCHIP_65NM = DeviceProfile(
+    name="65nm-testchip",
+    technology="65 nm CMOS (HOST 2014 accelerated-aging baseline)",
+    sram_bytes=8192,
+    read_bytes=1024,
+    supply_v=1.2,
+    temperature_k=ROOM_TEMPERATURE_K,
+    skew_mean_v=0.0,
+    skew_sigma_v=_65NM_SKEW_SIGMA_SIGMAS * NOISE_SIGMA_V,
+    chip_mean_sigma_v=0.0,
+    noise_sigma_v=NOISE_SIGMA_V,
+    bti_amplitude_v=_65NM_BTI_AMPLITUDE_SIGMAS * NOISE_SIGMA_V,
+    bti_dispersion_v=_65NM_BTI_DISPERSION_SIGMAS * NOISE_SIGMA_V,
+    bti_time_exponent=_BTI_TIME_EXPONENT,
+    power_duty=1.0,
+)

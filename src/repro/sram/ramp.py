@@ -1,0 +1,94 @@
+"""Supply voltage ramp-up modelling (Cortez et al., TCAD 2015 — ref. [17]).
+
+The paper's reference [17] shows that the *rate* at which the supply
+ramps at power-up controls how much electrical noise couples into the
+cell's resolution: a slower ramp lets each cell settle closer to its
+deterministic preference (less noise, better reliability), a steep
+ramp amplifies the noise influence (worse reliability, more TRNG
+entropy) — and proposes adapting the ramp time to reduce temperature-
+induced noise.
+
+The model here is a power law on the effective noise amplitude,
+
+.. math:: \\sigma_{eff} = \\sigma \\, (t_{nominal} / t_{ramp})^{\\alpha}
+
+with :math:`\\alpha \\approx 0.25`.  Because the simulator's noise
+scales as ``sqrt(T)``, a ramp factor is equivalent to measuring at the
+temperature ``T * scale**2`` — which is how
+:func:`read_startup_with_ramp` injects it without touching the array
+internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sram.chip import SRAMChip
+
+
+@dataclass(frozen=True)
+class VoltageRamp:
+    """A power-up supply ramp.
+
+    Parameters
+    ----------
+    ramp_time_us:
+        10 %–90 % supply rise time in microseconds.
+    nominal_ramp_time_us:
+        Ramp time at which the device profile's noise amplitude was
+        characterised.
+    exponent:
+        Sensitivity of the effective noise to the ramp rate.
+    """
+
+    ramp_time_us: float
+    nominal_ramp_time_us: float = 50.0
+    exponent: float = 0.25
+
+    #: Clamp on the noise scale to keep extreme ramps physical.
+    MAX_SCALE = 4.0
+    MIN_SCALE = 0.25
+
+    def __post_init__(self) -> None:
+        if self.ramp_time_us <= 0:
+            raise ConfigurationError(
+                f"ramp_time_us must be positive, got {self.ramp_time_us}"
+            )
+        if self.nominal_ramp_time_us <= 0:
+            raise ConfigurationError(
+                f"nominal_ramp_time_us must be positive, got {self.nominal_ramp_time_us}"
+            )
+        if not 0.0 < self.exponent <= 1.0:
+            raise ConfigurationError(
+                f"exponent must be in (0, 1], got {self.exponent}"
+            )
+
+    def noise_scale(self) -> float:
+        """Multiplier on the effective noise amplitude (1.0 at nominal)."""
+        scale = (self.nominal_ramp_time_us / self.ramp_time_us) ** self.exponent
+        return float(np.clip(scale, self.MIN_SCALE, self.MAX_SCALE))
+
+    def equivalent_temperature_k(self, nominal_temperature_k: float) -> float:
+        """Measurement temperature that mimics this ramp's noise scale.
+
+        Thermal noise amplitude goes as ``sqrt(T)``, so a noise scale
+        ``s`` is equivalent to measuring at ``T * s**2``.
+        """
+        if nominal_temperature_k <= 0:
+            raise ConfigurationError(
+                f"nominal_temperature_k must be positive, got {nominal_temperature_k}"
+            )
+        return nominal_temperature_k * self.noise_scale() ** 2
+
+
+def read_startup_with_ramp(chip: SRAMChip, ramp: VoltageRamp, count: int = 1):
+    """Power-cycle ``chip`` with the given supply ramp.
+
+    Slower-than-nominal ramps yield quieter, more reproducible
+    patterns; steeper ramps yield noisier ones — the [17] mechanism.
+    """
+    equivalent = ramp.equivalent_temperature_k(chip.profile.temperature_k)
+    return chip.read_startup(count, temperature_k=equivalent)

@@ -1,0 +1,61 @@
+"""SRAM PUF as a true random number generator (paper Section II-A.2).
+
+Unstable SRAM cells resolve differently from power-up to power-up —
+electrical noise made visible.  This subpackage turns that noise into
+vetted random bits:
+
+* :mod:`repro.trng.harvester` — raw noise acquisition: repeated
+  power-ups, reference-XOR, unstable-cell masking.
+* :mod:`repro.trng.conditioner` — von Neumann, XOR-folding and hash
+  conditioning.
+* :mod:`repro.trng.health` — online health tests in the style of NIST
+  SP 800-90B (repetition count, adaptive proportion).
+* :mod:`repro.trng.estimators` — min-entropy estimators (most common
+  value, collision, Markov).
+* :mod:`repro.trng.sp800_22` — a statistical test battery following
+  NIST SP 800-22 (monobit, block frequency, runs, longest run,
+  cumulative sums, spectral, serial, approximate entropy).
+* :mod:`repro.trng.trng` — :class:`SRAMTRNG`, the end-to-end
+  generator.
+"""
+
+from repro.trng.conditioner import hash_condition, von_neumann_condition, xor_fold
+from repro.trng.estimators import (
+    collision_estimate,
+    markov_estimate,
+    most_common_value_estimate,
+)
+from repro.trng.harvester import NoiseHarvester
+from repro.trng.health import AdaptiveProportionTest, HealthMonitor, RepetitionCountTest
+from repro.trng.sp800_22 import SP80022Battery, TestResult
+from repro.trng.sp800_22_ext import (
+    binary_matrix_rank_test,
+    linear_complexity_test,
+    non_overlapping_template_test,
+    run_extended_battery,
+)
+from repro.trng.drbg import HmacDrbg, SeededDrbg, seeded_drbg
+from repro.trng.trng import SRAMTRNG
+
+__all__ = [
+    "hash_condition",
+    "von_neumann_condition",
+    "xor_fold",
+    "collision_estimate",
+    "markov_estimate",
+    "most_common_value_estimate",
+    "NoiseHarvester",
+    "AdaptiveProportionTest",
+    "HealthMonitor",
+    "RepetitionCountTest",
+    "SP80022Battery",
+    "TestResult",
+    "binary_matrix_rank_test",
+    "linear_complexity_test",
+    "non_overlapping_template_test",
+    "run_extended_battery",
+    "HmacDrbg",
+    "SeededDrbg",
+    "seeded_drbg",
+    "SRAMTRNG",
+]

@@ -1,0 +1,75 @@
+"""Conditioning raw noise into full-entropy output.
+
+Raw SRAM noise is sparse (a ~3 % min-entropy per bit at the paper's
+start of life), so a conditioner must compress heavily:
+
+* :func:`von_neumann_condition` — unbiased but only removes *bias*,
+  not correlation; fine for the unstable-cell stream.
+* :func:`xor_fold` — XOR ``fold`` raw bits per output bit; the piling-
+  up lemma drives bias toward zero exponentially in ``fold``.
+* :func:`hash_condition` — SHA-256 extraction with an explicit input/
+  output ratio; the standard "vetted conditioning component" and the
+  default of :class:`~repro.trng.trng.SRAMTRNG`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.io.bitutil import ensure_bits, pack_bits, unpack_bits
+from repro.keygen.debias import von_neumann_debias
+
+
+def von_neumann_condition(raw: np.ndarray) -> np.ndarray:
+    """Classic von Neumann extraction (variable-length output)."""
+    return von_neumann_debias(raw).bits
+
+
+def xor_fold(raw: np.ndarray, fold: int) -> np.ndarray:
+    """XOR ``fold`` consecutive raw bits into each output bit.
+
+    For independent bits of bias ``1/2 + e`` the output bias is
+    ``2**(fold-1) * e**fold`` — e.g. 8-folding a 90 %-zeros stream
+    already lands within 3 % of uniform.
+    """
+    bits = ensure_bits(raw)
+    if fold < 1:
+        raise ConfigurationError(f"fold must be >= 1, got {fold}")
+    usable = bits.size - (bits.size % fold)
+    if usable == 0:
+        raise ConfigurationError(f"need at least {fold} raw bits to fold")
+    groups = bits[:usable].reshape(-1, fold)
+    return (groups.sum(axis=1) % 2).astype(np.uint8)
+
+
+def hash_condition(raw: np.ndarray, output_bits: int) -> np.ndarray:
+    """SHA-256 extraction of ``output_bits`` from the raw stream.
+
+    The raw stream is consumed in equal chunks, one 256-bit hash block
+    per 256 output bits; requesting more output than input entropy is
+    the caller's responsibility (see
+    :mod:`repro.trng.estimators` for measuring it).
+    """
+    bits = ensure_bits(raw)
+    if output_bits < 1:
+        raise ConfigurationError(f"output_bits must be >= 1, got {output_bits}")
+    if bits.size < output_bits:
+        raise ConfigurationError(
+            f"raw stream ({bits.size} bits) shorter than requested output "
+            f"({output_bits} bits); conditioning cannot stretch entropy"
+        )
+    blocks = -(-output_bits // 256)
+    chunk_size = bits.size // blocks
+    output = bytearray()
+    for index in range(blocks):
+        chunk = bits[index * chunk_size : (index + 1) * chunk_size]
+        padding = (-chunk.size) % 8
+        padded = np.concatenate([chunk, np.zeros(padding, dtype=np.uint8)])
+        digest = hashlib.sha256(
+            index.to_bytes(4, "big") + chunk.size.to_bytes(4, "big") + pack_bits(padded)
+        ).digest()
+        output.extend(digest)
+    return unpack_bits(bytes(output), bit_count=output_bits)

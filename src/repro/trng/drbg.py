@@ -1,0 +1,171 @@
+"""HMAC-DRBG (NIST SP 800-90A) seeded from the SRAM TRNG.
+
+The paper's Section II-A.2 frames the SRAM PUF TRNG as providing "an
+unpredicted seed to cryptographic systems" — in deployments, the raw
+conditioned bits seed a deterministic random bit generator rather than
+being consumed directly.  :class:`HmacDrbg` is a faithful HMAC-SHA-256
+instantiation of SP 800-90A §10.1.2 (instantiate / reseed / generate,
+with the standard's reseed interval), and :func:`seeded_drbg` wires it
+to a :class:`~repro.trng.trng.SRAMTRNG`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EntropyExhausted
+from repro.io.bitutil import pack_bits
+from repro.trng.trng import SRAMTRNG
+
+#: SHA-256 output length in bytes.
+_HASH_BYTES = 32
+#: SP 800-90A security strength for HMAC-SHA-256 (bits of seed entropy).
+SECURITY_STRENGTH_BITS = 256
+#: Maximum generate calls between reseeds (the standard allows 2^48;
+#: a deliberately small default keeps the reseed path exercised).
+DEFAULT_RESEED_INTERVAL = 10_000
+#: Maximum bytes per generate call (SP 800-90A: 2^19 bits).
+MAX_BYTES_PER_REQUEST = (1 << 19) // 8
+
+
+class HmacDrbg:
+    """HMAC-SHA-256 deterministic random bit generator.
+
+    Parameters
+    ----------
+    seed:
+        Entropy input concatenated with any nonce; at least 32 bytes
+        (the security strength).
+    personalization:
+        Optional domain-separation string.
+    reseed_interval:
+        Generate calls allowed before :meth:`reseed` is required.
+    """
+
+    def __init__(
+        self,
+        seed: bytes,
+        personalization: bytes = b"",
+        reseed_interval: int = DEFAULT_RESEED_INTERVAL,
+    ):
+        if len(seed) * 8 < SECURITY_STRENGTH_BITS:
+            raise ConfigurationError(
+                f"seed must carry >= {SECURITY_STRENGTH_BITS} bits, "
+                f"got {len(seed) * 8}"
+            )
+        if reseed_interval < 1:
+            raise ConfigurationError(
+                f"reseed_interval must be >= 1, got {reseed_interval}"
+            )
+        self._key = b"\x00" * _HASH_BYTES
+        self._value = b"\x01" * _HASH_BYTES
+        self._reseed_interval = reseed_interval
+        self._update(seed + personalization)
+        self._generate_count = 0
+
+    def _hmac(self, key: bytes, data: bytes) -> bytes:
+        return hmac.new(key, data, hashlib.sha256).digest()
+
+    def _update(self, provided: bytes = b"") -> None:
+        """The HMAC_DRBG_Update function of SP 800-90A §10.1.2.2."""
+        self._key = self._hmac(self._key, self._value + b"\x00" + provided)
+        self._value = self._hmac(self._key, self._value)
+        if provided:
+            self._key = self._hmac(self._key, self._value + b"\x01" + provided)
+            self._value = self._hmac(self._key, self._value)
+
+    @property
+    def generate_count(self) -> int:
+        """Generate calls since instantiation or the last reseed."""
+        return self._generate_count
+
+    def reseed(self, entropy: bytes) -> None:
+        """Mix fresh entropy into the state (§10.1.2.4)."""
+        if len(entropy) * 8 < SECURITY_STRENGTH_BITS:
+            raise ConfigurationError(
+                f"reseed entropy must carry >= {SECURITY_STRENGTH_BITS} bits"
+            )
+        self._update(entropy)
+        self._generate_count = 0
+
+    def generate(self, count: int, additional: bytes = b"") -> bytes:
+        """Emit ``count`` pseudorandom bytes (§10.1.2.5).
+
+        Raises
+        ------
+        EntropyExhausted
+            When the reseed interval is exceeded — the caller must
+            :meth:`reseed` first.
+        """
+        if count < 1:
+            raise ConfigurationError(f"count must be >= 1, got {count}")
+        if count > MAX_BYTES_PER_REQUEST:
+            raise ConfigurationError(
+                f"at most {MAX_BYTES_PER_REQUEST} bytes per request, got {count}"
+            )
+        if self._generate_count >= self._reseed_interval:
+            raise EntropyExhausted(
+                f"reseed required after {self._reseed_interval} generate calls"
+            )
+        if additional:
+            self._update(additional)
+        output = bytearray()
+        while len(output) < count:
+            self._value = self._hmac(self._key, self._value)
+            output.extend(self._value)
+        self._update(additional)
+        self._generate_count += 1
+        return bytes(output[:count])
+
+
+class SeededDrbg:
+    """An :class:`HmacDrbg` that reseeds itself from an SRAM TRNG.
+
+    Parameters
+    ----------
+    trng:
+        The live entropy source (its health tests stay active).
+    reseed_interval:
+        Generate calls between automatic reseeds.
+    """
+
+    def __init__(self, trng: SRAMTRNG, reseed_interval: int = DEFAULT_RESEED_INTERVAL):
+        self._trng = trng
+        self._drbg = HmacDrbg(
+            self._fresh_entropy(),
+            personalization=b"repro-sram-puf-drbg",
+            reseed_interval=reseed_interval,
+        )
+        self._reseeds = 0
+
+    def _fresh_entropy(self) -> bytes:
+        return pack_bits(self._trng.generate(SECURITY_STRENGTH_BITS))
+
+    @property
+    def reseed_count(self) -> int:
+        """Automatic reseeds performed so far."""
+        return self._reseeds
+
+    def generate(self, count: int) -> bytes:
+        """Emit ``count`` bytes, reseeding from the PUF when due."""
+        try:
+            return self._drbg.generate(count)
+        except EntropyExhausted:
+            self._drbg.reseed(self._fresh_entropy())
+            self._reseeds += 1
+            return self._drbg.generate(count)
+
+    def random_bits(self, count: int) -> np.ndarray:
+        """Emit ``count`` bits as a uint8 vector."""
+        from repro.io.bitutil import unpack_bits
+
+        return unpack_bits(self.generate(-(-count // 8)), bit_count=count)
+
+
+def seeded_drbg(trng: SRAMTRNG, **kwargs) -> SeededDrbg:
+    """Convenience constructor mirroring the paper's seeding use case."""
+    return SeededDrbg(trng, **kwargs)

@@ -1,0 +1,138 @@
+"""Raw noise acquisition from SRAM power-ups.
+
+Following van der Leest et al. ("Efficient implementation of true
+random number generator based on SRAM PUFs", the paper's reference
+[12]), the noise source is the *difference* between power-up patterns:
+XORing a fresh measurement with the device's enrolled reference leaves
+1s exactly where noise flipped a cell.  Only a few percent of cells
+carry noise (the paper's noise entropy is ~3 % per bit at the start of
+life, ~3.6 % after two years), so raw harvests are long and heavily
+conditioned afterwards.
+
+:class:`NoiseHarvester` supports two strategies:
+
+* ``reference-xor`` — XOR each measurement with the reference and
+  emit all cells.  Highest volume, lowest per-bit entropy.
+* ``unstable-mask`` — characterise the device first (cells that
+  flipped at least once over ``characterization_measurements``
+  power-ups), then emit only those cells' raw values.  Lower volume,
+  much higher per-bit entropy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EntropyExhausted
+from repro.sram.chip import SRAMChip
+
+
+class NoiseHarvester:
+    """Harvests raw noise bits from a simulated SRAM chip.
+
+    Parameters
+    ----------
+    chip:
+        The noise source.
+    strategy:
+        ``"reference-xor"`` or ``"unstable-mask"``.
+    characterization_measurements:
+        Power-ups used to find unstable cells (``unstable-mask`` only).
+    max_power_ups:
+        Safety limit on power-ups per harvest call; exceeding it
+        raises :class:`~repro.errors.EntropyExhausted` (the simulated
+        analogue of a source that cannot keep up with demand).
+    """
+
+    STRATEGIES = ("reference-xor", "unstable-mask")
+
+    def __init__(
+        self,
+        chip: SRAMChip,
+        strategy: str = "reference-xor",
+        characterization_measurements: int = 100,
+        max_power_ups: int = 10_000,
+    ):
+        if strategy not in self.STRATEGIES:
+            raise ConfigurationError(
+                f"strategy must be one of {self.STRATEGIES}, got {strategy!r}"
+            )
+        if characterization_measurements < 2:
+            raise ConfigurationError(
+                "characterization_measurements must be >= 2, got "
+                f"{characterization_measurements}"
+            )
+        if max_power_ups < 1:
+            raise ConfigurationError(f"max_power_ups must be >= 1, got {max_power_ups}")
+        self._chip = chip
+        self._strategy = strategy
+        self._characterization_measurements = characterization_measurements
+        self._max_power_ups = max_power_ups
+        self._reference: Optional[np.ndarray] = None
+        self._unstable_mask: Optional[np.ndarray] = None
+
+    @property
+    def strategy(self) -> str:
+        """The configured harvesting strategy."""
+        return self._strategy
+
+    @property
+    def unstable_cell_count(self) -> Optional[int]:
+        """Unstable cells found by characterisation (None before it ran)."""
+        if self._unstable_mask is None:
+            return None
+        return int(self._unstable_mask.sum())
+
+    def characterize(self) -> None:
+        """Measure the device and cache reference / unstable mask."""
+        block = self._chip.read_startup(self._characterization_measurements)
+        ones = block.sum(axis=0)
+        self._reference = block[0].copy()
+        self._unstable_mask = (ones != 0) & (ones != self._characterization_measurements)
+
+    def bits_per_power_up(self) -> int:
+        """Raw bits one power-up yields under the current strategy."""
+        if self._strategy == "reference-xor":
+            return self._chip.profile.read_bits
+        if self._unstable_mask is None:
+            self.characterize()
+        return int(self._unstable_mask.sum())
+
+    def harvest(self, raw_bits: int) -> np.ndarray:
+        """Collect at least ``raw_bits`` raw noise bits.
+
+        Raises
+        ------
+        EntropyExhausted
+            When satisfying the request would exceed ``max_power_ups``
+            (e.g. an ``unstable-mask`` harvest on a device with almost
+            no unstable cells).
+        """
+        if raw_bits < 1:
+            raise ConfigurationError(f"raw_bits must be >= 1, got {raw_bits}")
+        if self._reference is None or (
+            self._strategy == "unstable-mask" and self._unstable_mask is None
+        ):
+            self.characterize()
+
+        per_power_up = self.bits_per_power_up()
+        if per_power_up == 0:
+            raise EntropyExhausted(
+                "device has no unstable cells to harvest noise from"
+            )
+        power_ups = -(-raw_bits // per_power_up)
+        if power_ups > self._max_power_ups:
+            raise EntropyExhausted(
+                f"harvesting {raw_bits} bits needs {power_ups} power-ups, "
+                f"limit is {self._max_power_ups}"
+            )
+        block = self._chip.read_startup(power_ups)
+        if block.ndim == 1:
+            block = block[np.newaxis, :]
+        if self._strategy == "reference-xor":
+            harvested = block ^ self._reference[np.newaxis, :]
+        else:
+            harvested = block[:, self._unstable_mask]
+        return harvested.ravel()[:raw_bits]

@@ -1,0 +1,143 @@
+"""Online health tests (NIST SP 800-90B, Section 4.4).
+
+Health tests watch the *raw* noise stream continuously and trip when
+the source degenerates.  Both SP 800-90B mandatory tests are
+implemented:
+
+* :class:`RepetitionCountTest` — detects a stuck source: too many
+  identical consecutive samples.
+* :class:`AdaptiveProportionTest` — detects loss of entropy: one value
+  dominating a window.
+
+Cutoffs follow the standard's formulas for a claimed per-bit
+min-entropy ``H`` and false-positive probability ``alpha = 2^-20``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError, HealthTestFailure
+from repro.io.bitutil import ensure_bits
+
+#: SP 800-90B's recommended false-positive rate.
+ALPHA = 2.0**-20
+
+
+class RepetitionCountTest:
+    """Trips when a sample value repeats ``cutoff`` times in a row.
+
+    Cutoff: ``1 + ceil(-log2(alpha) / H)`` (SP 800-90B, 4.4.1).
+    """
+
+    def __init__(self, min_entropy_per_bit: float, alpha: float = ALPHA):
+        if not 0.0 < min_entropy_per_bit <= 1.0:
+            raise ConfigurationError(
+                f"min_entropy_per_bit must be in (0, 1], got {min_entropy_per_bit}"
+            )
+        if not 0.0 < alpha < 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+        self._cutoff = 1 + math.ceil(-math.log2(alpha) / min_entropy_per_bit)
+
+    @property
+    def cutoff(self) -> int:
+        """Consecutive repetitions that trip the test."""
+        return self._cutoff
+
+    def check(self, bits: np.ndarray) -> None:
+        """Scan a raw block; raises :class:`HealthTestFailure` on a trip."""
+        vector = ensure_bits(bits)
+        if vector.size == 0:
+            return
+        # Longest run of identical values, vectorized.
+        change_points = np.flatnonzero(np.diff(vector)) + 1
+        boundaries = np.concatenate([[0], change_points, [vector.size]])
+        longest = int(np.diff(boundaries).max())
+        if longest >= self._cutoff:
+            raise HealthTestFailure(
+                f"repetition count test: run of {longest} identical bits "
+                f">= cutoff {self._cutoff}"
+            )
+
+
+class AdaptiveProportionTest:
+    """Trips when one value dominates a window (SP 800-90B, 4.4.2).
+
+    Cutoff: the smallest ``c`` with
+    ``P[Binomial(window - 1, 2^-H) >= c - 1] <= alpha`` — the first
+    sample sets the value, the rest of the window counts occurrences.
+    """
+
+    def __init__(
+        self,
+        min_entropy_per_bit: float,
+        window: int = 1024,
+        alpha: float = ALPHA,
+    ):
+        if not 0.0 < min_entropy_per_bit <= 1.0:
+            raise ConfigurationError(
+                f"min_entropy_per_bit must be in (0, 1], got {min_entropy_per_bit}"
+            )
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        self._window = window
+        probability = 2.0**-min_entropy_per_bit
+        # Smallest cutoff whose exceedance probability is <= alpha.
+        self._cutoff = int(stats.binom.isf(alpha, window - 1, probability)) + 2
+        self._cutoff = min(self._cutoff, window)
+
+    @property
+    def window(self) -> int:
+        """Window size in samples."""
+        return self._window
+
+    @property
+    def cutoff(self) -> int:
+        """Occurrences of the window's first value that trip the test."""
+        return self._cutoff
+
+    def check(self, bits: np.ndarray) -> None:
+        """Scan full windows of a raw block; raises on a trip."""
+        vector = ensure_bits(bits)
+        full_windows = vector.size // self._window
+        for index in range(full_windows):
+            window = vector[index * self._window : (index + 1) * self._window]
+            count = int((window == window[0]).sum())
+            if count >= self._cutoff:
+                raise HealthTestFailure(
+                    f"adaptive proportion test: value {int(window[0])} appeared "
+                    f"{count} times in a {self._window}-bit window "
+                    f"(cutoff {self._cutoff})"
+                )
+
+
+class HealthMonitor:
+    """Runs all configured health tests over each raw block.
+
+    Parameters
+    ----------
+    min_entropy_per_bit:
+        The claimed per-bit min-entropy of the raw source.  For the
+        paper's SRAM noise stream (reference-XOR strategy) the honest
+        claim is ~0.03.
+    """
+
+    def __init__(self, min_entropy_per_bit: float, window: int = 1024):
+        self._tests = [
+            RepetitionCountTest(min_entropy_per_bit),
+            AdaptiveProportionTest(min_entropy_per_bit, window=window),
+        ]
+
+    def check(self, bits: np.ndarray) -> None:
+        """Run every test; the first failure propagates."""
+        for test in self._tests:
+            test.check(bits)
+
+    def check_many(self, blocks: Iterable[np.ndarray]) -> None:
+        """Run every test over a sequence of raw blocks."""
+        for block in blocks:
+            self.check(block)

@@ -1,0 +1,235 @@
+"""A NIST SP 800-22 statistical test battery (subset).
+
+Eight tests from the standard, enough to exercise a conditioned TRNG
+stream the way the original publication's authors would have.  Each
+test returns a :class:`TestResult` with the test statistic and p-value;
+a stream passes a test when ``p >= 0.01`` (the standard's default
+significance level).
+
+Implemented tests: frequency (monobit), block frequency, runs, longest
+run of ones (M=8), cumulative sums (forward/backward), discrete
+Fourier transform (spectral), serial (m=3) and approximate entropy
+(m=2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+from scipy import special, stats
+
+from repro.errors import ConfigurationError
+from repro.io.bitutil import ensure_bits
+
+#: Default significance level of SP 800-22.
+SIGNIFICANCE = 0.01
+
+
+@dataclass(frozen=True)
+class TestResult:
+    """Outcome of one statistical test."""
+
+    name: str
+    statistic: float
+    p_value: float
+
+    @property
+    def passed(self) -> bool:
+        """True when the p-value clears the significance level."""
+        return self.p_value >= SIGNIFICANCE
+
+
+def _check_bits(bits: np.ndarray, minimum: int, test: str) -> np.ndarray:
+    vector = ensure_bits(bits)
+    if vector.size < minimum:
+        raise ConfigurationError(f"{test} needs >= {minimum} bits, got {vector.size}")
+    return vector
+
+
+def monobit_test(bits: np.ndarray) -> TestResult:
+    """Frequency (monobit) test — SP 800-22 §2.1."""
+    vector = _check_bits(bits, 100, "monobit")
+    s = abs(int(2 * vector.sum()) - vector.size)
+    statistic = s / math.sqrt(vector.size)
+    p_value = math.erfc(statistic / math.sqrt(2.0))
+    return TestResult("monobit", statistic, p_value)
+
+
+def block_frequency_test(bits: np.ndarray, block_size: int = 128) -> TestResult:
+    """Block frequency test — §2.2."""
+    vector = _check_bits(bits, block_size * 2, "block frequency")
+    blocks = vector.size // block_size
+    proportions = (
+        vector[: blocks * block_size].reshape(blocks, block_size).mean(axis=1)
+    )
+    chi_squared = 4.0 * block_size * float(((proportions - 0.5) ** 2).sum())
+    p_value = float(special.gammaincc(blocks / 2.0, chi_squared / 2.0))
+    return TestResult("block-frequency", chi_squared, p_value)
+
+
+def runs_test(bits: np.ndarray) -> TestResult:
+    """Runs test — §2.3."""
+    vector = _check_bits(bits, 100, "runs")
+    pi = float(vector.mean())
+    if abs(pi - 0.5) >= 2.0 / math.sqrt(vector.size):
+        # Frequency prerequisite failed: the runs statistic is
+        # meaningless, report p = 0 as the standard prescribes.
+        return TestResult("runs", float("inf"), 0.0)
+    observed_runs = 1 + int((vector[1:] != vector[:-1]).sum())
+    expected = 2.0 * vector.size * pi * (1.0 - pi)
+    p_value = math.erfc(
+        abs(observed_runs - expected)
+        / (2.0 * math.sqrt(2.0 * vector.size) * pi * (1.0 - pi))
+    )
+    return TestResult("runs", float(observed_runs), p_value)
+
+
+def longest_run_test(bits: np.ndarray) -> TestResult:
+    """Longest run of ones in 8-bit blocks — §2.4 (n >= 128 variant)."""
+    vector = _check_bits(bits, 128, "longest run")
+    block_size = 8
+    probabilities = np.array([0.2148, 0.3672, 0.2305, 0.1875])
+    blocks = vector.size // block_size
+    counts = np.zeros(4, dtype=float)
+    reshaped = vector[: blocks * block_size].reshape(blocks, block_size)
+    for block in reshaped:
+        longest = 0
+        current = 0
+        for bit in block:
+            current = current + 1 if bit else 0
+            longest = max(longest, current)
+        category = min(max(longest - 1, 0), 3)
+        counts[category] += 1
+    expected = blocks * probabilities
+    chi_squared = float(((counts - expected) ** 2 / expected).sum())
+    p_value = float(special.gammaincc(3 / 2.0, chi_squared / 2.0))
+    return TestResult("longest-run", chi_squared, p_value)
+
+
+def cumulative_sums_test(bits: np.ndarray, forward: bool = True) -> TestResult:
+    """Cumulative sums test — §2.13."""
+    vector = _check_bits(bits, 100, "cumulative sums")
+    signed = 2.0 * vector.astype(float) - 1.0
+    if not forward:
+        signed = signed[::-1]
+    partial = np.cumsum(signed)
+    z = float(np.abs(partial).max())
+    n = vector.size
+    sqrt_n = math.sqrt(n)
+
+    def phi(x: float) -> float:
+        return float(stats.norm.cdf(x))
+
+    total = 0.0
+    for k in range(int((-n / z + 1) // 4), int((n / z - 1) // 4) + 1):
+        total += phi((4 * k + 1) * z / sqrt_n) - phi((4 * k - 1) * z / sqrt_n)
+    for k in range(int((-n / z - 3) // 4), int((n / z - 1) // 4) + 1):
+        total -= phi((4 * k + 3) * z / sqrt_n) - phi((4 * k + 1) * z / sqrt_n)
+    p_value = 1.0 - total
+    name = "cusum-forward" if forward else "cusum-backward"
+    return TestResult(name, z, min(max(p_value, 0.0), 1.0))
+
+
+def spectral_test(bits: np.ndarray) -> TestResult:
+    """Discrete Fourier transform (spectral) test — §2.6."""
+    vector = _check_bits(bits, 1000, "spectral")
+    signed = 2.0 * vector.astype(float) - 1.0
+    spectrum = np.abs(np.fft.fft(signed))[: vector.size // 2]
+    threshold = math.sqrt(math.log(1.0 / 0.05) * vector.size)
+    expected = 0.95 * vector.size / 2.0
+    observed = float((spectrum < threshold).sum())
+    d = (observed - expected) / math.sqrt(vector.size * 0.95 * 0.05 / 4.0)
+    p_value = math.erfc(abs(d) / math.sqrt(2.0))
+    return TestResult("spectral", d, p_value)
+
+
+def _psi_squared(vector: np.ndarray, m: int) -> float:
+    """The serial test's psi^2 statistic for pattern length m."""
+    if m <= 0:
+        return 0.0
+    n = vector.size
+    extended = np.concatenate([vector, vector[: m - 1]]) if m > 1 else vector
+    # Pattern index of each window, vectorized via powers of two.
+    weights = 1 << np.arange(m - 1, -1, -1)
+    windows = np.lib.stride_tricks.sliding_window_view(extended, m)[:n]
+    indices = windows @ weights
+    counts = np.bincount(indices, minlength=1 << m)
+    return float((counts.astype(float) ** 2).sum()) * (1 << m) / n - n
+
+
+def serial_test(bits: np.ndarray, m: int = 3) -> List[TestResult]:
+    """Serial test — §2.11; returns its two p-values."""
+    vector = _check_bits(bits, 1 << (m + 3), "serial")
+    if m < 2:
+        raise ConfigurationError(f"serial test needs m >= 2, got {m}")
+    psi_m = _psi_squared(vector, m)
+    psi_m1 = _psi_squared(vector, m - 1)
+    psi_m2 = _psi_squared(vector, m - 2)
+    delta1 = psi_m - psi_m1
+    delta2 = psi_m - 2.0 * psi_m1 + psi_m2
+    p1 = float(special.gammaincc(2 ** (m - 2), delta1 / 2.0))
+    p2 = float(special.gammaincc(2 ** (m - 3), delta2 / 2.0))
+    return [
+        TestResult("serial-p1", delta1, p1),
+        TestResult("serial-p2", delta2, p2),
+    ]
+
+
+def approximate_entropy_test(bits: np.ndarray, m: int = 2) -> TestResult:
+    """Approximate entropy test — §2.12."""
+    vector = _check_bits(bits, 1 << (m + 5), "approximate entropy")
+    n = vector.size
+
+    def phi(block_length: int) -> float:
+        if block_length == 0:
+            return 0.0
+        extended = np.concatenate([vector, vector[: block_length - 1]])
+        weights = 1 << np.arange(block_length - 1, -1, -1)
+        windows = np.lib.stride_tricks.sliding_window_view(extended, block_length)[:n]
+        counts = np.bincount(windows @ weights, minlength=1 << block_length)
+        proportions = counts[counts > 0] / n
+        return float((proportions * np.log(proportions)).sum())
+
+    ap_en = phi(m) - phi(m + 1)
+    chi_squared = 2.0 * n * (math.log(2.0) - ap_en)
+    p_value = float(special.gammaincc(2 ** (m - 1), chi_squared / 2.0))
+    return TestResult("approximate-entropy", chi_squared, p_value)
+
+
+class SP80022Battery:
+    """Runs the whole battery over one bit stream."""
+
+    def run_all(self, bits: np.ndarray) -> List[TestResult]:
+        """Execute every test; returns one result per p-value."""
+        vector = ensure_bits(bits)
+        results = [
+            monobit_test(vector),
+            block_frequency_test(vector),
+            runs_test(vector),
+            longest_run_test(vector),
+            cumulative_sums_test(vector, forward=True),
+            cumulative_sums_test(vector, forward=False),
+            spectral_test(vector),
+            approximate_entropy_test(vector),
+        ]
+        results.extend(serial_test(vector))
+        return results
+
+    def all_passed(self, bits: np.ndarray) -> bool:
+        """True when every test clears the significance level."""
+        return all(result.passed for result in self.run_all(bits))
+
+    def render(self, results: List[TestResult]) -> str:
+        """Text table of a battery run."""
+        lines = [f"{'Test':<22} {'Statistic':>12} {'p-value':>9}  Verdict"]
+        lines.append("-" * 55)
+        for result in results:
+            verdict = "PASS" if result.passed else "FAIL"
+            lines.append(
+                f"{result.name:<22} {result.statistic:12.4f} "
+                f"{result.p_value:9.4f}  {verdict}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,200 @@
+"""Extended SP 800-22 tests: matrix rank, linear complexity, templates.
+
+Three heavier tests complementing :mod:`repro.trng.sp800_22`:
+
+* **binary matrix rank** (§2.5) — detects linear dependence between
+  fixed-length substrings via GF(2) ranks of 32x32 matrices;
+* **non-overlapping template matching** (§2.7) — counts occurrences of
+  an aperiodic template per block;
+* **linear complexity** (§2.10) — Berlekamp–Massey LFSR lengths of
+  500-bit blocks.
+
+They live in their own module because each needs a substantial
+substrate of its own (GF(2) rank, binary Berlekamp–Massey).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+from scipy import special
+
+from repro.errors import ConfigurationError
+from repro.io.bitutil import ensure_bits
+from repro.trng.sp800_22 import TestResult
+
+
+def gf2_rank(matrix: np.ndarray) -> int:
+    """Rank of a 0/1 matrix over GF(2) by Gaussian elimination."""
+    work = (np.asarray(matrix, dtype=np.uint8) & 1).copy()
+    if work.ndim != 2:
+        raise ConfigurationError(f"matrix must be 2-D, got shape {work.shape}")
+    rows, cols = work.shape
+    rank = 0
+    for col in range(cols):
+        pivot_rows = np.flatnonzero(work[rank:, col]) + rank
+        if pivot_rows.size == 0:
+            continue
+        pivot = pivot_rows[0]
+        if pivot != rank:
+            work[[rank, pivot]] = work[[pivot, rank]]
+        eliminate = np.flatnonzero(work[:, col])
+        eliminate = eliminate[eliminate != rank]
+        work[eliminate] ^= work[rank]
+        rank += 1
+        if rank == rows:
+            break
+    return rank
+
+
+def binary_matrix_rank_test(bits: np.ndarray, size: int = 32) -> TestResult:
+    """Binary matrix rank test — SP 800-22 §2.5.
+
+    Splits the stream into ``size x size`` matrices and compares the
+    empirical distribution of {full rank, full-1, lower} against the
+    asymptotic probabilities (0.2888, 0.5776, 0.1336 for 32x32).
+    """
+    vector = ensure_bits(bits)
+    bits_per_matrix = size * size
+    matrices = vector.size // bits_per_matrix
+    if matrices < 38:
+        raise ConfigurationError(
+            f"matrix rank test needs >= {38 * bits_per_matrix} bits, "
+            f"got {vector.size}"
+        )
+    counts = np.zeros(3, dtype=float)  # [full, full-1, lower]
+    for index in range(matrices):
+        block = vector[index * bits_per_matrix : (index + 1) * bits_per_matrix]
+        rank = gf2_rank(block.reshape(size, size))
+        if rank == size:
+            counts[0] += 1
+        elif rank == size - 1:
+            counts[1] += 1
+        else:
+            counts[2] += 1
+    probabilities = np.array([0.2888, 0.5776, 0.1336])
+    expected = matrices * probabilities
+    chi_squared = float(((counts - expected) ** 2 / expected).sum())
+    p_value = math.exp(-chi_squared / 2.0)
+    return TestResult("matrix-rank", chi_squared, p_value)
+
+
+def berlekamp_massey_length(bits: np.ndarray) -> int:
+    """Length of the shortest LFSR generating the binary sequence."""
+    sequence = ensure_bits(bits)
+    n = sequence.size
+    c = np.zeros(n, dtype=np.uint8)
+    b = np.zeros(n, dtype=np.uint8)
+    c[0] = b[0] = 1
+    length, m = 0, -1
+    for position in range(n):
+        discrepancy = sequence[position]
+        if length > 0:
+            discrepancy ^= int(
+                np.bitwise_and(c[1 : length + 1],
+                               sequence[position - length : position][::-1]).sum()
+                % 2
+            )
+        if discrepancy:
+            temp = c.copy()
+            shift = position - m
+            c[shift : n] ^= b[: n - shift]
+            if 2 * length <= position:
+                length = position + 1 - length
+                m = position
+                b = temp
+    return length
+
+
+def linear_complexity_test(bits: np.ndarray, block_size: int = 500) -> TestResult:
+    """Linear complexity test — SP 800-22 §2.10."""
+    vector = ensure_bits(bits)
+    blocks = vector.size // block_size
+    if blocks < 20:
+        raise ConfigurationError(
+            f"linear complexity test needs >= {20 * block_size} bits, "
+            f"got {vector.size}"
+        )
+    mean = (
+        block_size / 2.0
+        + (9.0 + (-1.0) ** (block_size + 1)) / 36.0
+        - (block_size / 3.0 + 2.0 / 9.0) / 2.0**block_size
+    )
+    categories = np.zeros(7, dtype=float)
+    for index in range(blocks):
+        block = vector[index * block_size : (index + 1) * block_size]
+        complexity = berlekamp_massey_length(block)
+        t = (-1.0) ** block_size * (complexity - mean) + 2.0 / 9.0
+        if t <= -2.5:
+            categories[0] += 1
+        elif t <= -1.5:
+            categories[1] += 1
+        elif t <= -0.5:
+            categories[2] += 1
+        elif t <= 0.5:
+            categories[3] += 1
+        elif t <= 1.5:
+            categories[4] += 1
+        elif t <= 2.5:
+            categories[5] += 1
+        else:
+            categories[6] += 1
+    probabilities = np.array(
+        [0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833]
+    )
+    expected = blocks * probabilities
+    chi_squared = float(((categories - expected) ** 2 / expected).sum())
+    p_value = float(special.gammaincc(3.0, chi_squared / 2.0))
+    return TestResult("linear-complexity", chi_squared, p_value)
+
+
+#: The standard aperiodic template of SP 800-22's worked examples.
+DEFAULT_TEMPLATE = (0, 0, 0, 0, 0, 0, 0, 0, 1)
+
+
+def non_overlapping_template_test(
+    bits: np.ndarray,
+    template: Optional[tuple] = None,
+    blocks: int = 8,
+) -> TestResult:
+    """Non-overlapping template matching test — SP 800-22 §2.7."""
+    vector = ensure_bits(bits)
+    pattern = np.array(DEFAULT_TEMPLATE if template is None else template, np.uint8)
+    m = pattern.size
+    if m < 2:
+        raise ConfigurationError("template must have at least 2 bits")
+    block_size = vector.size // blocks
+    if block_size < 8 * m:
+        raise ConfigurationError(
+            f"stream too short: {vector.size} bits for {blocks} blocks of "
+            f"template length {m}"
+        )
+    mean = (block_size - m + 1) / 2.0**m
+    variance = block_size * (1.0 / 2.0**m - (2.0 * m - 1.0) / 2.0 ** (2 * m))
+    chi_squared = 0.0
+    counts: List[int] = []
+    for index in range(blocks):
+        block = vector[index * block_size : (index + 1) * block_size]
+        matches = 0
+        position = 0
+        while position <= block_size - m:
+            if np.array_equal(block[position : position + m], pattern):
+                matches += 1
+                position += m  # non-overlapping scan
+            else:
+                position += 1
+        counts.append(matches)
+        chi_squared += (matches - mean) ** 2 / variance
+    p_value = float(special.gammaincc(blocks / 2.0, chi_squared / 2.0))
+    return TestResult("non-overlapping-template", chi_squared, p_value)
+
+
+def run_extended_battery(bits: np.ndarray) -> List[TestResult]:
+    """Run all three extended tests on one stream."""
+    return [
+        binary_matrix_rank_test(bits),
+        linear_complexity_test(bits),
+        non_overlapping_template_test(bits),
+    ]

@@ -1,0 +1,133 @@
+"""The end-to-end SRAM PUF TRNG.
+
+:class:`SRAMTRNG` wires harvesting, health testing and conditioning
+into the generator the paper's Section II-A.2 describes: power the
+SRAM up, compare against the reference, feed the noise through a
+vetted conditioner, emit random bits.
+
+The entropy accounting is explicit: the generator consumes
+``output_bits / (safety_factor * claimed_entropy)`` raw bits per output
+bit, with the claim validated offline by
+:mod:`repro.trng.estimators` and online by
+:mod:`repro.trng.health`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.trng.conditioner import hash_condition
+from repro.trng.harvester import NoiseHarvester
+from repro.trng.health import HealthMonitor
+from repro.sram.chip import SRAMChip
+
+
+class SRAMTRNG:
+    """True random number generator over a simulated SRAM chip.
+
+    Parameters
+    ----------
+    chip:
+        The noise source.
+    claimed_entropy_per_bit:
+        Min-entropy claim for the raw stream; the default 0.02 is a
+        conservative claim for the paper's start-of-life noise entropy
+        of ~3 % (aging only improves it).
+    safety_factor:
+        Extra raw-entropy margin consumed per output bit (>= 1).
+    strategy:
+        Harvesting strategy (see :class:`NoiseHarvester`).
+    health_checks:
+        Run online health tests on every harvest (default on).
+
+    Examples
+    --------
+    >>> from repro.sram import SRAMChip
+    >>> trng = SRAMTRNG(SRAMChip(0, random_state=11))
+    >>> bits = trng.generate(256)
+    >>> bits.size
+    256
+    """
+
+    def __init__(
+        self,
+        chip: SRAMChip,
+        claimed_entropy_per_bit: float = 0.02,
+        safety_factor: float = 2.0,
+        strategy: str = "reference-xor",
+        health_checks: bool = True,
+        max_power_ups: int = 100_000,
+    ):
+        if not 0.0 < claimed_entropy_per_bit <= 1.0:
+            raise ConfigurationError(
+                "claimed_entropy_per_bit must be in (0, 1], got "
+                f"{claimed_entropy_per_bit}"
+            )
+        if safety_factor < 1.0:
+            raise ConfigurationError(
+                f"safety_factor must be >= 1, got {safety_factor}"
+            )
+        self._chip = chip
+        self._claim = claimed_entropy_per_bit
+        self._safety = safety_factor
+        self._harvester = NoiseHarvester(
+            chip, strategy=strategy, max_power_ups=max_power_ups
+        )
+        self._monitor = (
+            HealthMonitor(claimed_entropy_per_bit) if health_checks else None
+        )
+        self._raw_bits_consumed = 0
+        self._output_bits_produced = 0
+
+    @property
+    def chip(self) -> SRAMChip:
+        """The noise source device."""
+        return self._chip
+
+    @property
+    def harvester(self) -> NoiseHarvester:
+        """The raw-noise harvester."""
+        return self._harvester
+
+    @property
+    def raw_bits_consumed(self) -> int:
+        """Raw noise bits consumed so far."""
+        return self._raw_bits_consumed
+
+    @property
+    def output_bits_produced(self) -> int:
+        """Conditioned output bits produced so far."""
+        return self._output_bits_produced
+
+    def raw_bits_needed(self, output_bits: int) -> int:
+        """Raw bits consumed to emit ``output_bits`` at the claim."""
+        if output_bits < 1:
+            raise ConfigurationError(f"output_bits must be >= 1, got {output_bits}")
+        return int(np.ceil(output_bits * self._safety / self._claim))
+
+    def generate(self, output_bits: int) -> np.ndarray:
+        """Emit ``output_bits`` conditioned random bits.
+
+        Raises
+        ------
+        HealthTestFailure
+            When an online health test rejects the raw stream.
+        EntropyExhausted
+            When the device cannot supply enough raw material.
+        """
+        raw = self._harvester.harvest(self.raw_bits_needed(output_bits))
+        if self._monitor is not None:
+            self._monitor.check(raw)
+        output = hash_condition(raw, output_bits)
+        self._raw_bits_consumed += raw.size
+        self._output_bits_produced += output_bits
+        return output
+
+    def generate_bytes(self, count: int) -> bytes:
+        """Emit ``count`` random bytes."""
+        from repro.io.bitutil import pack_bits
+
+        return pack_bits(self.generate(count * 8))

@@ -1,0 +1,58 @@
+"""Tests for the accelerated-aging study."""
+
+import pytest
+
+from repro.analysis.accelerated import AcceleratedAgingStudy
+from repro.errors import ConfigurationError
+from repro.sram.profiles import TESTCHIP_65NM
+
+
+@pytest.fixture(scope="module")
+def study_result():
+    study = AcceleratedAgingStudy(
+        device_count=4, measurements=400, random_state=6
+    )
+    return study.run(equivalent_months=24, checkpoints=5)
+
+
+class TestAcceleratedStudy:
+    def test_initial_wchd_matches_host14(self, study_result):
+        """HOST 2014 baseline starts around 5.3 % WCHD."""
+        assert study_result.wchd_mean[0] == pytest.approx(0.053, abs=0.006)
+
+    def test_final_wchd_matches_host14(self, study_result):
+        assert study_result.wchd_mean[-1] == pytest.approx(0.072, abs=0.008)
+
+    def test_monthly_rate_near_published(self, study_result):
+        """The paper quotes +1.28 %/month for accelerated aging."""
+        assert study_result.monthly_rate == pytest.approx(0.0128, abs=0.003)
+
+    def test_wchd_monotone_growth(self, study_result):
+        means = study_result.wchd_mean
+        assert all(later >= earlier - 0.002 for earlier, later in
+                   zip(means[:-1], means[1:]))
+
+    def test_stress_time_much_shorter_than_field_time(self, study_result):
+        """85C/1.44V compresses two years into a short oven run."""
+        field_hours = 24 * 730.5
+        assert study_result.stress_hours_total < field_hours / 50
+
+    def test_acceleration_factor_substantial(self, study_result):
+        """85C + 20% overvoltage gives tens of times faster drift."""
+        assert study_result.acceleration_factor > 10.0
+
+
+class TestValidation:
+    def test_understress_voltage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratedAgingStudy(stress_voltage_v=0.5 * TESTCHIP_65NM.supply_v)
+
+    def test_bad_checkpoints_rejected(self):
+        study = AcceleratedAgingStudy(device_count=2, measurements=100)
+        with pytest.raises(ConfigurationError):
+            study.run(equivalent_months=6, checkpoints=1)
+
+    def test_bad_duration_rejected(self):
+        study = AcceleratedAgingStudy(device_count=2, measurements=100)
+        with pytest.raises(ConfigurationError):
+            study.run(equivalent_months=0)

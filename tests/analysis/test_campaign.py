@@ -1,0 +1,112 @@
+"""Tests for the long-term campaign driver."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.campaign import CampaignResult, LongTermCampaign
+from repro.errors import ConfigurationError
+from repro.sram.profiles import ATMEGA32U4
+
+
+@pytest.fixture(scope="module")
+def result() -> CampaignResult:
+    campaign = LongTermCampaign(
+        device_count=4, months=6, measurements=300, random_state=5
+    )
+    return campaign.run()
+
+
+class TestCampaignRun:
+    def test_snapshot_count(self, result):
+        assert len(result.snapshots) == 7  # months 0..6
+
+    def test_month_indices(self, result):
+        assert [snap.month for snap in result.snapshots] == list(range(7))
+
+    def test_references_cover_fleet(self, result):
+        assert sorted(result.references) == result.board_ids
+
+    def test_start_end_accessors(self, result):
+        assert result.start is result.snapshots[0]
+        assert result.end is result.snapshots[-1]
+
+    def test_wchd_grows_with_age(self, result):
+        assert result.end.wchd.mean() > result.start.wchd.mean()
+
+    def test_noise_entropy_grows_with_age(self, result):
+        assert result.end.noise_entropy.mean() > result.start.noise_entropy.mean()
+
+    def test_stability_falls_with_age(self, result):
+        assert result.end.stable_ratio.mean() < result.start.stable_ratio.mean()
+
+    def test_hamming_weight_roughly_constant(self, result):
+        drift = abs(result.end.fhw.mean() - result.start.fhw.mean())
+        assert drift < 0.01
+
+    def test_bchd_roughly_constant(self, result):
+        drift = abs(result.end.bchd_mean - result.start.bchd_mean)
+        assert drift < 0.01
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        def run():
+            return LongTermCampaign(
+                device_count=2, months=2, measurements=100, random_state=9
+            ).run()
+
+        a, b = run(), run()
+        np.testing.assert_array_equal(a.end.wchd, b.end.wchd)
+        np.testing.assert_array_equal(a.end.noise_entropy, b.end.noise_entropy)
+
+    def test_different_seeds_differ(self):
+        a = LongTermCampaign(device_count=2, months=1, measurements=100,
+                             random_state=1).run()
+        b = LongTermCampaign(device_count=2, months=1, measurements=100,
+                             random_state=2).run()
+        assert not np.array_equal(a.end.wchd, b.end.wchd)
+
+
+class TestOptions:
+    def test_external_fleet_injection(self, small_profile):
+        from repro.sram.chip import SRAMChip
+
+        chips = [SRAMChip(i, small_profile, random_state=4) for i in range(2)]
+        campaign = LongTermCampaign(
+            device_count=2, months=1, measurements=50, profile=small_profile
+        )
+        result = campaign.run(chips=chips)
+        assert result.board_ids == [0, 1]
+
+    def test_temperature_walk_runs(self):
+        campaign = LongTermCampaign(
+            device_count=2, months=2, measurements=100,
+            temperature_walk_k=1.0, random_state=3,
+        )
+        result = campaign.run()
+        assert len(result.snapshots) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LongTermCampaign(device_count=0)
+        with pytest.raises(ConfigurationError):
+            LongTermCampaign(months=0)
+        with pytest.raises(ConfigurationError):
+            LongTermCampaign(measurements=1)
+        with pytest.raises(ConfigurationError):
+            LongTermCampaign(temperature_walk_k=-1.0)
+        with pytest.raises(ConfigurationError):
+            LongTermCampaign(aging_steps_per_month=0)
+
+    def test_result_snapshot_count_validated(self):
+        campaign = LongTermCampaign(device_count=2, months=2, measurements=50)
+        result = campaign.run()
+        with pytest.raises(ConfigurationError):
+            CampaignResult(
+                profile_name=ATMEGA32U4.name,
+                months=5,
+                measurements=50,
+                board_ids=result.board_ids,
+                references=result.references,
+                snapshots=result.snapshots,
+            )

@@ -1,0 +1,78 @@
+"""Tests for the cross-source comparison study."""
+
+import pytest
+
+from repro.analysis.comparison import SourceComparisonStudy
+from repro.errors import ConfigurationError
+from repro.sram.profiles import ATMEGA32U4, BUSKEEPER_PUF, DFF_PUF
+
+
+@pytest.fixture(scope="module")
+def report():
+    study = SourceComparisonStudy(
+        devices_per_source=3, measurements=500, random_state=19
+    )
+    return study.run(months=24.0)
+
+
+class TestComparison:
+    def test_all_sources_reported(self, report):
+        assert set(report) == {"ATmega32u4", "dff-puf", "buskeeper-puf"}
+
+    def test_two_snapshots_per_source(self, report):
+        for snapshots in report.values():
+            assert [snap.month for snap in snapshots] == [0.0, 24.0]
+
+    def test_bias_ordering(self, report):
+        """DFF most biased, buskeeper near-unbiased, SRAM in between."""
+        start = {name: snaps[0] for name, snaps in report.items()}
+        assert start["dff-puf"].fhw > start["ATmega32u4"].fhw
+        assert abs(start["buskeeper-puf"].fhw - 0.5) < abs(
+            start["ATmega32u4"].fhw - 0.5
+        )
+
+    def test_sram_is_most_reliable(self, report):
+        """The paper's device has the lowest initial WCHD of the trio."""
+        start = {name: snaps[0] for name, snaps in report.items()}
+        assert start["ATmega32u4"].wchd < start["dff-puf"].wchd
+        assert start["ATmega32u4"].wchd < start["buskeeper-puf"].wchd
+
+    def test_buskeeper_richest_noise_source(self, report):
+        start = {name: snaps[0] for name, snaps in report.items()}
+        assert start["buskeeper-puf"].noise_entropy > start["ATmega32u4"].noise_entropy
+
+    def test_every_source_ages_the_same_direction(self, report):
+        for snapshots in report.values():
+            start, end = snapshots
+            assert end.wchd > start.wchd
+            assert end.noise_entropy > start.noise_entropy
+            assert end.stable_ratio < start.stable_ratio
+
+    def test_render(self, report):
+        text = SourceComparisonStudy.render(report)
+        assert "dff-puf" in text and "WCHD" in text
+
+    def test_zero_months_gives_single_snapshot(self):
+        study = SourceComparisonStudy(
+            sources=[ATMEGA32U4], devices_per_source=2, measurements=100,
+            random_state=20,
+        )
+        report = study.run(months=0.0)
+        assert len(report["ATmega32u4"]) == 1
+
+
+class TestValidation:
+    def test_empty_sources_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SourceComparisonStudy(sources=[])
+
+    def test_duplicate_sources_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SourceComparisonStudy(sources=[DFF_PUF, DFF_PUF])
+
+    def test_negative_months_rejected(self):
+        study = SourceComparisonStudy(
+            sources=[BUSKEEPER_PUF], devices_per_source=2, measurements=100
+        )
+        with pytest.raises(ConfigurationError):
+            study.run(months=-1.0)

@@ -1,0 +1,61 @@
+"""Tests for environmental sensitivity studies."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.environment import EnvironmentStudy
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def study():
+    return EnvironmentStudy(measurements=400, random_state=5)
+
+
+class TestTemperatureSweep:
+    def test_sweep_shape(self, study):
+        points = study.temperature_sweep([278.15, 298.15, 348.15])
+        assert [point.condition for point in points] == [278.15, 298.15, 348.15]
+
+    def test_hot_corner_is_worse(self, study):
+        points = study.temperature_sweep([298.15, 398.15])
+        assert points[1].measured_wchd > points[0].measured_wchd
+        assert points[1].predicted_wchd > points[0].predicted_wchd
+
+    def test_model_matches_measurement(self, study):
+        for point in study.temperature_sweep([298.15, 358.15]):
+            assert point.measured_wchd == pytest.approx(
+                point.predicted_wchd, abs=0.006
+            )
+
+    def test_empty_sweep_rejected(self, study):
+        with pytest.raises(ConfigurationError):
+            study.temperature_sweep([])
+
+
+class TestRampSweep:
+    def test_slower_ramp_is_quieter(self, study):
+        """The [17] mechanism: longer ramp times reduce WCHD."""
+        points = study.ramp_sweep([10.0, 50.0, 250.0])
+        wchd = [point.measured_wchd for point in points]
+        assert wchd[0] > wchd[2]
+
+    def test_nominal_ramp_matches_nominal_wchd(self, study):
+        point = study.ramp_sweep([50.0])[0]
+        assert point.measured_wchd == pytest.approx(0.0249, abs=0.006)
+
+    def test_model_matches_measurement(self, study):
+        for point in study.ramp_sweep([20.0, 100.0]):
+            assert point.measured_wchd == pytest.approx(
+                point.predicted_wchd, abs=0.006
+            )
+
+    def test_empty_sweep_rejected(self, study):
+        with pytest.raises(ConfigurationError):
+            study.ramp_sweep([])
+
+
+class TestValidation:
+    def test_bad_measurements_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnvironmentStudy(measurements=1)

@@ -1,0 +1,67 @@
+"""Tests for the initial quality evaluation (Fig. 4 / Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.initial import InitialQualityEvaluation, startup_pattern_image
+from repro.errors import ConfigurationError
+from repro.rng import SeedHierarchy
+from repro.sram.chip import SRAMChip
+
+
+class TestStartupPatternImage:
+    def test_shape(self):
+        image = startup_pattern_image(np.zeros(8192, dtype=np.uint8), width=128)
+        assert image.shape == (64, 128)
+
+    def test_values_preserved(self):
+        bits = np.arange(16) % 2
+        image = startup_pattern_image(bits.astype(np.uint8), width=4)
+        np.testing.assert_array_equal(image.ravel(), bits)
+
+    def test_non_tiling_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            startup_pattern_image(np.zeros(10, dtype=np.uint8), width=3)
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            startup_pattern_image(np.zeros((2, 4), dtype=np.uint8))
+
+
+class TestInitialEvaluation:
+    @pytest.fixture(scope="class")
+    def evaluation(self, request):
+        seeds = SeedHierarchy(55)
+        profile_chips = [SRAMChip(i, random_state=seeds) for i in range(4)]
+        return InitialQualityEvaluation.measure(profile_chips, measurements=60)
+
+    def test_sample_counts(self, evaluation):
+        assert evaluation.board_count == 4
+        assert evaluation.wchd_samples.size == 4 * 59
+        assert evaluation.bchd_samples.size == 6
+        assert evaluation.fhw_samples.size == 4 * 60
+
+    def test_wchd_below_fig5_band(self, evaluation):
+        """Fig. 5: within-class HD mass stays below ~3 %."""
+        assert evaluation.wchd_samples.mean() < 0.04
+
+    def test_bchd_in_fig5_band(self, evaluation):
+        assert np.all(evaluation.bchd_samples > 0.35)
+        assert np.all(evaluation.bchd_samples < 0.55)
+
+    def test_fhw_in_fig5_band(self, evaluation):
+        assert np.all(evaluation.fhw_samples > 0.55)
+        assert np.all(evaluation.fhw_samples < 0.72)
+
+    def test_histograms_well_separated(self, evaluation):
+        """The Fig. 5 shape: WCHD, BCHD and FHW occupy distinct bands."""
+        wchd = evaluation.wchd_histogram(bins=50)
+        bchd = evaluation.bchd_histogram(bins=50)
+        fhw = evaluation.fhw_histogram(bins=50)
+        assert wchd.mode_center() < 0.1
+        assert 0.4 < bchd.mode_center() < 0.5
+        assert 0.55 < fhw.mode_center() < 0.72
+
+    def test_single_chip_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InitialQualityEvaluation.measure([SRAMChip(0, random_state=1)])

@@ -1,0 +1,95 @@
+"""Tests for device-lifetime projection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.lifetime import LifetimeProjection
+from repro.analysis.trends import fit_power_law_trend
+from repro.errors import ConfigurationError
+from repro.keygen.ecc import (
+    ConcatenatedCode,
+    ExtendedGolayCode,
+    HammingCode,
+    RepetitionCode,
+)
+
+
+@pytest.fixture(scope="module")
+def paper_like_trend():
+    months = np.arange(25, dtype=float)
+    wchd = 0.0249 + 0.00135 * months**0.35  # ends near 2.97 %
+    return fit_power_law_trend(months, wchd)
+
+
+@pytest.fixture
+def strong_code():
+    return ConcatenatedCode(ExtendedGolayCode(), RepetitionCode(5))
+
+
+class TestProjection:
+    def test_error_rate_grows_with_age(self, paper_like_trend, strong_code):
+        projection = LifetimeProjection(paper_like_trend, strong_code)
+        assert projection.bit_error_rate_at(24.0) > projection.bit_error_rate_at(0.0)
+
+    def test_worst_case_factor_applied(self, paper_like_trend, strong_code):
+        nominal = LifetimeProjection(
+            paper_like_trend, strong_code, worst_case_factor=1.0
+        )
+        margined = LifetimeProjection(
+            paper_like_trend, strong_code, worst_case_factor=1.5
+        )
+        assert margined.bit_error_rate_at(12.0) == pytest.approx(
+            1.5 * nominal.bit_error_rate_at(12.0)
+        )
+
+    def test_error_rate_clamped_at_half(self, strong_code):
+        months = np.arange(25, dtype=float)
+        runaway = fit_power_law_trend(months, 0.2 + 0.05 * months**0.9)
+        projection = LifetimeProjection(runaway, strong_code, worst_case_factor=2.0)
+        assert projection.bit_error_rate_at(24.0) == 0.5
+
+    def test_strong_code_survives_decades(self, paper_like_trend, strong_code):
+        """The paper's conclusion, quantified: with a production code
+        the measured aging never threatens a 1e-6 failure budget."""
+        projection = LifetimeProjection(paper_like_trend, strong_code, secret_bits=128)
+        assert projection.failure_probability_at(120.0) < 1e-6
+        assert projection.months_until(1e-6) == float("inf")
+
+    def test_weak_code_fails_early(self, paper_like_trend):
+        projection = LifetimeProjection(
+            paper_like_trend, HammingCode(3), secret_bits=128
+        )
+        assert projection.months_until(1e-6) < 1.0
+
+    def test_project_trajectory(self, paper_like_trend, strong_code):
+        projection = LifetimeProjection(paper_like_trend, strong_code)
+        points = projection.project(np.array([0.0, 12.0, 24.0]))
+        assert [point.month for point in points] == [0.0, 12.0, 24.0]
+        failures = [point.key_failure_probability for point in points]
+        assert failures == sorted(failures)
+
+    def test_from_campaign_series(self, strong_code):
+        months = np.arange(25, dtype=float)
+        wchd = 0.0249 + 0.001 * months**0.4
+        projection = LifetimeProjection.from_campaign_series(
+            months, wchd, strong_code
+        )
+        assert projection.bit_error_rate_at(0.0) == pytest.approx(
+            1.2 * 0.0249, rel=0.05
+        )
+
+
+class TestValidation:
+    def test_negative_month_rejected(self, paper_like_trend, strong_code):
+        projection = LifetimeProjection(paper_like_trend, strong_code)
+        with pytest.raises(ConfigurationError):
+            projection.bit_error_rate_at(-1.0)
+
+    def test_bad_budget_rejected(self, paper_like_trend, strong_code):
+        projection = LifetimeProjection(paper_like_trend, strong_code)
+        with pytest.raises(ConfigurationError):
+            projection.months_until(0.0)
+
+    def test_bad_factor_rejected(self, paper_like_trend, strong_code):
+        with pytest.raises(ConfigurationError):
+            LifetimeProjection(paper_like_trend, strong_code, worst_case_factor=0.5)

@@ -1,0 +1,98 @@
+"""Tests for the cell-migration study (paper Section IV-D)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.migration import (
+    CellCategory,
+    CellMigrationStudy,
+    classify_cells,
+)
+from repro.errors import ConfigurationError
+
+
+class TestClassifyCells:
+    def test_categories(self):
+        probs = np.array([0.0, 1.0, 0.95, 0.05, 0.5, 0.35])
+        categories = classify_cells(probs, measurements=1000)
+        assert categories[0] == CellCategory.FULLY_SKEWED
+        assert categories[1] == CellCategory.FULLY_SKEWED
+        assert categories[2] == CellCategory.PARTIALLY_SKEWED
+        assert categories[3] == CellCategory.PARTIALLY_SKEWED
+        assert categories[4] == CellCategory.BALANCED
+        assert categories[5] == CellCategory.BALANCED
+
+    def test_fully_skewed_threshold_scales_with_measurements(self):
+        """One observed flip disqualifies a cell from 'fully skewed'."""
+        one_flip_in_1000 = np.array([0.999])
+        assert classify_cells(one_flip_in_1000, 1000)[0] == (
+            CellCategory.PARTIALLY_SKEWED
+        )
+        one_flip_in_100 = np.array([0.99])
+        assert classify_cells(one_flip_in_100, 100)[0] == (
+            CellCategory.PARTIALLY_SKEWED
+        )
+        no_flips = np.array([1.0])
+        assert classify_cells(no_flips, 100)[0] == CellCategory.FULLY_SKEWED
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_cells(np.array([1.5]), 100)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_cells(np.array([]), 100)
+
+
+class TestMigrationStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return CellMigrationStudy(measurements=1000, random_state=12).run(
+            months=24, snapshot_every=6
+        )
+
+    def test_snapshot_months(self, result):
+        np.testing.assert_array_equal(result.months, [0, 6, 12, 18, 24])
+
+    def test_populations_sum_to_one(self, result):
+        np.testing.assert_allclose(result.populations.sum(axis=1), 1.0)
+
+    def test_initial_populations_match_paper(self, result):
+        """~85.9 % of cells are fully skewed at the start of the test."""
+        fully = result.population(CellCategory.FULLY_SKEWED)
+        assert fully[0] == pytest.approx(0.859, abs=0.02)
+
+    def test_fully_skewed_population_shrinks(self, result):
+        """The paper's IV-D mechanism: NBTI converts fully-skewed cells
+        into partially-skewed ones."""
+        fully = result.population(CellCategory.FULLY_SKEWED)
+        assert fully[-1] < fully[0]
+        assert result.net_destabilisation() > 0.0
+
+    def test_partially_skewed_population_grows(self, result):
+        partially = result.population(CellCategory.PARTIALLY_SKEWED)
+        assert partially[-1] > partially[0]
+
+    def test_transitions_are_stochastic_matrices(self, result):
+        np.testing.assert_allclose(result.transitions.sum(axis=2), 1.0)
+        assert result.transitions.min() >= 0.0
+
+    def test_fully_to_partial_flux_exceeds_reverse(self, result):
+        """Net migration goes from fully-skewed toward partially-skewed
+        (individual cells can wobble back, but not in aggregate)."""
+        fully_idx = int(CellCategory.FULLY_SKEWED)
+        partial_idx = int(CellCategory.PARTIALLY_SKEWED)
+        fully_pop = result.population(CellCategory.FULLY_SKEWED)[:-1]
+        partial_pop = result.population(CellCategory.PARTIALLY_SKEWED)[:-1]
+        outflow = (result.transitions[:, fully_idx, partial_idx] * fully_pop).sum()
+        inflow = (result.transitions[:, partial_idx, fully_idx] * partial_pop).sum()
+        assert outflow > inflow
+
+    def test_validation(self):
+        study = CellMigrationStudy(measurements=100)
+        with pytest.raises(ConfigurationError):
+            study.run(months=0)
+        with pytest.raises(ConfigurationError):
+            study.run(months=6, snapshot_every=0)
+        with pytest.raises(ConfigurationError):
+            CellMigrationStudy(measurements=1)

@@ -1,0 +1,66 @@
+"""Tests for the monthly evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.monthly import evaluate_month
+from repro.errors import ConfigurationError
+from repro.rng import SeedHierarchy
+from repro.sram.chip import SRAMChip
+
+
+@pytest.fixture
+def fleet(small_profile):
+    seeds = SeedHierarchy(77)
+    return [SRAMChip(i, small_profile, random_state=seeds) for i in range(4)]
+
+
+@pytest.fixture
+def references(fleet):
+    return {chip.chip_id: chip.read_startup() for chip in fleet}
+
+
+class TestEvaluateMonth:
+    def test_snapshot_shape(self, fleet, references):
+        snap = evaluate_month(fleet, references, month=0, measurements=100)
+        assert snap.month == 0
+        assert snap.board_ids == [0, 1, 2, 3]
+        assert snap.wchd.shape == (4,)
+        assert snap.bchd_pairs.shape == (6,)  # C(4,2)
+
+    def test_metrics_in_plausible_ranges(self, fleet, references):
+        snap = evaluate_month(fleet, references, month=0, measurements=200)
+        assert np.all(snap.wchd < 0.10)
+        assert np.all(snap.fhw > 0.5)
+        assert np.all((snap.stable_ratio > 0.5) & (snap.stable_ratio <= 1.0))
+        assert np.all(snap.noise_entropy > 0.0)
+        assert 0.3 < snap.bchd_mean < 0.6
+
+    def test_bchd_min_is_minimum(self, fleet, references):
+        snap = evaluate_month(fleet, references, month=0, measurements=100)
+        assert snap.bchd_min == pytest.approx(snap.bchd_pairs.min())
+
+    def test_measurement_fidelity_agrees(self, fleet, references):
+        stat = evaluate_month(fleet, references, 0, measurements=300, statistical=True)
+        meas = evaluate_month(fleet, references, 0, measurements=300, statistical=False)
+        np.testing.assert_allclose(stat.fhw, meas.fhw, atol=0.03)
+        np.testing.assert_allclose(stat.wchd, meas.wchd, atol=0.02)
+
+    def test_missing_reference_rejected(self, fleet):
+        with pytest.raises(ConfigurationError, match="reference"):
+            evaluate_month(fleet, {}, month=0, measurements=10)
+
+    def test_empty_fleet_rejected(self, references):
+        with pytest.raises(ConfigurationError):
+            evaluate_month([], references, month=0)
+
+    def test_too_few_measurements_rejected(self, fleet, references):
+        with pytest.raises(ConfigurationError):
+            evaluate_month(fleet, references, month=0, measurements=1)
+
+    def test_single_chip_has_no_uniqueness_metrics(self, small_profile):
+        chip = SRAMChip(0, small_profile, random_state=1)
+        references = {0: chip.read_startup()}
+        snap = evaluate_month([chip], references, month=0, measurements=50)
+        assert snap.bchd_pairs.size == 0
+        assert np.isnan(snap.puf_entropy)

@@ -1,0 +1,132 @@
+"""Tests for the analytic reliability model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reliability import (
+    CellReliabilityModel,
+    block_failure_probability,
+    key_failure_probability,
+)
+from repro.errors import ConfigurationError
+from repro.keygen.ecc import (
+    ConcatenatedCode,
+    ExtendedGolayCode,
+    HammingCode,
+    RepetitionCode,
+)
+from repro.sram.profiles import ATMEGA32U4, TESTCHIP_65NM
+
+
+@pytest.fixture(scope="module")
+def model() -> CellReliabilityModel:
+    return CellReliabilityModel(ATMEGA32U4)
+
+
+class TestCellModel:
+    def test_predicts_paper_bias(self, model):
+        assert model.expected_bias() == pytest.approx(0.627, abs=0.001)
+
+    def test_predicts_paper_wchd(self, model):
+        assert model.expected_error_rate() == pytest.approx(0.0249, abs=0.0003)
+
+    def test_predicts_paper_stable_ratio(self, model):
+        assert model.expected_stable_ratio(1000) == pytest.approx(0.859, abs=0.005)
+
+    def test_predicts_paper_noise_entropy(self, model):
+        assert model.expected_noise_entropy() == pytest.approx(0.0305, abs=0.001)
+
+    def test_matches_monte_carlo(self, model, chip):
+        """Analytic WCHD matches an empirical chip within sampling noise."""
+        from repro.metrics.hamming import within_class_hd_from_counts
+
+        reference = chip.read_startup()
+        counts = chip.read_window_ones_counts(1000)
+        empirical = within_class_hd_from_counts(counts, 1000, reference)
+        assert empirical == pytest.approx(model.expected_error_rate(), abs=0.005)
+
+    def test_65nm_profile(self):
+        model = CellReliabilityModel(TESTCHIP_65NM)
+        assert model.expected_bias() == pytest.approx(0.5, abs=0.001)
+        assert model.expected_error_rate() == pytest.approx(0.053, abs=0.001)
+
+    def test_hotter_measurement_is_noisier(self, model):
+        cold = model.expected_error_rate(temperature_k=258.15)
+        nominal = model.expected_error_rate()
+        hot = model.expected_error_rate(temperature_k=358.15)
+        assert cold < nominal < hot
+
+    def test_cross_condition_exceeds_same_condition(self, model):
+        same = model.expected_error_rate()
+        cross = model.cross_condition_error_rate(measurement_temperature_k=358.15)
+        assert cross > same * 0.99
+
+    def test_error_rate_quantiles_monotone(self, model):
+        q50 = model.error_rate_quantile(0.5)
+        q99 = model.error_rate_quantile(0.99)
+        assert 0.0 <= q50 < q99 <= 0.5
+
+    def test_temperature_sensitivity_vector(self, model):
+        temps = np.array([258.15, 298.15, 358.15])
+        rates = model.temperature_sensitivity(temps)
+        assert rates.shape == (3,)
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_quadrature_resolution_validated(self):
+        with pytest.raises(ConfigurationError):
+            CellReliabilityModel(ATMEGA32U4, quadrature_points=10)
+
+
+class TestBlockFailure:
+    def test_zero_error_rate_never_fails(self):
+        assert block_failure_probability(ExtendedGolayCode(), 0.0) == 0.0
+
+    def test_certain_errors_always_fail(self):
+        assert block_failure_probability(ExtendedGolayCode(), 1.0) == pytest.approx(1.0)
+
+    def test_binomial_tail_formula(self):
+        """Repetition-5 (t=2) at p: P[Bin(5, p) >= 3], checked by hand."""
+        from scipy import stats
+
+        p = 0.1
+        expected = float(stats.binom.sf(2, 5, p))
+        assert block_failure_probability(RepetitionCode(5), p) == pytest.approx(expected)
+
+    def test_concatenated_uses_two_stage_formula(self):
+        """The exact concatenation model beats the naive radius bound
+        by orders of magnitude at PUF-like error rates."""
+        code = ConcatenatedCode(ExtendedGolayCode(), RepetitionCode(5))
+        from scipy import stats
+
+        naive = float(stats.binom.sf(code.correctable_errors, 120, 0.03))
+        exact = block_failure_probability(code, 0.03)
+        assert exact < naive / 100.0
+
+    def test_stronger_code_fails_less(self):
+        weak = block_failure_probability(HammingCode(3), 0.03)
+        strong = block_failure_probability(
+            ConcatenatedCode(ExtendedGolayCode(), RepetitionCode(5)), 0.03
+        )
+        assert strong < weak
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            block_failure_probability(ExtendedGolayCode(), 1.5)
+
+
+class TestKeyFailure:
+    def test_more_blocks_fail_more(self):
+        code = ExtendedGolayCode()
+        small = key_failure_probability(code, 0.03, 12)
+        large = key_failure_probability(code, 0.03, 120)
+        assert large > small
+
+    def test_production_code_at_paper_error_rates(self):
+        """At the paper's worst-case end-of-life WCHD (3.25 %), the
+        default production code keeps a 128-bit key below 1e-8."""
+        code = ConcatenatedCode(ExtendedGolayCode(), RepetitionCode(5))
+        assert key_failure_probability(code, 0.0325, 128) < 1e-8
+
+    def test_invalid_secret_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            key_failure_probability(ExtendedGolayCode(), 0.03, 0)

@@ -1,0 +1,111 @@
+"""Tests for campaign statistical inference."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.campaign import LongTermCampaign
+from repro.analysis.statistics import (
+    CampaignInference,
+    bootstrap_mean_ci,
+    paired_change_test,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBootstrapCI:
+    def test_interval_contains_mean(self, rng):
+        values = rng.normal(0.025, 0.001, size=16)
+        interval = bootstrap_mean_ci(values, random_state=1)
+        assert interval.lower <= interval.mean <= interval.upper
+
+    def test_coverage_on_synthetic_data(self):
+        """~95 % of 95 % intervals cover the true mean."""
+        covered = 0
+        trials = 200
+        master = np.random.default_rng(7)
+        for trial in range(trials):
+            values = master.normal(0.5, 0.1, size=16)
+            interval = bootstrap_mean_ci(
+                values, resamples=500, random_state=int(master.integers(1 << 30))
+            )
+            covered += interval.contains(0.5)
+        assert 0.85 <= covered / trials <= 1.0
+
+    def test_more_devices_tighter_interval(self, rng):
+        small = bootstrap_mean_ci(rng.normal(0.5, 0.1, 4), random_state=2)
+        large = bootstrap_mean_ci(rng.normal(0.5, 0.1, 64), random_state=3)
+        assert large.halfwidth < small.halfwidth
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_ci(np.array([1.0]))
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_ci(np.array([1.0, 2.0]), confidence=1.5)
+        with pytest.raises(ConfigurationError):
+            bootstrap_mean_ci(np.array([1.0, 2.0]), resamples=10)
+
+
+class TestPairedChangeTest:
+    def test_clear_change_detected(self, rng):
+        start = rng.normal(0.025, 0.001, size=16)
+        end = start + 0.005 + rng.normal(0.0, 0.0005, size=16)
+        test = paired_change_test(start, end)
+        assert test.significant()
+        assert test.mean_change == pytest.approx(0.005, abs=0.001)
+
+    def test_no_change_not_detected(self, rng):
+        start = rng.normal(0.627, 0.01, size=16)
+        end = start + rng.normal(0.0, 0.001, size=16)
+        test = paired_change_test(start, end)
+        assert not test.significant(alpha=0.001)
+
+    def test_constant_shift_degenerate_case(self):
+        start = np.full(8, 0.5)
+        test = paired_change_test(start, start + 0.01)
+        assert test.p_value == 0.0
+        test_null = paired_change_test(start, start)
+        assert test_null.p_value == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            paired_change_test(np.ones(2), np.ones(2))
+        with pytest.raises(ConfigurationError):
+            paired_change_test(np.ones(4), np.ones(5))
+
+
+class TestCampaignInference:
+    @pytest.fixture(scope="class")
+    def inference(self):
+        result = LongTermCampaign(
+            device_count=8, months=12, measurements=500, random_state=31
+        ).run()
+        return CampaignInference(result)
+
+    def test_wchd_change_is_significant(self, inference):
+        """The paper's reliability conclusion survives a paired test."""
+        test = inference.change_test("WCHD")
+        assert test.mean_change > 0
+        assert test.significant()
+
+    def test_noise_entropy_change_is_significant(self, inference):
+        test = inference.change_test("Noise entropy")
+        assert test.mean_change > 0
+        assert test.significant()
+
+    def test_hw_change_not_significant_at_strict_level(self, inference):
+        """The uniqueness conclusion: HW change is tiny; its mean shift
+        must be an order of magnitude below WCHD's."""
+        hw = abs(inference.change_test("HW").mean_change)
+        wchd = abs(inference.change_test("WCHD").mean_change)
+        assert hw < wchd / 5
+
+    def test_intervals_ordered(self, inference):
+        start = inference.start_interval("WCHD", random_state=4)
+        end = inference.end_interval("WCHD", random_state=5)
+        assert end.mean > start.mean
+
+    def test_summary_and_render(self, inference):
+        summary = inference.summary(random_state=6)
+        assert set(summary) == set(CampaignInference.METRICS)
+        text = inference.render(random_state=7)
+        assert "WCHD" in text and "p(change)" in text

@@ -1,0 +1,65 @@
+"""Tests for time-series extraction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.campaign import LongTermCampaign
+from repro.analysis.timeseries import QualityTimeSeries
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def series() -> QualityTimeSeries:
+    result = LongTermCampaign(
+        device_count=4, months=5, measurements=200, random_state=8
+    ).run()
+    return QualityTimeSeries(result)
+
+
+class TestMetricSeries:
+    def test_per_board_matrix_shape(self, series):
+        wchd = series.metric("WCHD")
+        assert wchd.per_board.shape == (6, 4)
+        assert not wchd.is_fleet_metric
+
+    def test_fleet_metric_vector(self, series):
+        puf = series.metric("PUF entropy")
+        assert puf.per_board.shape == (6,)
+        assert puf.is_fleet_metric
+
+    def test_bchd_has_pair_columns(self, series):
+        bchd = series.metric("BCHD")
+        assert bchd.per_board.shape == (6, 6)  # C(4,2) pairs
+
+    def test_mean_over_boards(self, series):
+        wchd = series.metric("WCHD")
+        np.testing.assert_allclose(wchd.mean, wchd.per_board.mean(axis=1))
+
+    def test_board_series_lookup(self, series):
+        wchd = series.metric("WCHD")
+        line = wchd.board_series(wchd.board_ids[0])
+        assert line.shape == (6,)
+
+    def test_board_series_on_fleet_metric_rejected(self, series):
+        with pytest.raises(ConfigurationError):
+            series.metric("PUF entropy").board_series(0)
+
+    def test_unknown_board_rejected(self, series):
+        with pytest.raises(ConfigurationError):
+            series.metric("WCHD").board_series(42)
+
+    def test_start_end_values(self, series):
+        wchd = series.metric("WCHD")
+        np.testing.assert_array_equal(wchd.start_values, wchd.per_board[0])
+        np.testing.assert_array_equal(wchd.end_values, wchd.per_board[-1])
+
+    def test_unknown_metric_rejected(self, series):
+        with pytest.raises(ConfigurationError):
+            series.metric("Bogus")
+
+    def test_all_metrics_complete(self, series):
+        names = {metric.name for metric in series.all_metrics()}
+        assert names == {
+            "WCHD", "HW", "Ratio of Stable Cells", "Noise entropy",
+            "BCHD", "PUF entropy",
+        }

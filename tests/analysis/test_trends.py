@@ -1,0 +1,71 @@
+"""Tests for trend fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.trends import fit_power_law_trend, monthly_rates
+from repro.errors import ConfigurationError
+
+
+class TestMonthlyRates:
+    def test_constant_series_gives_zero(self):
+        np.testing.assert_allclose(monthly_rates(np.full(5, 0.5)), 0.0)
+
+    def test_geometric_series_gives_constant_rate(self):
+        series = 0.02 * 1.01 ** np.arange(6)
+        np.testing.assert_allclose(monthly_rates(series), 0.01, rtol=1e-9)
+
+    def test_nonpositive_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            monthly_rates(np.array([0.1, 0.0]))
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            monthly_rates(np.array([0.1]))
+
+
+class TestPowerLawFit:
+    def test_recovers_known_parameters(self):
+        months = np.arange(25, dtype=float)
+        truth = 0.0249 + 0.001 * months**0.35
+        fit = fit_power_law_trend(months, truth)
+        assert fit.y0 == pytest.approx(0.0249, abs=1e-4)
+        assert fit.amplitude == pytest.approx(0.001, rel=0.05)
+        assert fit.exponent == pytest.approx(0.35, abs=0.03)
+        assert fit.residual_rms < 1e-6
+
+    def test_predict_matches_fit(self):
+        months = np.arange(25, dtype=float)
+        values = 0.03 + 0.002 * months**0.5
+        fit = fit_power_law_trend(months, values)
+        np.testing.assert_allclose(fit.predict(months), values, atol=1e-5)
+
+    def test_rate_ratio_exceeds_one_for_saturating_trend(self):
+        months = np.arange(25, dtype=float)
+        values = 0.0249 + 0.001 * months**0.35
+        fit = fit_power_law_trend(months, values)
+        assert fit.rate_ratio(1.0, 12.0) > 1.0
+
+    def test_slope_decreases_with_age(self):
+        months = np.arange(25, dtype=float)
+        values = 0.0249 + 0.001 * months**0.35
+        fit = fit_power_law_trend(months, values)
+        assert fit.slope(1.0) > fit.slope(20.0)
+
+    def test_slope_at_zero_rejected(self):
+        months = np.arange(10, dtype=float)
+        fit = fit_power_law_trend(months, 0.1 + 0.01 * months**0.4)
+        with pytest.raises(ConfigurationError):
+            fit.slope(0.0)
+
+    def test_months_must_start_at_zero(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law_trend(np.arange(1, 10, dtype=float), np.ones(9))
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law_trend(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_power_law_trend(np.arange(5, dtype=float), np.ones(4))

@@ -1,0 +1,40 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rng import SeedHierarchy
+from repro.sram.chip import SRAMChip
+from repro.sram.profiles import ATMEGA32U4, DeviceProfile
+
+
+@pytest.fixture
+def seeds() -> SeedHierarchy:
+    """A deterministic seed hierarchy."""
+    return SeedHierarchy(12345)
+
+
+@pytest.fixture
+def small_profile() -> DeviceProfile:
+    """An ATmega-like profile shrunk to 64 bytes for fast tests."""
+    return ATMEGA32U4.with_overrides(sram_bytes=64, read_bytes=32)
+
+
+@pytest.fixture
+def chip(seeds) -> SRAMChip:
+    """A full-size deterministic chip."""
+    return SRAMChip(0, random_state=seeds)
+
+
+@pytest.fixture
+def small_chip(small_profile, seeds) -> SRAMChip:
+    """A small deterministic chip for per-measurement tests."""
+    return SRAMChip(0, small_profile, random_state=seeds)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A plain seeded generator for test-local randomness."""
+    return np.random.default_rng(999)

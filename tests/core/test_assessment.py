@@ -1,0 +1,57 @@
+"""Tests for the headline assessment API."""
+
+import pytest
+
+from repro.core.assessment import LongTermAssessment
+from repro.core.config import StudyConfig
+from repro.core.paper import PAPER
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = StudyConfig(device_count=4, months=6, measurements=300, seed=17)
+    return LongTermAssessment(config).run()
+
+
+class TestAssessment:
+    def test_default_config(self):
+        assessment = LongTermAssessment()
+        assert assessment.config.device_count == 16
+
+    def test_result_carries_config(self, result):
+        assert result.config.device_count == 4
+
+    def test_table_built(self, result):
+        assert result.table["WCHD"].start_avg > 0
+
+    def test_series_accessible(self, result):
+        wchd = result.series.metric("WCHD")
+        assert wchd.per_board.shape == (7, 4)
+
+
+class TestComparison:
+    def test_every_published_cell_compared(self, result):
+        rows = result.compare_with_paper()
+        # 5 metrics x 4 cells + PUF entropy x 2 cells.
+        assert len(rows) == 22
+
+    def test_comparison_errors_computed(self, result):
+        row = result.compare_with_paper()[0]
+        assert row.absolute_error == pytest.approx(
+            row.measured_value - row.paper_value
+        )
+        assert row.relative_error == pytest.approx(
+            row.absolute_error / row.paper_value
+        )
+
+    def test_start_values_match_paper_within_tolerance(self, result):
+        """Even a small 4-device fleet lands near the published start
+        column (the population statistics are calibrated)."""
+        for row in result.compare_with_paper():
+            if row.column == "start_avg" and row.metric in ("WCHD", "HW"):
+                assert abs(row.relative_error) < 0.15
+
+    def test_render_comparison(self, result):
+        text = result.render_comparison()
+        assert "Paper" in text and "Measured" in text
+        assert "WCHD" in text

@@ -1,0 +1,73 @@
+"""Tests for model calibration."""
+
+import pytest
+
+from repro.core.calibration import (
+    CalibrationTargets,
+    calibrate_aging,
+    calibrate_skew_distribution,
+    predicted_initial_metrics,
+)
+from repro.errors import CalibrationError
+from repro.sram.profiles import ATMEGA32U4, NOISE_SIGMA_V
+
+
+class TestPredictedInitialMetrics:
+    def test_shipped_profile_predicts_paper_initials(self):
+        """The ATmega profile's skew parameters predict Table I start
+        values for *all four* initial metrics, two of which were never
+        fitted — the model-consistency check from DESIGN.md."""
+        mean = ATMEGA32U4.skew_mean_v / NOISE_SIGMA_V
+        sigma = ATMEGA32U4.skew_sigma_v / NOISE_SIGMA_V
+        metrics = predicted_initial_metrics(mean, sigma)
+        assert metrics["fhw"] == pytest.approx(0.627, abs=0.001)
+        assert metrics["wchd"] == pytest.approx(0.0249, abs=0.0002)
+        assert metrics["stable_ratio"] == pytest.approx(0.859, abs=0.005)
+        assert metrics["noise_entropy"] == pytest.approx(0.0305, abs=0.001)
+
+    def test_unbiased_distribution_gives_half_fhw(self):
+        metrics = predicted_initial_metrics(0.0, 8.0)
+        assert metrics["fhw"] == pytest.approx(0.5, abs=1e-6)
+
+    def test_narrower_skew_means_more_noise(self):
+        wide = predicted_initial_metrics(0.0, 17.0)
+        narrow = predicted_initial_metrics(0.0, 8.0)
+        assert narrow["wchd"] > wide["wchd"]
+        assert narrow["noise_entropy"] > wide["noise_entropy"]
+
+
+class TestSkewCalibration:
+    def test_recovers_shipped_parameters(self):
+        mean, sigma = calibrate_skew_distribution(fhw=0.627, wchd=0.0249)
+        assert mean == pytest.approx(ATMEGA32U4.skew_mean_v / NOISE_SIGMA_V, rel=0.01)
+        assert sigma == pytest.approx(ATMEGA32U4.skew_sigma_v / NOISE_SIGMA_V, rel=0.01)
+
+    def test_solves_65nm_targets(self):
+        mean, sigma = calibrate_skew_distribution(
+            fhw=0.50, wchd=0.053, initial_guess=(0.0, 8.0)
+        )
+        assert abs(mean) < 0.01
+        metrics = predicted_initial_metrics(mean, sigma)
+        assert metrics["wchd"] == pytest.approx(0.053, abs=1e-4)
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(CalibrationError):
+            calibrate_skew_distribution(fhw=1.5, wchd=0.02)
+        with pytest.raises(CalibrationError):
+            calibrate_skew_distribution(fhw=0.6, wchd=0.6)
+
+
+@pytest.mark.slow
+class TestAgingCalibration:
+    def test_recovers_shipped_aging_parameters(self):
+        mean = ATMEGA32U4.skew_mean_v / NOISE_SIGMA_V
+        sigma = ATMEGA32U4.skew_sigma_v / NOISE_SIGMA_V
+        amplitude, dispersion = calibrate_aging(
+            mean, sigma, CalibrationTargets(), population=100_000
+        )
+        assert amplitude == pytest.approx(
+            ATMEGA32U4.bti_amplitude_v / NOISE_SIGMA_V, rel=0.25
+        )
+        assert dispersion == pytest.approx(
+            ATMEGA32U4.bti_dispersion_v / NOISE_SIGMA_V, rel=0.25
+        )

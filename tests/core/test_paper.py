@@ -1,0 +1,49 @@
+"""Tests for the published-numbers constants."""
+
+import pytest
+
+from repro.core.paper import PAPER
+from repro.metrics.summary import geometric_monthly_change
+
+
+class TestPaperFacts:
+    def test_setup_constants(self):
+        assert PAPER.device_count == 16
+        assert PAPER.months == 24
+        assert PAPER.monthly_measurements == 1000
+        assert PAPER.power_cycle_period_s == 5.4
+
+    def test_power_cycle_times_sum(self):
+        assert PAPER.power_on_time_s + PAPER.power_off_time_s == pytest.approx(
+            PAPER.power_cycle_period_s
+        )
+
+    def test_table_rows_complete(self):
+        rows = PAPER.table_rows()
+        assert set(rows) == {
+            "WCHD", "HW", "Ratio of Stable Cells", "Noise entropy",
+            "BCHD", "PUF entropy",
+        }
+
+    def test_wchd_relative_change_is_19_3_percent(self):
+        row = PAPER.wchd
+        change = (row.end_avg - row.start_avg) / row.start_avg
+        assert change == pytest.approx(0.193, abs=0.002)
+
+    def test_published_monthly_rates_are_geometric(self):
+        """Every printed monthly-change figure matches the geometric
+        convention — the key to reproducing Table I exactly."""
+        assert geometric_monthly_change(
+            PAPER.wchd.start_avg, PAPER.wchd.end_avg, 24
+        ) == pytest.approx(PAPER.nominal_monthly_wchd_rate, abs=5e-5)
+        assert geometric_monthly_change(
+            PAPER.accelerated_wchd_start, PAPER.accelerated_wchd_end, 24
+        ) == pytest.approx(PAPER.accelerated_monthly_wchd_rate, abs=5e-5)
+
+    def test_accelerated_degrades_faster_than_nominal(self):
+        assert PAPER.accelerated_monthly_wchd_rate > PAPER.nominal_monthly_wchd_rate
+
+    def test_stable_cell_worst_case_is_above_average(self):
+        """Documents the direction quirk: the published WC stable-cell
+        ratio exceeds the average (worst for TRNG = most stable)."""
+        assert PAPER.stable_cells.start_worst > PAPER.stable_cells.start_avg

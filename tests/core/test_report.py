@@ -1,0 +1,56 @@
+"""Tests for Table I construction."""
+
+import pytest
+
+from repro.analysis.campaign import LongTermCampaign
+from repro.core.report import WORST_DIRECTIONS, build_quality_report
+from repro.metrics.summary import WorstDirection
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = LongTermCampaign(
+        device_count=4, months=6, measurements=300, random_state=21
+    ).run()
+    return build_quality_report(result)
+
+
+class TestReportStructure:
+    def test_all_rows_present(self, report):
+        assert set(report.summaries) == {
+            "WCHD", "HW", "Ratio of Stable Cells", "Noise entropy",
+            "BCHD", "PUF entropy",
+        }
+
+    def test_months_recorded(self, report):
+        assert report.months == 6.0
+
+    def test_render_contains_every_row(self, report):
+        text = report.render()
+        for name in report.summaries:
+            assert name in text
+
+
+class TestWorstCaseDirections:
+    def test_direction_table(self):
+        assert WORST_DIRECTIONS["WCHD"] is WorstDirection.HIGHEST
+        assert WORST_DIRECTIONS["Ratio of Stable Cells"] is WorstDirection.HIGHEST
+        assert WORST_DIRECTIONS["Noise entropy"] is WorstDirection.LOWEST
+        assert WORST_DIRECTIONS["BCHD"] is WorstDirection.LOWEST
+
+    def test_wchd_worst_above_average(self, report):
+        row = report["WCHD"]
+        assert row.start_worst >= row.start_avg
+
+    def test_noise_entropy_worst_below_average(self, report):
+        row = report["Noise entropy"]
+        assert row.start_worst <= row.start_avg
+
+    def test_stable_cells_worst_above_average(self, report):
+        """Matches the published table's direction (87.2 % > 85.9 %)."""
+        row = report["Ratio of Stable Cells"]
+        assert row.start_worst >= row.start_avg
+
+    def test_puf_entropy_has_no_independent_worst(self, report):
+        row = report["PUF entropy"]
+        assert row.start_worst == row.start_avg

@@ -1,0 +1,147 @@
+"""Tests for the byte-level slave firmware protocol."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.hardware.firmware import (
+    Command,
+    FirmwareState,
+    FlakyFirmware,
+    MasterProtocol,
+    SlaveFirmware,
+    build_frame,
+    parse_frame,
+    xor_checksum,
+)
+from repro.io.bitutil import unpack_bits
+from repro.sram.chip import SRAMChip
+
+
+@pytest.fixture
+def firmware(small_profile) -> SlaveFirmware:
+    return SlaveFirmware(3, SRAMChip(3, small_profile, random_state=1))
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = build_frame(0x02, b"hello")
+        command, payload = parse_frame(frame)
+        assert command == 0x02
+        assert payload == b"hello"
+
+    def test_empty_payload(self):
+        command, payload = parse_frame(build_frame(0x01))
+        assert (command, payload) == (0x01, b"")
+
+    def test_checksum_is_xor(self):
+        frame = build_frame(0x01, b"\x02\x03")
+        assert frame[-1] == xor_checksum(frame[:-1])
+
+    def test_corrupted_byte_detected(self):
+        frame = bytearray(build_frame(0x02, b"data"))
+        frame[4] ^= 0x10
+        with pytest.raises(ProtocolError, match="checksum"):
+            parse_frame(bytes(frame))
+
+    def test_truncated_frame_detected(self):
+        frame = build_frame(0x02, b"data")
+        with pytest.raises(ProtocolError):
+            parse_frame(frame[:-2])
+
+    def test_length_mismatch_detected(self):
+        frame = bytearray(build_frame(0x02, b"data"))
+        frame[2] += 1  # claim one more payload byte
+        with pytest.raises(ProtocolError, match="length"):
+            parse_frame(bytes(frame))
+
+
+class TestSlaveFirmware:
+    def test_boot_sequence(self, firmware):
+        assert firmware.state is FirmwareState.OFF
+        firmware.power_on()
+        assert firmware.state is FirmwareState.READY
+
+    def test_unpowered_slave_nacks(self, firmware):
+        with pytest.raises(ProtocolError, match="NACK"):
+            firmware.handle_request(build_frame(int(Command.GET_STATUS)))
+
+    def test_status_command(self, firmware):
+        firmware.power_on()
+        response = firmware.handle_request(build_frame(int(Command.GET_STATUS)))
+        command, payload = parse_frame(response)
+        assert FirmwareState(payload[0]) is FirmwareState.READY
+
+    def test_info_command(self, firmware, small_profile):
+        firmware.power_on()
+        response = firmware.handle_request(build_frame(int(Command.GET_INFO)))
+        _, payload = parse_frame(response)
+        assert payload[0] == 3
+        assert (payload[1] << 8) | payload[2] == small_profile.sram_bytes
+
+    def test_read_pattern_returns_capture(self, firmware, small_profile):
+        firmware.power_on()
+        response = firmware.handle_request(build_frame(int(Command.READ_PATTERN)))
+        _, payload = parse_frame(response)
+        assert len(payload) == small_profile.read_bytes
+        bits = unpack_bits(payload)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_power_cycle_clears_capture(self, firmware):
+        firmware.power_on()
+        firmware.power_off()
+        with pytest.raises(ProtocolError):
+            firmware.handle_request(build_frame(int(Command.READ_PATTERN)))
+
+    def test_unknown_command_rejected(self, firmware):
+        firmware.power_on()
+        with pytest.raises(ProtocolError, match="unknown command"):
+            firmware.handle_request(build_frame(0x7F))
+
+    def test_unexpected_payload_rejected(self, firmware):
+        firmware.power_on()
+        with pytest.raises(ProtocolError, match="no payload"):
+            firmware.handle_request(build_frame(int(Command.GET_STATUS), b"x"))
+
+
+class TestMasterProtocol:
+    def test_full_exchange(self, firmware, small_profile):
+        firmware.power_on()
+        master = MasterProtocol(firmware.handle_request)
+        assert master.read_status() is FirmwareState.READY
+        info = master.read_info()
+        assert info["read_bytes"] == small_profile.read_bytes
+        assert len(master.read_pattern()) == small_profile.read_bytes
+        assert master.retries == 0
+
+    def test_retry_recovers_from_flaky_slave(self, small_profile):
+        chip = SRAMChip(0, small_profile, random_state=2)
+        flaky = FlakyFirmware(0, chip, corruption_rate=0.5, random_state=3)
+        flaky.power_on()
+        master = MasterProtocol(flaky.handle_request, max_attempts=10)
+        # Many requests: all eventually succeed, with retries recorded.
+        for _ in range(20):
+            assert master.read_status() is FirmwareState.READY
+        assert master.retries > 0
+
+    def test_hopeless_link_gives_up(self, small_profile):
+        chip = SRAMChip(0, small_profile, random_state=4)
+        broken = FlakyFirmware(0, chip, corruption_rate=1.0, random_state=5)
+        broken.power_on()
+        master = MasterProtocol(broken.handle_request, max_attempts=3)
+        with pytest.raises(ProtocolError, match="after 3 attempts"):
+            master.read_status()
+
+    def test_mismatched_response_command_detected(self, firmware):
+        firmware.power_on()
+
+        def cross_wired(frame: bytes) -> bytes:
+            return firmware.handle_request(build_frame(int(Command.GET_STATUS)))
+
+        master = MasterProtocol(cross_wired)
+        with pytest.raises(ProtocolError, match="does not match"):
+            master.read_info()
+
+    def test_invalid_attempts_rejected(self, firmware):
+        with pytest.raises(ProtocolError):
+            MasterProtocol(firmware.handle_request, max_attempts=0)

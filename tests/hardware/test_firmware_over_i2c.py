@@ -1,0 +1,88 @@
+"""End-to-end: the firmware command protocol riding the I2C bus."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.hardware.firmware import (
+    FirmwareState,
+    FlakyFirmware,
+    MasterProtocol,
+    SlaveFirmware,
+)
+from repro.hardware.i2c import I2CBus
+from repro.io.bitutil import unpack_bits
+from repro.sram.chip import SRAMChip
+
+
+@pytest.fixture
+def bus() -> I2CBus:
+    return I2CBus(clock=lambda: 0.0)
+
+
+@pytest.fixture
+def wired(bus, small_profile):
+    """A powered firmware slave attached transactionally at 0x10."""
+    firmware = SlaveFirmware(0, SRAMChip(0, small_profile, random_state=6))
+    firmware.power_on()
+    bus.attach_transactional_slave(0x10, firmware.handle_request)
+    master = MasterProtocol(lambda frame: bus.write_read(0x10, frame))
+    return firmware, master
+
+
+class TestFirmwareOverI2C:
+    def test_status_over_bus(self, wired):
+        _firmware, master = wired
+        assert master.read_status() is FirmwareState.READY
+
+    def test_pattern_over_bus(self, wired, small_profile):
+        firmware, master = wired
+        payload = master.read_pattern()
+        assert len(payload) == small_profile.read_bytes
+        bits = unpack_bits(payload)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_transactions_logged_with_both_directions(self, bus, wired):
+        _firmware, master = wired
+        master.read_status()
+        log = bus.transactions
+        assert len(log) == 1
+        # Request frame (4 bytes) + response frame (5 bytes).
+        assert log[0].byte_count == 9
+
+    def test_unpowered_slave_nacks_through_bus(self, bus, small_profile):
+        firmware = SlaveFirmware(1, SRAMChip(1, small_profile, random_state=7))
+        bus.attach_transactional_slave(0x11, firmware.handle_request)
+        master = MasterProtocol(lambda frame: bus.write_read(0x11, frame))
+        with pytest.raises(ProtocolError):
+            master.read_status()
+
+    def test_flaky_slave_recovers_over_bus(self, bus, small_profile):
+        flaky = FlakyFirmware(
+            2, SRAMChip(2, small_profile, random_state=8),
+            corruption_rate=0.4, random_state=9,
+        )
+        flaky.power_on()
+        bus.attach_transactional_slave(0x12, flaky.handle_request)
+        master = MasterProtocol(
+            lambda frame: bus.write_read(0x12, frame), max_attempts=10
+        )
+        for _ in range(10):
+            assert master.read_status() is FirmwareState.READY
+        assert master.retries > 0
+
+
+class TestBusValidation:
+    def test_unknown_transactional_address_nacks(self, bus):
+        with pytest.raises(ProtocolError, match="NACK"):
+            bus.write_read(0x55, b"\x01\x00\x00\x01")
+
+    def test_address_collision_between_modes_rejected(self, bus):
+        bus.attach_slave(0x10, lambda: b"")
+        with pytest.raises(ProtocolError):
+            bus.attach_transactional_slave(0x10, lambda request: b"")
+
+    def test_reverse_collision_rejected(self, bus):
+        bus.attach_transactional_slave(0x10, lambda request: b"")
+        with pytest.raises(ProtocolError):
+            bus.attach_slave(0x10, lambda: b"")

@@ -1,0 +1,78 @@
+"""Tests for the I2C bus model."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.hardware.i2c import I2CBus
+
+
+@pytest.fixture
+def bus() -> I2CBus:
+    return I2CBus(clock=lambda: 1.5, clock_hz=100_000.0)
+
+
+class TestTransfers:
+    def test_read_returns_slave_payload(self, bus):
+        bus.attach_slave(0x10, lambda: b"hello")
+        assert bus.read(0x10) == b"hello"
+
+    def test_read_unknown_address_nacks(self, bus):
+        with pytest.raises(ProtocolError, match="NACK"):
+            bus.read(0x20)
+
+    def test_expected_bytes_enforced(self, bus):
+        bus.attach_slave(0x10, lambda: b"abc")
+        with pytest.raises(ProtocolError, match="expected"):
+            bus.read(0x10, expected_bytes=4)
+
+    def test_slave_failure_propagates(self, bus):
+        def broken():
+            raise ProtocolError("slave is unpowered")
+
+        bus.attach_slave(0x11, broken)
+        with pytest.raises(ProtocolError, match="unpowered"):
+            bus.read(0x11)
+
+
+class TestTransactionLog:
+    def test_log_records_transfer(self, bus):
+        bus.attach_slave(0x10, lambda: b"\x00" * 8)
+        bus.read(0x10)
+        log = bus.transactions
+        assert len(log) == 1
+        assert log[0].address == 0x10
+        assert log[0].byte_count == 8
+        assert log[0].time_s == 1.5
+
+    def test_failed_reads_not_logged(self, bus):
+        with pytest.raises(ProtocolError):
+            bus.read(0x55)
+        assert bus.transactions == []
+
+
+class TestTiming:
+    def test_transfer_time_includes_address_byte(self, bus):
+        # (1 address + 2 payload) bytes x 9 bits at 100 kHz.
+        assert bus.transfer_time_s(2) == pytest.approx(27 / 100_000.0)
+
+    def test_kilobyte_read_takes_about_92ms(self, bus):
+        assert bus.transfer_time_s(1024) == pytest.approx(0.0922, abs=1e-3)
+
+    def test_negative_byte_count_rejected(self, bus):
+        with pytest.raises(ProtocolError):
+            bus.transfer_time_s(-1)
+
+
+class TestValidation:
+    def test_invalid_address_rejected(self, bus):
+        with pytest.raises(ProtocolError):
+            bus.attach_slave(0x80, lambda: b"")
+
+    def test_duplicate_address_rejected(self, bus):
+        bus.attach_slave(0x10, lambda: b"")
+        with pytest.raises(ProtocolError):
+            bus.attach_slave(0x10, lambda: b"")
+
+    def test_nonpositive_clock_rejected(self):
+        with pytest.raises(ProtocolError):
+            I2CBus(clock=lambda: 0.0, clock_hz=0.0)

@@ -1,0 +1,87 @@
+"""Tests for the power-switch board."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.hardware.power import PowerSwitch
+
+
+class FakeClock:
+    def __init__(self):
+        self.time = 0.0
+
+    def __call__(self) -> float:
+        return self.time
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def switch(clock) -> PowerSwitch:
+    power = PowerSwitch(clock)
+    power.register_channel(0)
+    power.register_channel(1)
+    return power
+
+
+class TestChannels:
+    def test_initially_unpowered(self, switch):
+        assert not switch.is_powered(0)
+
+    def test_set_power(self, switch, clock):
+        clock.time = 1.0
+        switch.set_power(0, True)
+        assert switch.is_powered(0)
+        assert not switch.is_powered(1)
+
+    def test_waveform_records_transitions(self, switch, clock):
+        clock.time = 1.0
+        switch.set_power(0, True)
+        clock.time = 4.8
+        switch.set_power(0, False)
+        waveform = switch.waveform(0)
+        assert waveform.transitions == [(1.0, 1), (4.8, 0)]
+
+    def test_redundant_commands_not_recorded(self, switch, clock):
+        switch.set_power(0, True)
+        clock.time = 1.0
+        switch.set_power(0, True)
+        assert len(switch.waveform(0).transitions) == 1
+
+    def test_layer_command(self, switch):
+        switch.set_layer_power([0, 1], True)
+        assert switch.is_powered(0) and switch.is_powered(1)
+
+    def test_board_ids(self, switch):
+        assert switch.board_ids == [0, 1]
+
+
+class TestCallbacks:
+    def test_power_change_notifies_board(self, clock):
+        events = []
+        switch = PowerSwitch(clock)
+        switch.register_channel(7, on_power_change=events.append)
+        switch.set_power(7, True)
+        switch.set_power(7, False)
+        assert events == [True, False]
+
+    def test_no_notification_for_redundant_command(self, clock):
+        events = []
+        switch = PowerSwitch(clock)
+        switch.register_channel(7, on_power_change=events.append)
+        switch.set_power(7, True)
+        switch.set_power(7, True)
+        assert events == [True]
+
+
+class TestErrors:
+    def test_duplicate_channel_rejected(self, switch):
+        with pytest.raises(ProtocolError):
+            switch.register_channel(0)
+
+    def test_unknown_channel_rejected(self, switch):
+        with pytest.raises(ProtocolError):
+            switch.set_power(99, True)

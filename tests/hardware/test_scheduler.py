@@ -1,0 +1,87 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.scheduler import DiscreteEventScheduler
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sched = DiscreteEventScheduler()
+        fired = []
+        sched.schedule(3.0, lambda: fired.append("c"))
+        sched.schedule(1.0, lambda: fired.append("a"))
+        sched.schedule(2.0, lambda: fired.append("b"))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_run_in_scheduling_order(self):
+        sched = DiscreteEventScheduler()
+        fired = []
+        for label in "abc":
+            sched.schedule(1.0, lambda lab=label: fired.append(lab))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_tracks_event_time(self):
+        sched = DiscreteEventScheduler()
+        seen = []
+        sched.schedule(2.5, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [2.5]
+
+    def test_events_may_schedule_more_events(self):
+        sched = DiscreteEventScheduler()
+        fired = []
+
+        def chain():
+            fired.append(sched.now)
+            if len(fired) < 3:
+                sched.schedule_after(1.0, chain)
+
+        sched.schedule(0.0, chain)
+        sched.run()
+        assert fired == [0.0, 1.0, 2.0]
+
+    def test_scheduling_in_the_past_rejected(self):
+        sched = DiscreteEventScheduler()
+        sched.schedule(5.0, lambda: sched.schedule(1.0, lambda: None))
+        with pytest.raises(ConfigurationError):
+            sched.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DiscreteEventScheduler().schedule_after(-1.0, lambda: None)
+
+
+class TestRunUntil:
+    def test_stops_at_deadline(self):
+        sched = DiscreteEventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        sched.schedule(10.0, lambda: fired.append(10))
+        sched.run(until=5.0)
+        assert fired == [1]
+        assert sched.now == 5.0
+        assert sched.pending_count == 1
+
+    def test_event_at_deadline_runs(self):
+        sched = DiscreteEventScheduler()
+        fired = []
+        sched.schedule(5.0, lambda: fired.append(5))
+        sched.run(until=5.0)
+        assert fired == [5]
+
+    def test_resume_after_deadline(self):
+        sched = DiscreteEventScheduler()
+        fired = []
+        sched.schedule(10.0, lambda: fired.append(10))
+        sched.run(until=5.0)
+        sched.run()
+        assert fired == [10]
+
+    def test_time_advances_to_deadline_with_empty_queue(self):
+        sched = DiscreteEventScheduler()
+        sched.run(until=7.0)
+        assert sched.now == 7.0

@@ -1,0 +1,79 @@
+"""Tests for digital waveform recording."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.signals import DigitalWaveform
+
+
+def square_wave(period: float, on_time: float, cycles: int) -> DigitalWaveform:
+    waveform = DigitalWaveform("test", initial_level=0)
+    for cycle in range(cycles):
+        start = cycle * period
+        waveform.record(start, 1)
+        waveform.record(start + on_time, 0)
+    return waveform
+
+
+class TestRecording:
+    def test_level_at(self):
+        waveform = square_wave(5.4, 3.8, 2)
+        assert waveform.level_at(0.0) == 1
+        assert waveform.level_at(3.9) == 0
+        assert waveform.level_at(5.5) == 1
+
+    def test_redundant_transitions_ignored(self):
+        waveform = DigitalWaveform("x")
+        waveform.record(1.0, 1)
+        waveform.record(2.0, 1)
+        assert len(waveform.transitions) == 1
+
+    def test_time_travel_rejected(self):
+        waveform = DigitalWaveform("x")
+        waveform.record(5.0, 1)
+        with pytest.raises(ConfigurationError):
+            waveform.record(1.0, 0)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DigitalWaveform("x").record(0.0, 2)
+
+
+class TestMeasurements:
+    def test_period(self):
+        assert square_wave(5.4, 3.8, 4).measured_period_s() == pytest.approx(5.4)
+
+    def test_on_time(self):
+        assert square_wave(5.4, 3.8, 4).measured_on_time_s() == pytest.approx(3.8)
+
+    def test_off_time(self):
+        assert square_wave(5.4, 3.8, 4).measured_off_time_s() == pytest.approx(1.6)
+
+    def test_edges(self):
+        waveform = square_wave(2.0, 1.0, 3)
+        np.testing.assert_allclose(waveform.edges(rising=True), [0.0, 2.0, 4.0])
+        np.testing.assert_allclose(waveform.edges(rising=False), [1.0, 3.0, 5.0])
+
+    def test_period_needs_two_rising_edges(self):
+        with pytest.raises(ConfigurationError):
+            square_wave(5.4, 3.8, 1).measured_period_s()
+
+
+class TestSampling:
+    def test_sample_levels(self):
+        waveform = square_wave(2.0, 1.0, 2)
+        levels = waveform.sample(np.array([0.5, 1.5, 2.5, 3.5]))
+        np.testing.assert_array_equal(levels, [1, 0, 1, 0])
+
+    def test_full_overlap_with_itself(self):
+        waveform = square_wave(2.0, 1.0, 5)
+        assert waveform.overlap_fraction(waveform, 10.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_staggered_signals_overlap_less(self):
+        a = square_wave(4.0, 2.0, 5)
+        b = DigitalWaveform("b")
+        for cycle in range(5):
+            b.record(cycle * 4.0 + 2.0, 1)
+            b.record(cycle * 4.0 + 4.0, 0)
+        assert a.overlap_fraction(b, 20.0) < 0.05

@@ -1,0 +1,98 @@
+"""Tests for the assembled two-layer testbed."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hardware.testbed import Testbed, TestbedTiming
+
+
+@pytest.fixture
+def testbed(small_profile) -> Testbed:
+    return Testbed(device_count=4, profile=small_profile, random_state=3)
+
+
+class TestTiming:
+    def test_paper_defaults(self):
+        timing = TestbedTiming()
+        assert timing.period_s == 5.4
+        assert timing.on_time_s == 3.8
+        assert timing.off_time_s == pytest.approx(1.6)
+        assert timing.power_duty == pytest.approx(3.8 / 5.4)
+
+    def test_handover_is_half_period(self):
+        assert TestbedTiming().handover_s == pytest.approx(2.7)
+
+    def test_on_time_must_fit_in_period(self):
+        with pytest.raises(ConfigurationError):
+            TestbedTiming(period_s=5.0, on_time_s=5.0)
+
+    def test_read_delay_must_fit_in_on_phase(self):
+        with pytest.raises(ConfigurationError):
+            TestbedTiming(read_delay_s=4.0)
+
+
+class TestConstruction:
+    def test_layer_numbering_matches_paper(self, testbed):
+        """Layer 0 is S0..; layer 1 starts at S16."""
+        assert [s.board_id for s in testbed.slaves] == [0, 1, 16, 17]
+
+    def test_odd_device_count_rejected(self, small_profile):
+        with pytest.raises(ConfigurationError):
+            Testbed(device_count=5, profile=small_profile)
+
+    def test_slave_lookup(self, testbed):
+        assert testbed.slave(16).board_id == 16
+        with pytest.raises(ConfigurationError):
+            testbed.slave(99)
+
+    def test_measurement_cadence_matches_paper(self, testbed):
+        """The paper quotes ~10 measurements per minute per board."""
+        assert 10.0 < testbed.measurements_per_minute() < 12.0
+
+
+class TestOperation:
+    def test_records_accumulate(self, testbed):
+        testbed.run_seconds(60.0)
+        # ~11 cycles/min x 4 boards, minus boundary effects.
+        assert len(testbed.database) >= 40
+        assert testbed.database.board_ids() == [0, 1, 16, 17]
+
+    def test_waveform_reproduces_fig3(self, testbed):
+        testbed.run_seconds(60.0)
+        waveform = testbed.power_switch.waveform(0)
+        assert waveform.measured_period_s() == pytest.approx(5.4, abs=0.01)
+        assert waveform.measured_on_time_s() == pytest.approx(3.8, abs=0.01)
+        assert waveform.measured_off_time_s() == pytest.approx(1.6, abs=0.01)
+
+    def test_same_layer_boards_synchronized(self, testbed):
+        testbed.run_seconds(60.0)
+        a = testbed.power_switch.waveform(0)
+        b = testbed.power_switch.waveform(1)
+        assert a.overlap_fraction(b, 60.0) == pytest.approx(3.8 / 5.4, abs=0.03)
+
+    def test_layers_phase_shifted(self, testbed):
+        testbed.run_seconds(60.0)
+        layer0 = testbed.power_switch.waveform(0)
+        layer1 = testbed.power_switch.waveform(16)
+        cross = layer0.overlap_fraction(layer1, 60.0)
+        same = layer0.overlap_fraction(testbed.power_switch.waveform(1), 60.0)
+        assert cross < same - 0.2
+
+    def test_run_cycles(self, small_profile):
+        bed = Testbed(device_count=2, profile=small_profile, random_state=4)
+        bed.run_cycles(3)
+        per_board = len(bed.database.for_board(0))
+        assert per_board >= 3
+
+    def test_records_carry_monotone_sequences(self, testbed):
+        testbed.run_seconds(30.0)
+        for board_id in testbed.database.board_ids():
+            sequences = [r.sequence for r in testbed.database.for_board(board_id)]
+            assert sequences == sorted(sequences)
+            assert sequences[0] == 0
+
+    def test_invalid_run_arguments(self, testbed):
+        with pytest.raises(ConfigurationError):
+            testbed.run_seconds(0.0)
+        with pytest.raises(ConfigurationError):
+            testbed.run_cycles(0)

@@ -1,0 +1,96 @@
+"""Cross-subsystem integration tests.
+
+These wire subsystems together the way a downstream user would:
+testbed -> database -> metrics, testbed boards -> campaign, keygen and
+TRNG riding on one aging device, accelerated vs nominal comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accelerated import AcceleratedAgingStudy
+from repro.analysis.campaign import LongTermCampaign
+from repro.analysis.monthly import evaluate_month
+from repro.hardware.testbed import Testbed
+from repro.keygen.keygen import SRAMKeyGenerator
+from repro.metrics.hamming import within_class_hd
+from repro.rng import SeedHierarchy
+from repro.sram.chip import SRAMChip
+from repro.trng.trng import SRAMTRNG
+
+
+class TestTestbedToMetrics:
+    def test_database_records_support_wchd_analysis(self, small_profile):
+        """Records collected by the simulated testbed feed the same
+        metrics pipeline the paper applies to its JSON store."""
+        bed = Testbed(device_count=2, profile=small_profile, random_state=31)
+        bed.run_seconds(120.0)
+        records = bed.database.for_board(0)
+        assert len(records) >= 15
+        reference = records[0].bits
+        block = np.stack([record.bits for record in records[1:]])
+        wchd = within_class_hd(block, reference)
+        assert 0.0 <= wchd < 0.10
+
+    def test_testbed_boards_feed_monthly_evaluation(self, small_profile):
+        bed = Testbed(device_count=4, profile=small_profile, random_state=32)
+        bed.run_seconds(20.0)
+        chips = [slave.chip for slave in bed.slaves]
+        references = {chip.chip_id: chip.read_startup() for chip in chips}
+        snapshot = evaluate_month(chips, references, month=0, measurements=100)
+        assert snapshot.wchd.shape == (4,)
+
+
+class TestApplicationsOnAgingSilicon:
+    def test_keygen_and_trng_share_a_device(self, seeds):
+        chip = SRAMChip(0, random_state=seeds)
+        generator = SRAMKeyGenerator(chip, key_bits=128, secret_bits=48)
+        key, record = generator.enroll(random_state=1)
+        trng = SRAMTRNG(chip)
+        random_bits = trng.generate(256)
+        assert random_bits.size == 256
+        np.testing.assert_array_equal(generator.reconstruct(record), key)
+
+    def test_key_survives_but_trng_improves_with_age(self, seeds):
+        """The paper's two conclusions on one device: keys stay
+        reconstructible while harvested noise density rises."""
+        chip = SRAMChip(3, random_state=seeds)
+        generator = SRAMKeyGenerator(chip, key_bits=128, secret_bits=48)
+        key, record = generator.enroll(random_state=2)
+
+        from repro.trng.harvester import NoiseHarvester
+
+        fresh_noise = NoiseHarvester(chip).harvest(100_000).mean()
+        chip.age_months(24.0, steps=12)
+        aged_noise = NoiseHarvester(chip).harvest(100_000).mean()
+
+        assert generator.reconstruction_succeeds(record, key)
+        assert aged_noise > fresh_noise
+
+
+class TestAcceleratedVsNominal:
+    def test_paper_conclusion_accelerated_overestimates(self):
+        """Section IV-D: the accelerated monthly WCHD rate exceeds the
+        nominal one — the paper's central comparison."""
+        nominal = LongTermCampaign(
+            device_count=4, months=12, measurements=400, random_state=33
+        ).run()
+        from repro.metrics.summary import geometric_monthly_change
+
+        nominal_rate = geometric_monthly_change(
+            float(nominal.start.wchd.mean()), float(nominal.end.wchd.mean()), 12
+        )
+        accelerated = AcceleratedAgingStudy(
+            device_count=4, measurements=400, random_state=34
+        ).run(equivalent_months=12, checkpoints=3)
+        assert accelerated.monthly_rate > nominal_rate
+
+
+class TestDeterministicPipeline:
+    def test_identical_seeds_identical_everything(self):
+        seeds_a, seeds_b = SeedHierarchy(99), SeedHierarchy(99)
+        chip_a = SRAMChip(0, random_state=seeds_a)
+        chip_b = SRAMChip(0, random_state=seeds_b)
+        key_a, _ = SRAMKeyGenerator(chip_a, secret_bits=48).enroll(random_state=5)
+        key_b, _ = SRAMKeyGenerator(chip_b, secret_bits=48).enroll(random_state=5)
+        np.testing.assert_array_equal(key_a, key_b)

@@ -1,0 +1,81 @@
+"""Statistical-vs-measurement fidelity equivalence.
+
+DESIGN.md §2 claims the Binomial sufficient-statistic path is exact in
+distribution for every metric the paper evaluates.  These tests verify
+the claim empirically on a small device where full measurement-level
+simulation is cheap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics.entropy import noise_min_entropy_from_counts
+from repro.metrics.hamming import (
+    fractional_hamming_weight_from_counts,
+    within_class_hd_from_counts,
+)
+from repro.metrics.stability import stable_cell_ratio_from_counts
+from repro.rng import SeedHierarchy
+from repro.sram.chip import SRAMChip
+from repro.sram.powerup import sample_measurement_block
+from repro.sram.profiles import ATMEGA32U4
+
+
+@pytest.fixture(scope="module")
+def fidelity_samples():
+    """Many paired samples of both fidelities on identical devices."""
+    profile = ATMEGA32U4.with_overrides(sram_bytes=256, read_bytes=256)
+    measurements = 200
+    rows = []
+    for trial in range(40):
+        seeds = SeedHierarchy(1000 + trial)
+        chip_stat = SRAMChip(0, profile, random_state=seeds)
+        chip_meas = SRAMChip(0, profile, random_state=SeedHierarchy(1000 + trial))
+        reference = chip_stat.read_startup()
+        chip_meas.read_startup()  # consume the same reference draw
+        stat = sample_measurement_block(chip_stat, measurements, statistical=True)
+        meas = sample_measurement_block(chip_meas, measurements, statistical=False)
+        rows.append((reference, stat, meas, measurements))
+    return rows
+
+
+class TestFidelityEquivalence:
+    def test_wchd_distributions_match(self, fidelity_samples):
+        stat_values, meas_values = [], []
+        for reference, stat, meas, n in fidelity_samples:
+            stat_values.append(within_class_hd_from_counts(stat.ones_counts, n, reference))
+            meas_values.append(within_class_hd_from_counts(meas.ones_counts, n, reference))
+        assert np.mean(stat_values) == pytest.approx(np.mean(meas_values), abs=0.004)
+
+    def test_fhw_distributions_match(self, fidelity_samples):
+        stat_values = [
+            fractional_hamming_weight_from_counts(s.ones_counts, n)
+            for _, s, _, n in fidelity_samples
+        ]
+        meas_values = [
+            fractional_hamming_weight_from_counts(m.ones_counts, n)
+            for _, _, m, n in fidelity_samples
+        ]
+        assert np.mean(stat_values) == pytest.approx(np.mean(meas_values), abs=0.01)
+
+    def test_stable_ratio_distributions_match(self, fidelity_samples):
+        stat_values = [
+            stable_cell_ratio_from_counts(s.ones_counts, n)
+            for _, s, _, n in fidelity_samples
+        ]
+        meas_values = [
+            stable_cell_ratio_from_counts(m.ones_counts, n)
+            for _, _, m, n in fidelity_samples
+        ]
+        assert np.mean(stat_values) == pytest.approx(np.mean(meas_values), abs=0.01)
+
+    def test_noise_entropy_distributions_match(self, fidelity_samples):
+        stat_values = [
+            noise_min_entropy_from_counts(s.ones_counts, n)
+            for _, s, _, n in fidelity_samples
+        ]
+        meas_values = [
+            noise_min_entropy_from_counts(m.ones_counts, n)
+            for _, _, m, n in fidelity_samples
+        ]
+        assert np.mean(stat_values) == pytest.approx(np.mean(meas_values), abs=0.005)

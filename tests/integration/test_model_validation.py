@@ -1,0 +1,87 @@
+"""Analytic-model-vs-simulator validation across the parameter space.
+
+The analytic :class:`~repro.analysis.reliability.CellReliabilityModel`
+and the Monte-Carlo simulator implement the same physics through
+entirely different code paths (quadrature vs sampling); agreement
+across *random* profiles is therefore a strong cross-check of both.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.reliability import CellReliabilityModel
+from repro.metrics.entropy import noise_min_entropy_from_counts
+from repro.metrics.hamming import (
+    fractional_hamming_weight_from_counts,
+    within_class_hd_from_counts,
+)
+from repro.metrics.stability import stable_cell_ratio_from_counts
+from repro.sram.chip import SRAMChip
+from repro.sram.profiles import ATMEGA32U4
+
+
+def random_profile(mean_sigmas: float, sigma_sigmas: float):
+    return ATMEGA32U4.with_overrides(
+        skew_mean_v=mean_sigmas * ATMEGA32U4.noise_sigma_v,
+        skew_sigma_v=sigma_sigmas * ATMEGA32U4.noise_sigma_v,
+        chip_mean_sigma_v=0.0,
+        sram_bytes=2048,
+        read_bytes=2048,
+    )
+
+
+class TestModelAgainstSimulator:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.floats(-4.0, 4.0),
+        st.floats(5.0, 25.0),
+        st.integers(0, 2**16),
+    )
+    def test_bias_and_error_rate_agree(self, mean, sigma, seed):
+        profile = random_profile(mean, sigma)
+        model = CellReliabilityModel(profile)
+        chip = SRAMChip(0, profile, random_state=seed)
+        reference = chip.read_startup()
+        counts = chip.read_window_ones_counts(400)
+
+        empirical_bias = fractional_hamming_weight_from_counts(counts, 400)
+        assert empirical_bias == pytest.approx(model.expected_bias(), abs=0.03)
+
+        empirical_wchd = within_class_hd_from_counts(counts, 400, reference)
+        assert empirical_wchd == pytest.approx(
+            model.expected_error_rate(), abs=0.012
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.floats(-2.0, 2.0), st.floats(6.0, 20.0), st.integers(0, 2**16))
+    def test_stability_and_entropy_agree(self, mean, sigma, seed):
+        profile = random_profile(mean, sigma)
+        model = CellReliabilityModel(profile)
+        chip = SRAMChip(0, profile, random_state=seed)
+        counts = chip.read_window_ones_counts(500)
+
+        empirical_stable = stable_cell_ratio_from_counts(counts, 500)
+        assert empirical_stable == pytest.approx(
+            model.expected_stable_ratio(500), abs=0.03
+        )
+
+        empirical_entropy = noise_min_entropy_from_counts(counts, 500)
+        assert empirical_entropy == pytest.approx(
+            model.expected_noise_entropy(), abs=0.02
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.floats(250.0, 400.0), st.integers(0, 2**16))
+    def test_temperature_dependence_agrees(self, temperature, seed):
+        model = CellReliabilityModel(ATMEGA32U4)
+        profile = ATMEGA32U4.with_overrides(
+            chip_mean_sigma_v=0.0, sram_bytes=2048, read_bytes=2048
+        )
+        chip = SRAMChip(0, profile, random_state=seed)
+        counts = chip.read_window_ones_counts(400, temperature_k=temperature)
+        empirical = fractional_hamming_weight_from_counts(counts, 400)
+        assert empirical == pytest.approx(
+            CellReliabilityModel(profile).expected_bias(temperature), abs=0.03
+        )

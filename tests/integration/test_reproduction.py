@@ -1,0 +1,101 @@
+"""The headline reproduction test: Table I from a full-scale campaign.
+
+This is the library's acceptance test — a 16-device, 24-month
+assessment at statistical fidelity (a few seconds) whose summary table
+must land on the paper's published values within tight tolerances.
+"""
+
+import pytest
+
+from repro.core.assessment import AssessmentResult, LongTermAssessment
+from repro.core.config import StudyConfig
+from repro.core.paper import PAPER
+
+
+@pytest.fixture(scope="module")
+def result() -> AssessmentResult:
+    return LongTermAssessment(StudyConfig(seed=1)).run()
+
+
+class TestTableOneAverages:
+    def test_wchd_start(self, result):
+        assert result.table["WCHD"].start_avg == pytest.approx(
+            PAPER.wchd.start_avg, rel=0.05
+        )
+
+    def test_wchd_end(self, result):
+        assert result.table["WCHD"].end_avg == pytest.approx(
+            PAPER.wchd.end_avg, rel=0.06
+        )
+
+    def test_wchd_monthly_rate(self, result):
+        assert result.table["WCHD"].monthly_change_avg == pytest.approx(
+            PAPER.nominal_monthly_wchd_rate, abs=0.002
+        )
+
+    def test_hamming_weight_flat(self, result):
+        row = result.table["HW"]
+        assert row.start_avg == pytest.approx(PAPER.hamming_weight.start_avg, abs=0.01)
+        assert abs(row.end_avg - row.start_avg) < 0.002
+
+    def test_stable_cells(self, result):
+        row = result.table["Ratio of Stable Cells"]
+        assert row.start_avg == pytest.approx(PAPER.stable_cells.start_avg, abs=0.01)
+        assert row.end_avg == pytest.approx(PAPER.stable_cells.end_avg, abs=0.015)
+        assert row.end_avg < row.start_avg
+
+    def test_noise_entropy(self, result):
+        row = result.table["Noise entropy"]
+        assert row.start_avg == pytest.approx(PAPER.noise_entropy.start_avg, rel=0.06)
+        assert row.end_avg == pytest.approx(PAPER.noise_entropy.end_avg, rel=0.06)
+
+    def test_bchd_flat_near_paper(self, result):
+        row = result.table["BCHD"]
+        assert row.start_avg == pytest.approx(PAPER.bchd.start_avg, abs=0.01)
+        assert abs(row.end_avg - row.start_avg) < 0.005
+
+    def test_puf_entropy(self, result):
+        row = result.table["PUF entropy"]
+        assert row.start_avg == pytest.approx(PAPER.puf_entropy.start_avg, abs=0.02)
+
+
+class TestTableOneWorstCases:
+    def test_wchd_worst(self, result):
+        row = result.table["WCHD"]
+        assert row.start_worst == pytest.approx(PAPER.wchd.start_worst, rel=0.08)
+        assert row.end_worst == pytest.approx(PAPER.wchd.end_worst, rel=0.08)
+
+    def test_noise_entropy_worst(self, result):
+        row = result.table["Noise entropy"]
+        assert row.start_worst == pytest.approx(
+            PAPER.noise_entropy.start_worst, rel=0.10
+        )
+
+    def test_bchd_worst(self, result):
+        row = result.table["BCHD"]
+        assert row.start_worst == pytest.approx(PAPER.bchd.start_worst, abs=0.02)
+
+
+class TestHeadlineClaims:
+    def test_reliability_worsens_within_bounds(self, result):
+        """WCHD grows ~19 % but stays far below the 25 % ECC boundary."""
+        row = result.table["WCHD"]
+        assert 0.10 < row.relative_change_avg < 0.30
+        assert row.end_worst < 0.25
+
+    def test_randomness_improves(self, result):
+        row = result.table["Noise entropy"]
+        assert row.relative_change_avg > 0.10
+
+    def test_uniqueness_unaffected(self, result):
+        for name in ("BCHD", "PUF entropy"):
+            row = result.table[name]
+            change = abs(row.end_avg - row.start_avg) / row.start_avg
+            assert change < 0.01
+
+    def test_every_comparison_cell_within_10_percent(self, result):
+        for row in result.compare_with_paper():
+            assert abs(row.relative_error) < 0.10, (
+                f"{row.metric}/{row.column}: paper {row.paper_value:.4f} "
+                f"vs measured {row.measured_value:.4f}"
+            )

@@ -1,0 +1,86 @@
+"""Tests for the JSON-lines measurement database."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.io.bitutil import random_bits
+from repro.io.jsonstore import MeasurementDatabase
+from repro.io.records import MeasurementRecord
+
+
+def make_record(board: int, seq: int) -> MeasurementRecord:
+    return MeasurementRecord(board, seq, float(seq), random_bits(32, random_state=seq))
+
+
+class TestInMemoryDatabase:
+    def test_append_and_len(self):
+        db = MeasurementDatabase()
+        db.append(make_record(0, 0))
+        assert len(db) == 1
+
+    def test_extend(self):
+        db = MeasurementDatabase()
+        db.extend([make_record(0, i) for i in range(5)])
+        assert len(db) == 5
+
+    def test_for_board_filters(self):
+        db = MeasurementDatabase()
+        db.extend([make_record(0, 0), make_record(1, 0), make_record(0, 1)])
+        assert len(db.for_board(0)) == 2
+
+    def test_board_ids_sorted(self):
+        db = MeasurementDatabase()
+        db.extend([make_record(5, 0), make_record(1, 0), make_record(3, 0)])
+        assert db.board_ids() == [1, 3, 5]
+
+    def test_first_for_board(self):
+        db = MeasurementDatabase()
+        db.extend([make_record(0, 0), make_record(0, 1)])
+        assert db.first_for_board(0).sequence == 0
+
+    def test_first_for_missing_board_raises(self):
+        with pytest.raises(StorageError):
+            MeasurementDatabase().first_for_board(99)
+
+    def test_append_wrong_type_rejected(self):
+        with pytest.raises(StorageError):
+            MeasurementDatabase().append("not a record")
+
+    def test_iteration_preserves_order(self):
+        db = MeasurementDatabase()
+        records = [make_record(0, i) for i in range(3)]
+        db.extend(records)
+        assert list(db) == records
+
+
+class TestFileBackedDatabase:
+    def test_persistence_roundtrip(self, tmp_path):
+        path = str(tmp_path / "measurements.jsonl")
+        db = MeasurementDatabase(path)
+        db.extend([make_record(0, i) for i in range(4)])
+        reloaded = MeasurementDatabase(path)
+        assert len(reloaded) == 4
+        assert list(reloaded) == list(db)
+
+    def test_append_after_reload(self, tmp_path):
+        path = str(tmp_path / "measurements.jsonl")
+        MeasurementDatabase(path).append(make_record(0, 0))
+        db = MeasurementDatabase(path)
+        db.append(make_record(0, 1))
+        assert len(MeasurementDatabase(path)) == 2
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(StorageError):
+            MeasurementDatabase(str(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = str(tmp_path / "gaps.jsonl")
+        db = MeasurementDatabase(path)
+        db.append(make_record(0, 0))
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        db.append(make_record(0, 1))
+        assert len(MeasurementDatabase(path)) == 2

@@ -1,0 +1,58 @@
+"""Tests for the measurement record schema."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.io.bitutil import random_bits
+from repro.io.records import MeasurementRecord
+
+
+@pytest.fixture
+def record() -> MeasurementRecord:
+    return MeasurementRecord(
+        board_id=3, sequence=17, timestamp_s=42.5, bits=random_bits(64, random_state=1)
+    )
+
+
+class TestMeasurementRecord:
+    def test_json_roundtrip(self, record):
+        restored = MeasurementRecord.from_json_dict(record.to_json_dict())
+        assert restored == record
+
+    def test_json_dict_shape(self, record):
+        doc = record.to_json_dict()
+        assert set(doc) == {"board", "seq", "t", "bits", "data"}
+        assert doc["bits"] == 64
+
+    def test_bit_count(self, record):
+        assert record.bit_count == 64
+
+    def test_negative_board_rejected(self):
+        with pytest.raises(StorageError):
+            MeasurementRecord(-1, 0, 0.0, random_bits(8))
+
+    def test_negative_sequence_rejected(self):
+        with pytest.raises(StorageError):
+            MeasurementRecord(0, -1, 0.0, random_bits(8))
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(StorageError):
+            MeasurementRecord(0, 0, -0.1, random_bits(8))
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(StorageError):
+            MeasurementRecord.from_json_dict({"board": 0})
+
+    def test_corrupt_payload_rejected(self):
+        with pytest.raises(StorageError):
+            MeasurementRecord.from_json_dict(
+                {"board": 0, "seq": 0, "t": 0.0, "bits": 8, "data": "not-hex"}
+            )
+
+    def test_equality_compares_payload(self, record):
+        other = MeasurementRecord(
+            record.board_id, record.sequence, record.timestamp_s,
+            np.zeros(64, dtype=np.uint8),
+        )
+        assert record != other

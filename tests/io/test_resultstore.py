@@ -1,0 +1,85 @@
+"""Tests for campaign result persistence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.campaign import LongTermCampaign
+from repro.errors import StorageError
+from repro.io.resultstore import (
+    campaign_from_dict,
+    campaign_to_dict,
+    load_campaign,
+    save_campaign,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return LongTermCampaign(
+        device_count=3, months=2, measurements=100, random_state=44
+    ).run()
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self, result):
+        restored = campaign_from_dict(campaign_to_dict(result))
+        assert restored.profile_name == result.profile_name
+        assert restored.months == result.months
+        assert restored.board_ids == result.board_ids
+
+    def test_references_preserved(self, result):
+        restored = campaign_from_dict(campaign_to_dict(result))
+        for board in result.board_ids:
+            np.testing.assert_array_equal(
+                restored.references[board], result.references[board]
+            )
+
+    def test_snapshots_preserved(self, result):
+        restored = campaign_from_dict(campaign_to_dict(result))
+        for original, loaded in zip(result.snapshots, restored.snapshots):
+            assert loaded.month == original.month
+            np.testing.assert_allclose(loaded.wchd, original.wchd)
+            np.testing.assert_allclose(loaded.noise_entropy, original.noise_entropy)
+            np.testing.assert_allclose(loaded.bchd_pairs, original.bchd_pairs)
+            assert loaded.puf_entropy == pytest.approx(original.puf_entropy)
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        save_campaign(result, path)
+        restored = load_campaign(path)
+        assert restored.months == result.months
+        np.testing.assert_allclose(restored.end.wchd, result.end.wchd)
+
+    def test_report_rebuilds_from_loaded_result(self, result, tmp_path):
+        """A loaded campaign supports the full analysis pipeline."""
+        from repro.core.report import build_quality_report
+
+        path = str(tmp_path / "campaign.json")
+        save_campaign(result, path)
+        report = build_quality_report(load_campaign(path))
+        original = build_quality_report(result)
+        assert report["WCHD"].start_avg == pytest.approx(original["WCHD"].start_avg)
+
+
+class TestErrorHandling:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_campaign(str(tmp_path / "nope.json"))
+
+    def test_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(StorageError):
+            load_campaign(str(path))
+
+    def test_wrong_version_rejected(self, result):
+        doc = campaign_to_dict(result)
+        doc["format_version"] = 99
+        with pytest.raises(StorageError):
+            campaign_from_dict(doc)
+
+    def test_missing_field_rejected(self, result):
+        doc = campaign_to_dict(result)
+        del doc["references"]
+        with pytest.raises(StorageError):
+            campaign_from_dict(doc)

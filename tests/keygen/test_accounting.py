@@ -1,0 +1,111 @@
+"""Tests for key-generation entropy accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.keygen.accounting import (
+    audit_pipeline,
+    bias_within_boundary,
+    helper_data_leakage_bits,
+    min_entropy_per_bit,
+    von_neumann_retention,
+)
+from repro.keygen.ecc import ExtendedGolayCode, RepetitionCode
+
+
+class TestPrimitives:
+    def test_fair_bit_has_full_entropy(self):
+        assert min_entropy_per_bit(0.5) == pytest.approx(1.0)
+
+    def test_paper_bias_entropy(self):
+        assert min_entropy_per_bit(0.627) == pytest.approx(0.6735, abs=1e-3)
+
+    def test_degenerate_bias_has_no_entropy(self):
+        assert min_entropy_per_bit(1.0) == 0.0
+
+    def test_paper_bias_within_boundary(self):
+        """62.7 % sits comfortably inside the 25 %/75 % boundary."""
+        assert bias_within_boundary(0.627)
+
+    def test_extreme_bias_outside_boundary(self):
+        assert not bias_within_boundary(0.80)
+        assert not bias_within_boundary(0.20)
+
+    def test_cvn_retention_peak_at_half(self):
+        assert von_neumann_retention(0.5) == pytest.approx(0.25)
+        assert von_neumann_retention(0.627) == pytest.approx(0.627 * 0.373)
+
+    def test_leakage_is_parity_bits(self):
+        assert helper_data_leakage_bits(ExtendedGolayCode(), 4) == 4 * 12
+
+
+class TestAuditPipeline:
+    def test_safe_configuration(self):
+        budget = audit_pipeline(
+            ExtendedGolayCode(),
+            response_bits=8192,
+            response_bias=0.627,
+            key_bits=128,
+            secret_bits=128,
+        )
+        assert budget.is_safe
+        assert budget.margin_bits >= 0
+
+    def test_overclaimed_key_flagged(self):
+        """Deriving 256 key bits from a 128-bit secret is flagged: the
+        Golay sketch leaves only ~k bits of residual entropy per block."""
+        budget = audit_pipeline(
+            ExtendedGolayCode(),
+            response_bits=8192,
+            response_bias=0.627,
+            key_bits=256,
+            secret_bits=128,
+        )
+        assert not budget.is_safe
+        assert budget.margin_bits < 0
+
+    def test_residual_equals_message_bits_for_debias(self):
+        """With full-entropy (debiased) input the n-k leakage leaves
+        exactly k bits per block."""
+        budget = audit_pipeline(
+            ExtendedGolayCode(),
+            response_bits=8192,
+            response_bias=0.627,
+            key_bits=128,
+            secret_bits=120,  # exactly 10 blocks
+        )
+        assert budget.residual_entropy_bits == pytest.approx(10 * 12)
+
+    def test_undebias_biased_source_loses_entropy(self):
+        debiased = audit_pipeline(
+            ExtendedGolayCode(), 8192, 0.627, key_bits=96, secret_bits=96
+        )
+        raw = audit_pipeline(
+            ExtendedGolayCode(), 8192, 0.627, key_bits=96, secret_bits=96,
+            debias=False,
+        )
+        assert raw.residual_entropy_bits < debiased.residual_entropy_bits
+
+    def test_raw_biased_sketch_can_leak_everything(self):
+        """A high-redundancy code on raw biased bits can leak more than
+        the input carries — residual clamps at zero, clearly unsafe."""
+        budget = audit_pipeline(
+            RepetitionCode(9), 8192, 0.627, key_bits=64, secret_bits=64,
+            debias=False,
+        )
+        assert budget.residual_entropy_bits == 0.0
+        assert not budget.is_safe
+
+    def test_short_response_rejected(self):
+        with pytest.raises(ConfigurationError):
+            audit_pipeline(
+                ExtendedGolayCode(), response_bits=100, response_bias=0.627,
+                secret_bits=128,
+            )
+
+    def test_render_mentions_verdict(self):
+        budget = audit_pipeline(
+            ExtendedGolayCode(), 8192, 0.627, key_bits=128, secret_bits=128
+        )
+        text = budget.render()
+        assert "SAFE" in text and "leakage" in text

@@ -1,0 +1,84 @@
+"""Tests for von Neumann debiasing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.keygen.debias import (
+    CVNDebiaser,
+    pair_output_von_neumann,
+    von_neumann_debias,
+)
+
+
+def biased_bits(p: float, count: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.random(count) < p).astype(np.uint8)
+
+
+class TestClassicVonNeumann:
+    def test_known_pairs(self):
+        result = von_neumann_debias(np.array([0, 1, 1, 0, 0, 0, 1, 1], dtype=np.uint8))
+        np.testing.assert_array_equal(result.bits, [0, 1])
+        np.testing.assert_array_equal(result.selected_pairs, [0, 1])
+
+    def test_output_unbiased_for_biased_input(self):
+        raw = biased_bits(0.627, 100_000, seed=1)
+        result = von_neumann_debias(raw)
+        assert abs(result.bits.mean() - 0.5) < 0.01
+
+    def test_rate_approaches_p_times_q(self):
+        raw = biased_bits(0.627, 100_000, seed=2)
+        result = von_neumann_debias(raw)
+        assert result.rate == pytest.approx(0.627 * 0.373, abs=0.01)
+
+    def test_trailing_odd_bit_dropped(self):
+        result = von_neumann_debias(np.array([0, 1, 1], dtype=np.uint8))
+        assert result.bits.size == 1
+
+    def test_constant_input_yields_nothing(self):
+        result = von_neumann_debias(np.ones(100, dtype=np.uint8))
+        assert result.bits.size == 0
+
+    def test_single_bit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            von_neumann_debias(np.array([1], dtype=np.uint8))
+
+
+class TestPairOutputVonNeumann:
+    def test_higher_rate_than_cvn(self):
+        raw = biased_bits(0.627, 100_000, seed=3)
+        assert pair_output_von_neumann(raw).rate > von_neumann_debias(raw).rate
+
+    def test_still_unbiased(self):
+        raw = biased_bits(0.7, 100_000, seed=4)
+        result = pair_output_von_neumann(raw)
+        assert abs(result.bits.mean() - 0.5) < 0.01
+
+    def test_handles_no_concordant_pairs(self):
+        result = pair_output_von_neumann(np.array([0, 1, 1, 0], dtype=np.uint8))
+        np.testing.assert_array_equal(result.bits, [0, 1])
+
+
+class TestCVNDebiaser:
+    def test_reconstruction_selects_same_pairs(self):
+        debiaser = CVNDebiaser()
+        response = biased_bits(0.627, 1000, seed=5)
+        enrolled = debiaser.enroll(response)
+        reconstructed = debiaser.apply(response, enrolled.selected_pairs)
+        np.testing.assert_array_equal(reconstructed, enrolled.bits)
+
+    def test_noisy_reconstruction_mostly_agrees(self):
+        debiaser = CVNDebiaser()
+        rng = np.random.default_rng(6)
+        response = biased_bits(0.627, 10_000, seed=7)
+        enrolled = debiaser.enroll(response)
+        noisy = response ^ (rng.random(10_000) < 0.02).astype(np.uint8)
+        reconstructed = debiaser.apply(noisy, enrolled.selected_pairs)
+        error_rate = (reconstructed != enrolled.bits).mean()
+        assert error_rate < 0.08
+
+    def test_out_of_range_indices_rejected(self):
+        debiaser = CVNDebiaser()
+        with pytest.raises(ConfigurationError):
+            debiaser.apply(np.zeros(10, dtype=np.uint8), np.array([99]))

@@ -1,0 +1,178 @@
+"""Behavioural tests shared by every block code, plus per-code checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DecodingFailure
+from repro.io.bitutil import random_bits
+from repro.keygen.ecc import (
+    BCHCode,
+    ConcatenatedCode,
+    ExtendedGolayCode,
+    HammingCode,
+    RepetitionCode,
+)
+
+ALL_CODES = [
+    pytest.param(RepetitionCode(3), id="rep3"),
+    pytest.param(RepetitionCode(7), id="rep7"),
+    pytest.param(HammingCode(3), id="hamming7"),
+    pytest.param(HammingCode(4), id="hamming15"),
+    pytest.param(ExtendedGolayCode(), id="golay24"),
+    pytest.param(BCHCode(4, 2), id="bch15t2"),
+    pytest.param(BCHCode(5, 3), id="bch31t3"),
+    pytest.param(BCHCode(7, 6), id="bch127t6"),
+    pytest.param(ConcatenatedCode(ExtendedGolayCode(), RepetitionCode(3)),
+                 id="golay-rep3"),
+]
+
+
+@pytest.mark.parametrize("code", ALL_CODES)
+class TestBlockCodeContract:
+    def test_clean_roundtrip(self, code, rng):
+        message = rng.integers(0, 2, code.message_bits, dtype=np.uint8)
+        np.testing.assert_array_equal(code.decode(code.encode(message)), message)
+
+    def test_corrects_up_to_t_errors(self, code, rng):
+        for _ in range(25):
+            message = rng.integers(0, 2, code.message_bits, dtype=np.uint8)
+            codeword = code.encode(message)
+            weight = int(rng.integers(0, code.correctable_errors + 1))
+            positions = rng.choice(code.codeword_bits, size=weight, replace=False)
+            received = codeword.copy()
+            received[positions] ^= 1
+            np.testing.assert_array_equal(code.decode(received), message)
+
+    def test_codeword_length(self, code, rng):
+        message = rng.integers(0, 2, code.message_bits, dtype=np.uint8)
+        assert code.encode(message).size == code.codeword_bits
+
+    def test_rate_consistent(self, code, rng):
+        assert code.rate == pytest.approx(code.message_bits / code.codeword_bits)
+
+    def test_wrong_message_length_rejected(self, code, rng):
+        with pytest.raises(ConfigurationError):
+            code.encode(np.zeros(code.message_bits + 1, dtype=np.uint8))
+
+    def test_wrong_received_length_rejected(self, code, rng):
+        with pytest.raises(ConfigurationError):
+            code.decode(np.zeros(code.codeword_bits + 1, dtype=np.uint8))
+
+    def test_block_interface(self, code, rng):
+        messages = rng.integers(0, 2, (3, code.message_bits), dtype=np.uint8)
+        codewords = code.encode_blocks(messages)
+        np.testing.assert_array_equal(code.decode_blocks(codewords), messages)
+
+    def test_linearity_zero_message(self, code, rng):
+        """The all-zero message maps to the all-zero codeword."""
+        zeros = np.zeros(code.message_bits, dtype=np.uint8)
+        np.testing.assert_array_equal(
+            code.encode(zeros), np.zeros(code.codeword_bits, dtype=np.uint8)
+        )
+
+
+class TestRepetitionSpecifics:
+    def test_even_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RepetitionCode(4)
+
+    def test_majority_vote(self):
+        code = RepetitionCode(5)
+        assert code.decode(np.array([1, 1, 1, 0, 0], dtype=np.uint8))[0] == 1
+        assert code.decode(np.array([0, 0, 1, 1, 0], dtype=np.uint8))[0] == 0
+
+
+class TestGolaySpecifics:
+    def test_parameters(self):
+        code = ExtendedGolayCode()
+        assert (code.codeword_bits, code.message_bits, code.correctable_errors) == (
+            24, 12, 3,
+        )
+
+    def test_minimum_distance_is_8(self, rng):
+        """Random nonzero codewords all have weight >= 8 (d=8 code)."""
+        code = ExtendedGolayCode()
+        for _ in range(300):
+            message = rng.integers(0, 2, 12, dtype=np.uint8)
+            if not message.any():
+                continue
+            assert code.encode(message).sum() >= 8
+
+    def test_weight_four_detected_not_miscorrected(self, rng):
+        """Weight-4 errors lie exactly between codewords: must raise."""
+        code = ExtendedGolayCode()
+        failures = 0
+        for _ in range(50):
+            message = rng.integers(0, 2, 12, dtype=np.uint8)
+            codeword = code.encode(message)
+            positions = rng.choice(24, size=4, replace=False)
+            received = codeword.copy()
+            received[positions] ^= 1
+            try:
+                decoded = code.decode(received)
+                # If decoding *did* return, it must differ from message
+                # by construction (the word is distance 4 from both).
+                assert not np.array_equal(decoded, message) or True
+            except DecodingFailure:
+                failures += 1
+        assert failures == 50
+
+
+class TestBCHSpecifics:
+    def test_bch_15_7_parameters(self):
+        code = BCHCode(4, 2)
+        assert (code.codeword_bits, code.message_bits) == (15, 7)
+
+    def test_bch_31_parameters(self):
+        assert BCHCode(5, 2).message_bits == 21
+
+    def test_uncorrectable_raises_or_differs(self, rng):
+        """Beyond-t patterns never silently return the sent message
+        while claiming success on a detectably bad word."""
+        code = BCHCode(4, 2)
+        raised = 0
+        for _ in range(100):
+            message = rng.integers(0, 2, code.message_bits, dtype=np.uint8)
+            codeword = code.encode(message)
+            positions = rng.choice(code.codeword_bits, size=5, replace=False)
+            received = codeword.copy()
+            received[positions] ^= 1
+            try:
+                code.decode(received)
+            except DecodingFailure:
+                raised += 1
+        assert raised > 0  # at least some weight-5 patterns are detected
+
+    def test_excessive_t_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BCHCode(3, 4)  # would leave no message bits
+
+
+class TestConcatenatedSpecifics:
+    def test_dimensions(self):
+        code = ConcatenatedCode(ExtendedGolayCode(), RepetitionCode(5))
+        assert code.codeword_bits == 120
+        assert code.message_bits == 12
+
+    def test_guaranteed_radius(self):
+        code = ConcatenatedCode(ExtendedGolayCode(), RepetitionCode(5))
+        assert code.correctable_errors == (3 + 1) * (2 + 1) - 1
+
+    def test_survives_high_random_ber(self, rng):
+        """15 % i.i.d. errors: far above the paper's worst-case WCHD."""
+        code = ConcatenatedCode(ExtendedGolayCode(), RepetitionCode(7))
+        successes = 0
+        for _ in range(50):
+            message = rng.integers(0, 2, 12, dtype=np.uint8)
+            codeword = code.encode(message)
+            noise = (rng.random(code.codeword_bits) < 0.15).astype(np.uint8)
+            try:
+                if np.array_equal(code.decode(codeword ^ noise), message):
+                    successes += 1
+            except DecodingFailure:
+                pass
+        assert successes >= 48
+
+    def test_non_repetition_inner_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConcatenatedCode(ExtendedGolayCode(), HammingCode(3))

@@ -1,0 +1,84 @@
+"""Tests for GF(2^m) arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.keygen.ecc.gf2m import GF2m, PRIMITIVE_POLYNOMIALS
+
+
+@pytest.fixture(scope="module")
+def gf16() -> GF2m:
+    return GF2m(4)
+
+
+class TestFieldStructure:
+    @pytest.mark.parametrize("m", sorted(PRIMITIVE_POLYNOMIALS))
+    def test_exp_log_roundtrip(self, m):
+        field = GF2m(m)
+        for power in range(field.order):
+            assert field.log(field.exp(power)) == power
+
+    def test_exp_is_periodic(self, gf16):
+        assert gf16.exp(0) == gf16.exp(15) == 1
+
+    def test_multiplicative_identity(self, gf16):
+        for element in range(1, 16):
+            assert gf16.multiply(element, 1) == element
+
+    def test_zero_annihilates(self, gf16):
+        for element in range(16):
+            assert gf16.multiply(element, 0) == 0
+
+    def test_inverse(self, gf16):
+        for element in range(1, 16):
+            assert gf16.multiply(element, gf16.inverse(element)) == 1
+
+    def test_inverse_of_zero_rejected(self, gf16):
+        with pytest.raises(ConfigurationError):
+            gf16.inverse(0)
+
+    def test_log_of_zero_rejected(self, gf16):
+        with pytest.raises(ConfigurationError):
+            gf16.log(0)
+
+    def test_multiplication_commutative(self, gf16):
+        for a in range(16):
+            for b in range(16):
+                assert gf16.multiply(a, b) == gf16.multiply(b, a)
+
+    def test_power(self, gf16):
+        alpha = gf16.exp(1)
+        assert gf16.power(alpha, 3) == gf16.exp(3)
+        assert gf16.power(alpha, -1) == gf16.inverse(alpha)
+
+    def test_out_of_field_rejected(self, gf16):
+        with pytest.raises(ConfigurationError):
+            gf16.multiply(16, 1)
+
+    def test_unsupported_degree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GF2m(11)
+
+
+class TestPolynomials:
+    def test_poly_eval_constant(self, gf16):
+        assert gf16.poly_eval([7], 3) == 7
+
+    def test_poly_eval_linear(self, gf16):
+        # p(x) = 1 + x evaluated at alpha.
+        alpha = gf16.exp(1)
+        assert gf16.poly_eval([1, 1], alpha) == (1 ^ alpha)
+
+    def test_minimal_polynomial_of_one(self, gf16):
+        """alpha^0 = 1 has minimal polynomial x + 1 (0b11)."""
+        assert gf16.minimal_polynomial(0) == 0b11
+
+    def test_minimal_polynomial_of_alpha_is_primitive_poly(self, gf16):
+        assert gf16.minimal_polynomial(1) == PRIMITIVE_POLYNOMIALS[4]
+
+    def test_minimal_polynomial_annihilates_conjugates(self, gf16):
+        """m(x) of alpha^3 must vanish at alpha^3, alpha^6, alpha^12, alpha^9."""
+        mask = gf16.minimal_polynomial(3)
+        coefficients = [(mask >> i) & 1 for i in range(mask.bit_length())]
+        for exponent in (3, 6, 12, 9):
+            assert gf16.poly_eval(coefficients, gf16.exp(exponent)) == 0

@@ -1,0 +1,100 @@
+"""Tests for the code-offset fuzzy extractor."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ReconstructionFailure
+from repro.io.bitutil import random_bits
+from repro.keygen.ecc import ExtendedGolayCode, RepetitionCode, ConcatenatedCode
+from repro.keygen.helper_data import CodeOffsetSketch, HelperData
+
+
+@pytest.fixture
+def sketch() -> CodeOffsetSketch:
+    return CodeOffsetSketch(ExtendedGolayCode())
+
+
+class TestEnrollReconstruct:
+    def test_clean_roundtrip(self, sketch, rng):
+        response = random_bits(240, random_state=rng)
+        secret, helper = sketch.enroll(response, secret_bits=64, random_state=1)
+        recovered = sketch.reconstruct(response, helper, secret_bits=64)
+        np.testing.assert_array_equal(recovered, secret)
+
+    def test_noisy_roundtrip_within_radius(self, sketch, rng):
+        response = random_bits(240, random_state=rng)
+        secret, helper = sketch.enroll(response, secret_bits=64, random_state=2)
+        noisy = response.copy()
+        # Up to 3 errors per 24-bit block: flip 2 bits in each block.
+        for block in range(6):
+            noisy[block * 24] ^= 1
+            noisy[block * 24 + 7] ^= 1
+        recovered = sketch.reconstruct(noisy, helper, secret_bits=64)
+        np.testing.assert_array_equal(recovered, secret)
+
+    def test_excessive_noise_fails_loudly(self, sketch, rng):
+        response = random_bits(240, random_state=rng)
+        secret, helper = sketch.enroll(response, secret_bits=64, random_state=3)
+        hostile = response ^ random_bits(240, random_state=rng)  # ~50 % errors
+        with pytest.raises(ReconstructionFailure):
+            sketch.reconstruct(hostile, helper, secret_bits=64)
+
+    def test_wrong_device_fails(self, sketch, rng):
+        enroll_response = random_bits(240, random_state=rng)
+        other_device = random_bits(240, random_state=rng)
+        secret, helper = sketch.enroll(enroll_response, secret_bits=64, random_state=4)
+        try:
+            recovered = sketch.reconstruct(other_device, helper, secret_bits=64)
+            assert not np.array_equal(recovered, secret)
+        except ReconstructionFailure:
+            pass  # also acceptable: detected as uncorrectable
+
+    def test_secret_is_uniform_not_response(self, sketch, rng):
+        """The enrolled secret is random, not derived from the response."""
+        response = np.ones(240, dtype=np.uint8)
+        secret, _ = sketch.enroll(response, secret_bits=64, random_state=5)
+        assert 10 < secret.sum() < 54  # not degenerate
+
+
+class TestSizing:
+    def test_response_bits_needed(self, sketch):
+        # 64 secret bits / 12 per block -> 6 blocks x 24 bits.
+        assert sketch.response_bits_needed(64) == 144
+
+    def test_concatenated_sizing(self):
+        sketch = CodeOffsetSketch(
+            ConcatenatedCode(ExtendedGolayCode(), RepetitionCode(5))
+        )
+        assert sketch.response_bits_needed(12) == 120
+
+    def test_short_response_rejected(self, sketch):
+        with pytest.raises(ConfigurationError):
+            sketch.enroll(random_bits(100), secret_bits=64)
+
+    def test_short_reconstruction_response_rejected(self, sketch, rng):
+        response = random_bits(240, random_state=rng)
+        _, helper = sketch.enroll(response, secret_bits=64)
+        with pytest.raises(ConfigurationError):
+            sketch.reconstruct(response[:100], helper, secret_bits=64)
+
+
+class TestHelperData:
+    def test_code_mismatch_rejected(self, sketch, rng):
+        response = random_bits(240, random_state=rng)
+        _, helper = sketch.enroll(response, secret_bits=64)
+        other = CodeOffsetSketch(RepetitionCode(3))
+        with pytest.raises(ConfigurationError):
+            other.reconstruct(response, helper, secret_bits=64)
+
+    def test_helper_validation(self):
+        with pytest.raises(ConfigurationError):
+            HelperData(offset=np.zeros(10, dtype=np.uint8), blocks=3, code_name="x")
+
+    def test_helper_does_not_reveal_secret_trivially(self, sketch, rng):
+        """Helper XOR response recovers the codeword, not the secret
+        directly; two enrollments of the same response differ."""
+        response = random_bits(240, random_state=rng)
+        secret_a, helper_a = sketch.enroll(response, 64, random_state=10)
+        secret_b, helper_b = sketch.enroll(response, 64, random_state=11)
+        assert not np.array_equal(helper_a.offset, helper_b.offset)
+        assert not np.array_equal(secret_a, secret_b)

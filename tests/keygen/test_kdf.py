@@ -1,0 +1,56 @@
+"""Tests for the hash-based key derivation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.io.bitutil import random_bits
+from repro.keygen.kdf import derive_key
+
+
+class TestDeriveKey:
+    def test_deterministic(self):
+        secret = random_bits(128, random_state=1)
+        np.testing.assert_array_equal(derive_key(secret), derive_key(secret))
+
+    def test_key_length(self):
+        secret = random_bits(128, random_state=2)
+        assert derive_key(secret, key_bits=256).size == 256
+        assert derive_key(secret, key_bits=100).size == 100
+        assert derive_key(secret, key_bits=1000).size == 1000
+
+    def test_different_secrets_different_keys(self):
+        a = derive_key(random_bits(128, random_state=3))
+        b = derive_key(random_bits(128, random_state=4))
+        assert not np.array_equal(a, b)
+
+    def test_single_bit_flip_avalanches(self):
+        secret = random_bits(128, random_state=5)
+        flipped = secret.copy()
+        flipped[0] ^= 1
+        distance = (derive_key(secret) != derive_key(flipped)).mean()
+        assert 0.3 < distance < 0.7
+
+    def test_context_separation(self):
+        secret = random_bits(128, random_state=6)
+        a = derive_key(secret, context="device-a")
+        b = derive_key(secret, context="device-b")
+        assert not np.array_equal(a, b)
+
+    def test_length_prefix_prevents_padding_collision(self):
+        """A 7-bit secret and its 8-bit zero-padded form differ."""
+        short = np.array([1, 0, 1, 0, 1, 0, 1], dtype=np.uint8)
+        padded = np.concatenate([short, [0]]).astype(np.uint8)
+        assert not np.array_equal(derive_key(short), derive_key(padded))
+
+    def test_output_roughly_balanced(self):
+        key = derive_key(random_bits(128, random_state=7), key_bits=4096)
+        assert 0.45 < key.mean() < 0.55
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_key(np.array([], dtype=np.uint8))
+
+    def test_bad_key_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_key(random_bits(8), key_bits=0)

@@ -1,0 +1,99 @@
+"""Tests for end-to-end SRAM PUF key generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.keygen.ecc import ConcatenatedCode, ExtendedGolayCode, RepetitionCode
+from repro.keygen.keygen import SRAMKeyGenerator, default_code
+from repro.sram.chip import SRAMChip
+
+
+@pytest.fixture
+def generator(chip) -> SRAMKeyGenerator:
+    return SRAMKeyGenerator(chip, key_bits=256, secret_bits=96)
+
+
+class TestEnrollment:
+    def test_enroll_returns_key_and_record(self, generator):
+        key, record = generator.enroll(random_state=1)
+        assert key.size == 256
+        assert record.key_bits == 256
+        assert record.debias_pairs is not None
+
+    def test_fresh_reconstruction_matches(self, generator):
+        key, record = generator.enroll(random_state=2)
+        np.testing.assert_array_equal(generator.reconstruct(record), key)
+
+    def test_reconstruction_after_two_years(self, chip):
+        generator = SRAMKeyGenerator(chip, key_bits=128, secret_bits=48)
+        key, record = generator.enroll(random_state=3)
+        chip.age_months(24.0, steps=12)
+        assert generator.reconstruction_succeeds(record, key)
+
+    def test_repeated_reconstructions_stable(self, generator):
+        key, record = generator.enroll(random_state=4)
+        for _ in range(5):
+            np.testing.assert_array_equal(generator.reconstruct(record), key)
+
+    def test_wrong_device_does_not_reproduce_key(self, generator, seeds):
+        key, record = generator.enroll(random_state=5)
+        impostor_chip = SRAMChip(1, random_state=seeds)
+        impostor = SRAMKeyGenerator(impostor_chip, key_bits=256, secret_bits=96)
+        assert not impostor.reconstruction_succeeds(record, key)
+
+
+class TestConfiguration:
+    def test_default_code_shape(self):
+        code = default_code()
+        assert code.codeword_bits == 120
+        assert code.message_bits == 12
+
+    def test_without_debiasing(self, chip):
+        generator = SRAMKeyGenerator(chip, debias=False, secret_bits=48)
+        key, record = generator.enroll(random_state=6)
+        assert record.debias_pairs is None
+        np.testing.assert_array_equal(generator.reconstruct(record), key)
+
+    def test_debias_mode_mismatch_rejected(self, chip):
+        with_debias = SRAMKeyGenerator(chip, secret_bits=48)
+        without = SRAMKeyGenerator(chip, debias=False, secret_bits=48)
+        key, record = with_debias.enroll(random_state=7)
+        with pytest.raises(ConfigurationError):
+            without.reconstruct(record)
+
+    def test_oversized_secret_rejected(self, small_chip):
+        generator = SRAMKeyGenerator(small_chip, secret_bits=4096)
+        with pytest.raises(ConfigurationError, match="usable bits"):
+            generator.enroll()
+
+    def test_custom_code(self, chip):
+        code = ConcatenatedCode(ExtendedGolayCode(), RepetitionCode(3))
+        generator = SRAMKeyGenerator(chip, code=code, secret_bits=48)
+        key, record = generator.enroll(random_state=8)
+        np.testing.assert_array_equal(generator.reconstruct(record), key)
+
+    def test_invalid_sizes_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            SRAMKeyGenerator(chip, key_bits=0)
+
+
+class TestAudit:
+    def test_safe_configuration_audits_safe(self, chip):
+        generator = SRAMKeyGenerator(chip, key_bits=128, secret_bits=128)
+        budget = generator.audit()
+        assert budget.is_safe
+        assert budget.response_bias == pytest.approx(0.627, abs=0.03)
+
+    def test_overclaimed_key_audits_unsafe(self, chip):
+        """The audit flags deriving more key bits than the sketch's
+        residual entropy supports."""
+        generator = SRAMKeyGenerator(chip, key_bits=256, secret_bits=96)
+        assert not generator.audit().is_safe
+
+    def test_audit_counts_debiasing(self, chip):
+        debiased = SRAMKeyGenerator(chip, key_bits=96, secret_bits=96).audit()
+        raw = SRAMKeyGenerator(
+            chip, debias=False, key_bits=96, secret_bits=96
+        ).audit()
+        assert raw.residual_entropy_bits < debiased.residual_entropy_bits

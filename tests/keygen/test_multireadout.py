@@ -1,0 +1,70 @@
+"""Tests for temporal majority voting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.keygen.multireadout import VotedReadout, majority_vote, voted_error_rate
+
+
+class TestMajorityVote:
+    def test_basic(self):
+        block = np.array([[1, 0, 1], [1, 1, 0], [0, 0, 1]], dtype=np.uint8)
+        np.testing.assert_array_equal(majority_vote(block), [1, 0, 1])
+
+    def test_single_vote_is_identity(self):
+        row = np.array([[1, 0, 1]], dtype=np.uint8)
+        np.testing.assert_array_equal(majority_vote(row), [1, 0, 1])
+
+    def test_even_votes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            majority_vote(np.zeros((4, 8), dtype=np.uint8))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            majority_vote(np.zeros(8, dtype=np.uint8))
+
+
+class TestVotedErrorRate:
+    def test_exact_binomial(self):
+        # P[Bin(3, 0.1) >= 2] = 3 * 0.01 * 0.9 + 0.001 = 0.028
+        assert voted_error_rate(0.1, 3) == pytest.approx(0.028)
+
+    def test_three_votes_on_paper_error_rate(self):
+        """3 % per-read error becomes ~0.26 % with 3 votes."""
+        assert voted_error_rate(0.03, 3) == pytest.approx(0.0026, abs=2e-4)
+
+    def test_more_votes_fewer_errors(self):
+        rates = [voted_error_rate(0.05, votes) for votes in (1, 3, 5, 7)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_single_vote_is_raw_rate(self):
+        assert voted_error_rate(0.07, 1) == pytest.approx(0.07)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            voted_error_rate(1.5, 3)
+        with pytest.raises(ConfigurationError):
+            voted_error_rate(0.1, 2)
+
+
+class TestVotedReadout:
+    def test_read_shape(self, chip):
+        reader = VotedReadout(chip, votes=3)
+        assert reader.read().shape == (8192,)
+        assert chip.power_up_count == 3
+
+    def test_voting_reduces_reference_distance(self, chip):
+        reference = chip.read_startup()
+        raw_errors = np.mean(
+            [(chip.read_startup() != reference).mean() for _ in range(10)]
+        )
+        voted = VotedReadout(chip, votes=5)
+        voted_errors = np.mean(
+            [(voted.read() != reference).mean() for _ in range(10)]
+        )
+        assert voted_errors < raw_errors
+
+    def test_even_votes_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            VotedReadout(chip, votes=4)

@@ -1,0 +1,108 @@
+"""Tests for polar codes (the paper's reference [13] ingredient)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.keygen.ecc.polar import PolarCode, bhattacharyya_parameters
+
+
+class TestConstruction:
+    def test_parameter_count(self):
+        assert bhattacharyya_parameters(4, 0.1).size == 16
+
+    def test_last_channel_is_best(self):
+        """u_{N-1} (all-plus splits) is always the most reliable."""
+        z = bhattacharyya_parameters(6, 0.1)
+        assert z[-1] == z.min()
+
+    def test_first_channel_is_worst(self):
+        z = bhattacharyya_parameters(6, 0.1)
+        assert z[0] == z.max()
+
+    def test_recursive_structure(self):
+        """Z_N = [Z over degraded split, Z over upgraded split]."""
+        z0 = 2.0 * np.sqrt(0.1 * 0.9)
+        z2 = bhattacharyya_parameters(1, 0.1)
+        assert z2[0] == pytest.approx(2 * z0 - z0**2)
+        assert z2[1] == pytest.approx(z0**2)
+
+    def test_polarization(self):
+        """At large N most channels are near-perfect or near-useless."""
+        z = bhattacharyya_parameters(10, 0.05)
+        extreme = ((z < 0.01) | (z > 0.99)).mean()
+        assert extreme > 0.6
+
+    def test_invalid_design_p_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bhattacharyya_parameters(4, 0.5)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PolarCode(4, 16)  # k = N not allowed
+        with pytest.raises(ConfigurationError):
+            PolarCode(4, 0)
+
+
+class TestEncodeDecode:
+    @pytest.fixture
+    def code(self) -> PolarCode:
+        return PolarCode(n_levels=7, message_bits=64, design_p=0.05)
+
+    def test_clean_roundtrip(self, code, rng):
+        for _ in range(10):
+            message = rng.integers(0, 2, 64, dtype=np.uint8)
+            np.testing.assert_array_equal(code.decode(code.encode(message)), message)
+
+    def test_zero_message_maps_to_zero(self, code):
+        zeros = np.zeros(64, dtype=np.uint8)
+        np.testing.assert_array_equal(code.encode(zeros), np.zeros(128, dtype=np.uint8))
+
+    def test_linearity(self, code, rng):
+        a = rng.integers(0, 2, 64, dtype=np.uint8)
+        b = rng.integers(0, 2, 64, dtype=np.uint8)
+        np.testing.assert_array_equal(
+            code.encode(a) ^ code.encode(b), code.encode(a ^ b)
+        )
+
+    def test_corrects_low_noise_reliably(self, code, rng):
+        failures = 0
+        for _ in range(50):
+            message = rng.integers(0, 2, 64, dtype=np.uint8)
+            codeword = code.encode(message)
+            noise = (rng.random(128) < 0.01).astype(np.uint8)
+            failures += not np.array_equal(code.decode(codeword ^ noise), message)
+        assert failures <= 2
+
+    def test_frozen_mask_counts(self, code):
+        assert int(code.frozen_mask.sum()) == 128 - 64
+
+    def test_no_guaranteed_radius(self, code):
+        assert code.correctable_errors == 0
+
+
+class TestPufRegime:
+    def test_globecom17_design_point(self):
+        """(1024, 128) at 15 % BER — the regime of the paper's [13] —
+        decodes without failure in a modest Monte-Carlo run."""
+        code = PolarCode(n_levels=10, message_bits=128, design_p=0.15)
+        assert code.bhattacharyya_bound() < 1e-3
+        assert code.failure_rate_estimate(0.15, trials=30, random_state=1) == 0.0
+
+    def test_rate_vs_reliability_tradeoff(self):
+        """More message bits -> worse Bhattacharyya bound."""
+        low_rate = PolarCode(8, 32, design_p=0.1).bhattacharyya_bound()
+        high_rate = PolarCode(8, 128, design_p=0.1).bhattacharyya_bound()
+        assert high_rate > low_rate
+
+    def test_code_offset_integration(self, rng):
+        """Polar codes slot into the fuzzy extractor unchanged."""
+        from repro.keygen.helper_data import CodeOffsetSketch
+
+        code = PolarCode(n_levels=8, message_bits=32, design_p=0.05)
+        sketch = CodeOffsetSketch(code)
+        response = rng.integers(0, 2, 256, dtype=np.uint8)
+        secret, helper = sketch.enroll(response, secret_bits=32, random_state=2)
+        noisy = response ^ (rng.random(256) < 0.02).astype(np.uint8)
+        recovered = sketch.reconstruct(noisy, helper, secret_bits=32)
+        np.testing.assert_array_equal(recovered, secret)

@@ -1,0 +1,117 @@
+"""Tests for first-order Reed–Muller codes."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, DecodingFailure
+from repro.keygen.ecc.reedmuller import ReedMullerCode, fast_walsh_hadamard
+
+
+class TestFWHT:
+    def test_constant_input(self):
+        spectrum = fast_walsh_hadamard(np.ones(8))
+        assert spectrum[0] == pytest.approx(8.0)
+        np.testing.assert_allclose(spectrum[1:], 0.0)
+
+    def test_parseval(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=64)
+        spectrum = fast_walsh_hadamard(values)
+        assert np.sum(spectrum**2) == pytest.approx(64 * np.sum(values**2))
+
+    def test_involution_up_to_scale(self):
+        rng = np.random.default_rng(1)
+        values = rng.normal(size=16)
+        twice = fast_walsh_hadamard(fast_walsh_hadamard(values))
+        np.testing.assert_allclose(twice, 16 * values)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fast_walsh_hadamard(np.ones(6))
+
+
+class TestReedMuller:
+    def test_parameters(self):
+        code = ReedMullerCode(5)
+        assert code.codeword_bits == 32
+        assert code.message_bits == 6
+        assert code.correctable_errors == 7
+
+    def test_clean_roundtrip(self, rng):
+        code = ReedMullerCode(6)
+        for _ in range(20):
+            message = rng.integers(0, 2, 7, dtype=np.uint8)
+            np.testing.assert_array_equal(code.decode(code.encode(message)), message)
+
+    def test_minimum_distance(self, rng):
+        """Every nonzero codeword of RM(1, m) has weight 2^(m-1) (or
+        2^m for the all-ones codeword)."""
+        code = ReedMullerCode(5)
+        for _ in range(50):
+            message = rng.integers(0, 2, 6, dtype=np.uint8)
+            if not message.any():
+                continue
+            weight = int(code.encode(message).sum())
+            assert weight in (16, 32)
+
+    def test_corrects_guaranteed_radius(self, rng):
+        code = ReedMullerCode(6)  # [64, 7], t = 15
+        for _ in range(25):
+            message = rng.integers(0, 2, 7, dtype=np.uint8)
+            codeword = code.encode(message)
+            positions = rng.choice(64, size=15, replace=False)
+            received = codeword.copy()
+            received[positions] ^= 1
+            np.testing.assert_array_equal(code.decode(received), message)
+
+    def test_ml_corrects_beyond_radius_on_random_errors(self, rng):
+        """The Hadamard decoder is ML: 20 random errors in 64 bits
+        (beyond the guaranteed 15) still usually decode."""
+        code = ReedMullerCode(6)
+        successes = 0
+        for _ in range(30):
+            message = rng.integers(0, 2, 7, dtype=np.uint8)
+            codeword = code.encode(message)
+            positions = rng.choice(64, size=20, replace=False)
+            received = codeword.copy()
+            received[positions] ^= 1
+            try:
+                successes += np.array_equal(code.decode(received), message)
+            except DecodingFailure:
+                pass
+        assert successes >= 20
+
+    def test_equidistant_word_refused(self):
+        """A half-distance error (weight 2^(m-2) toward another
+        codeword in a structured pattern) can tie; ties must raise,
+        never silently pick.  Construct a word exactly between the
+        all-zero codeword and the x1 codeword."""
+        code = ReedMullerCode(4)  # [16, 5, 8]
+        x1_codeword = code.encode(np.array([0, 1, 0, 0, 0], dtype=np.uint8))
+        halfway = x1_codeword.copy()
+        ones = np.flatnonzero(halfway)
+        halfway[ones[: ones.size // 2]] = 0  # 4 of 8 ones removed
+        with pytest.raises(DecodingFailure):
+            code.decode(halfway)
+
+    def test_linearity(self, rng):
+        code = ReedMullerCode(5)
+        a = rng.integers(0, 2, 6, dtype=np.uint8)
+        b = rng.integers(0, 2, 6, dtype=np.uint8)
+        np.testing.assert_array_equal(
+            code.encode(a) ^ code.encode(b), code.encode(a ^ b)
+        )
+
+    def test_small_m_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReedMullerCode(1)
+
+    def test_puf_pipeline_integration(self, chip):
+        """RM(1, 6) slots into the key generator."""
+        from repro.keygen.keygen import SRAMKeyGenerator
+
+        generator = SRAMKeyGenerator(
+            chip, code=ReedMullerCode(6), key_bits=128, secret_bits=49
+        )
+        key, record = generator.enroll(random_state=2)
+        assert generator.reconstruction_succeeds(record, key)

@@ -1,0 +1,93 @@
+"""Tests for min-entropy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.entropy import (
+    average_min_entropy,
+    min_entropy_bits,
+    noise_min_entropy,
+    noise_min_entropy_from_counts,
+    puf_min_entropy,
+)
+
+
+class TestMinEntropyBits:
+    def test_fair_source_gives_one_bit(self):
+        assert min_entropy_bits(np.array([0.5]))[0] == pytest.approx(1.0)
+
+    def test_deterministic_source_gives_zero(self):
+        np.testing.assert_allclose(min_entropy_bits(np.array([0.0, 1.0])), [0.0, 0.0])
+
+    def test_symmetry(self):
+        assert min_entropy_bits(np.array([0.3]))[0] == pytest.approx(
+            min_entropy_bits(np.array([0.7]))[0]
+        )
+
+    def test_paper_bias_value(self):
+        """A 62.7 % one-probability yields -log2(0.627) = 0.6735 bits."""
+        assert min_entropy_bits(np.array([0.627]))[0] == pytest.approx(0.6735, abs=1e-4)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            min_entropy_bits(np.array([1.2]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            min_entropy_bits(np.array([]))
+
+    def test_average(self):
+        assert average_min_entropy(np.array([0.5, 1.0])) == pytest.approx(0.5)
+
+
+class TestPufEntropy:
+    def test_identical_devices_give_zero(self):
+        readouts = [np.ones(16, dtype=np.uint8)] * 4
+        assert puf_min_entropy(readouts) == 0.0
+
+    def test_uniform_devices_approach_one(self):
+        rng = np.random.default_rng(2)
+        readouts = [rng.integers(0, 2, 8192, dtype=np.uint8) for _ in range(16)]
+        assert puf_min_entropy(readouts) > 0.6
+
+    def test_alternating_devices(self):
+        a = np.array([0, 1], dtype=np.uint8)
+        b = np.array([1, 0], dtype=np.uint8)
+        assert puf_min_entropy([a, b]) == pytest.approx(1.0)
+
+    def test_single_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            puf_min_entropy([np.zeros(8, dtype=np.uint8)])
+
+
+class TestNoiseEntropy:
+    def test_stable_block_gives_zero(self):
+        block = np.tile(np.array([1, 0, 1], dtype=np.uint8), (10, 1))
+        assert noise_min_entropy(block) == 0.0
+
+    def test_noisy_block_positive(self):
+        rng = np.random.default_rng(3)
+        block = rng.integers(0, 2, (100, 64), dtype=np.uint8)
+        assert noise_min_entropy(block) > 0.5
+
+    def test_counts_equivalence(self):
+        rng = np.random.default_rng(4)
+        block = rng.integers(0, 2, (50, 32), dtype=np.uint8)
+        direct = noise_min_entropy(block)
+        from_counts = noise_min_entropy_from_counts(
+            block.sum(axis=0, dtype=np.int64), 50
+        )
+        assert from_counts == pytest.approx(direct)
+
+    def test_single_measurement_rejected(self):
+        with pytest.raises(ConfigurationError):
+            noise_min_entropy(np.zeros((1, 8), dtype=np.uint8))
+
+    def test_1d_rejected(self):
+        with pytest.raises(ConfigurationError):
+            noise_min_entropy(np.zeros(8, dtype=np.uint8))
+
+    def test_counts_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            noise_min_entropy_from_counts(np.array([5]), 4)

@@ -1,0 +1,119 @@
+"""Tests for Hamming distance/weight metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.hamming import (
+    between_class_hd,
+    fractional_hamming_distance,
+    fractional_hamming_weight,
+    fractional_hamming_weight_from_counts,
+    hamming_distance,
+    within_class_hd,
+    within_class_hd_from_counts,
+)
+
+
+class TestHammingDistance:
+    def test_identical_vectors(self):
+        assert hamming_distance([1, 0, 1], [1, 0, 1]) == 0
+
+    def test_complement(self):
+        assert hamming_distance([1, 0, 1], [0, 1, 0]) == 3
+
+    def test_fractional(self):
+        assert fractional_hamming_distance([1, 1, 0, 0], [1, 0, 0, 0]) == 0.25
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hamming_distance([1, 0], [1, 0, 1])
+
+    def test_empty_fhd_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fractional_hamming_distance([], [])
+
+
+class TestHammingWeight:
+    def test_vector(self):
+        assert fractional_hamming_weight([1, 1, 0, 0]) == 0.5
+
+    def test_matrix_averages_all_entries(self):
+        matrix = np.array([[1, 1], [0, 0]], dtype=np.uint8)
+        assert fractional_hamming_weight(matrix) == 0.5
+
+    def test_from_counts(self):
+        counts = np.array([10, 0, 5])
+        assert fractional_hamming_weight_from_counts(counts, 10) == pytest.approx(0.5)
+
+    def test_from_counts_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fractional_hamming_weight_from_counts(np.array([11]), 10)
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fractional_hamming_weight([0, 2])
+
+
+class TestWithinClassHD:
+    def test_block_mean(self):
+        reference = np.array([1, 1, 0, 0], dtype=np.uint8)
+        block = np.array([[1, 1, 0, 0], [0, 1, 0, 0]], dtype=np.uint8)
+        assert within_class_hd(block, reference) == pytest.approx(0.125)
+
+    def test_single_vector_accepted(self):
+        assert within_class_hd([1, 0], [0, 0]) == pytest.approx(0.5)
+
+    def test_counts_equivalence(self):
+        """Counts formulation equals the full-block formulation."""
+        rng = np.random.default_rng(0)
+        reference = rng.integers(0, 2, 64, dtype=np.uint8)
+        block = rng.integers(0, 2, (20, 64), dtype=np.uint8)
+        full = within_class_hd(block, reference)
+        counts = within_class_hd_from_counts(
+            block.sum(axis=0, dtype=np.int64), 20, reference
+        )
+        assert counts == pytest.approx(full)
+
+    def test_counts_all_agree_is_zero(self):
+        reference = np.array([1, 0, 1], dtype=np.uint8)
+        counts = np.array([10, 0, 10])
+        assert within_class_hd_from_counts(counts, 10, reference) == 0.0
+
+    def test_counts_all_disagree_is_one(self):
+        reference = np.array([1, 0], dtype=np.uint8)
+        counts = np.array([0, 10])
+        assert within_class_hd_from_counts(counts, 10, reference) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            within_class_hd_from_counts(np.array([1, 2]), 10, [1, 0, 1])
+
+
+class TestBetweenClassHD:
+    def test_pair_count(self):
+        readouts = [np.zeros(8, dtype=np.uint8) for _ in range(5)]
+        assert between_class_hd(readouts).size == 10  # C(5,2)
+
+    def test_identical_devices_give_zero(self):
+        readouts = [np.ones(8, dtype=np.uint8)] * 3
+        np.testing.assert_array_equal(between_class_hd(readouts), [0, 0, 0])
+
+    def test_complementary_devices_give_one(self):
+        a = np.zeros(8, dtype=np.uint8)
+        b = np.ones(8, dtype=np.uint8)
+        np.testing.assert_array_equal(between_class_hd([a, b]), [1.0])
+
+    def test_random_devices_near_half(self):
+        rng = np.random.default_rng(1)
+        readouts = [rng.integers(0, 2, 4096, dtype=np.uint8) for _ in range(6)]
+        values = between_class_hd(readouts)
+        assert np.all(np.abs(values - 0.5) < 0.05)
+
+    def test_single_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            between_class_hd([np.zeros(8, dtype=np.uint8)])
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            between_class_hd([np.zeros(8, dtype=np.uint8), np.zeros(4, dtype=np.uint8)])

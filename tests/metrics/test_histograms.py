@@ -1,0 +1,43 @@
+"""Tests for histogram summaries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.histograms import fractional_histogram
+
+
+class TestFractionalHistogram:
+    def test_percentages_sum_to_100(self):
+        summary = fractional_histogram(np.linspace(0, 1, 500), bins=20)
+        assert summary.percentages.sum() == pytest.approx(100.0)
+
+    def test_bin_count(self):
+        summary = fractional_histogram([0.5], bins=10)
+        assert summary.percentages.size == 10
+        assert summary.bin_edges.size == 11
+
+    def test_mode_center(self):
+        values = np.concatenate([np.full(90, 0.45), np.full(10, 0.9)])
+        summary = fractional_histogram(values, bins=10)
+        assert summary.mode_center() == pytest.approx(0.45)
+
+    def test_mass_between(self):
+        values = np.array([0.1, 0.1, 0.1, 0.9])
+        summary = fractional_histogram(values, bins=10)
+        assert summary.mass_between(0.0, 0.2) == pytest.approx(75.0)
+
+    def test_sample_count(self):
+        assert fractional_histogram([0.2, 0.3]).sample_count == 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fractional_histogram([1.5])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fractional_histogram([])
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fractional_histogram([0.5], bins=0)

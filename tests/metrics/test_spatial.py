@@ -1,0 +1,107 @@
+"""Tests for spatial / cross-device bit statistics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.spatial import (
+    aliasing_extremes,
+    autocorrelation,
+    bit_aliasing,
+    neighbourhood_correlation,
+    uniformity,
+)
+
+
+class TestBitAliasing:
+    def test_identical_devices_fully_aliased(self):
+        pattern = np.array([1, 0, 1, 1], dtype=np.uint8)
+        aliasing = bit_aliasing([pattern, pattern, pattern])
+        np.testing.assert_allclose(aliasing, pattern.astype(float))
+
+    def test_random_devices_near_half(self):
+        rng = np.random.default_rng(1)
+        readouts = [rng.integers(0, 2, 4096, dtype=np.uint8) for _ in range(32)]
+        aliasing = bit_aliasing(readouts)
+        assert abs(aliasing.mean() - 0.5) < 0.02
+
+    def test_single_device_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bit_aliasing([np.zeros(8, dtype=np.uint8)])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bit_aliasing([np.zeros(8, dtype=np.uint8), np.zeros(4, dtype=np.uint8)])
+
+    def test_simulated_fleet_reflects_bias(self, seeds):
+        """The ATmega fleet aliases toward 1 on average (62.7 % bias)."""
+        from repro.sram.chip import SRAMChip
+
+        readouts = [SRAMChip(i, random_state=seeds).read_startup() for i in range(6)]
+        aliasing = bit_aliasing(readouts)
+        assert 0.58 < aliasing.mean() < 0.68
+
+
+class TestAliasingExtremes:
+    def test_identical_devices_are_all_extreme(self):
+        pattern = np.array([1, 0, 1, 1], dtype=np.uint8)
+        assert aliasing_extremes([pattern] * 12) == 1.0
+
+    def test_random_devices_mostly_not_extreme(self):
+        rng = np.random.default_rng(2)
+        readouts = [rng.integers(0, 2, 2048, dtype=np.uint8) for _ in range(32)]
+        assert aliasing_extremes(readouts) < 0.1
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aliasing_extremes([np.zeros(8, dtype=np.uint8)] * 2, threshold=0.6)
+
+
+class TestUniformity:
+    def test_matches_fhw(self):
+        assert uniformity([1, 1, 0, 0]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniformity([])
+
+
+class TestAutocorrelation:
+    def test_random_response_uncorrelated(self):
+        rng = np.random.default_rng(3)
+        response = rng.integers(0, 2, 16384, dtype=np.uint8)
+        lags = autocorrelation(response, max_lag=32)
+        assert np.abs(lags).max() < 0.05
+
+    def test_periodic_response_detected(self):
+        response = np.tile([1, 0], 4096).astype(np.uint8)
+        lags = autocorrelation(response, max_lag=4)
+        assert lags[0] == pytest.approx(-1.0, abs=0.01)  # lag 1 anti-correlated
+        assert lags[1] == pytest.approx(1.0, abs=0.01)  # lag 2 correlated
+
+    def test_constant_response_rejected(self):
+        with pytest.raises(ConfigurationError):
+            autocorrelation(np.ones(256, dtype=np.uint8))
+
+    def test_simulated_chip_uncorrelated(self, chip):
+        lags = autocorrelation(chip.read_startup(), max_lag=16)
+        assert np.abs(lags).max() < 0.05
+
+
+class TestNeighbourhoodCorrelation:
+    def test_random_image_uncorrelated(self):
+        rng = np.random.default_rng(4)
+        response = rng.integers(0, 2, 8192, dtype=np.uint8)
+        result = neighbourhood_correlation(response, width=128)
+        assert abs(result["horizontal"]) < 0.05
+        assert abs(result["vertical"]) < 0.05
+
+    def test_striped_image_vertically_correlated(self):
+        image = np.tile(np.arange(64) % 2, (16, 1)).astype(np.uint8)
+        result = neighbourhood_correlation(image.ravel(), width=64)
+        assert result["vertical"] == pytest.approx(1.0)
+        assert result["horizontal"] == pytest.approx(-1.0)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            neighbourhood_correlation(np.zeros(10, dtype=np.uint8), width=3)

@@ -1,0 +1,62 @@
+"""Tests for cell-stability metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.stability import (
+    one_probabilities_from_counts,
+    stable_cell_mask,
+    stable_cell_ratio,
+    stable_cell_ratio_from_counts,
+)
+
+
+class TestOneProbabilities:
+    def test_basic(self):
+        probs = one_probabilities_from_counts(np.array([0, 5, 10]), 10)
+        np.testing.assert_allclose(probs, [0.0, 0.5, 1.0])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            one_probabilities_from_counts(np.array([11]), 10)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            one_probabilities_from_counts(np.array([]), 10)
+
+
+class TestStableCellMask:
+    def test_definition(self):
+        """Stable means one-probability exactly 0 or 1 over the block."""
+        mask = stable_cell_mask(np.array([0, 1, 999, 1000]), 1000)
+        np.testing.assert_array_equal(mask, [True, False, False, True])
+
+    def test_ratio_from_counts(self):
+        ratio = stable_cell_ratio_from_counts(np.array([0, 10, 5, 10]), 10)
+        assert ratio == pytest.approx(0.75)
+
+    def test_ratio_from_block(self):
+        block = np.array(
+            [[0, 1, 0], [0, 1, 1], [0, 1, 0]], dtype=np.uint8
+        )
+        assert stable_cell_ratio(block) == pytest.approx(2 / 3)
+
+    def test_block_and_counts_agree(self):
+        rng = np.random.default_rng(5)
+        block = (rng.random((200, 64)) < 0.95).astype(np.uint8)
+        from_block = stable_cell_ratio(block)
+        from_counts = stable_cell_ratio_from_counts(
+            block.sum(axis=0, dtype=np.int64), 200
+        )
+        assert from_block == from_counts
+
+    def test_single_measurement_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stable_cell_ratio(np.zeros((1, 4), dtype=np.uint8))
+
+    def test_more_measurements_find_more_instability(self, chip):
+        """Stability is protocol-relative: longer blocks catch rarer flips."""
+        short = stable_cell_ratio_from_counts(chip.read_window_ones_counts(50), 50)
+        long = stable_cell_ratio_from_counts(chip.read_window_ones_counts(5000), 5000)
+        assert long < short

@@ -1,0 +1,100 @@
+"""Tests for Table I aggregation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.summary import (
+    MetricSummary,
+    QualityReport,
+    WorstDirection,
+    geometric_monthly_change,
+    relative_change,
+)
+
+
+class TestGeometricMonthlyChange:
+    def test_reproduces_paper_wchd_rate(self):
+        """2.49 % -> 2.97 % over 24 months must print +0.74 %/month."""
+        assert geometric_monthly_change(0.0249, 0.0297, 24) == pytest.approx(
+            0.0074, abs=5e-5
+        )
+
+    def test_reproduces_paper_stable_cell_rate(self):
+        assert geometric_monthly_change(0.859, 0.837, 24) == pytest.approx(
+            -0.0011, abs=5e-5
+        )
+
+    def test_reproduces_accelerated_rate(self):
+        assert geometric_monthly_change(0.053, 0.072, 24) == pytest.approx(
+            0.0128, abs=5e-5
+        )
+
+    def test_no_change_is_zero(self):
+        assert geometric_monthly_change(0.5, 0.5, 24) == 0.0
+
+    def test_nonpositive_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            geometric_monthly_change(0.0, 0.1, 24)
+
+    def test_zero_months_rejected(self):
+        with pytest.raises(ConfigurationError):
+            geometric_monthly_change(0.1, 0.2, 0)
+
+
+class TestRelativeChange:
+    def test_basic(self):
+        assert relative_change(0.0249, 0.0297) == pytest.approx(0.193, abs=1e-3)
+
+    def test_zero_start_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_change(0.0, 0.1)
+
+
+class TestMetricSummary:
+    def test_from_device_values_highest(self):
+        summary = MetricSummary.from_device_values(
+            "WCHD", [0.02, 0.03], [0.025, 0.04], 24, WorstDirection.HIGHEST
+        )
+        assert summary.start_avg == pytest.approx(0.025)
+        assert summary.start_worst == pytest.approx(0.03)
+        assert summary.end_worst == pytest.approx(0.04)
+
+    def test_from_device_values_lowest(self):
+        summary = MetricSummary.from_device_values(
+            "Noise entropy", [0.03, 0.02], [0.04, 0.035], 24, WorstDirection.LOWEST
+        )
+        assert summary.start_worst == pytest.approx(0.02)
+        assert summary.end_worst == pytest.approx(0.035)
+
+    def test_negligible_change_reported_as_none(self):
+        summary = MetricSummary("HW", 24, 0.627, 0.62701, 0.65, 0.65)
+        assert summary.relative_change_avg is None
+        assert summary.monthly_change_avg is None
+
+    def test_significant_change_reported(self):
+        summary = MetricSummary("WCHD", 24, 0.0249, 0.0297, 0.0272, 0.0325)
+        assert summary.relative_change_avg == pytest.approx(0.193, abs=1e-3)
+        assert summary.monthly_change_avg == pytest.approx(0.0074, abs=5e-5)
+
+    def test_empty_device_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricSummary.from_device_values("x", [], [], 24, WorstDirection.HIGHEST)
+
+    def test_format_rows_renders_both_lines(self):
+        summary = MetricSummary("WCHD", 24, 0.0249, 0.0297, 0.0272, 0.0325)
+        rows = summary.format_rows()
+        assert len(rows) == 2
+        assert "AVG." in rows[0] and "WC." in rows[1]
+
+
+class TestQualityReport:
+    def test_lookup_and_render(self):
+        summary = MetricSummary("WCHD", 24, 0.0249, 0.0297, 0.0272, 0.0325)
+        report = QualityReport(24, {"WCHD": summary})
+        assert report["WCHD"] is summary
+        assert "WCHD" in report.render()
+
+    def test_missing_metric_raises_keyerror(self):
+        report = QualityReport(24, {})
+        with pytest.raises(KeyError):
+            report["WCHD"]

@@ -1,0 +1,74 @@
+"""Tests for stress-test acceleration factors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.acceleration import (
+    AccelerationModel,
+    arrhenius_factor,
+    voltage_factor,
+)
+from repro.physics.constants import celsius_to_kelvin
+
+
+class TestArrhenius:
+    def test_same_temperature_is_unity(self):
+        assert arrhenius_factor(300.0, 300.0, 0.5) == pytest.approx(1.0)
+
+    def test_hotter_stress_accelerates(self):
+        factor = arrhenius_factor(
+            celsius_to_kelvin(25), celsius_to_kelvin(85), 0.5
+        )
+        assert factor > 10.0
+
+    def test_zero_activation_energy_is_unity(self):
+        assert arrhenius_factor(300.0, 400.0, 0.0) == pytest.approx(1.0)
+
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(ConfigurationError):
+            arrhenius_factor(-1.0, 300.0, 0.5)
+
+
+class TestVoltageFactor:
+    def test_same_voltage_is_unity(self):
+        assert voltage_factor(1.2, 1.2, 3.0) == pytest.approx(1.0)
+
+    def test_cubic_exponent(self):
+        assert voltage_factor(1.0, 2.0, 3.0) == pytest.approx(8.0)
+
+    def test_invalid_voltage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            voltage_factor(0.0, 1.0, 3.0)
+
+
+class TestAccelerationModel:
+    @pytest.fixture
+    def model(self) -> AccelerationModel:
+        return AccelerationModel(
+            use_temperature_k=celsius_to_kelvin(25),
+            use_voltage_v=1.2,
+            stress_temperature_k=celsius_to_kelvin(85),
+            stress_voltage_v=1.44,
+            activation_energy_ev=0.5,
+            voltage_exponent=3.0,
+        )
+
+    def test_overall_combines_both_factors(self, model):
+        expected = model.temperature_factor * (1.44 / 1.2) ** 3
+        assert model.overall_factor == pytest.approx(expected)
+
+    def test_equivalent_field_time_exceeds_stress_time(self, model):
+        assert model.equivalent_field_seconds(3600.0, 0.35) > 3600.0
+
+    def test_time_acceleration_uses_inverse_exponent(self, model):
+        factor = model.overall_factor
+        equivalent = model.equivalent_field_seconds(100.0, 0.5)
+        assert equivalent == pytest.approx(100.0 * factor**2)
+
+    def test_negative_stress_time_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.equivalent_field_seconds(-1.0, 0.35)
+
+    def test_bad_exponent_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.equivalent_field_seconds(1.0, 0.0)

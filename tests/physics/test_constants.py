@@ -1,0 +1,40 @@
+"""Tests for physical constants and unit helpers."""
+
+import pytest
+
+from repro.physics.constants import (
+    CELSIUS_OFFSET,
+    HOURS_PER_MONTH,
+    ROOM_TEMPERATURE_K,
+    SECONDS_PER_MONTH,
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+)
+
+
+class TestTemperatureConversion:
+    def test_celsius_to_kelvin_at_zero(self):
+        assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+    def test_kelvin_to_celsius_roundtrip(self):
+        assert kelvin_to_celsius(celsius_to_kelvin(85.0)) == pytest.approx(85.0)
+
+    def test_room_temperature_is_25c(self):
+        assert kelvin_to_celsius(ROOM_TEMPERATURE_K) == pytest.approx(25.0)
+
+    def test_negative_celsius(self):
+        assert celsius_to_kelvin(-40.0) == pytest.approx(233.15)
+
+
+class TestMonthConstants:
+    def test_seconds_per_month_consistent_with_hours(self):
+        assert SECONDS_PER_MONTH == pytest.approx(HOURS_PER_MONTH * 3600.0)
+
+    def test_month_is_about_30_44_days(self):
+        assert SECONDS_PER_MONTH / 86400.0 == pytest.approx(30.44, abs=0.01)
+
+    def test_twelve_months_is_a_gregorian_year(self):
+        assert 12 * SECONDS_PER_MONTH == pytest.approx(365.2425 * 86400.0)
+
+    def test_celsius_offset_value(self):
+        assert CELSIUS_OFFSET == pytest.approx(273.15)

@@ -1,0 +1,123 @@
+"""Tests for the BTI aging law."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.constants import ROOM_TEMPERATURE_K, SECONDS_PER_MONTH
+from repro.physics.nbti import BTIModel, BTIStress
+
+
+@pytest.fixture
+def model() -> BTIModel:
+    return BTIModel(amplitude_v=0.003, time_exponent=0.35)
+
+
+@pytest.fixture
+def nominal() -> BTIStress:
+    return BTIStress(temperature_k=ROOM_TEMPERATURE_K, voltage_v=5.0, duty=1.0)
+
+
+class TestBTIStress:
+    def test_duty_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BTIStress(300.0, 5.0, duty=1.5)
+
+    def test_nonpositive_temperature_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BTIStress(0.0, 5.0)
+
+    def test_nonpositive_voltage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BTIStress(300.0, -5.0)
+
+
+class TestConditionFactor:
+    def test_unity_at_reference(self, model, nominal):
+        assert model.condition_factor(nominal) == pytest.approx(1.0)
+
+    def test_higher_temperature_accelerates(self, model, nominal):
+        hot = BTIStress(nominal.temperature_k + 60.0, nominal.voltage_v)
+        assert model.condition_factor(hot) > 1.0
+
+    def test_higher_voltage_accelerates(self, model, nominal):
+        overvolt = BTIStress(nominal.temperature_k, nominal.voltage_v * 1.2)
+        assert model.condition_factor(overvolt) == pytest.approx(1.2**3, rel=1e-6)
+
+    def test_partial_duty_decelerates(self, model, nominal):
+        partial = BTIStress(nominal.temperature_k, nominal.voltage_v, duty=0.5)
+        assert model.condition_factor(partial) == pytest.approx(0.5**0.35, rel=1e-6)
+
+
+class TestDrift:
+    def test_one_month_at_reference_gives_amplitude(self, model, nominal):
+        assert model.drift_v(SECONDS_PER_MONTH, nominal) == pytest.approx(0.003)
+
+    def test_power_law_time_dependence(self, model, nominal):
+        four_months = model.drift_v(4 * SECONDS_PER_MONTH, nominal)
+        one_month = model.drift_v(SECONDS_PER_MONTH, nominal)
+        assert four_months / one_month == pytest.approx(4**0.35, rel=1e-9)
+
+    def test_zero_time_gives_zero_drift(self, model, nominal):
+        assert model.drift_v(0.0, nominal) == 0.0
+
+    def test_drift_monotone_in_time(self, model, nominal):
+        times = [0.1e6, 0.5e6, 2e6, 9e6]
+        drifts = [model.drift_v(t, nominal) for t in times]
+        assert drifts == sorted(drifts)
+
+    def test_negative_time_rejected(self, model, nominal):
+        with pytest.raises(ConfigurationError):
+            model.drift_v(-1.0, nominal)
+
+
+class TestIncrementalDrift:
+    def test_increments_sum_to_total(self, model, nominal):
+        total = model.drift_v(3 * SECONDS_PER_MONTH, nominal)
+        split = model.drift_increment_v(
+            0, SECONDS_PER_MONTH, nominal
+        ) + model.drift_increment_v(SECONDS_PER_MONTH, 3 * SECONDS_PER_MONTH, nominal)
+        assert split == pytest.approx(total)
+
+    def test_early_increment_larger_than_late(self, model, nominal):
+        early = model.drift_increment_v(0, SECONDS_PER_MONTH, nominal)
+        late = model.drift_increment_v(
+            23 * SECONDS_PER_MONTH, 24 * SECONDS_PER_MONTH, nominal
+        )
+        assert early > late
+
+    def test_reversed_interval_rejected(self, model, nominal):
+        with pytest.raises(ConfigurationError):
+            model.drift_increment_v(10.0, 5.0, nominal)
+
+
+class TestEquivalentAge:
+    def test_reference_condition_is_identity(self, model, nominal):
+        assert model.equivalent_age_seconds(1000.0, nominal) == pytest.approx(1000.0)
+
+    def test_acceleration_compresses_time(self, model, nominal):
+        hot = BTIStress(ROOM_TEMPERATURE_K + 60.0, 5.0)
+        equivalent = model.equivalent_age_seconds(3600.0, hot)
+        assert equivalent > 3600.0
+
+    def test_consistent_with_drift(self, model, nominal):
+        """Stress drift equals nominal drift over the equivalent age."""
+        hot = BTIStress(ROOM_TEMPERATURE_K + 40.0, 5.5)
+        stress_seconds = 7200.0
+        equivalent = model.equivalent_age_seconds(stress_seconds, hot)
+        assert model.drift_v(stress_seconds, hot) == pytest.approx(
+            model.drift_v(equivalent, nominal), rel=1e-9
+        )
+
+
+class TestValidation:
+    def test_bad_exponent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BTIModel(amplitude_v=0.001, time_exponent=0.0)
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BTIModel(amplitude_v=-0.001)
+
+    def test_negative_activation_energy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BTIModel(amplitude_v=0.001, activation_energy_ev=-0.5)

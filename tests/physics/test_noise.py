@@ -1,0 +1,41 @@
+"""Tests for the electrical noise model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.noise import NoiseModel
+
+
+class TestNoiseModel:
+    def test_sigma_at_reference_unchanged(self):
+        model = NoiseModel(sigma_v=0.025, reference_temperature_k=298.15)
+        assert model.sigma_at(298.15) == pytest.approx(0.025)
+
+    def test_sigma_scales_with_sqrt_temperature(self):
+        model = NoiseModel(sigma_v=0.025, reference_temperature_k=300.0)
+        assert model.sigma_at(1200.0) == pytest.approx(0.05)
+
+    def test_sample_statistics(self):
+        model = NoiseModel(sigma_v=0.03)
+        samples = model.sample(100_000, random_state=3)
+        assert np.mean(samples) == pytest.approx(0.0, abs=5e-4)
+        assert np.std(samples) == pytest.approx(0.03, rel=0.02)
+
+    def test_sample_shape(self):
+        model = NoiseModel(sigma_v=0.01)
+        assert model.sample((4, 8), random_state=1).shape == (4, 8)
+
+    def test_sample_at_temperature_uses_scaled_sigma(self):
+        model = NoiseModel(sigma_v=0.02, reference_temperature_k=300.0)
+        hot = model.sample(100_000, temperature_k=1200.0, random_state=5)
+        assert np.std(hot) == pytest.approx(0.04, rel=0.02)
+
+    def test_nonpositive_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NoiseModel(sigma_v=0.0)
+
+    def test_nonpositive_temperature_rejected(self):
+        model = NoiseModel(sigma_v=0.02)
+        with pytest.raises(ConfigurationError):
+            model.sigma_at(-10.0)

@@ -1,0 +1,59 @@
+"""Tests for the Pelgrom process-variation model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.process import MismatchSpec, PelgromModel
+
+
+class TestMismatchSpec:
+    def test_sigma_follows_pelgrom_law(self):
+        spec = MismatchSpec(avt_mv_um=10.0, width_um=4.0, length_um=1.0)
+        assert spec.sigma_vth_mv == pytest.approx(10.0 / 2.0)
+
+    def test_gate_area(self):
+        spec = MismatchSpec(avt_mv_um=5.0, width_um=2.0, length_um=3.0)
+        assert spec.gate_area_um2 == pytest.approx(6.0)
+
+    def test_sigma_in_volts(self):
+        spec = MismatchSpec(avt_mv_um=8.0, width_um=1.0, length_um=1.0)
+        assert spec.sigma_vth_v == pytest.approx(8e-3)
+
+    def test_smaller_area_means_more_mismatch(self):
+        big = MismatchSpec(avt_mv_um=10.0, width_um=4.0, length_um=4.0)
+        small = MismatchSpec(avt_mv_um=10.0, width_um=1.0, length_um=1.0)
+        assert small.sigma_vth_mv > big.sigma_vth_mv
+
+    @pytest.mark.parametrize("avt,w,l", [(-1, 1, 1), (0, 1, 1), (1, 0, 1), (1, 1, -2)])
+    def test_invalid_parameters_rejected(self, avt, w, l):
+        with pytest.raises(ConfigurationError):
+            MismatchSpec(avt_mv_um=avt, width_um=w, length_um=l)
+
+
+class TestPelgromModel:
+    def test_draws_match_spec_sigma(self):
+        spec = MismatchSpec(avt_mv_um=15.0, width_um=1.0, length_um=1.0)
+        offsets = PelgromModel(spec).draw_offsets(50_000, random_state=1)
+        assert np.std(offsets) == pytest.approx(spec.sigma_vth_v, rel=0.02)
+
+    def test_draws_centered_on_systematic_offset(self):
+        spec = MismatchSpec(avt_mv_um=15.0, width_um=1.0, length_um=1.0)
+        model = PelgromModel(spec, systematic_offset_v=0.05)
+        offsets = model.draw_offsets(50_000, random_state=2)
+        assert np.mean(offsets) == pytest.approx(0.05, abs=0.001)
+
+    def test_reproducible_with_same_seed(self):
+        spec = MismatchSpec(avt_mv_um=10.0, width_um=1.0, length_um=1.0)
+        a = PelgromModel(spec).draw_offsets(100, random_state=7)
+        b = PelgromModel(spec).draw_offsets(100, random_state=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_count_allowed(self):
+        spec = MismatchSpec(avt_mv_um=10.0, width_um=1.0, length_um=1.0)
+        assert PelgromModel(spec).draw_offsets(0).size == 0
+
+    def test_negative_count_rejected(self):
+        spec = MismatchSpec(avt_mv_um=10.0, width_um=1.0, length_um=1.0)
+        with pytest.raises(ConfigurationError):
+            PelgromModel(spec).draw_offsets(-1)

@@ -1,0 +1,40 @@
+"""Tests for the transistor threshold model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.transistor import Transistor, TransistorType
+
+
+class TestTransistor:
+    def test_effective_threshold_sums_components(self):
+        device = Transistor(TransistorType.PMOS, 0.7, vth_offset_v=0.01)
+        device.apply_drift(0.005)
+        assert device.vth_v == pytest.approx(0.715)
+
+    def test_drift_accumulates(self):
+        device = Transistor(TransistorType.NMOS, 0.5)
+        device.apply_drift(0.002)
+        device.apply_drift(0.003)
+        assert device.vth_drift_v == pytest.approx(0.005)
+
+    def test_recovery_clamped_at_zero(self):
+        device = Transistor(TransistorType.PMOS, 0.7)
+        device.apply_drift(0.002)
+        device.apply_drift(-0.010)
+        assert device.vth_drift_v == 0.0
+
+    def test_negative_nominal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Transistor(TransistorType.PMOS, -0.7)
+
+    def test_negative_initial_drift_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Transistor(TransistorType.PMOS, 0.7, vth_drift_v=-0.001)
+
+    def test_negative_offset_allowed(self):
+        device = Transistor(TransistorType.NMOS, 0.5, vth_offset_v=-0.02)
+        assert device.vth_v == pytest.approx(0.48)
+
+    def test_repr_mentions_polarity(self):
+        assert "pmos" in repr(Transistor(TransistorType.PMOS, 0.7))

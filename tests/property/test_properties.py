@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.bitutil import bits_from_hex, bits_to_hex, pack_bits, unpack_bits
+from repro.keygen.debias import von_neumann_debias
+from repro.keygen.ecc import BCHCode, ExtendedGolayCode, HammingCode, RepetitionCode
+from repro.keygen.ecc.gf2m import GF2m
+from repro.metrics.hamming import (
+    fractional_hamming_distance,
+    hamming_distance,
+    within_class_hd,
+    within_class_hd_from_counts,
+)
+from repro.metrics.entropy import min_entropy_bits
+
+
+bit_arrays = st.integers(1, 256).flatmap(
+    lambda n: st.lists(st.integers(0, 1), min_size=n, max_size=n)
+).map(lambda bits: np.array(bits, dtype=np.uint8))
+
+byte_aligned_bits = st.integers(1, 32).flatmap(
+    lambda n: st.lists(st.integers(0, 1), min_size=8 * n, max_size=8 * n)
+).map(lambda bits: np.array(bits, dtype=np.uint8))
+
+
+class TestBitPackingProperties:
+    @given(byte_aligned_bits)
+    def test_pack_unpack_roundtrip(self, bits):
+        np.testing.assert_array_equal(unpack_bits(pack_bits(bits)), bits)
+
+    @given(byte_aligned_bits)
+    def test_hex_roundtrip(self, bits):
+        np.testing.assert_array_equal(bits_from_hex(bits_to_hex(bits)), bits)
+
+    @given(byte_aligned_bits)
+    def test_packed_size(self, bits):
+        assert len(pack_bits(bits)) == bits.size // 8
+
+
+class TestHammingProperties:
+    @given(bit_arrays)
+    def test_distance_to_self_is_zero(self, bits):
+        assert hamming_distance(bits, bits) == 0
+
+    @given(bit_arrays)
+    def test_distance_to_complement_is_length(self, bits):
+        assert hamming_distance(bits, 1 - bits) == bits.size
+
+    @given(bit_arrays, st.randoms(use_true_random=False))
+    def test_symmetry(self, bits, rnd):
+        other = np.array([rnd.randint(0, 1) for _ in range(bits.size)], dtype=np.uint8)
+        assert hamming_distance(bits, other) == hamming_distance(other, bits)
+
+    @given(bit_arrays)
+    def test_fractional_distance_bounded(self, bits):
+        rng = np.random.default_rng(0)
+        other = rng.integers(0, 2, bits.size, dtype=np.uint8)
+        assert 0.0 <= fractional_hamming_distance(bits, other) <= 1.0
+
+    @given(st.integers(2, 50), st.integers(4, 64))
+    def test_wchd_counts_equals_blockwise(self, measurements, cells):
+        rng = np.random.default_rng(measurements * 1000 + cells)
+        block = rng.integers(0, 2, (measurements, cells), dtype=np.uint8)
+        reference = rng.integers(0, 2, cells, dtype=np.uint8)
+        direct = within_class_hd(block, reference)
+        counts = within_class_hd_from_counts(
+            block.sum(axis=0, dtype=np.int64), measurements, reference
+        )
+        assert abs(direct - counts) < 1e-12
+
+
+class TestEntropyProperties:
+    @given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=64))
+    def test_min_entropy_bounds(self, probabilities):
+        entropy = min_entropy_bits(np.array(probabilities))
+        assert np.all(entropy >= 0.0)
+        assert np.all(entropy <= 1.0 + 1e-12)
+
+    @given(st.floats(0.0, 1.0))
+    def test_min_entropy_symmetry(self, p):
+        a = min_entropy_bits(np.array([p]))[0]
+        b = min_entropy_bits(np.array([1.0 - p]))[0]
+        assert abs(a - b) < 1e-9
+
+
+class TestVonNeumannProperties:
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=512))
+    def test_output_never_longer_than_half(self, bits):
+        result = von_neumann_debias(np.array(bits, dtype=np.uint8))
+        assert result.bits.size <= len(bits) // 2
+
+    @given(st.lists(st.integers(0, 1), min_size=2, max_size=512))
+    def test_selected_pairs_are_discordant(self, bits):
+        vector = np.array(bits, dtype=np.uint8)
+        result = von_neumann_debias(vector)
+        pairs = vector[: vector.size - vector.size % 2].reshape(-1, 2)
+        for index in result.selected_pairs:
+            assert pairs[index, 0] != pairs[index, 1]
+
+
+class TestECCProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 1), min_size=12, max_size=12), st.data())
+    def test_golay_corrects_any_weight_3_pattern(self, message, data):
+        code = ExtendedGolayCode()
+        msg = np.array(message, dtype=np.uint8)
+        codeword = code.encode(msg)
+        positions = data.draw(
+            st.lists(st.integers(0, 23), min_size=0, max_size=3, unique=True)
+        )
+        received = codeword.copy()
+        received[positions] ^= 1
+        np.testing.assert_array_equal(code.decode(received), msg)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 1), min_size=7, max_size=7), st.data())
+    def test_bch_corrects_any_weight_2_pattern(self, message, data):
+        code = BCHCode(4, 2)
+        msg = np.array(message, dtype=np.uint8)
+        codeword = code.encode(msg)
+        positions = data.draw(
+            st.lists(st.integers(0, 14), min_size=0, max_size=2, unique=True)
+        )
+        received = codeword.copy()
+        received[positions] ^= 1
+        np.testing.assert_array_equal(code.decode(received), msg)
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 1), min_size=11, max_size=11),
+           st.integers(0, 14))
+    def test_hamming_corrects_any_single_error(self, message, position):
+        code = HammingCode(4)
+        msg = np.array(message, dtype=np.uint8)
+        received = code.encode(msg)
+        received[position] ^= 1
+        np.testing.assert_array_equal(code.decode(received), msg)
+
+    @settings(max_examples=20)
+    @given(st.integers(0, 1), st.integers(1, 3))
+    def test_repetition_majority_invariant(self, bit, flips):
+        code = RepetitionCode(7)
+        codeword = code.encode(np.array([bit], dtype=np.uint8))
+        codeword[:flips] ^= 1
+        assert code.decode(codeword)[0] == bit
+
+
+class TestGF2mProperties:
+    @settings(max_examples=50)
+    @given(st.integers(1, 15), st.integers(1, 15), st.integers(1, 15))
+    def test_multiplication_associative(self, a, b, c):
+        field = GF2m(4)
+        left = field.multiply(field.multiply(a, b), c)
+        right = field.multiply(a, field.multiply(b, c))
+        assert left == right
+
+    @settings(max_examples=50)
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15))
+    def test_distributive_over_xor(self, a, b, c):
+        """Multiplication distributes over field addition (XOR)."""
+        field = GF2m(4)
+        left = field.multiply(a, b ^ c)
+        right = field.multiply(a, b) ^ field.multiply(a, c)
+        assert left == right
+
+    @settings(max_examples=30)
+    @given(st.integers(1, 15))
+    def test_fermat_little_theorem(self, a):
+        """a^(2^m - 1) = 1 for every nonzero element."""
+        field = GF2m(4)
+        assert field.power(a, 15) == 1

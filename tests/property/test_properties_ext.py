@@ -1,0 +1,133 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.firmware import build_frame, parse_frame
+from repro.keygen.accounting import min_entropy_per_bit, von_neumann_retention
+from repro.keygen.ecc.polar import PolarCode, bhattacharyya_parameters
+from repro.metrics.summary import geometric_monthly_change
+from repro.trng.sp800_22_ext import berlekamp_massey_length, gf2_rank
+
+
+class TestFrameProperties:
+    @given(st.integers(0, 255), st.binary(max_size=256))
+    def test_frame_roundtrip(self, command, payload):
+        parsed_command, parsed_payload = parse_frame(build_frame(command, payload))
+        assert parsed_command == command
+        assert parsed_payload == payload
+
+    @given(st.integers(0, 255), st.binary(min_size=1, max_size=64),
+           st.data())
+    def test_single_bit_corruption_always_detected(self, command, payload, data):
+        frame = bytearray(build_frame(command, payload))
+        position = data.draw(st.integers(0, len(frame) - 1))
+        bit = data.draw(st.integers(0, 7))
+        frame[position] ^= 1 << bit
+        try:
+            parsed_command, parsed_payload = parse_frame(bytes(frame))
+        except Exception:
+            return  # detected — good
+        # A flip in the length field shifts the payload split and is
+        # caught by the length check; any other single flip breaks the
+        # XOR checksum.  Either way the original content must not be
+        # silently reproduced.
+        assert (parsed_command, parsed_payload) != (command, payload)
+
+
+class TestAccountingProperties:
+    @given(st.floats(0.01, 0.99))
+    def test_min_entropy_symmetric(self, bias):
+        assert abs(
+            min_entropy_per_bit(bias) - min_entropy_per_bit(1.0 - bias)
+        ) < 1e-12
+
+    @given(st.floats(0.0, 1.0))
+    def test_min_entropy_bounded(self, bias):
+        assert 0.0 <= min_entropy_per_bit(bias) <= 1.0 + 1e-12
+
+    @given(st.floats(0.0, 1.0))
+    def test_retention_bounded_by_quarter(self, bias):
+        assert 0.0 <= von_neumann_retention(bias) <= 0.25 + 1e-12
+
+    @given(st.floats(0.001, 0.5), st.floats(0.001, 0.5), st.integers(1, 120))
+    def test_geometric_rate_inverts(self, start, end, months):
+        rate = geometric_monthly_change(start, end, months)
+        assert start * (1.0 + rate) ** months == np.float64(start * (1 + rate) ** months)
+        assert abs(start * (1.0 + rate) ** months - end) < 1e-9
+
+
+class TestPolarProperties:
+    @given(st.integers(2, 8), st.floats(0.01, 0.49))
+    def test_bhattacharyya_values_in_unit_interval(self, levels, p):
+        z = bhattacharyya_parameters(levels, p)
+        assert np.all(z >= 0.0) and np.all(z <= 1.0 + 1e-12)
+
+    @given(st.integers(2, 8), st.floats(0.01, 0.49))
+    def test_bhattacharyya_conservation(self, levels, p):
+        """The polar transform preserves the z-sum bound: sum(z_N)
+        relates to N * z0 through the split identities (z- + z+ =
+        2z - z^2 + z^2 = 2z exactly for the BEC recursion)."""
+        z0 = 2.0 * np.sqrt(p * (1.0 - p))
+        z = bhattacharyya_parameters(levels, p)
+        assert z.sum() == np.float64(z.sum())
+        assert abs(z.sum() - (2**levels) * z0) < 1e-6
+
+    @settings(max_examples=10)
+    @given(st.integers(3, 6), st.data())
+    def test_clean_roundtrip_any_dimension(self, levels, data):
+        n = 1 << levels
+        k = data.draw(st.integers(1, n - 1))
+        code = PolarCode(levels, k, design_p=0.1)
+        message = np.array(
+            data.draw(st.lists(st.integers(0, 1), min_size=k, max_size=k)),
+            dtype=np.uint8,
+        )
+        np.testing.assert_array_equal(code.decode(code.encode(message)), message)
+
+
+class TestGF2Properties:
+    @settings(max_examples=30)
+    @given(st.integers(2, 12))
+    def test_rank_bounded(self, size):
+        rng = np.random.default_rng(size)
+        matrix = rng.integers(0, 2, (size, size), dtype=np.uint8)
+        assert 0 <= gf2_rank(matrix) <= size
+
+    @settings(max_examples=30)
+    @given(st.integers(2, 10))
+    def test_rank_invariant_under_row_swap(self, size):
+        rng = np.random.default_rng(size + 100)
+        matrix = rng.integers(0, 2, (size, size), dtype=np.uint8)
+        swapped = matrix.copy()
+        swapped[[0, size - 1]] = swapped[[size - 1, 0]]
+        assert gf2_rank(matrix) == gf2_rank(swapped)
+
+    @settings(max_examples=30)
+    @given(st.integers(2, 10))
+    def test_rank_invariant_under_row_addition(self, size):
+        rng = np.random.default_rng(size + 200)
+        matrix = rng.integers(0, 2, (size, size), dtype=np.uint8)
+        added = matrix.copy()
+        added[0] ^= added[1]
+        assert gf2_rank(matrix) == gf2_rank(added)
+
+
+class TestBerlekampMasseyProperties:
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=128))
+    def test_complexity_bounded_by_length(self, bits):
+        sequence = np.array(bits, dtype=np.uint8)
+        assert 0 <= berlekamp_massey_length(sequence) <= sequence.size
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(0, 1), min_size=4, max_size=64))
+    def test_complexity_monotone_in_prefix(self, bits):
+        """L(s[:n]) is non-decreasing in n."""
+        sequence = np.array(bits, dtype=np.uint8)
+        lengths = [
+            berlekamp_massey_length(sequence[:end])
+            for end in range(2, sequence.size + 1)
+        ]
+        assert lengths == sorted(lengths)

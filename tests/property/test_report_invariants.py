@@ -1,0 +1,80 @@
+"""Property-based invariants of the Table I report builder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.summary import (
+    MetricSummary,
+    WorstDirection,
+    geometric_monthly_change,
+    relative_change,
+)
+
+positive_values = st.floats(0.001, 0.999)
+device_arrays = st.integers(2, 16).flatmap(
+    lambda n: st.tuples(
+        st.lists(positive_values, min_size=n, max_size=n),
+        st.lists(positive_values, min_size=n, max_size=n),
+    )
+)
+
+
+class TestSummaryInvariants:
+    @settings(max_examples=50)
+    @given(device_arrays)
+    def test_highest_worst_bounds_average(self, values):
+        start, end = values
+        summary = MetricSummary.from_device_values(
+            "metric", start, end, 24, WorstDirection.HIGHEST
+        )
+        assert summary.start_worst >= summary.start_avg - 1e-12
+        assert summary.end_worst >= summary.end_avg - 1e-12
+
+    @settings(max_examples=50)
+    @given(device_arrays)
+    def test_lowest_worst_bounds_average(self, values):
+        start, end = values
+        summary = MetricSummary.from_device_values(
+            "metric", start, end, 24, WorstDirection.LOWEST
+        )
+        assert summary.start_worst <= summary.start_avg + 1e-12
+        assert summary.end_worst <= summary.end_avg + 1e-12
+
+    @settings(max_examples=50)
+    @given(device_arrays)
+    def test_worst_is_attained_by_some_device(self, values):
+        start, end = values
+        summary = MetricSummary.from_device_values(
+            "metric", start, end, 24, WorstDirection.HIGHEST
+        )
+        assert summary.start_worst == pytest.approx(max(start))
+        assert summary.end_worst == pytest.approx(max(end))
+
+    @settings(max_examples=50)
+    @given(positive_values, positive_values, st.integers(1, 240))
+    def test_changes_share_sign(self, start, end, months):
+        """Relative and geometric-monthly change always agree in sign."""
+        rel = relative_change(start, end)
+        monthly = geometric_monthly_change(start, end, months)
+        assert np.sign(rel) == np.sign(monthly)
+
+    @settings(max_examples=50)
+    @given(positive_values, positive_values)
+    def test_monthly_rate_magnitude_below_relative(self, start, end):
+        """Spreading a change over 24 months shrinks its per-month rate."""
+        rel = abs(relative_change(start, end))
+        monthly = abs(geometric_monthly_change(start, end, 24))
+        assert monthly <= rel + 1e-12
+
+    @settings(max_examples=50)
+    @given(device_arrays)
+    def test_format_rows_always_renders(self, values):
+        start, end = values
+        summary = MetricSummary.from_device_values(
+            "metric", start, end, 24, WorstDirection.HIGHEST
+        )
+        rows = summary.format_rows()
+        assert len(rows) == 2
+        assert all(isinstance(row, str) and row for row in rows)

@@ -1,0 +1,64 @@
+"""Tests for the alternative memory-PUF profiles (paper ref. [16])."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.hamming import fractional_hamming_weight
+from repro.rng import SeedHierarchy
+from repro.sram.chip import SRAMChip
+from repro.sram.profiles import ATMEGA32U4, BUSKEEPER_PUF, DFF_PUF
+
+
+def fleet_bias(profile, devices: int = 6) -> float:
+    seeds = SeedHierarchy(123)
+    values = []
+    for index in range(devices):
+        chip = SRAMChip(index, profile, random_state=seeds)
+        values.append(fractional_hamming_weight(chip.read_startup()))
+    return float(np.mean(values))
+
+
+class TestDFFProfile:
+    def test_strong_bias(self):
+        assert fleet_bias(DFF_PUF) == pytest.approx(0.75, abs=0.03)
+
+    def test_noisier_than_sram(self, seeds):
+        from repro.metrics.hamming import within_class_hd_from_counts
+
+        def wchd(profile):
+            chip = SRAMChip(0, profile, random_state=seeds)
+            reference = chip.read_startup()
+            counts = chip.read_window_ones_counts(500)
+            return within_class_hd_from_counts(counts, 500, reference)
+
+        assert wchd(DFF_PUF) > wchd(ATMEGA32U4)
+
+    def test_bias_at_debias_boundary(self):
+        """DFF PUFs sit right at the paper's 25/75 boundary."""
+        from repro.keygen.accounting import bias_within_boundary
+
+        assert bias_within_boundary(0.75)
+
+
+class TestBuskeeperProfile:
+    def test_near_unbiased(self):
+        assert fleet_bias(BUSKEEPER_PUF) == pytest.approx(0.52, abs=0.03)
+
+    def test_higher_noise_entropy_than_sram(self, seeds):
+        """Ref [16]'s selling point: buskeepers are a rich noise source."""
+        from repro.metrics.entropy import noise_min_entropy_from_counts
+
+        def entropy(profile):
+            chip = SRAMChip(0, profile, random_state=seeds)
+            counts = chip.read_window_ones_counts(1000)
+            return noise_min_entropy_from_counts(counts, 1000)
+
+        assert entropy(BUSKEEPER_PUF) > entropy(ATMEGA32U4)
+
+    def test_keygen_works_on_buskeeper(self, seeds):
+        from repro.keygen.keygen import SRAMKeyGenerator
+
+        chip = SRAMChip(0, BUSKEEPER_PUF, random_state=seeds)
+        generator = SRAMKeyGenerator(chip, key_bits=128, secret_bits=48)
+        key, record = generator.enroll(random_state=1)
+        assert generator.reconstruction_succeeds(record, key)

@@ -1,0 +1,121 @@
+"""Tests for the vectorized SRAM array."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram.array import SRAMArray
+from repro.sram.profiles import ATMEGA32U4
+
+
+@pytest.fixture
+def array() -> SRAMArray:
+    return SRAMArray(ATMEGA32U4, cell_count=4096, random_state=42)
+
+
+class TestConstruction:
+    def test_default_cell_count_is_full_sram(self):
+        assert SRAMArray(ATMEGA32U4, random_state=1).cell_count == 20480
+
+    def test_same_seed_same_device(self):
+        a = SRAMArray(ATMEGA32U4, cell_count=256, random_state=5)
+        b = SRAMArray(ATMEGA32U4, cell_count=256, random_state=5)
+        np.testing.assert_array_equal(a.skew_v, b.skew_v)
+
+    def test_different_seeds_different_devices(self):
+        a = SRAMArray(ATMEGA32U4, cell_count=256, random_state=5)
+        b = SRAMArray(ATMEGA32U4, cell_count=256, random_state=6)
+        assert not np.array_equal(a.skew_v, b.skew_v)
+
+    def test_skew_view_is_readonly(self, array):
+        with pytest.raises(ValueError):
+            array.skew_v[0] = 0.0
+
+    def test_invalid_cell_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SRAMArray(ATMEGA32U4, cell_count=0)
+
+
+class TestPowerUp:
+    def test_shape(self, array):
+        bits = array.power_up(5)
+        assert bits.shape == (5, 4096)
+        assert bits.dtype == np.uint8
+
+    def test_bias_matches_profile(self, array):
+        bits = array.power_up(20)
+        assert 0.55 < bits.mean() < 0.72  # ~62.7 % expected
+
+    def test_strongly_skewed_cells_reproducible(self, array):
+        probs = array.one_probabilities()
+        stable = (probs > 0.999999) | (probs < 0.000001)
+        first = array.power_up_once()
+        second = array.power_up_once()
+        np.testing.assert_array_equal(first[stable], second[stable])
+
+    def test_counter_advances(self, array):
+        array.power_up(3)
+        array.power_up_once()
+        assert array.power_up_count == 4
+
+    def test_invalid_count_rejected(self, array):
+        with pytest.raises(ConfigurationError):
+            array.power_up(0)
+
+
+class TestOneProbabilities:
+    def test_range(self, array):
+        probs = array.one_probabilities()
+        assert probs.min() >= 0.0 and probs.max() <= 1.0
+
+    def test_empirical_agreement(self, array):
+        probs = array.one_probabilities()
+        empirical = array.power_up(400).mean(axis=0)
+        # Cells with moderate probabilities should match closely.
+        moderate = (probs > 0.2) & (probs < 0.8)
+        if moderate.any():
+            np.testing.assert_allclose(
+                empirical[moderate], probs[moderate], atol=0.12
+            )
+
+    def test_hotter_measurement_flattens_probabilities(self, array):
+        cold = array.one_probabilities(temperature_k=250.0)
+        hot = array.one_probabilities(temperature_k=400.0)
+        # Higher noise pulls every probability toward 1/2.
+        distance_cold = np.abs(cold - 0.5)
+        distance_hot = np.abs(hot - 0.5)
+        assert (distance_hot <= distance_cold + 1e-12).all()
+
+
+class TestBinomialSampling:
+    def test_counts_in_range(self, array):
+        counts = array.sample_ones_counts(100)
+        assert counts.min() >= 0 and counts.max() <= 100
+
+    def test_mean_tracks_probabilities(self, array):
+        probs = array.one_probabilities()
+        counts = array.sample_ones_counts(1000)
+        np.testing.assert_allclose(counts.mean() / 1000, probs.mean(), atol=0.01)
+
+    def test_counter_counts_measurements(self, array):
+        array.sample_ones_counts(250)
+        assert array.power_up_count == 250
+
+    def test_invalid_measurements_rejected(self, array):
+        with pytest.raises(ConfigurationError):
+            array.sample_ones_counts(0)
+
+
+class TestAgeBookkeeping:
+    def test_age_advances(self, array):
+        array.age_by(3600.0)
+        assert array.age_seconds == pytest.approx(3600.0)
+
+    def test_age_cannot_decrease(self, array):
+        array.age_by(100.0)
+        with pytest.raises(ConfigurationError):
+            array._advance_age(50.0)
+
+    def test_skew_delta_shape_checked(self, array):
+        with pytest.raises(ConfigurationError):
+            array._apply_skew_delta(np.zeros(3))

@@ -1,0 +1,100 @@
+"""Tests for the single 6T cell model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.constants import ROOM_TEMPERATURE_K, SECONDS_PER_MONTH
+from repro.physics.nbti import BTIModel, BTIStress
+from repro.physics.noise import NoiseModel
+from repro.sram.cell import SixTransistorCell
+
+
+def make_cell(p1=0.0, p2=0.0, n1=0.0, n2=0.0, sigma=0.025) -> SixTransistorCell:
+    return SixTransistorCell(
+        p1_offset_v=p1, p2_offset_v=p2, n1_offset_v=n1, n2_offset_v=n2,
+        noise=NoiseModel(sigma_v=sigma),
+    )
+
+
+class TestSkew:
+    def test_symmetric_cell_has_zero_skew(self):
+        assert make_cell().skew_v == pytest.approx(0.0)
+
+    def test_weak_p1_prefers_zero(self):
+        """Higher Vth on P1 (Q-side pull-up) biases toward Q=0."""
+        cell = make_cell(p1=0.05)
+        assert cell.skew_v < 0
+        assert cell.one_probability() < 0.5
+
+    def test_weak_p2_prefers_one(self):
+        cell = make_cell(p2=0.05)
+        assert cell.skew_v > 0
+        assert cell.one_probability() > 0.5
+
+    def test_nmos_mismatch_has_reduced_weight(self):
+        pmos_cell = make_cell(p2=0.04)
+        nmos_cell = make_cell(n1=0.04)
+        assert 0 < nmos_cell.skew_v < pmos_cell.skew_v
+
+
+class TestPowerUp:
+    def test_strongly_skewed_cell_is_deterministic(self):
+        cell = make_cell(p2=0.5)  # 20 sigma of skew
+        rng = np.random.default_rng(0)
+        assert all(cell.power_up(random_state=rng) == 1 for _ in range(100))
+
+    def test_balanced_cell_is_random(self):
+        cell = make_cell()
+        rng = np.random.default_rng(1)
+        outcomes = [cell.power_up(random_state=rng) for _ in range(500)]
+        assert 0.4 < np.mean(outcomes) < 0.6
+
+    def test_power_up_counter(self):
+        cell = make_cell()
+        rng = np.random.default_rng(2)
+        for _ in range(7):
+            cell.power_up(random_state=rng)
+        assert cell.power_up_count == 7
+
+    def test_one_probability_matches_empirical(self):
+        cell = make_cell(p2=0.02)
+        rng = np.random.default_rng(3)
+        empirical = np.mean([cell.power_up(random_state=rng) for _ in range(5000)])
+        assert empirical == pytest.approx(cell.one_probability(), abs=0.02)
+
+
+class TestBTIStress:
+    @pytest.fixture
+    def aging(self):
+        model = BTIModel(amplitude_v=0.01, time_exponent=0.35,
+                         reference_voltage_v=5.0)
+        stress = BTIStress(ROOM_TEMPERATURE_K, 5.0, duty=1.0)
+        return model, stress
+
+    def test_storing_zero_stresses_p2_toward_balance(self, aging):
+        model, stress = aging
+        cell = make_cell(p1=0.05)  # prefers 0: skew < 0
+        before = cell.skew_v
+        cell.apply_bti_stress(0, 0.0, SECONDS_PER_MONTH, model, stress)
+        # Vth,P2 rises -> skew = (Vth,P2 - Vth,P1) grows -> toward 0.
+        assert cell.skew_v > before
+
+    def test_storing_one_stresses_p1_toward_balance(self, aging):
+        model, stress = aging
+        cell = make_cell(p2=0.05)  # prefers 1: skew > 0
+        before = cell.skew_v
+        cell.apply_bti_stress(1, 0.0, SECONDS_PER_MONTH, model, stress)
+        assert cell.skew_v < before
+
+    def test_stress_reduces_one_probability_margin(self, aging):
+        model, stress = aging
+        cell = make_cell(p2=0.05)
+        p_before = cell.one_probability()
+        cell.apply_bti_stress(1, 0.0, 6 * SECONDS_PER_MONTH, model, stress)
+        assert 0.5 < cell.one_probability() < p_before
+
+    def test_invalid_state_rejected(self, aging):
+        model, stress = aging
+        with pytest.raises(ConfigurationError):
+            make_cell().apply_bti_stress(2, 0.0, 1.0, model, stress)

@@ -1,0 +1,78 @@
+"""Tests for the SRAM chip wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedHierarchy
+from repro.sram.chip import SRAMChip
+from repro.sram.profiles import ATMEGA32U4
+
+
+class TestIdentity:
+    def test_same_hierarchy_same_chip(self):
+        a = SRAMChip(2, random_state=SeedHierarchy(11))
+        b = SRAMChip(2, random_state=SeedHierarchy(11))
+        np.testing.assert_array_equal(a.array.skew_v, b.array.skew_v)
+
+    def test_different_ids_are_independent_devices(self):
+        seeds = SeedHierarchy(11)
+        a = SRAMChip(0, random_state=seeds)
+        b = SRAMChip(1, random_state=seeds)
+        assert not np.array_equal(a.array.skew_v, b.array.skew_v)
+
+    def test_int_seed_accepted(self):
+        a = SRAMChip(0, random_state=5)
+        b = SRAMChip(0, random_state=5)
+        np.testing.assert_array_equal(a.array.skew_v, b.array.skew_v)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SRAMChip(-1)
+
+
+class TestReadStartup:
+    def test_single_read_is_1d(self, chip):
+        bits = chip.read_startup()
+        assert bits.shape == (ATMEGA32U4.read_bits,)
+
+    def test_multi_read_is_2d(self, chip):
+        bits = chip.read_startup(3)
+        assert bits.shape == (3, ATMEGA32U4.read_bits)
+
+    def test_reads_only_first_kilobyte(self, chip):
+        assert chip.read_startup().size == 8192
+        assert chip.array.cell_count == 20480
+
+    def test_power_up_counter(self, chip):
+        chip.read_startup(5)
+        assert chip.power_up_count == 5
+
+
+class TestWindowStatistics:
+    def test_ones_counts_window_size(self, chip):
+        counts = chip.read_window_ones_counts(50)
+        assert counts.shape == (8192,)
+        assert counts.max() <= 50
+
+    def test_window_probabilities(self, chip):
+        probs = chip.window_one_probabilities()
+        assert probs.shape == (8192,)
+        assert 0.55 < probs.mean() < 0.72
+
+
+class TestAging:
+    def test_age_months_advances(self, chip):
+        chip.age_months(3.0)
+        assert chip.age_seconds > 0
+
+    def test_aging_increases_reference_distance(self, chip):
+        reference = chip.read_startup()
+        counts_fresh = chip.read_window_ones_counts(500)
+        chip.age_months(24.0, steps=12)
+        counts_aged = chip.read_window_ones_counts(500)
+        from repro.metrics.hamming import within_class_hd_from_counts
+
+        fresh = within_class_hd_from_counts(counts_fresh, 500, reference)
+        aged = within_class_hd_from_counts(counts_aged, 500, reference)
+        assert aged > fresh

@@ -1,0 +1,95 @@
+"""Tests for aging data policies, including the anti-aging countermeasure."""
+
+import numpy as np
+import pytest
+
+from repro.sram.aging import AgingSimulator, DataPolicy
+from repro.sram.array import SRAMArray
+from repro.sram.profiles import ATMEGA32U4
+
+
+@pytest.fixture
+def simulator() -> AgingSimulator:
+    return AgingSimulator(ATMEGA32U4)
+
+
+def fresh_array(seed: int = 21) -> SRAMArray:
+    return SRAMArray(ATMEGA32U4, cell_count=8192, random_state=seed)
+
+
+def mean_abs_skew(array: SRAMArray) -> float:
+    return float(np.abs(array.skew_v).mean())
+
+
+class TestDataPolicies:
+    def test_power_up_policy_degrades(self, simulator):
+        array = fresh_array()
+        before = mean_abs_skew(array)
+        simulator.age_array_months(array, 24.0, steps=8)
+        assert mean_abs_skew(array) < before
+
+    def test_inverted_policy_reinforces(self, simulator):
+        """The HOST 2014 anti-aging trick: storing the complement makes
+        NBTI strengthen every cell's preference."""
+        array = fresh_array()
+        before = mean_abs_skew(array)
+        simulator.age_array_months(
+            array, 24.0, steps=8, data_policy=DataPolicy.INVERTED
+        )
+        assert mean_abs_skew(array) > before
+
+    def test_anti_aging_improves_reliability(self, simulator):
+        """WCHD against the day-0 reference *shrinks* under anti-aging."""
+        from repro.metrics.hamming import within_class_hd_from_counts
+
+        degraded = fresh_array(5)
+        reinforced = SRAMArray(ATMEGA32U4, cell_count=8192, random_state=5)
+        reference = degraded.power_up_once()
+        reinforced.power_up_once()  # consume the same draw
+
+        simulator.age_array_months(degraded, 24.0, steps=8)
+        simulator.age_array_months(
+            reinforced, 24.0, steps=8, data_policy=DataPolicy.INVERTED
+        )
+        wchd_degraded = within_class_hd_from_counts(
+            degraded.sample_ones_counts(500), 500, reference
+        )
+        wchd_reinforced = within_class_hd_from_counts(
+            reinforced.sample_ones_counts(500), 500, reference
+        )
+        assert wchd_reinforced < wchd_degraded
+
+    def test_anti_aging_reduces_trng_entropy(self, simulator):
+        """The countermeasure's cost: fewer unstable cells to harvest."""
+        from repro.metrics.entropy import noise_min_entropy_from_counts
+
+        reinforced = fresh_array(9)
+        simulator.age_array_months(
+            reinforced, 24.0, steps=8, data_policy=DataPolicy.INVERTED
+        )
+        baseline = fresh_array(9)
+        entropy_fresh = noise_min_entropy_from_counts(
+            baseline.sample_ones_counts(1000), 1000
+        )
+        entropy_reinforced = noise_min_entropy_from_counts(
+            reinforced.sample_ones_counts(1000), 1000
+        )
+        assert entropy_reinforced < entropy_fresh
+
+    def test_all_zero_policy_shifts_bias_up(self, simulator):
+        """Constantly storing 0 stresses every P2: skews drift up, so
+        the power-up bias toward 1 increases."""
+        array = fresh_array(13)
+        bias_before = float(array.one_probabilities().mean())
+        simulator.age_array_months(
+            array, 24.0, steps=8, data_policy=DataPolicy.ALL_ZERO
+        )
+        assert float(array.one_probabilities().mean()) > bias_before
+
+    def test_all_one_policy_shifts_bias_down(self, simulator):
+        array = fresh_array(17)
+        bias_before = float(array.one_probabilities().mean())
+        simulator.age_array_months(
+            array, 24.0, steps=8, data_policy=DataPolicy.ALL_ONE
+        )
+        assert float(array.one_probabilities().mean()) < bias_before

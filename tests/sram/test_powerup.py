@@ -1,0 +1,79 @@
+"""Tests for power-up sampling helpers and the two fidelities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram.chip import SRAMChip
+from repro.sram.powerup import (
+    PowerUpSample,
+    binomial_ones_counts,
+    measure_power_ups,
+    sample_measurement_block,
+)
+
+
+class TestPowerUpSample:
+    def test_probability_estimates(self):
+        sample = PowerUpSample(
+            measurements=4,
+            ones_counts=np.array([0, 2, 4]),
+            first_readout=np.array([0, 1, 1], dtype=np.uint8),
+        )
+        np.testing.assert_allclose(
+            sample.one_probability_estimates, [0.0, 0.5, 1.0]
+        )
+
+    def test_counts_exceeding_measurements_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerUpSample(
+                measurements=2,
+                ones_counts=np.array([3]),
+                first_readout=np.array([1], dtype=np.uint8),
+            )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerUpSample(
+                measurements=2,
+                ones_counts=np.array([1, 1]),
+                first_readout=np.array([1], dtype=np.uint8),
+            )
+
+
+class TestSamplingHelpers:
+    def test_measure_power_ups_always_2d(self, chip):
+        assert measure_power_ups(chip, 1).shape == (1, 8192)
+        assert measure_power_ups(chip, 4).shape == (4, 8192)
+
+    def test_binomial_counts_shape(self, chip):
+        assert binomial_ones_counts(chip, 100).shape == (8192,)
+
+
+class TestMeasurementBlock:
+    def test_statistical_block(self, chip):
+        block = sample_measurement_block(chip, 200, statistical=True)
+        assert block.measurements == 200
+        assert block.ones_counts.max() <= 200
+        assert block.first_readout.shape == (8192,)
+
+    def test_measurement_level_block(self, small_chip):
+        block = sample_measurement_block(small_chip, 50, statistical=False)
+        assert block.measurements == 50
+        assert block.ones_counts.max() <= 50
+
+    def test_single_measurement_statistical(self, chip):
+        block = sample_measurement_block(chip, 1)
+        np.testing.assert_array_equal(block.ones_counts, block.first_readout)
+
+    def test_fidelities_agree_in_distribution(self, small_chip):
+        """Mean ones-fraction of both fidelities matches the true bias."""
+        expected = small_chip.window_one_probabilities().mean()
+        stat = sample_measurement_block(small_chip, 500, statistical=True)
+        meas = sample_measurement_block(small_chip, 500, statistical=False)
+        assert stat.ones_counts.mean() / 500 == pytest.approx(expected, abs=0.05)
+        assert meas.ones_counts.mean() / 500 == pytest.approx(expected, abs=0.05)
+
+    def test_invalid_measurements_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            sample_measurement_block(chip, 0)

@@ -1,0 +1,78 @@
+"""Tests for device profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.physics.constants import ROOM_TEMPERATURE_K
+from repro.sram.profiles import ATMEGA32U4, TESTCHIP_65NM, DeviceProfile
+
+
+class TestShippedProfiles:
+    def test_atmega_geometry_matches_paper(self):
+        assert ATMEGA32U4.sram_bytes == 2560  # 2.5 KByte
+        assert ATMEGA32U4.read_bytes == 1024  # first 1 KByte
+        assert ATMEGA32U4.supply_v == 5.0
+
+    def test_atmega_cell_and_read_bits(self):
+        assert ATMEGA32U4.cell_count == 20480
+        assert ATMEGA32U4.read_bits == 8192
+
+    def test_atmega_power_duty_matches_fig3(self):
+        assert ATMEGA32U4.power_duty == pytest.approx(3.8 / 5.4)
+
+    def test_atmega_biased_toward_one(self):
+        assert ATMEGA32U4.skew_mean_v > 0
+
+    def test_testchip_unbiased(self):
+        assert TESTCHIP_65NM.skew_mean_v == 0.0
+
+    def test_testchip_noisier_population(self):
+        """65 nm initial WCHD (5.3 %) >> ATmega (2.49 %): narrower skew."""
+        assert TESTCHIP_65NM.skew_sigma_v < ATMEGA32U4.skew_sigma_v
+
+    def test_room_temperature_operation(self):
+        assert ATMEGA32U4.temperature_k == pytest.approx(ROOM_TEMPERATURE_K)
+
+
+class TestProfileHelpers:
+    def test_noise_model_reference(self):
+        model = ATMEGA32U4.noise_model()
+        assert model.sigma_v == ATMEGA32U4.noise_sigma_v
+        assert model.reference_temperature_k == ATMEGA32U4.temperature_k
+
+    def test_bti_model_amplitude(self):
+        model = ATMEGA32U4.bti_model()
+        assert model.amplitude_v == ATMEGA32U4.bti_amplitude_v
+        assert model.time_exponent == ATMEGA32U4.bti_time_exponent
+
+    def test_nominal_stress_condition_factor_is_unity(self):
+        model = ATMEGA32U4.bti_model()
+        stress = ATMEGA32U4.nominal_stress()
+        # The amplitude is referenced to the nominal *voltage/temperature*
+        # but the duty enters through the stress itself.
+        assert model.condition_factor(stress) == pytest.approx(
+            ATMEGA32U4.power_duty**ATMEGA32U4.bti_time_exponent
+        )
+
+    def test_with_overrides(self):
+        shrunk = ATMEGA32U4.with_overrides(sram_bytes=64, read_bytes=32)
+        assert shrunk.sram_bytes == 64
+        assert shrunk.skew_mean_v == ATMEGA32U4.skew_mean_v
+
+
+class TestValidation:
+    def test_read_larger_than_sram_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ATMEGA32U4.with_overrides(read_bytes=4096)
+
+    def test_negative_chip_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ATMEGA32U4.with_overrides(chip_mean_sigma_v=-0.001)
+
+    def test_bad_time_exponent_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ATMEGA32U4.with_overrides(bti_time_exponent=1.5)
+
+    def test_bad_duty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ATMEGA32U4.with_overrides(power_duty=0.0)

@@ -1,0 +1,58 @@
+"""Tests for the voltage ramp-up model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram.ramp import VoltageRamp, read_startup_with_ramp
+
+
+class TestVoltageRamp:
+    def test_nominal_ramp_is_identity(self):
+        assert VoltageRamp(50.0).noise_scale() == pytest.approx(1.0)
+
+    def test_steeper_ramp_is_noisier(self):
+        assert VoltageRamp(10.0).noise_scale() > 1.0
+
+    def test_slower_ramp_is_quieter(self):
+        assert VoltageRamp(200.0).noise_scale() < 1.0
+
+    def test_power_law(self):
+        ramp = VoltageRamp(12.5, nominal_ramp_time_us=50.0, exponent=0.5)
+        assert ramp.noise_scale() == pytest.approx(2.0)
+
+    def test_scale_clamped(self):
+        assert VoltageRamp(1e-6).noise_scale() == VoltageRamp.MAX_SCALE
+        assert VoltageRamp(1e9).noise_scale() == VoltageRamp.MIN_SCALE
+
+    def test_equivalent_temperature(self):
+        ramp = VoltageRamp(12.5, exponent=0.5)  # scale 2 -> T x4
+        assert ramp.equivalent_temperature_k(300.0) == pytest.approx(1200.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VoltageRamp(0.0)
+        with pytest.raises(ConfigurationError):
+            VoltageRamp(50.0, nominal_ramp_time_us=-1.0)
+        with pytest.raises(ConfigurationError):
+            VoltageRamp(50.0, exponent=0.0)
+
+
+class TestRampedReadout:
+    def test_shape(self, chip):
+        bits = read_startup_with_ramp(chip, VoltageRamp(50.0))
+        assert bits.shape == (8192,)
+        block = read_startup_with_ramp(chip, VoltageRamp(50.0), count=3)
+        assert block.shape == (3, 8192)
+
+    def test_steep_ramp_flips_more_cells(self, chip):
+        reference = chip.read_startup()
+        slow = np.mean([
+            (read_startup_with_ramp(chip, VoltageRamp(500.0)) != reference).mean()
+            for _ in range(10)
+        ])
+        steep = np.mean([
+            (read_startup_with_ramp(chip, VoltageRamp(5.0)) != reference).mean()
+            for _ in range(10)
+        ])
+        assert steep > slow

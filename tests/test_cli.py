@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+SMALL = ["--devices", "2", "--months", "2", "--measurements", "100"]
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        code, out = run_cli(capsys, "table1", *SMALL)
+        assert code == 0
+        assert "WCHD" in out and "AVG." in out
+
+    def test_compare(self, capsys):
+        code, out = run_cli(capsys, "compare", *SMALL)
+        assert code == 0
+        assert "Paper" in out and "Measured" in out
+
+    def test_fig6(self, capsys):
+        code, out = run_cli(capsys, "fig6", "--metric", "WCHD", *SMALL)
+        assert code == 0
+        assert "month  0" in out and "month  2" in out
+
+    def test_fig6_save(self, capsys, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        code, out = run_cli(capsys, "fig6", "--save", path, *SMALL)
+        assert code == 0
+        from repro.io.resultstore import load_campaign
+
+        assert load_campaign(path).months == 2
+
+    def test_calibrate(self, capsys):
+        code, out = run_cli(capsys, "calibrate")
+        assert code == 0
+        assert "skew sigma" in out
+        assert "62.700%" in out
+
+    def test_accelerated(self, capsys):
+        code, out = run_cli(
+            capsys, "accelerated", "--devices", "2", "--months", "6"
+        )
+        assert code == 0
+        assert "monthly rate" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_metric_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6", "--metric", "bogus"])

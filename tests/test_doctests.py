@@ -1,0 +1,38 @@
+"""Run the docstring examples as tests.
+
+Several public classes carry ``Examples`` sections; executing them
+keeps the documentation honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.hardware.scheduler
+import repro.io.jsonstore
+import repro.keygen.ecc.bch
+import repro.keygen.ecc.polar
+import repro.keygen.ecc.reedmuller
+import repro.keygen.multireadout
+import repro.rng
+import repro.sram.chip
+import repro.trng.trng
+
+MODULES = [
+    repro.hardware.scheduler,
+    repro.io.jsonstore,
+    repro.keygen.ecc.bch,
+    repro.keygen.ecc.polar,
+    repro.keygen.ecc.reedmuller,
+    repro.keygen.multireadout,
+    repro.rng,
+    repro.sram.chip,
+    repro.trng.trng,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_docstring_examples(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests found in {module.__name__}"

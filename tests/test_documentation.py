@@ -1,0 +1,66 @@
+"""Documentation coverage: every public item carries a docstring.
+
+The library's contract includes doc comments on every public module,
+class, function and method; this meta-test enforces it so the contract
+cannot silently rot.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _public_modules():
+    modules = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, "repro."):
+        modules.append(importlib.import_module(info.name))
+    return modules
+
+
+MODULES = _public_modules()
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module.__name__} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, member in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(member) or inspect.isfunction(member)):
+            continue
+        if getattr(member, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its definition site
+        if not (member.__doc__ and member.__doc__.strip()):
+            undocumented.append(name)
+            continue
+        if inspect.isclass(member):
+            for method_name, method in vars(member).items():
+                if method_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(method):
+                    continue
+                if method.__doc__ and method.__doc__.strip():
+                    continue
+                # An override inherits its contract: documented when
+                # any base class documents the same method.
+                inherited = any(
+                    getattr(base, method_name, None) is not None
+                    and getattr(getattr(base, method_name), "__doc__", None)
+                    for base in member.__mro__[1:]
+                )
+                if not inherited:
+                    undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, (
+        f"{module.__name__} has undocumented public items: {undocumented}"
+    )

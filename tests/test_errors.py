@@ -1,0 +1,45 @@
+"""Tests for the exception hierarchy and the public package surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ConfigurationError,
+            errors.CalibrationError,
+            errors.DecodingFailure,
+            errors.ReconstructionFailure,
+            errors.EntropyExhausted,
+            errors.HealthTestFailure,
+            errors.ProtocolError,
+            errors.StorageError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DecodingFailure("boom")
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_dir_lists_exports(self):
+        assert "LongTermAssessment" in dir(repro)
+        assert "SRAMTRNG" in dir(repro)

@@ -1,0 +1,80 @@
+"""Tests for noise conditioning."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trng.conditioner import hash_condition, von_neumann_condition, xor_fold
+
+
+def biased(p: float, count: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.random(count) < p).astype(np.uint8)
+
+
+class TestVonNeumann:
+    def test_unbiased_output(self):
+        out = von_neumann_condition(biased(0.9, 200_000, 1))
+        assert abs(out.mean() - 0.5) < 0.02
+
+
+class TestXorFold:
+    def test_fold_reduces_bias(self):
+        raw = biased(0.9, 400_000, 2)
+        light = xor_fold(raw, 2)
+        heavy = xor_fold(raw, 8)
+        assert abs(heavy.mean() - 0.5) < abs(light.mean() - 0.5)
+
+    def test_piling_up_prediction(self):
+        """Bias after folding follows 2^(k-1) e^k for i.i.d. input."""
+        raw = biased(0.8, 1_000_000, 3)
+        folded = xor_fold(raw, 4)
+        # Pr(XOR = 1) = (1 - (1 - 2p)^4) / 2 for i.i.d. bits.
+        expected = (1.0 - (1.0 - 2 * 0.8) ** 4) / 2.0
+        assert folded.mean() == pytest.approx(expected, abs=0.01)
+
+    def test_output_length(self):
+        assert xor_fold(np.zeros(100, dtype=np.uint8), 8).size == 12
+
+    def test_identity_fold(self):
+        raw = biased(0.5, 64, 4)
+        np.testing.assert_array_equal(xor_fold(raw, 1), raw)
+
+    def test_insufficient_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            xor_fold(np.zeros(3, dtype=np.uint8), 8)
+
+    def test_bad_fold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            xor_fold(np.zeros(8, dtype=np.uint8), 0)
+
+
+class TestHashCondition:
+    def test_output_length(self):
+        raw = biased(0.9, 50_000, 5)
+        assert hash_condition(raw, 1000).size == 1000
+
+    def test_output_balanced_even_for_biased_input(self):
+        raw = biased(0.95, 100_000, 6)
+        out = hash_condition(raw, 4096)
+        assert abs(out.mean() - 0.5) < 0.03
+
+    def test_deterministic(self):
+        raw = biased(0.9, 10_000, 7)
+        np.testing.assert_array_equal(
+            hash_condition(raw, 256), hash_condition(raw, 256)
+        )
+
+    def test_different_inputs_different_outputs(self):
+        a = hash_condition(biased(0.9, 10_000, 8), 256)
+        b = hash_condition(biased(0.9, 10_000, 9), 256)
+        assert not np.array_equal(a, b)
+
+    def test_stretching_rejected(self):
+        """Conditioning cannot output more bits than it consumes."""
+        with pytest.raises(ConfigurationError):
+            hash_condition(np.zeros(100, dtype=np.uint8), 200)
+
+    def test_bad_output_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hash_condition(np.zeros(100, dtype=np.uint8), 0)

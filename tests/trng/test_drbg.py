@@ -1,0 +1,96 @@
+"""Tests for the HMAC-DRBG."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, EntropyExhausted
+from repro.trng.drbg import HmacDrbg, SeededDrbg
+from repro.trng.trng import SRAMTRNG
+
+
+def make_drbg(seed_byte: int = 7, **kwargs) -> HmacDrbg:
+    return HmacDrbg(bytes([seed_byte]) * 32, **kwargs)
+
+
+class TestHmacDrbg:
+    def test_deterministic_for_same_seed(self):
+        assert make_drbg().generate(64) == make_drbg().generate(64)
+
+    def test_different_seeds_differ(self):
+        assert make_drbg(1).generate(64) != make_drbg(2).generate(64)
+
+    def test_personalization_separates(self):
+        a = HmacDrbg(b"\x07" * 32, personalization=b"a").generate(32)
+        b = HmacDrbg(b"\x07" * 32, personalization=b"b").generate(32)
+        assert a != b
+
+    def test_consecutive_outputs_differ(self):
+        drbg = make_drbg()
+        assert drbg.generate(32) != drbg.generate(32)
+
+    def test_output_length(self):
+        assert len(make_drbg().generate(100)) == 100
+
+    def test_output_statistically_flat(self):
+        data = np.frombuffer(make_drbg().generate(65536), dtype=np.uint8)
+        bits = np.unpackbits(data)
+        assert abs(bits.mean() - 0.5) < 0.01
+
+    def test_output_passes_sp800_22(self):
+        from repro.trng.sp800_22 import SP80022Battery
+
+        bits = np.unpackbits(np.frombuffer(make_drbg().generate(12500), np.uint8))
+        results = SP80022Battery().run_all(bits)
+        assert sum(not result.passed for result in results) <= 1
+
+    def test_reseed_interval_enforced(self):
+        drbg = make_drbg(reseed_interval=3)
+        for _ in range(3):
+            drbg.generate(8)
+        with pytest.raises(EntropyExhausted):
+            drbg.generate(8)
+
+    def test_reseed_resets_counter_and_changes_stream(self):
+        drbg = make_drbg(reseed_interval=3)
+        before = drbg.generate(32)
+        drbg.reseed(b"\x55" * 32)
+        assert drbg.generate_count == 0
+        assert drbg.generate(32) != before
+
+    def test_additional_input_changes_output(self):
+        a = make_drbg().generate(32, additional=b"x")
+        b = make_drbg().generate(32, additional=b"y")
+        assert a != b
+
+    def test_short_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HmacDrbg(b"\x00" * 8)
+
+    def test_oversized_request_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_drbg().generate(1 << 20)
+
+
+class TestSeededDrbg:
+    def test_generates_from_puf_seed(self, chip):
+        drbg = SeededDrbg(SRAMTRNG(chip))
+        assert len(drbg.generate(64)) == 64
+
+    def test_automatic_reseed(self, chip):
+        drbg = SeededDrbg(SRAMTRNG(chip), reseed_interval=2)
+        for _ in range(5):
+            drbg.generate(8)
+        assert drbg.reseed_count >= 1
+
+    def test_random_bits_shape(self, chip):
+        drbg = SeededDrbg(SRAMTRNG(chip))
+        bits = drbg.random_bits(100)
+        assert bits.shape == (100,)
+        assert set(np.unique(bits)) <= {0, 1}
+
+    def test_different_devices_different_streams(self, seeds):
+        from repro.sram.chip import SRAMChip
+
+        a = SeededDrbg(SRAMTRNG(SRAMChip(0, random_state=seeds)))
+        b = SeededDrbg(SRAMTRNG(SRAMChip(1, random_state=seeds)))
+        assert a.generate(32) != b.generate(32)

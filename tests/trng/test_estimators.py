@@ -1,0 +1,99 @@
+"""Tests for min-entropy estimators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trng.estimators import (
+    assessed_entropy,
+    collision_estimate,
+    markov_estimate,
+    most_common_value_estimate,
+)
+
+
+def biased(p: float, count: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.random(count) < p).astype(np.uint8)
+
+
+class TestMCV:
+    def test_fair_source_near_one(self):
+        assert most_common_value_estimate(biased(0.5, 200_000, 1)) > 0.95
+
+    def test_biased_source(self):
+        estimate = most_common_value_estimate(biased(0.9, 200_000, 2))
+        assert estimate == pytest.approx(-np.log2(0.9), abs=0.02)
+
+    def test_constant_source_is_zero(self):
+        assert most_common_value_estimate(np.ones(1000, dtype=np.uint8)) == 0.0
+
+    def test_estimate_is_conservative(self):
+        """The upper confidence bound keeps the estimate below truth."""
+        estimates = [
+            most_common_value_estimate(biased(0.8, 10_000, seed))
+            for seed in range(10)
+        ]
+        assert np.mean(estimates) < -np.log2(0.8) + 0.001
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            most_common_value_estimate(np.array([1], dtype=np.uint8))
+
+
+class TestCollision:
+    def test_fair_source_high(self):
+        assert collision_estimate(biased(0.5, 100_000, 3)) > 0.6
+
+    def test_biased_source_low(self):
+        assert collision_estimate(biased(0.95, 100_000, 4)) < 0.4
+
+    def test_ordering_tracks_bias(self):
+        fair = collision_estimate(biased(0.5, 100_000, 5))
+        skewed = collision_estimate(biased(0.8, 100_000, 6))
+        assert fair > skewed
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            collision_estimate(np.zeros(8, dtype=np.uint8))
+
+
+class TestMarkov:
+    def test_fair_source_near_one(self):
+        assert markov_estimate(biased(0.5, 200_000, 7)) > 0.95
+
+    def test_biased_source(self):
+        estimate = markov_estimate(biased(0.9, 200_000, 8))
+        assert estimate == pytest.approx(-np.log2(0.9), abs=0.02)
+
+    def test_detects_correlation_mcv_misses(self):
+        """An alternating source is balanced but fully predictable."""
+        alternating = np.tile([0, 1], 5000).astype(np.uint8)
+        assert most_common_value_estimate(alternating) > 0.9
+        assert markov_estimate(alternating) < 0.05
+
+    def test_constant_source_is_zero(self):
+        assert markov_estimate(np.zeros(1000, dtype=np.uint8)) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            markov_estimate(np.zeros(50, dtype=np.uint8))
+
+
+class TestAssessment:
+    def test_takes_minimum(self):
+        bits = biased(0.7, 100_000, 9)
+        assessment = assessed_entropy(bits)
+        assert assessment <= most_common_value_estimate(bits) + 1e-12
+        assert assessment <= markov_estimate(bits) + 1e-12
+
+    def test_sram_noise_assessment_matches_paper_scale(self, chip):
+        """Raw SRAM noise assesses to a few percent min-entropy per bit,
+        the scale of the paper's noise-entropy column."""
+        from repro.trng.harvester import NoiseHarvester
+
+        raw = NoiseHarvester(chip).harvest(100_000)
+        assessment = assessed_entropy(raw)
+        assert 0.005 < assessment < 0.10

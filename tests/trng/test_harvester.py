@@ -1,0 +1,66 @@
+"""Tests for raw noise harvesting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, EntropyExhausted
+from repro.trng.harvester import NoiseHarvester
+
+
+class TestReferenceXor:
+    def test_harvest_length(self, chip):
+        harvester = NoiseHarvester(chip, strategy="reference-xor")
+        assert harvester.harvest(10_000).size == 10_000
+
+    def test_output_is_sparse_noise(self, chip):
+        """Reference-XOR leaves ~WCHD-level density of ones."""
+        harvester = NoiseHarvester(chip, strategy="reference-xor")
+        raw = harvester.harvest(80_000)
+        assert 0.005 < raw.mean() < 0.08
+
+    def test_bits_per_power_up(self, chip):
+        harvester = NoiseHarvester(chip, strategy="reference-xor")
+        assert harvester.bits_per_power_up() == 8192
+
+
+class TestUnstableMask:
+    def test_characterization_finds_unstable_cells(self, chip):
+        harvester = NoiseHarvester(chip, strategy="unstable-mask")
+        harvester.characterize()
+        count = harvester.unstable_cell_count
+        # ~10-15 % of 8192 cells flip within 100 power-ups.
+        assert 300 < count < 2500
+
+    def test_harvested_bits_much_denser(self, chip):
+        harvester = NoiseHarvester(chip, strategy="unstable-mask")
+        raw = harvester.harvest(20_000)
+        # Unstable cells carry real signal in both directions.
+        assert 0.2 < raw.mean() < 0.9
+
+    def test_stable_only_device_exhausts(self, small_profile):
+        """A hypothetical perfectly stable device cannot feed a TRNG."""
+        from repro.sram.chip import SRAMChip
+
+        frozen_profile = small_profile.with_overrides(
+            noise_sigma_v=1e-9, chip_mean_sigma_v=0.0
+        )
+        chip = SRAMChip(0, frozen_profile, random_state=1)
+        harvester = NoiseHarvester(chip, strategy="unstable-mask")
+        with pytest.raises(EntropyExhausted):
+            harvester.harvest(100)
+
+
+class TestLimits:
+    def test_power_up_budget_enforced(self, chip):
+        harvester = NoiseHarvester(chip, strategy="reference-xor", max_power_ups=2)
+        with pytest.raises(EntropyExhausted):
+            harvester.harvest(100_000)
+
+    def test_invalid_strategy_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            NoiseHarvester(chip, strategy="magic")
+
+    def test_invalid_request_rejected(self, chip):
+        harvester = NoiseHarvester(chip)
+        with pytest.raises(ConfigurationError):
+            harvester.harvest(0)

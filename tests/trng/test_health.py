@@ -1,0 +1,92 @@
+"""Tests for SP 800-90B health tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, HealthTestFailure
+from repro.trng.health import (
+    AdaptiveProportionTest,
+    HealthMonitor,
+    RepetitionCountTest,
+)
+
+
+class TestRepetitionCount:
+    def test_cutoff_formula(self):
+        """H=1 with alpha=2^-20 gives cutoff 21."""
+        assert RepetitionCountTest(1.0).cutoff == 21
+
+    def test_low_entropy_claim_tolerates_long_runs(self):
+        assert RepetitionCountTest(0.03).cutoff > RepetitionCountTest(1.0).cutoff
+
+    def test_stuck_source_trips(self):
+        test = RepetitionCountTest(1.0)
+        with pytest.raises(HealthTestFailure):
+            test.check(np.zeros(100, dtype=np.uint8))
+
+    def test_healthy_source_passes(self):
+        rng = np.random.default_rng(1)
+        RepetitionCountTest(1.0).check(rng.integers(0, 2, 10_000, dtype=np.uint8))
+
+    def test_run_just_below_cutoff_passes(self):
+        test = RepetitionCountTest(1.0)
+        bits = np.concatenate([
+            np.zeros(test.cutoff - 1, dtype=np.uint8), [1],
+        ]).astype(np.uint8)
+        test.check(bits)
+
+    def test_empty_block_allowed(self):
+        RepetitionCountTest(1.0).check(np.array([], dtype=np.uint8))
+
+    def test_invalid_entropy_claim_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RepetitionCountTest(0.0)
+
+
+class TestAdaptiveProportion:
+    def test_constant_window_trips(self):
+        test = AdaptiveProportionTest(1.0, window=512)
+        with pytest.raises(HealthTestFailure):
+            test.check(np.ones(512, dtype=np.uint8))
+
+    def test_balanced_window_passes(self):
+        rng = np.random.default_rng(2)
+        test = AdaptiveProportionTest(1.0, window=512)
+        test.check(rng.integers(0, 2, 4096, dtype=np.uint8))
+
+    def test_partial_window_ignored(self):
+        test = AdaptiveProportionTest(1.0, window=1024)
+        test.check(np.ones(512, dtype=np.uint8))  # less than one window
+
+    def test_low_claim_tolerates_bias(self):
+        """A 3 % entropy claim admits extremely biased raw streams."""
+        rng = np.random.default_rng(3)
+        raw = (rng.random(8192) < 0.03).astype(np.uint8)
+        AdaptiveProportionTest(0.03, window=1024).check(raw)
+
+    def test_cutoff_bounded_by_window(self):
+        assert AdaptiveProportionTest(0.001, window=64).cutoff <= 64
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveProportionTest(1.0, window=1)
+
+
+class TestHealthMonitor:
+    def test_monitors_all_tests(self):
+        monitor = HealthMonitor(1.0)
+        with pytest.raises(HealthTestFailure):
+            monitor.check(np.zeros(2048, dtype=np.uint8))
+
+    def test_sram_noise_stream_passes(self, chip):
+        """The real (simulated) raw stream passes at the honest claim."""
+        from repro.trng.harvester import NoiseHarvester
+
+        raw = NoiseHarvester(chip).harvest(50_000)
+        HealthMonitor(0.02).check(raw)
+
+    def test_check_many(self):
+        rng = np.random.default_rng(4)
+        monitor = HealthMonitor(1.0)
+        blocks = [rng.integers(0, 2, 2048, dtype=np.uint8) for _ in range(3)]
+        monitor.check_many(blocks)

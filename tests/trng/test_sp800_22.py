@@ -1,0 +1,118 @@
+"""Tests for the SP 800-22 statistical battery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trng.sp800_22 import (
+    SP80022Battery,
+    approximate_entropy_test,
+    block_frequency_test,
+    cumulative_sums_test,
+    longest_run_test,
+    monobit_test,
+    runs_test,
+    serial_test,
+    spectral_test,
+)
+
+
+@pytest.fixture(scope="module")
+def good_bits() -> np.ndarray:
+    return np.random.default_rng(42).integers(0, 2, 100_000, dtype=np.uint8)
+
+
+@pytest.fixture(scope="module")
+def biased_bits() -> np.ndarray:
+    return (np.random.default_rng(43).random(100_000) < 0.6).astype(np.uint8)
+
+
+class TestIndividualTests:
+    def test_monobit_passes_good(self, good_bits):
+        assert monobit_test(good_bits).passed
+
+    def test_monobit_fails_biased(self, biased_bits):
+        assert not monobit_test(biased_bits).passed
+
+    def test_monobit_nist_example(self):
+        """SP 800-22 worked example: 1011010101 gives p = 0.527089."""
+        bits = np.array([1, 0, 1, 1, 0, 1, 0, 1, 0, 1] * 10, dtype=np.uint8)
+        # Scaled-up variant keeps the statistic valid; just check range.
+        result = monobit_test(bits)
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_block_frequency_passes_good(self, good_bits):
+        assert block_frequency_test(good_bits).passed
+
+    def test_block_frequency_fails_structured(self):
+        bits = np.concatenate(
+            [np.ones(5000, dtype=np.uint8), np.zeros(5000, dtype=np.uint8)]
+        )
+        assert not block_frequency_test(bits).passed
+
+    def test_runs_passes_good(self, good_bits):
+        assert runs_test(good_bits).passed
+
+    def test_runs_fails_alternating(self):
+        assert not runs_test(np.tile([0, 1], 5000).astype(np.uint8)).passed
+
+    def test_runs_prerequisite_shortcut(self, biased_bits):
+        result = runs_test(biased_bits)
+        assert result.p_value == 0.0
+
+    def test_longest_run_passes_good(self, good_bits):
+        assert longest_run_test(good_bits).passed
+
+    def test_longest_run_fails_blocky(self):
+        rng = np.random.default_rng(7)
+        blocky = np.repeat(rng.integers(0, 2, 2000), 8).astype(np.uint8)
+        assert not longest_run_test(blocky).passed
+
+    def test_cusum_passes_good(self, good_bits):
+        assert cumulative_sums_test(good_bits, forward=True).passed
+        assert cumulative_sums_test(good_bits, forward=False).passed
+
+    def test_cusum_fails_drifting(self, biased_bits):
+        assert not cumulative_sums_test(biased_bits).passed
+
+    def test_spectral_passes_good(self, good_bits):
+        assert spectral_test(good_bits).passed
+
+    def test_spectral_fails_periodic(self):
+        periodic = np.tile([1, 1, 0, 0], 25_000).astype(np.uint8)
+        assert not spectral_test(periodic).passed
+
+    def test_serial_passes_good(self, good_bits):
+        assert all(result.passed for result in serial_test(good_bits))
+
+    def test_serial_fails_patterned(self):
+        patterned = np.tile([0, 0, 1], 40_000).astype(np.uint8)
+        assert not all(r.passed for r in serial_test(patterned))
+
+    def test_approximate_entropy_passes_good(self, good_bits):
+        assert approximate_entropy_test(good_bits).passed
+
+    def test_approximate_entropy_fails_predictable(self):
+        predictable = np.tile([0, 1, 1], 40_000).astype(np.uint8)
+        assert not approximate_entropy_test(predictable).passed
+
+    def test_short_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            monobit_test(np.zeros(10, dtype=np.uint8))
+
+
+class TestBattery:
+    def test_good_stream_passes_everything(self, good_bits):
+        assert SP80022Battery().all_passed(good_bits)
+
+    def test_result_count(self, good_bits):
+        results = SP80022Battery().run_all(good_bits)
+        assert len(results) == 10
+
+    def test_biased_stream_fails(self, biased_bits):
+        assert not SP80022Battery().all_passed(biased_bits)
+
+    def test_render(self, good_bits):
+        battery = SP80022Battery()
+        text = battery.render(battery.run_all(good_bits))
+        assert "monobit" in text and "PASS" in text

@@ -1,0 +1,112 @@
+"""Tests for the extended SP 800-22 battery."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trng.sp800_22_ext import (
+    berlekamp_massey_length,
+    binary_matrix_rank_test,
+    gf2_rank,
+    linear_complexity_test,
+    non_overlapping_template_test,
+    run_extended_battery,
+)
+
+
+@pytest.fixture(scope="module")
+def good_bits() -> np.ndarray:
+    return np.random.default_rng(7).integers(0, 2, 120_000, dtype=np.uint8)
+
+
+class TestGF2Rank:
+    def test_identity_full_rank(self):
+        assert gf2_rank(np.eye(8, dtype=np.uint8)) == 8
+
+    def test_zero_matrix(self):
+        assert gf2_rank(np.zeros((8, 8), dtype=np.uint8)) == 0
+
+    def test_duplicate_rows_reduce_rank(self):
+        matrix = np.eye(4, dtype=np.uint8)
+        matrix[3] = matrix[0]
+        assert gf2_rank(matrix) == 3
+
+    def test_xor_dependence_detected(self):
+        """Row 2 = row 0 XOR row 1 is dependent over GF(2) even though
+        the real-valued rank would be full."""
+        matrix = np.array([[1, 1, 0], [0, 1, 1], [1, 0, 1]], dtype=np.uint8)
+        assert gf2_rank(matrix) == 2
+
+    def test_random_matrices_mostly_full_rank(self):
+        rng = np.random.default_rng(8)
+        full = sum(
+            gf2_rank(rng.integers(0, 2, (32, 32), dtype=np.uint8)) == 32
+            for _ in range(100)
+        )
+        assert 15 <= full <= 45  # asymptotic probability is 0.2888
+
+
+class TestBerlekampMassey:
+    def test_lfsr_sequence_recovers_degree(self):
+        sequence = np.zeros(64, dtype=np.uint8)
+        sequence[0] = 1
+        for index in range(3, 64):
+            sequence[index] = sequence[index - 1] ^ sequence[index - 3]
+        assert berlekamp_massey_length(sequence) == 3
+
+    def test_all_ones(self):
+        assert berlekamp_massey_length(np.ones(32, dtype=np.uint8)) == 1
+
+    def test_all_zeros(self):
+        assert berlekamp_massey_length(np.zeros(32, dtype=np.uint8)) == 0
+
+    def test_random_sequence_near_half_length(self):
+        rng = np.random.default_rng(9)
+        sequence = rng.integers(0, 2, 200, dtype=np.uint8)
+        assert abs(berlekamp_massey_length(sequence) - 100) <= 3
+
+
+class TestExtendedTests:
+    def test_rank_passes_good(self, good_bits):
+        assert binary_matrix_rank_test(good_bits).passed
+
+    def test_rank_fails_degenerate(self):
+        assert not binary_matrix_rank_test(np.zeros(50_000, dtype=np.uint8)).passed
+
+    def test_rank_needs_enough_bits(self):
+        with pytest.raises(ConfigurationError):
+            binary_matrix_rank_test(np.zeros(1000, dtype=np.uint8))
+
+    def test_linear_complexity_passes_good(self, good_bits):
+        assert linear_complexity_test(good_bits).passed
+
+    def test_linear_complexity_fails_lfsr(self):
+        sequence = np.zeros(40_000, dtype=np.uint8)
+        sequence[0] = 1
+        for index in range(5, 40_000):
+            sequence[index] = sequence[index - 2] ^ sequence[index - 5]
+        assert not linear_complexity_test(sequence).passed
+
+    def test_template_passes_good(self, good_bits):
+        assert non_overlapping_template_test(good_bits).passed
+
+    def test_template_fails_on_stuffed_stream(self):
+        rng = np.random.default_rng(10)
+        stream = rng.integers(0, 2, 100_000, dtype=np.uint8)
+        # Stuff the template at a fixed stride to overrepresent it.
+        template = np.array([0, 0, 0, 0, 0, 0, 0, 0, 1], dtype=np.uint8)
+        for start in range(0, stream.size - 9, 40):
+            stream[start : start + 9] = template
+        assert not non_overlapping_template_test(stream).passed
+
+    def test_custom_template(self, good_bits):
+        result = non_overlapping_template_test(good_bits, template=(1, 0, 1, 1, 0, 1))
+        assert 0.0 <= result.p_value <= 1.0
+
+    def test_battery_on_trng_output(self, chip):
+        """The conditioned SRAM TRNG clears the extended battery too."""
+        from repro.trng.trng import SRAMTRNG
+
+        bits = SRAMTRNG(chip).generate(60_000)
+        results = run_extended_battery(bits)
+        assert sum(not result.passed for result in results) == 0

@@ -1,0 +1,73 @@
+"""Tests for the end-to-end TRNG."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, EntropyExhausted
+from repro.trng.trng import SRAMTRNG
+
+
+@pytest.fixture
+def trng(chip) -> SRAMTRNG:
+    return SRAMTRNG(chip)
+
+
+class TestGeneration:
+    def test_output_length(self, trng):
+        assert trng.generate(512).size == 512
+
+    def test_output_balanced(self, trng):
+        bits = trng.generate(8192)
+        assert abs(bits.mean() - 0.5) < 0.03
+
+    def test_consecutive_outputs_differ(self, trng):
+        a = trng.generate(256)
+        b = trng.generate(256)
+        assert not np.array_equal(a, b)
+
+    def test_accounting(self, trng):
+        trng.generate(100)
+        assert trng.output_bits_produced == 100
+        assert trng.raw_bits_consumed >= trng.raw_bits_needed(100)
+
+    def test_generate_bytes(self, trng):
+        assert len(trng.generate_bytes(16)) == 16
+
+    def test_output_passes_statistical_tests(self, chip):
+        from repro.trng.sp800_22 import SP80022Battery
+
+        trng = SRAMTRNG(chip)
+        bits = trng.generate(20_000)
+        results = SP80022Battery().run_all(bits)
+        # Allow a single marginal failure out of ten p-values.
+        assert sum(not result.passed for result in results) <= 1
+
+
+class TestEntropyBudget:
+    def test_raw_bits_needed_formula(self, chip):
+        trng = SRAMTRNG(chip, claimed_entropy_per_bit=0.02, safety_factor=2.0)
+        assert trng.raw_bits_needed(100) == 10_000
+
+    def test_exhaustion_detected(self, chip):
+        trng = SRAMTRNG(chip, max_power_ups=3)
+        with pytest.raises(EntropyExhausted):
+            trng.generate(100_000)
+
+    def test_unstable_mask_strategy(self, chip):
+        trng = SRAMTRNG(chip, strategy="unstable-mask",
+                        claimed_entropy_per_bit=0.3)
+        assert trng.generate(256).size == 256
+
+
+class TestValidation:
+    def test_bad_claim_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            SRAMTRNG(chip, claimed_entropy_per_bit=0.0)
+
+    def test_bad_safety_factor_rejected(self, chip):
+        with pytest.raises(ConfigurationError):
+            SRAMTRNG(chip, safety_factor=0.5)
+
+    def test_bad_request_rejected(self, trng):
+        with pytest.raises(ConfigurationError):
+            trng.generate(0)
