@@ -1,0 +1,123 @@
+"""Telemetry overhead baseline: tracing enabled vs disabled.
+
+Runs the same small assessment repeatedly with the global tracer off
+and on, verifies the scientific output is bit-identical either way
+(telemetry reads no random stream), and records the wall-clock
+overhead of the enabled path.  The committed result,
+``BENCH_telemetry_overhead.json`` at the repository root, is the
+trajectory anchor for future performance PRs: hot-path work must not
+let observability cost drift past the 5 % budget.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+
+from repro.core.assessment import LongTermAssessment
+from repro.core.config import StudyConfig
+from repro.telemetry import get_tracer, reset_telemetry, set_tracing
+
+#: Overhead budget asserted by this bench.
+MAX_OVERHEAD = 0.05
+
+CONFIG = StudyConfig(device_count=4, months=6, measurements=500, seed=1)
+REPEATS = 7
+OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_telemetry_overhead.json")
+
+
+def _timed_run(tracing: bool) -> "tuple":
+    set_tracing(tracing)
+    reset_telemetry()
+    start = time.perf_counter()
+    result = LongTermAssessment(CONFIG).run()
+    elapsed = time.perf_counter() - start
+    set_tracing(False)
+    return elapsed, result
+
+
+def _table_cells(result) -> dict:
+    return {
+        name: (
+            summary.start_avg,
+            summary.end_avg,
+            summary.start_worst,
+            summary.end_worst,
+        )
+        for name, summary in result.table.summaries.items()
+    }
+
+
+def main() -> int:
+    # Interleave the two variants so machine drift hits both equally;
+    # one untimed warm-up run absorbs import and cache effects.
+    _timed_run(False)
+    disabled, enabled = [], []
+    reference_cells = None
+    for _ in range(REPEATS):
+        elapsed_off, result_off = _timed_run(False)
+        elapsed_on, result_on = _timed_run(True)
+        disabled.append(elapsed_off)
+        enabled.append(elapsed_on)
+        cells_off = _table_cells(result_off)
+        cells_on = _table_cells(result_on)
+        if cells_off != cells_on:
+            print("FAIL: tracing changed the scientific output", file=sys.stderr)
+            return 1
+        if reference_cells is None:
+            reference_cells = cells_off
+        elif cells_off != reference_cells:
+            print("FAIL: run-to-run nondeterminism at fixed seed", file=sys.stderr)
+            return 1
+
+    span_count = sum(1 for _ in _walk(get_tracer().roots))
+    median_off = statistics.median(disabled)
+    median_on = statistics.median(enabled)
+    overhead = median_on / median_off - 1.0
+
+    document = {
+        "bench": "telemetry_overhead",
+        "config": {
+            "device_count": CONFIG.device_count,
+            "months": CONFIG.months,
+            "measurements": CONFIG.measurements,
+            "seed": CONFIG.seed,
+        },
+        "repeats": REPEATS,
+        "median_disabled_s": round(median_off, 6),
+        "median_enabled_s": round(median_on, 6),
+        "overhead_fraction": round(overhead, 6),
+        "max_overhead_budget": MAX_OVERHEAD,
+        "results_identical": True,
+        "spans_recorded_last_run": span_count,
+    }
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(document, indent=2))
+
+    if overhead >= MAX_OVERHEAD:
+        print(
+            f"FAIL: telemetry overhead {overhead:.1%} >= budget {MAX_OVERHEAD:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: telemetry overhead {overhead:+.2%} (budget {MAX_OVERHEAD:.0%})")
+    return 0
+
+
+def _walk(spans):
+    for span in spans:
+        yield span
+        yield from _walk(span.children)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,9 +21,14 @@ Top-level names are loaded lazily (PEP 562) so that ``import repro``
 stays cheap and subpackages can be imported independently.
 """
 
+import logging as _logging
 from typing import TYPE_CHECKING
 
 __version__ = "1.0.0"
+
+# Library silence by default (PEP 282 convention): applications opt in
+# to output, e.g. via repro.telemetry.init_logging or the CLI's -v.
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 #: Maps public top-level names to the modules that define them.
 _EXPORTS = {

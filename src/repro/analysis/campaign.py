@@ -14,8 +14,9 @@ measurement temperature around the nominal, mimicking an uncontrolled
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -25,6 +26,12 @@ from repro.rng import RandomState, SeedHierarchy
 from repro.sram.aging import AgingSimulator
 from repro.sram.chip import SRAMChip
 from repro.sram.profiles import ATMEGA32U4, DeviceProfile
+from repro.telemetry import get_metrics, get_tracer
+
+logger = logging.getLogger(__name__)
+
+#: Progress callback signature: ``callback(completed_snapshots, total_snapshots)``.
+ProgressCallback = Callable[[int, int], None]
 
 
 @dataclass(frozen=True)
@@ -130,40 +137,88 @@ class LongTermCampaign:
             for chip_id in range(self._device_count)
         ]
 
-    def run(self, chips: Optional[Sequence[SRAMChip]] = None) -> CampaignResult:
+    def run(
+        self,
+        chips: Optional[Sequence[SRAMChip]] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> CampaignResult:
         """Execute the campaign and return its result.
 
         ``chips`` may inject an externally built fleet (e.g. boards
         pulled out of a :class:`~repro.hardware.testbed.Testbed`);
-        their current state is taken as day 0.
+        their current state is taken as day 0.  ``progress``, when
+        given, is called after every monthly snapshot with
+        ``(completed, total)`` snapshot counts.
+
+        The run is instrumented: a ``campaign.run`` span with one
+        ``campaign.month`` child per snapshot, and the counters
+        ``campaign.powerups``, ``campaign.snapshots`` and
+        ``campaign.aging_steps`` (see ``docs/telemetry.md``).
+        Telemetry is purely observational — it reads no random stream,
+        so results are identical with tracing on or off.
         """
-        fleet = list(chips) if chips is not None else self.build_fleet()
-        if not fleet:
-            raise ConfigurationError("campaign fleet is empty")
+        metrics = get_metrics()
+        tracer = get_tracer()
+        powerups = metrics.counter("campaign.powerups")
+        snapshots_done = metrics.counter("campaign.snapshots")
+        aging_steps = metrics.counter("campaign.aging_steps")
+        metrics.gauge("campaign.devices").set(self._device_count)
 
-        references = {chip.chip_id: chip.read_startup() for chip in fleet}
-        temp_rng = self._seeds.stream("ambient-temperature")
-        simulator = AgingSimulator(self._profile)
-
-        snapshots: List[MonthlyEvaluation] = []
-        temperature = self._profile.temperature_k
-        for month in range(self._months + 1):
-            if self._temperature_walk_k > 0.0:
-                temperature += float(temp_rng.normal(0.0, self._temperature_walk_k))
-            snapshot_temp = temperature if self._temperature_walk_k > 0.0 else None
-            snapshots.append(
-                evaluate_month(
-                    fleet,
-                    references,
-                    month=month,
-                    measurements=self._measurements,
-                    statistical=self._statistical,
-                    temperature_k=snapshot_temp,
-                )
+        with tracer.span(
+            "campaign.run", devices=self._device_count, months=self._months
+        ):
+            fleet = list(chips) if chips is not None else self.build_fleet()
+            if not fleet:
+                raise ConfigurationError("campaign fleet is empty")
+            logger.info(
+                "campaign started: %d devices, %d months, %d measurements/month",
+                len(fleet),
+                self._months,
+                self._measurements,
             )
-            if month < self._months:
-                for chip in fleet:
-                    simulator.age_array_months(chip.array, 1.0, steps=self._aging_steps)
+
+            references = {chip.chip_id: chip.read_startup() for chip in fleet}
+            powerups.inc(len(fleet))  # the day-0 reference read-outs
+            temp_rng = self._seeds.stream("ambient-temperature")
+            simulator = AgingSimulator(self._profile)
+
+            total_snapshots = self._months + 1
+            snapshots: List[MonthlyEvaluation] = []
+            temperature = self._profile.temperature_k
+            for month in range(self._months + 1):
+                if self._temperature_walk_k > 0.0:
+                    temperature += float(temp_rng.normal(0.0, self._temperature_walk_k))
+                snapshot_temp = temperature if self._temperature_walk_k > 0.0 else None
+                with tracer.span("campaign.month", month=month):
+                    with tracer.span("campaign.measure"):
+                        snapshots.append(
+                            evaluate_month(
+                                fleet,
+                                references,
+                                month=month,
+                                measurements=self._measurements,
+                                statistical=self._statistical,
+                                temperature_k=snapshot_temp,
+                            )
+                        )
+                    powerups.inc(self._measurements * len(fleet))
+                    snapshots_done.inc()
+                    if month < self._months:
+                        with tracer.span("campaign.age"):
+                            for chip in fleet:
+                                simulator.age_array_months(
+                                    chip.array, 1.0, steps=self._aging_steps
+                                )
+                            aging_steps.inc(self._aging_steps * len(fleet))
+                logger.debug(
+                    "month %d/%d evaluated (WCHD mean %.4f)",
+                    month,
+                    self._months,
+                    float(snapshots[-1].wchd.mean()),
+                )
+                if progress is not None:
+                    progress(month + 1, total_snapshots)
+            logger.info("campaign finished: %d snapshots", len(snapshots))
 
         return CampaignResult(
             profile_name=self._profile.name,

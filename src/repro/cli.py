@@ -7,6 +7,16 @@
     python -m repro compare [--seed 1]
     python -m repro calibrate
     python -m repro accelerated
+    python -m repro profile [--devices 4] [--months 3]
+
+Global options (before the command):
+
+``-v`` / ``-vv``
+    Progressively verbose logging (INFO / DEBUG) on stderr; the
+    library is silent without it.
+``--trace-json PATH``
+    Enable tracing for the command and write the span tree to PATH
+    as JSON.
 
 Every command is a thin shell over the library; scripts that need the
 data programmatically should use :class:`repro.LongTermAssessment`
@@ -21,6 +31,14 @@ from typing import List, Optional
 
 from repro.core.assessment import LongTermAssessment
 from repro.core.config import StudyConfig
+from repro.telemetry import (
+    get_metrics,
+    get_tracer,
+    init_logging,
+    reset_telemetry,
+    set_tracing,
+    tracing_enabled,
+)
 
 
 def _add_study_arguments(parser: argparse.ArgumentParser) -> None:
@@ -58,9 +76,11 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
     metric = result.series.metric(args.metric)
     if args.save:
         from repro.io.resultstore import save_campaign
+        from repro.telemetry import manifest_path_for
 
-        save_campaign(result.campaign, args.save)
+        save_campaign(result.campaign, args.save, manifest=result.manifest)
         print(f"campaign saved to {args.save}")
+        print(f"manifest saved to {manifest_path_for(args.save)}")
     print(f"{metric.name} development over {args.months} months (fleet mean):")
     for month, value in zip(metric.months, metric.mean):
         print(f"  month {int(month):>2}: {100 * value:7.3f}%")
@@ -80,6 +100,53 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     print("predicted initial metrics:")
     for name, value in metrics.items():
         print(f"  {name:<14} {100 * value:7.3f}%")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run a small instrumented workload and print the telemetry report.
+
+    Exercises every instrumented subsystem — campaign, testbed
+    scheduler, key generation, TRNG — so the span tree and the metric
+    catalogue (``campaign.powerups``, ``scheduler.events``,
+    ``keygen.decode_failures``, ...) all show real numbers.
+    """
+    from repro.hardware.testbed import Testbed
+    from repro.keygen.keygen import SRAMKeyGenerator
+    from repro.sram.chip import SRAMChip
+    from repro.trng.trng import SRAMTRNG
+
+    set_tracing(True)
+    reset_telemetry()
+    tracer = get_tracer()
+
+    result = LongTermAssessment(_study_config(args)).run()
+
+    with tracer.span("profile.testbed", cycles=args.cycles):
+        bed = Testbed(device_count=2, random_state=args.seed)
+        bed.run_cycles(args.cycles)
+
+    with tracer.span("profile.keygen"):
+        generator = SRAMKeyGenerator(SRAMChip(0, random_state=args.seed))
+        _key, record = generator.enroll(random_state=args.seed)
+        generator.reconstruct(record)
+
+    trng = SRAMTRNG(SRAMChip(1, random_state=args.seed))
+    trng.generate(256)
+
+    print("== span tree ==")
+    print(tracer.render_tree())
+    print()
+    print("== metrics ==")
+    print(get_metrics().render_table())
+    print()
+    manifest = result.manifest
+    if manifest is not None:
+        print(
+            f"run {manifest.run_id}: repro {manifest.package_version}, "
+            f"seed {manifest.seed}, campaign phase "
+            f"{manifest.phases.get('campaign', 0.0):.2f} s"
+        )
     return 0
 
 
@@ -104,6 +171,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce Wang et al., DATE 2020 (SRAM PUF long-term aging).",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log to stderr (-v: INFO, -vv: DEBUG)",
+    )
+    parser.add_argument(
+        "--trace-json",
+        metavar="PATH",
+        help="enable tracing and write the span tree to PATH as JSON",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -141,13 +220,40 @@ def build_parser() -> argparse.ArgumentParser:
     accelerated.add_argument("--months", type=int, default=24)
     accelerated.set_defaults(handler=_cmd_accelerated)
 
+    profile = commands.add_parser(
+        "profile", help="run a small instrumented workload, print spans + metrics"
+    )
+    profile.add_argument("--seed", type=int, default=1, help="simulation seed")
+    profile.add_argument("--devices", type=int, default=4, help="fleet size")
+    profile.add_argument("--months", type=int, default=3, help="aging months")
+    profile.add_argument(
+        "--measurements", type=int, default=200, help="monthly block size"
+    )
+    profile.add_argument(
+        "--cycles", type=int, default=3, help="testbed power cycles to simulate"
+    )
+    profile.set_defaults(handler=_cmd_profile)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    init_logging(args.verbose)
+    tracing_before = tracing_enabled()
+    if args.trace_json:
+        set_tracing(True)
+    try:
+        code = args.handler(args)
+        if args.trace_json:
+            get_tracer().export_json(args.trace_json)
+            print(f"trace written to {args.trace_json}")
+    finally:
+        # Commands may enable tracing themselves (profile does); leave
+        # the process-global state as we found it.
+        set_tracing(tracing_before)
+    return code
 
 
 if __name__ == "__main__":

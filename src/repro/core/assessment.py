@@ -15,15 +15,21 @@ against the published value.
 
 from __future__ import annotations
 
+import logging
+import math
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
-from repro.analysis.campaign import CampaignResult, LongTermCampaign
+from repro.analysis.campaign import CampaignResult, LongTermCampaign, ProgressCallback
 from repro.analysis.timeseries import QualityTimeSeries
 from repro.core.config import StudyConfig
 from repro.core.paper import PAPER, PaperFacts
 from repro.core.report import build_quality_report
 from repro.metrics.summary import QualityReport
+from repro.telemetry import RunManifest, get_metrics, get_tracer
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -42,7 +48,14 @@ class ComparisonRow:
 
     @property
     def relative_error(self) -> float:
-        """Absolute error over the paper value."""
+        """Absolute error over the paper value.
+
+        ``nan`` when the paper value is 0.0 — a relative error against
+        a zero baseline is undefined, and the comparison table renders
+        the cell as ``nan`` rather than crashing the whole report.
+        """
+        if self.paper_value == 0.0:
+            return float("nan")
         return self.absolute_error / self.paper_value
 
 
@@ -53,6 +66,8 @@ class AssessmentResult:
     config: StudyConfig
     campaign: CampaignResult = field(repr=False)
     table: QualityReport
+    #: Provenance record of the run (None for hand-built results).
+    manifest: Optional[RunManifest] = field(repr=False, default=None, compare=False)
 
     @property
     def series(self) -> QualityTimeSeries:
@@ -111,22 +126,64 @@ class LongTermAssessment:
         """The study configuration."""
         return self._config
 
-    def run(self) -> AssessmentResult:
-        """Execute the campaign and summarise it."""
+    def run(self, progress: Optional[ProgressCallback] = None) -> AssessmentResult:
+        """Execute the campaign and summarise it.
+
+        ``progress`` is forwarded to
+        :meth:`~repro.analysis.campaign.LongTermCampaign.run` and
+        called after every monthly snapshot with ``(completed,
+        total)``.
+
+        The returned result carries a
+        :class:`~repro.telemetry.RunManifest` describing the run —
+        config, seed, package version, per-phase wall times and the
+        final Table I numbers — which
+        :func:`repro.io.resultstore.save_campaign` persists next to
+        the campaign artifact.
+        """
         cfg = self._config
-        campaign = LongTermCampaign(
-            device_count=cfg.device_count,
-            months=cfg.months,
-            measurements=cfg.measurements,
-            profile=cfg.profile,
-            statistical=cfg.statistical,
-            temperature_walk_k=cfg.temperature_walk_k,
-            aging_steps_per_month=cfg.aging_steps_per_month,
-            random_state=cfg.seed,
+        manifest = RunManifest.for_config(cfg, command="LongTermAssessment.run")
+        tracer = get_tracer()
+        with tracer.span(
+            "assessment.run", devices=cfg.device_count, months=cfg.months
+        ):
+            campaign = LongTermCampaign(
+                device_count=cfg.device_count,
+                months=cfg.months,
+                measurements=cfg.measurements,
+                profile=cfg.profile,
+                statistical=cfg.statistical,
+                temperature_walk_k=cfg.temperature_walk_k,
+                aging_steps_per_month=cfg.aging_steps_per_month,
+                random_state=cfg.seed,
+            )
+            phase_start = time.perf_counter()
+            result = campaign.run(progress=progress)
+            manifest.record_phase("campaign", time.perf_counter() - phase_start)
+
+            phase_start = time.perf_counter()
+            with tracer.span("assessment.report"):
+                table = build_quality_report(result)
+            manifest.record_phase("report", time.perf_counter() - phase_start)
+
+        manifest.metrics = get_metrics().snapshot()
+        manifest.summaries = {
+            name: {
+                "start_avg": summary.start_avg,
+                "end_avg": summary.end_avg,
+                "start_worst": summary.start_worst,
+                "end_worst": summary.end_worst,
+            }
+            for name, summary in table.summaries.items()
+        }
+        logger.info(
+            "assessment complete: run %s, %.2f s campaign phase",
+            manifest.run_id,
+            manifest.phases["campaign"],
         )
-        result = campaign.run()
         return AssessmentResult(
             config=cfg,
             campaign=result,
-            table=build_quality_report(result),
+            table=table,
+            manifest=manifest,
         )

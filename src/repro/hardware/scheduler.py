@@ -12,10 +12,15 @@ import itertools
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.telemetry import get_metrics
 
 
 class DiscreteEventScheduler:
     """Runs callbacks at simulated times.
+
+    Every dispatched event increments the global ``scheduler.events``
+    counter, so long testbed runs report how much event traffic they
+    generated.
 
     Examples
     --------
@@ -34,6 +39,7 @@ class DiscreteEventScheduler:
         self._counter = itertools.count()
         self._now = 0.0
         self._running = False
+        self._events_dispatched = get_metrics().counter("scheduler.events")
 
     @property
     def now(self) -> float:
@@ -79,6 +85,7 @@ class DiscreteEventScheduler:
                     break
                 heapq.heappop(self._queue)
                 self._now = when
+                self._events_dispatched.inc()
                 callback()
             if until is not None and until > self._now:
                 self._now = until

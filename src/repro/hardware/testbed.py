@@ -22,10 +22,12 @@ Algorithm 1's M0/M1 handshake — neither layer free-runs on a timer.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import ConfigurationError, ProtocolError
+from repro.telemetry import get_metrics
 from repro.hardware.board import MasterBoard, SlaveBoard
 from repro.hardware.i2c import I2CBus
 from repro.hardware.power import PowerSwitch
@@ -34,6 +36,8 @@ from repro.io.jsonstore import MeasurementDatabase
 from repro.rng import RandomState, SeedHierarchy
 from repro.sram.chip import SRAMChip
 from repro.sram.profiles import ATMEGA32U4, DeviceProfile
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -87,6 +91,8 @@ class _Layer:
         self.peer: Optional["_Layer"] = None
         self.cycles_completed = 0
         self._cycle_active = False
+        self._cycles_counter = get_metrics().counter("testbed.cycles")
+        self._readouts_counter = get_metrics().counter("testbed.readouts")
 
     def signal_start(self) -> None:
         """The peer layer's handover signal: begin one cycle now."""
@@ -96,9 +102,13 @@ class _Layer:
             )
         self._cycle_active = True
         self.master.power_on_layer()
-        self._scheduler.schedule_after(self._timing.read_delay_s, self.master.collect_readouts)
+        self._scheduler.schedule_after(self._timing.read_delay_s, self._collect)
         self._scheduler.schedule_after(self._timing.handover_s, self._handover)
         self._scheduler.schedule_after(self._timing.on_time_s, self._power_down)
+
+    def _collect(self) -> None:
+        self.master.collect_readouts()
+        self._readouts_counter.inc(len(self.master.slaves))
 
     def _handover(self) -> None:
         if self.peer is None:
@@ -109,6 +119,10 @@ class _Layer:
         self.master.power_off_layer()
         self.cycles_completed += 1
         self._cycle_active = False
+        self._cycles_counter.inc()
+        logger.debug(
+            "layer %d completed power cycle %d", self.index, self.cycles_completed
+        )
 
 
 class Testbed:
@@ -189,6 +203,11 @@ class Testbed:
         self._layers[0].peer = self._layers[1]
         self._layers[1].peer = self._layers[0]
         self._started = False
+        logger.info(
+            "testbed assembled: %d slaves over 2 layers, period %.1f s",
+            device_count,
+            timing.period_s,
+        )
 
     @property
     def timing(self) -> TestbedTiming:

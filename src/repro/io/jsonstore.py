@@ -8,6 +8,11 @@ millions of records without loading them all.
 
 The store also works fully in memory (``path=None``), which the test
 suite and the testbed simulator use.
+
+The module also persists :class:`~repro.telemetry.RunManifest`
+documents (:func:`save_manifest` / :func:`load_manifest`), so a
+measurement database or campaign artifact can carry its provenance
+record in the same storage layer.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ from typing import Iterable, Iterator, List, Optional
 
 from repro.errors import StorageError
 from repro.io.records import MeasurementRecord
+from repro.telemetry import RunManifest
 
 
 class MeasurementDatabase:
@@ -112,3 +118,19 @@ class MeasurementDatabase:
     def __repr__(self) -> str:
         where = self._path if self._path is not None else "memory"
         return f"MeasurementDatabase({len(self._records)} records, {where})"
+
+
+def save_manifest(manifest: RunManifest, path: str) -> None:
+    """Write a run manifest to ``path`` as a JSON document."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest.to_json_dict(), handle, indent=2)
+
+
+def load_manifest(path: str) -> RunManifest:
+    """Read a run manifest written by :func:`save_manifest`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StorageError(f"cannot load manifest from {path}: {exc}") from exc
+    return RunManifest.from_json_dict(doc)

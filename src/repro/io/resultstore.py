@@ -7,17 +7,24 @@ results still deserve artifacts: :func:`save_campaign` /
 monthly snapshot, the lot — to a single JSON document, so analyses and
 reports can be regenerated without re-running the study (or exchanged
 with collaborators who do not trust re-simulation).
+
+When a :class:`~repro.telemetry.RunManifest` accompanies the result,
+:func:`save_campaign` writes it next to the artifact
+(``campaign.json`` -> ``campaign.manifest.json``), making the saved
+file self-describing: config, seed, package version, phase timings and
+headline numbers travel with the data.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from repro.errors import StorageError
 from repro.io.bitutil import bits_from_hex, bits_to_hex
+from repro.telemetry import RunManifest, manifest_path_for
 
 FORMAT_VERSION = 1
 
@@ -99,10 +106,18 @@ def campaign_from_dict(doc: Dict[str, Any]):
         raise StorageError(f"malformed campaign document: {exc}") from exc
 
 
-def save_campaign(result, path: str) -> None:
-    """Write a campaign result to a JSON file."""
+def save_campaign(result, path: str, manifest: Optional[RunManifest] = None) -> None:
+    """Write a campaign result to a JSON file.
+
+    When ``manifest`` is given it is written alongside, at
+    :func:`~repro.telemetry.manifest_path_for` of ``path``.
+    """
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(campaign_to_dict(result), handle)
+    if manifest is not None:
+        from repro.io.jsonstore import save_manifest
+
+        save_manifest(manifest, manifest_path_for(path))
 
 
 def load_campaign(path: str):

@@ -17,6 +17,7 @@ precisely what the paper's reliability analysis (WCHD growing from
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -32,6 +33,9 @@ from repro.keygen.helper_data import CodeOffsetSketch, HelperData
 from repro.keygen.kdf import derive_key
 from repro.rng import RandomState
 from repro.sram.chip import SRAMChip
+from repro.telemetry import get_metrics, get_tracer
+
+logger = logging.getLogger(__name__)
 
 
 def default_code() -> BlockCode:
@@ -102,6 +106,10 @@ class SRAMKeyGenerator:
         self._debias = CVNDebiaser() if debias else None
         self._key_bits = key_bits
         self._secret_bits = secret_bits
+        metrics = get_metrics()
+        self._enrollments = metrics.counter("keygen.enrollments")
+        self._reconstructions = metrics.counter("keygen.reconstructions")
+        self._decode_failures = metrics.counter("keygen.decode_failures")
 
     @property
     def chip(self) -> SRAMChip:
@@ -138,29 +146,37 @@ class SRAMKeyGenerator:
         Raises :class:`ConfigurationError` when the chip cannot supply
         enough (debiased) response bits for the requested secret.
         """
-        response = self._chip.read_startup()
-        debias_pairs = None
-        if self._debias is not None:
-            result = self._debias.enroll(response)
-            response = result.bits
-            debias_pairs = result.selected_pairs
-        needed = self._sketch.response_bits_needed(self._secret_bits)
-        if response.size < needed:
-            raise ConfigurationError(
-                f"device yields {response.size} usable bits, sketch needs {needed}; "
-                "reduce secret_bits or use a higher-rate code"
+        with get_tracer().span("keygen.enroll", chip=self._chip.chip_id):
+            response = self._chip.read_startup()
+            debias_pairs = None
+            if self._debias is not None:
+                result = self._debias.enroll(response)
+                response = result.bits
+                debias_pairs = result.selected_pairs
+            needed = self._sketch.response_bits_needed(self._secret_bits)
+            if response.size < needed:
+                raise ConfigurationError(
+                    f"device yields {response.size} usable bits, sketch needs {needed}; "
+                    "reduce secret_bits or use a higher-rate code"
+                )
+            secret, helper = self._sketch.enroll(
+                response, self._secret_bits, random_state=random_state
             )
-        secret, helper = self._sketch.enroll(
-            response, self._secret_bits, random_state=random_state
-        )
-        key = derive_key(secret, self._key_bits)
-        record = EnrolledKey(
-            helper=helper,
-            debias_pairs=debias_pairs,
-            key_bits=self._key_bits,
-            secret_bits=self._secret_bits,
-        )
-        return key, record
+            key = derive_key(secret, self._key_bits)
+            record = EnrolledKey(
+                helper=helper,
+                debias_pairs=debias_pairs,
+                key_bits=self._key_bits,
+                secret_bits=self._secret_bits,
+            )
+            self._enrollments.inc()
+            logger.info(
+                "enrolled chip %d: %d-bit key from %d-bit secret",
+                self._chip.chip_id,
+                self._key_bits,
+                self._secret_bits,
+            )
+            return key, record
 
     def reconstruct(self, record: EnrolledKey) -> np.ndarray:
         """Re-derive the enrolled key from a fresh measurement.
@@ -171,19 +187,31 @@ class SRAMKeyGenerator:
             When the response has drifted beyond the code's correction
             capability (e.g. extreme aging or wrong device).
         """
-        response = self._chip.read_startup()
-        if record.debias_pairs is not None:
-            if self._debias is None:
+        with get_tracer().span("keygen.reconstruct", chip=self._chip.chip_id):
+            response = self._chip.read_startup()
+            if record.debias_pairs is not None:
+                if self._debias is None:
+                    raise ConfigurationError(
+                        "enrollment used debiasing but this generator has it disabled"
+                    )
+                response = self._debias.apply(response, record.debias_pairs)
+            elif self._debias is not None:
                 raise ConfigurationError(
-                    "enrollment used debiasing but this generator has it disabled"
+                    "enrollment skipped debiasing but this generator enables it"
                 )
-            response = self._debias.apply(response, record.debias_pairs)
-        elif self._debias is not None:
-            raise ConfigurationError(
-                "enrollment skipped debiasing but this generator enables it"
-            )
-        secret = self._sketch.reconstruct(response, record.helper, record.secret_bits)
-        return derive_key(secret, record.key_bits)
+            try:
+                secret = self._sketch.reconstruct(
+                    response, record.helper, record.secret_bits
+                )
+            except ReconstructionFailure:
+                self._decode_failures.inc()
+                logger.warning(
+                    "key reconstruction failed on chip %d (decode failure)",
+                    self._chip.chip_id,
+                )
+                raise
+            self._reconstructions.inc()
+            return derive_key(secret, record.key_bits)
 
     def reconstruction_succeeds(self, record: EnrolledKey, reference_key: np.ndarray) -> bool:
         """Convenience: reconstruct and compare against the enrolled key."""

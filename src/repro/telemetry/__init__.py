@@ -1,0 +1,57 @@
+"""repro.telemetry — tracing, metrics and run manifests.
+
+The observability layer of the reproduction: pure-stdlib spans and
+counters threaded through the campaign driver, testbed, key generator
+and TRNG, plus :class:`RunManifest` records that make every persisted
+artifact self-describing.  See ``docs/telemetry.md`` for the span
+tree, the metric name catalogue and the manifest schema.
+
+Quick tour
+----------
+>>> from repro.telemetry import get_metrics, get_tracer, set_tracing
+>>> set_tracing(True)
+>>> with get_tracer().span("demo"):
+...     get_metrics().counter("demo.events").inc()
+>>> get_tracer().roots[-1].name
+'demo'
+>>> set_tracing(False)
+"""
+
+from repro.telemetry.logconfig import init_logging, verbosity_to_level
+from repro.telemetry.manifest import MANIFEST_VERSION, RunManifest, manifest_path_for
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.runtime import (
+    get_metrics,
+    get_tracer,
+    reset_telemetry,
+    set_tracing,
+    tracing_enabled,
+)
+from repro.telemetry.tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_VERSION",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "RunManifest",
+    "Span",
+    "Tracer",
+    "get_metrics",
+    "get_tracer",
+    "init_logging",
+    "manifest_path_for",
+    "reset_telemetry",
+    "set_tracing",
+    "tracing_enabled",
+    "verbosity_to_level",
+]

@@ -1,0 +1,48 @@
+"""Logging configuration for CLI use.
+
+The library itself is silent: ``repro/__init__.py`` installs a
+:class:`logging.NullHandler` on the ``repro`` root logger and every
+module logs through ``logging.getLogger(__name__)``.  Applications
+that want output opt in — the CLI does it with ``-v``/``-vv`` through
+:func:`init_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: Log line format used by the CLI handler.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+_cli_handler: Optional[logging.Handler] = None
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map a ``-v`` count to a logging level (0 -> WARNING)."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def init_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger for console output.
+
+    Idempotent: repeated calls reconfigure the single CLI handler
+    instead of stacking duplicates.  Returns the ``repro`` logger.
+    """
+    global _cli_handler
+    logger = logging.getLogger("repro")
+    level = verbosity_to_level(verbosity)
+    if _cli_handler is None:
+        _cli_handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        _cli_handler.setFormatter(logging.Formatter(LOG_FORMAT))
+        logger.addHandler(_cli_handler)
+    elif stream is not None:
+        _cli_handler.setStream(stream)
+    _cli_handler.setLevel(level)
+    logger.setLevel(level)
+    return logger

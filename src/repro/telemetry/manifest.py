@@ -1,0 +1,172 @@
+"""Run manifests: self-describing records of what a run actually did.
+
+A two-year campaign artifact is only worth archiving if the context
+that produced it travels along: which configuration, which seed, which
+package version, how long each phase took and what the headline
+numbers were.  :class:`RunManifest` bundles exactly that and is
+written next to campaign artifacts (see
+:func:`repro.io.resultstore.save_campaign` and
+:func:`repro.io.jsonstore.save_manifest`), so any result file can be
+traced back to a reproducible run.
+
+The manifest deliberately stores only JSON-native values; callers
+flatten their config before handing it over
+(:meth:`RunManifest.for_config` does this for a
+:class:`~repro.core.config.StudyConfig`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import platform as _platform
+import sys
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import StorageError
+
+#: Manifest document schema version.
+MANIFEST_VERSION = 1
+
+
+def _utc_timestamp() -> str:
+    """Current UTC time as an ISO-8601 string (second precision)."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+@dataclass
+class RunManifest:
+    """Provenance record of one run.
+
+    Attributes
+    ----------
+    run_id:
+        Unique id of this run (random UUID hex by default).
+    created_at:
+        UTC creation timestamp, ISO-8601.
+    package_version:
+        ``repro.__version__`` at run time.
+    python_version:
+        Interpreter version string.
+    platform:
+        ``platform.platform()`` of the host.
+    command:
+        What produced the run (free-form, e.g. the CLI invocation).
+    config:
+        Flattened run configuration (JSON-native values only).
+    seed:
+        Root seed of the run's :class:`~repro.rng.SeedHierarchy`,
+        when the run was seeded.
+    phases:
+        Per-phase wall-clock seconds, in execution order.
+    metrics:
+        A :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot`.
+    summaries:
+        Headline result numbers (e.g. the Table I cells).
+    """
+
+    run_id: str = field(default_factory=lambda: uuid.uuid4().hex)
+    created_at: str = field(default_factory=_utc_timestamp)
+    package_version: str = ""
+    python_version: str = field(default_factory=lambda: sys.version.split()[0])
+    platform: str = field(default_factory=_platform.platform)
+    command: str = ""
+    config: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+    phases: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    summaries: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.package_version:
+            import repro
+
+            self.package_version = repro.__version__
+
+    @classmethod
+    def for_config(cls, config: Any, command: str = "") -> "RunManifest":
+        """Build a manifest pre-filled from a config object.
+
+        Accepts a :class:`~repro.core.config.StudyConfig` (or any
+        dataclass with an optional ``seed`` field and an optional
+        ``profile`` with a ``name``); non-JSON values are flattened to
+        their names.
+        """
+        flat: Dict[str, Any] = {}
+        seed: Optional[int] = None
+        if dataclasses.is_dataclass(config):
+            for f in dataclasses.fields(config):
+                value = getattr(config, f.name)
+                if isinstance(value, (int, float, str, bool, type(None))):
+                    flat[f.name] = value
+                elif hasattr(value, "name"):
+                    flat[f.name] = value.name
+                else:
+                    flat[f.name] = repr(value)
+            seed_value = flat.get("seed")
+            seed = seed_value if isinstance(seed_value, int) else None
+        elif isinstance(config, dict):
+            flat = dict(config)
+            seed_value = flat.get("seed")
+            seed = seed_value if isinstance(seed_value, int) else None
+        return cls(command=command, config=flat, seed=seed)
+
+    def record_phase(self, name: str, wall_s: float) -> None:
+        """Record (or overwrite) one phase's wall-clock duration."""
+        self.phases[name] = float(wall_s)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "manifest_version": MANIFEST_VERSION,
+            "run_id": self.run_id,
+            "created_at": self.created_at,
+            "package_version": self.package_version,
+            "python_version": self.python_version,
+            "platform": self.platform,
+            "command": self.command,
+            "config": dict(self.config),
+            "seed": self.seed,
+            "phases": dict(self.phases),
+            "metrics": dict(self.metrics),
+            "summaries": dict(self.summaries),
+        }
+
+    @classmethod
+    def from_json_dict(cls, doc: Dict[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from :meth:`to_json_dict` output."""
+        try:
+            version = doc["manifest_version"]
+            if version != MANIFEST_VERSION:
+                raise StorageError(f"unsupported manifest version {version}")
+            seed = doc.get("seed")
+            return cls(
+                run_id=str(doc["run_id"]),
+                created_at=str(doc["created_at"]),
+                package_version=str(doc["package_version"]),
+                python_version=str(doc["python_version"]),
+                platform=str(doc["platform"]),
+                command=str(doc.get("command", "")),
+                config=dict(doc.get("config", {})),
+                seed=None if seed is None else int(seed),
+                phases={str(k): float(v) for k, v in doc.get("phases", {}).items()},
+                metrics=dict(doc.get("metrics", {})),
+                summaries=dict(doc.get("summaries", {})),
+            )
+        except StorageError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageError(f"malformed run manifest: {exc}") from exc
+
+
+def manifest_path_for(artifact_path: str) -> str:
+    """Conventional manifest location next to a result artifact.
+
+    ``campaign.json`` -> ``campaign.manifest.json``; extensionless
+    paths get ``.manifest.json`` appended.
+    """
+    if artifact_path.endswith(".json"):
+        return artifact_path[: -len(".json")] + ".manifest.json"
+    return artifact_path + ".manifest.json"

@@ -1,0 +1,309 @@
+"""Counters, gauges and fixed-bucket histograms.
+
+The registry is the numeric side of the telemetry layer: instrumented
+code asks it for a named instrument once (``registry.counter("x")``)
+and then mutates that instrument on the hot path — a plain attribute
+add, cheap enough to leave permanently on.
+
+Instruments keep their identity across :meth:`MetricsRegistry.reset`
+calls (values are zeroed in place), so modules may cache the objects
+they increment without going stale.
+
+Naming convention: dotted ``subsystem.quantity`` names, e.g.
+``campaign.powerups`` or ``keygen.decode_failures`` — see
+``docs/telemetry.md`` for the full catalogue.
+
+Examples
+--------
+>>> registry = MetricsRegistry()
+>>> registry.counter("campaign.powerups").inc(16)
+>>> registry.counter("campaign.powerups").value
+16
+>>> registry.snapshot()["campaign.powerups"]["value"]
+16
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        """Current count."""
+        return self._value
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the count."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        self._value += amount
+
+    def _reset(self) -> None:
+        self._value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Gauge:
+    """A value that can move both ways (fleet size, queue depth...)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current level."""
+        return self._value
+
+    def set(self, value: Number) -> None:
+        """Set the gauge to ``value``."""
+        self._value = float(value)
+
+    def add(self, delta: Number) -> None:
+        """Move the gauge by ``delta`` (either sign)."""
+        self._value += float(delta)
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self._value})"
+
+
+#: Default histogram buckets: wide log-spaced upper bounds that suit
+#: both durations in seconds and bit/measurement counts.
+DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram of observed values.
+
+    Parameters
+    ----------
+    name:
+        Registry name.
+    buckets:
+        Strictly increasing upper bounds; every observation lands in
+        the first bucket whose bound is >= the value, or the implicit
+        overflow bucket.
+    """
+
+    __slots__ = ("name", "_bounds", "_counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str, buckets: Sequence[Number] = DEFAULT_BUCKETS):
+        bounds = [float(b) for b in buckets]
+        if not bounds:
+            raise ConfigurationError(f"histogram {name!r} needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be strictly increasing, got {bounds}"
+            )
+        self.name = name
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing overflow bucket
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    @property
+    def bounds(self) -> List[float]:
+        """Configured bucket upper bounds."""
+        return list(self._bounds)
+
+    @property
+    def bucket_counts(self) -> List[int]:
+        """Per-bucket observation counts (last entry is overflow)."""
+        return list(self._counts)
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (``nan`` before any observation)."""
+        return self._sum / self._count if self._count else float("nan")
+
+    @property
+    def min(self) -> Optional[float]:
+        """Smallest observation, ``None`` before any."""
+        return self._min
+
+    @property
+    def max(self) -> Optional[float]:
+        """Largest observation, ``None`` before any."""
+        return self._max
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = len(self._bounds)
+        for i, bound in enumerate(self._bounds):
+            if value <= bound:
+                index = i
+                break
+        self._counts[index] += 1
+        self._count += 1
+        self._sum += value
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+
+    def _reset(self) -> None:
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = None
+        self._max = None
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self._count}, mean={self.mean:.4g})"
+
+
+class MetricsRegistry:
+    """Named home of every counter, gauge and histogram of a run.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first
+    call registers the instrument (so it appears in snapshots even at
+    zero), later calls return the same object.  Requesting an existing
+    name as a different type is a bug and raises.
+    """
+
+    def __init__(self):
+        self._instruments: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[Number]] = None
+    ) -> Histogram:
+        """Get or create the histogram ``name``.
+
+        ``buckets`` only applies on first creation; later callers get
+        the existing instrument regardless.
+        """
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise ConfigurationError(
+                    f"metric {name!r} is a {type(existing).__name__}, not a Histogram"
+                )
+            return existing
+        instrument = Histogram(name, buckets if buckets is not None else DEFAULT_BUCKETS)
+        self._instruments[name] = instrument
+        return instrument
+
+    def _get_or_create(self, name: str, kind: type):
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise ConfigurationError(
+                    f"metric {name!r} is a {type(existing).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return existing
+        if not name:
+            raise ConfigurationError("metric name cannot be empty")
+        instrument = kind(name)
+        self._instruments[name] = instrument
+        return instrument
+
+    def names(self) -> List[str]:
+        """Sorted names of every registered instrument."""
+        return sorted(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-ready state of every instrument, keyed by name."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out[name] = {"type": "counter", "value": instrument.value}
+            elif isinstance(instrument, Gauge):
+                out[name] = {"type": "gauge", "value": instrument.value}
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    "count": instrument.count,
+                    "sum": instrument.total,
+                    "mean": None if not instrument.count else instrument.mean,
+                    "min": instrument.min,
+                    "max": instrument.max,
+                    "bounds": instrument.bounds,
+                    "bucket_counts": instrument.bucket_counts,
+                }
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument in place (identities survive)."""
+        for instrument in self._instruments.values():
+            instrument._reset()
+
+    def clear(self) -> None:
+        """Forget every instrument (cached references go stale)."""
+        self._instruments = {}
+
+    def render_table(self) -> str:
+        """Text table of every instrument's current state."""
+        lines = [f"{'metric':<36} {'type':<10} {'value':>16}", "-" * 64]
+        if not self._instruments:
+            lines.append("(no metrics registered)")
+            return "\n".join(lines)
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                rendered = f"{instrument.value}"
+                kind = "counter"
+            elif isinstance(instrument, Gauge):
+                rendered = f"{instrument.value:g}"
+                kind = "gauge"
+            else:
+                kind = "histogram"
+                rendered = (
+                    f"n={instrument.count} mean={instrument.mean:.4g}"
+                    if instrument.count
+                    else "n=0"
+                )
+            lines.append(f"{name:<36} {kind:<10} {rendered:>16}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._instruments)} instruments)"

@@ -1,0 +1,57 @@
+"""Process-global telemetry state.
+
+Instrumented modules all talk to one shared :class:`Tracer` and one
+shared :class:`MetricsRegistry`, fetched through :func:`get_tracer`
+and :func:`get_metrics`.  Keeping them global means threading the
+instruments through fifteen modules costs no API churn, while still
+being swappable for tests via :func:`reset_telemetry`.
+
+Policy:
+
+* **Metrics are always on.**  An increment is a Python integer add —
+  cheaper than any guard worth writing around it.
+* **Tracing is opt-in** (:func:`set_tracing`): a disabled tracer
+  hands out a shared no-op span.  The CLI enables it for ``profile``
+  runs and ``--trace-json``.
+
+Neither instrument touches any random stream, so toggling telemetry
+can never change a simulation's scientific output.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import Tracer
+
+_tracer = Tracer(enabled=False)
+_metrics = MetricsRegistry()
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer."""
+    return _tracer
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _metrics
+
+
+def set_tracing(enabled: bool) -> None:
+    """Enable or disable span recording on the global tracer."""
+    _tracer.enabled = bool(enabled)
+
+
+def tracing_enabled() -> bool:
+    """Whether the global tracer records spans."""
+    return _tracer.enabled
+
+
+def reset_telemetry() -> None:
+    """Zero the global registry and drop all recorded spans.
+
+    Metric instrument identities survive (values reset in place), so
+    modules that cached a counter keep counting into the same object.
+    """
+    _tracer.reset()
+    _metrics.reset()

@@ -1,0 +1,261 @@
+"""Structured tracing: nested spans with wall and CPU timings.
+
+A :class:`Span` measures one named unit of work; a :class:`Tracer`
+arranges the spans a run produces into a tree, renders it as a
+profile table and exports it as JSON.  The implementation is pure
+standard library (``time``, ``json``) so tracing can be threaded
+through every layer of the simulator without adding dependencies.
+
+Tracing is *opt-in*: a disabled tracer hands out a shared no-op span,
+so instrumented code pays one attribute check and nothing else.  The
+tracer never touches any random stream — enabling or disabling it
+cannot change a simulation's scientific output.
+
+Examples
+--------
+>>> tracer = Tracer(enabled=True)
+>>> with tracer.span("outer"):
+...     with tracer.span("inner", month=3):
+...         pass
+>>> [root.name for root in tracer.roots]
+['outer']
+>>> tracer.roots[0].children[0].attributes["month"]
+3
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+class Span:
+    """One timed, named unit of work inside a span tree.
+
+    Spans are created by :meth:`Tracer.span`; user code only reads
+    them back (or annotates the active one) after the fact.
+    """
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "start_wall",
+        "end_wall",
+        "start_cpu",
+        "end_cpu",
+    )
+
+    def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
+        if not name:
+            raise ConfigurationError("span name cannot be empty")
+        self.name = name
+        self.attributes: Dict[str, Any] = dict(attributes) if attributes else {}
+        self.children: List["Span"] = []
+        self.start_wall: float = 0.0
+        self.end_wall: Optional[float] = None
+        self.start_cpu: float = 0.0
+        self.end_cpu: Optional[float] = None
+
+    def _start(self) -> None:
+        self.start_wall = time.perf_counter()
+        self.start_cpu = time.process_time()
+
+    def _finish(self) -> None:
+        self.end_cpu = time.process_time()
+        self.end_wall = time.perf_counter()
+
+    @property
+    def finished(self) -> bool:
+        """Whether the span has been closed."""
+        return self.end_wall is not None
+
+    @property
+    def wall_s(self) -> float:
+        """Wall-clock duration in seconds (up to now if still open)."""
+        end = self.end_wall if self.end_wall is not None else time.perf_counter()
+        return end - self.start_wall
+
+    @property
+    def cpu_s(self) -> float:
+        """CPU time consumed in seconds (up to now if still open)."""
+        end = self.end_cpu if self.end_cpu is not None else time.process_time()
+        return end - self.start_cpu
+
+    def annotate(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute on this span."""
+        self.attributes[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation of this span and its subtree."""
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "open"
+        return f"Span({self.name!r}, {self.wall_s * 1e3:.2f} ms, {state})"
+
+
+class _NullSpan:
+    """Shared no-op stand-in handed out by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def annotate(self, key: str, value: Any) -> None:
+        """Discard the annotation (tracing is disabled)."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager that pushes/pops one live span on the tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        self._span._start()
+        return self._span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._span._finish()
+        self._tracer._pop(self._span)
+        return None
+
+
+class Tracer:
+    """Collects spans into per-run trees.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` (the default) :meth:`span` returns a shared
+        no-op context manager and records nothing.
+
+    Notes
+    -----
+    The tracer keeps a plain stack, so it assumes single-threaded use —
+    which matches the simulator, whose determinism contract already
+    rules out free-threaded mutation of shared state.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @property
+    def roots(self) -> List[Span]:
+        """Top-level spans recorded so far (oldest first)."""
+        return list(self._roots)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **attributes: Any):
+        """Open a span: ``with tracer.span("campaign.run"): ...``.
+
+        Keyword arguments become span attributes.  Returns the live
+        :class:`Span` when enabled, a no-op otherwise — both support
+        ``annotate``.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _ActiveSpan(self, Span(name, attributes))
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self._roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise ConfigurationError(
+                f"span {span.name!r} closed out of order (corrupted span stack)"
+            )
+        self._stack.pop()
+
+    def reset(self) -> None:
+        """Drop every recorded span (open spans are abandoned)."""
+        self._roots = []
+        self._stack = []
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-ready list of root span trees."""
+        return [root.to_dict() for root in self._roots]
+
+    def export_json(self, path: str) -> None:
+        """Write the span forest to ``path`` as a JSON document."""
+        document = {"format": "repro-trace", "version": 1, "spans": self.to_dicts()}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2)
+
+    def render_tree(self) -> str:
+        """Text profile table: one line per span, indented by depth."""
+        lines = [
+            f"{'span':<44} {'wall':>10} {'cpu':>10} {'% parent':>9}",
+            "-" * 76,
+        ]
+        if not self._roots:
+            lines.append("(no spans recorded — was tracing enabled?)")
+            return "\n".join(lines)
+        for root in self._roots:
+            self._render_span(root, depth=0, parent_wall=None, lines=lines)
+        return "\n".join(lines)
+
+    def _render_span(
+        self,
+        span: Span,
+        depth: int,
+        parent_wall: Optional[float],
+        lines: List[str],
+    ) -> None:
+        label = "  " * depth + span.name
+        if span.attributes:
+            pairs = ", ".join(f"{k}={v}" for k, v in sorted(span.attributes.items()))
+            label = f"{label} [{pairs}]"
+        if len(label) > 44:
+            label = label[:41] + "..."
+        share = (
+            f"{100.0 * span.wall_s / parent_wall:8.1f}%"
+            if parent_wall
+            else f"{'-':>9}"
+        )
+        lines.append(
+            f"{label:<44} {_format_seconds(span.wall_s):>10} "
+            f"{_format_seconds(span.cpu_s):>10} {share}"
+        )
+        for child in span.children:
+            self._render_span(child, depth + 1, span.wall_s, lines)
+
+
+def _format_seconds(seconds: float) -> str:
+    """Human-scale duration: microseconds to seconds."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    return f"{seconds:.2f} s"

@@ -21,12 +21,16 @@ conditioned afterwards.
 
 from __future__ import annotations
 
+import logging
 from typing import Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError, EntropyExhausted
 from repro.sram.chip import SRAMChip
+from repro.telemetry import get_metrics
+
+logger = logging.getLogger(__name__)
 
 
 class NoiseHarvester:
@@ -72,6 +76,9 @@ class NoiseHarvester:
         self._max_power_ups = max_power_ups
         self._reference: Optional[np.ndarray] = None
         self._unstable_mask: Optional[np.ndarray] = None
+        metrics = get_metrics()
+        self._powerups_counter = metrics.counter("trng.powerups")
+        self._raw_bits_counter = metrics.counter("trng.raw_bits")
 
     @property
     def strategy(self) -> str:
@@ -88,9 +95,16 @@ class NoiseHarvester:
     def characterize(self) -> None:
         """Measure the device and cache reference / unstable mask."""
         block = self._chip.read_startup(self._characterization_measurements)
+        self._powerups_counter.inc(self._characterization_measurements)
         ones = block.sum(axis=0)
         self._reference = block[0].copy()
         self._unstable_mask = (ones != 0) & (ones != self._characterization_measurements)
+        logger.debug(
+            "characterized chip %d: %d unstable cells over %d power-ups",
+            self._chip.chip_id,
+            int(self._unstable_mask.sum()),
+            self._characterization_measurements,
+        )
 
     def bits_per_power_up(self) -> int:
         """Raw bits one power-up yields under the current strategy."""
@@ -129,10 +143,12 @@ class NoiseHarvester:
                 f"limit is {self._max_power_ups}"
             )
         block = self._chip.read_startup(power_ups)
+        self._powerups_counter.inc(power_ups)
         if block.ndim == 1:
             block = block[np.newaxis, :]
         if self._strategy == "reference-xor":
             harvested = block ^ self._reference[np.newaxis, :]
         else:
             harvested = block[:, self._unstable_mask]
+        self._raw_bits_counter.inc(raw_bits)
         return harvested.ravel()[:raw_bits]

@@ -15,6 +15,7 @@ min-entropy ``H`` and false-positive probability ``alpha = 2^-20``.
 
 from __future__ import annotations
 
+import logging
 import math
 from typing import Iterable
 
@@ -23,6 +24,9 @@ from scipy import stats
 
 from repro.errors import ConfigurationError, HealthTestFailure
 from repro.io.bitutil import ensure_bits
+from repro.telemetry import get_metrics
+
+logger = logging.getLogger(__name__)
 
 #: SP 800-90B's recommended false-positive rate.
 ALPHA = 2.0**-20
@@ -58,6 +62,12 @@ class RepetitionCountTest:
         boundaries = np.concatenate([[0], change_points, [vector.size]])
         longest = int(np.diff(boundaries).max())
         if longest >= self._cutoff:
+            get_metrics().counter("trng.health_rejections").inc()
+            logger.warning(
+                "repetition count test tripped: run of %d >= cutoff %d",
+                longest,
+                self._cutoff,
+            )
             raise HealthTestFailure(
                 f"repetition count test: run of {longest} identical bits "
                 f">= cutoff {self._cutoff}"
@@ -108,6 +118,14 @@ class AdaptiveProportionTest:
             window = vector[index * self._window : (index + 1) * self._window]
             count = int((window == window[0]).sum())
             if count >= self._cutoff:
+                get_metrics().counter("trng.health_rejections").inc()
+                logger.warning(
+                    "adaptive proportion test tripped: %d occurrences "
+                    "in a %d-bit window (cutoff %d)",
+                    count,
+                    self._window,
+                    self._cutoff,
+                )
                 raise HealthTestFailure(
                     f"adaptive proportion test: value {int(window[0])} appeared "
                     f"{count} times in a {self._window}-bit window "
@@ -131,9 +149,13 @@ class HealthMonitor:
             RepetitionCountTest(min_entropy_per_bit),
             AdaptiveProportionTest(min_entropy_per_bit, window=window),
         ]
+        metrics = get_metrics()
+        self._checks_counter = metrics.counter("trng.health_checks")
+        metrics.counter("trng.health_rejections")  # register at 0
 
     def check(self, bits: np.ndarray) -> None:
         """Run every test; the first failure propagates."""
+        self._checks_counter.inc()
         for test in self._tests:
             test.check(bits)
 

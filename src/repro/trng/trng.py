@@ -14,15 +14,19 @@ bit, with the claim validated offline by
 
 from __future__ import annotations
 
+import logging
 from typing import Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.telemetry import get_metrics, get_tracer
 from repro.trng.conditioner import hash_condition
 from repro.trng.harvester import NoiseHarvester
 from repro.trng.health import HealthMonitor
 from repro.sram.chip import SRAMChip
+
+logger = logging.getLogger(__name__)
 
 
 class SRAMTRNG:
@@ -118,13 +122,18 @@ class SRAMTRNG:
         EntropyExhausted
             When the device cannot supply enough raw material.
         """
-        raw = self._harvester.harvest(self.raw_bits_needed(output_bits))
-        if self._monitor is not None:
-            self._monitor.check(raw)
-        output = hash_condition(raw, output_bits)
-        self._raw_bits_consumed += raw.size
-        self._output_bits_produced += output_bits
-        return output
+        with get_tracer().span("trng.generate", output_bits=output_bits):
+            raw = self._harvester.harvest(self.raw_bits_needed(output_bits))
+            if self._monitor is not None:
+                self._monitor.check(raw)
+            output = hash_condition(raw, output_bits)
+            self._raw_bits_consumed += raw.size
+            self._output_bits_produced += output_bits
+            get_metrics().counter("trng.output_bits").inc(output_bits)
+            logger.debug(
+                "generated %d output bits from %d raw bits", output_bits, raw.size
+            )
+            return output
 
     def generate_bytes(self, count: int) -> bytes:
         """Emit ``count`` random bytes."""

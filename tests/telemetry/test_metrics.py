@@ -1,0 +1,116 @@
+"""Tests for counters, gauges, histograms and the registry."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.add(-3.5)
+        assert gauge.value == 6.5
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        hist = Histogram("h", buckets=[1.0, 10.0, 100.0])
+        for value in (0.5, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        assert hist.bucket_counts == [1, 1, 1, 1]  # last is overflow
+        assert hist.count == 4
+        assert hist.total == pytest.approx(555.5)
+        assert hist.mean == pytest.approx(555.5 / 4)
+        assert hist.min == 0.5
+        assert hist.max == 500.0
+
+    def test_boundary_lands_in_lower_bucket(self):
+        hist = Histogram("h", buckets=[1.0, 10.0])
+        hist.observe(1.0)
+        assert hist.bucket_counts == [1, 0, 0]
+
+    def test_empty_mean_is_nan(self):
+        assert math.isnan(Histogram("h", buckets=[1.0]).mean)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=[10.0, 1.0])
+
+    def test_no_buckets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h", buckets=[])
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_type_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("x")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MetricsRegistry().counter("")
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(3)
+        registry.gauge("depth").set(2.5)
+        registry.histogram("lat", buckets=[1.0]).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["events"] == {"type": "counter", "value": 3}
+        assert snap["depth"] == {"type": "gauge", "value": 2.5}
+        assert snap["lat"]["type"] == "histogram"
+        assert snap["lat"]["count"] == 1
+        assert snap["lat"]["bucket_counts"] == [1, 0]
+
+    def test_reset_zeroes_in_place(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events")
+        counter.inc(5)
+        registry.reset()
+        assert counter.value == 0
+        # Identity survives: the cached reference keeps counting into
+        # the registered instrument.
+        counter.inc()
+        assert registry.counter("events").value == 1
+        assert registry.counter("events") is counter
+
+    def test_render_table(self):
+        registry = MetricsRegistry()
+        registry.counter("campaign.powerups").inc(16)
+        registry.gauge("campaign.devices").set(16)
+        rendered = registry.render_table()
+        assert "campaign.powerups" in rendered
+        assert "16" in rendered
+
+    def test_contains_and_len(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        assert "a" in registry
+        assert "b" not in registry
+        assert len(registry) == 1

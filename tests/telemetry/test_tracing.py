@@ -1,0 +1,126 @@
+"""Tests for the tracing core (spans, tracer, rendering, export)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import NULL_SPAN, Span, Tracer
+
+
+class TestSpan:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Span("")
+
+    def test_annotate(self):
+        span = Span("s")
+        span.annotate("month", 4)
+        assert span.attributes["month"] == 4
+
+    def test_timing_monotonicity(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work") as span:
+            total = sum(range(10_000))
+        assert total > 0
+        assert span.finished
+        assert span.end_wall >= span.start_wall
+        assert span.end_cpu >= span.start_cpu
+        assert span.wall_s >= 0.0
+        assert span.cpu_s >= 0.0
+
+    def test_to_dict_shape(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", kind="demo"):
+            with tracer.span("inner"):
+                pass
+        doc = tracer.roots[0].to_dict()
+        assert doc["name"] == "outer"
+        assert doc["attributes"] == {"kind": "demo"}
+        assert [child["name"] for child in doc["children"]] == ["inner"]
+
+
+class TestTracer:
+    def test_nesting(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        (root,) = tracer.roots
+        assert root.name == "a"
+        assert [child.name for child in root.children] == ["b", "d"]
+        assert [child.name for child in root.children[0].children] == ["c"]
+
+    def test_child_wall_within_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("parent"):
+            with tracer.span("child"):
+                sum(range(1000))
+        parent = tracer.roots[0]
+        child = parent.children[0]
+        assert child.wall_s <= parent.wall_s
+        assert child.start_wall >= parent.start_wall
+        assert child.end_wall <= parent.end_wall
+
+    def test_current_tracks_stack(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.current is None
+        with tracer.span("a") as a:
+            assert tracer.current is a
+            with tracer.span("b") as b:
+                assert tracer.current is b
+            assert tracer.current is a
+        assert tracer.current is None
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("invisible") as span:
+            span.annotate("k", "v")  # no-op must accept annotate
+        assert span is NULL_SPAN
+        assert tracer.roots == []
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        assert tracer.current is None
+        assert tracer.roots[0].finished
+
+    def test_reset(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.current is None
+
+    def test_render_tree_lists_spans_and_attributes(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("campaign.run", devices=2):
+            with tracer.span("campaign.month", month=0):
+                pass
+        rendered = tracer.render_tree()
+        assert "campaign.run [devices=2]" in rendered
+        assert "  campaign.month [month=0]" in rendered
+        assert "% parent" in rendered
+
+    def test_render_tree_empty(self):
+        assert "no spans recorded" in Tracer().render_tree()
+
+    def test_export_json(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root", seed=1):
+            with tracer.span("leaf"):
+                pass
+        path = str(tmp_path / "trace.json")
+        tracer.export_json(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert doc["format"] == "repro-trace"
+        assert doc["spans"][0]["name"] == "root"
+        assert doc["spans"][0]["children"][0]["name"] == "leaf"
+        assert doc["spans"][0]["wall_s"] >= 0.0

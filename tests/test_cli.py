@@ -51,6 +51,64 @@ class TestCommands:
         assert code == 0
         assert "monthly rate" in out
 
+    def test_fig6_save_writes_manifest(self, capsys, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        code, out = run_cli(capsys, "fig6", "--save", path, *SMALL)
+        assert code == 0
+        from repro.io.jsonstore import load_manifest
+        from repro.telemetry import manifest_path_for
+
+        manifest = load_manifest(manifest_path_for(path))
+        assert manifest.config["device_count"] == 2
+        assert "campaign" in manifest.phases
+
+
+PROFILE_SMALL = [
+    "profile", "--devices", "2", "--months", "2",
+    "--measurements", "100", "--cycles", "2",
+]
+
+
+class TestTelemetryCli:
+    def test_profile_prints_spans_and_metrics(self, capsys):
+        code, out = run_cli(capsys, *PROFILE_SMALL)
+        assert code == 0
+        # span tree with the per-phase timings
+        assert "== span tree ==" in out
+        assert "assessment.run" in out
+        assert "campaign.month" in out
+        assert "keygen.enroll" in out
+        # metrics table with the catalogue's headline counters
+        assert "== metrics ==" in out
+        assert "campaign.powerups" in out
+        assert "scheduler.events" in out
+        assert "keygen.decode_failures" in out
+        assert "trng.health_checks" in out
+
+    def test_trace_json_written_and_parseable(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "trace.json")
+        code, out = run_cli(
+            capsys, "--trace-json", path, "table1", *SMALL
+        )
+        assert code == 0
+        assert f"trace written to {path}" in out
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        names = [span["name"] for span in doc["spans"]]
+        assert "assessment.run" in names
+        for span in doc["spans"]:
+            assert span["wall_s"] >= 0.0
+
+    def test_verbose_flag_accepted(self, capsys):
+        code, _ = run_cli(capsys, "-v", "calibrate")
+        assert code == 0
+
+    def test_very_verbose_flag_accepted(self, capsys):
+        code, _ = run_cli(capsys, "-vv", "calibrate")
+        assert code == 0
+
 
 class TestParser:
     def test_requires_command(self):
