@@ -1,0 +1,119 @@
+"""Monitoring overhead: campaign with a MonitorHub attached vs without.
+
+Runs the same small assessment repeatedly with and without the default
+paper-envelope ruleset attached, verifies the scientific output is
+bit-identical either way (the hub only observes), and records the
+wall-clock overhead of the monitored path.  The committed result,
+``BENCH_monitor_overhead.json`` at the repository root, asserts the
+ISSUE-2 budget: monitoring a campaign must cost < 2 % wall time.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_monitor_overhead.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+
+from repro.core.assessment import LongTermAssessment
+from repro.core.config import StudyConfig
+from repro.monitor.defaults import default_ruleset
+from repro.monitor.hub import MonitorHub
+from repro.telemetry import reset_telemetry
+
+#: Overhead budget asserted by this bench (ISSUE 2 acceptance).
+MAX_OVERHEAD = 0.02
+
+CONFIG = StudyConfig(device_count=4, months=6, measurements=500, seed=1)
+REPEATS = 7
+OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_monitor_overhead.json")
+
+
+def _timed_run(monitored: bool) -> "tuple":
+    reset_telemetry()
+    hub = MonitorHub(default_ruleset()) if monitored else None
+    start = time.perf_counter()
+    result = LongTermAssessment(CONFIG).run(monitor=hub)
+    elapsed = time.perf_counter() - start
+    return elapsed, result, hub
+
+
+def _table_cells(result) -> dict:
+    return {
+        name: (
+            summary.start_avg,
+            summary.end_avg,
+            summary.start_worst,
+            summary.end_worst,
+        )
+        for name, summary in result.table.summaries.items()
+    }
+
+
+def main() -> int:
+    # Interleave the two variants so machine drift hits both equally;
+    # one untimed warm-up run absorbs import and cache effects.
+    _timed_run(False)
+    disabled, enabled = [], []
+    reference_cells = None
+    alert_count = 0
+    for _ in range(REPEATS):
+        elapsed_off, result_off, _hub = _timed_run(False)
+        elapsed_on, result_on, hub = _timed_run(True)
+        disabled.append(elapsed_off)
+        enabled.append(elapsed_on)
+        alert_count = hub.alert_count
+        cells_off = _table_cells(result_off)
+        cells_on = _table_cells(result_on)
+        if cells_off != cells_on:
+            print("FAIL: monitoring changed the scientific output", file=sys.stderr)
+            return 1
+        if reference_cells is None:
+            reference_cells = cells_off
+        elif cells_off != reference_cells:
+            print("FAIL: run-to-run nondeterminism at fixed seed", file=sys.stderr)
+            return 1
+
+    median_off = statistics.median(disabled)
+    median_on = statistics.median(enabled)
+    overhead = median_on / median_off - 1.0
+
+    document = {
+        "bench": "monitor_overhead",
+        "config": {
+            "device_count": CONFIG.device_count,
+            "months": CONFIG.months,
+            "measurements": CONFIG.measurements,
+            "seed": CONFIG.seed,
+        },
+        "repeats": REPEATS,
+        "rules": len(default_ruleset()),
+        "median_disabled_s": round(median_off, 6),
+        "median_enabled_s": round(median_on, 6),
+        "overhead_fraction": round(overhead, 6),
+        "max_overhead_budget": MAX_OVERHEAD,
+        "results_identical": True,
+        "alerts_last_run": alert_count,
+    }
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(document, indent=2))
+
+    if overhead >= MAX_OVERHEAD:
+        print(
+            f"FAIL: monitoring overhead {overhead:.1%} >= budget {MAX_OVERHEAD:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: monitoring overhead {overhead:+.2%} (budget {MAX_OVERHEAD:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

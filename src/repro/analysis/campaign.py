@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,6 +27,9 @@ from repro.sram.aging import AgingSimulator
 from repro.sram.chip import SRAMChip
 from repro.sram.profiles import ATMEGA32U4, DeviceProfile
 from repro.telemetry import get_metrics, get_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.monitor.hub import MonitorHub
 
 logger = logging.getLogger(__name__)
 
@@ -87,6 +90,14 @@ class LongTermCampaign:
         random walk; 0 disables it.
     aging_steps_per_month:
         Integration sub-steps of the self-limiting drift per month.
+    aging_acceleration:
+        Equivalent field months of aging applied per calendar month
+        (default 1.0, the paper's nominal-condition testbed).  Values
+        above 1 inject accelerated aging — the time-compression factor
+        is typically
+        ``AccelerationModel.overall_factor ** (1 / n)`` from
+        :mod:`repro.physics.acceleration`, turning the campaign into a
+        stressed run whose drift the monitoring layer should flag.
     random_state:
         Seed material; the same seed reproduces the same fleet and
         campaign.
@@ -101,6 +112,7 @@ class LongTermCampaign:
         statistical: bool = True,
         temperature_walk_k: float = 0.0,
         aging_steps_per_month: int = 2,
+        aging_acceleration: float = 1.0,
         random_state: RandomState = None,
     ):
         if device_count < 1:
@@ -117,6 +129,10 @@ class LongTermCampaign:
             raise ConfigurationError(
                 f"aging_steps_per_month must be >= 1, got {aging_steps_per_month}"
             )
+        if aging_acceleration <= 0:
+            raise ConfigurationError(
+                f"aging_acceleration must be positive, got {aging_acceleration}"
+            )
         self._device_count = device_count
         self._months = months
         self._measurements = measurements
@@ -124,6 +140,7 @@ class LongTermCampaign:
         self._statistical = statistical
         self._temperature_walk_k = temperature_walk_k
         self._aging_steps = aging_steps_per_month
+        self._aging_acceleration = aging_acceleration
         self._seeds = (
             random_state
             if isinstance(random_state, SeedHierarchy)
@@ -141,6 +158,7 @@ class LongTermCampaign:
         self,
         chips: Optional[Sequence[SRAMChip]] = None,
         progress: Optional[ProgressCallback] = None,
+        monitor: Optional["MonitorHub"] = None,
     ) -> CampaignResult:
         """Execute the campaign and return its result.
 
@@ -148,14 +166,22 @@ class LongTermCampaign:
         pulled out of a :class:`~repro.hardware.testbed.Testbed`);
         their current state is taken as day 0.  ``progress``, when
         given, is called after every monthly snapshot with
-        ``(completed, total)`` snapshot counts.
+        ``(completed, total)`` snapshot counts (a
+        :class:`~repro.monitor.heartbeat.SnapshotEmitter` plugs in
+        here to write a tailable heartbeat file).
+
+        ``monitor``, when given, receives every monthly snapshot
+        (:meth:`~repro.monitor.hub.MonitorHub.observe_evaluation`) and
+        a counter poll per month, so drift alerts fire *while the
+        campaign runs* rather than in post-processing.
 
         The run is instrumented: a ``campaign.run`` span with one
         ``campaign.month`` child per snapshot, and the counters
         ``campaign.powerups``, ``campaign.snapshots`` and
         ``campaign.aging_steps`` (see ``docs/telemetry.md``).
-        Telemetry is purely observational — it reads no random stream,
-        so results are identical with tracing on or off.
+        Telemetry and monitoring are purely observational — they read
+        no random stream, so results are identical with either on or
+        off.
         """
         metrics = get_metrics()
         tracer = get_tracer()
@@ -203,11 +229,16 @@ class LongTermCampaign:
                         )
                     powerups.inc(self._measurements * len(fleet))
                     snapshots_done.inc()
+                    if monitor is not None:
+                        monitor.observe_evaluation(snapshots[-1])
+                        monitor.poll_counters(index=month)
                     if month < self._months:
                         with tracer.span("campaign.age"):
                             for chip in fleet:
                                 simulator.age_array_months(
-                                    chip.array, 1.0, steps=self._aging_steps
+                                    chip.array,
+                                    self._aging_acceleration,
+                                    steps=self._aging_steps,
                                 )
                             aging_steps.inc(self._aging_steps * len(fleet))
                 logger.debug(

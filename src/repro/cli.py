@@ -7,7 +7,8 @@
     python -m repro compare [--seed 1]
     python -m repro calibrate
     python -m repro accelerated
-    python -m repro profile [--devices 4] [--months 3]
+    python -m repro profile [--devices 4] [--months 3] [--prometheus PATH]
+    python -m repro monitor campaign.json [--alerts PATH]
 
 Global options (before the command):
 
@@ -140,6 +141,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print("== metrics ==")
     print(get_metrics().render_table())
     print()
+    if args.prometheus:
+        from repro.monitor.exporters import write_prometheus
+
+        write_prometheus(get_metrics(), args.prometheus)
+        print(f"prometheus exposition written to {args.prometheus}")
+    if args.metrics_jsonl:
+        from repro.monitor.exporters import write_metrics_jsonl
+
+        write_metrics_jsonl(get_metrics(), args.metrics_jsonl, label="profile")
+        print(f"metrics snapshot appended to {args.metrics_jsonl}")
     manifest = result.manifest
     if manifest is not None:
         print(
@@ -147,6 +158,46 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             f"seed {manifest.seed}, campaign phase "
             f"{manifest.phases.get('campaign', 0.0):.2f} s"
         )
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Replay a saved campaign through the alert engine.
+
+    Loads a campaign artifact written by ``fig6 --save`` (or
+    :func:`repro.io.resultstore.save_campaign`), feeds every monthly
+    snapshot through a :class:`~repro.monitor.hub.MonitorHub` running
+    the default paper-envelope ruleset, writes the JSONL alert log next
+    to the artifact and prints the alert timeline.
+    """
+    from repro.io.resultstore import load_campaign
+    from repro.monitor.alerts import SEVERITIES, alert_log_path_for
+    from repro.monitor.defaults import default_ruleset
+    from repro.monitor.hub import MonitorHub
+    from repro.monitor.replay import render_alert_timeline, replay_campaign
+
+    campaign = load_campaign(args.campaign)
+    alert_log = args.alerts if args.alerts else alert_log_path_for(args.campaign)
+    # Replays overwrite rather than append: the log mirrors this
+    # screening, not the concatenation of every past one.
+    open(alert_log, "w", encoding="utf-8").close()
+    hub = MonitorHub(default_ruleset(), alert_log=alert_log)
+    alerts = replay_campaign(campaign, hub)
+    print(
+        f"screened {campaign.months + 1} snapshots "
+        f"({len(campaign.board_ids)} boards) with {len(hub.rules)} rules"
+    )
+    print(render_alert_timeline(alerts, months=campaign.months))
+    counts = hub.severity_counts()
+    print(
+        "alerts: "
+        + ", ".join(f"{counts[severity]} {severity}" for severity in SEVERITIES)
+    )
+    print(f"alert log written to {alert_log}")
+    if args.fail_on is not None:
+        floor = SEVERITIES.index(args.fail_on)
+        if any(SEVERITIES.index(a.severity) >= floor for a in alerts):
+            return 1
     return 0
 
 
@@ -232,7 +283,33 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--cycles", type=int, default=3, help="testbed power cycles to simulate"
     )
+    profile.add_argument(
+        "--prometheus",
+        metavar="PATH",
+        help="also dump the metrics registry as Prometheus text exposition",
+    )
+    profile.add_argument(
+        "--metrics-jsonl",
+        metavar="PATH",
+        help="also append a metrics snapshot line to a JSONL file",
+    )
     profile.set_defaults(handler=_cmd_profile)
+
+    monitor = commands.add_parser(
+        "monitor", help="replay a saved campaign through the alert engine"
+    )
+    monitor.add_argument("campaign", help="campaign JSON written by fig6 --save")
+    monitor.add_argument(
+        "--alerts",
+        metavar="PATH",
+        help="alert log destination (default: <campaign>.alerts.jsonl)",
+    )
+    monitor.add_argument(
+        "--fail-on",
+        choices=["info", "warning", "critical"],
+        help="exit nonzero when an alert at or above this severity fired",
+    )
+    monitor.set_defaults(handler=_cmd_monitor)
 
     return parser
 

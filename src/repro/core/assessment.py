@@ -19,7 +19,7 @@ import logging
 import math
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.analysis.campaign import CampaignResult, LongTermCampaign, ProgressCallback
 from repro.analysis.timeseries import QualityTimeSeries
@@ -28,6 +28,9 @@ from repro.core.paper import PAPER, PaperFacts
 from repro.core.report import build_quality_report
 from repro.metrics.summary import QualityReport
 from repro.telemetry import RunManifest, get_metrics, get_tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.monitor.hub import MonitorHub
 
 logger = logging.getLogger(__name__)
 
@@ -126,13 +129,19 @@ class LongTermAssessment:
         """The study configuration."""
         return self._config
 
-    def run(self, progress: Optional[ProgressCallback] = None) -> AssessmentResult:
+    def run(
+        self,
+        progress: Optional[ProgressCallback] = None,
+        monitor: Optional["MonitorHub"] = None,
+    ) -> AssessmentResult:
         """Execute the campaign and summarise it.
 
-        ``progress`` is forwarded to
-        :meth:`~repro.analysis.campaign.LongTermCampaign.run` and
-        called after every monthly snapshot with ``(completed,
-        total)``.
+        ``progress`` and ``monitor`` are forwarded to
+        :meth:`~repro.analysis.campaign.LongTermCampaign.run`:
+        ``progress`` is called after every monthly snapshot with
+        ``(completed, total)``, and ``monitor`` (a
+        :class:`~repro.monitor.hub.MonitorHub`) evaluates its alert
+        rules online as snapshots arrive.
 
         The returned result carries a
         :class:`~repro.telemetry.RunManifest` describing the run —
@@ -155,10 +164,11 @@ class LongTermAssessment:
                 statistical=cfg.statistical,
                 temperature_walk_k=cfg.temperature_walk_k,
                 aging_steps_per_month=cfg.aging_steps_per_month,
+                aging_acceleration=cfg.aging_acceleration,
                 random_state=cfg.seed,
             )
             phase_start = time.perf_counter()
-            result = campaign.run(progress=progress)
+            result = campaign.run(progress=progress, monitor=monitor)
             manifest.record_phase("campaign", time.perf_counter() - phase_start)
 
             phase_start = time.perf_counter()

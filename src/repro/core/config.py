@@ -41,6 +41,10 @@ class StudyConfig:
         Ambient random-walk amplitude per month (0 disables).
     aging_steps_per_month:
         Drift-integration sub-steps per month.
+    aging_acceleration:
+        Equivalent field months aged per calendar month (1.0 is the
+        paper's nominal testbed; > 1 injects accelerated aging, see
+        :class:`repro.physics.acceleration.AccelerationModel`).
     initial_measurements:
         Block size of the Section IV-A initial evaluation.
     """
@@ -53,6 +57,7 @@ class StudyConfig:
     statistical: bool = True
     temperature_walk_k: float = 0.0
     aging_steps_per_month: int = 2
+    aging_acceleration: float = 1.0
     initial_measurements: int = 1000
 
     def __post_init__(self) -> None:
@@ -76,4 +81,8 @@ class StudyConfig:
         if self.aging_steps_per_month < 1:
             raise ConfigurationError(
                 f"aging_steps_per_month must be >= 1, got {self.aging_steps_per_month}"
+            )
+        if self.aging_acceleration <= 0:
+            raise ConfigurationError(
+                f"aging_acceleration must be positive, got {self.aging_acceleration}"
             )

@@ -12,13 +12,17 @@ When a :class:`~repro.telemetry.RunManifest` accompanies the result,
 :func:`save_campaign` writes it next to the artifact
 (``campaign.json`` -> ``campaign.manifest.json``), making the saved
 file self-describing: config, seed, package version, phase timings and
-headline numbers travel with the data.
+headline numbers travel with the data.  Alerts raised by a monitored
+run travel the same way: pass ``alerts`` (e.g.
+``hub.alerts``) and they are written as JSON Lines at
+``campaign.alerts.jsonl`` (see
+:func:`repro.monitor.alerts.alert_log_path_for`).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -106,11 +110,19 @@ def campaign_from_dict(doc: Dict[str, Any]):
         raise StorageError(f"malformed campaign document: {exc}") from exc
 
 
-def save_campaign(result, path: str, manifest: Optional[RunManifest] = None) -> None:
+def save_campaign(
+    result,
+    path: str,
+    manifest: Optional[RunManifest] = None,
+    alerts: Optional[Sequence[Any]] = None,
+) -> None:
     """Write a campaign result to a JSON file.
 
     When ``manifest`` is given it is written alongside, at
-    :func:`~repro.telemetry.manifest_path_for` of ``path``.
+    :func:`~repro.telemetry.manifest_path_for` of ``path``.  When
+    ``alerts`` (a sequence of :class:`repro.monitor.alerts.Alert`) is
+    given — even empty, recording that a monitored run stayed quiet —
+    the JSONL alert log is written alongside too.
     """
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(campaign_to_dict(result), handle)
@@ -118,6 +130,10 @@ def save_campaign(result, path: str, manifest: Optional[RunManifest] = None) -> 
         from repro.io.jsonstore import save_manifest
 
         save_manifest(manifest, manifest_path_for(path))
+    if alerts is not None:
+        from repro.monitor.alerts import alert_log_path_for, write_alert_log
+
+        write_alert_log(alerts, alert_log_path_for(path))
 
 
 def load_campaign(path: str):

@@ -1,0 +1,85 @@
+"""repro.monitor — streaming drift detection, alerting and exporters.
+
+The online half of the observability stack (``repro.telemetry`` is the
+recording half): O(1)-state streaming detectors watch the per-month
+quality series and registry counters, a :class:`MonitorHub` turns rule
+breaches into structured :class:`Alert` records (logged, counted and
+appended to a JSONL alert log), and exporters publish the metrics
+registry as Prometheus text exposition or JSON Lines.  See
+``docs/monitoring.md`` for detector math, the default ruleset and the
+file formats.
+
+Quick tour
+----------
+>>> from repro.monitor import EWMADetector, MonitorHub, AlertRule
+>>> hub = MonitorHub([AlertRule(
+...     name="demo", metric="series",
+...     detector_factory=lambda: EWMADetector(warmup=2, threshold_sigma=3.0),
+... )])
+>>> for index, value in enumerate([1.0, 1.1, 0.9, 1.0, 25.0]):
+...     _ = hub.observe("series", value, index)
+>>> [alert.index for alert in hub.alerts]
+[4]
+"""
+
+from repro.monitor.alerts import (
+    SEVERITIES,
+    Alert,
+    AlertRule,
+    alert_log_path_for,
+    append_alert,
+    load_alert_log,
+    write_alert_log,
+)
+from repro.monitor.defaults import default_ruleset, paper_wchd_trend
+from repro.monitor.detectors import (
+    CUSUMDetector,
+    Decision,
+    Detector,
+    EWMADetector,
+    StaticThresholdDetector,
+    TrendBandDetector,
+)
+from repro.monitor.exporters import (
+    DEFAULT_NAMESPACE,
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsJSONLSink,
+    prometheus_name,
+    render_prometheus,
+    write_metrics_jsonl,
+    write_prometheus,
+)
+from repro.monitor.heartbeat import SnapshotEmitter, current_rss_kb
+from repro.monitor.hub import RATE_PREFIX, MonitorHub
+from repro.monitor.replay import render_alert_timeline, replay_campaign
+
+__all__ = [
+    "Alert",
+    "AlertRule",
+    "CUSUMDetector",
+    "DEFAULT_NAMESPACE",
+    "Decision",
+    "Detector",
+    "EWMADetector",
+    "MetricsJSONLSink",
+    "MonitorHub",
+    "PROMETHEUS_CONTENT_TYPE",
+    "RATE_PREFIX",
+    "SEVERITIES",
+    "SnapshotEmitter",
+    "StaticThresholdDetector",
+    "TrendBandDetector",
+    "alert_log_path_for",
+    "append_alert",
+    "current_rss_kb",
+    "default_ruleset",
+    "load_alert_log",
+    "paper_wchd_trend",
+    "prometheus_name",
+    "render_alert_timeline",
+    "render_prometheus",
+    "replay_campaign",
+    "write_alert_log",
+    "write_metrics_jsonl",
+    "write_prometheus",
+]

@@ -1,0 +1,198 @@
+"""The default ruleset: the paper's envelopes as alert rules.
+
+Every rule encodes a quantitative expectation from the DATE 2020 study
+(via :data:`repro.core.paper.PAPER`), with margins wide enough that a
+healthy nominal-condition campaign stays silent across seeds while
+genuinely anomalous behaviour — aging at accelerated rates, an
+entropy-source collapse, a health-test storm — trips the matching rule:
+
+``wchd-drift``
+    Fleet-mean WCHD above the paper's fitted power-law trend band
+    (Section IV-D: ``y(t) = y0 + a * t**n``).  The signal Gao et al.
+    (arXiv:1705.07375) use to detect recycled chips; the alert month is
+    the first month the trend band is breached.
+``wchd-worst``
+    Any single board's WCHD above Table I's worst case plus margin.
+``fhw-band``
+    Fleet-mean fractional Hamming weight outside the paper's Fig. 5
+    band (0.60 - 0.70).
+``stable-ratio-floor``
+    Worst-board stable-cell ratio below Table I's end-of-study worst
+    case minus margin.
+``noise-entropy-floor``
+    Worst-board noise min-entropy below Table I's floor (the
+    worst-case month-0 value) minus margin.
+``puf-entropy-floor``
+    Fleet PUF min-entropy below the uniqueness floor.
+``bchd-floor``
+    Worst pairwise BCHD below the paper's Fig. 5 band.
+``trng-health-spike``
+    CUSUM on the per-poll rate of ``trng.health_rejections`` — isolated
+    rejections are expected statistics, a persistent or sudden burst is
+    an entropy-source failure (SP 800-90B Section 4 semantics).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.trends import PowerLawTrend
+from repro.core.paper import PAPER, PaperFacts
+from repro.monitor.alerts import AlertRule
+from repro.monitor.detectors import (
+    CUSUMDetector,
+    StaticThresholdDetector,
+    TrendBandDetector,
+)
+
+#: Default band above the fitted WCHD trend before ``wchd-drift`` fires.
+WCHD_TREND_BAND = 0.005
+
+#: Default absolute margins under/over the Table I envelopes.
+WCHD_WORST_MARGIN = 0.005
+STABLE_RATIO_MARGIN = 0.03
+NOISE_ENTROPY_MARGIN = 0.003
+PUF_ENTROPY_FLOOR = 0.60
+
+#: Exponent of the paper-anchored WCHD power-law trend (the calibrated
+#: BTI time exponent the fleet profiles share).
+WCHD_TREND_EXPONENT = 0.35
+
+#: CUSUM tuning for the health-rejection rate: half a rejection per
+#: poll of slack, alarm after three net excess rejections.
+HEALTH_SPIKE_DRIFT = 0.5
+HEALTH_SPIKE_THRESHOLD = 3.0
+
+
+def paper_wchd_trend(
+    paper: PaperFacts = PAPER, exponent: float = WCHD_TREND_EXPONENT
+) -> PowerLawTrend:
+    """The paper-anchored WCHD power-law trend.
+
+    Anchored analytically at Table I's fleet averages — ``y0`` is the
+    month-0 WCHD, and the amplitude is chosen so the trend passes
+    through the month-24 value:
+
+    >>> trend = paper_wchd_trend()
+    >>> round(float(trend.predict([24.0])[0]), 4)
+    0.0297
+    """
+    months = float(paper.months)
+    amplitude = (paper.wchd.end_avg - paper.wchd.start_avg) / months**exponent
+    return PowerLawTrend(
+        y0=paper.wchd.start_avg,
+        amplitude=amplitude,
+        exponent=exponent,
+        residual_rms=0.0,
+    )
+
+
+def default_ruleset(
+    paper: PaperFacts = PAPER,
+    wchd_trend_band: float = WCHD_TREND_BAND,
+) -> List[AlertRule]:
+    """The paper-envelope rules, ready for a :class:`MonitorHub`.
+
+    ``wchd_trend_band`` widens or tightens the drift band; everything
+    else derives from ``paper`` plus the module-level margins.
+    """
+    trend = paper_wchd_trend(paper)
+
+    def predict(month: float) -> float:
+        return float(trend.predict([month])[0])
+
+    return [
+        AlertRule(
+            name="wchd-drift",
+            metric="wchd.mean",
+            detector_factory=lambda: TrendBandDetector(
+                predict, upper_band=wchd_trend_band
+            ),
+            severity="critical",
+            hysteresis=1,
+            cooldown=6,
+            description=(
+                "fleet-mean WCHD above the paper's power-law aging trend "
+                f"(+{wchd_trend_band:g} band) — accelerated-aging signature"
+            ),
+        ),
+        AlertRule(
+            name="wchd-worst",
+            metric="wchd.worst",
+            detector_factory=lambda: StaticThresholdDetector(
+                upper=paper.wchd.end_worst + WCHD_WORST_MARGIN
+            ),
+            severity="warning",
+            hysteresis=2,
+            cooldown=3,
+            description="single-board WCHD above Table I worst case + margin",
+        ),
+        AlertRule(
+            name="fhw-band",
+            metric="fhw.mean",
+            detector_factory=lambda: StaticThresholdDetector(
+                lower=paper.fhw_band[0], upper=paper.fhw_band[1]
+            ),
+            severity="warning",
+            hysteresis=1,
+            cooldown=3,
+            description="fleet-mean fractional HW outside the Fig. 5 band",
+        ),
+        AlertRule(
+            name="stable-ratio-floor",
+            metric="stable_ratio.worst",
+            detector_factory=lambda: StaticThresholdDetector(
+                lower=paper.stable_cells.end_worst - STABLE_RATIO_MARGIN
+            ),
+            severity="warning",
+            hysteresis=2,
+            cooldown=3,
+            description="worst-board stable-cell ratio under Table I floor - margin",
+        ),
+        AlertRule(
+            name="noise-entropy-floor",
+            metric="noise_entropy.min",
+            detector_factory=lambda: StaticThresholdDetector(
+                lower=paper.noise_entropy.start_worst - NOISE_ENTROPY_MARGIN
+            ),
+            severity="critical",
+            hysteresis=1,
+            cooldown=3,
+            description="worst-board noise min-entropy under Table I floor - margin",
+        ),
+        AlertRule(
+            name="puf-entropy-floor",
+            metric="puf_entropy",
+            detector_factory=lambda: StaticThresholdDetector(
+                lower=PUF_ENTROPY_FLOOR
+            ),
+            severity="critical",
+            hysteresis=1,
+            cooldown=3,
+            description="fleet PUF min-entropy under the uniqueness floor",
+        ),
+        AlertRule(
+            name="bchd-floor",
+            metric="bchd.min",
+            detector_factory=lambda: StaticThresholdDetector(
+                lower=paper.bchd_band[0]
+            ),
+            severity="warning",
+            hysteresis=1,
+            cooldown=3,
+            description="worst pairwise BCHD under the Fig. 5 band",
+        ),
+        AlertRule(
+            name="trng-health-spike",
+            metric="rate:trng.health_rejections",
+            detector_factory=lambda: CUSUMDetector(
+                threshold=HEALTH_SPIKE_THRESHOLD,
+                drift=HEALTH_SPIKE_DRIFT,
+                target=0.0,
+            ),
+            severity="critical",
+            hysteresis=1,
+            cooldown=1,
+            description="sustained or bursty SP 800-90B health-test rejections",
+        ),
+    ]

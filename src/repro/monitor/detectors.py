@@ -1,0 +1,370 @@
+"""Streaming change-point and envelope detectors.
+
+Every detector consumes one observation at a time through
+:meth:`Detector.update` and keeps O(1) state, so a 24-month campaign
+and a million-cycle testbed run cost the same per observation.  The
+four families cover the monitoring needs of the paper's study:
+
+* :class:`StaticThresholdDetector` — fixed upper/lower envelope
+  (Table I floors and ceilings);
+* :class:`TrendBandDetector` — a time-varying envelope around a fitted
+  trend, e.g. the WCHD power law of
+  :func:`repro.analysis.trends.fit_power_law_trend`;
+* :class:`EWMADetector` — exponentially weighted mean/variance with a
+  sigma-band test, for slow drifts in noisy series;
+* :class:`CUSUMDetector` — two-sided cumulative-sum change-point
+  detector (Page 1954), the classical small-persistent-shift alarm.
+
+Detectors are deliberately free of any alerting policy — hysteresis,
+cooldown and severity belong to :class:`repro.monitor.alerts.AlertRule`
+and the :class:`repro.monitor.hub.MonitorHub`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One detector's verdict on one observation.
+
+    Attributes
+    ----------
+    triggered:
+        Whether the observation violates the detector's envelope.
+    value:
+        The observation as seen by the detector.
+    statistic:
+        Detector-specific evidence (threshold excess, z-score, CUSUM
+        statistic); 0.0 when quiet.
+    direction:
+        +1 for an upward violation, -1 downward, 0 when quiet.
+    detail:
+        Human-readable one-liner for logs and alert records.
+    """
+
+    triggered: bool
+    value: float
+    statistic: float = 0.0
+    direction: int = 0
+    detail: str = ""
+
+
+#: The quiet verdict most updates return.
+def _quiet(value: float) -> Decision:
+    return Decision(triggered=False, value=value)
+
+
+class Detector:
+    """Base class: one observation in, one :class:`Decision` out."""
+
+    def update(self, value: float, index: int = 0) -> Decision:
+        """Consume one observation (``index`` is its position, e.g. month)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all learned state."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description for rule tables and docs."""
+        return type(self).__name__
+
+
+class StaticThresholdDetector(Detector):
+    """Trigger when an observation leaves a fixed ``[lower, upper]`` band.
+
+    Either bound may be ``None`` (unbounded on that side); at least one
+    must be given.
+    """
+
+    def __init__(self, upper: Optional[float] = None, lower: Optional[float] = None):
+        if upper is None and lower is None:
+            raise ConfigurationError("threshold detector needs an upper or lower bound")
+        if upper is not None and lower is not None and lower >= upper:
+            raise ConfigurationError(
+                f"lower bound {lower} must be below upper bound {upper}"
+            )
+        self._upper = upper
+        self._lower = lower
+
+    def update(self, value: float, index: int = 0) -> Decision:
+        value = float(value)
+        if self._upper is not None and value > self._upper:
+            return Decision(
+                True,
+                value,
+                statistic=value - self._upper,
+                direction=+1,
+                detail=f"{value:.6g} above threshold {self._upper:.6g}",
+            )
+        if self._lower is not None and value < self._lower:
+            return Decision(
+                True,
+                value,
+                statistic=self._lower - value,
+                direction=-1,
+                detail=f"{value:.6g} below threshold {self._lower:.6g}",
+            )
+        return _quiet(value)
+
+    def reset(self) -> None:
+        pass  # stateless
+
+    def describe(self) -> str:
+        parts = []
+        if self._lower is not None:
+            parts.append(f">= {self._lower:.6g}")
+        if self._upper is not None:
+            parts.append(f"<= {self._upper:.6g}")
+        return "threshold " + " and ".join(parts)
+
+
+class TrendBandDetector(Detector):
+    """Trigger when an observation leaves a band around a fitted trend.
+
+    Parameters
+    ----------
+    predict:
+        Maps the observation index (e.g. month) to the expected level —
+        typically a bound :meth:`repro.analysis.trends.PowerLawTrend.predict`
+        wrapped for scalars.
+    upper_band, lower_band:
+        Allowed excursion above/below the trend; ``None`` disables that
+        side.  At least one side must be bounded.
+    """
+
+    def __init__(
+        self,
+        predict: Callable[[float], float],
+        upper_band: Optional[float] = None,
+        lower_band: Optional[float] = None,
+    ):
+        if upper_band is None and lower_band is None:
+            raise ConfigurationError("trend band detector needs a band on some side")
+        for name, band in (("upper_band", upper_band), ("lower_band", lower_band)):
+            if band is not None and band < 0:
+                raise ConfigurationError(f"{name} cannot be negative, got {band}")
+        self._predict = predict
+        self._upper_band = upper_band
+        self._lower_band = lower_band
+
+    def update(self, value: float, index: int = 0) -> Decision:
+        value = float(value)
+        expected = float(self._predict(float(index)))
+        deviation = value - expected
+        if self._upper_band is not None and deviation > self._upper_band:
+            return Decision(
+                True,
+                value,
+                statistic=deviation - self._upper_band,
+                direction=+1,
+                detail=(
+                    f"{value:.6g} exceeds trend {expected:.6g} "
+                    f"by {deviation:.6g} (band {self._upper_band:.6g})"
+                ),
+            )
+        if self._lower_band is not None and -deviation > self._lower_band:
+            return Decision(
+                True,
+                value,
+                statistic=-deviation - self._lower_band,
+                direction=-1,
+                detail=(
+                    f"{value:.6g} undercuts trend {expected:.6g} "
+                    f"by {-deviation:.6g} (band {self._lower_band:.6g})"
+                ),
+            )
+        return _quiet(value)
+
+    def reset(self) -> None:
+        pass  # stateless
+
+    def describe(self) -> str:
+        bands = []
+        if self._upper_band is not None:
+            bands.append(f"+{self._upper_band:.6g}")
+        if self._lower_band is not None:
+            bands.append(f"-{self._lower_band:.6g}")
+        return f"trend band {'/'.join(bands)}"
+
+
+class EWMADetector(Detector):
+    """Sigma-band test against exponentially weighted mean and variance.
+
+    The detector learns a running mean and variance with smoothing
+    factor ``alpha`` and triggers when an observation lands more than
+    ``threshold_sigma`` standard deviations away.  The first ``warmup``
+    observations only train the statistics (never trigger), so the
+    baseline is learned from the series itself.
+
+    Parameters
+    ----------
+    alpha:
+        Smoothing factor in (0, 1]; smaller adapts more slowly and
+        flags changes longer.
+    threshold_sigma:
+        Band half-width in learned standard deviations.
+    warmup:
+        Leading observations that only train (>= 2).
+    min_std:
+        Floor on the learned standard deviation, guarding constant
+        warmup series against zero-variance hair triggers.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.3,
+        threshold_sigma: float = 4.0,
+        warmup: int = 5,
+        min_std: float = 1e-12,
+    ):
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        if threshold_sigma <= 0:
+            raise ConfigurationError(
+                f"threshold_sigma must be positive, got {threshold_sigma}"
+            )
+        if warmup < 2:
+            raise ConfigurationError(f"warmup must be >= 2, got {warmup}")
+        if min_std < 0:
+            raise ConfigurationError(f"min_std cannot be negative, got {min_std}")
+        self._alpha = alpha
+        self._threshold_sigma = threshold_sigma
+        self._warmup = warmup
+        self._min_std = min_std
+        self.reset()
+
+    def reset(self) -> None:
+        self._seen = 0
+        self._mean = 0.0
+        self._var = 0.0
+
+    def _train(self, value: float) -> None:
+        delta = value - self._mean
+        self._mean += self._alpha * delta
+        # EW variance of the *residual*, the standard EWMA recursion.
+        self._var = (1.0 - self._alpha) * (self._var + self._alpha * delta * delta)
+
+    def update(self, value: float, index: int = 0) -> Decision:
+        value = float(value)
+        if self._seen < self._warmup:
+            self._seen += 1
+            self._train(value)
+            return _quiet(value)
+        std = max(math.sqrt(self._var), self._min_std)
+        z = (value - self._mean) / std if std > 0 else 0.0
+        self._seen += 1
+        if abs(z) > self._threshold_sigma:
+            # An outlier must not poison the baseline it violated.
+            return Decision(
+                True,
+                value,
+                statistic=abs(z),
+                direction=1 if z > 0 else -1,
+                detail=(
+                    f"{value:.6g} is {z:+.2f} sigma from EWMA mean "
+                    f"{self._mean:.6g} (band {self._threshold_sigma:g} sigma)"
+                ),
+            )
+        self._train(value)
+        return _quiet(value)
+
+    def describe(self) -> str:
+        return (
+            f"EWMA(alpha={self._alpha:g}, "
+            f"band={self._threshold_sigma:g} sigma, warmup={self._warmup})"
+        )
+
+
+class CUSUMDetector(Detector):
+    """Two-sided cumulative-sum change-point detector.
+
+    Accumulates positive and negative excursions beyond an allowed
+    ``drift`` around the target level and triggers when either sum
+    crosses ``threshold`` — the classical Page (1954) scheme, sensitive
+    to small persistent shifts that single-point tests miss.
+
+    Parameters
+    ----------
+    threshold:
+        Alarm level ``h`` on the accumulated statistic (raw units).
+    drift:
+        Allowed per-observation slack ``k`` (raw units); excursions
+        smaller than this never accumulate.
+    target:
+        Reference level; ``None`` learns it as the mean of the first
+        ``warmup`` observations.
+    warmup:
+        Observations used to learn the target when ``target`` is
+        ``None`` (ignored otherwise).
+    """
+
+    def __init__(
+        self,
+        threshold: float,
+        drift: float = 0.0,
+        target: Optional[float] = None,
+        warmup: int = 5,
+    ):
+        if threshold <= 0:
+            raise ConfigurationError(f"threshold must be positive, got {threshold}")
+        if drift < 0:
+            raise ConfigurationError(f"drift cannot be negative, got {drift}")
+        if target is None and warmup < 1:
+            raise ConfigurationError(f"warmup must be >= 1, got {warmup}")
+        self._threshold = threshold
+        self._drift = drift
+        self._fixed_target = target
+        self._warmup = warmup
+        self.reset()
+
+    def reset(self) -> None:
+        self._target = self._fixed_target
+        self._train_sum = 0.0
+        self._trained = 0
+        self._positive = 0.0
+        self._negative = 0.0
+
+    def update(self, value: float, index: int = 0) -> Decision:
+        value = float(value)
+        if self._target is None:
+            self._train_sum += value
+            self._trained += 1
+            if self._trained >= self._warmup:
+                self._target = self._train_sum / self._trained
+            return _quiet(value)
+        residual = value - self._target
+        self._positive = max(0.0, self._positive + residual - self._drift)
+        self._negative = max(0.0, self._negative - residual - self._drift)
+        if self._positive > self._threshold or self._negative > self._threshold:
+            upward = self._positive >= self._negative
+            statistic = self._positive if upward else self._negative
+            decision = Decision(
+                True,
+                value,
+                statistic=statistic,
+                direction=+1 if upward else -1,
+                detail=(
+                    f"CUSUM {'+' if upward else '-'} statistic {statistic:.6g} "
+                    f"over threshold {self._threshold:.6g} "
+                    f"(target {self._target:.6g})"
+                ),
+            )
+            # Restart the accumulators so one long excursion is one
+            # change-point, not an alarm per sample.
+            self._positive = 0.0
+            self._negative = 0.0
+            return decision
+        return _quiet(value)
+
+    def describe(self) -> str:
+        target = "learned" if self._fixed_target is None else f"{self._fixed_target:g}"
+        return (
+            f"CUSUM(h={self._threshold:g}, k={self._drift:g}, target={target})"
+        )

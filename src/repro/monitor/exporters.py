@@ -1,0 +1,151 @@
+"""Metric exporters: Prometheus text exposition and JSONL sinks.
+
+Two ways out of the process for the
+:class:`~repro.telemetry.MetricsRegistry`:
+
+* :func:`render_prometheus` — the Prometheus text exposition format
+  (``text/plain; version=0.0.4``): counters as ``<name>_total``,
+  gauges verbatim, histograms as cumulative ``_bucket{le="..."}``
+  series plus ``_sum`` and ``_count``.  Suitable for a textfile
+  collector or a scrape endpoint.
+* :class:`MetricsJSONLSink` — appends one JSON object per emission to
+  a file, giving long campaigns a machine-readable metric history that
+  can be tailed while the run is still going.
+
+Both exporters read instruments only through their public
+``snapshot()`` views; neither mutates the registry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+#: HTTP content type of the rendered exposition.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
+
+#: Default metric-name prefix (Prometheus namespace).
+DEFAULT_NAMESPACE = "repro"
+
+
+def prometheus_name(name: str, namespace: str = DEFAULT_NAMESPACE) -> str:
+    """Map a dotted registry name onto the Prometheus grammar.
+
+    Dots and any other character outside ``[a-zA-Z0-9_:]`` become
+    underscores; the namespace is prepended with an underscore.
+    """
+    sanitized = "".join(
+        ch if ch.isascii() and (ch.isalnum() or ch in "_:") else "_" for ch in name
+    )
+    if namespace:
+        sanitized = f"{namespace}_{sanitized}"
+    if sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integral floats render without '.0'."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_prometheus(
+    registry: MetricsRegistry, namespace: str = DEFAULT_NAMESPACE
+) -> str:
+    """Render every instrument in the Prometheus text format.
+
+    The output is deterministic: instruments appear in sorted registry
+    order, each preceded by ``# HELP`` (echoing the dotted source name)
+    and ``# TYPE`` lines.
+    """
+    lines: List[str] = []
+    for instrument in registry.instruments():
+        name = instrument.name
+        exposed = prometheus_name(name, namespace)
+        if isinstance(instrument, Counter):
+            exposed = f"{exposed}_total"
+            lines.append(f"# HELP {exposed} {name}")
+            lines.append(f"# TYPE {exposed} counter")
+            lines.append(f"{exposed} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# HELP {exposed} {name}")
+            lines.append(f"# TYPE {exposed} gauge")
+            lines.append(f"{exposed} {_format_value(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            lines.append(f"# HELP {exposed} {name}")
+            lines.append(f"# TYPE {exposed} histogram")
+            cumulative = instrument.cumulative_bucket_counts
+            for bound, count in zip(instrument.bounds, cumulative):
+                lines.append(
+                    f'{exposed}_bucket{{le="{_format_value(bound)}"}} {count}'
+                )
+            lines.append(f'{exposed}_bucket{{le="+Inf"}} {instrument.count}')
+            lines.append(f"{exposed}_sum {_format_value(instrument.total)}")
+            lines.append(f"{exposed}_count {instrument.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(
+    registry: MetricsRegistry, path: str, namespace: str = DEFAULT_NAMESPACE
+) -> None:
+    """Write the exposition to ``path`` (textfile-collector style)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_prometheus(registry, namespace))
+
+
+class MetricsJSONLSink:
+    """Appends registry snapshots to a JSON Lines file.
+
+    Each :meth:`emit` call appends one object::
+
+        {"sequence": 3, "label": "month-3", "metrics": {...}}
+
+    ``metrics`` is :meth:`MetricsRegistry.snapshot` output.  The file
+    is opened per emission, so a crash loses at most the line being
+    written and the file is always valid JSONL.
+    """
+
+    def __init__(self, path: str):
+        self._path = path
+        self._sequence = 0
+
+    @property
+    def path(self) -> str:
+        """The sink's output path."""
+        return self._path
+
+    @property
+    def sequence(self) -> int:
+        """Number of snapshots emitted so far."""
+        return self._sequence
+
+    def emit(
+        self, registry: MetricsRegistry, label: Optional[str] = None
+    ) -> Dict[str, Any]:
+        """Append one snapshot line and return the written document."""
+        document: Dict[str, Any] = {
+            "sequence": self._sequence,
+            "label": label,
+            "metrics": registry.snapshot(),
+        }
+        with open(self._path, "a", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+            handle.write("\n")
+        self._sequence += 1
+        return document
+
+
+def write_metrics_jsonl(
+    registry: MetricsRegistry, path: str, label: Optional[str] = None
+) -> None:
+    """One-shot convenience: append a single snapshot line to ``path``."""
+    MetricsJSONLSink(path).emit(registry, label=label)

@@ -1,0 +1,270 @@
+"""The monitor hub: rules in, alerts out.
+
+:class:`MonitorHub` is the online evaluation engine.  Producers push
+observations (`observe`), monthly quality snapshots
+(`observe_evaluation`) or metric-registry counter rates
+(`poll_counters`); the hub runs every matching
+:class:`~repro.monitor.alerts.AlertRule`, applies hysteresis and
+cooldown, and emits :class:`~repro.monitor.alerts.Alert` records to
+
+* the module logger (severity-mapped levels),
+* an optional JSONL alert log (one object per line, appended live so a
+  running campaign's alerts can be tailed),
+* the process metrics registry (``monitor.observations``,
+  ``monitor.alerts`` and ``monitor.alerts_by_severity.<severity>``).
+
+The hub reads no random stream and mutates nothing it observes, so
+attaching one to a campaign can never change the scientific result.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.monitor.alerts import SEVERITIES, Alert, AlertRule, append_alert
+from repro.monitor.detectors import Detector
+from repro.telemetry import get_metrics
+
+logger = logging.getLogger(__name__)
+
+#: Prefix of counter-rate series fed by :meth:`MonitorHub.poll_counters`.
+RATE_PREFIX = "rate:"
+
+_SEVERITY_LOG_LEVELS = {
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "critical": logging.ERROR,
+}
+
+
+class _RuleState:
+    """One rule's live evaluation state inside a hub."""
+
+    __slots__ = ("rule", "detector", "streak", "cooldown_remaining")
+
+    def __init__(self, rule: AlertRule):
+        self.rule = rule
+        self.detector: Detector = rule.detector_factory()
+        self.streak = 0
+        self.cooldown_remaining = 0
+
+    def reset(self) -> None:
+        self.detector.reset()
+        self.streak = 0
+        self.cooldown_remaining = 0
+
+
+class MonitorHub:
+    """Evaluates alert rules against streamed observations.
+
+    Parameters
+    ----------
+    rules:
+        Initial rule set (see
+        :func:`repro.monitor.defaults.default_ruleset`).
+    alert_log:
+        Path of a JSONL alert log appended to on every emission;
+        ``None`` keeps alerts in memory only.
+    clock:
+        Optional zero-argument wall-clock callable (e.g. ``time.time``)
+        used to stamp alerts; ``None`` (the default) leaves timestamps
+        out so replayed runs produce byte-identical logs.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[AlertRule] = (),
+        alert_log: Optional[str] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
+        self._states: Dict[str, List[_RuleState]] = {}
+        self._rule_names: Dict[str, AlertRule] = {}
+        self._alerts: List[Alert] = []
+        self._alert_log = alert_log
+        self._clock = clock
+        self._counter_baselines: Dict[str, float] = {}
+        self._poll_sequence = 0
+        metrics = get_metrics()
+        self._observations = metrics.counter("monitor.observations")
+        self._alert_counter = metrics.counter("monitor.alerts")
+        self._severity_counters = {
+            severity: metrics.counter(f"monitor.alerts_by_severity.{severity}")
+            for severity in SEVERITIES
+        }
+        for rule in rules:
+            self.add_rule(rule)
+
+    def add_rule(self, rule: AlertRule) -> None:
+        """Install ``rule`` (names must be unique within the hub)."""
+        if rule.name in self._rule_names:
+            raise ConfigurationError(f"duplicate rule name {rule.name!r}")
+        self._rule_names[rule.name] = rule
+        self._states.setdefault(rule.metric, []).append(_RuleState(rule))
+
+    @property
+    def rules(self) -> List[AlertRule]:
+        """Installed rules, in insertion order."""
+        return list(self._rule_names.values())
+
+    @property
+    def alerts(self) -> List[Alert]:
+        """Every alert emitted so far, in emission order."""
+        return list(self._alerts)
+
+    @property
+    def alert_count(self) -> int:
+        """Number of alerts emitted so far."""
+        return len(self._alerts)
+
+    def severity_counts(self) -> Dict[str, int]:
+        """Alert totals keyed by severity (zero-filled)."""
+        counts = {severity: 0 for severity in SEVERITIES}
+        for alert in self._alerts:
+            counts[alert.severity] += 1
+        return counts
+
+    def observe(self, metric: str, value: float, index: int = 0) -> List[Alert]:
+        """Feed one observation of ``metric`` and return new alerts."""
+        self._observations.inc()
+        emitted: List[Alert] = []
+        for state in self._states.get(metric, ()):
+            decision = state.detector.update(value, index)
+            if state.cooldown_remaining > 0:
+                state.cooldown_remaining -= 1
+                continue
+            if not decision.triggered:
+                state.streak = 0
+                continue
+            state.streak += 1
+            if state.streak < state.rule.hysteresis:
+                continue
+            state.streak = 0
+            state.cooldown_remaining = state.rule.cooldown
+            emitted.append(self._emit(state.rule, decision, index))
+        return emitted
+
+    def observe_evaluation(self, evaluation) -> List[Alert]:
+        """Feed one monthly snapshot's derived quality series.
+
+        ``evaluation`` is a
+        :class:`~repro.analysis.monthly.MonthlyEvaluation` (duck-typed
+        to avoid an import cycle); the derived series are
+
+        ========================  =======================================
+        ``wchd.mean/.worst``      fleet mean / max within-class HD
+        ``fhw.mean/.worst``       fleet mean / max fractional HW
+        ``stable_ratio.mean/.worst``  fleet mean / min stable-cell ratio
+        ``noise_entropy.mean/.min``   fleet mean / min noise min-entropy
+        ``bchd.min``              worst pairwise BCHD (>= 2 boards)
+        ``puf_entropy``           fleet PUF min-entropy (>= 2 boards)
+        ========================  =======================================
+        """
+        month = int(evaluation.month)
+        emitted: List[Alert] = []
+        emitted += self.observe("wchd.mean", float(evaluation.wchd.mean()), month)
+        emitted += self.observe("wchd.worst", float(evaluation.wchd.max()), month)
+        emitted += self.observe("fhw.mean", float(evaluation.fhw.mean()), month)
+        emitted += self.observe("fhw.worst", float(evaluation.fhw.max()), month)
+        emitted += self.observe(
+            "stable_ratio.mean", float(evaluation.stable_ratio.mean()), month
+        )
+        emitted += self.observe(
+            "stable_ratio.worst", float(evaluation.stable_ratio.min()), month
+        )
+        emitted += self.observe(
+            "noise_entropy.mean", float(evaluation.noise_entropy.mean()), month
+        )
+        emitted += self.observe(
+            "noise_entropy.min", float(evaluation.noise_entropy.min()), month
+        )
+        if evaluation.bchd_pairs.size:
+            emitted += self.observe("bchd.min", float(evaluation.bchd_pairs.min()), month)
+            emitted += self.observe("puf_entropy", float(evaluation.puf_entropy), month)
+        return emitted
+
+    def poll_counters(self, index: Optional[int] = None) -> List[Alert]:
+        """Feed the per-poll delta of every watched registry counter.
+
+        Rules whose metric is ``rate:<counter-name>`` observe how much
+        the counter advanced since the previous poll — the campaign
+        driver polls once per month, turning cumulative counters like
+        ``trng.health_rejections`` into a spike-detectable rate series.
+        """
+        if index is None:
+            index = self._poll_sequence
+        self._poll_sequence += 1
+        metrics = get_metrics()
+        emitted: List[Alert] = []
+        for metric in self._states:
+            if not metric.startswith(RATE_PREFIX):
+                continue
+            counter_name = metric[len(RATE_PREFIX):]
+            if counter_name not in metrics:
+                continue
+            value = float(metrics.counter(counter_name).value)
+            baseline = self._counter_baselines.get(counter_name, 0.0)
+            self._counter_baselines[counter_name] = value
+            emitted += self.observe(metric, value - baseline, index)
+        return emitted
+
+    def reset(self) -> None:
+        """Drop emitted alerts and all detector/rule state."""
+        self._alerts = []
+        self._counter_baselines = {}
+        self._poll_sequence = 0
+        for states in self._states.values():
+            for state in states:
+                state.reset()
+
+    def _emit(self, rule: AlertRule, decision, index: int) -> Alert:
+        alert = Alert(
+            rule=rule.name,
+            metric=rule.metric,
+            severity=rule.severity,
+            index=index,
+            value=decision.value,
+            statistic=decision.statistic,
+            direction=decision.direction,
+            detail=decision.detail,
+            timestamp=self._clock() if self._clock is not None else None,
+        )
+        self._alerts.append(alert)
+        self._alert_counter.inc()
+        self._severity_counters[rule.severity].inc()
+        logger.log(
+            _SEVERITY_LOG_LEVELS[rule.severity],
+            "alert [%s] %s at index %d: %s",
+            rule.severity,
+            rule.name,
+            index,
+            decision.detail or f"value {decision.value:.6g}",
+        )
+        if self._alert_log is not None:
+            append_alert(alert, self._alert_log)
+        return alert
+
+    def render_rule_table(self) -> str:
+        """Text table of the installed rules."""
+        lines = [
+            f"{'rule':<24} {'metric':<28} {'severity':<9} {'hyst':>4} "
+            f"{'cool':>4}  detector",
+            "-" * 92,
+        ]
+        if not self._rule_names:
+            lines.append("(no rules installed)")
+            return "\n".join(lines)
+        for rule in self._rule_names.values():
+            lines.append(
+                f"{rule.name:<24} {rule.metric:<28} {rule.severity:<9} "
+                f"{rule.hysteresis:>4} {rule.cooldown:>4}  "
+                f"{rule.detector_factory().describe()}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"MonitorHub({len(self._rule_names)} rules, "
+            f"{len(self._alerts)} alerts)"
+        )

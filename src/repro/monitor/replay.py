@@ -1,0 +1,54 @@
+"""Offline monitoring: replay saved campaigns through a hub.
+
+Past campaigns (persisted by
+:func:`repro.io.resultstore.save_campaign`) can be screened with
+today's ruleset — the ``repro monitor`` CLI subcommand is a thin shell
+over :func:`replay_campaign` plus :func:`render_alert_timeline`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.monitor.alerts import Alert
+from repro.monitor.hub import MonitorHub
+
+
+def replay_campaign(result, hub: MonitorHub) -> List[Alert]:
+    """Feed every snapshot of a finished campaign through ``hub``.
+
+    ``result`` is a :class:`~repro.analysis.campaign.CampaignResult`
+    (duck-typed: anything with ``snapshots``).  Returns the alerts the
+    replay emitted, in emission order.
+    """
+    emitted: List[Alert] = []
+    for snapshot in result.snapshots:
+        emitted += hub.observe_evaluation(snapshot)
+    return emitted
+
+
+def render_alert_timeline(
+    alerts: Sequence[Alert], months: Optional[int] = None
+) -> str:
+    """Text timeline of alerts, one row per alert, month-ordered.
+
+    ``months`` adds a header line stating the screened range even when
+    no alerts fired.
+    """
+    lines: List[str] = []
+    if months is not None:
+        lines.append(f"alert timeline over months 0..{months}:")
+    if not alerts:
+        lines.append("(no alerts)")
+        return "\n".join(lines)
+    lines += [
+        f"{'month':>5}  {'severity':<9} {'rule':<22} {'metric':<26} "
+        f"{'value':>10}  detail",
+        "-" * 100,
+    ]
+    for alert in sorted(alerts, key=lambda a: (a.index, a.rule)):
+        lines.append(
+            f"{alert.index:>5}  {alert.severity:<9} {alert.rule:<22} "
+            f"{alert.metric:<26} {alert.value:>10.6g}  {alert.detail}"
+        )
+    return "\n".join(lines)

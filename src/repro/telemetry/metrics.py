@@ -54,6 +54,10 @@ class Counter:
             )
         self._value += amount
 
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready state: ``{"type": "counter", "value": ...}``."""
+        return {"type": "counter", "value": self._value}
+
     def _reset(self) -> None:
         self._value = 0
 
@@ -82,6 +86,10 @@ class Gauge:
     def add(self, delta: Number) -> None:
         """Move the gauge by ``delta`` (either sign)."""
         self._value += float(delta)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready state: ``{"type": "gauge", "value": ...}``."""
+        return {"type": "gauge", "value": self._value}
 
     def _reset(self) -> None:
         self._value = 0.0
@@ -137,6 +145,21 @@ class Histogram:
         return list(self._counts)
 
     @property
+    def cumulative_bucket_counts(self) -> List[int]:
+        """Observations at or below each bound (Prometheus ``le`` form).
+
+        One entry per configured bound; the final implicit ``+Inf``
+        bucket is :attr:`count`.  Exporters should read this rather
+        than re-deriving cumulative sums from :attr:`bucket_counts`.
+        """
+        cumulative: List[int] = []
+        running = 0
+        for count in self._counts[:-1]:
+            running += count
+            cumulative.append(running)
+        return cumulative
+
+    @property
     def count(self) -> int:
         """Total observations."""
         return self._count
@@ -174,6 +197,24 @@ class Histogram:
         self._sum += value
         self._min = value if self._min is None else min(self._min, value)
         self._max = value if self._max is None else max(self._max, value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready state of the histogram.
+
+        The public view exporters consume: count/sum/mean/min/max plus
+        both per-bucket and cumulative bucket counts.
+        """
+        return {
+            "type": "histogram",
+            "count": self._count,
+            "sum": self._sum,
+            "mean": None if not self._count else self.mean,
+            "min": self._min,
+            "max": self._max,
+            "bounds": self.bounds,
+            "bucket_counts": self.bucket_counts,
+            "cumulative_bucket_counts": self.cumulative_bucket_counts,
+        }
 
     def _reset(self) -> None:
         self._counts = [0] * (len(self._bounds) + 1)
@@ -244,6 +285,14 @@ class MetricsRegistry:
         """Sorted names of every registered instrument."""
         return sorted(self._instruments)
 
+    def instruments(self) -> List[Union[Counter, Gauge, Histogram]]:
+        """Every registered instrument, in sorted-name order.
+
+        The public iteration surface for exporters — no reaching into
+        registry internals required.
+        """
+        return [self._instruments[name] for name in self.names()]
+
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
 
@@ -252,25 +301,7 @@ class MetricsRegistry:
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """JSON-ready state of every instrument, keyed by name."""
-        out: Dict[str, Dict[str, Any]] = {}
-        for name in self.names():
-            instrument = self._instruments[name]
-            if isinstance(instrument, Counter):
-                out[name] = {"type": "counter", "value": instrument.value}
-            elif isinstance(instrument, Gauge):
-                out[name] = {"type": "gauge", "value": instrument.value}
-            else:
-                out[name] = {
-                    "type": "histogram",
-                    "count": instrument.count,
-                    "sum": instrument.total,
-                    "mean": None if not instrument.count else instrument.mean,
-                    "min": instrument.min,
-                    "max": instrument.max,
-                    "bounds": instrument.bounds,
-                    "bucket_counts": instrument.bucket_counts,
-                }
-        return out
+        return {name: self._instruments[name].snapshot() for name in self.names()}
 
     def reset(self) -> None:
         """Zero every instrument in place (identities survive)."""

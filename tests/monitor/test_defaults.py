@@ -1,0 +1,112 @@
+"""The ISSUE acceptance scenario: quiet nominal runs, loud stressed ones.
+
+A monitored default-config campaign (the paper's 16 boards over 24
+months) must raise zero default-ruleset alerts, while the same fleet
+aged through the :mod:`repro.physics.acceleration` path must raise the
+``wchd-drift`` alert at the first month the fleet-mean WCHD leaves the
+paper's power-law trend band.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.assessment import LongTermAssessment
+from repro.core.config import StudyConfig
+from repro.monitor.defaults import (
+    WCHD_TREND_BAND,
+    default_ruleset,
+    paper_wchd_trend,
+)
+from repro.monitor.hub import MonitorHub
+from repro.physics.acceleration import AccelerationModel
+from repro.sram.profiles import ATMEGA32U4
+from repro.telemetry import reset_telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    reset_telemetry()
+    yield
+    reset_telemetry()
+
+
+def accelerated_config(months=8, seed=0) -> StudyConfig:
+    """A stressed campaign: mild oven (40 C) at nominal supply.
+
+    The acceleration factor flows through the physics path — an
+    Arrhenius/voltage :class:`AccelerationModel` converted to the BTI
+    time-compression factor ``AF ** (1/n)`` (about 14x here).
+    """
+    profile = ATMEGA32U4
+    bti = profile.bti_model()
+    model = AccelerationModel(
+        use_temperature_k=profile.temperature_k,
+        use_voltage_v=profile.supply_v,
+        stress_temperature_k=profile.temperature_k + 15.0,
+        stress_voltage_v=profile.supply_v,
+        activation_energy_ev=bti.activation_energy_ev,
+        voltage_exponent=bti.voltage_exponent,
+    )
+    acceleration = model.overall_factor ** (1.0 / profile.bti_time_exponent)
+    assert acceleration > 5.0  # a real stress condition, not a nudge
+    return StudyConfig(months=months, seed=seed, aging_acceleration=acceleration)
+
+
+class TestPaperTrend:
+    def test_anchored_at_table1(self):
+        trend = paper_wchd_trend()
+        assert float(trend.predict(np.array([0.0]))[0]) == pytest.approx(0.0249)
+        assert float(trend.predict(np.array([24.0]))[0]) == pytest.approx(0.0297)
+
+    def test_ruleset_covers_the_issue_envelopes(self):
+        names = {rule.name for rule in default_ruleset()}
+        assert {"wchd-drift", "noise-entropy-floor", "trng-health-spike"} <= names
+        metrics = {rule.metric for rule in default_ruleset()}
+        assert "rate:trng.health_rejections" in metrics
+
+    def test_rules_build_fresh_detectors(self):
+        rule = default_ruleset()[0]
+        assert rule.detector_factory() is not rule.detector_factory()
+
+
+class TestAcceptance:
+    def test_default_campaign_raises_zero_alerts(self):
+        hub = MonitorHub(default_ruleset())
+        result = LongTermAssessment(StudyConfig()).run(monitor=hub)
+        assert hub.alert_count == 0, [a.detail for a in hub.alerts]
+        # The hub observed every snapshot (paranoia: silence must not
+        # mean "nothing was fed").
+        assert result.campaign.months == 24
+
+    def test_accelerated_campaign_raises_wchd_drift_at_breach_month(self):
+        config = accelerated_config()
+        hub = MonitorHub(default_ruleset())
+        result = LongTermAssessment(config).run(monitor=hub)
+
+        drift_alerts = [a for a in hub.alerts if a.rule == "wchd-drift"]
+        assert drift_alerts, "accelerated aging must trip the drift rule"
+        assert drift_alerts[0].severity == "critical"
+
+        # The alert month is exactly the first month the fleet-mean
+        # WCHD left the paper's trend band.
+        trend = paper_wchd_trend()
+        months = np.arange(config.months + 1, dtype=float)
+        fleet_mean = np.array(
+            [float(s.wchd.mean()) for s in result.campaign.snapshots]
+        )
+        breaches = fleet_mean > trend.predict(months) + WCHD_TREND_BAND
+        assert breaches.any()
+        expected_month = int(np.argmax(breaches))
+        assert drift_alerts[0].index == expected_month
+        assert expected_month > 0  # month 0 is pre-aging and must be quiet
+
+    def test_monitored_run_is_bit_identical_to_unmonitored(self):
+        config = StudyConfig(device_count=3, months=3, measurements=100, seed=5)
+        plain = LongTermAssessment(config).run()
+        monitored = LongTermAssessment(config).run(monitor=MonitorHub(default_ruleset()))
+        for snap_a, snap_b in zip(
+            plain.campaign.snapshots, monitored.campaign.snapshots
+        ):
+            np.testing.assert_array_equal(snap_a.wchd, snap_b.wchd)
+            np.testing.assert_array_equal(snap_a.fhw, snap_b.fhw)
+            np.testing.assert_array_equal(snap_a.noise_entropy, snap_b.noise_entropy)

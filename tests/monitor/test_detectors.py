@@ -1,0 +1,150 @@
+"""Detector behaviour on synthetic series: hits, misses, false alarms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.monitor.detectors import (
+    CUSUMDetector,
+    EWMADetector,
+    StaticThresholdDetector,
+    TrendBandDetector,
+)
+
+
+def first_trigger(detector, series):
+    """Index of the first triggered observation, or None."""
+    for index, value in enumerate(series):
+        if detector.update(value, index).triggered:
+            return index
+    return None
+
+
+def stationary_noise(n=200, loc=1.0, scale=0.05, seed=7):
+    return np.random.default_rng(seed).normal(loc, scale, n)
+
+
+class TestStaticThreshold:
+    def test_upper_breach(self):
+        detector = StaticThresholdDetector(upper=2.0)
+        assert not detector.update(1.9).triggered
+        decision = detector.update(2.1)
+        assert decision.triggered and decision.direction == +1
+        assert decision.statistic == pytest.approx(0.1)
+
+    def test_lower_breach(self):
+        detector = StaticThresholdDetector(lower=0.5)
+        decision = detector.update(0.4)
+        assert decision.triggered and decision.direction == -1
+
+    def test_needs_some_bound(self):
+        with pytest.raises(ConfigurationError):
+            StaticThresholdDetector()
+        with pytest.raises(ConfigurationError):
+            StaticThresholdDetector(upper=1.0, lower=2.0)
+
+
+class TestTrendBand:
+    def test_follows_moving_trend(self):
+        detector = TrendBandDetector(lambda t: 0.01 * t, upper_band=0.5)
+        # Values riding the trend never trigger even as they grow.
+        assert first_trigger(detector, [0.01 * t + 0.1 for t in range(50)]) is None
+
+    def test_breach_index(self):
+        detector = TrendBandDetector(lambda t: 0.01 * t, upper_band=0.5)
+        series = [0.01 * t + (1.0 if t >= 30 else 0.0) for t in range(50)]
+        assert first_trigger(detector, series) == 30
+
+    def test_lower_side(self):
+        detector = TrendBandDetector(lambda t: 1.0, lower_band=0.2)
+        decision = detector.update(0.7, 0)
+        assert decision.triggered and decision.direction == -1
+
+
+class TestEWMA:
+    def test_no_false_alarm_on_stationary_noise(self):
+        detector = EWMADetector(alpha=0.2, threshold_sigma=5.0, warmup=10)
+        assert first_trigger(detector, stationary_noise()) is None
+
+    def test_detects_step(self):
+        detector = EWMADetector(alpha=0.2, threshold_sigma=5.0, warmup=10)
+        series = stationary_noise(seed=11).copy()
+        series[120:] += 1.0  # 20-sigma step
+        assert first_trigger(detector, series) == 120
+
+    def test_detects_ramp(self):
+        detector = EWMADetector(alpha=0.2, threshold_sigma=5.0, warmup=10)
+        series = stationary_noise(seed=13).copy()
+        ramp = np.maximum(0.0, np.arange(200) - 100) * 0.02
+        hit = first_trigger(detector, series + ramp)
+        # The ramp starts at 100; a 5-sigma EWMA catches it within ~30
+        # samples even as the baseline adapts.
+        assert hit is not None and 100 < hit <= 130
+
+    def test_warmup_never_triggers(self):
+        detector = EWMADetector(warmup=5)
+        for value in [0.0, 100.0, -100.0, 50.0, 0.0]:
+            assert not detector.update(value).triggered
+
+
+class TestCUSUM:
+    def test_no_false_alarm_on_stationary_noise(self):
+        detector = CUSUMDetector(threshold=1.0, drift=0.15, warmup=10)
+        assert first_trigger(detector, stationary_noise()) is None
+
+    def test_detects_step_near_change_point(self):
+        detector = CUSUMDetector(threshold=0.5, drift=0.1, warmup=10)
+        series = stationary_noise(seed=17).copy()
+        series[120:] += 0.5
+        hit = first_trigger(detector, series)
+        # 0.4 net gain per sample after the shift -> alarm within ~3.
+        assert hit is not None and 120 <= hit <= 124
+
+    def test_detects_downward_shift(self):
+        detector = CUSUMDetector(threshold=0.5, drift=0.1, target=1.0)
+        series = [1.0] * 5 + [0.6] * 5
+        hit = first_trigger(detector, series)
+        assert hit is not None and 5 <= hit <= 7
+        assert detector.update(0.6, 99).direction in (-1, 0)
+
+    def test_fixed_target_spike_accumulation(self):
+        # The default-ruleset health-spike shape: rare singleton events
+        # decay, a burst alarms.
+        detector = CUSUMDetector(threshold=3.0, drift=0.5, target=0.0)
+        assert first_trigger(detector, [0, 0, 1, 0, 0, 0, 1, 0, 0, 0]) is None
+        detector.reset()
+        assert first_trigger(detector, [0, 0, 5, 0, 0]) == 2
+
+    def test_learned_target(self):
+        detector = CUSUMDetector(threshold=0.5, drift=0.1, warmup=4)
+        series = [2.0, 2.1, 1.9, 2.0] + [2.0] * 10 + [3.0] * 3
+        hit = first_trigger(detector, series)
+        assert hit is not None and 14 <= hit <= 16
+
+    def test_restarts_after_alarm(self):
+        detector = CUSUMDetector(threshold=0.5, drift=0.0, target=0.0)
+        assert detector.update(1.0).triggered
+        # Accumulator restarted: the next small value is quiet.
+        assert not detector.update(0.1).triggered
+
+
+class TestValidation:
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ConfigurationError):
+            EWMADetector(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EWMADetector(threshold_sigma=0.0)
+        with pytest.raises(ConfigurationError):
+            EWMADetector(warmup=1)
+        with pytest.raises(ConfigurationError):
+            CUSUMDetector(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            CUSUMDetector(threshold=1.0, drift=-0.1)
+        with pytest.raises(ConfigurationError):
+            TrendBandDetector(lambda t: t)
+
+    def test_describe_is_informative(self):
+        assert "threshold" in StaticThresholdDetector(upper=1.0).describe()
+        assert "EWMA" in EWMADetector().describe()
+        assert "CUSUM" in CUSUMDetector(threshold=1.0).describe()
+        assert "trend" in TrendBandDetector(lambda t: t, upper_band=1.0).describe()

@@ -1,0 +1,115 @@
+"""Exporter formats: Prometheus text exposition and JSONL sinks."""
+
+import json
+import os
+
+import pytest
+
+from repro.monitor.exporters import (
+    PROMETHEUS_CONTENT_TYPE,
+    MetricsJSONLSink,
+    prometheus_name,
+    render_prometheus,
+    write_metrics_jsonl,
+    write_prometheus,
+)
+from repro.telemetry import MetricsRegistry
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden_prometheus.txt")
+
+
+def reference_registry() -> MetricsRegistry:
+    """The fixed registry the golden file was rendered from."""
+    registry = MetricsRegistry()
+    registry.counter("campaign.powerups").inc(16)
+    registry.counter("trng.health_rejections")  # registered but zero
+    registry.gauge("campaign.devices").set(16)
+    histogram = registry.histogram("keygen.latency_s", buckets=[0.5, 1.0, 2.0])
+    for value in (0.25, 0.75, 1.5, 4.0):
+        histogram.observe(value)
+    return registry
+
+
+class TestPrometheus:
+    def test_matches_golden_file(self):
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            expected = handle.read()
+        assert render_prometheus(reference_registry()) == expected
+
+    def test_content_type_constant(self):
+        assert PROMETHEUS_CONTENT_TYPE == "text/plain; version=0.0.4"
+
+    def test_counter_gets_total_suffix(self):
+        rendered = render_prometheus(reference_registry())
+        assert "repro_campaign_powerups_total 16" in rendered
+        assert "# TYPE repro_campaign_powerups_total counter" in rendered
+
+    def test_histogram_buckets_are_cumulative(self):
+        rendered = render_prometheus(reference_registry())
+        assert 'repro_keygen_latency_s_bucket{le="0.5"} 1' in rendered
+        assert 'repro_keygen_latency_s_bucket{le="1"} 2' in rendered
+        assert 'repro_keygen_latency_s_bucket{le="2"} 3' in rendered
+        assert 'repro_keygen_latency_s_bucket{le="+Inf"} 4' in rendered
+        assert "repro_keygen_latency_s_count 4" in rendered
+        assert "repro_keygen_latency_s_sum 6.5" in rendered
+
+    def test_every_line_is_comment_or_sample(self):
+        for line in render_prometheus(reference_registry()).strip().splitlines():
+            assert line.startswith("#") or len(line.split(" ")) == 2
+
+    def test_name_sanitization(self):
+        assert prometheus_name("campaign.powerups") == "repro_campaign_powerups"
+        assert prometheus_name("a-b c", namespace="") == "a_b_c"
+        assert prometheus_name("9lives", namespace="") == "_9lives"
+
+    def test_write_prometheus(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        write_prometheus(reference_registry(), path)
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read() == render_prometheus(reference_registry())
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+
+
+class TestJSONLSink:
+    def test_appends_valid_jsonl(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        sink = MetricsJSONLSink(path)
+        registry = reference_registry()
+        sink.emit(registry, label="month-0")
+        registry.counter("campaign.powerups").inc(100)
+        sink.emit(registry, label="month-1")
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert [line["sequence"] for line in lines] == [0, 1]
+        assert [line["label"] for line in lines] == ["month-0", "month-1"]
+        assert lines[0]["metrics"]["campaign.powerups"]["value"] == 16
+        assert lines[1]["metrics"]["campaign.powerups"]["value"] == 116
+
+    def test_one_shot_helper(self, tmp_path):
+        path = str(tmp_path / "metrics.jsonl")
+        write_metrics_jsonl(reference_registry(), path, label="snap")
+        write_metrics_jsonl(reference_registry(), path)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle]
+        assert len(lines) == 2
+        assert lines[0]["label"] == "snap"
+
+
+class TestHistogramErgonomics:
+    def test_cumulative_bucket_counts(self):
+        registry = reference_registry()
+        histogram = registry.histogram("keygen.latency_s")
+        assert histogram.bucket_counts == [1, 1, 1, 1]
+        assert histogram.cumulative_bucket_counts == [1, 2, 3]
+        assert histogram.count == 4
+
+    def test_snapshot_exposes_cumulative(self):
+        registry = reference_registry()
+        snap = registry.histogram("keygen.latency_s").snapshot()
+        assert snap["cumulative_bucket_counts"] == [1, 2, 3]
+        assert snap["bucket_counts"] == [1, 1, 1, 1]
+        assert snap["sum"] == pytest.approx(6.5)
+        # The registry-level snapshot delegates to the instrument.
+        assert registry.snapshot()["keygen.latency_s"] == snap

@@ -1,0 +1,176 @@
+"""MonitorHub policy: hysteresis, cooldown, logs, counters, polling."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.monitor.alerts import (
+    Alert,
+    AlertRule,
+    alert_log_path_for,
+    load_alert_log,
+    write_alert_log,
+)
+from repro.monitor.detectors import StaticThresholdDetector
+from repro.monitor.hub import MonitorHub
+from repro.telemetry import get_metrics, reset_telemetry
+
+
+def threshold_rule(name="breach", metric="series", upper=1.0, **policy):
+    return AlertRule(
+        name=name,
+        metric=metric,
+        detector_factory=lambda: StaticThresholdDetector(upper=upper),
+        **policy,
+    )
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    reset_telemetry()
+    yield
+    reset_telemetry()
+
+
+class TestAlerting:
+    def test_first_breach_alerts(self):
+        hub = MonitorHub([threshold_rule()])
+        assert hub.observe("series", 0.5, 0) == []
+        alerts = hub.observe("series", 1.5, 1)
+        assert len(alerts) == 1
+        assert alerts[0].rule == "breach"
+        assert alerts[0].index == 1
+        assert alerts[0].value == 1.5
+
+    def test_unwatched_metric_is_ignored(self):
+        hub = MonitorHub([threshold_rule()])
+        assert hub.observe("other", 99.0, 0) == []
+        assert hub.alert_count == 0
+
+    def test_hysteresis_requires_consecutive_breaches(self):
+        hub = MonitorHub([threshold_rule(hysteresis=3)])
+        assert hub.observe("series", 2.0, 0) == []
+        assert hub.observe("series", 2.0, 1) == []
+        # A quiet observation resets the streak.
+        assert hub.observe("series", 0.5, 2) == []
+        assert hub.observe("series", 2.0, 3) == []
+        assert hub.observe("series", 2.0, 4) == []
+        alerts = hub.observe("series", 2.0, 5)
+        assert len(alerts) == 1 and alerts[0].index == 5
+
+    def test_cooldown_suppresses_re_alerts(self):
+        hub = MonitorHub([threshold_rule(cooldown=2)])
+        assert len(hub.observe("series", 2.0, 0)) == 1
+        assert hub.observe("series", 2.0, 1) == []  # cooling
+        assert hub.observe("series", 2.0, 2) == []  # cooling
+        assert len(hub.observe("series", 2.0, 3)) == 1  # re-armed
+        assert hub.alert_count == 2
+
+    def test_duplicate_rule_names_rejected(self):
+        hub = MonitorHub([threshold_rule()])
+        with pytest.raises(ConfigurationError):
+            hub.add_rule(threshold_rule())
+
+    def test_severity_counts_and_metrics(self):
+        hub = MonitorHub(
+            [
+                threshold_rule(name="warn", severity="warning"),
+                threshold_rule(name="crit", severity="critical"),
+            ]
+        )
+        hub.observe("series", 2.0, 0)
+        assert hub.severity_counts() == {"info": 0, "warning": 1, "critical": 1}
+        metrics = get_metrics()
+        assert metrics.counter("monitor.alerts").value == 2
+        assert metrics.counter("monitor.alerts_by_severity.warning").value == 1
+        assert metrics.counter("monitor.alerts_by_severity.critical").value == 1
+        assert metrics.counter("monitor.observations").value == 1
+
+    def test_reset_clears_alerts_and_state(self):
+        hub = MonitorHub([threshold_rule(cooldown=5)])
+        hub.observe("series", 2.0, 0)
+        hub.reset()
+        assert hub.alert_count == 0
+        # Cooldown cleared: an immediate breach alerts again.
+        assert len(hub.observe("series", 2.0, 0)) == 1
+
+    def test_rule_table_renders(self):
+        hub = MonitorHub([threshold_rule()])
+        table = hub.render_rule_table()
+        assert "breach" in table and "series" in table
+        assert "(no rules installed)" in MonitorHub().render_rule_table()
+
+
+class TestAlertLog:
+    def test_alert_log_is_valid_jsonl(self, tmp_path):
+        log = str(tmp_path / "alerts.jsonl")
+        hub = MonitorHub([threshold_rule()], alert_log=log)
+        hub.observe("series", 2.0, 3)
+        hub.observe("series", 0.1, 4)
+        hub.observe("series", 3.0, 5)
+        with open(log, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert [line["index"] for line in lines] == [3, 5]
+        assert all(line["rule"] == "breach" for line in lines)
+
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "alerts.jsonl")
+        alerts = [
+            Alert("r", "m", "warning", 1, 0.5, statistic=0.1, detail="x"),
+            Alert("r", "m", "critical", 2, 0.7, timestamp=123.0),
+        ]
+        write_alert_log(alerts, path)
+        assert load_alert_log(path) == alerts
+
+    def test_alert_log_path_convention(self):
+        assert alert_log_path_for("campaign.json") == "campaign.alerts.jsonl"
+        assert alert_log_path_for("artifact") == "artifact.alerts.jsonl"
+
+    def test_deterministic_log_has_no_timestamps(self, tmp_path):
+        log = str(tmp_path / "alerts.jsonl")
+        hub = MonitorHub([threshold_rule()], alert_log=log)
+        hub.observe("series", 2.0, 0)
+        assert load_alert_log(log)[0].timestamp is None
+
+    def test_clock_stamps_alerts(self):
+        hub = MonitorHub([threshold_rule()], clock=lambda: 42.0)
+        assert hub.observe("series", 2.0, 0)[0].timestamp == 42.0
+
+
+class TestCounterPolling:
+    def test_rate_rule_sees_deltas_not_totals(self):
+        hub = MonitorHub(
+            [threshold_rule(name="spike", metric="rate:demo.events", upper=3.0)]
+        )
+        counter = get_metrics().counter("demo.events")
+        counter.inc(2)
+        assert hub.poll_counters(index=0) == []
+        counter.inc(2)  # delta 2 <= 3: quiet even though total is 4
+        assert hub.poll_counters(index=1) == []
+        counter.inc(10)  # delta 10 > 3: spike
+        alerts = hub.poll_counters(index=2)
+        assert len(alerts) == 1
+        assert alerts[0].value == 10.0
+        assert alerts[0].index == 2
+
+    def test_unregistered_counter_is_skipped(self):
+        hub = MonitorHub(
+            [threshold_rule(name="spike", metric="rate:never.registered", upper=1.0)]
+        )
+        assert hub.poll_counters() == []
+
+
+class TestRuleValidation:
+    def test_bad_rules_raise(self):
+        factory = lambda: StaticThresholdDetector(upper=1.0)  # noqa: E731
+        with pytest.raises(ConfigurationError):
+            AlertRule(name="", metric="m", detector_factory=factory)
+        with pytest.raises(ConfigurationError):
+            AlertRule(name="r", metric="", detector_factory=factory)
+        with pytest.raises(ConfigurationError):
+            AlertRule(name="r", metric="m", detector_factory=factory, severity="fatal")
+        with pytest.raises(ConfigurationError):
+            AlertRule(name="r", metric="m", detector_factory=factory, hysteresis=0)
+        with pytest.raises(ConfigurationError):
+            AlertRule(name="r", metric="m", detector_factory=factory, cooldown=-1)

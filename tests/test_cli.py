@@ -122,3 +122,63 @@ class TestParser:
     def test_metric_choices_enforced(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig6", "--metric", "bogus"])
+
+
+class TestMonitorCli:
+    def _saved_campaign(self, capsys, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        code, _ = run_cli(capsys, "fig6", "--save", path, *SMALL)
+        assert code == 0
+        return path
+
+    def test_monitor_replays_saved_campaign(self, capsys, tmp_path):
+        import json
+
+        path = self._saved_campaign(capsys, tmp_path)
+        code, out = run_cli(capsys, "monitor", path)
+        assert code == 0
+        assert "screened 3 snapshots" in out
+        assert "alert log written to" in out
+        log_path = path[: -len(".json")] + ".alerts.jsonl"
+        with open(log_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.strip():
+                    json.loads(line)  # every line must be valid JSON
+
+    def test_monitor_custom_alert_log(self, capsys, tmp_path):
+        path = self._saved_campaign(capsys, tmp_path)
+        log = str(tmp_path / "custom.jsonl")
+        code, out = run_cli(capsys, "monitor", path, "--alerts", log)
+        assert code == 0
+        assert log in out
+        import os
+
+        assert os.path.exists(log)
+
+    def test_monitor_missing_campaign_fails(self, capsys, tmp_path):
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            main(["monitor", str(tmp_path / "nope.json")])
+
+    def test_profile_prometheus_dump(self, capsys, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        code, out = run_cli(capsys, *PROFILE_SMALL, "--prometheus", path)
+        assert code == 0
+        assert f"prometheus exposition written to {path}" in out
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        assert "# TYPE repro_campaign_powerups_total counter" in text
+        assert "repro_trng_health_checks_total" in text
+
+    def test_profile_metrics_jsonl_dump(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "metrics.jsonl")
+        code, out = run_cli(capsys, *PROFILE_SMALL, "--metrics-jsonl", path)
+        assert code == 0
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [json.loads(line) for line in handle if line.strip()]
+        assert len(lines) == 1
+        assert lines[0]["label"] == "profile"
+        assert "campaign.powerups" in lines[0]["metrics"]
