@@ -35,6 +35,9 @@ _EXPORTS = {
     "AssessmentResult": "repro.core.assessment",
     "LongTermAssessment": "repro.core.assessment",
     "StudyConfig": "repro.core.config",
+    "CampaignExecutionError": "repro.errors",
+    "ParallelExecutor": "repro.exec.executor",
+    "SerialExecutor": "repro.exec.executor",
     "PAPER": "repro.core.paper",
     "ATMEGA32U4": "repro.sram.profiles",
     "TESTCHIP_65NM": "repro.sram.profiles",
@@ -52,6 +55,8 @@ if TYPE_CHECKING:  # pragma: no cover - import-time typing aid only
     from repro.core.assessment import AssessmentResult, LongTermAssessment
     from repro.core.config import StudyConfig
     from repro.core.paper import PAPER
+    from repro.errors import CampaignExecutionError
+    from repro.exec.executor import ParallelExecutor, SerialExecutor
     from repro.keygen.keygen import SRAMKeyGenerator
     from repro.rng import SeedHierarchy
     from repro.sram.array import SRAMArray

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.monthly import MonthlyEvaluation, evaluate_month
+from repro.analysis.monthly import MonthlyEvaluation, assemble_evaluation, evaluate_month
 from repro.errors import ConfigurationError
 from repro.rng import RandomState, SeedHierarchy
 from repro.sram.aging import AgingSimulator
@@ -29,6 +29,8 @@ from repro.sram.profiles import ATMEGA32U4, DeviceProfile
 from repro.telemetry import get_metrics, get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.exec.executor import CampaignExecutor
+    from repro.exec.plan import ShardSpec
     from repro.monitor.hub import MonitorHub
 
 logger = logging.getLogger(__name__)
@@ -98,6 +100,12 @@ class LongTermCampaign:
         ``AccelerationModel.overall_factor ** (1 / n)`` from
         :mod:`repro.physics.acceleration`, turning the campaign into a
         stressed run whose drift the monitoring layer should flag.
+    max_workers:
+        Parallel worker processes for the board-sharded execution
+        engine (:mod:`repro.exec`).  1 (the default) runs the classic
+        in-process serial loop; higher values shard the fleet over
+        ``spawn``-ed workers with bit-identical results (the
+        ``tests/exec`` equivalence suite enforces this).
     random_state:
         Seed material; the same seed reproduces the same fleet and
         campaign.
@@ -113,6 +121,7 @@ class LongTermCampaign:
         temperature_walk_k: float = 0.0,
         aging_steps_per_month: int = 2,
         aging_acceleration: float = 1.0,
+        max_workers: int = 1,
         random_state: RandomState = None,
     ):
         if device_count < 1:
@@ -133,6 +142,8 @@ class LongTermCampaign:
             raise ConfigurationError(
                 f"aging_acceleration must be positive, got {aging_acceleration}"
             )
+        if max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
         self._device_count = device_count
         self._months = months
         self._measurements = measurements
@@ -141,6 +152,7 @@ class LongTermCampaign:
         self._temperature_walk_k = temperature_walk_k
         self._aging_steps = aging_steps_per_month
         self._aging_acceleration = aging_acceleration
+        self._max_workers = max_workers
         self._seeds = (
             random_state
             if isinstance(random_state, SeedHierarchy)
@@ -159,6 +171,7 @@ class LongTermCampaign:
         chips: Optional[Sequence[SRAMChip]] = None,
         progress: Optional[ProgressCallback] = None,
         monitor: Optional["MonitorHub"] = None,
+        executor: Optional["CampaignExecutor"] = None,
     ) -> CampaignResult:
         """Execute the campaign and return its result.
 
@@ -175,6 +188,19 @@ class LongTermCampaign:
         a counter poll per month, so drift alerts fire *while the
         campaign runs* rather than in post-processing.
 
+        ``executor`` overrides the execution strategy: a
+        :class:`~repro.exec.executor.SerialExecutor` or
+        :class:`~repro.exec.executor.ParallelExecutor` shards the fleet
+        by board (see :mod:`repro.exec` and ``docs/parallel.md``).
+        When ``None``, the constructor's ``max_workers`` decides — 1
+        runs the classic in-process serial loop below, more builds a
+        :class:`~repro.exec.executor.ParallelExecutor`.  Either way the
+        result is bit-identical; on the sharded path, snapshots are
+        merged (and ``monitor``/``progress`` are fed) in month order
+        after the workers return, so alert sequences are unchanged.
+        An injected ``chips`` fleet cannot be re-manufactured inside
+        workers and therefore requires the serial path.
+
         The run is instrumented: a ``campaign.run`` span with one
         ``campaign.month`` child per snapshot, and the counters
         ``campaign.powerups``, ``campaign.snapshots`` and
@@ -183,6 +209,27 @@ class LongTermCampaign:
         no random stream, so results are identical with either on or
         off.
         """
+        if executor is None and self._max_workers > 1:
+            from repro.exec.executor import executor_for
+
+            executor = executor_for(self._max_workers)
+        if executor is not None:
+            if chips is not None:
+                raise ConfigurationError(
+                    "an injected fleet cannot run on the sharded executor path "
+                    "(workers re-manufacture boards from the seed hierarchy); "
+                    "run with max_workers=1 and no executor instead"
+                )
+            return self._run_sharded(executor, progress, monitor)
+        return self._run_serial(chips, progress, monitor)
+
+    def _run_serial(
+        self,
+        chips: Optional[Sequence[SRAMChip]],
+        progress: Optional[ProgressCallback],
+        monitor: Optional["MonitorHub"],
+    ) -> CampaignResult:
+        """The classic in-process month loop (reference implementation)."""
         metrics = get_metrics()
         tracer = get_tracer()
         powerups = metrics.counter("campaign.powerups")
@@ -257,5 +304,138 @@ class LongTermCampaign:
             measurements=self._measurements,
             board_ids=[chip.chip_id for chip in fleet],
             references=references,
+            snapshots=snapshots,
+        )
+
+    def _month_temperatures(self) -> List[Optional[float]]:
+        """Pre-draw every month's ambient measurement temperature.
+
+        Consumes the shared ``ambient-temperature`` stream exactly as
+        the serial loop does (one Gaussian step per snapshot), so the
+        sharded path hands workers the identical temperature sequence
+        without shipping the stream itself.  ``None`` entries mean
+        profile-nominal (walk disabled).
+        """
+        if self._temperature_walk_k <= 0.0:
+            return [None] * (self._months + 1)
+        temp_rng = self._seeds.stream("ambient-temperature")
+        temperature = self._profile.temperature_k
+        temperatures: List[Optional[float]] = []
+        for _ in range(self._months + 1):
+            temperature += float(temp_rng.normal(0.0, self._temperature_walk_k))
+            temperatures.append(temperature)
+        return temperatures
+
+    def _plan_shards(self, shard_count: int) -> List["ShardSpec"]:
+        """Build the work orders for the sharded path.
+
+        Overridable seam: the crash-robustness suite subclasses this to
+        set :attr:`~repro.exec.plan.ShardSpec.fail_board` on one spec.
+        """
+        from repro.exec.plan import ShardSpec, partition_boards
+
+        temperatures = tuple(self._month_temperatures())
+        return [
+            ShardSpec(
+                shard_index=index,
+                root_seed=self._seeds.root_seed,
+                board_ids=boards,
+                months=self._months,
+                measurements=self._measurements,
+                profile=self._profile,
+                statistical=self._statistical,
+                temperatures=temperatures,
+                aging_steps_per_month=self._aging_steps,
+                aging_acceleration=self._aging_acceleration,
+            )
+            for index, boards in enumerate(
+                partition_boards(range(self._device_count), shard_count)
+            )
+        ]
+
+    def _run_sharded(
+        self,
+        executor: "CampaignExecutor",
+        progress: Optional[ProgressCallback],
+        monitor: Optional["MonitorHub"],
+    ) -> CampaignResult:
+        """Board-sharded execution: fan out, then merge in month order.
+
+        Workers return per-board trajectories plus per-month telemetry
+        counter deltas; the merge loop folds each month's deltas into
+        the parent registry *before* that month's monitor poll, so the
+        counter-rate series (and with it every alert sequence) matches
+        the serial run poll for poll.
+        """
+        from repro.exec.merge import collate_shard_results
+
+        metrics = get_metrics()
+        tracer = get_tracer()
+        powerups = metrics.counter("campaign.powerups")
+        snapshots_done = metrics.counter("campaign.snapshots")
+        # Same instrument set as the serial run (no worker-count gauge):
+        # a parallel run's manifest metrics must be indistinguishable
+        # from the serial run's.
+        metrics.counter("campaign.aging_steps")
+        metrics.gauge("campaign.devices").set(self._device_count)
+
+        with tracer.span(
+            "campaign.run",
+            devices=self._device_count,
+            months=self._months,
+            workers=executor.max_workers,
+        ):
+            board_ids = list(range(self._device_count))
+            specs = self._plan_shards(executor.max_workers)
+            logger.info(
+                "campaign started (sharded): %d devices over %d shards "
+                "(%d workers), %d months, %d measurements/month",
+                self._device_count,
+                len(specs),
+                executor.max_workers,
+                self._months,
+                self._measurements,
+            )
+            with tracer.span("campaign.shards", shards=len(specs)):
+                results = executor.run_shards(specs)
+            merged = collate_shard_results(board_ids, self._months, results)
+
+            total_snapshots = self._months + 1
+            snapshots: List[MonthlyEvaluation] = []
+            with tracer.span("campaign.merge"):
+                for month in range(total_snapshots):
+                    for name, delta in merged.counter_deltas[month].items():
+                        metrics.counter(name).inc(delta)
+                    snapshots.append(
+                        assemble_evaluation(
+                            month,
+                            self._measurements,
+                            [merged.rows[board][month] for board in board_ids],
+                        )
+                    )
+                    snapshots_done.inc()
+                    if monitor is not None:
+                        monitor.observe_evaluation(snapshots[-1])
+                        monitor.poll_counters(index=month)
+                    logger.debug(
+                        "month %d/%d merged (WCHD mean %.4f)",
+                        month,
+                        self._months,
+                        float(snapshots[-1].wchd.mean()),
+                    )
+                    if progress is not None:
+                        progress(month + 1, total_snapshots)
+            logger.info(
+                "campaign finished (sharded): %d snapshots, %d power-ups",
+                len(snapshots),
+                powerups.value,
+            )
+
+        return CampaignResult(
+            profile_name=self._profile.name,
+            months=self._months,
+            measurements=self._measurements,
+            board_ids=board_ids,
+            references=merged.references,
             snapshots=snapshots,
         )

@@ -12,6 +12,14 @@ after midnight on the 8th for every board and computes:
 
 :func:`evaluate_month` runs that protocol on live chips;
 :class:`MonthlyEvaluation` is the resulting snapshot.
+
+The protocol factors cleanly by board: everything except BCHD and PUF
+entropy is a per-board quantity, and those two need only each board's
+*first read-out*.  :func:`evaluate_board` computes one board's share
+and :func:`assemble_evaluation` combines the shares (in board order)
+into the fleet snapshot — the seam the parallel executor
+(:mod:`repro.exec`) uses to run boards in separate worker processes
+while producing bit-identical snapshots.
 """
 
 from __future__ import annotations
@@ -70,6 +78,84 @@ class MonthlyEvaluation:
         return float(self.bchd_pairs.min())
 
 
+@dataclass(frozen=True)
+class BoardMonthMetrics:
+    """One board's share of one monthly snapshot.
+
+    Everything :func:`assemble_evaluation` needs from a single board:
+    its per-board quality numbers plus the first read-out of its block
+    (the fleet-level BCHD / PUF-entropy input).  The object is a plain
+    picklable value so worker processes can ship it back to the
+    campaign driver.
+    """
+
+    board_id: int
+    wchd: float
+    fhw: float
+    stable_ratio: float
+    noise_entropy: float
+    first_readout: np.ndarray = field(repr=False)
+
+
+def evaluate_board(
+    chip: SRAMChip,
+    reference: np.ndarray,
+    measurements: int = 1000,
+    statistical: bool = True,
+    temperature_k: Optional[float] = None,
+) -> BoardMonthMetrics:
+    """Run one board's share of the monthly protocol.
+
+    Draws only from ``chip``'s own random stream, so a board evaluated
+    alone produces the same numbers as the same board evaluated inside
+    a fleet (the property the serial≡parallel equivalence suite pins).
+    """
+    if measurements < 2:
+        raise ConfigurationError(f"measurements must be >= 2, got {measurements}")
+    block = sample_measurement_block(
+        chip, measurements, temperature_k=temperature_k, statistical=statistical
+    )
+    return BoardMonthMetrics(
+        board_id=chip.chip_id,
+        wchd=within_class_hd_from_counts(block.ones_counts, measurements, reference),
+        fhw=fractional_hamming_weight_from_counts(block.ones_counts, measurements),
+        stable_ratio=stable_cell_ratio_from_counts(block.ones_counts, measurements),
+        noise_entropy=noise_min_entropy_from_counts(block.ones_counts, measurements),
+        first_readout=block.first_readout,
+    )
+
+
+def assemble_evaluation(
+    month: int, measurements: int, boards: Sequence[BoardMonthMetrics]
+) -> MonthlyEvaluation:
+    """Combine per-board shares into the fleet snapshot.
+
+    ``boards`` must be in fleet order; the cross-board metrics (BCHD,
+    PUF entropy) are computed here from the boards' first read-outs,
+    exactly as the serial protocol does.
+    """
+    if not boards:
+        raise ConfigurationError("assemble_evaluation needs at least one board")
+    first_readouts = [board.first_readout for board in boards]
+    if len(boards) >= 2:
+        bchd = between_class_hd(first_readouts)
+        puf_h = puf_min_entropy(first_readouts)
+    else:
+        bchd = np.array([], dtype=float)
+        puf_h = float("nan")
+    return MonthlyEvaluation(
+        month=month,
+        measurements=measurements,
+        board_ids=[board.board_id for board in boards],
+        wchd=np.asarray([board.wchd for board in boards]),
+        fhw=np.asarray([board.fhw for board in boards]),
+        stable_ratio=np.asarray([board.stable_ratio for board in boards]),
+        noise_entropy=np.asarray([board.noise_entropy for board in boards]),
+        bchd_pairs=bchd,
+        puf_entropy=puf_h,
+    )
+
+
 def evaluate_month(
     chips: Sequence[SRAMChip],
     references: Dict[int, np.ndarray],
@@ -101,36 +187,17 @@ def evaluate_month(
     if measurements < 2:
         raise ConfigurationError(f"measurements must be >= 2, got {measurements}")
 
-    board_ids, wchd, fhw, stable, noise_h, first_readouts = [], [], [], [], [], []
+    boards = []
     for chip in chips:
         if chip.chip_id not in references:
             raise ConfigurationError(f"no reference read-out for chip {chip.chip_id}")
-        block = sample_measurement_block(
-            chip, measurements, temperature_k=temperature_k, statistical=statistical
+        boards.append(
+            evaluate_board(
+                chip,
+                references[chip.chip_id],
+                measurements=measurements,
+                statistical=statistical,
+                temperature_k=temperature_k,
+            )
         )
-        reference = references[chip.chip_id]
-        board_ids.append(chip.chip_id)
-        wchd.append(within_class_hd_from_counts(block.ones_counts, measurements, reference))
-        fhw.append(fractional_hamming_weight_from_counts(block.ones_counts, measurements))
-        stable.append(stable_cell_ratio_from_counts(block.ones_counts, measurements))
-        noise_h.append(noise_min_entropy_from_counts(block.ones_counts, measurements))
-        first_readouts.append(block.first_readout)
-
-    if len(chips) >= 2:
-        bchd = between_class_hd(first_readouts)
-        puf_h = puf_min_entropy(first_readouts)
-    else:
-        bchd = np.array([], dtype=float)
-        puf_h = float("nan")
-
-    return MonthlyEvaluation(
-        month=month,
-        measurements=measurements,
-        board_ids=board_ids,
-        wchd=np.asarray(wchd),
-        fhw=np.asarray(fhw),
-        stable_ratio=np.asarray(stable),
-        noise_entropy=np.asarray(noise_h),
-        bchd_pairs=bchd,
-        puf_entropy=puf_h,
-    )
+    return assemble_evaluation(month, measurements, boards)

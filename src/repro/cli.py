@@ -2,7 +2,7 @@
 
 ::
 
-    python -m repro table1 [--seed 1] [--devices 16] [--months 24]
+    python -m repro table1 [--seed 1] [--devices 16] [--months 24] [--workers 4]
     python -m repro fig6 --metric WCHD [--save campaign.json]
     python -m repro compare [--seed 1]
     python -m repro calibrate
@@ -49,6 +49,13 @@ def _add_study_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--measurements", type=int, default=1000, help="monthly block size"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel worker processes sharding the fleet by board "
+        "(1 = serial; results are bit-identical at any count)",
+    )
 
 
 def _study_config(args: argparse.Namespace) -> StudyConfig:
@@ -57,6 +64,7 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
         months=args.months,
         measurements=args.measurements,
         seed=args.seed,
+        max_workers=getattr(args, "workers", 1),
     )
 
 

@@ -30,6 +30,7 @@ from repro.metrics.summary import QualityReport
 from repro.telemetry import RunManifest, get_metrics, get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.exec.executor import CampaignExecutor
     from repro.monitor.hub import MonitorHub
 
 logger = logging.getLogger(__name__)
@@ -133,15 +134,19 @@ class LongTermAssessment:
         self,
         progress: Optional[ProgressCallback] = None,
         monitor: Optional["MonitorHub"] = None,
+        executor: Optional["CampaignExecutor"] = None,
     ) -> AssessmentResult:
         """Execute the campaign and summarise it.
 
-        ``progress`` and ``monitor`` are forwarded to
+        ``progress``, ``monitor`` and ``executor`` are forwarded to
         :meth:`~repro.analysis.campaign.LongTermCampaign.run`:
         ``progress`` is called after every monthly snapshot with
-        ``(completed, total)``, and ``monitor`` (a
+        ``(completed, total)``, ``monitor`` (a
         :class:`~repro.monitor.hub.MonitorHub`) evaluates its alert
-        rules online as snapshots arrive.
+        rules online as snapshots arrive, and ``executor`` overrides
+        the board-sharded execution strategy (by default the config's
+        ``max_workers`` decides; results are bit-identical either
+        way — see ``docs/parallel.md``).
 
         The returned result carries a
         :class:`~repro.telemetry.RunManifest` describing the run —
@@ -165,10 +170,11 @@ class LongTermAssessment:
                 temperature_walk_k=cfg.temperature_walk_k,
                 aging_steps_per_month=cfg.aging_steps_per_month,
                 aging_acceleration=cfg.aging_acceleration,
+                max_workers=cfg.max_workers,
                 random_state=cfg.seed,
             )
             phase_start = time.perf_counter()
-            result = campaign.run(progress=progress, monitor=monitor)
+            result = campaign.run(progress=progress, monitor=monitor, executor=executor)
             manifest.record_phase("campaign", time.perf_counter() - phase_start)
 
             phase_start = time.perf_counter()

@@ -47,6 +47,12 @@ class StudyConfig:
         :class:`repro.physics.acceleration.AccelerationModel`).
     initial_measurements:
         Block size of the Section IV-A initial evaluation.
+    max_workers:
+        Parallel worker processes for the board-sharded execution
+        engine (:mod:`repro.exec`); 1 runs the classic serial loop.
+        Results are bit-identical at every worker count, so this is a
+        pure wall-clock knob and equal configs still produce equal
+        results.
     """
 
     device_count: int = 16
@@ -59,6 +65,7 @@ class StudyConfig:
     aging_steps_per_month: int = 2
     aging_acceleration: float = 1.0
     initial_measurements: int = 1000
+    max_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.device_count < 2:
@@ -85,4 +92,8 @@ class StudyConfig:
         if self.aging_acceleration <= 0:
             raise ConfigurationError(
                 f"aging_acceleration must be positive, got {self.aging_acceleration}"
+            )
+        if self.max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {self.max_workers}"
             )

@@ -8,6 +8,8 @@ never wrapped).
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -48,3 +50,29 @@ class ProtocolError(ReproError):
 
 class StorageError(ReproError):
     """The measurement database could not read or write a record."""
+
+
+class CampaignExecutionError(ReproError):
+    """A parallel campaign worker failed while executing its shard.
+
+    Raised (and re-raised across process boundaries) by
+    :mod:`repro.exec` when a board's trajectory cannot be completed.
+    The failing board and shard are carried as attributes so operators
+    can retry or quarantine the exact work unit; the campaign driver
+    never merges partial results after seeing one of these.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        board_id: Optional[int] = None,
+        shard_index: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.board_id = board_id
+        self.shard_index = shard_index
+
+    def __reduce__(self):
+        # Exceptions cross the multiprocessing boundary by pickle;
+        # rebuild with the full argument list so the attributes survive.
+        return (type(self), (self.args[0], self.board_id, self.shard_index))

@@ -1,0 +1,114 @@
+"""Shard planning: which boards run in which worker.
+
+The campaign's unit of work is one *board trajectory* — a device's
+day-0 reference read-out followed by every monthly block and aging
+step.  Boards never share random streams (each draws from its own
+``chip-<id>`` stream of the :class:`~repro.rng.SeedHierarchy`), so any
+partition of the fleet over workers reproduces the serial run exactly;
+the planner only decides load balance, never results.
+
+:class:`ShardSpec` is the complete, picklable description of one
+worker's assignment.  It deliberately carries *values* (the root seed,
+the profile, the pre-drawn ambient temperatures) rather than live
+objects, so it survives the ``spawn`` start method on every platform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.sram.profiles import DeviceProfile
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One worker's complete, self-contained work order.
+
+    Parameters
+    ----------
+    shard_index:
+        Position of this shard in the plan (0-based); carried through
+        to :class:`~repro.exec.worker.ShardResult` and error reports.
+    root_seed:
+        Root seed of the campaign's :class:`~repro.rng.SeedHierarchy`;
+        the worker rebuilds the hierarchy and derives exactly the
+        per-board streams the serial run would have used.
+    board_ids:
+        The boards this worker simulates, each end to end.
+    months:
+        Aging duration; the worker produces ``months + 1`` monthly
+        metric rows per board.
+    measurements:
+        Monthly block size.
+    profile:
+        Device profile (a frozen dataclass, pickled by value).
+    statistical:
+        Monthly-block simulation fidelity.
+    temperatures:
+        Per-month ambient measurement temperature, pre-drawn by the
+        parent from the shared ``ambient-temperature`` stream
+        (``None`` entries mean profile-nominal).  Length ``months + 1``.
+    aging_steps_per_month:
+        Drift-integration sub-steps per month.
+    aging_acceleration:
+        Equivalent field months aged per calendar month.
+    fail_board:
+        Fault-injection hook: the worker raises when it reaches this
+        board, before simulating it.  Exercised by the
+        crash-robustness suite and available for chaos drills; leave
+        ``None`` in production.
+    """
+
+    shard_index: int
+    root_seed: int
+    board_ids: Tuple[int, ...]
+    months: int
+    measurements: int
+    profile: DeviceProfile = field(repr=False)
+    statistical: bool = True
+    temperatures: Tuple[Optional[float], ...] = ()
+    aging_steps_per_month: int = 2
+    aging_acceleration: float = 1.0
+    fail_board: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.board_ids:
+            raise ConfigurationError("a shard needs at least one board")
+        if len(self.temperatures) != self.months + 1:
+            raise ConfigurationError(
+                f"expected {self.months + 1} per-month temperatures, "
+                f"got {len(self.temperatures)}"
+            )
+
+
+def partition_boards(
+    board_ids: Sequence[int], shard_count: int
+) -> List[Tuple[int, ...]]:
+    """Split ``board_ids`` into at most ``shard_count`` contiguous runs.
+
+    Balanced like :func:`numpy.array_split`: the first
+    ``len(board_ids) % shard_count`` shards get one extra board.  Order
+    within and across shards follows the fleet order, so merging shard
+    results back into fleet order is a plain concatenation.
+
+    >>> partition_boards(range(5), 2)
+    [(0, 1, 2), (3, 4)]
+    >>> partition_boards(range(2), 4)
+    [(0,), (1,)]
+    """
+    if shard_count < 1:
+        raise ConfigurationError(f"shard_count must be >= 1, got {shard_count}")
+    boards = [int(b) for b in board_ids]
+    if not boards:
+        raise ConfigurationError("cannot partition an empty fleet")
+    count = min(shard_count, len(boards))
+    base, extra = divmod(len(boards), count)
+    shards: List[Tuple[int, ...]] = []
+    start = 0
+    for index in range(count):
+        size = base + (1 if index < extra else 0)
+        shards.append(tuple(boards[start : start + size]))
+        start += size
+    return shards

@@ -1,0 +1,158 @@
+"""The board-shard worker: one shard's trajectories, start to finish.
+
+:func:`run_board_shard` is the function the executors dispatch — a
+module-level callable (picklable under the ``spawn`` start method)
+that takes a :class:`~repro.exec.plan.ShardSpec` and simulates every
+assigned board's full campaign trajectory: the day-0 reference
+read-out, then each month's measurement block followed by one month of
+aging.  Per board, the order and count of random draws is exactly the
+serial campaign's, and each board touches only its own
+``chip-<id>`` stream, so the returned numbers are bit-identical to the
+serial run's.
+
+Workers do not touch the process-global telemetry registry (they may
+share a process with the campaign driver under
+:class:`~repro.exec.executor.SerialExecutor`).  Instead every shard
+counts its own work on a private registry and returns *per-month
+counter deltas*; the driver folds them into the parent registry in
+snapshot order, so monthly counter rates — and therefore
+``rate:``-rule alert sequences — match the serial run poll for poll.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.analysis.monthly import BoardMonthMetrics, evaluate_board
+from repro.errors import CampaignExecutionError
+from repro.exec.plan import ShardSpec
+from repro.rng import SeedHierarchy
+from repro.sram.aging import AgingSimulator
+from repro.sram.chip import SRAMChip
+from repro.telemetry.metrics import MetricsRegistry
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class BoardTrajectory:
+    """One board's complete campaign output.
+
+    ``months[m]`` is the board's share of the month-``m`` snapshot;
+    ``reference`` is its day-0 read-out (the lifetime WCHD baseline).
+    """
+
+    board_id: int
+    reference: np.ndarray = field(repr=False)
+    months: List[BoardMonthMetrics] = field(repr=False)
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Everything one worker sends back to the campaign driver."""
+
+    shard_index: int
+    board_ids: Tuple[int, ...]
+    trajectories: List[BoardTrajectory] = field(repr=False)
+    #: ``counter_deltas[m]`` holds how much each telemetry counter
+    #: advanced between the month ``m - 1`` and month ``m`` snapshot
+    #: polls (month 0 includes the day-0 reference read-outs).
+    counter_deltas: List[Dict[str, int]] = field(repr=False)
+
+
+class _DeltaTracker:
+    """Per-month counter deltas over a private metrics registry."""
+
+    def __init__(self, months: int):
+        self.registry = MetricsRegistry()
+        self._months = months
+        self._baseline: Dict[str, int] = {}
+        self.deltas: List[Dict[str, int]] = [{} for _ in range(months + 1)]
+
+    def checkpoint(self, month: int) -> None:
+        """Attribute everything counted since the last checkpoint to ``month``."""
+        for name, doc in self.registry.snapshot().items():
+            if doc["type"] != "counter":
+                continue
+            value = int(doc["value"])
+            delta = value - self._baseline.get(name, 0)
+            self._baseline[name] = value
+            if delta:
+                bucket = self.deltas[month]
+                bucket[name] = bucket.get(name, 0) + delta
+
+
+def _run_board(
+    spec: ShardSpec, board_id: int, seeds: SeedHierarchy, tracker: _DeltaTracker
+) -> BoardTrajectory:
+    """Simulate one board's full trajectory (serial draw order)."""
+    powerups = tracker.registry.counter("campaign.powerups")
+    aging_steps = tracker.registry.counter("campaign.aging_steps")
+    chip = SRAMChip(board_id, spec.profile, random_state=seeds)
+    simulator = AgingSimulator(spec.profile)
+
+    reference = chip.read_startup()
+    powerups.inc()  # the day-0 reference read-out
+    months: List[BoardMonthMetrics] = []
+    for month in range(spec.months + 1):
+        months.append(
+            evaluate_board(
+                chip,
+                reference,
+                measurements=spec.measurements,
+                statistical=spec.statistical,
+                temperature_k=spec.temperatures[month],
+            )
+        )
+        powerups.inc(spec.measurements)
+        tracker.checkpoint(month)
+        if month < spec.months:
+            simulator.age_array_months(
+                chip.array,
+                spec.aging_acceleration,
+                steps=spec.aging_steps_per_month,
+            )
+            aging_steps.inc(spec.aging_steps_per_month)
+    return BoardTrajectory(board_id=board_id, reference=reference, months=months)
+
+
+def run_board_shard(spec: ShardSpec) -> ShardResult:
+    """Execute one shard: every assigned board, end to end.
+
+    Any failure while a board runs — including the
+    :attr:`~repro.exec.plan.ShardSpec.fail_board` fault-injection
+    hook — surfaces as a :class:`~repro.errors.CampaignExecutionError`
+    naming the board and shard, so the driver can refuse to merge.
+    """
+    tracker = _DeltaTracker(spec.months)
+    seeds = SeedHierarchy(spec.root_seed)
+    trajectories: List[BoardTrajectory] = []
+    for board_id in spec.board_ids:
+        try:
+            if spec.fail_board == board_id:
+                raise RuntimeError("injected fault (ShardSpec.fail_board)")
+            trajectories.append(_run_board(spec, board_id, seeds, tracker))
+        except CampaignExecutionError:
+            raise
+        except Exception as exc:
+            raise CampaignExecutionError(
+                f"board {board_id} failed in shard {spec.shard_index}: {exc}",
+                board_id=board_id,
+                shard_index=spec.shard_index,
+            ) from exc
+    logger.debug(
+        "shard %d finished: %d boards x %d snapshots",
+        spec.shard_index,
+        len(trajectories),
+        spec.months + 1,
+    )
+    return ShardResult(
+        shard_index=spec.shard_index,
+        board_ids=spec.board_ids,
+        trajectories=trajectories,
+        counter_deltas=tracker.deltas,
+    )

@@ -1,0 +1,131 @@
+"""Crash robustness: failures surface structured, nothing merges.
+
+A fleet-scale executor that silently dropped a failed board would
+corrupt the science (WCHD envelopes over 15 boards instead of 16 look
+plausible).  The contract tested here: any worker failure — injected
+via the :attr:`~repro.exec.plan.ShardSpec.fail_board` chaos hook —
+surfaces as a :class:`~repro.errors.CampaignExecutionError` that names
+the board and shard, survives the process boundary, and aborts the
+campaign *before* anything is merged, observed or reported.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.campaign import LongTermCampaign
+from repro.errors import CampaignExecutionError
+from repro.exec.executor import ParallelExecutor, SerialExecutor
+from repro.exec.merge import collate_shard_results
+from repro.exec.plan import ShardSpec
+from repro.exec.worker import run_board_shard
+from repro.monitor.defaults import default_ruleset
+from repro.monitor.hub import MonitorHub
+from repro.sram.profiles import ATMEGA32U4
+from repro.telemetry import get_metrics, reset_telemetry
+
+MONTHS = 2
+
+
+def _spec(board_ids, shard_index=0, **overrides) -> ShardSpec:
+    spec = dict(
+        shard_index=shard_index,
+        root_seed=3,
+        board_ids=tuple(board_ids),
+        months=MONTHS,
+        measurements=50,
+        profile=ATMEGA32U4,
+        temperatures=(None,) * (MONTHS + 1),
+    )
+    spec.update(overrides)
+    return ShardSpec(**spec)
+
+
+class TestWorkerFailure:
+    def test_injected_fault_names_board_and_shard(self):
+        with pytest.raises(CampaignExecutionError) as excinfo:
+            run_board_shard(_spec([0, 1, 2], shard_index=4, fail_board=1))
+        assert excinfo.value.board_id == 1
+        assert excinfo.value.shard_index == 4
+        assert "board 1" in str(excinfo.value)
+
+    def test_error_attributes_survive_the_process_boundary(self):
+        specs = [
+            _spec([0, 1], shard_index=0),
+            _spec([2, 3], shard_index=1, fail_board=3),
+        ]
+        with pytest.raises(CampaignExecutionError) as excinfo:
+            ParallelExecutor(2).run_shards(specs)
+        assert excinfo.value.board_id == 3
+        assert excinfo.value.shard_index == 1
+
+    def test_serial_executor_wraps_failures_identically(self):
+        with pytest.raises(CampaignExecutionError) as excinfo:
+            SerialExecutor().run_shards([_spec([5], fail_board=5)])
+        assert excinfo.value.board_id == 5
+
+
+class _FaultyCampaign(LongTermCampaign):
+    """Campaign whose second shard dies on its first board."""
+
+    def _plan_shards(self, shard_count):
+        specs = super()._plan_shards(shard_count)
+        victim = specs[-1]
+        specs[-1] = dataclasses.replace(victim, fail_board=victim.board_ids[0])
+        return specs
+
+
+class TestNoPartialMerge:
+    def test_campaign_aborts_without_merging_or_observing(self, tmp_path):
+        reset_telemetry()
+        alert_log = tmp_path / "alerts.jsonl"
+        hub = MonitorHub(default_ruleset(), alert_log=str(alert_log))
+        progress_calls = []
+        campaign = _FaultyCampaign(
+            device_count=4, months=MONTHS, measurements=50, random_state=3
+        )
+        with pytest.raises(CampaignExecutionError) as excinfo:
+            campaign.run(
+                progress=progress_calls.append,
+                monitor=hub,
+                executor=ParallelExecutor(2),
+            )
+        assert excinfo.value.board_id is not None
+        # Nothing downstream of the failure may have happened: no
+        # snapshot observed, no alert written, no progress reported,
+        # no snapshot counted.
+        assert progress_calls == []
+        assert hub.alert_count == 0
+        assert not alert_log.exists()
+        assert get_metrics().counter("monitor.observations").value == 0
+        assert get_metrics().counter("campaign.snapshots").value == 0
+
+
+class TestMergeRefusesBadCoverage:
+    def _results(self, *board_groups):
+        return [
+            run_board_shard(_spec(boards, shard_index=i))
+            for i, boards in enumerate(board_groups)
+        ]
+
+    def test_missing_board_is_refused(self):
+        results = self._results((0, 1), (2,))
+        with pytest.raises(CampaignExecutionError, match="missing boards \\[3\\]"):
+            collate_shard_results([0, 1, 2, 3], MONTHS, results)
+
+    def test_duplicate_board_is_refused(self):
+        results = self._results((0, 1), (1, 2))
+        with pytest.raises(CampaignExecutionError, match="more than one shard"):
+            collate_shard_results([0, 1, 2], MONTHS, results)
+
+    def test_unplanned_board_is_refused(self):
+        results = self._results((0, 1, 2))
+        with pytest.raises(CampaignExecutionError, match="unplanned boards \\[2\\]"):
+            collate_shard_results([0, 1], MONTHS, results)
+
+    def test_wrong_month_count_is_refused(self):
+        results = self._results((0, 1))
+        with pytest.raises(CampaignExecutionError, match="expected 4"):
+            collate_shard_results([0, 1], MONTHS + 1, results)

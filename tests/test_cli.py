@@ -38,6 +38,24 @@ class TestCommands:
 
         assert load_campaign(path).months == 2
 
+    def test_fig6_workers_flag_matches_serial_artifact(self, capsys, tmp_path):
+        serial = str(tmp_path / "serial.json")
+        parallel = str(tmp_path / "parallel.json")
+        code, _ = run_cli(capsys, "fig6", "--save", serial, *SMALL)
+        assert code == 0
+        code, _ = run_cli(
+            capsys, "fig6", "--workers", "2", "--save", parallel, *SMALL
+        )
+        assert code == 0
+        with open(serial, "rb") as a, open(parallel, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_workers_must_be_positive(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="max_workers"):
+            main(["fig6", "--workers", "0", *SMALL])
+
     def test_calibrate(self, capsys):
         code, out = run_cli(capsys, "calibrate")
         assert code == 0
