@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.monthly import MonthlyEvaluation, assemble_evaluation, evaluate_month
-from repro.errors import ConfigurationError
+from repro.errors import CampaignInterrupted, ConfigurationError, StorageError
 from repro.rng import RandomState, SeedHierarchy
 from repro.sram.aging import AgingSimulator
 from repro.sram.chip import SRAMChip
@@ -172,6 +172,8 @@ class LongTermCampaign:
         progress: Optional[ProgressCallback] = None,
         monitor: Optional["MonitorHub"] = None,
         executor: Optional["CampaignExecutor"] = None,
+        checkpoint_dir: Optional[str] = None,
+        abort_after_month: Optional[int] = None,
     ) -> CampaignResult:
         """Execute the campaign and return its result.
 
@@ -208,7 +210,45 @@ class LongTermCampaign:
         Telemetry and monitoring are purely observational — they read
         no random stream, so results are identical with either on or
         off.
+
+        ``checkpoint_dir`` switches to the *checkpointed* month-window
+        pipeline (see ``docs/storage.md``): after each monthly
+        snapshot, the complete campaign state is atomically persisted
+        to that directory, and :meth:`resume` can later continue from
+        the last complete month with byte-identical final results.
+        Checkpointed runs route through the same windowed driver for
+        every worker count, so the checkpoint files themselves are
+        byte-identical across serial and parallel execution.
+        ``abort_after_month`` (requires ``checkpoint_dir``) raises
+        :class:`~repro.errors.CampaignInterrupted` right after that
+        month's checkpoint is on disk — the deterministic
+        interruption hook the kill-and-resume tests and the CI
+        ``resume-smoke`` job use.
         """
+        if abort_after_month is not None:
+            if checkpoint_dir is None:
+                raise ConfigurationError(
+                    "abort_after_month requires checkpoint_dir (there is "
+                    "nothing to resume from without checkpoints)"
+                )
+            if abort_after_month < 0:
+                raise ConfigurationError(
+                    f"abort_after_month cannot be negative, got {abort_after_month}"
+                )
+        if checkpoint_dir is not None:
+            if chips is not None:
+                raise ConfigurationError(
+                    "an injected fleet cannot be checkpointed (workers "
+                    "re-manufacture boards from the seed hierarchy); "
+                    "run without chips to use checkpoint_dir"
+                )
+            if executor is None:
+                from repro.exec.executor import executor_for
+
+                executor = executor_for(self._max_workers)
+            return self._run_windowed(
+                executor, progress, monitor, checkpoint_dir, abort_after_month
+            )
         if executor is None and self._max_workers > 1:
             from repro.exec.executor import executor_for
 
@@ -222,6 +262,63 @@ class LongTermCampaign:
                 )
             return self._run_sharded(executor, progress, monitor)
         return self._run_serial(chips, progress, monitor)
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint_dir: str,
+        progress: Optional[ProgressCallback] = None,
+        monitor: Optional["MonitorHub"] = None,
+        executor: Optional["CampaignExecutor"] = None,
+        max_workers: int = 1,
+        abort_after_month: Optional[int] = None,
+    ) -> CampaignResult:
+        """Continue a checkpointed campaign from its last complete month.
+
+        The campaign configuration is rebuilt from the checkpoint
+        itself (seed, profile, fleet size, walk — everything), so the
+        caller only supplies the directory plus fresh observers.  The
+        resumed run replays stored snapshots and counter deltas through
+        ``monitor`` before continuing, so the final
+        :class:`CampaignResult`, saved artifact, manifest and alert
+        log are **byte-identical** to an uninterrupted run's — under
+        any ``max_workers``, which may differ from the interrupted
+        run's.  ``monitor`` must be freshly constructed (no prior
+        observations); its alert log, if any, is truncated and
+        regenerated by the replay.
+        """
+        from repro.exec.executor import executor_for
+        from repro.store.checkpoint import load_latest_checkpoint
+
+        state = load_latest_checkpoint(checkpoint_dir)
+        config = state.config
+        try:
+            campaign = cls(
+                device_count=int(config["device_count"]),
+                months=int(config["months"]),
+                measurements=int(config["measurements"]),
+                profile=DeviceProfile(**config["profile"]),
+                statistical=bool(config["statistical"]),
+                temperature_walk_k=float(config["temperature_walk_k"]),
+                aging_steps_per_month=int(config["aging_steps_per_month"]),
+                aging_acceleration=float(config["aging_acceleration"]),
+                max_workers=max_workers,
+                random_state=int(config["root_seed"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageError(
+                f"checkpoint {state.source} has an unusable config: {exc}"
+            ) from exc
+        if executor is None:
+            executor = executor_for(max_workers)
+        return campaign._run_windowed(
+            executor,
+            progress,
+            monitor,
+            checkpoint_dir,
+            abort_after_month,
+            resume_state=state,
+        )
 
     def _run_serial(
         self,
@@ -437,5 +534,238 @@ class LongTermCampaign:
             measurements=self._measurements,
             board_ids=board_ids,
             references=merged.references,
+            snapshots=snapshots,
+        )
+
+    def _checkpoint_config(self) -> Dict:
+        """The campaign's complete configuration as a JSON document.
+
+        Stored inside every checkpoint so :meth:`resume` can rebuild
+        the campaign without the caller re-supplying anything.
+        """
+        import dataclasses
+
+        return {
+            "device_count": self._device_count,
+            "months": self._months,
+            "measurements": self._measurements,
+            "statistical": self._statistical,
+            "temperature_walk_k": self._temperature_walk_k,
+            "aging_steps_per_month": self._aging_steps,
+            "aging_acceleration": self._aging_acceleration,
+            "root_seed": self._seeds.root_seed,
+            "profile": dataclasses.asdict(self._profile),
+        }
+
+    def _run_windowed(
+        self,
+        executor: "CampaignExecutor",
+        progress: Optional[ProgressCallback],
+        monitor: Optional["MonitorHub"],
+        checkpoint_dir: str,
+        abort_after_month: Optional[int],
+        resume_state=None,
+    ) -> CampaignResult:
+        """Checkpointed month-window pipeline (serial *and* parallel).
+
+        One executor dispatch per month: every shard advances its
+        boards by exactly one month and returns metric rows plus
+        serialized device state, the driver assembles the snapshot,
+        feeds the monitor, and cuts an atomic checkpoint.  All
+        checkpointed runs — any worker count — use this one loop, so
+        checkpoint files are byte-identical across execution modes.
+
+        Counter bookkeeping mirrors the serial loop poll for poll:
+        evaluation deltas fold in *before* the month's monitor poll,
+        aging deltas *after* (they become visible at the next poll,
+        exactly as in-process aging would).  The per-poll deltas are
+        recorded into the checkpoint so a resumed process can replay
+        its registry — and the monitor's alert sequence — to the exact
+        interrupted-run state.
+        """
+        from repro.exec.plan import partition_boards
+        from repro.exec.windows import BoardWindowState, WindowSpec, run_board_window
+        from repro.store.artifact import ArtifactStore
+        from repro.store.checkpoint import (
+            CampaignCheckpointer,
+            CounterDeltaRecorder,
+            fold_counter_deltas,
+        )
+        from repro.store.codecs import restore_rng_state, rng_state_doc
+
+        metrics = get_metrics()
+        tracer = get_tracer()
+        snapshots_done = metrics.counter("campaign.snapshots")
+        # Same instrument set as the serial run — see _run_sharded.
+        metrics.counter("campaign.powerups")
+        metrics.counter("campaign.aging_steps")
+        metrics.gauge("campaign.devices").set(self._device_count)
+
+        checkpointer = CampaignCheckpointer(checkpoint_dir, self._checkpoint_config())
+        board_ids = list(range(self._device_count))
+        total_snapshots = self._months + 1
+        walk = self._temperature_walk_k > 0.0
+        temp_rng = self._seeds.stream("ambient-temperature")
+
+        with tracer.span(
+            "campaign.run",
+            devices=self._device_count,
+            months=self._months,
+            workers=executor.max_workers,
+        ):
+            if resume_state is None:
+                checkpointer.reset()
+                start_month = 0
+                temperature = self._profile.temperature_k
+                references: Dict[int, np.ndarray] = {}
+                board_states: Dict[int, Optional[Dict]] = {b: None for b in board_ids}
+                snapshots: List[MonthlyEvaluation] = []
+                counter_deltas: List[Dict[str, int]] = []
+                recorder = CounterDeltaRecorder(metrics)
+                logger.info(
+                    "campaign started (checkpointed): %d devices, %d months, "
+                    "%d measurements/month, %d workers -> %s",
+                    self._device_count,
+                    self._months,
+                    self._measurements,
+                    executor.max_workers,
+                    checkpoint_dir,
+                )
+            else:
+                state = resume_state
+                if set(state.boards) != set(board_ids):
+                    raise StorageError(
+                        f"checkpoint {state.source} covers boards "
+                        f"{sorted(state.boards)}, campaign expects {board_ids}"
+                    )
+                if state.completed_month > self._months:
+                    raise StorageError(
+                        f"checkpoint {state.source} is for month "
+                        f"{state.completed_month} of a {self._months}-month campaign"
+                    )
+                start_month = state.completed_month + 1
+                temperature = state.temperature
+                if state.temp_rng_state is not None:
+                    restore_rng_state(temp_rng, state.temp_rng_state)
+                # Rebuild per-board maps in fleet order: JSON object keys
+                # sort as strings, and the artifact's reference map must
+                # keep fleet insertion order to stay byte-identical.
+                references = {b: state.references[b] for b in board_ids}
+                board_states = {b: state.boards[b] for b in board_ids}
+                snapshots = list(state.snapshots)
+                counter_deltas = [dict(poll) for poll in state.counter_deltas]
+                if monitor is not None and monitor.alert_log is not None:
+                    log_store, log_name = ArtifactStore.locate(monitor.alert_log)
+                    log_store.truncate(log_name)
+                with tracer.span("campaign.replay", months=len(snapshots)):
+                    for month, snapshot in enumerate(snapshots):
+                        fold_counter_deltas(metrics, counter_deltas[month])
+                        if monitor is not None:
+                            monitor.observe_evaluation(snapshot)
+                            monitor.poll_counters(index=month)
+                # Pending deltas (the aging block after the last poll)
+                # fold in *after* the recorder baselines, so the next
+                # poll's recorded delta includes them — exactly as in
+                # the uninterrupted run.
+                recorder = CounterDeltaRecorder(metrics)
+                fold_counter_deltas(metrics, state.pending_deltas)
+                logger.info(
+                    "campaign resumed from %s at month %d/%d (%d workers)",
+                    state.source,
+                    start_month,
+                    self._months,
+                    executor.max_workers,
+                )
+
+            shard_boards = partition_boards(board_ids, executor.max_workers)
+            for month in range(start_month, total_snapshots):
+                if walk:
+                    temperature += float(temp_rng.normal(0.0, self._temperature_walk_k))
+                snapshot_temp = temperature if walk else None
+                apply_aging = month < self._months
+                with tracer.span("campaign.month", month=month):
+                    specs = [
+                        WindowSpec(
+                            shard_index=index,
+                            month=month,
+                            root_seed=self._seeds.root_seed,
+                            measurements=self._measurements,
+                            profile=self._profile,
+                            statistical=self._statistical,
+                            temperature=snapshot_temp,
+                            apply_aging=apply_aging,
+                            aging_steps_per_month=self._aging_steps,
+                            aging_acceleration=self._aging_acceleration,
+                            boards=tuple(
+                                BoardWindowState(
+                                    board_id=board,
+                                    state=board_states[board],
+                                    reference=references.get(board),
+                                )
+                                for board in boards
+                            ),
+                        )
+                        for index, boards in enumerate(shard_boards)
+                    ]
+                    results = executor.run_tasks(run_board_window, specs)
+                    rows: Dict[int, "BoardMonthMetrics"] = {}
+                    eval_deltas: Dict[str, int] = {}
+                    aging_deltas: Dict[str, int] = {}
+                    for result in results:
+                        rows.update(result.rows)
+                        board_states.update(result.states)
+                        references.update(result.references)
+                        for name, delta in result.eval_deltas.items():
+                            eval_deltas[name] = eval_deltas.get(name, 0) + delta
+                        for name, delta in result.aging_deltas.items():
+                            aging_deltas[name] = aging_deltas.get(name, 0) + delta
+                    fold_counter_deltas(metrics, eval_deltas)
+                    snapshots.append(
+                        assemble_evaluation(
+                            month,
+                            self._measurements,
+                            [rows[board] for board in board_ids],
+                        )
+                    )
+                    snapshots_done.inc()
+                    counter_deltas.append(recorder.take())
+                    if monitor is not None:
+                        monitor.observe_evaluation(snapshots[-1])
+                        monitor.poll_counters(index=month)
+                    fold_counter_deltas(metrics, aging_deltas)
+                    with tracer.span("campaign.checkpoint", month=month):
+                        checkpointer.save(
+                            month,
+                            temperature,
+                            rng_state_doc(temp_rng) if walk else None,
+                            references,
+                            board_states,
+                            snapshots,
+                            counter_deltas,
+                            aging_deltas,
+                        )
+                logger.debug(
+                    "month %d/%d checkpointed (WCHD mean %.4f)",
+                    month,
+                    self._months,
+                    float(snapshots[-1].wchd.mean()),
+                )
+                if progress is not None:
+                    progress(month + 1, total_snapshots)
+                if abort_after_month is not None and month >= abort_after_month:
+                    raise CampaignInterrupted(
+                        f"campaign interrupted after month {month} as requested; "
+                        f"resume from {checkpoint_dir}",
+                        checkpoint_dir=checkpoint_dir,
+                        month=month,
+                    )
+            logger.info("campaign finished (checkpointed): %d snapshots", len(snapshots))
+
+        return CampaignResult(
+            profile_name=self._profile.name,
+            months=self._months,
+            measurements=self._measurements,
+            board_ids=board_ids,
+            references={board: references[board] for board in board_ids},
             snapshots=snapshots,
         )

@@ -9,6 +9,8 @@
     python -m repro accelerated
     python -m repro profile [--devices 4] [--months 3] [--prometheus PATH]
     python -m repro monitor campaign.json [--alerts PATH]
+    python -m repro run --save campaign.json [--checkpoint-dir DIR] [--resume]
+    python -m repro store inspect DIR [--clean]
 
 Global options (before the command):
 
@@ -27,6 +29,7 @@ directly.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -169,6 +172,89 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    """Run the monitored campaign with artifacts and checkpoint/resume.
+
+    Saves the campaign result, its run manifest and the JSONL alert log
+    next to ``--save``.  With ``--checkpoint-dir`` the campaign
+    checkpoints after every month; ``--resume`` continues from the last
+    complete checkpoint, producing artifacts byte-identical to an
+    uninterrupted run (see ``docs/storage.md``).  ``--abort-after-month``
+    (or the ``REPRO_ABORT_AFTER_MONTH`` environment variable) interrupts
+    deterministically after that month's checkpoint and exits with
+    code 3 — the CI resume-smoke job uses this to rehearse a crash.
+    """
+    from repro.errors import CampaignInterrupted
+    from repro.io.resultstore import save_campaign
+    from repro.monitor.alerts import alert_log_path_for
+    from repro.monitor.defaults import default_ruleset
+    from repro.monitor.hub import MonitorHub
+    from repro.store.artifact import ArtifactStore
+    from repro.telemetry import manifest_path_for
+
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    alert_log = args.alerts if args.alerts else alert_log_path_for(args.save)
+    if not args.resume:
+        # A fresh run's live alert log mirrors this run only; a resumed
+        # run instead truncates-and-replays inside the campaign driver.
+        store, name = ArtifactStore.locate(alert_log)
+        store.truncate(name)
+    hub = MonitorHub(default_ruleset(), alert_log=alert_log)
+    try:
+        result = LongTermAssessment(_study_config(args)).run(
+            monitor=hub,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            abort_after_month=args.abort_after_month,
+        )
+    except CampaignInterrupted as exc:
+        print(f"campaign interrupted after month {exc.month}; "
+              f"checkpoints in {exc.checkpoint_dir}")
+        print(f"resume with: repro run --save {args.save} "
+              f"--checkpoint-dir {exc.checkpoint_dir} --resume")
+        return 3
+    save_campaign(
+        result.campaign, args.save, manifest=result.manifest, alerts=hub.alerts
+    )
+    print(f"campaign saved to {args.save}")
+    print(f"manifest saved to {manifest_path_for(args.save)}")
+    print(f"alert log written to {alert_log} ({hub.alert_count} alerts)")
+    return 0
+
+
+def _cmd_store_inspect(args: argparse.Namespace) -> int:
+    """Print an artifact directory's contents, versions and integrity."""
+    from repro.errors import StorageError
+    from repro.store.artifact import ArtifactStore
+
+    try:
+        store = ArtifactStore(args.path, create=False)
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.clean:
+        for name in store.clean_stray_tmp_files():
+            print(f"removed stray temp file {name}")
+    report = store.integrity_report()
+    print(f"artifact store {report['root']}")
+    if not report["files"]:
+        print("  (no artifacts)")
+    for entry in report["files"]:
+        version = "-" if entry["version"] is None else f"v{entry['version']}"
+        detail = f"  {entry['detail']}" if entry["detail"] else ""
+        print(
+            f"  {entry['name']:<32} {entry['kind']:<12} {version:>4} "
+            f"{entry['bytes']:>9} B  {entry['status']}{detail}"
+        )
+    for name in report["stray_tmp_files"]:
+        print(f"  stray temp file: {name} (interrupted write; "
+              "re-run with --clean to remove)")
+    print(f"integrity: {'ok' if report['ok'] else 'PROBLEMS FOUND'}")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_monitor(args: argparse.Namespace) -> int:
     """Replay a saved campaign through the alert engine.
 
@@ -184,11 +270,14 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro.monitor.hub import MonitorHub
     from repro.monitor.replay import render_alert_timeline, replay_campaign
 
+    from repro.store.artifact import ArtifactStore
+
     campaign = load_campaign(args.campaign)
     alert_log = args.alerts if args.alerts else alert_log_path_for(args.campaign)
     # Replays overwrite rather than append: the log mirrors this
     # screening, not the concatenation of every past one.
-    open(alert_log, "w", encoding="utf-8").close()
+    store, name = ArtifactStore.locate(alert_log)
+    store.truncate(name)
     hub = MonitorHub(default_ruleset(), alert_log=alert_log)
     alerts = replay_campaign(campaign, hub)
     print(
@@ -302,6 +391,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="also append a metrics snapshot line to a JSONL file",
     )
     profile.set_defaults(handler=_cmd_profile)
+
+    env_abort = os.environ.get("REPRO_ABORT_AFTER_MONTH", "")
+    run = commands.add_parser(
+        "run",
+        help="run the monitored campaign with artifacts and checkpoint/resume",
+    )
+    _add_study_arguments(run)
+    run.add_argument(
+        "--save",
+        default="campaign.json",
+        help="campaign artifact destination (manifest and alert log are "
+        "written alongside)",
+    )
+    run.add_argument(
+        "--alerts",
+        metavar="PATH",
+        help="alert log destination (default: <save>.alerts.jsonl)",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="write a resumable checkpoint after every month",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the last complete checkpoint in --checkpoint-dir",
+    )
+    run.add_argument(
+        "--abort-after-month",
+        type=int,
+        default=int(env_abort) if env_abort else None,
+        metavar="M",
+        help="interrupt deterministically after month M's checkpoint and "
+        "exit 3 (default: $REPRO_ABORT_AFTER_MONTH; requires "
+        "--checkpoint-dir)",
+    )
+    run.set_defaults(handler=_cmd_run)
+
+    store = commands.add_parser(
+        "store", help="artifact-store maintenance (inspect directories)"
+    )
+    store_actions = store.add_subparsers(dest="action", required=True)
+    inspect = store_actions.add_parser(
+        "inspect",
+        help="list an artifact directory's files, versions and integrity",
+    )
+    inspect.add_argument("path", help="artifact directory to inspect")
+    inspect.add_argument(
+        "--clean",
+        action="store_true",
+        help="delete stray *.tmp files left by interrupted writes",
+    )
+    inspect.set_defaults(handler=_cmd_store_inspect)
 
     monitor = commands.add_parser(
         "monitor", help="replay a saved campaign through the alert engine"

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, List, Optional
 
 from repro.analysis.campaign import CampaignResult, LongTermCampaign, ProgressCallback
 from repro.analysis.timeseries import QualityTimeSeries
+from repro.errors import ConfigurationError
 from repro.core.config import StudyConfig
 from repro.core.paper import PAPER, PaperFacts
 from repro.core.report import build_quality_report
@@ -135,6 +136,9 @@ class LongTermAssessment:
         progress: Optional[ProgressCallback] = None,
         monitor: Optional["MonitorHub"] = None,
         executor: Optional["CampaignExecutor"] = None,
+        checkpoint_dir: Optional[str] = None,
+        resume: bool = False,
+        abort_after_month: Optional[int] = None,
     ) -> AssessmentResult:
         """Execute the campaign and summarise it.
 
@@ -148,6 +152,14 @@ class LongTermAssessment:
         ``max_workers`` decides; results are bit-identical either
         way — see ``docs/parallel.md``).
 
+        ``checkpoint_dir`` turns on per-month campaign checkpoints;
+        with ``resume=True`` the campaign instead continues from the
+        last complete checkpoint in that directory (the stored config
+        takes precedence over this assessment's campaign parameters,
+        which must describe the same study).  ``abort_after_month``
+        interrupts deterministically after that month's checkpoint —
+        see ``docs/storage.md``.
+
         The returned result carries a
         :class:`~repro.telemetry.RunManifest` describing the run —
         config, seed, package version, per-phase wall times and the
@@ -156,6 +168,8 @@ class LongTermAssessment:
         the campaign artifact.
         """
         cfg = self._config
+        if resume and checkpoint_dir is None:
+            raise ConfigurationError("resume=True requires checkpoint_dir")
         manifest = RunManifest.for_config(cfg, command="LongTermAssessment.run")
         tracer = get_tracer()
         with tracer.span(
@@ -174,7 +188,23 @@ class LongTermAssessment:
                 random_state=cfg.seed,
             )
             phase_start = time.perf_counter()
-            result = campaign.run(progress=progress, monitor=monitor, executor=executor)
+            if resume:
+                result = LongTermCampaign.resume(
+                    checkpoint_dir,
+                    progress=progress,
+                    monitor=monitor,
+                    executor=executor,
+                    max_workers=cfg.max_workers,
+                    abort_after_month=abort_after_month,
+                )
+            else:
+                result = campaign.run(
+                    progress=progress,
+                    monitor=monitor,
+                    executor=executor,
+                    checkpoint_dir=checkpoint_dir,
+                    abort_after_month=abort_after_month,
+                )
             manifest.record_phase("campaign", time.perf_counter() - phase_start)
 
             phase_start = time.perf_counter()

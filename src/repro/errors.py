@@ -52,6 +52,28 @@ class StorageError(ReproError):
     """The measurement database could not read or write a record."""
 
 
+class CampaignInterrupted(ReproError):
+    """A checkpointed campaign stopped at a planned interruption point.
+
+    Raised by :meth:`~repro.analysis.campaign.LongTermCampaign.run`
+    when ``abort_after_month`` is reached: the checkpoint for that
+    month is already durably on disk, so the campaign can be continued
+    with :meth:`~repro.analysis.campaign.LongTermCampaign.resume`.
+    The checkpoint directory and the last completed month are carried
+    as attributes.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        checkpoint_dir: Optional[str] = None,
+        month: Optional[int] = None,
+    ):
+        super().__init__(message)
+        self.checkpoint_dir = checkpoint_dir
+        self.month = month
+
+
 class CampaignExecutionError(ReproError):
     """A parallel campaign worker failed while executing its shard.
 

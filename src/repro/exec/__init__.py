@@ -13,6 +13,9 @@ Layers (see ``docs/parallel.md`` for the full design):
   board partitioner.
 * :mod:`repro.exec.worker` — the ``spawn``-safe shard worker; returns
   trajectories plus per-month telemetry counter deltas.
+* :mod:`repro.exec.windows` — month-granular work orders for the
+  checkpointed path (:class:`WindowSpec` / :func:`run_board_window`);
+  the driver regains control after every month to cut a checkpoint.
 * :mod:`repro.exec.executor` — :class:`SerialExecutor` /
   :class:`ParallelExecutor` behind one surface; plan-order results,
   structured :class:`~repro.errors.CampaignExecutionError` on failure.
@@ -33,18 +36,28 @@ from repro.exec.executor import (
 )
 from repro.exec.merge import MergedShards, collate_shard_results
 from repro.exec.plan import ShardSpec, partition_boards
+from repro.exec.windows import (
+    BoardWindowState,
+    WindowResult,
+    WindowSpec,
+    run_board_window,
+)
 from repro.exec.worker import BoardTrajectory, ShardResult, run_board_shard
 
 __all__ = [
     "BoardTrajectory",
+    "BoardWindowState",
     "CampaignExecutor",
     "MergedShards",
     "ParallelExecutor",
     "SerialExecutor",
     "ShardResult",
     "ShardSpec",
+    "WindowResult",
+    "WindowSpec",
     "collate_shard_results",
     "executor_for",
     "partition_boards",
     "run_board_shard",
+    "run_board_window",
 ]

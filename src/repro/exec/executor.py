@@ -26,7 +26,7 @@ from __future__ import annotations
 import logging
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, Sequence, Union
+from typing import Any, Callable, List, Sequence, Union
 
 from repro.errors import CampaignExecutionError, ConfigurationError
 from repro.exec.plan import ShardSpec
@@ -45,9 +45,19 @@ class SerialExecutor:
 
     max_workers = 1
 
+    def run_tasks(self, fn: Callable[[Any], Any], specs: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to every spec sequentially, in plan order.
+
+        The generic dispatch surface: full-trajectory shards
+        (:func:`~repro.exec.worker.run_board_shard`) and checkpointed
+        month windows (:func:`~repro.exec.windows.run_board_window`)
+        both run through here.
+        """
+        return [fn(spec) for spec in specs]
+
     def run_shards(self, specs: Sequence[ShardSpec]) -> List[ShardResult]:
         """Execute every shard sequentially, in plan order."""
-        return [run_board_shard(spec) for spec in specs]
+        return self.run_tasks(run_board_shard, specs)
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -69,25 +79,28 @@ class ParallelExecutor:
             raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = int(max_workers)
 
-    def run_shards(self, specs: Sequence[ShardSpec]) -> List[ShardResult]:
-        """Execute shards concurrently; results come back in plan order."""
+    def run_tasks(self, fn: Callable[[Any], Any], specs: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to the specs concurrently; plan-order results.
+
+        ``fn`` must be a picklable module-level callable and every spec
+        must expose ``shard_index`` and ``board_ids`` (for structured
+        error reports) — :class:`~repro.exec.plan.ShardSpec` and
+        :class:`~repro.exec.windows.WindowSpec` both do.
+        """
         if not specs:
             return []
         if self.max_workers == 1 or len(specs) == 1:
             # A pool of one only adds process overhead; keep semantics
             # (including error wrapping) by running the worker inline.
-            return [
-                self._guarded(lambda s=spec: run_board_shard(s), spec)
-                for spec in specs
-            ]
+            return [self._guarded(lambda s=spec: fn(s), spec) for spec in specs]
         context = multiprocessing.get_context(START_METHOD)
         workers = min(self.max_workers, len(specs))
         logger.info(
-            "dispatching %d shards to %d %s workers", len(specs), workers, START_METHOD
+            "dispatching %d tasks to %d %s workers", len(specs), workers, START_METHOD
         )
         with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            futures = [pool.submit(run_board_shard, spec) for spec in specs]
-            results: List[ShardResult] = []
+            futures = [pool.submit(fn, spec) for spec in specs]
+            results: List[Any] = []
             try:
                 for spec, future in zip(specs, futures):
                     results.append(self._guarded(future.result, spec))
@@ -96,8 +109,12 @@ class ParallelExecutor:
                 raise
         return results
 
+    def run_shards(self, specs: Sequence[ShardSpec]) -> List[ShardResult]:
+        """Execute shards concurrently; results come back in plan order."""
+        return self.run_tasks(run_board_shard, specs)
+
     @staticmethod
-    def _guarded(call, spec: ShardSpec) -> ShardResult:
+    def _guarded(call, spec) -> Any:
         """Run a zero-arg ``call`` and normalise failures to CampaignExecutionError."""
         try:
             return call()

@@ -1,0 +1,179 @@
+"""Month-window workers: one month of one shard's boards at a time.
+
+The checkpointed campaign path cannot hand workers full-trajectory
+:class:`~repro.exec.plan.ShardSpec` orders — a checkpoint must be cut
+*between* months, which requires the driver to get control back after
+every month.  This module supplies the finer-grained work order:
+:class:`WindowSpec` describes one month of one shard, carrying each
+board *by value* as a :class:`BoardWindowState` (serialized device
+state, or ``None`` at month 0 to manufacture the board in the worker),
+and :func:`run_board_window` executes it.
+
+Draw-order equivalence with the serial loop holds because boards never
+share random streams: each board's stream sees manufacture → day-0
+reference → month-0 block → month-0 aging → month-1 block → … in both
+schedules, and the device state between windows round-trips exactly
+through :func:`repro.store.checkpoint.board_state_doc`.  The same
+window pipeline runs under :class:`~repro.exec.executor.SerialExecutor`
+and :class:`~repro.exec.executor.ParallelExecutor`, which is why
+checkpoint files — not just results — are byte-identical across worker
+counts.
+
+Telemetry follows the shard-worker convention: windows count work on
+private registries and return deltas, split into *evaluation* deltas
+(folded before the month's monitor poll) and *aging* deltas (folded
+after, visible at the next poll) so the driver reproduces the serial
+counter trajectory poll for poll.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.monthly import BoardMonthMetrics, evaluate_board
+from repro.errors import CampaignExecutionError
+from repro.rng import SeedHierarchy
+from repro.sram.aging import AgingSimulator
+from repro.sram.chip import SRAMChip
+from repro.sram.profiles import DeviceProfile
+from repro.store.checkpoint import board_state_doc, restore_chip
+from repro.telemetry.metrics import MetricsRegistry
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class BoardWindowState:
+    """One board's inbound state for a month window.
+
+    ``state is None`` means the board does not exist yet (month 0): the
+    worker manufactures it from the seed hierarchy and takes its day-0
+    reference read-out.  Afterwards ``state`` is a
+    :func:`~repro.store.checkpoint.board_state_doc` document and
+    ``reference`` the day-0 read-out.
+    """
+
+    board_id: int
+    state: Optional[Dict[str, Any]] = field(repr=False, default=None)
+    reference: Optional[np.ndarray] = field(repr=False, default=None)
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """One shard's work order for a single campaign month."""
+
+    shard_index: int
+    month: int
+    root_seed: int
+    measurements: int
+    profile: DeviceProfile = field(repr=False)
+    statistical: bool = True
+    temperature: Optional[float] = None
+    apply_aging: bool = True
+    aging_steps_per_month: int = 2
+    aging_acceleration: float = 1.0
+    boards: Tuple[BoardWindowState, ...] = ()
+
+    @property
+    def board_ids(self) -> Tuple[int, ...]:
+        """Boards of this window (for executor error reports)."""
+        return tuple(board.board_id for board in self.boards)
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """Everything one month window sends back to the driver."""
+
+    shard_index: int
+    month: int
+    rows: Dict[int, BoardMonthMetrics] = field(repr=False)
+    states: Dict[int, Dict[str, Any]] = field(repr=False)
+    #: Day-0 references, populated only by month-0 windows.
+    references: Dict[int, np.ndarray] = field(repr=False)
+    #: Counters advanced by manufacture/reference/measurement work.
+    eval_deltas: Dict[str, int] = field(repr=False)
+    #: Counters advanced by the post-snapshot aging block.
+    aging_deltas: Dict[str, int] = field(repr=False)
+
+
+def _registry_deltas(registry: MetricsRegistry) -> Dict[str, int]:
+    """Non-zero counter values of a private window registry."""
+    return {
+        name: int(doc["value"])
+        for name, doc in registry.snapshot().items()
+        if doc["type"] == "counter" and doc["value"]
+    }
+
+
+def run_board_window(spec: WindowSpec) -> WindowResult:
+    """Execute one month for every board of one shard.
+
+    Month 0 additionally manufactures each board and takes its day-0
+    reference (exactly the serial campaign's draw order).  Failures
+    surface as :class:`~repro.errors.CampaignExecutionError` naming the
+    board and shard, like the full-trajectory worker's.
+    """
+    eval_registry = MetricsRegistry()
+    aging_registry = MetricsRegistry()
+    powerups = eval_registry.counter("campaign.powerups")
+    aging_steps = aging_registry.counter("campaign.aging_steps")
+    simulator = AgingSimulator(spec.profile)
+
+    rows: Dict[int, BoardMonthMetrics] = {}
+    states: Dict[int, Dict[str, Any]] = {}
+    references: Dict[int, np.ndarray] = {}
+    for board in spec.boards:
+        try:
+            if board.state is None:
+                seeds = SeedHierarchy(spec.root_seed)
+                chip = SRAMChip(board.board_id, spec.profile, random_state=seeds)
+                reference = chip.read_startup()
+                powerups.inc()  # the day-0 reference read-out
+                references[board.board_id] = reference
+            else:
+                chip = restore_chip(board.board_id, spec.profile, board.state)
+                reference = board.reference
+            rows[board.board_id] = evaluate_board(
+                chip,
+                reference,
+                measurements=spec.measurements,
+                statistical=spec.statistical,
+                temperature_k=spec.temperature,
+            )
+            powerups.inc(spec.measurements)
+            if spec.apply_aging:
+                simulator.age_array_months(
+                    chip.array,
+                    spec.aging_acceleration,
+                    steps=spec.aging_steps_per_month,
+                )
+                aging_steps.inc(spec.aging_steps_per_month)
+            states[board.board_id] = board_state_doc(chip)
+        except CampaignExecutionError:
+            raise
+        except Exception as exc:
+            raise CampaignExecutionError(
+                f"board {board.board_id} failed in month-{spec.month} window "
+                f"of shard {spec.shard_index}: {exc}",
+                board_id=board.board_id,
+                shard_index=spec.shard_index,
+            ) from exc
+    logger.debug(
+        "window finished: shard %d month %d, %d boards",
+        spec.shard_index,
+        spec.month,
+        len(rows),
+    )
+    return WindowResult(
+        shard_index=spec.shard_index,
+        month=spec.month,
+        rows=rows,
+        states=states,
+        references=references,
+        eval_deltas=_registry_deltas(eval_registry),
+        aging_deltas=_registry_deltas(aging_registry),
+    )

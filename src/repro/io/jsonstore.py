@@ -6,8 +6,22 @@ sink as a JSON-lines file (one measurement document per line), which
 keeps appends O(1) and lets analyses stream through hundreds of
 millions of records without loading them all.
 
-The store also works fully in memory (``path=None``), which the test
-suite and the testbed simulator use.
+Two modes:
+
+``memory`` (the default)
+    Records are kept in a list (and mirrored to ``path`` when one is
+    given).  Random access is cheap; memory grows with the store.
+    The test suite and the testbed simulator use this.
+
+``stream``
+    Requires ``path``.  Nothing is held in memory: ``append`` is a
+    durable O(1) line append, and every read (:meth:`iter_records`,
+    :meth:`for_board`, iteration) streams from disk.  This is the mode
+    that scales to the paper's ~175 M read-outs.
+
+All file writes go through :class:`repro.store.ArtifactStore`
+(fsync'd line appends; the line is the atomicity unit), and the line
+byte format is identical in both modes.
 
 The module also persists :class:`~repro.telemetry.RunManifest`
 documents (:func:`save_manifest` / :func:`load_manifest`), so a
@@ -23,7 +37,12 @@ from typing import Iterable, Iterator, List, Optional
 
 from repro.errors import StorageError
 from repro.io.records import MeasurementRecord
+from repro.store import migrate
+from repro.store.artifact import ArtifactStore
 from repro.telemetry import RunManifest
+
+#: Valid measurement-database modes.
+MODES = ("memory", "stream")
 
 
 class MeasurementDatabase:
@@ -34,6 +53,10 @@ class MeasurementDatabase:
     path:
         File to persist to (JSON lines).  ``None`` keeps everything in
         memory.
+    mode:
+        ``"memory"`` (default) holds records in a list; ``"stream"``
+        keeps nothing in memory and reads from disk on demand
+        (requires ``path``).
 
     Examples
     --------
@@ -44,31 +67,73 @@ class MeasurementDatabase:
     1
     """
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(self, path: Optional[str] = None, mode: str = "memory"):
+        if mode not in MODES:
+            raise StorageError(f"unknown MeasurementDatabase mode {mode!r}")
+        if mode == "stream" and path is None:
+            raise StorageError("stream mode requires a backing path")
         self._path = path
+        self._mode = mode
+        self._store: Optional[ArtifactStore] = None
+        self._name = ""
+        if path is not None:
+            self._store, self._name = ArtifactStore.locate(path)
         self._records: List[MeasurementRecord] = []
+        self._count = 0
         if path is not None and os.path.exists(path):
-            self._records = list(self._read_file(path))
+            if mode == "memory":
+                self._records = list(self._read_file(path))
+                self._count = len(self._records)
+            else:
+                for _ in self._read_file(path):
+                    self._count += 1
+        elif mode == "memory":
+            self._count = 0
 
     @property
     def path(self) -> Optional[str]:
         """Backing file, or ``None`` for an in-memory store."""
         return self._path
 
+    @property
+    def mode(self) -> str:
+        """``"memory"`` or ``"stream"``."""
+        return self._mode
+
     def __len__(self) -> int:
-        return len(self._records)
+        return self._count
 
     def __iter__(self) -> Iterator[MeasurementRecord]:
-        return iter(self._records)
+        return self.iter_records()
+
+    def iter_records(self) -> Iterator[MeasurementRecord]:
+        """Every record in insertion order.
+
+        In ``stream`` mode this reads from disk lazily — constant
+        memory no matter how large the database has grown.
+        """
+        if self._mode == "memory":
+            return iter(list(self._records))
+        assert self._path is not None
+        if not os.path.exists(self._path):
+            return iter(())
+        return self._read_file(self._path)
+
+    @staticmethod
+    def _encode_line(record: MeasurementRecord) -> str:
+        # Byte format pinned since the first release: compact json.dumps
+        # of the record document, insertion key order, one per line.
+        return json.dumps(record.to_json_dict())
 
     def append(self, record: MeasurementRecord) -> None:
         """Append one record (and persist it if file-backed)."""
         if not isinstance(record, MeasurementRecord):
             raise StorageError(f"expected MeasurementRecord, got {type(record).__name__}")
-        self._records.append(record)
-        if self._path is not None:
-            with open(self._path, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(record.to_json_dict()) + "\n")
+        if self._mode == "memory":
+            self._records.append(record)
+        if self._store is not None:
+            self._store.append_jsonl(self._name, record.to_json_dict())
+        self._count += 1
 
     def extend(self, records: Iterable[MeasurementRecord]) -> None:
         """Append many records; file-backed stores batch the write."""
@@ -76,19 +141,21 @@ class MeasurementDatabase:
         for record in batch:
             if not isinstance(record, MeasurementRecord):
                 raise StorageError(f"expected MeasurementRecord, got {type(record).__name__}")
-        self._records.extend(batch)
-        if self._path is not None and batch:
-            with open(self._path, "a", encoding="utf-8") as handle:
-                for record in batch:
-                    handle.write(json.dumps(record.to_json_dict()) + "\n")
+        if self._mode == "memory":
+            self._records.extend(batch)
+        if self._store is not None and batch:
+            self._store.append_jsonl_batch(
+                self._name, [record.to_json_dict() for record in batch]
+            )
+        self._count += len(batch)
 
     def for_board(self, board_id: int) -> List[MeasurementRecord]:
         """All records of one board, in insertion order."""
-        return [record for record in self._records if record.board_id == board_id]
+        return [record for record in self.iter_records() if record.board_id == board_id]
 
     def board_ids(self) -> List[int]:
         """Sorted list of distinct board ids present in the store."""
-        return sorted({record.board_id for record in self._records})
+        return sorted({record.board_id for record in self.iter_records()})
 
     def first_for_board(self, board_id: int) -> MeasurementRecord:
         """The reference (first) measurement of a board.
@@ -97,7 +164,7 @@ class MeasurementDatabase:
         the reference read-out is load-bearing for WCHD analysis, so a
         silent ``None`` would only defer the failure.
         """
-        for record in self._records:
+        for record in self.iter_records():
             if record.board_id == board_id:
                 return record
         raise StorageError(f"no measurements recorded for board {board_id}")
@@ -117,20 +184,24 @@ class MeasurementDatabase:
 
     def __repr__(self) -> str:
         where = self._path if self._path is not None else "memory"
-        return f"MeasurementDatabase({len(self._records)} records, {where})"
+        return f"MeasurementDatabase({self._count} records, {self._mode}, {where})"
 
 
 def save_manifest(manifest: RunManifest, path: str) -> None:
-    """Write a run manifest to ``path`` as a JSON document."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(manifest.to_json_dict(), handle, indent=2)
+    """Atomically write a run manifest to ``path`` as a JSON document."""
+    store, name = ArtifactStore.locate(path)
+    store.write_json(name, manifest.to_json_dict(), indent=2)
 
 
 def load_manifest(path: str) -> RunManifest:
-    """Read a run manifest written by :func:`save_manifest`."""
+    """Read a run manifest written by :func:`save_manifest`.
+
+    Old manifest versions are migrated through the
+    :mod:`repro.store.schema` dispatch table before parsing.
+    """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             doc = json.load(handle)
     except (OSError, json.JSONDecodeError) as exc:
         raise StorageError(f"cannot load manifest from {path}: {exc}") from exc
-    return RunManifest.from_json_dict(doc)
+    return RunManifest.from_json_dict(migrate("manifest", doc))

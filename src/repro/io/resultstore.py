@@ -28,6 +28,8 @@ import numpy as np
 
 from repro.errors import StorageError
 from repro.io.bitutil import bits_from_hex, bits_to_hex
+from repro.store import migrate
+from repro.store.artifact import ArtifactStore
 from repro.telemetry import RunManifest, manifest_path_for
 
 FORMAT_VERSION = 1
@@ -83,13 +85,17 @@ def campaign_to_dict(result) -> Dict[str, Any]:
 
 
 def campaign_from_dict(doc: Dict[str, Any]):
-    """Rebuild a campaign result from :func:`campaign_to_dict` output."""
+    """Rebuild a campaign result from :func:`campaign_to_dict` output.
+
+    Documents from older library versions are migrated up front via
+    the :mod:`repro.store.schema` dispatch table (e.g. pre-versioning
+    v0 artifacts without ``format_version``/``reference_bits``), so
+    every artifact ever written by this library keeps loading.
+    """
     from repro.analysis.campaign import CampaignResult
 
+    doc = migrate("campaign", doc)
     try:
-        version = doc["format_version"]
-        if version != FORMAT_VERSION:
-            raise StorageError(f"unsupported campaign format version {version}")
         references = {
             int(board): bits_from_hex(
                 payload, bit_count=int(doc["reference_bits"][board])
@@ -123,9 +129,13 @@ def save_campaign(
     ``alerts`` (a sequence of :class:`repro.monitor.alerts.Alert`) is
     given — even empty, recording that a monitored run stayed quiet —
     the JSONL alert log is written alongside too.
+
+    All three files go through :class:`repro.store.ArtifactStore`, so
+    the writes are atomic: a crash mid-save leaves the previous
+    artifact intact (plus a detectable ``*.tmp`` stray).
     """
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(campaign_to_dict(result), handle)
+    store, name = ArtifactStore.locate(path)
+    store.write_json(name, campaign_to_dict(result))
     if manifest is not None:
         from repro.io.jsonstore import save_manifest
 

@@ -144,18 +144,24 @@ def alert_log_path_for(artifact_path: str) -> str:
 
 
 def append_alert(alert: Alert, path: str) -> None:
-    """Append one alert to a JSONL log (created on first write)."""
-    with open(path, "a", encoding="utf-8") as handle:
-        json.dump(alert.to_dict(), handle, sort_keys=True)
-        handle.write("\n")
+    """Append one alert to a JSONL log (created on first write).
+
+    Routed through :class:`repro.store.ArtifactStore`, so the line is
+    flushed and fsynced before control returns — an alert that was
+    emitted survives a crash.
+    """
+    from repro.store.artifact import ArtifactStore
+
+    store, name = ArtifactStore.locate(path)
+    store.append_jsonl(name, alert.to_dict(), sort_keys=True)
 
 
 def write_alert_log(alerts: Iterable[Alert], path: str) -> None:
-    """Write a complete alert log, replacing any existing file."""
-    with open(path, "w", encoding="utf-8") as handle:
-        for alert in alerts:
-            json.dump(alert.to_dict(), handle, sort_keys=True)
-            handle.write("\n")
+    """Atomically write a complete alert log, replacing any existing file."""
+    from repro.store.artifact import ArtifactStore
+
+    store, name = ArtifactStore.locate(path)
+    store.write_jsonl(name, [alert.to_dict() for alert in alerts], sort_keys=True)
 
 
 def load_alert_log(path: str) -> List[Alert]:

@@ -18,9 +18,9 @@ Both exporters read instruments only through their public
 
 from __future__ import annotations
 
-import json
 from typing import Any, Dict, List, Optional
 
+from repro.store.artifact import ArtifactStore
 from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
 
 #: HTTP content type of the rendered exposition.
@@ -97,9 +97,13 @@ def render_prometheus(
 def write_prometheus(
     registry: MetricsRegistry, path: str, namespace: str = DEFAULT_NAMESPACE
 ) -> None:
-    """Write the exposition to ``path`` (textfile-collector style)."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(render_prometheus(registry, namespace))
+    """Atomically write the exposition to ``path`` (textfile-collector style).
+
+    Atomicity matters here: a Prometheus textfile collector that
+    scrapes mid-write would otherwise see a torn exposition.
+    """
+    store, name = ArtifactStore.locate(path)
+    store.write_text(name, render_prometheus(registry, namespace))
 
 
 class MetricsJSONLSink:
@@ -137,9 +141,8 @@ class MetricsJSONLSink:
             "label": label,
             "metrics": registry.snapshot(),
         }
-        with open(self._path, "a", encoding="utf-8") as handle:
-            json.dump(document, handle, sort_keys=True)
-            handle.write("\n")
+        store, name = ArtifactStore.locate(self._path)
+        store.append_jsonl(name, document, sort_keys=True)
         self._sequence += 1
         return document
 

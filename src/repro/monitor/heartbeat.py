@@ -15,12 +15,12 @@ is available) and how many alerts the attached hub has raised.
 
 from __future__ import annotations
 
-import json
 import time
 from typing import Any, Dict, Optional
 
 from repro.errors import ConfigurationError
 from repro.monitor.hub import MonitorHub
+from repro.store.artifact import ArtifactStore
 
 try:  # pragma: no cover - platform-dependent availability
     import resource
@@ -107,8 +107,7 @@ class SnapshotEmitter:
             "rss_kb": current_rss_kb(),
             "alerts": self._hub.alert_count if self._hub is not None else None,
         }
-        with open(self._path, "a", encoding="utf-8") as handle:
-            json.dump(document, handle, sort_keys=True)
-            handle.write("\n")
+        store, name = ArtifactStore.locate(self._path)
+        store.append_jsonl(name, document, sort_keys=True)
         self._sequence += 1
         return document

@@ -104,6 +104,16 @@ class MonitorHub:
         self._states.setdefault(rule.metric, []).append(_RuleState(rule))
 
     @property
+    def alert_log(self) -> Optional[str]:
+        """Path of the JSONL alert log, or ``None`` (memory only).
+
+        The campaign resume path reads this to truncate-and-replay the
+        log so a resumed run's alert file stays byte-identical to an
+        uninterrupted run's.
+        """
+        return self._alert_log
+
+    @property
     def rules(self) -> List[AlertRule]:
         """Installed rules, in insertion order."""
         return list(self._rule_names.values())

@@ -162,6 +162,38 @@ class SRAMArray:
             steps=steps,
         )
 
+    # Checkpoint support --------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Snapshot the complete mutable state of the array.
+
+        Everything a power-up depends on: the RNG draw position, the
+        (possibly aged) per-cell skew, the accumulated age and power-up
+        count.  Restoring this state into an array built from the same
+        profile reproduces the exact same future draws — the foundation
+        of the campaign checkpoint/resume bit-identity guarantee.  The
+        values are raw Python/numpy objects; :mod:`repro.store.codecs`
+        owns their serialised form.
+        """
+        return {
+            "rng_state": self._rng.bit_generator.state,
+            "skew_v": np.array(self._skew_v, dtype=np.float64, copy=True),
+            "age_seconds": float(self._age_seconds),
+            "power_up_count": int(self._power_up_count),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`export_state`."""
+        skew = np.asarray(state["skew_v"], dtype=np.float64)
+        if skew.ndim != 1:
+            raise ConfigurationError(
+                f"restored skew must be 1-D, got shape {skew.shape}"
+            )
+        self._rng.bit_generator.state = state["rng_state"]
+        self._skew_v = np.array(skew, copy=True)
+        self._age_seconds = float(state["age_seconds"])
+        self._power_up_count = int(state["power_up_count"])
+
     # Internal mutators used by AgingSimulator ---------------------------
 
     def _advance_age(self, new_age_seconds: float) -> None:

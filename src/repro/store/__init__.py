@@ -1,0 +1,101 @@
+"""repro.store — the unified atomic artifact layer.
+
+Every byte the reproduction persists — campaign results, run
+manifests, alert logs, heartbeats, metric exports, measurement
+databases, trace dumps and campaign checkpoints — flows through this
+package:
+
+* :mod:`repro.store.atomic` — tmp+fsync+rename whole-file writes and
+  fsync'd line appends; crash residue is detectable (``*.tmp``).
+* :mod:`repro.store.codecs` — one canonical encoding per payload
+  shape: pinned-format JSON, JSON Lines, hex-packed bit vectors,
+  base64 float64 arrays, RNG-state documents.
+* :mod:`repro.store.schema` — ``format_version`` dispatch with
+  registered single-step migrations; old artifacts load forever.
+* :mod:`repro.store.artifact` — :class:`ArtifactStore`, the directory
+  owner every writer goes through.
+* :mod:`repro.store.checkpoint` — campaign checkpoint/resume
+  documents and the per-month checkpointer.
+
+Layering: this package sits *below* ``repro.io``, ``repro.monitor``,
+``repro.telemetry`` and ``repro.exec`` (they persist through it) and
+must not import them at module scope.  See ``docs/storage.md``.
+"""
+
+from repro.store.artifact import ArtifactStore
+from repro.store.atomic import (
+    TMP_SUFFIX,
+    append_line,
+    append_lines,
+    atomic_write_bytes,
+    atomic_write_text,
+    find_stray_tmp_files,
+    truncate_file,
+)
+from repro.store.checkpoint import (
+    CampaignCheckpointer,
+    CheckpointState,
+    CounterDeltaRecorder,
+    board_state_doc,
+    build_checkpoint_doc,
+    checkpoint_name,
+    fold_counter_deltas,
+    list_checkpoints,
+    load_latest_checkpoint,
+    parse_checkpoint_doc,
+    restore_chip,
+)
+from repro.store.codecs import (
+    JsonCodec,
+    JsonLinesCodec,
+    decode_float64_array,
+    encode_float64_array,
+    pack_bits_hex,
+    restore_rng_state,
+    rng_state_doc,
+    unpack_bits_hex,
+)
+from repro.store.schema import (
+    SCHEMAS,
+    current_version,
+    document_version,
+    migrate,
+    register_migration,
+    schema_field,
+)
+
+__all__ = [
+    "ArtifactStore",
+    "CampaignCheckpointer",
+    "CheckpointState",
+    "CounterDeltaRecorder",
+    "JsonCodec",
+    "JsonLinesCodec",
+    "SCHEMAS",
+    "TMP_SUFFIX",
+    "append_line",
+    "append_lines",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "board_state_doc",
+    "build_checkpoint_doc",
+    "checkpoint_name",
+    "current_version",
+    "decode_float64_array",
+    "document_version",
+    "encode_float64_array",
+    "find_stray_tmp_files",
+    "fold_counter_deltas",
+    "list_checkpoints",
+    "load_latest_checkpoint",
+    "migrate",
+    "pack_bits_hex",
+    "parse_checkpoint_doc",
+    "register_migration",
+    "restore_chip",
+    "restore_rng_state",
+    "rng_state_doc",
+    "schema_field",
+    "truncate_file",
+    "unpack_bits_hex",
+]

@@ -1,0 +1,304 @@
+"""`ArtifactStore`: the one object that owns artifact I/O.
+
+A store is rooted at a directory — a campaign's output directory, or
+just the directory containing a single artifact (see :meth:`locate`) —
+and is the only code path through which the library persists anything:
+results, manifests, alert logs, heartbeats, metric exports and
+checkpoints all go through :meth:`write_json` / :meth:`write_jsonl` /
+:meth:`append_jsonl` / :meth:`write_text`, which stage every whole-file
+write through the atomic tmp-fsync-rename protocol of
+:mod:`repro.store.atomic` and encode through the canonical codecs of
+:mod:`repro.store.codecs`.
+
+The payoff of funnelling everything through one layer:
+
+* **Crash safety everywhere.**  No writer can forget the tmp+rename
+  dance, and a store can *audit* its directory — stray ``*.tmp`` files
+  are evidence of an interrupted write (:meth:`stray_tmp_files`,
+  :meth:`clean_stray_tmp_files`).
+* **One place to version formats.**  Readers funnel through
+  :func:`repro.store.schema.migrate`; :meth:`integrity_report` can
+  classify and validate every file in the directory (the CLI's
+  ``store inspect`` subcommand prints it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import StorageError
+from repro.store import atomic
+from repro.store.codecs import JsonCodec, JsonLinesCodec
+from repro.store.schema import SCHEMAS, document_version
+
+#: ``month-0007.json`` — the checkpoint filename convention.
+CHECKPOINT_FILE_RE = re.compile(r"^month-(\d{4})\.json$")
+
+
+class ArtifactStore:
+    """Atomic, codec-aware reader/writer for one artifact directory.
+
+    Parameters
+    ----------
+    root:
+        Directory the store owns.  Created (with parents) unless
+        ``create=False``.
+    create:
+        Pass ``False`` for read-only inspection of a directory that
+        must already exist.
+    """
+
+    def __init__(self, root: str, create: bool = True):
+        self._root = os.path.abspath(root)
+        if create:
+            os.makedirs(self._root, exist_ok=True)
+        elif not os.path.isdir(self._root):
+            raise StorageError(f"artifact directory {root} does not exist")
+
+    @classmethod
+    def locate(cls, path: str) -> Tuple["ArtifactStore", str]:
+        """Store + member name for an arbitrary artifact path.
+
+        The bridge between path-shaped public APIs
+        (``save_campaign(result, "out/campaign.json")``) and the
+        store: returns a store rooted at the containing directory and
+        the file's name within it.
+        """
+        absolute = os.path.abspath(path)
+        directory, name = os.path.split(absolute)
+        if not name:
+            raise StorageError(f"{path!r} does not name a file")
+        return cls(directory), name
+
+    @property
+    def root(self) -> str:
+        """Absolute path of the owned directory."""
+        return self._root
+
+    def path(self, name: str) -> str:
+        """Absolute path of a member; parent subdirectories are created."""
+        member = os.path.join(self._root, name)
+        parent = os.path.dirname(member)
+        if parent != self._root:
+            os.makedirs(parent, exist_ok=True)
+        return member
+
+    def exists(self, name: str) -> bool:
+        """Whether the member file exists."""
+        return os.path.isfile(os.path.join(self._root, name))
+
+    # Whole-document writes (atomic) ------------------------------------
+
+    def write_bytes(self, name: str, data: bytes) -> str:
+        """Atomically write raw bytes; returns the absolute path."""
+        target = self.path(name)
+        atomic.atomic_write_bytes(target, data)
+        return target
+
+    def write_text(self, name: str, text: str) -> str:
+        """Atomically write UTF-8 text; returns the absolute path."""
+        return self.write_bytes(name, text.encode("utf-8"))
+
+    def write_json(
+        self,
+        name: str,
+        document: Any,
+        indent: Optional[int] = None,
+        sort_keys: bool = False,
+    ) -> str:
+        """Atomically write one JSON document; returns the absolute path."""
+        codec = JsonCodec(indent=indent, sort_keys=sort_keys)
+        return self.write_bytes(name, codec.encode(document))
+
+    def write_jsonl(
+        self, name: str, documents: Iterable[Any], sort_keys: bool = False
+    ) -> str:
+        """Atomically (re)write a whole JSONL stream."""
+        codec = JsonLinesCodec(sort_keys=sort_keys)
+        return self.write_bytes(name, codec.encode(documents))
+
+    # Stream appends (fsync'd, line-atomic) -----------------------------
+
+    def append_jsonl(self, name: str, document: Any, sort_keys: bool = False) -> str:
+        """Durably append one record to a JSONL stream."""
+        codec = JsonLinesCodec(sort_keys=sort_keys)
+        target = self.path(name)
+        atomic.append_line(target, codec.encode_line(document))
+        return target
+
+    def append_jsonl_batch(
+        self, name: str, documents: Iterable[Any], sort_keys: bool = False
+    ) -> str:
+        """Durably append many records with a single open+fsync."""
+        codec = JsonLinesCodec(sort_keys=sort_keys)
+        target = self.path(name)
+        lines = [codec.encode_line(doc) for doc in documents]
+        if lines:
+            atomic.append_lines(target, lines)
+        return target
+
+    def truncate(self, name: str) -> str:
+        """Create the member empty (or empty an existing stream)."""
+        target = self.path(name)
+        atomic.truncate_file(target)
+        return target
+
+    # Reads --------------------------------------------------------------
+
+    def read_bytes(self, name: str) -> bytes:
+        """Read a member's raw bytes."""
+        try:
+            with open(self.path(name), "rb") as handle:
+                return handle.read()
+        except OSError as exc:
+            raise StorageError(f"cannot read {name} from {self._root}: {exc}") from exc
+
+    def read_text(self, name: str) -> str:
+        """Read a member as UTF-8 text."""
+        try:
+            return self.read_bytes(name).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise StorageError(f"{name} is not valid UTF-8: {exc}") from exc
+
+    def read_json(self, name: str) -> Any:
+        """Read and parse one JSON document."""
+        try:
+            return JsonCodec().decode(self.read_bytes(name))
+        except StorageError as exc:
+            raise StorageError(f"{name}: {exc}") from exc
+
+    def read_jsonl(self, name: str) -> List[Any]:
+        """Read a whole JSONL stream into a list of records."""
+        codec = JsonLinesCodec()
+        return list(codec.decode_lines(self.read_bytes(name), source=name))
+
+    def remove(self, name: str) -> None:
+        """Delete a member file (missing members are a no-op)."""
+        try:
+            os.remove(os.path.join(self._root, name))
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            raise StorageError(f"cannot remove {name}: {exc}") from exc
+
+    # Directory hygiene ---------------------------------------------------
+
+    def entries(self) -> List[str]:
+        """Member files (relative paths, sorted), temp strays excluded."""
+        found: List[str] = []
+        for dirpath, _dirs, files in os.walk(self._root):
+            for filename in files:
+                if filename.endswith(atomic.TMP_SUFFIX):
+                    continue
+                absolute = os.path.join(dirpath, filename)
+                found.append(os.path.relpath(absolute, self._root))
+        return sorted(found)
+
+    def stray_tmp_files(self) -> List[str]:
+        """Leftover ``*.tmp`` staging files (relative paths, sorted).
+
+        Each one marks a write that died between staging and rename;
+        the artifact beside it is the last complete version.
+        """
+        return [
+            os.path.relpath(path, self._root)
+            for path in atomic.find_stray_tmp_files(self._root)
+        ]
+
+    def clean_stray_tmp_files(self) -> List[str]:
+        """Delete every stray temp file; returns what was removed."""
+        removed = []
+        for name in self.stray_tmp_files():
+            try:
+                os.remove(os.path.join(self._root, name))
+            except OSError as exc:
+                raise StorageError(f"cannot remove stray {name}: {exc}") from exc
+            removed.append(name)
+        return removed
+
+    # Integrity -----------------------------------------------------------
+
+    def classify(self, name: str) -> str:
+        """Best-effort document kind of a member, by naming convention."""
+        base = os.path.basename(name)
+        if CHECKPOINT_FILE_RE.match(base):
+            return "checkpoint"
+        if base.endswith(".manifest.json"):
+            return "manifest"
+        if base.endswith(".alerts.jsonl"):
+            return "alert-log"
+        if base.endswith(".heartbeat.jsonl"):
+            return "heartbeat"
+        if base.endswith(".jsonl"):
+            return "jsonl"
+        if base.endswith(".prom"):
+            return "prometheus"
+        if base.endswith(".json"):
+            return "json"
+        return "file"
+
+    def _inspect_file(self, name: str) -> Dict[str, Any]:
+        kind = self.classify(name)
+        entry: Dict[str, Any] = {
+            "name": name,
+            "kind": kind,
+            "bytes": os.path.getsize(os.path.join(self._root, name)),
+            "version": None,
+            "status": "ok",
+            "detail": "",
+        }
+        try:
+            if kind in ("alert-log", "heartbeat", "jsonl"):
+                entry["detail"] = f"{len(self.read_jsonl(name))} records"
+            elif kind in ("checkpoint", "manifest", "json"):
+                document = self.read_json(name)
+                if isinstance(document, dict):
+                    # Recognise versioned kinds by their version field.
+                    for schema_kind, spec in SCHEMAS.items():
+                        if spec["field"] in document:
+                            entry["kind"] = schema_kind
+                            entry["version"] = document_version(schema_kind, document)
+                            break
+                    else:
+                        if document.get("format") == "repro-trace":
+                            entry["kind"] = "trace"
+                            entry["version"] = document.get("version")
+                if entry["kind"] == "checkpoint" and entry["version"] is None:
+                    entry["version"] = 0
+        except StorageError as exc:
+            entry["status"] = "error"
+            entry["detail"] = str(exc)
+        return entry
+
+    def integrity_report(self) -> Dict[str, Any]:
+        """Validate and classify every member of the directory.
+
+        Returns ``{"root", "files": [...], "stray_tmp_files": [...],
+        "ok": bool}`` where each file entry carries its detected kind,
+        schema version (for versioned documents), byte size and
+        parse status.  ``ok`` is true when every file parses and no
+        stray temp files are present.
+        """
+        files = [self._inspect_file(name) for name in self.entries()]
+        strays = self.stray_tmp_files()
+        return {
+            "root": self._root,
+            "files": files,
+            "stray_tmp_files": strays,
+            "ok": not strays and all(f["status"] == "ok" for f in files),
+        }
+
+    def __repr__(self) -> str:
+        return f"ArtifactStore({self._root!r})"
+
+
+def dump_json_text(document: Any, indent: Optional[int] = None, sort_keys: bool = False) -> str:
+    """Canonical JSON text of a document (the bytes a store would write).
+
+    Exposed for callers that need the encoding without a write —
+    e.g. size estimation or tests asserting byte-format stability.
+    """
+    return json.dumps(document, indent=indent, sort_keys=sort_keys)

@@ -1,0 +1,142 @@
+"""Atomic file-write primitives: the only code that writes artifacts.
+
+The paper's testbed streamed ~175 M read-outs to durable storage over
+two years and had to survive power loss at any instant.  This module is
+the reproduction's answer: every whole-document write goes
+
+1. to a sibling temp file (``<path>.tmp``),
+2. is flushed and ``fsync``-ed,
+3. and is moved into place with :func:`os.replace` — atomic on POSIX
+   and Windows alike.
+
+A crash before step 3 leaves the previous version of the artifact
+intact plus a detectable ``*.tmp`` stray (see
+:func:`find_stray_tmp_files` and
+:meth:`~repro.store.artifact.ArtifactStore.clean_stray_tmp_files`); a
+crash after step 3 leaves the new version.  There is no instant at
+which a reader can observe a half-written document.
+
+Streams (JSON Lines) use :func:`append_line` instead: an ``fsync``-ed
+append whose atomicity unit is one line — a crash can truncate at most
+the line being written, never corrupt earlier lines.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+from repro.errors import StorageError
+
+#: Suffix of the scratch file every atomic write stages through.
+TMP_SUFFIX = ".tmp"
+
+
+def _fsync_directory(path: str) -> None:
+    """Best-effort fsync of ``path``'s directory (durable rename).
+
+    Some platforms/filesystems refuse to open directories; losing the
+    directory-entry sync there degrades durability, not atomicity, so
+    the failure is swallowed.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``.
+
+    Writes to ``path + ".tmp"``, flushes and fsyncs, then
+    :func:`os.replace`-s into place.  On failure the previous version
+    of ``path`` is untouched; a stray temp file may remain as evidence
+    (deliberately — see :func:`find_stray_tmp_files`).
+    """
+    tmp_path = path + TMP_SUFFIX
+    try:
+        with open(tmp_path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        raise StorageError(f"atomic write to {path} failed: {exc}") from exc
+    _fsync_directory(path)
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Atomically replace ``path`` with ``text`` (see :func:`atomic_write_bytes`)."""
+    atomic_write_bytes(path, text.encode(encoding))
+
+
+def append_line(path: str, line: str, encoding: str = "utf-8") -> None:
+    """Durably append one line to a JSONL-style stream file.
+
+    The line (newline added here) is written in one buffered write,
+    flushed and fsynced.  Appends are not staged through a temp file —
+    rewriting a growing log per record would be O(n²) — so the
+    atomicity unit is the line: a crash mid-append can truncate the
+    final line only, which JSONL readers skip or flag cleanly.
+    """
+    if "\n" in line:
+        raise StorageError("a JSONL record cannot contain a newline")
+    try:
+        with open(path, "a", encoding=encoding) as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError as exc:
+        raise StorageError(f"append to {path} failed: {exc}") from exc
+
+
+def append_lines(path: str, lines: List[str], encoding: str = "utf-8") -> None:
+    """Durably append many lines with a single open + fsync.
+
+    Same durability contract as :func:`append_line`; batching amortises
+    the fsync over the whole batch, which is what makes bulk loading a
+    streaming database O(n) instead of one fsync per record.
+    """
+    for line in lines:
+        if "\n" in line:
+            raise StorageError("a JSONL record cannot contain a newline")
+    try:
+        with open(path, "a", encoding=encoding) as handle:
+            for line in lines:
+                handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError as exc:
+        raise StorageError(f"append to {path} failed: {exc}") from exc
+
+
+def truncate_file(path: str, encoding: str = "utf-8") -> None:
+    """Create ``path`` empty (or empty an existing stream before rewrite)."""
+    try:
+        with open(path, "w", encoding=encoding) as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+    except OSError as exc:
+        raise StorageError(f"cannot truncate {path}: {exc}") from exc
+
+
+def find_stray_tmp_files(directory: str) -> List[str]:
+    """Paths of ``*.tmp`` strays under ``directory`` (recursive, sorted).
+
+    A stray means a writer died between staging and rename; the
+    artifact next to it is the last *complete* version and is safe to
+    read.
+    """
+    strays: List[str] = []
+    for root, _dirs, files in os.walk(directory):
+        for name in files:
+            if name.endswith(TMP_SUFFIX):
+                strays.append(os.path.join(root, name))
+    return sorted(strays)

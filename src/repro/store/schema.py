@@ -1,0 +1,142 @@
+"""Versioned artifact schemas and the migration dispatch table.
+
+Every persisted document kind carries a version field; readers call
+:func:`migrate` before interpreting a document, which walks the
+registered single-step migrations until the document reaches the
+current version.  Old artifacts therefore load forever: supporting a
+new format means bumping the kind's current version and registering
+one ``(kind, old_version) -> new_version`` migration, never touching
+readers.
+
+A document *without* its version field is version 0 — the pre-store
+era.  The shipped ``campaign`` 0 -> 1 migration is the real example:
+early campaign artifacts had neither ``format_version`` nor the
+``reference_bits`` size map, so the migration stamps the version and
+infers each reference's bit count from its hex payload (4 bits per hex
+character).
+"""
+
+from __future__ import annotations
+
+import copy
+import logging
+from typing import Any, Callable, Dict, Tuple
+
+from repro.errors import StorageError
+
+logger = logging.getLogger(__name__)
+
+Migration = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+#: Version field name and current version per document kind.
+SCHEMAS: Dict[str, Dict[str, Any]] = {
+    "campaign": {"field": "format_version", "current": 1},
+    "manifest": {"field": "manifest_version", "current": 1},
+    "checkpoint": {"field": "checkpoint_version", "current": 1},
+    "trace": {"field": "version", "current": 1},
+}
+
+_MIGRATIONS: Dict[Tuple[str, int], Migration] = {}
+
+
+def schema_field(kind: str) -> str:
+    """The version field name of a document kind."""
+    try:
+        return SCHEMAS[kind]["field"]
+    except KeyError:
+        raise StorageError(f"unknown document kind {kind!r}") from None
+
+
+def current_version(kind: str) -> int:
+    """The version readers and writers speak natively."""
+    try:
+        return SCHEMAS[kind]["current"]
+    except KeyError:
+        raise StorageError(f"unknown document kind {kind!r}") from None
+
+
+def document_version(kind: str, document: Dict[str, Any]) -> int:
+    """Version of a loaded document (missing field = version 0)."""
+    version = document.get(schema_field(kind), 0)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise StorageError(
+            f"{kind} document has a non-integer {schema_field(kind)!r}: {version!r}"
+        )
+    return version
+
+
+def register_migration(kind: str, from_version: int):
+    """Decorator registering a one-step migration for ``kind``.
+
+    The function receives a document at ``from_version`` (it may mutate
+    the copy it is handed) and must return the document at
+    ``from_version + 1``.
+    """
+    if kind not in SCHEMAS:
+        raise StorageError(f"unknown document kind {kind!r}")
+
+    def decorator(fn: Migration) -> Migration:
+        key = (kind, from_version)
+        if key in _MIGRATIONS:
+            raise StorageError(f"duplicate migration for {kind} v{from_version}")
+        _MIGRATIONS[key] = fn
+        return fn
+
+    return decorator
+
+
+def migrate(kind: str, document: Dict[str, Any]) -> Dict[str, Any]:
+    """Bring a document to the kind's current version.
+
+    Current-version documents pass through untouched (no copy); older
+    ones are deep-copied and stepped through the dispatch table.
+    Documents *newer* than this library, or older ones with no
+    registered path, raise :class:`~repro.errors.StorageError` — a
+    half-understood artifact must never be silently interpreted.
+    """
+    if not isinstance(document, dict):
+        raise StorageError(f"{kind} document must be a JSON object, got {type(document).__name__}")
+    target = current_version(kind)
+    version = document_version(kind, document)
+    if version == target:
+        return document
+    if version > target:
+        raise StorageError(
+            f"{kind} document is version {version}, newer than this library's "
+            f"{target}; upgrade repro to read it"
+        )
+    while version < target:
+        migration = _MIGRATIONS.get((kind, version))
+        if migration is None:
+            raise StorageError(
+                f"no migration registered for {kind} v{version} -> v{version + 1}"
+            )
+        logger.info("migrating %s document v%d -> v%d", kind, version, version + 1)
+        document = migration(copy.deepcopy(document))
+        new_version = document_version(kind, document)
+        if new_version != version + 1:
+            raise StorageError(
+                f"{kind} v{version} migration produced v{new_version}, "
+                f"expected v{version + 1}"
+            )
+        version = new_version
+    return document
+
+
+@register_migration("campaign", 0)
+def _campaign_v0_to_v1(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Pre-versioning campaign artifacts: stamp v1, infer reference sizes.
+
+    Version-0 artifacts stored references as hex with no explicit bit
+    count; hex is 4 bits per character and references were always
+    byte-aligned, so the size map is recoverable exactly.
+    """
+    references = document.get("references")
+    if not isinstance(references, dict):
+        raise StorageError("campaign v0 document has no references map")
+    document.setdefault(
+        "reference_bits",
+        {board: 4 * len(payload) for board, payload in references.items()},
+    )
+    document["format_version"] = 1
+    return document

@@ -136,11 +136,18 @@ class RunManifest:
 
     @classmethod
     def from_json_dict(cls, doc: Dict[str, Any]) -> "RunManifest":
-        """Rebuild a manifest from :meth:`to_json_dict` output."""
+        """Rebuild a manifest from :meth:`to_json_dict` output.
+
+        Older manifest versions are migrated up front through the
+        :mod:`repro.store.schema` dispatch table; documents newer than
+        this library raise :class:`~repro.errors.StorageError`.
+        """
+        # Imported here: repro.store must stay importable without
+        # repro.telemetry (store sits below telemetry in the layering).
+        from repro.store.schema import migrate
+
         try:
-            version = doc["manifest_version"]
-            if version != MANIFEST_VERSION:
-                raise StorageError(f"unsupported manifest version {version}")
+            doc = migrate("manifest", doc)
             seed = doc.get("seed")
             return cls(
                 run_id=str(doc["run_id"]),

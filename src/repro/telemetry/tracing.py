@@ -208,10 +208,14 @@ class Tracer:
         return [root.to_dict() for root in self._roots]
 
     def export_json(self, path: str) -> None:
-        """Write the span forest to ``path`` as a JSON document."""
+        """Atomically write the span forest to ``path`` as a JSON document."""
+        # Imported here: repro.store must stay importable without
+        # repro.telemetry (store sits below telemetry in the layering).
+        from repro.store.artifact import ArtifactStore
+
         document = {"format": "repro-trace", "version": 1, "spans": self.to_dicts()}
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2)
+        store, name = ArtifactStore.locate(path)
+        store.write_json(name, document, indent=2)
 
     def render_tree(self) -> str:
         """Text profile table: one line per span, indented by depth."""

@@ -84,3 +84,58 @@ class TestFileBackedDatabase:
             handle.write("\n\n")
         db.append(make_record(0, 1))
         assert len(MeasurementDatabase(path)) == 2
+
+
+class TestStreamingDatabase:
+    def test_stream_mode_requires_path(self):
+        with pytest.raises(StorageError, match="path"):
+            MeasurementDatabase(mode="stream")
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        with pytest.raises(StorageError, match="mode"):
+            MeasurementDatabase(str(tmp_path / "db.jsonl"), mode="turbo")
+
+    def test_append_and_stream_back(self, tmp_path):
+        path = str(tmp_path / "db.jsonl")
+        db = MeasurementDatabase(path, mode="stream")
+        records = [make_record(0, i) for i in range(4)]
+        for record in records:
+            db.append(record)
+        assert len(db) == 4
+        assert list(db.iter_records()) == records
+
+    def test_nothing_held_in_memory(self, tmp_path):
+        db = MeasurementDatabase(str(tmp_path / "db.jsonl"), mode="stream")
+        db.extend([make_record(0, i) for i in range(10)])
+        assert db._records == []
+
+    def test_reopen_counts_existing_records(self, tmp_path):
+        path = str(tmp_path / "db.jsonl")
+        MeasurementDatabase(path, mode="stream").extend(
+            [make_record(0, i) for i in range(3)]
+        )
+        reopened = MeasurementDatabase(path, mode="stream")
+        assert len(reopened) == 3
+        reopened.append(make_record(0, 3))
+        assert len(reopened) == 4
+
+    def test_for_board_and_first_stream_from_disk(self, tmp_path):
+        db = MeasurementDatabase(str(tmp_path / "db.jsonl"), mode="stream")
+        db.extend([make_record(0, 0), make_record(1, 0), make_record(0, 1)])
+        assert [r.sequence for r in db.for_board(0)] == [0, 1]
+        assert db.board_ids() == [0, 1]
+        assert db.first_for_board(1).board_id == 1
+
+    def test_stream_file_bytes_identical_to_memory_mode(self, tmp_path):
+        """The line format is pinned: both modes write identical files."""
+        records = [make_record(b, s) for b in range(2) for s in range(3)]
+        memory_path = tmp_path / "memory.jsonl"
+        stream_path = tmp_path / "stream.jsonl"
+        MeasurementDatabase(str(memory_path)).extend(records)
+        MeasurementDatabase(str(stream_path), mode="stream").extend(records)
+        assert memory_path.read_bytes() == stream_path.read_bytes()
+
+    def test_mode_property(self, tmp_path):
+        assert MeasurementDatabase().mode == "memory"
+        db = MeasurementDatabase(str(tmp_path / "db.jsonl"), mode="stream")
+        assert db.mode == "stream"

@@ -117,3 +117,43 @@ class TestBetweenClassHD:
     def test_unequal_lengths_rejected(self):
         with pytest.raises(ConfigurationError):
             between_class_hd([np.zeros(8, dtype=np.uint8), np.zeros(4, dtype=np.uint8)])
+
+
+class TestBetweenClassHDVectorization:
+    """The Gram-matrix path must equal the per-pair loop bit for bit."""
+
+    @staticmethod
+    def loop_reference(matrix: np.ndarray) -> np.ndarray:
+        """The original itertools.combinations implementation."""
+        from itertools import combinations
+
+        pairs = list(combinations(range(len(matrix)), 2))
+        return np.array(
+            [float((matrix[i] != matrix[j]).mean()) for i, j in pairs], dtype=float
+        )
+
+    def test_exact_equality_with_loop_on_random_fleet(self):
+        rng = np.random.default_rng(2026)
+        for devices, cells in [(2, 8), (5, 64), (16, 1024), (33, 4096)]:
+            matrix = rng.integers(0, 2, size=(devices, cells), dtype=np.uint8)
+            vectorized = between_class_hd(list(matrix))
+            looped = self.loop_reference(matrix)
+            assert vectorized.dtype == looped.dtype
+            np.testing.assert_array_equal(vectorized, looped)
+
+    def test_pair_ordering_is_combinations_order(self):
+        # Three distinguishable devices: FHD(0,1)=1/8, FHD(0,2)=2/8,
+        # FHD(1,2)=3/8 -- the result must arrive in exactly that order.
+        base = np.zeros(8, dtype=np.uint8)
+        one = base.copy(); one[:1] = 1
+        two = base.copy(); two[1:3] = 1
+        values = between_class_hd([base, one, two])
+        np.testing.assert_array_equal(values, [1 / 8, 2 / 8, 3 / 8])
+
+    def test_biased_fleet_exact(self):
+        rng = np.random.default_rng(7)
+        # The paper's ~62.7% ones bias, not the uniform-random case.
+        matrix = (rng.random((12, 512)) < 0.627).astype(np.uint8)
+        np.testing.assert_array_equal(
+            between_class_hd(list(matrix)), self.loop_reference(matrix)
+        )

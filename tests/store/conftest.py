@@ -1,0 +1,15 @@
+"""Shared fixtures for the artifact-store suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import reset_telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Isolate every test's metrics so counter assertions are exact."""
+    reset_telemetry()
+    yield
+    reset_telemetry()

@@ -1,0 +1,148 @@
+"""Tests for ArtifactStore: atomic writes, hygiene, integrity reports."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.store.artifact import ArtifactStore, dump_json_text
+
+
+class TestLocate:
+    def test_returns_store_and_member_name(self, tmp_path):
+        store, name = ArtifactStore.locate(str(tmp_path / "out" / "campaign.json"))
+        assert name == "campaign.json"
+        assert store.root == str(tmp_path / "out")
+        assert os.path.isdir(store.root)
+
+    def test_root_path_rejected(self):
+        with pytest.raises(StorageError, match="does not name a file"):
+            ArtifactStore.locate(os.sep)
+
+    def test_create_false_requires_existing_dir(self, tmp_path):
+        with pytest.raises(StorageError, match="does not exist"):
+            ArtifactStore(str(tmp_path / "missing"), create=False)
+
+
+class TestReadWrite:
+    def test_json_roundtrip_and_bytes(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        doc = {"b": 2, "a": [1, None]}
+        store.write_json("doc.json", doc)
+        assert store.read_json("doc.json") == doc
+        assert store.read_text("doc.json") == dump_json_text(doc)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        docs = [{"i": i} for i in range(3)]
+        store.write_jsonl("stream.jsonl", docs)
+        assert store.read_jsonl("stream.jsonl") == docs
+
+    def test_append_jsonl_accumulates(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.append_jsonl("log.jsonl", {"n": 1})
+        store.append_jsonl_batch("log.jsonl", [{"n": 2}, {"n": 3}])
+        assert store.read_jsonl("log.jsonl") == [{"n": 1}, {"n": 2}, {"n": 3}]
+
+    def test_nested_member_creates_parents(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.write_text("sub/dir/file.txt", "deep")
+        assert store.read_text("sub/dir/file.txt") == "deep"
+
+    def test_read_missing_raises(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        with pytest.raises(StorageError, match="cannot read"):
+            store.read_bytes("ghost.json")
+
+    def test_remove_missing_is_noop(self, tmp_path):
+        ArtifactStore(str(tmp_path)).remove("ghost.json")
+
+    def test_truncate(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.append_jsonl("log.jsonl", {"n": 1})
+        store.truncate("log.jsonl")
+        assert store.read_bytes("log.jsonl") == b""
+
+
+class TestHygiene:
+    def test_entries_sorted_and_tmp_excluded(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.write_text("b.json", "{}")
+        store.write_text("a.json", "{}")
+        (tmp_path / "c.json.tmp").write_bytes(b"stray")
+        assert store.entries() == ["a.json", "b.json"]
+
+    def test_stray_detection_and_cleanup(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        (tmp_path / "dead.json.tmp").write_bytes(b"stray")
+        assert store.stray_tmp_files() == ["dead.json.tmp"]
+        assert store.clean_stray_tmp_files() == ["dead.json.tmp"]
+        assert store.stray_tmp_files() == []
+
+    def test_crash_between_stage_and_rename(self, tmp_path, monkeypatch):
+        """The satellite fault-injection scenario at store level."""
+        store = ArtifactStore(str(tmp_path))
+        store.write_json("campaign.json", {"format_version": 1, "months": 3})
+
+        def exploding_replace(src, dst):
+            raise OSError("injected crash")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(StorageError):
+            store.write_json("campaign.json", {"format_version": 1, "months": 99})
+        monkeypatch.undo()
+
+        # Previous artifact intact, stray detected, then cleaned.
+        assert store.read_json("campaign.json")["months"] == 3
+        assert store.stray_tmp_files() == ["campaign.json.tmp"]
+        report = store.integrity_report()
+        assert report["ok"] is False
+        assert report["stray_tmp_files"] == ["campaign.json.tmp"]
+        store.clean_stray_tmp_files()
+        assert store.integrity_report()["ok"] is True
+
+
+class TestClassifyAndIntegrity:
+    def test_classification_conventions(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        assert store.classify("month-0007.json") == "checkpoint"
+        assert store.classify("campaign.manifest.json") == "manifest"
+        assert store.classify("campaign.alerts.jsonl") == "alert-log"
+        assert store.classify("campaign.heartbeat.jsonl") == "heartbeat"
+        assert store.classify("metrics.jsonl") == "jsonl"
+        assert store.classify("metrics.prom") == "prometheus"
+        assert store.classify("campaign.json") == "json"
+        assert store.classify("README") == "file"
+
+    def test_report_detects_versions(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        store.write_json("campaign.json", {"format_version": 1})
+        store.write_json(
+            "trace.json", {"format": "repro-trace", "version": 1, "spans": []}
+        )
+        report = store.integrity_report()
+        by_name = {entry["name"]: entry for entry in report["files"]}
+        assert by_name["campaign.json"]["kind"] == "campaign"
+        assert by_name["campaign.json"]["version"] == 1
+        assert by_name["trace.json"]["kind"] == "trace"
+        assert report["ok"] is True
+
+    def test_report_flags_corrupt_file(self, tmp_path):
+        store = ArtifactStore(str(tmp_path))
+        (tmp_path / "broken.json").write_text("{torn write")
+        report = store.integrity_report()
+        (entry,) = report["files"]
+        assert entry["status"] == "error"
+        assert report["ok"] is False
+
+
+class TestDumpJsonText:
+    def test_matches_store_bytes(self, tmp_path):
+        doc = {"z": 1, "a": 2}
+        store = ArtifactStore(str(tmp_path))
+        store.write_json("doc.json", doc, indent=2, sort_keys=True)
+        assert store.read_text("doc.json") == dump_json_text(
+            doc, indent=2, sort_keys=True
+        )
+        assert dump_json_text(doc) == json.dumps(doc)

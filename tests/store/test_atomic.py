@@ -1,0 +1,130 @@
+"""Tests for the atomic write primitives, including crash injection."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.store.atomic import (
+    TMP_SUFFIX,
+    append_line,
+    append_lines,
+    atomic_write_bytes,
+    atomic_write_text,
+    find_stray_tmp_files,
+    truncate_file,
+)
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        atomic_write_bytes(path, b"payload")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"payload"
+
+    def test_replaces_existing(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        atomic_write_bytes(path, b"old")
+        atomic_write_bytes(path, b"new")
+        with open(path, "rb") as handle:
+            assert handle.read() == b"new"
+
+    def test_no_tmp_left_after_success(self, tmp_path):
+        path = str(tmp_path / "doc.json")
+        atomic_write_text(path, "hello")
+        assert find_stray_tmp_files(str(tmp_path)) == []
+
+    def test_text_is_utf8(self, tmp_path):
+        path = str(tmp_path / "doc.txt")
+        atomic_write_text(path, "héllo")
+        with open(path, "rb") as handle:
+            assert handle.read() == "héllo".encode("utf-8")
+
+
+class TestCrashInjection:
+    """Kill the writer between staging and rename; the old file survives."""
+
+    def test_previous_artifact_intact_on_rename_failure(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "doc.json")
+        atomic_write_bytes(path, b"previous version")
+
+        def exploding_replace(src, dst):
+            raise OSError("injected crash between tmp write and rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(StorageError, match="atomic write"):
+            atomic_write_bytes(path, b"half-finished new version")
+        monkeypatch.undo()
+
+        with open(path, "rb") as handle:
+            assert handle.read() == b"previous version"
+
+    def test_stray_tmp_left_as_evidence(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "doc.json")
+
+        def exploding_replace(src, dst):
+            raise OSError("injected crash")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(StorageError):
+            atomic_write_bytes(path, b"never lands")
+        monkeypatch.undo()
+
+        strays = find_stray_tmp_files(str(tmp_path))
+        assert strays == [path + TMP_SUFFIX]
+        # The staged payload is fully present in the stray.
+        with open(strays[0], "rb") as handle:
+            assert handle.read() == b"never lands"
+
+    def test_open_failure_is_storage_error(self, tmp_path):
+        missing_dir = str(tmp_path / "nope" / "doc.json")
+        with pytest.raises(StorageError):
+            atomic_write_bytes(missing_dir, b"data")
+
+
+class TestAppend:
+    def test_append_line_adds_newline(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        append_line(path, '{"a": 1}')
+        append_line(path, '{"a": 2}')
+        with open(path) as handle:
+            assert handle.read() == '{"a": 1}\n{"a": 2}\n'
+
+    def test_append_line_rejects_embedded_newline(self, tmp_path):
+        with pytest.raises(StorageError, match="newline"):
+            append_line(str(tmp_path / "log.jsonl"), "two\nlines")
+
+    def test_append_lines_batches(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        append_lines(path, ["one", "two", "three"])
+        with open(path) as handle:
+            assert handle.read() == "one\ntwo\nthree\n"
+
+    def test_append_lines_validates_before_writing(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        with pytest.raises(StorageError, match="newline"):
+            append_lines(path, ["fine", "bad\nline"])
+        assert not os.path.exists(path)
+
+
+class TestTruncateAndStrays:
+    def test_truncate_creates_empty(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        truncate_file(path)
+        assert os.path.getsize(path) == 0
+
+    def test_truncate_empties_existing(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        append_line(path, "data")
+        truncate_file(path)
+        assert os.path.getsize(path) == 0
+
+    def test_find_strays_recursive_and_sorted(self, tmp_path):
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "b.json.tmp").write_bytes(b"")
+        (tmp_path / "sub" / "a.json.tmp").write_bytes(b"")
+        (tmp_path / "real.json").write_bytes(b"{}")
+        strays = find_stray_tmp_files(str(tmp_path))
+        assert strays == sorted(strays)
+        assert {os.path.basename(s) for s in strays} == {"a.json.tmp", "b.json.tmp"}

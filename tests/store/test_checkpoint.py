@@ -1,0 +1,199 @@
+"""Tests for checkpoint documents, the checkpointer and delta recording."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.sram.chip import SRAMChip
+from repro.sram.profiles import ATMEGA32U4
+from repro.store.artifact import ArtifactStore
+from repro.store.checkpoint import (
+    CampaignCheckpointer,
+    CounterDeltaRecorder,
+    board_state_doc,
+    checkpoint_name,
+    fold_counter_deltas,
+    list_checkpoints,
+    load_latest_checkpoint,
+    restore_chip,
+)
+from repro.telemetry import get_metrics
+
+
+class TestCheckpointName:
+    def test_zero_padded(self):
+        assert checkpoint_name(0) == "month-0000.json"
+        assert checkpoint_name(23) == "month-0023.json"
+
+    def test_range_enforced(self):
+        with pytest.raises(StorageError):
+            checkpoint_name(-1)
+        with pytest.raises(StorageError):
+            checkpoint_name(10000)
+
+
+class TestBoardState:
+    def test_restored_chip_draws_identically(self):
+        chip = SRAMChip(3, ATMEGA32U4, random_state=11)
+        chip.read_startup(count=5)  # advance off the fresh state
+        doc = board_state_doc(chip)
+        expected = chip.read_startup(count=4)
+
+        clone = restore_chip(3, ATMEGA32U4, doc)
+        np.testing.assert_array_equal(clone.read_startup(count=4), expected)
+
+    def test_state_doc_is_json_native(self):
+        import json
+
+        chip = SRAMChip(0, ATMEGA32U4, random_state=1)
+        doc = json.loads(json.dumps(board_state_doc(chip)))
+        clone = restore_chip(0, ATMEGA32U4, doc)
+        np.testing.assert_array_equal(
+            clone.read_startup(count=2), chip.read_startup(count=2)
+        )
+
+    def test_missing_field_raises(self):
+        chip = SRAMChip(0, ATMEGA32U4, random_state=1)
+        doc = board_state_doc(chip)
+        del doc["skew_b64"]
+        with pytest.raises(StorageError, match="missing field"):
+            restore_chip(0, ATMEGA32U4, doc)
+
+
+class TestCounterDeltaRecorder:
+    def test_records_deltas_since_baseline(self):
+        metrics = get_metrics()
+        metrics.counter("campaign.powerups").inc(5)
+        recorder = CounterDeltaRecorder(metrics)
+        metrics.counter("campaign.powerups").inc(3)
+        assert recorder.take() == {"campaign.powerups": 3}
+
+    def test_zero_deltas_omitted(self):
+        metrics = get_metrics()
+        metrics.counter("campaign.powerups").inc()
+        recorder = CounterDeltaRecorder(metrics)
+        assert recorder.take() == {}
+
+    def test_monitor_counters_excluded(self):
+        metrics = get_metrics()
+        recorder = CounterDeltaRecorder(metrics)
+        metrics.counter("monitor.alerts").inc(4)
+        metrics.counter("campaign.powerups").inc(1)
+        assert recorder.take() == {"campaign.powerups": 1}
+
+    def test_take_advances_baseline(self):
+        metrics = get_metrics()
+        recorder = CounterDeltaRecorder(metrics)
+        metrics.counter("c").inc(2)
+        assert recorder.take() == {"c": 2}
+        assert recorder.take() == {}
+
+    def test_fold_reapplies_deltas(self):
+        metrics = get_metrics()
+        fold_counter_deltas(metrics, {"campaign.powerups": 7, "campaign.aging": 2})
+        assert metrics.counter("campaign.powerups").value == 7
+        assert metrics.counter("campaign.aging").value == 2
+
+
+def _save_minimal_checkpoint(checkpoint_dir, month=0, config=None):
+    from repro.analysis.monthly import evaluate_month
+
+    chips = [SRAMChip(i, ATMEGA32U4, random_state=5 + i) for i in range(2)]
+    references = {chip.chip_id: chip.read_startup() for chip in chips}
+    snapshots = [
+        evaluate_month(chips, references, month=m, measurements=20)
+        for m in range(month + 1)
+    ]
+    checkpointer = CampaignCheckpointer(
+        checkpoint_dir, config or {"root_seed": 1, "months": 3}
+    )
+    checkpointer.save(
+        month,
+        temperature=298.15,
+        temp_rng_state=None,
+        references=references,
+        boards={chip.chip_id: board_state_doc(chip) for chip in chips},
+        snapshots=snapshots,
+        counter_deltas=[{"campaign.powerups": 20}] * (month + 1),
+        pending_deltas={"campaign.aging_steps": 2},
+    )
+    return checkpointer, references
+
+
+class TestCheckpointerRoundtrip:
+    def test_save_then_load(self, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        _, references = _save_minimal_checkpoint(checkpoint_dir, month=1)
+        state = load_latest_checkpoint(checkpoint_dir)
+        assert state.completed_month == 1
+        assert state.config["months"] == 3
+        assert set(state.references) == set(references)
+        for board, bits in references.items():
+            np.testing.assert_array_equal(state.references[board], bits)
+        assert len(state.snapshots) == 2
+        assert state.pending_deltas == {"campaign.aging_steps": 2}
+        assert state.source == "month-0001.json"
+
+    def test_list_checkpoints_ascending(self, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        _save_minimal_checkpoint(checkpoint_dir, month=1)
+        _save_minimal_checkpoint(checkpoint_dir, month=0)
+        assert [month for month, _ in list_checkpoints(checkpoint_dir)] == [0, 1]
+
+    def test_reset_removes_checkpoints(self, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        checkpointer, _ = _save_minimal_checkpoint(checkpoint_dir)
+        checkpointer.reset()
+        assert list_checkpoints(checkpoint_dir) == []
+
+    def test_empty_dir_raises(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(StorageError, match="no checkpoints"):
+            load_latest_checkpoint(str(tmp_path / "empty"))
+
+
+class TestTruncatedCheckpointFallback:
+    """The satellite: a torn newest checkpoint falls back one month."""
+
+    def test_truncated_newest_falls_back_to_previous(self, tmp_path, caplog):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        _save_minimal_checkpoint(checkpoint_dir, month=0)
+        store = ArtifactStore(checkpoint_dir)
+        # Simulate a kill mid-append of month 1: half a JSON document.
+        complete = store.read_text("month-0000.json")
+        with open(store.path("month-0001.json"), "w") as handle:
+            handle.write(complete[: len(complete) // 2])
+
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.store.checkpoint"):
+            state = load_latest_checkpoint(checkpoint_dir)
+        assert state.completed_month == 0
+        assert any("month-0001.json" in record.message for record in caplog.records)
+
+    def test_all_corrupt_raises_with_clear_error(self, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        store = ArtifactStore(checkpoint_dir)
+        store.write_text("month-0000.json", "{torn")
+        with pytest.raises(StorageError, match="no usable checkpoint"):
+            load_latest_checkpoint(checkpoint_dir)
+
+    def test_filename_month_mismatch_skipped(self, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        _save_minimal_checkpoint(checkpoint_dir, month=0)
+        store = ArtifactStore(checkpoint_dir)
+        doc = store.read_json("month-0000.json")
+        store.write_json("month-0005.json", doc, sort_keys=True)  # lies about month
+        state = load_latest_checkpoint(checkpoint_dir)
+        assert state.completed_month == 0
+        assert state.source == "month-0000.json"
+
+    def test_incomplete_snapshot_list_rejected(self, tmp_path):
+        checkpoint_dir = str(tmp_path / "ckpt")
+        _save_minimal_checkpoint(checkpoint_dir, month=0)
+        store = ArtifactStore(checkpoint_dir)
+        doc = store.read_json("month-0000.json")
+        doc["snapshots"] = []
+        store.write_json("month-0000.json", doc, sort_keys=True)
+        with pytest.raises(StorageError, match="expected 1"):
+            load_latest_checkpoint(checkpoint_dir)

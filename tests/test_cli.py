@@ -200,3 +200,93 @@ class TestMonitorCli:
         assert len(lines) == 1
         assert lines[0]["label"] == "profile"
         assert "campaign.powerups" in lines[0]["metrics"]
+
+
+class TestRunCommand:
+    def _run_args(self, tmp_path, *extra):
+        return [
+            "run", *SMALL,
+            "--save", str(tmp_path / "campaign.json"),
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            *extra,
+        ]
+
+    def test_run_writes_all_artifacts(self, capsys, tmp_path):
+        code, out = run_cli(capsys, *self._run_args(tmp_path))
+        assert code == 0
+        assert "campaign saved" in out
+        assert (tmp_path / "campaign.json").exists()
+        assert (tmp_path / "campaign.manifest.json").exists()
+        assert (tmp_path / "campaign.alerts.jsonl").exists()
+        assert (tmp_path / "ckpt" / "month-0002.json").exists()
+
+    def test_abort_exits_with_code_3(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, *self._run_args(tmp_path, "--abort-after-month", "0")
+        )
+        assert code == 3
+        assert "interrupted after month 0" in out
+        assert not (tmp_path / "campaign.json").exists()
+        assert (tmp_path / "ckpt" / "month-0000.json").exists()
+
+    def test_abort_env_variable(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ABORT_AFTER_MONTH", "0")
+        code, _ = run_cli(capsys, *self._run_args(tmp_path))
+        assert code == 3
+
+    def test_interrupt_resume_byte_identical(self, capsys, tmp_path):
+        straight = tmp_path / "straight"
+        broken = tmp_path / "broken"
+        straight.mkdir()
+        broken.mkdir()
+
+        code, _ = run_cli(capsys, *self._run_args(straight))
+        assert code == 0
+        code, _ = run_cli(
+            capsys, *self._run_args(broken, "--abort-after-month", "1")
+        )
+        assert code == 3
+        code, _ = run_cli(capsys, *self._run_args(broken, "--resume"))
+        assert code == 0
+
+        for name in ("campaign.json", "campaign.alerts.jsonl"):
+            assert (straight / name).read_bytes() == (broken / name).read_bytes()
+
+    def test_resume_requires_checkpoint_dir(self, capsys, tmp_path):
+        code = main(
+            ["run", *SMALL, "--save", str(tmp_path / "c.json"), "--resume"]
+        )
+        assert code == 2
+
+
+class TestStoreCommand:
+    def test_inspect_lists_files_and_versions(self, capsys, tmp_path):
+        code, _ = run_cli(
+            capsys,
+            "run", *SMALL,
+            "--save", str(tmp_path / "campaign.json"),
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+        )
+        assert code == 0
+        code, out = run_cli(capsys, "store", "inspect", str(tmp_path))
+        assert code == 0
+        assert "campaign.json" in out and "campaign" in out
+        assert "month-0000.json" in out and "checkpoint" in out
+        assert "integrity: ok" in out
+
+    def test_inspect_flags_and_cleans_strays(self, capsys, tmp_path):
+        (tmp_path / "dead.json.tmp").write_bytes(b"stray")
+        code, out = run_cli(capsys, "store", "inspect", str(tmp_path))
+        assert code == 1
+        assert "stray temp file" in out
+        assert "PROBLEMS FOUND" in out
+        code, out = run_cli(capsys, "store", "inspect", str(tmp_path), "--clean")
+        assert code == 0
+        assert "removed stray temp file dead.json.tmp" in out
+        assert "integrity: ok" in out
+
+    def test_inspect_missing_dir_fails(self, capsys, tmp_path):
+        code = main(["store", "inspect", str(tmp_path / "missing")])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "does not exist" in captured.err
