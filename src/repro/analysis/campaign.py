@@ -106,6 +106,11 @@ class LongTermCampaign:
         in-process serial loop; higher values shard the fleet over
         ``spawn``-ed workers with bit-identical results (the
         ``tests/exec`` equivalence suite enforces this).
+    keyframe_every:
+        Full-state keyframe cadence of checkpointed runs: one keyframe
+        every this many months, results-only deltas in between (see
+        :mod:`repro.store.checkpoint` and ``docs/storage.md``).  Only
+        consulted when ``checkpoint_dir`` is used.
     random_state:
         Seed material; the same seed reproduces the same fleet and
         campaign.
@@ -122,6 +127,7 @@ class LongTermCampaign:
         aging_steps_per_month: int = 2,
         aging_acceleration: float = 1.0,
         max_workers: int = 1,
+        keyframe_every: int = 6,
         random_state: RandomState = None,
     ):
         if device_count < 1:
@@ -144,6 +150,10 @@ class LongTermCampaign:
             )
         if max_workers < 1:
             raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        if keyframe_every < 1:
+            raise ConfigurationError(
+                f"keyframe_every must be >= 1, got {keyframe_every}"
+            )
         self._device_count = device_count
         self._months = months
         self._measurements = measurements
@@ -153,6 +163,7 @@ class LongTermCampaign:
         self._aging_steps = aging_steps_per_month
         self._aging_acceleration = aging_acceleration
         self._max_workers = max_workers
+        self._keyframe_every = keyframe_every
         self._seeds = (
             random_state
             if isinstance(random_state, SeedHierarchy)
@@ -174,6 +185,7 @@ class LongTermCampaign:
         executor: Optional["CampaignExecutor"] = None,
         checkpoint_dir: Optional[str] = None,
         abort_after_month: Optional[int] = None,
+        stream=None,
     ) -> CampaignResult:
         """Execute the campaign and return its result.
 
@@ -224,7 +236,21 @@ class LongTermCampaign:
         month's checkpoint is on disk — the deterministic
         interruption hook the kill-and-resume tests and the CI
         ``resume-smoke`` job use.
+
+        ``stream`` (requires ``checkpoint_dir``) is a
+        :class:`~repro.store.CampaignStreamWriter`: the artifact grows
+        on disk month by month instead of being written whole at the
+        end, and is finalized when the campaign completes.  A streamed
+        artifact's bytes are identical to
+        :func:`~repro.store.write_campaign_stream` of the finished
+        result.
         """
+        if stream is not None and checkpoint_dir is None:
+            raise ConfigurationError(
+                "a stream artifact rides the checkpointed month-window "
+                "pipeline; pass checkpoint_dir (or save the finished result "
+                "with save_campaign(..., stream=True))"
+            )
         if abort_after_month is not None:
             if checkpoint_dir is None:
                 raise ConfigurationError(
@@ -247,7 +273,8 @@ class LongTermCampaign:
 
                 executor = executor_for(self._max_workers)
             return self._run_windowed(
-                executor, progress, monitor, checkpoint_dir, abort_after_month
+                executor, progress, monitor, checkpoint_dir, abort_after_month,
+                stream=stream,
             )
         if executor is None and self._max_workers > 1:
             from repro.exec.executor import executor_for
@@ -272,6 +299,7 @@ class LongTermCampaign:
         executor: Optional["CampaignExecutor"] = None,
         max_workers: int = 1,
         abort_after_month: Optional[int] = None,
+        stream=None,
     ) -> CampaignResult:
         """Continue a checkpointed campaign from its last complete month.
 
@@ -286,6 +314,13 @@ class LongTermCampaign:
         run's.  ``monitor`` must be freshly constructed (no prior
         observations); its alert log, if any, is truncated and
         regenerated by the replay.
+
+        Under delta checkpointing (``docs/storage.md``) the resume
+        point is the newest *keyframe*: the at most
+        ``keyframe_every - 1`` delta months after it are re-executed
+        deterministically, re-writing byte-identical delta files.
+        ``stream``, when given, is rewound to the resume point and
+        replayed the same way.
         """
         from repro.exec.executor import executor_for
         from repro.store.checkpoint import load_latest_checkpoint
@@ -303,6 +338,7 @@ class LongTermCampaign:
                 aging_steps_per_month=int(config["aging_steps_per_month"]),
                 aging_acceleration=float(config["aging_acceleration"]),
                 max_workers=max_workers,
+                keyframe_every=int(config.get("keyframe_every", 6)),
                 random_state=int(config["root_seed"]),
             )
         except (KeyError, TypeError, ValueError) as exc:
@@ -318,6 +354,7 @@ class LongTermCampaign:
             checkpoint_dir,
             abort_after_month,
             resume_state=state,
+            stream=stream,
         )
 
     def _run_serial(
@@ -553,6 +590,7 @@ class LongTermCampaign:
             "temperature_walk_k": self._temperature_walk_k,
             "aging_steps_per_month": self._aging_steps,
             "aging_acceleration": self._aging_acceleration,
+            "keyframe_every": self._keyframe_every,
             "root_seed": self._seeds.root_seed,
             "profile": dataclasses.asdict(self._profile),
         }
@@ -565,6 +603,42 @@ class LongTermCampaign:
         checkpoint_dir: str,
         abort_after_month: Optional[int],
         resume_state=None,
+        stream=None,
+    ) -> CampaignResult:
+        """Adopt the executor into a persistent pool, then run the loop.
+
+        One pool lifetime per campaign: a multi-worker executor is
+        wrapped in a :class:`~repro.exec.pool.WindowPool` so the
+        per-month window dispatches do not respawn workers (see
+        ``docs/parallel.md``).  A caller-supplied ``WindowPool`` passes
+        through unchanged and stays open for the caller to reuse.
+        """
+        from repro.exec.pool import WindowPool
+
+        dispatch = WindowPool.adopt(executor)
+        try:
+            return self._window_loop(
+                dispatch,
+                progress,
+                monitor,
+                checkpoint_dir,
+                abort_after_month,
+                resume_state=resume_state,
+                stream=stream,
+            )
+        finally:
+            if dispatch is not executor:
+                dispatch.close()
+
+    def _window_loop(
+        self,
+        executor,
+        progress: Optional[ProgressCallback],
+        monitor: Optional["MonitorHub"],
+        checkpoint_dir: str,
+        abort_after_month: Optional[int],
+        resume_state=None,
+        stream=None,
     ) -> CampaignResult:
         """Checkpointed month-window pipeline (serial *and* parallel).
 
@@ -657,6 +731,19 @@ class LongTermCampaign:
                 if monitor is not None and monitor.alert_log is not None:
                     log_store, log_name = ArtifactStore.locate(monitor.alert_log)
                     log_store.truncate(log_name)
+                if stream is not None and snapshots:
+                    # Rewind the stream artifact to the resume point and
+                    # replay; live months then append exactly as in the
+                    # uninterrupted run, so the final bytes match.
+                    stream.begin(
+                        self._profile.name,
+                        self._months,
+                        self._measurements,
+                        board_ids,
+                        references,
+                    )
+                    for snapshot in snapshots:
+                        stream.append_snapshot(snapshot)
                 with tracer.span("campaign.replay", months=len(snapshots)):
                     for month, snapshot in enumerate(snapshots):
                         fold_counter_deltas(metrics, counter_deltas[month])
@@ -744,6 +831,16 @@ class LongTermCampaign:
                             counter_deltas,
                             aging_deltas,
                         )
+                    if stream is not None:
+                        if month == 0:
+                            stream.begin(
+                                self._profile.name,
+                                self._months,
+                                self._measurements,
+                                board_ids,
+                                {board: references[board] for board in board_ids},
+                            )
+                        stream.append_snapshot(snapshots[-1])
                 logger.debug(
                     "month %d/%d checkpointed (WCHD mean %.4f)",
                     month,
@@ -759,6 +856,8 @@ class LongTermCampaign:
                         checkpoint_dir=checkpoint_dir,
                         month=month,
                     )
+            if stream is not None:
+                stream.finalize()
             logger.info("campaign finished (checkpointed): %d snapshots", len(snapshots))
 
         return CampaignResult(

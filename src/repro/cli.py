@@ -10,7 +10,9 @@
     python -m repro profile [--devices 4] [--months 3] [--prometheus PATH]
     python -m repro monitor campaign.json [--alerts PATH]
     python -m repro run --save campaign.json [--checkpoint-dir DIR] [--resume]
-    python -m repro store inspect DIR [--clean]
+                        [--stream-artifact] [--keyframe-every K]
+    python -m repro store inspect DIR [--clean] [--deep]
+    python -m repro store compact DIR [--keep-keyframes N]
 
 Global options (before the command):
 
@@ -68,6 +70,7 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
         measurements=args.measurements,
         seed=args.seed,
         max_workers=getattr(args, "workers", 1),
+        keyframe_every=getattr(args, "keyframe_every", 6),
     )
 
 
@@ -183,6 +186,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     (or the ``REPRO_ABORT_AFTER_MONTH`` environment variable) interrupts
     deterministically after that month's checkpoint and exits with
     code 3 — the CI resume-smoke job uses this to rehearse a crash.
+
+    ``--stream-artifact`` writes the campaign artifact in the JSON
+    Lines stream format (``docs/storage.md``): with
+    ``--checkpoint-dir`` it *grows on disk month by month*; without,
+    the finished result is stream-encoded at once.  Either way the
+    bytes are identical and ``load_campaign`` reads both formats.
     """
     from repro.errors import CampaignInterrupted
     from repro.io.resultstore import save_campaign
@@ -195,6 +204,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    # Incremental streaming rides the checkpointed pipeline; without a
+    # checkpoint dir the stream is written at once after the run.
+    incremental = bool(args.stream_artifact and args.checkpoint_dir)
     alert_log = args.alerts if args.alerts else alert_log_path_for(args.save)
     if not args.resume:
         # A fresh run's live alert log mirrors this run only; a resumed
@@ -208,6 +220,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
             abort_after_month=args.abort_after_month,
+            stream_artifact=args.save if incremental else None,
         )
     except CampaignInterrupted as exc:
         print(f"campaign interrupted after month {exc.month}; "
@@ -215,9 +228,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"resume with: repro run --save {args.save} "
               f"--checkpoint-dir {exc.checkpoint_dir} --resume")
         return 3
-    save_campaign(
-        result.campaign, args.save, manifest=result.manifest, alerts=hub.alerts
-    )
+    if incremental:
+        # The artifact is already on disk (streamed by the campaign);
+        # write the side artifacts save_campaign would have.
+        from repro.io.jsonstore import save_manifest
+        from repro.monitor.alerts import write_alert_log
+
+        save_manifest(result.manifest, manifest_path_for(args.save))
+        write_alert_log(hub.alerts, alert_log_path_for(args.save))
+    else:
+        save_campaign(
+            result.campaign,
+            args.save,
+            manifest=result.manifest,
+            alerts=hub.alerts,
+            stream=bool(args.stream_artifact),
+        )
     print(f"campaign saved to {args.save}")
     print(f"manifest saved to {manifest_path_for(args.save)}")
     print(f"alert log written to {alert_log} ({hub.alert_count} alerts)")
@@ -225,9 +251,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_store_inspect(args: argparse.Namespace) -> int:
-    """Print an artifact directory's contents, versions and integrity."""
+    """Print an artifact directory's contents, versions and integrity.
+
+    ``--deep`` additionally validates checkpoint internals: every month
+    file is parsed at full strictness and the keyframe/delta chain is
+    checked link by link (see
+    :func:`repro.store.checkpoint.checkpoint_chain_report`).
+    """
     from repro.errors import StorageError
     from repro.store.artifact import ArtifactStore
+    from repro.store.checkpoint import checkpoint_chain_report, list_checkpoints
 
     try:
         store = ArtifactStore(args.path, create=False)
@@ -251,8 +284,42 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
     for name in report["stray_tmp_files"]:
         print(f"  stray temp file: {name} (interrupted write; "
               "re-run with --clean to remove)")
-    print(f"integrity: {'ok' if report['ok'] else 'PROBLEMS FOUND'}")
-    return 0 if report["ok"] else 1
+    ok = report["ok"]
+    if args.deep:
+        if list_checkpoints(args.path):
+            chain = checkpoint_chain_report(args.path)
+            print("checkpoint chain:")
+            for entry in chain["entries"]:
+                kind = entry["kind"] or "?"
+                detail = f"  {entry['detail']}" if entry.get("detail") else ""
+                print(f"  {entry['name']:<32} {kind:<9} {entry['status']}{detail}")
+            if chain["resume_month"] is not None:
+                print(f"  resume point: keyframe month {chain['resume_month']}")
+            else:
+                print("  resume point: NONE (no parseable keyframe)")
+            ok = ok and chain["ok"]
+        else:
+            print("checkpoint chain: (no checkpoints to validate)")
+    print(f"integrity: {'ok' if ok else 'PROBLEMS FOUND'}")
+    return 0 if ok else 1
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    """Prune checkpoint months no longer needed for resume."""
+    from repro.errors import StorageError
+    from repro.store.checkpoint import compact_checkpoints
+
+    try:
+        removed = compact_checkpoints(
+            args.path, keep_keyframes=args.keep_keyframes
+        )
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for name in removed:
+        print(f"removed {name}")
+    print(f"compacted {args.path}: {len(removed)} checkpoint(s) removed")
+    return 0
 
 
 def _cmd_monitor(args: argparse.Namespace) -> int:
@@ -428,6 +495,20 @@ def build_parser() -> argparse.ArgumentParser:
         "exit 3 (default: $REPRO_ABORT_AFTER_MONTH; requires "
         "--checkpoint-dir)",
     )
+    run.add_argument(
+        "--stream-artifact",
+        action="store_true",
+        help="write the campaign artifact in the JSON Lines stream format; "
+        "with --checkpoint-dir it grows on disk month by month",
+    )
+    run.add_argument(
+        "--keyframe-every",
+        type=int,
+        default=6,
+        metavar="K",
+        help="full-state checkpoint keyframe cadence; months in between "
+        "store results-only deltas (default: 6)",
+    )
     run.set_defaults(handler=_cmd_run)
 
     store = commands.add_parser(
@@ -444,7 +525,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="delete stray *.tmp files left by interrupted writes",
     )
+    inspect.add_argument(
+        "--deep",
+        action="store_true",
+        help="additionally parse every checkpoint and validate the "
+        "keyframe/delta chain",
+    )
     inspect.set_defaults(handler=_cmd_store_inspect)
+    compact = store_actions.add_parser(
+        "compact",
+        help="prune checkpoint months older than the newest keyframe(s)",
+    )
+    compact.add_argument("path", help="checkpoint directory to compact")
+    compact.add_argument(
+        "--keep-keyframes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="how many of the newest keyframes (and everything after "
+        "the oldest kept one) to retain (default: 1)",
+    )
+    compact.set_defaults(handler=_cmd_store_compact)
 
     monitor = commands.add_parser(
         "monitor", help="replay a saved campaign through the alert engine"

@@ -139,6 +139,7 @@ class LongTermAssessment:
         checkpoint_dir: Optional[str] = None,
         resume: bool = False,
         abort_after_month: Optional[int] = None,
+        stream_artifact: Optional[str] = None,
     ) -> AssessmentResult:
         """Execute the campaign and summarise it.
 
@@ -160,6 +161,12 @@ class LongTermAssessment:
         interrupts deterministically after that month's checkpoint —
         see ``docs/storage.md``.
 
+        ``stream_artifact`` (requires ``checkpoint_dir``) grows the
+        campaign artifact at that path month by month in the stream
+        format (``docs/storage.md``) instead of writing it whole at
+        the end; the stream is finalized when the campaign completes
+        and loads byte-identically to a post-hoc save.
+
         The returned result carries a
         :class:`~repro.telemetry.RunManifest` describing the run —
         config, seed, package version, per-phase wall times and the
@@ -170,6 +177,16 @@ class LongTermAssessment:
         cfg = self._config
         if resume and checkpoint_dir is None:
             raise ConfigurationError("resume=True requires checkpoint_dir")
+        if stream_artifact is not None and checkpoint_dir is None:
+            raise ConfigurationError(
+                "stream_artifact rides the checkpointed pipeline; pass "
+                "checkpoint_dir too"
+            )
+        stream = None
+        if stream_artifact is not None:
+            from repro.store.stream import CampaignStreamWriter
+
+            stream = CampaignStreamWriter(stream_artifact)
         manifest = RunManifest.for_config(cfg, command="LongTermAssessment.run")
         tracer = get_tracer()
         with tracer.span(
@@ -185,6 +202,7 @@ class LongTermAssessment:
                 aging_steps_per_month=cfg.aging_steps_per_month,
                 aging_acceleration=cfg.aging_acceleration,
                 max_workers=cfg.max_workers,
+                keyframe_every=cfg.keyframe_every,
                 random_state=cfg.seed,
             )
             phase_start = time.perf_counter()
@@ -196,6 +214,7 @@ class LongTermAssessment:
                     executor=executor,
                     max_workers=cfg.max_workers,
                     abort_after_month=abort_after_month,
+                    stream=stream,
                 )
             else:
                 result = campaign.run(
@@ -204,6 +223,7 @@ class LongTermAssessment:
                     executor=executor,
                     checkpoint_dir=checkpoint_dir,
                     abort_after_month=abort_after_month,
+                    stream=stream,
                 )
             manifest.record_phase("campaign", time.perf_counter() - phase_start)
 

@@ -53,6 +53,12 @@ class StudyConfig:
         Results are bit-identical at every worker count, so this is a
         pure wall-clock knob and equal configs still produce equal
         results.
+    keyframe_every:
+        Full-state keyframe cadence of checkpointed runs (one keyframe
+        every this many months, results-only deltas in between — see
+        ``docs/storage.md``).  Like ``max_workers``, a pure
+        storage-size knob: results are byte-identical at every
+        cadence.
     """
 
     device_count: int = 16
@@ -66,6 +72,7 @@ class StudyConfig:
     aging_acceleration: float = 1.0
     initial_measurements: int = 1000
     max_workers: int = 1
+    keyframe_every: int = 6
 
     def __post_init__(self) -> None:
         if self.device_count < 2:
@@ -96,4 +103,8 @@ class StudyConfig:
         if self.max_workers < 1:
             raise ConfigurationError(
                 f"max_workers must be >= 1, got {self.max_workers}"
+            )
+        if self.keyframe_every < 1:
+            raise ConfigurationError(
+                f"keyframe_every must be >= 1, got {self.keyframe_every}"
             )

@@ -19,6 +19,10 @@ Layers (see ``docs/parallel.md`` for the full design):
 * :mod:`repro.exec.executor` — :class:`SerialExecutor` /
   :class:`ParallelExecutor` behind one surface; plan-order results,
   structured :class:`~repro.errors.CampaignExecutionError` on failure.
+* :mod:`repro.exec.pool` — :class:`WindowPool`, the persistent worker
+  pool of the checkpointed path: one pool lifetime per campaign
+  instead of a respawn per month, enabling the workers' warm board
+  cache.
 * :mod:`repro.exec.merge` — coverage-checked re-keying of shard
   results into fleet order.
 
@@ -36,11 +40,14 @@ from repro.exec.executor import (
 )
 from repro.exec.merge import MergedShards, collate_shard_results
 from repro.exec.plan import ShardSpec, partition_boards
+from repro.exec.pool import WindowPool
 from repro.exec.windows import (
     BoardWindowState,
     WindowResult,
     WindowSpec,
+    clear_window_cache,
     run_board_window,
+    window_cache_stats,
 )
 from repro.exec.worker import BoardTrajectory, ShardResult, run_board_shard
 
@@ -53,11 +60,14 @@ __all__ = [
     "SerialExecutor",
     "ShardResult",
     "ShardSpec",
+    "WindowPool",
     "WindowResult",
     "WindowSpec",
+    "clear_window_cache",
     "collate_shard_results",
     "executor_for",
     "partition_boards",
     "run_board_shard",
     "run_board_window",
+    "window_cache_stats",
 ]

@@ -139,6 +139,12 @@ class Testbed:
         Power-cycle timing; defaults to Fig. 3.
     database:
         Measurement sink; an in-memory store by default.
+    database_path:
+        Convenience alternative to ``database``: stream measurements
+        straight to this JSONL file through a
+        :class:`~repro.io.jsonstore.MeasurementDatabase` in ``stream``
+        mode (O(1) memory — records land on disk as they are taken).
+        Mutually exclusive with ``database``.
     random_state:
         Seed material for the devices.
 
@@ -161,15 +167,22 @@ class Testbed:
         profile: DeviceProfile = ATMEGA32U4,
         timing: TestbedTiming = TestbedTiming(),
         database: Optional[MeasurementDatabase] = None,
+        database_path: Optional[str] = None,
         random_state: RandomState = None,
     ):
         if device_count < 2 or device_count % 2 != 0:
             raise ConfigurationError(
                 f"device_count must be an even number >= 2, got {device_count}"
             )
+        if database is not None and database_path is not None:
+            raise ConfigurationError(
+                "pass either database or database_path, not both"
+            )
         self._timing = timing
         self._profile = profile
         self._scheduler = DiscreteEventScheduler()
+        if database_path is not None:
+            database = MeasurementDatabase(path=database_path, mode="stream")
         self._database = database if database is not None else MeasurementDatabase()
         self._switch = PowerSwitch(clock=lambda: self._scheduler.now)
 

@@ -121,8 +121,14 @@ def save_campaign(
     path: str,
     manifest: Optional[RunManifest] = None,
     alerts: Optional[Sequence[Any]] = None,
+    stream: bool = False,
 ) -> None:
     """Write a campaign result to a JSON file.
+
+    ``stream=True`` writes the JSON Lines *stream* format instead of
+    the legacy whole-document one (see :mod:`repro.store.stream`) —
+    the same bytes an incrementally streamed run produces.
+    :func:`load_campaign` reads both formats transparently.
 
     When ``manifest`` is given it is written alongside, at
     :func:`~repro.telemetry.manifest_path_for` of ``path``.  When
@@ -130,12 +136,17 @@ def save_campaign(
     given — even empty, recording that a monitored run stayed quiet —
     the JSONL alert log is written alongside too.
 
-    All three files go through :class:`repro.store.ArtifactStore`, so
+    All files go through :class:`repro.store.ArtifactStore`, so
     the writes are atomic: a crash mid-save leaves the previous
     artifact intact (plus a detectable ``*.tmp`` stray).
     """
-    store, name = ArtifactStore.locate(path)
-    store.write_json(name, campaign_to_dict(result))
+    if stream:
+        from repro.store.stream import write_campaign_stream
+
+        write_campaign_stream(result, path)
+    else:
+        store, name = ArtifactStore.locate(path)
+        store.write_json(name, campaign_to_dict(result))
     if manifest is not None:
         from repro.io.jsonstore import save_manifest
 
@@ -147,7 +158,28 @@ def save_campaign(
 
 
 def load_campaign(path: str):
-    """Read a campaign result written by :func:`save_campaign`."""
+    """Read a campaign result written by :func:`save_campaign`.
+
+    Both artifact formats load here: the first line is sniffed — a
+    stream header record routes to the stream reader, anything else is
+    treated as one legacy JSON document.  (A legacy document's first
+    line either is the whole single-line document, which has no
+    ``kind`` field, or the ``{`` of an indented one, which is not
+    valid JSON on its own — so the sniff cannot misfire.)
+    """
+    from repro.store.stream import is_stream_header, load_campaign_stream_doc
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            first_line = handle.readline()
+    except OSError as exc:
+        raise StorageError(f"cannot load campaign from {path}: {exc}") from exc
+    try:
+        first_record = json.loads(first_line)
+    except json.JSONDecodeError:
+        first_record = None
+    if is_stream_header(first_record):
+        return campaign_from_dict(load_campaign_stream_doc(path))
     try:
         with open(path, "r", encoding="utf-8") as handle:
             doc = json.load(handle)

@@ -15,7 +15,10 @@ package:
 * :mod:`repro.store.artifact` — :class:`ArtifactStore`, the directory
   owner every writer goes through.
 * :mod:`repro.store.checkpoint` — campaign checkpoint/resume
-  documents and the per-month checkpointer.
+  documents (keyframes + per-month deltas), the per-month
+  checkpointer, compaction and chain validation.
+* :mod:`repro.store.stream` — the incremental (JSON Lines) campaign
+  artifact format and its writer/loader.
 
 Layering: this package sits *below* ``repro.io``, ``repro.monitor``,
 ``repro.telemetry`` and ``repro.exec`` (they persist through it) and
@@ -33,16 +36,23 @@ from repro.store.atomic import (
     truncate_file,
 )
 from repro.store.checkpoint import (
+    DEFAULT_KEYFRAME_EVERY,
     CampaignCheckpointer,
     CheckpointState,
     CounterDeltaRecorder,
+    DeltaRecord,
     board_state_doc,
     build_checkpoint_doc,
+    build_delta_doc,
+    checkpoint_chain_report,
+    checkpoint_kind,
     checkpoint_name,
+    compact_checkpoints,
     fold_counter_deltas,
     list_checkpoints,
     load_latest_checkpoint,
     parse_checkpoint_doc,
+    parse_delta_doc,
     restore_chip,
 )
 from repro.store.codecs import (
@@ -63,12 +73,21 @@ from repro.store.schema import (
     register_migration,
     schema_field,
 )
+from repro.store.stream import (
+    CampaignStreamWriter,
+    is_stream_header,
+    load_campaign_stream_doc,
+    write_campaign_stream,
+)
 
 __all__ = [
     "ArtifactStore",
     "CampaignCheckpointer",
+    "CampaignStreamWriter",
     "CheckpointState",
     "CounterDeltaRecorder",
+    "DEFAULT_KEYFRAME_EVERY",
+    "DeltaRecord",
     "JsonCodec",
     "JsonLinesCodec",
     "SCHEMAS",
@@ -79,20 +98,28 @@ __all__ = [
     "atomic_write_text",
     "board_state_doc",
     "build_checkpoint_doc",
+    "build_delta_doc",
+    "checkpoint_chain_report",
+    "checkpoint_kind",
     "checkpoint_name",
+    "compact_checkpoints",
     "current_version",
     "decode_float64_array",
     "document_version",
     "encode_float64_array",
     "find_stray_tmp_files",
     "fold_counter_deltas",
+    "is_stream_header",
     "list_checkpoints",
+    "load_campaign_stream_doc",
     "load_latest_checkpoint",
     "migrate",
     "pack_bits_hex",
     "parse_checkpoint_doc",
+    "parse_delta_doc",
     "register_migration",
     "restore_chip",
+    "write_campaign_stream",
     "restore_rng_state",
     "rng_state_doc",
     "schema_field",

@@ -240,6 +240,21 @@ class ArtifactStore:
             return "json"
         return "file"
 
+    def _is_campaign_stream(self, name: str) -> bool:
+        """Whether a ``.json`` member holds the JSONL stream format.
+
+        Sniffs only the first line: a stream always opens with its
+        header record, while a legacy document's first line is either
+        the whole single-line document (no ``kind`` field) or the
+        ``{`` of an indented one (not valid JSON alone).
+        """
+        try:
+            first_line, _, _ = self.read_bytes(name).partition(b"\n")
+            record = json.loads(first_line.decode("utf-8"))
+        except (StorageError, UnicodeDecodeError, json.JSONDecodeError):
+            return False
+        return isinstance(record, dict) and record.get("kind") == "header"
+
     def _inspect_file(self, name: str) -> Dict[str, Any]:
         kind = self.classify(name)
         entry: Dict[str, Any] = {
@@ -253,6 +268,28 @@ class ArtifactStore:
         try:
             if kind in ("alert-log", "heartbeat", "jsonl"):
                 entry["detail"] = f"{len(self.read_jsonl(name))} records"
+            elif kind == "json" and self._is_campaign_stream(name):
+                # Stream-format campaign artifacts are JSON Lines living
+                # behind a .json name; read_json would choke on them.
+                records = self.read_jsonl(name)
+                entry["kind"] = "campaign-stream"
+                entry["version"] = document_version("campaign-stream", records[0])
+                snapshots = sum(
+                    1
+                    for record in records
+                    if isinstance(record, dict) and record.get("kind") == "snapshot"
+                )
+                finalized = any(
+                    isinstance(record, dict) and record.get("kind") == "end"
+                    for record in records
+                )
+                if finalized:
+                    entry["detail"] = f"{snapshots} snapshots, finalized"
+                else:
+                    entry["status"] = "error"
+                    entry["detail"] = (
+                        f"{snapshots} snapshots, no end trailer (torn stream)"
+                    )
             elif kind in ("checkpoint", "manifest", "json"):
                 document = self.read_json(name)
                 if isinstance(document, dict):

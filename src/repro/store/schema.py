@@ -31,8 +31,9 @@ Migration = Callable[[Dict[str, Any]], Dict[str, Any]]
 #: Version field name and current version per document kind.
 SCHEMAS: Dict[str, Dict[str, Any]] = {
     "campaign": {"field": "format_version", "current": 1},
+    "campaign-stream": {"field": "stream_version", "current": 1},
     "manifest": {"field": "manifest_version", "current": 1},
-    "checkpoint": {"field": "checkpoint_version", "current": 1},
+    "checkpoint": {"field": "checkpoint_version", "current": 2},
     "trace": {"field": "version", "current": 1},
 }
 
@@ -139,4 +140,42 @@ def _campaign_v0_to_v1(document: Dict[str, Any]) -> Dict[str, Any]:
         {board: 4 * len(payload) for board, payload in references.items()},
     )
     document["format_version"] = 1
+    return document
+
+
+@register_migration("checkpoint", 1)
+def _checkpoint_v1_to_v2(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Cumulative v1 checkpoints become v2 *keyframes*.
+
+    v2 introduced keyframe/delta checkpoints (``docs/storage.md``); a
+    v1 file carries the complete campaign state, which is exactly what
+    a v2 keyframe is, so the migration only stamps the kind.  Old
+    checkpoint directories therefore resume transparently — every v1
+    month is a resumable keyframe.
+    """
+    document["kind"] = "keyframe"
+    document["checkpoint_version"] = 2
+    return document
+
+
+@register_migration("manifest", 0)
+def _manifest_v0_to_v1(document: Dict[str, Any]) -> Dict[str, Any]:
+    """Pre-versioning run manifests: stamp v1, default optional fields.
+
+    Manifests carried ``manifest_version`` from their first release, so
+    a version-0 document is either a hand-edited file or one whose
+    version field was stripped in transit.  The identity fields
+    (``run_id``, ``created_at``) cannot be invented — without them the
+    document is not a provenance record and the migration refuses it —
+    but the host descriptors default safely to ``"unknown"``.
+    """
+    for required in ("run_id", "created_at"):
+        if required not in document:
+            raise StorageError(
+                f"pre-versioning manifest lacks {required!r}; documents "
+                "without run identity are unsupported (see docs/storage.md)"
+            )
+    for descriptor in ("package_version", "python_version", "platform"):
+        document.setdefault(descriptor, "unknown")
+    document["manifest_version"] = 1
     return document

@@ -31,6 +31,36 @@ class TestTiming:
             TestbedTiming(read_delay_s=4.0)
 
 
+class TestDatabasePath:
+    def test_database_path_streams_to_disk(self, small_profile, tmp_path):
+        path = tmp_path / "measurements.jsonl"
+        bed = Testbed(
+            device_count=4,
+            profile=small_profile,
+            database_path=str(path),
+            random_state=3,
+        )
+        assert bed.database.mode == "stream"
+        bed.run_cycles(3)
+        # run_cycles waits for the *slower* layer, so the leading layer
+        # may have banked an extra collect — at least 3 per board.
+        assert len(bed.database) >= 3 * 4
+        # Records land on disk as they are taken, one JSON line each.
+        assert path.exists()
+        assert len(path.read_bytes().splitlines()) == len(bed.database)
+
+    def test_database_and_database_path_are_exclusive(self, small_profile, tmp_path):
+        from repro.io.jsonstore import MeasurementDatabase
+
+        with pytest.raises(ConfigurationError, match="not both"):
+            Testbed(
+                device_count=4,
+                profile=small_profile,
+                database=MeasurementDatabase(),
+                database_path=str(tmp_path / "m.jsonl"),
+            )
+
+
 class TestConstruction:
     def test_layer_numbering_matches_paper(self, testbed):
         """Layer 0 is S0..; layer 1 starts at S16."""

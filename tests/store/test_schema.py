@@ -49,10 +49,10 @@ class TestMigrate:
             migrate("manifest", doc)
 
     def test_old_document_without_path_raises(self):
-        # No manifest v0 migration is registered: the pre-store era had
-        # versioned manifests from day one.
+        # No trace v0 migration is registered: traces carried their
+        # version field from day one.
         with pytest.raises(StorageError, match="no migration registered"):
-            migrate("manifest", {"run_id": "abc"})
+            migrate("trace", {"spans": []})
 
     def test_non_dict_rejected(self):
         with pytest.raises(StorageError, match="JSON object"):
@@ -110,3 +110,35 @@ class TestCampaignV0Migration:
         # rename would silently break classification.
         assert SCHEMAS["campaign"]["field"] == "format_version"
         assert SCHEMAS["checkpoint"]["field"] == "checkpoint_version"
+        assert SCHEMAS["campaign-stream"]["field"] == "stream_version"
+
+
+class TestManifestV0Migration:
+    def test_stamps_version_and_defaults_descriptors(self):
+        migrated = migrate(
+            "manifest", {"run_id": "abc", "created_at": "2020-01-01T00:00:00Z"}
+        )
+        assert migrated["manifest_version"] == current_version("manifest")
+        for descriptor in ("package_version", "python_version", "platform"):
+            assert migrated[descriptor] == "unknown"
+
+    def test_present_descriptors_kept(self):
+        migrated = migrate(
+            "manifest",
+            {"run_id": "abc", "created_at": "t", "platform": "Linux-x86_64"},
+        )
+        assert migrated["platform"] == "Linux-x86_64"
+        assert migrated["package_version"] == "unknown"
+
+    def test_missing_run_identity_refused(self):
+        with pytest.raises(StorageError, match="pre-versioning manifest lacks"):
+            migrate("manifest", {"run_id": "abc"})
+        with pytest.raises(StorageError, match="pre-versioning manifest lacks"):
+            migrate("manifest", {"created_at": "t"})
+
+
+class TestCheckpointV1Migration:
+    def test_v1_becomes_v2_keyframe(self):
+        migrated = migrate("checkpoint", {"checkpoint_version": 1, "config": {}})
+        assert migrated["checkpoint_version"] == 2
+        assert migrated["kind"] == "keyframe"

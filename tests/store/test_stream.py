@@ -1,0 +1,205 @@
+"""Streaming campaign artifacts: byte identity and torn-stream safety.
+
+The format's contract: however a stream was produced — at once from a
+finished result, incrementally month by month, or replayed by a resumed
+run — the bytes on disk are identical, and a stream whose writing run
+died (no end trailer) refuses to load as a campaign result.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.campaign import LongTermCampaign
+from repro.errors import CampaignInterrupted, StorageError
+from repro.io.resultstore import load_campaign, save_campaign
+from repro.store import ArtifactStore
+from repro.store.stream import (
+    CampaignStreamWriter,
+    is_stream_header,
+    load_campaign_stream_doc,
+    write_campaign_stream,
+)
+from repro.telemetry import reset_telemetry
+
+from tests.exec.conftest import assert_campaigns_identical
+
+PARAMS = dict(device_count=3, months=4, measurements=60, temperature_walk_k=1.0)
+SEED = 5
+
+
+def make_campaign(max_workers: int = 1, **overrides) -> LongTermCampaign:
+    params = dict(PARAMS)
+    params.update(overrides)
+    return LongTermCampaign(max_workers=max_workers, random_state=SEED, **params)
+
+
+def read_bytes(path) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+@pytest.fixture(scope="module")
+def result():
+    reset_telemetry()
+    return make_campaign().run()
+
+
+class TestStreamRoundtrip:
+    def test_stream_loads_equal_to_legacy_artifact(self, result, tmp_path):
+        legacy = tmp_path / "campaign.json"
+        streamed = tmp_path / "campaign.stream.json"
+        save_campaign(result, str(legacy))
+        write_campaign_stream(result, str(streamed))
+        assert_campaigns_identical(load_campaign(str(legacy)), load_campaign(str(streamed)))
+
+    def test_save_campaign_stream_flag_writes_the_stream_format(self, result, tmp_path):
+        via_flag = tmp_path / "via_flag.json"
+        via_writer = tmp_path / "via_writer.json"
+        save_campaign(result, str(via_flag), stream=True)
+        write_campaign_stream(result, str(via_writer))
+        assert read_bytes(via_flag) == read_bytes(via_writer)
+        with open(via_flag, "r", encoding="utf-8") as fh:
+            assert is_stream_header(json.loads(fh.readline()))
+
+    def test_incremental_bytes_match_at_once_bytes(self, result, tmp_path):
+        at_once = tmp_path / "at_once.json"
+        incremental = tmp_path / "incremental.json"
+        write_campaign_stream(result, str(at_once))
+        writer = CampaignStreamWriter(str(incremental))
+        writer.begin(
+            result.profile_name,
+            result.months,
+            result.measurements,
+            result.board_ids,
+            result.references,
+        )
+        for snapshot in result.snapshots:
+            writer.append_snapshot(snapshot)
+        writer.finalize()
+        assert read_bytes(incremental) == read_bytes(at_once)
+
+    def test_folded_doc_matches_legacy_document(self, result, tmp_path):
+        legacy = tmp_path / "campaign.json"
+        streamed = tmp_path / "campaign.stream.json"
+        save_campaign(result, str(legacy))
+        write_campaign_stream(result, str(streamed))
+        with open(legacy, "r", encoding="utf-8") as fh:
+            assert load_campaign_stream_doc(str(streamed)) == json.load(fh)
+
+
+class TestLiveStreaming:
+    def test_campaign_run_streams_byte_identical_to_at_once(self, tmp_path):
+        live = tmp_path / "live.json"
+        writer = CampaignStreamWriter(str(live))
+        result = make_campaign().run(
+            checkpoint_dir=str(tmp_path / "ckpt"), stream=writer
+        )
+        at_once = tmp_path / "at_once.json"
+        write_campaign_stream(result, str(at_once))
+        assert read_bytes(live) == read_bytes(at_once)
+
+    def test_aborted_run_leaves_a_torn_stream(self, tmp_path):
+        live = tmp_path / "live.json"
+        with pytest.raises(CampaignInterrupted):
+            make_campaign().run(
+                checkpoint_dir=str(tmp_path / "ckpt"),
+                abort_after_month=2,
+                stream=CampaignStreamWriter(str(live)),
+            )
+        with pytest.raises(StorageError, match="torn stream"):
+            load_campaign(str(live))
+
+    def test_resumed_stream_bytes_match_straight_run(self, tmp_path):
+        straight = tmp_path / "straight.json"
+        make_campaign().run(
+            checkpoint_dir=str(tmp_path / "ckpt-straight"),
+            stream=CampaignStreamWriter(str(straight)),
+        )
+        live = tmp_path / "live.json"
+        ckpt = tmp_path / "ckpt"
+        reset_telemetry()
+        with pytest.raises(CampaignInterrupted):
+            make_campaign().run(
+                checkpoint_dir=str(ckpt),
+                abort_after_month=2,
+                stream=CampaignStreamWriter(str(live)),
+            )
+        reset_telemetry()
+        LongTermCampaign.resume(str(ckpt), stream=CampaignStreamWriter(str(live)))
+        assert read_bytes(live) == read_bytes(straight)
+
+
+class TestTornAndMalformedStreams:
+    def _streamed(self, result, tmp_path):
+        path = tmp_path / "campaign.stream.json"
+        write_campaign_stream(result, str(path))
+        return path
+
+    def test_missing_end_trailer_refuses_to_load(self, result, tmp_path):
+        path = self._streamed(result, tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:-1]))
+        with pytest.raises(StorageError, match="no end trailer"):
+            load_campaign_stream_doc(str(path))
+
+    def test_snapshot_count_mismatch_rejected(self, result, tmp_path):
+        path = self._streamed(result, tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:-2] + lines[-1:]))  # drop one snapshot
+        with pytest.raises(StorageError, match="promises"):
+            load_campaign_stream_doc(str(path))
+
+    def test_empty_stream_rejected(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_bytes(b"")
+        with pytest.raises(StorageError, match="empty campaign stream"):
+            load_campaign_stream_doc(str(path))
+
+    def test_non_header_first_record_rejected(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"kind": "snapshot"}) + "\n")
+        with pytest.raises(StorageError, match="not a stream header"):
+            load_campaign_stream_doc(str(path))
+
+    def test_writer_misuse_raises(self, result, tmp_path):
+        writer = CampaignStreamWriter(str(tmp_path / "s.json"))
+        with pytest.raises(StorageError, match="before begin"):
+            writer.append_snapshot(result.snapshots[0])
+        with pytest.raises(StorageError, match="before begin"):
+            writer.finalize()
+        writer.begin(
+            result.profile_name,
+            result.months,
+            result.measurements,
+            result.board_ids,
+            result.references,
+        )
+        writer.finalize()
+        with pytest.raises(StorageError, match="already finalized"):
+            writer.finalize()
+        with pytest.raises(StorageError, match="after finalize"):
+            writer.append_snapshot(result.snapshots[0])
+
+
+class TestInspection:
+    def test_inspect_classifies_stream_artifacts(self, result, tmp_path):
+        write_campaign_stream(result, str(tmp_path / "campaign.stream.json"))
+        report = ArtifactStore(str(tmp_path)).integrity_report()
+        entry = {e["name"]: e for e in report["files"]}["campaign.stream.json"]
+        assert entry["kind"] == "campaign-stream"
+        assert entry["status"] == "ok"
+        assert entry["detail"] == f"{len(result.snapshots)} snapshots, finalized"
+
+    def test_inspect_flags_torn_streams(self, result, tmp_path):
+        path = tmp_path / "campaign.stream.json"
+        write_campaign_stream(result, str(path))
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines[:-1]))
+        report = ArtifactStore(str(tmp_path)).integrity_report()
+        entry = {e["name"]: e for e in report["files"]}["campaign.stream.json"]
+        assert entry["status"] == "error"
+        assert "torn stream" in entry["detail"]
+        assert report["ok"] is False

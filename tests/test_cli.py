@@ -290,3 +290,161 @@ class TestStoreCommand:
         captured = capsys.readouterr()
         assert code == 1
         assert "does not exist" in captured.err
+
+
+class TestStreamArtifactCli:
+    def _run_args(self, tmp_path, *extra):
+        return [
+            "run", *SMALL,
+            "--save", str(tmp_path / "campaign.json"),
+            *extra,
+        ]
+
+    def test_incremental_stream_writes_all_artifacts(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys,
+            *self._run_args(
+                tmp_path,
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+                "--stream-artifact",
+            ),
+        )
+        assert code == 0
+        assert "campaign saved" in out
+        import json
+
+        with open(tmp_path / "campaign.json", "r", encoding="utf-8") as fh:
+            assert json.loads(fh.readline())["kind"] == "header"
+        assert (tmp_path / "campaign.manifest.json").exists()
+        assert (tmp_path / "campaign.alerts.jsonl").exists()
+        from repro.io.resultstore import load_campaign
+
+        assert load_campaign(str(tmp_path / "campaign.json")).months == 2
+
+    def test_incremental_bytes_match_at_once_stream(self, capsys, tmp_path):
+        incremental = tmp_path / "incremental"
+        at_once = tmp_path / "at_once"
+        incremental.mkdir()
+        at_once.mkdir()
+        code, _ = run_cli(
+            capsys,
+            *self._run_args(
+                incremental,
+                "--checkpoint-dir", str(incremental / "ckpt"),
+                "--stream-artifact",
+            ),
+        )
+        assert code == 0
+        # Without a checkpoint dir the stream is encoded at once after
+        # the run; the artifact bytes must not depend on the path taken.
+        code, _ = run_cli(capsys, *self._run_args(at_once, "--stream-artifact"))
+        assert code == 0
+        assert (incremental / "campaign.json").read_bytes() == (
+            at_once / "campaign.json"
+        ).read_bytes()
+
+    def test_interrupt_resume_stream_byte_identical(self, capsys, tmp_path):
+        straight = tmp_path / "straight"
+        broken = tmp_path / "broken"
+        straight.mkdir()
+        broken.mkdir()
+        base = ["--stream-artifact", "--keyframe-every", "2"]
+        code, _ = run_cli(
+            capsys,
+            *self._run_args(
+                straight, "--checkpoint-dir", str(straight / "ckpt"), *base
+            ),
+        )
+        assert code == 0
+        code, _ = run_cli(
+            capsys,
+            *self._run_args(
+                broken,
+                "--checkpoint-dir", str(broken / "ckpt"),
+                *base,
+                "--abort-after-month", "1",
+            ),
+        )
+        assert code == 3
+        code, _ = run_cli(
+            capsys,
+            *self._run_args(
+                broken, "--checkpoint-dir", str(broken / "ckpt"), *base, "--resume"
+            ),
+        )
+        assert code == 0
+        for name in ("campaign.json", "campaign.alerts.jsonl"):
+            assert (straight / name).read_bytes() == (broken / name).read_bytes()
+
+    def test_keyframe_every_flag_controls_cadence(self, capsys, tmp_path):
+        import json
+
+        code, _ = run_cli(
+            capsys,
+            *self._run_args(
+                tmp_path,
+                "--checkpoint-dir", str(tmp_path / "ckpt"),
+                "--keyframe-every", "2",
+            ),
+        )
+        assert code == 0
+        kinds = {}
+        for month in range(3):
+            with open(tmp_path / "ckpt" / f"month-000{month}.json") as fh:
+                kinds[month] = json.load(fh)["kind"]
+        assert kinds == {0: "keyframe", 1: "delta", 2: "keyframe"}
+
+
+class TestStoreDeepAndCompactCli:
+    def _checkpointed_run(self, capsys, tmp_path, *extra):
+        code, _ = run_cli(
+            capsys,
+            "run", *SMALL,
+            "--save", str(tmp_path / "campaign.json"),
+            "--checkpoint-dir", str(tmp_path / "ckpt"),
+            *extra,
+        )
+        assert code == 0
+
+    def test_inspect_deep_reports_healthy_chain(self, capsys, tmp_path):
+        self._checkpointed_run(capsys, tmp_path, "--keyframe-every", "2")
+        code, out = run_cli(
+            capsys, "store", "inspect", str(tmp_path / "ckpt"), "--deep"
+        )
+        assert code == 0
+        assert "checkpoint chain:" in out
+        assert "resume point: keyframe month 2" in out
+        assert "integrity: ok" in out
+
+    def test_inspect_deep_flags_broken_chain(self, capsys, tmp_path):
+        self._checkpointed_run(capsys, tmp_path, "--keyframe-every", "2")
+        (tmp_path / "ckpt" / "month-0000.json").unlink()  # delta 1's base
+        code, out = run_cli(
+            capsys, "store", "inspect", str(tmp_path / "ckpt"), "--deep"
+        )
+        assert code == 1
+        assert "broken chain" in out
+        assert "PROBLEMS FOUND" in out
+
+    def test_inspect_deep_without_checkpoints(self, capsys, tmp_path):
+        code, out = run_cli(capsys, "store", "inspect", str(tmp_path), "--deep")
+        assert code == 0
+        assert "(no checkpoints to validate)" in out
+
+    def test_compact_prunes_and_chain_stays_valid(self, capsys, tmp_path):
+        self._checkpointed_run(capsys, tmp_path, "--keyframe-every", "1")
+        code, out = run_cli(capsys, "store", "compact", str(tmp_path / "ckpt"))
+        assert code == 0
+        assert "removed month-0000.json" in out
+        assert "2 checkpoint(s) removed" in out
+        code, out = run_cli(
+            capsys, "store", "inspect", str(tmp_path / "ckpt"), "--deep"
+        )
+        assert code == 0
+        assert "resume point: keyframe month 2" in out
+
+    def test_compact_refuses_empty_directory(self, capsys, tmp_path):
+        code = main(["store", "compact", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no checkpoints found" in captured.err
