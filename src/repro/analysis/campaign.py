@@ -21,12 +21,23 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.monthly import MonthlyEvaluation, assemble_evaluation, evaluate_month
-from repro.errors import CampaignInterrupted, ConfigurationError, StorageError
+from repro.errors import (
+    CampaignExecutionError,
+    CampaignInterrupted,
+    ConfigurationError,
+    StorageError,
+)
 from repro.rng import RandomState, SeedHierarchy
 from repro.sram.aging import AgingSimulator
 from repro.sram.chip import SRAMChip
 from repro.sram.profiles import ATMEGA32U4, DeviceProfile
-from repro.telemetry import get_metrics, get_tracer
+from repro.telemetry import (
+    get_flight_recorder,
+    get_metrics,
+    get_rollups,
+    get_tracer,
+    rollups_enabled,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing aid only
     from repro.exec.executor import CampaignExecutor
@@ -111,6 +122,20 @@ class LongTermCampaign:
         every this many months, results-only deltas in between (see
         :mod:`repro.store.checkpoint` and ``docs/storage.md``).  Only
         consulted when ``checkpoint_dir`` is used.
+    rollup_shards:
+        Logical rollup-shard count for hierarchical observability
+        (``None`` auto-sizes to ``min(8, device_count)``).  The shard
+        map partitions the *fleet*, independently of ``max_workers``,
+        so shard-scoped rollup series — and any alerts bound to them —
+        are identical across worker counts.  Rollup ingestion is
+        skipped entirely when
+        :func:`repro.telemetry.rollups_enabled` is off.
+    fail_board:
+        Fault-injection hook: the worker that owns this board raises
+        before simulating it, surfacing as
+        :class:`~repro.errors.CampaignExecutionError`.  Used by chaos
+        drills and the CI flight-recorder smoke; leave ``None`` in
+        production.
     random_state:
         Seed material; the same seed reproduces the same fleet and
         campaign.
@@ -128,6 +153,8 @@ class LongTermCampaign:
         aging_acceleration: float = 1.0,
         max_workers: int = 1,
         keyframe_every: int = 6,
+        rollup_shards: Optional[int] = None,
+        fail_board: Optional[int] = None,
         random_state: RandomState = None,
     ):
         if device_count < 1:
@@ -154,6 +181,19 @@ class LongTermCampaign:
             raise ConfigurationError(
                 f"keyframe_every must be >= 1, got {keyframe_every}"
             )
+        if rollup_shards is not None and rollup_shards < 1:
+            raise ConfigurationError(
+                f"rollup_shards must be >= 1, got {rollup_shards}"
+            )
+        if fail_board is not None and not 0 <= fail_board < device_count:
+            raise ConfigurationError(
+                f"fail_board {fail_board} outside fleet of {device_count}"
+            )
+        self._rollup_shards_opt = rollup_shards
+        self._rollup_shards = (
+            rollup_shards if rollup_shards is not None else min(8, device_count)
+        )
+        self._fail_board = fail_board
         self._device_count = device_count
         self._months = months
         self._measurements = measurements
@@ -280,6 +320,12 @@ class LongTermCampaign:
             from repro.exec.executor import executor_for
 
             executor = executor_for(self._max_workers)
+        if executor is None and self._fail_board is not None and chips is None:
+            # The in-process serial loop has no fault-injection hook;
+            # route through the (bit-identical) sharded path instead.
+            from repro.exec.executor import executor_for
+
+            executor = executor_for(1)
         if executor is not None:
             if chips is not None:
                 raise ConfigurationError(
@@ -339,6 +385,7 @@ class LongTermCampaign:
                 aging_acceleration=float(config["aging_acceleration"]),
                 max_workers=max_workers,
                 keyframe_every=int(config.get("keyframe_every", 6)),
+                rollup_shards=config.get("rollup_shards"),
                 random_state=int(config["root_seed"]),
             )
         except (KeyError, TypeError, ValueError) as exc:
@@ -409,10 +456,18 @@ class LongTermCampaign:
                             )
                         )
                     powerups.inc(self._measurements * len(fleet))
+                    self._count_labeled_powerups(metrics, month)
                     snapshots_done.inc()
+                    self._ingest_rollups(snapshots[-1])
                     if monitor is not None:
                         monitor.observe_evaluation(snapshots[-1])
+                        monitor.observe_rollups(index=month)
                         monitor.poll_counters(index=month)
+                    get_flight_recorder().record(
+                        "month",
+                        month=month,
+                        wchd_mean=float(snapshots[-1].wchd.mean()),
+                    )
                     if month < self._months:
                         with tracer.span("campaign.age"):
                             for chip in fleet:
@@ -440,6 +495,92 @@ class LongTermCampaign:
             references=references,
             snapshots=snapshots,
         )
+
+    def _rollup_shard_of(self, board_id: int) -> int:
+        """Logical rollup shard of ``board_id`` (worker-count independent)."""
+        from repro.exec.plan import rollup_shard_of
+
+        return rollup_shard_of(board_id, self._device_count, self._rollup_shards)
+
+    def _rollup_shard_sizes(self) -> List[int]:
+        """Board counts per logical rollup shard, in shard order.
+
+        Computed once per campaign (the fleet and shard count are
+        fixed) and cached — this runs every month on the hot path.
+        """
+        sizes = getattr(self, "_rollup_shard_size_cache", None)
+        if sizes is None:
+            from repro.exec.plan import partition_boards
+
+            sizes = [
+                len(boards)
+                for boards in partition_boards(
+                    range(self._device_count), self._rollup_shards
+                )
+            ]
+            self._rollup_shard_size_cache = sizes
+        return sizes
+
+    def _count_labeled_powerups(self, metrics, month: int) -> None:
+        """Advance the per-shard ``campaign.powerups{shard=N}`` counters.
+
+        Counted parent-side from the (deterministic) shard sizes so
+        every execution path advances the same labeled instruments by
+        the same amounts at the same polls; month 0 includes the day-0
+        reference read-outs.  These labeled counters ride the normal
+        checkpoint delta channel (they are ``campaign.*``, not
+        ``rollup.*``), so resume replay restores them from storage
+        rather than recounting.
+        """
+        if not rollups_enabled():
+            return
+        per_board = self._measurements + (1 if month == 0 else 0)
+        for shard, size in enumerate(self._rollup_shard_sizes()):
+            metrics.counter("campaign.powerups", labels={"shard": shard}).inc(
+                size * per_board
+            )
+
+    def _ingest_worker_resources(self, samples) -> None:
+        """Fold worker resource samples into the ``rollup.worker.*`` rollups.
+
+        Resource numbers are inherently nondeterministic, so they are
+        quarantined: they live only in the rollup registry (scope
+        ``worker``, wide log-spaced sketch bounds), never in the metrics
+        registry, never in checkpoints, and never in byte-compared
+        artifacts.
+        """
+        if not rollups_enabled():
+            return
+        from repro.telemetry.rollup import WIDE_BOUNDS
+
+        rollups = get_rollups()
+        for sample in samples:
+            if not sample:
+                continue
+            for key in ("wall_s", "cpu_s", "rss_kb"):
+                value = sample.get(key)
+                if value:
+                    rollups.summary(
+                        f"rollup.worker.{key}",
+                        {"scope": "worker"},
+                        bounds=WIDE_BOUNDS,
+                    ).observe(float(value))
+
+    def _ingest_rollups(self, evaluation, docs=None) -> None:
+        """Fold one month's shard rollup documents into the global registry.
+
+        ``docs`` are worker-shipped partial documents when available;
+        otherwise identical documents are derived parent-side from the
+        assembled evaluation (exact arithmetic makes the two routes
+        bit-identical).  No-op when rollups are globally disabled.
+        """
+        if not rollups_enabled():
+            return
+        from repro.telemetry.rollup import evaluation_shard_docs, fold_rollup_docs
+
+        if not docs:
+            docs = evaluation_shard_docs(evaluation, self._rollup_shard_of)
+        fold_rollup_docs(get_rollups(), docs, get_metrics())
 
     def _month_temperatures(self) -> List[Optional[float]]:
         """Pre-draw every month's ambient measurement temperature.
@@ -469,6 +610,7 @@ class LongTermCampaign:
         from repro.exec.plan import ShardSpec, partition_boards
 
         temperatures = tuple(self._month_temperatures())
+        worker_rollups = self._rollup_shards if rollups_enabled() else 0
         return [
             ShardSpec(
                 shard_index=index,
@@ -481,6 +623,11 @@ class LongTermCampaign:
                 temperatures=temperatures,
                 aging_steps_per_month=self._aging_steps,
                 aging_acceleration=self._aging_acceleration,
+                fail_board=(
+                    self._fail_board if self._fail_board in boards else None
+                ),
+                rollup_shards=worker_rollups,
+                fleet_size=self._device_count,
             )
             for index, boards in enumerate(
                 partition_boards(range(self._device_count), shard_count)
@@ -533,6 +680,7 @@ class LongTermCampaign:
             with tracer.span("campaign.shards", shards=len(specs)):
                 results = executor.run_shards(specs)
             merged = collate_shard_results(board_ids, self._months, results)
+            self._ingest_worker_resources(result.resources for result in results)
 
             total_snapshots = self._months + 1
             snapshots: List[MonthlyEvaluation] = []
@@ -547,10 +695,25 @@ class LongTermCampaign:
                             [merged.rows[board][month] for board in board_ids],
                         )
                     )
+                    self._count_labeled_powerups(metrics, month)
                     snapshots_done.inc()
+                    self._ingest_rollups(
+                        snapshots[-1],
+                        docs=(
+                            merged.rollup_docs[month]
+                            if merged.rollup_docs
+                            else None
+                        ),
+                    )
                     if monitor is not None:
                         monitor.observe_evaluation(snapshots[-1])
+                        monitor.observe_rollups(index=month)
                         monitor.poll_counters(index=month)
+                    get_flight_recorder().record(
+                        "month",
+                        month=month,
+                        wchd_mean=float(snapshots[-1].wchd.mean()),
+                    )
                     logger.debug(
                         "month %d/%d merged (WCHD mean %.4f)",
                         month,
@@ -591,6 +754,7 @@ class LongTermCampaign:
             "aging_steps_per_month": self._aging_steps,
             "aging_acceleration": self._aging_acceleration,
             "keyframe_every": self._keyframe_every,
+            "rollup_shards": self._rollup_shards_opt,
             "root_seed": self._seeds.root_seed,
             "profile": dataclasses.asdict(self._profile),
         }
@@ -666,6 +830,7 @@ class LongTermCampaign:
             fold_counter_deltas,
         )
         from repro.store.codecs import restore_rng_state, rng_state_doc
+        from repro.telemetry.rollup import combine_rollup_docs
 
         metrics = get_metrics()
         tracer = get_tracer()
@@ -747,8 +912,10 @@ class LongTermCampaign:
                 with tracer.span("campaign.replay", months=len(snapshots)):
                     for month, snapshot in enumerate(snapshots):
                         fold_counter_deltas(metrics, counter_deltas[month])
+                        self._ingest_rollups(snapshot)
                         if monitor is not None:
                             monitor.observe_evaluation(snapshot)
+                            monitor.observe_rollups(index=month)
                             monitor.poll_counters(index=month)
                 # Pending deltas (the aging block after the last poll)
                 # fold in *after* the recorder baselines, so the next
@@ -765,97 +932,132 @@ class LongTermCampaign:
                 )
 
             shard_boards = partition_boards(board_ids, executor.max_workers)
-            for month in range(start_month, total_snapshots):
-                if walk:
-                    temperature += float(temp_rng.normal(0.0, self._temperature_walk_k))
-                snapshot_temp = temperature if walk else None
-                apply_aging = month < self._months
-                with tracer.span("campaign.month", month=month):
-                    specs = [
-                        WindowSpec(
-                            shard_index=index,
-                            month=month,
-                            root_seed=self._seeds.root_seed,
-                            measurements=self._measurements,
-                            profile=self._profile,
-                            statistical=self._statistical,
-                            temperature=snapshot_temp,
-                            apply_aging=apply_aging,
-                            aging_steps_per_month=self._aging_steps,
-                            aging_acceleration=self._aging_acceleration,
-                            boards=tuple(
-                                BoardWindowState(
-                                    board_id=board,
-                                    state=board_states[board],
-                                    reference=references.get(board),
-                                )
-                                for board in boards
+            worker_rollups = self._rollup_shards if rollups_enabled() else 0
+            try:
+                for month in range(start_month, total_snapshots):
+                    if walk:
+                        temperature += float(temp_rng.normal(0.0, self._temperature_walk_k))
+                    snapshot_temp = temperature if walk else None
+                    apply_aging = month < self._months
+                    with tracer.span("campaign.month", month=month):
+                        specs = [
+                            WindowSpec(
+                                shard_index=index,
+                                month=month,
+                                root_seed=self._seeds.root_seed,
+                                measurements=self._measurements,
+                                profile=self._profile,
+                                statistical=self._statistical,
+                                temperature=snapshot_temp,
+                                apply_aging=apply_aging,
+                                aging_steps_per_month=self._aging_steps,
+                                aging_acceleration=self._aging_acceleration,
+                                boards=tuple(
+                                    BoardWindowState(
+                                        board_id=board,
+                                        state=board_states[board],
+                                        reference=references.get(board),
+                                    )
+                                    for board in boards
+                                ),
+                                fail_board=(
+                                    self._fail_board
+                                    if self._fail_board in boards
+                                    else None
+                                ),
+                                rollup_shards=worker_rollups,
+                                fleet_size=self._device_count,
+                            )
+                            for index, boards in enumerate(shard_boards)
+                        ]
+                        results = executor.run_tasks(run_board_window, specs)
+                        rows: Dict[int, "BoardMonthMetrics"] = {}
+                        eval_deltas: Dict[str, int] = {}
+                        aging_deltas: Dict[str, int] = {}
+                        window_rollups: List[Dict[str, dict]] = []
+                        for result in results:
+                            rows.update(result.rows)
+                            board_states.update(result.states)
+                            references.update(result.references)
+                            for name, delta in result.eval_deltas.items():
+                                eval_deltas[name] = eval_deltas.get(name, 0) + delta
+                            for name, delta in result.aging_deltas.items():
+                                aging_deltas[name] = aging_deltas.get(name, 0) + delta
+                            if result.rollups:
+                                window_rollups.append(result.rollups)
+                        fold_counter_deltas(metrics, eval_deltas)
+                        snapshots.append(
+                            assemble_evaluation(
+                                month,
+                                self._measurements,
+                                [rows[board] for board in board_ids],
+                            )
+                        )
+                        self._count_labeled_powerups(metrics, month)
+                        snapshots_done.inc()
+                        self._ingest_rollups(
+                            snapshots[-1],
+                            docs=(
+                                combine_rollup_docs(window_rollups)
+                                if window_rollups
+                                else None
                             ),
                         )
-                        for index, boards in enumerate(shard_boards)
-                    ]
-                    results = executor.run_tasks(run_board_window, specs)
-                    rows: Dict[int, "BoardMonthMetrics"] = {}
-                    eval_deltas: Dict[str, int] = {}
-                    aging_deltas: Dict[str, int] = {}
-                    for result in results:
-                        rows.update(result.rows)
-                        board_states.update(result.states)
-                        references.update(result.references)
-                        for name, delta in result.eval_deltas.items():
-                            eval_deltas[name] = eval_deltas.get(name, 0) + delta
-                        for name, delta in result.aging_deltas.items():
-                            aging_deltas[name] = aging_deltas.get(name, 0) + delta
-                    fold_counter_deltas(metrics, eval_deltas)
-                    snapshots.append(
-                        assemble_evaluation(
-                            month,
-                            self._measurements,
-                            [rows[board] for board in board_ids],
+                        self._ingest_worker_resources(
+                            result.resources for result in results
                         )
-                    )
-                    snapshots_done.inc()
-                    counter_deltas.append(recorder.take())
-                    if monitor is not None:
-                        monitor.observe_evaluation(snapshots[-1])
-                        monitor.poll_counters(index=month)
-                    fold_counter_deltas(metrics, aging_deltas)
-                    with tracer.span("campaign.checkpoint", month=month):
-                        checkpointer.save(
-                            month,
-                            temperature,
-                            rng_state_doc(temp_rng) if walk else None,
-                            references,
-                            board_states,
-                            snapshots,
-                            counter_deltas,
-                            aging_deltas,
+                        counter_deltas.append(recorder.take())
+                        if monitor is not None:
+                            monitor.observe_evaluation(snapshots[-1])
+                            monitor.observe_rollups(index=month)
+                            monitor.poll_counters(index=month)
+                        get_flight_recorder().record(
+                            "month",
+                            month=month,
+                            wchd_mean=float(snapshots[-1].wchd.mean()),
                         )
-                    if stream is not None:
-                        if month == 0:
-                            stream.begin(
-                                self._profile.name,
-                                self._months,
-                                self._measurements,
-                                board_ids,
-                                {board: references[board] for board in board_ids},
+                        fold_counter_deltas(metrics, aging_deltas)
+                        with tracer.span("campaign.checkpoint", month=month):
+                            checkpointer.save(
+                                month,
+                                temperature,
+                                rng_state_doc(temp_rng) if walk else None,
+                                references,
+                                board_states,
+                                snapshots,
+                                counter_deltas,
+                                aging_deltas,
                             )
-                        stream.append_snapshot(snapshots[-1])
-                logger.debug(
-                    "month %d/%d checkpointed (WCHD mean %.4f)",
-                    month,
-                    self._months,
-                    float(snapshots[-1].wchd.mean()),
-                )
-                if progress is not None:
-                    progress(month + 1, total_snapshots)
-                if abort_after_month is not None and month >= abort_after_month:
-                    raise CampaignInterrupted(
-                        f"campaign interrupted after month {month} as requested; "
-                        f"resume from {checkpoint_dir}",
-                        checkpoint_dir=checkpoint_dir,
-                        month=month,
+                        if stream is not None:
+                            if month == 0:
+                                stream.begin(
+                                    self._profile.name,
+                                    self._months,
+                                    self._measurements,
+                                    board_ids,
+                                    {board: references[board] for board in board_ids},
+                                )
+                            stream.append_snapshot(snapshots[-1])
+                    logger.debug(
+                        "month %d/%d checkpointed (WCHD mean %.4f)",
+                        month,
+                        self._months,
+                        float(snapshots[-1].wchd.mean()),
                     )
+                    if progress is not None:
+                        progress(month + 1, total_snapshots)
+                    if abort_after_month is not None and month >= abort_after_month:
+                        raise CampaignInterrupted(
+                            f"campaign interrupted after month {month} as requested; "
+                            f"resume from {checkpoint_dir}",
+                            checkpoint_dir=checkpoint_dir,
+                            month=month,
+                        )
+            except CampaignExecutionError as exc:
+                flight = get_flight_recorder()
+                flight.record("crash", error=str(exc))
+                flight.dump(f"{checkpoint_dir}/flight.json", reason=str(exc))
+                raise
             if stream is not None:
                 stream.finalize()
             logger.info("campaign finished (checkpointed): %d snapshots", len(snapshots))

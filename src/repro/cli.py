@@ -11,6 +11,8 @@
     python -m repro monitor campaign.json [--alerts PATH]
     python -m repro run --save campaign.json [--checkpoint-dir DIR] [--resume]
                         [--stream-artifact] [--keyframe-every K]
+                        [--rollup-shards N] [--heartbeat-every K]
+    python -m repro status campaign.json [--once | --interval S]
     python -m repro store inspect DIR [--clean] [--deep]
     python -m repro store compact DIR [--keep-keyframes N]
 
@@ -71,6 +73,8 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
         seed=args.seed,
         max_workers=getattr(args, "workers", 1),
         keyframe_every=getattr(args, "keyframe_every", 6),
+        rollup_shards=getattr(args, "rollup_shards", None),
+        fail_board=getattr(args, "fail_board", None),
     )
 
 
@@ -192,14 +196,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     ``--checkpoint-dir`` it *grows on disk month by month*; without,
     the finished result is stream-encoded at once.  Either way the
     bytes are identical and ``load_campaign`` reads both formats.
+
+    Every run heartbeats to ``<save>.heartbeat.jsonl`` (tail it, or
+    point ``repro status`` at the artifact) and keeps a flight recorder
+    of recent events; a crashed campaign (including one injected with
+    ``--fail-board`` / ``$REPRO_FAIL_BOARD``) dumps the recorder to
+    ``<save>.flight.json`` and exits with code 4.
     """
-    from repro.errors import CampaignInterrupted
+    from repro.errors import CampaignExecutionError, CampaignInterrupted
     from repro.io.resultstore import save_campaign
     from repro.monitor.alerts import alert_log_path_for
-    from repro.monitor.defaults import default_ruleset
+    from repro.monitor.defaults import default_ruleset, hierarchical_ruleset
+    from repro.monitor.heartbeat import SnapshotEmitter, heartbeat_path_for
     from repro.monitor.hub import MonitorHub
     from repro.store.artifact import ArtifactStore
     from repro.telemetry import manifest_path_for
+    from repro.telemetry.flight import flight_record_path_for
+    from repro.telemetry.runtime import get_flight_recorder, get_rollups
 
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
@@ -208,14 +221,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # checkpoint dir the stream is written at once after the run.
     incremental = bool(args.stream_artifact and args.checkpoint_dir)
     alert_log = args.alerts if args.alerts else alert_log_path_for(args.save)
+    heartbeat = heartbeat_path_for(args.save)
     if not args.resume:
         # A fresh run's live alert log mirrors this run only; a resumed
         # run instead truncates-and-replays inside the campaign driver.
         store, name = ArtifactStore.locate(alert_log)
         store.truncate(name)
-    hub = MonitorHub(default_ruleset(), alert_log=alert_log)
+    # The heartbeat always restarts: it narrates this process's run.
+    store, name = ArtifactStore.locate(heartbeat)
+    store.truncate(name)
+    hub = MonitorHub(
+        default_ruleset() + hierarchical_ruleset(), alert_log=alert_log
+    )
+    emitter = SnapshotEmitter(
+        heartbeat,
+        hub=hub,
+        every=args.heartbeat_every,
+        rollups=get_rollups(),
+        flight=get_flight_recorder(),
+    )
     try:
         result = LongTermAssessment(_study_config(args)).run(
+            progress=emitter,
             monitor=hub,
             checkpoint_dir=args.checkpoint_dir,
             resume=args.resume,
@@ -228,6 +255,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"resume with: repro run --save {args.save} "
               f"--checkpoint-dir {exc.checkpoint_dir} --resume")
         return 3
+    except CampaignExecutionError as exc:
+        flight = get_flight_recorder()
+        flight.record("crash", error=str(exc))
+        flight_path = flight_record_path_for(args.save)
+        flight.dump(flight_path, reason=str(exc))
+        print(f"campaign crashed: {exc}", file=sys.stderr)
+        print(f"flight record written to {flight_path}", file=sys.stderr)
+        return 4
     if incremental:
         # The artifact is already on disk (streamed by the campaign);
         # write the side artifacts save_campaign would have.
@@ -248,6 +283,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"manifest saved to {manifest_path_for(args.save)}")
     print(f"alert log written to {alert_log} ({hub.alert_count} alerts)")
     return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """Render the live status dashboard for a monitored campaign.
+
+    Reads the heartbeat, alert-log and flight-record files next to the
+    campaign artifact (see ``docs/status.md``) and prints one dashboard
+    frame; without ``--once`` it re-renders every ``--interval``
+    seconds until interrupted.  Read-only — safe against a campaign
+    that is still running.
+    """
+    import time as _time
+
+    from repro.monitor.status import load_status, render_status
+
+    while True:
+        status = load_status(args.target)
+        print(render_status(status))
+        if args.once:
+            return 0
+        print()
+        try:
+            _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _cmd_store_inspect(args: argparse.Namespace) -> int:
@@ -509,7 +569,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="full-state checkpoint keyframe cadence; months in between "
         "store results-only deltas (default: 6)",
     )
+    run.add_argument(
+        "--rollup-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="logical shard count of the hierarchical rollup layer "
+        "(default: min(8, devices); independent of --workers)",
+    )
+    env_fail = os.environ.get("REPRO_FAIL_BOARD", "")
+    run.add_argument(
+        "--fail-board",
+        type=int,
+        default=int(env_fail) if env_fail else None,
+        metavar="B",
+        help="fault injection: crash the worker before simulating board B "
+        "and dump the flight recorder (default: $REPRO_FAIL_BOARD)",
+    )
+    run.add_argument(
+        "--heartbeat-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="emit a heartbeat line every K snapshots (default: 1)",
+    )
     run.set_defaults(handler=_cmd_run)
+
+    status = commands.add_parser(
+        "status", help="live text dashboard of a (running) monitored campaign"
+    )
+    status.add_argument(
+        "target", help="campaign artifact path the run was saved to (--save)"
+    )
+    status.add_argument(
+        "--once",
+        action="store_true",
+        help="render one dashboard frame and exit (default: refresh forever)",
+    )
+    status.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between refreshes (default: 2.0)",
+    )
+    status.set_defaults(handler=_cmd_status)
 
     store = commands.add_parser(
         "store", help="artifact-store maintenance (inspect directories)"

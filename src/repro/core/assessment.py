@@ -203,6 +203,8 @@ class LongTermAssessment:
                 aging_acceleration=cfg.aging_acceleration,
                 max_workers=cfg.max_workers,
                 keyframe_every=cfg.keyframe_every,
+                rollup_shards=cfg.rollup_shards,
+                fail_board=cfg.fail_board,
                 random_state=cfg.seed,
             )
             phase_start = time.perf_counter()

@@ -9,6 +9,7 @@ configs produce identical results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.sram.profiles import ATMEGA32U4, DeviceProfile
@@ -59,6 +60,16 @@ class StudyConfig:
         ``docs/storage.md``).  Like ``max_workers``, a pure
         storage-size knob: results are byte-identical at every
         cadence.
+    rollup_shards:
+        Logical shard count of the hierarchical rollup layer (see
+        ``docs/monitoring.md``); ``None`` lets the campaign pick
+        ``min(8, device_count)``.  Independent of ``max_workers``, so
+        rollup documents are identical at every worker count.
+    fail_board:
+        Fault-injection hook: the worker simulating this board raises
+        before touching it, crashing the campaign deterministically
+        (the CI status-smoke job exercises the flight recorder with
+        it).  ``None`` (the default) injects nothing.
     """
 
     device_count: int = 16
@@ -73,6 +84,8 @@ class StudyConfig:
     initial_measurements: int = 1000
     max_workers: int = 1
     keyframe_every: int = 6
+    rollup_shards: Optional[int] = None
+    fail_board: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.device_count < 2:
@@ -107,4 +120,15 @@ class StudyConfig:
         if self.keyframe_every < 1:
             raise ConfigurationError(
                 f"keyframe_every must be >= 1, got {self.keyframe_every}"
+            )
+        if self.rollup_shards is not None and self.rollup_shards < 1:
+            raise ConfigurationError(
+                f"rollup_shards must be >= 1, got {self.rollup_shards}"
+            )
+        if self.fail_board is not None and not (
+            0 <= self.fail_board < self.device_count
+        ):
+            raise ConfigurationError(
+                f"fail_board {self.fail_board} outside fleet of "
+                f"{self.device_count}"
             )

@@ -26,6 +26,7 @@ import numpy as np
 from repro.analysis.monthly import BoardMonthMetrics
 from repro.errors import CampaignExecutionError
 from repro.exec.worker import ShardResult
+from repro.telemetry.rollup import combine_rollup_docs
 
 
 @dataclass(frozen=True)
@@ -40,6 +41,11 @@ class MergedShards:
     #: advance; the driver folds these into the parent registry before
     #: the month-``m`` monitor poll.
     counter_deltas: List[Dict[str, int]] = field(repr=False)
+    #: ``rollup_docs[m]`` is the exact merge of every worker's partial
+    #: rollup documents for month ``m`` (empty maps when workers ran
+    #: without rollups).  Because the merge is exact, the documents are
+    #: independent of the executor's shard count.
+    rollup_docs: List[Dict[str, dict]] = field(default_factory=list, repr=False)
 
 
 def collate_shard_results(
@@ -101,9 +107,20 @@ def collate_shard_results(
             for name, delta in deltas.items():
                 bucket[name] = bucket.get(name, 0) + delta
 
+    rollup_docs: List[Dict[str, dict]] = []
+    if any(result.rollup_docs for result in results):
+        ordered = sorted(results, key=lambda r: r.shard_index)
+        for month in range(months + 1):
+            rollup_docs.append(
+                combine_rollup_docs(
+                    [r.rollup_docs[month] for r in ordered if r.rollup_docs]
+                )
+            )
+
     return MergedShards(
         board_ids=expected,
         references={b: trajectories[b][0].reference for b in expected},
         rows={b: trajectories[b][0].months for b in expected},
         counter_deltas=counter_deltas,
+        rollup_docs=rollup_docs,
     )

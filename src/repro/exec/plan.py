@@ -59,6 +59,14 @@ class ShardSpec:
         board, before simulating it.  Exercised by the
         crash-robustness suite and available for chaos drills; leave
         ``None`` in production.
+    rollup_shards:
+        Logical rollup-shard count of the whole fleet (``0`` disables
+        worker-side rollups).  This partition is deliberately
+        independent of how many executor workers run, so shard-scoped
+        rollup series are identical across worker counts.
+    fleet_size:
+        Total board count of the campaign (needed to place this
+        shard's boards in the fleet-wide rollup partition).
     """
 
     shard_index: int
@@ -72,6 +80,8 @@ class ShardSpec:
     aging_steps_per_month: int = 2
     aging_acceleration: float = 1.0
     fail_board: Optional[int] = None
+    rollup_shards: int = 0
+    fleet_size: int = 0
 
     def __post_init__(self) -> None:
         if not self.board_ids:
@@ -112,3 +122,30 @@ def partition_boards(
         shards.append(tuple(boards[start : start + size]))
         start += size
     return shards
+
+
+def rollup_shard_of(position: int, board_count: int, shard_count: int) -> int:
+    """The logical rollup shard of the board at fleet ``position``.
+
+    Closed-form inverse of :func:`partition_boards` over
+    ``range(board_count)`` — O(1), so workers map boards to rollup
+    shards without materializing the partition:
+
+    >>> shards = partition_boards(range(7), 3)
+    >>> [rollup_shard_of(b, 7, 3) for b in range(7)]
+    [0, 0, 0, 1, 1, 2, 2]
+    >>> shards
+    [(0, 1, 2), (3, 4), (5, 6)]
+    """
+    if not 0 <= position < board_count:
+        raise ConfigurationError(
+            f"board position {position} outside fleet of {board_count}"
+        )
+    count = min(shard_count, board_count)
+    if count < 1:
+        raise ConfigurationError(f"shard_count must be >= 1, got {shard_count}")
+    base, extra = divmod(board_count, count)
+    pivot = extra * (base + 1)
+    if position < pivot:
+        return position // (base + 1)
+    return extra + (position - pivot) // base

@@ -50,12 +50,15 @@ import numpy as np
 
 from repro.analysis.monthly import BoardMonthMetrics, evaluate_board
 from repro.errors import CampaignExecutionError
+from repro.exec.plan import rollup_shard_of
 from repro.rng import SeedHierarchy
 from repro.sram.aging import AgingSimulator
 from repro.sram.chip import SRAMChip
 from repro.sram.profiles import DeviceProfile
 from repro.store.checkpoint import board_state_doc, restore_chip
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.resources import ResourceSampler
+from repro.telemetry.rollup import ROLLUP_STATS, ShardRollupBuilder
 
 logger = logging.getLogger(__name__)
 
@@ -134,7 +137,14 @@ class BoardWindowState:
 
 @dataclass(frozen=True)
 class WindowSpec:
-    """One shard's work order for a single campaign month."""
+    """One shard's work order for a single campaign month.
+
+    ``rollup_shards``/``fleet_size`` mirror
+    :class:`~repro.exec.plan.ShardSpec`: when ``rollup_shards`` is
+    positive the window also returns exact partial rollup documents
+    for its boards' month.  ``fail_board`` is the fault-injection
+    hook — the worker raises before simulating that board.
+    """
 
     shard_index: int
     month: int
@@ -147,6 +157,9 @@ class WindowSpec:
     aging_steps_per_month: int = 2
     aging_acceleration: float = 1.0
     boards: Tuple[BoardWindowState, ...] = ()
+    fail_board: Optional[int] = None
+    rollup_shards: int = 0
+    fleet_size: int = 0
 
     @property
     def board_ids(self) -> Tuple[int, ...]:
@@ -168,6 +181,11 @@ class WindowResult:
     eval_deltas: Dict[str, int] = field(repr=False)
     #: Counters advanced by the post-snapshot aging block.
     aging_deltas: Dict[str, int] = field(repr=False)
+    #: Partial rollup documents for this window's month (empty when
+    #: ``WindowSpec.rollup_shards`` is 0).
+    rollups: Dict[str, dict] = field(default_factory=dict, repr=False)
+    #: Worker resource sample for this window (wall/CPU/RSS).
+    resources: Dict[str, float] = field(default_factory=dict, repr=False)
 
 
 def _registry_deltas(registry: MetricsRegistry) -> Dict[str, int]:
@@ -187,17 +205,25 @@ def run_board_window(spec: WindowSpec) -> WindowResult:
     surface as :class:`~repro.errors.CampaignExecutionError` naming the
     board and shard, like the full-trajectory worker's.
     """
+    sampler = ResourceSampler()
     eval_registry = MetricsRegistry()
     aging_registry = MetricsRegistry()
     powerups = eval_registry.counter("campaign.powerups")
     aging_steps = aging_registry.counter("campaign.aging_steps")
     simulator = AgingSimulator(spec.profile)
+    builder: Optional[ShardRollupBuilder] = None
+    if spec.rollup_shards > 0:
+        builder = ShardRollupBuilder(
+            lambda b: rollup_shard_of(b, spec.fleet_size, spec.rollup_shards)
+        )
 
     rows: Dict[int, BoardMonthMetrics] = {}
     states: Dict[int, Dict[str, Any]] = {}
     references: Dict[int, np.ndarray] = {}
     for board in spec.boards:
         try:
+            if spec.fail_board == board.board_id:
+                raise RuntimeError("injected fault (WindowSpec.fail_board)")
             if board.state is None:
                 seeds = SeedHierarchy(spec.root_seed)
                 chip = SRAMChip(board.board_id, spec.profile, random_state=seeds)
@@ -209,13 +235,19 @@ def run_board_window(spec: WindowSpec) -> WindowResult:
                 if chip is None:
                     chip = restore_chip(board.board_id, spec.profile, board.state)
                 reference = board.reference
-            rows[board.board_id] = evaluate_board(
+            row = evaluate_board(
                 chip,
                 reference,
                 measurements=spec.measurements,
                 statistical=spec.statistical,
                 temperature_k=spec.temperature,
             )
+            rows[board.board_id] = row
+            if builder is not None:
+                builder.observe_board(
+                    board.board_id,
+                    {stat: getattr(row, stat) for stat in ROLLUP_STATS},
+                )
             powerups.inc(spec.measurements)
             if spec.apply_aging:
                 simulator.age_array_months(
@@ -250,4 +282,6 @@ def run_board_window(spec: WindowSpec) -> WindowResult:
         references=references,
         eval_deltas=_registry_deltas(eval_registry),
         aging_deltas=_registry_deltas(aging_registry),
+        rollups=builder.take() if builder is not None else {},
+        resources=sampler.sample(),
     )

@@ -23,17 +23,19 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.monthly import BoardMonthMetrics, evaluate_board
 from repro.errors import CampaignExecutionError
-from repro.exec.plan import ShardSpec
+from repro.exec.plan import ShardSpec, rollup_shard_of
 from repro.rng import SeedHierarchy
 from repro.sram.aging import AgingSimulator
 from repro.sram.chip import SRAMChip
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.resources import ResourceSampler
+from repro.telemetry.rollup import ROLLUP_STATS, ShardRollupBuilder
 
 logger = logging.getLogger(__name__)
 
@@ -62,6 +64,13 @@ class ShardResult:
     #: advanced between the month ``m - 1`` and month ``m`` snapshot
     #: polls (month 0 includes the day-0 reference read-outs).
     counter_deltas: List[Dict[str, int]] = field(repr=False)
+    #: ``rollup_docs[m]`` is this shard's partial rollup documents for
+    #: month ``m`` (empty when ``ShardSpec.rollup_shards`` is 0) —
+    #: exact summaries the parent merges associatively.
+    rollup_docs: List[Dict[str, dict]] = field(default_factory=list, repr=False)
+    #: Worker resource sample for the whole shard (wall/CPU seconds,
+    #: peak RSS in KiB); diagnostic only, never merged into results.
+    resources: Dict[str, float] = field(default_factory=dict, repr=False)
 
 
 class _DeltaTracker:
@@ -87,7 +96,11 @@ class _DeltaTracker:
 
 
 def _run_board(
-    spec: ShardSpec, board_id: int, seeds: SeedHierarchy, tracker: _DeltaTracker
+    spec: ShardSpec,
+    board_id: int,
+    seeds: SeedHierarchy,
+    tracker: _DeltaTracker,
+    builders: Optional[List[ShardRollupBuilder]] = None,
 ) -> BoardTrajectory:
     """Simulate one board's full trajectory (serial draw order)."""
     powerups = tracker.registry.counter("campaign.powerups")
@@ -99,15 +112,18 @@ def _run_board(
     powerups.inc()  # the day-0 reference read-out
     months: List[BoardMonthMetrics] = []
     for month in range(spec.months + 1):
-        months.append(
-            evaluate_board(
-                chip,
-                reference,
-                measurements=spec.measurements,
-                statistical=spec.statistical,
-                temperature_k=spec.temperatures[month],
-            )
+        row = evaluate_board(
+            chip,
+            reference,
+            measurements=spec.measurements,
+            statistical=spec.statistical,
+            temperature_k=spec.temperatures[month],
         )
+        months.append(row)
+        if builders is not None:
+            builders[month].observe_board(
+                board_id, {stat: getattr(row, stat) for stat in ROLLUP_STATS}
+            )
         powerups.inc(spec.measurements)
         tracker.checkpoint(month)
         if month < spec.months:
@@ -128,14 +144,23 @@ def run_board_shard(spec: ShardSpec) -> ShardResult:
     hook — surfaces as a :class:`~repro.errors.CampaignExecutionError`
     naming the board and shard, so the driver can refuse to merge.
     """
+    sampler = ResourceSampler()
     tracker = _DeltaTracker(spec.months)
     seeds = SeedHierarchy(spec.root_seed)
+    builders: Optional[List[ShardRollupBuilder]] = None
+    if spec.rollup_shards > 0:
+        builders = [
+            ShardRollupBuilder(
+                lambda b: rollup_shard_of(b, spec.fleet_size, spec.rollup_shards)
+            )
+            for _ in range(spec.months + 1)
+        ]
     trajectories: List[BoardTrajectory] = []
     for board_id in spec.board_ids:
         try:
             if spec.fail_board == board_id:
                 raise RuntimeError("injected fault (ShardSpec.fail_board)")
-            trajectories.append(_run_board(spec, board_id, seeds, tracker))
+            trajectories.append(_run_board(spec, board_id, seeds, tracker, builders))
         except CampaignExecutionError:
             raise
         except Exception as exc:
@@ -155,4 +180,6 @@ def run_board_shard(spec: ShardSpec) -> ShardResult:
         board_ids=spec.board_ids,
         trajectories=trajectories,
         counter_deltas=tracker.deltas,
+        rollup_docs=[builder.take() for builder in builders] if builders else [],
+        resources=sampler.sample(),
     )

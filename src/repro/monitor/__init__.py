@@ -31,7 +31,11 @@ from repro.monitor.alerts import (
     load_alert_log,
     write_alert_log,
 )
-from repro.monitor.defaults import default_ruleset, paper_wchd_trend
+from repro.monitor.defaults import (
+    default_ruleset,
+    hierarchical_ruleset,
+    paper_wchd_trend,
+)
 from repro.monitor.detectors import (
     CUSUMDetector,
     Decision,
@@ -43,20 +47,33 @@ from repro.monitor.detectors import (
 from repro.monitor.exporters import (
     DEFAULT_NAMESPACE,
     PROMETHEUS_CONTENT_TYPE,
+    ROLLUP_EXPORT_STATS,
     MetricsJSONLSink,
     prometheus_name,
     render_prometheus,
     write_metrics_jsonl,
     write_prometheus,
 )
-from repro.monitor.heartbeat import SnapshotEmitter, current_rss_kb
-from repro.monitor.hub import RATE_PREFIX, MonitorHub
+from repro.monitor.heartbeat import SnapshotEmitter, current_rss_kb, heartbeat_path_for
+from repro.monitor.hub import (
+    RATE_PREFIX,
+    ROLLUP_PREFIX,
+    MonitorHub,
+    parse_rollup_metric,
+)
 from repro.monitor.replay import render_alert_timeline, replay_campaign
+from repro.monitor.status import (
+    CampaignStatus,
+    load_status,
+    read_jsonl_tolerant,
+    render_status,
+)
 
 __all__ = [
     "Alert",
     "AlertRule",
     "CUSUMDetector",
+    "CampaignStatus",
     "DEFAULT_NAMESPACE",
     "Decision",
     "Detector",
@@ -65,6 +82,8 @@ __all__ = [
     "MonitorHub",
     "PROMETHEUS_CONTENT_TYPE",
     "RATE_PREFIX",
+    "ROLLUP_EXPORT_STATS",
+    "ROLLUP_PREFIX",
     "SEVERITIES",
     "SnapshotEmitter",
     "StaticThresholdDetector",
@@ -73,11 +92,17 @@ __all__ = [
     "append_alert",
     "current_rss_kb",
     "default_ruleset",
+    "heartbeat_path_for",
+    "hierarchical_ruleset",
     "load_alert_log",
+    "load_status",
     "paper_wchd_trend",
+    "parse_rollup_metric",
     "prometheus_name",
+    "read_jsonl_tolerant",
     "render_alert_timeline",
     "render_prometheus",
+    "render_status",
     "replay_campaign",
     "write_alert_log",
     "write_metrics_jsonl",

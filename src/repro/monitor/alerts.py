@@ -40,6 +40,9 @@ class Alert:
     detail: str = ""
     #: Wall-clock stamp; ``None`` when the hub runs deterministically.
     timestamp: Optional[float] = None
+    #: Hierarchical drill-down locator of the breaching series, e.g.
+    #: ``"shard=3/wchd.p99"``; empty for flat (fleet-wide) rules.
+    path: str = ""
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (one alert-log line)."""
@@ -53,6 +56,7 @@ class Alert:
             "direction": self.direction,
             "detail": self.detail,
             "timestamp": self.timestamp,
+            "path": self.path,
         }
 
     @classmethod
@@ -69,6 +73,7 @@ class Alert:
                 direction=int(doc.get("direction", 0)),
                 detail=str(doc.get("detail", "")),
                 timestamp=doc.get("timestamp"),
+                path=str(doc.get("path", "")),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise StorageError(f"malformed alert record: {exc}") from exc

@@ -196,3 +196,53 @@ def default_ruleset(
             description="sustained or bursty SP 800-90B health-test rejections",
         ),
     ]
+
+
+def hierarchical_ruleset(
+    paper: PaperFacts = PAPER,
+) -> List[AlertRule]:
+    """Opt-in shard/fleet rollup rules for hierarchically monitored campaigns.
+
+    Where :func:`default_ruleset` watches flat fleet-wide series, these
+    rules bind to **rollup scopes** (see
+    :meth:`repro.monitor.hub.MonitorHub.observe_rollups`): a shard rule
+    is evaluated once per shard summary and its alerts carry a
+    drill-down path naming the breaching shard — the shape that scales
+    to the 100k-device fleet, where per-board series never exist in the
+    parent process.
+    """
+    return [
+        AlertRule(
+            name="shard-wchd-p99",
+            metric="rollup:wchd.p99@shard",
+            detector_factory=lambda: StaticThresholdDetector(
+                upper=paper.wchd.end_worst + WCHD_WORST_MARGIN
+            ),
+            severity="warning",
+            hysteresis=1,
+            cooldown=3,
+            description="per-shard WCHD p99 above Table I worst case + margin",
+        ),
+        AlertRule(
+            name="shard-stable-ratio-min",
+            metric="rollup:stable_ratio.min@shard",
+            detector_factory=lambda: StaticThresholdDetector(
+                lower=paper.stable_cells.end_worst - STABLE_RATIO_MARGIN
+            ),
+            severity="warning",
+            hysteresis=2,
+            cooldown=3,
+            description="per-shard stable-cell ratio floor breach",
+        ),
+        AlertRule(
+            name="fleet-wchd-p99",
+            metric="rollup:wchd.p99@fleet",
+            detector_factory=lambda: StaticThresholdDetector(
+                upper=paper.wchd.end_worst + WCHD_WORST_MARGIN
+            ),
+            severity="critical",
+            hysteresis=1,
+            cooldown=6,
+            description="fleet WCHD p99 above Table I worst case + margin",
+        ),
+    ]

@@ -12,22 +12,34 @@ Two ways out of the process for the
   a file, giving long campaigns a machine-readable metric history that
   can be tailed while the run is still going.
 
+Labeled instruments (``campaign.powerups{shard=3}``) render as one
+Prometheus *family* per dotted base name — a single ``# HELP``/
+``# TYPE`` header followed by one sample per label set, labels in
+canonical sorted order with values escaped per the exposition grammar.
+Passing a :class:`~repro.telemetry.RollupRegistry` via ``rollups=``
+additionally exports every summary as per-statistic gauge families
+(``repro_rollup_wchd_p99{scope="shard",shard="3"}`` and friends).
+
 Both exporters read instruments only through their public
 ``snapshot()`` views; neither mutates the registry.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.store.artifact import ArtifactStore
 from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.rollup import RollupRegistry, RollupSummary
 
 #: HTTP content type of the rendered exposition.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
 
 #: Default metric-name prefix (Prometheus namespace).
 DEFAULT_NAMESPACE = "repro"
+
+#: Rollup statistics exported as Prometheus gauge families, in order.
+ROLLUP_EXPORT_STATS = ("count", "sum", "mean", "min", "max", "std", "p50", "p99")
 
 
 def prometheus_name(name: str, namespace: str = DEFAULT_NAMESPACE) -> str:
@@ -58,44 +70,132 @@ def _format_value(value: float) -> str:
     return repr(as_float)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition grammar."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_block(labels: Mapping[str, str]) -> str:
+    """Canonical label block: sorted keys, escaped values, no spaces.
+
+    Empty labels render as the empty string, so unlabeled samples are
+    byte-identical to the historical label-free exposition.
+    """
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
 def render_prometheus(
-    registry: MetricsRegistry, namespace: str = DEFAULT_NAMESPACE
+    registry: MetricsRegistry,
+    namespace: str = DEFAULT_NAMESPACE,
+    rollups: Optional[RollupRegistry] = None,
 ) -> str:
     """Render every instrument in the Prometheus text format.
 
     The output is deterministic: instruments appear in sorted registry
-    order, each preceded by ``# HELP`` (echoing the dotted source name)
-    and ``# TYPE`` lines.
+    order, grouped into one family per dotted base name with a single
+    ``# HELP`` (echoing the dotted source name) and ``# TYPE`` header,
+    and one sample line per label set.  With ``rollups`` given, rollup
+    summaries follow as per-statistic gauge families (one sample per
+    scope/shard label set, empty summaries skipped).
     """
-    lines: List[str] = []
+    families: Dict[Tuple[str, str], List[Any]] = {}
+    order: List[Tuple[str, str]] = []
     for instrument in registry.instruments():
-        name = instrument.name
-        exposed = prometheus_name(name, namespace)
         if isinstance(instrument, Counter):
-            exposed = f"{exposed}_total"
-            lines.append(f"# HELP {exposed} {name}")
-            lines.append(f"# TYPE {exposed} counter")
-            lines.append(f"{exposed} {_format_value(instrument.value)}")
+            kind = "counter"
         elif isinstance(instrument, Gauge):
-            lines.append(f"# HELP {exposed} {name}")
-            lines.append(f"# TYPE {exposed} gauge")
-            lines.append(f"{exposed} {_format_value(instrument.value)}")
+            kind = "gauge"
         elif isinstance(instrument, Histogram):
-            lines.append(f"# HELP {exposed} {name}")
-            lines.append(f"# TYPE {exposed} histogram")
-            cumulative = instrument.cumulative_bucket_counts
-            for bound, count in zip(instrument.bounds, cumulative):
-                lines.append(
-                    f'{exposed}_bucket{{le="{_format_value(bound)}"}} {count}'
-                )
-            lines.append(f'{exposed}_bucket{{le="+Inf"}} {instrument.count}')
-            lines.append(f"{exposed}_sum {_format_value(instrument.total)}")
-            lines.append(f"{exposed}_count {instrument.count}")
+            kind = "histogram"
+        else:  # pragma: no cover - registry only builds the three kinds
+            continue
+        key = (instrument.base_name, kind)
+        if key not in families:
+            families[key] = []
+            order.append(key)
+        families[key].append(instrument)
+
+    lines: List[str] = []
+    for base, kind in order:
+        exposed = prometheus_name(base, namespace)
+        if kind == "counter":
+            exposed = f"{exposed}_total"
+        lines.append(f"# HELP {exposed} {base}")
+        lines.append(f"# TYPE {exposed} {kind}")
+        for instrument in families[(base, kind)]:
+            block = _label_block(instrument.labels)
+            if kind in ("counter", "gauge"):
+                lines.append(f"{exposed}{block} {_format_value(instrument.value)}")
+            else:
+                cumulative = instrument.cumulative_bucket_counts
+                for bound, count in zip(instrument.bounds, cumulative):
+                    le = _label_block(
+                        {**instrument.labels, "le": _format_value(bound)}
+                    )
+                    lines.append(f"{exposed}_bucket{le} {count}")
+                le = _label_block({**instrument.labels, "le": "+Inf"})
+                lines.append(f"{exposed}_bucket{le} {instrument.count}")
+                lines.append(f"{exposed}_sum{block} {_format_value(instrument.total)}")
+                lines.append(f"{exposed}_count{block} {instrument.count}")
+    if rollups is not None:
+        lines.extend(_render_rollups(rollups, namespace))
     return "\n".join(lines) + "\n"
 
 
+def _rollup_stat_value(summary: RollupSummary, stat: str) -> float:
+    """One exported statistic of a rollup summary as a float."""
+    if stat == "count":
+        return float(summary.count)
+    if stat == "sum":
+        return float(summary.sum)
+    return float(getattr(summary, stat))
+
+
+def _render_rollups(rollups: RollupRegistry, namespace: str) -> List[str]:
+    """Gauge families for every non-empty rollup summary.
+
+    Families are emitted base-major (sorted dotted base name), then per
+    statistic in :data:`ROLLUP_EXPORT_STATS` order; within a family the
+    samples follow the registry's sorted series order.
+    """
+    from repro.telemetry.labels import parse_labeled_name
+
+    series: Dict[str, List[Tuple[Dict[str, str], RollupSummary]]] = {}
+    bases: List[str] = []
+    for name in rollups.names():
+        summary = rollups.get(name)
+        if summary.count == 0:
+            continue
+        base, labels = parse_labeled_name(name)
+        if base not in series:
+            series[base] = []
+            bases.append(base)
+        series[base].append((labels, summary))
+
+    lines: List[str] = []
+    for base in bases:
+        for stat in ROLLUP_EXPORT_STATS:
+            exposed = prometheus_name(f"{base}.{stat}", namespace)
+            lines.append(f"# HELP {exposed} {base}.{stat}")
+            lines.append(f"# TYPE {exposed} gauge")
+            for labels, summary in series[base]:
+                block = _label_block(labels)
+                value = _rollup_stat_value(summary, stat)
+                lines.append(f"{exposed}{block} {_format_value(value)}")
+    return lines
+
+
 def write_prometheus(
-    registry: MetricsRegistry, path: str, namespace: str = DEFAULT_NAMESPACE
+    registry: MetricsRegistry,
+    path: str,
+    namespace: str = DEFAULT_NAMESPACE,
+    rollups: Optional[RollupRegistry] = None,
 ) -> None:
     """Atomically write the exposition to ``path`` (textfile-collector style).
 
@@ -103,7 +203,7 @@ def write_prometheus(
     scrapes mid-write would otherwise see a torn exposition.
     """
     store, name = ArtifactStore.locate(path)
-    store.write_text(name, render_prometheus(registry, namespace))
+    store.write_text(name, render_prometheus(registry, namespace, rollups=rollups))
 
 
 class MetricsJSONLSink:

@@ -21,23 +21,21 @@ from typing import Any, Dict, Optional
 from repro.errors import ConfigurationError
 from repro.monitor.hub import MonitorHub
 from repro.store.artifact import ArtifactStore
+from repro.telemetry.resources import current_rss_kb
+from repro.telemetry.rollup import RollupRegistry
 
-try:  # pragma: no cover - platform-dependent availability
-    import resource
-except ImportError:  # pragma: no cover - e.g. Windows
-    resource = None  # type: ignore[assignment]
+__all__ = ["SnapshotEmitter", "current_rss_kb", "heartbeat_path_for"]
 
 
-def current_rss_kb() -> Optional[int]:
-    """Peak resident set size in KiB, or ``None`` where unsupported."""
-    if resource is None:
-        return None
-    usage = resource.getrusage(resource.RUSAGE_SELF)
-    # ru_maxrss is KiB on Linux, bytes on macOS; normalise to KiB.
-    rss = int(usage.ru_maxrss)
-    if rss > 1 << 30:  # implausible as KiB -> must be bytes
-        rss //= 1024
-    return rss
+def heartbeat_path_for(artifact_path: str) -> str:
+    """Conventional heartbeat path next to a campaign artifact.
+
+    >>> heartbeat_path_for("campaign.json")
+    'campaign.heartbeat.jsonl'
+    """
+    if artifact_path.endswith(".json"):
+        return artifact_path[: -len(".json")] + ".heartbeat.jsonl"
+    return artifact_path + ".heartbeat.jsonl"
 
 
 class SnapshotEmitter:
@@ -56,6 +54,13 @@ class SnapshotEmitter:
     clock, cpu_clock:
         Injectable time sources (default ``time.perf_counter`` /
         ``time.process_time``), overridable for deterministic tests.
+    rollups:
+        Optional :class:`~repro.telemetry.rollup.RollupRegistry` whose
+        finalized per-scope statistics ride along in every heartbeat
+        (the ``repro status`` dashboard renders them live).
+    flight:
+        Optional :class:`~repro.telemetry.flight.FlightRecorder` that
+        receives a ``heartbeat`` event per emission.
     """
 
     def __init__(
@@ -65,6 +70,8 @@ class SnapshotEmitter:
         every: int = 1,
         clock=time.perf_counter,
         cpu_clock=time.process_time,
+        rollups: Optional[RollupRegistry] = None,
+        flight=None,
     ):
         if every < 1:
             raise ConfigurationError(f"every must be >= 1, got {every}")
@@ -73,6 +80,8 @@ class SnapshotEmitter:
         self._every = every
         self._clock = clock
         self._cpu_clock = cpu_clock
+        self._rollups = rollups
+        self._flight = flight
         self._wall_start = clock()
         self._cpu_start = cpu_clock()
         self._sequence = 0
@@ -107,7 +116,17 @@ class SnapshotEmitter:
             "rss_kb": current_rss_kb(),
             "alerts": self._hub.alert_count if self._hub is not None else None,
         }
+        if self._rollups is not None:
+            document["rollups"] = self._rollups.snapshot()
         store, name = ArtifactStore.locate(self._path)
         store.append_jsonl(name, document, sort_keys=True)
+        if self._flight is not None:
+            self._flight.record(
+                "heartbeat",
+                sequence=document["sequence"],
+                month=document["month"],
+                completed=completed,
+                total=total,
+            )
         self._sequence += 1
         return document

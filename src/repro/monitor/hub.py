@@ -20,17 +20,54 @@ attaching one to a campaign can never change the scientific result.
 from __future__ import annotations
 
 import logging
-from typing import Callable, Dict, Iterable, List, Optional
+import math
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.monitor.alerts import SEVERITIES, Alert, AlertRule, append_alert
 from repro.monitor.detectors import Detector
-from repro.telemetry import get_metrics
+from repro.telemetry import get_flight_recorder, get_metrics, get_rollups
+from repro.telemetry.labels import parse_labeled_name
 
 logger = logging.getLogger(__name__)
 
 #: Prefix of counter-rate series fed by :meth:`MonitorHub.poll_counters`.
 RATE_PREFIX = "rate:"
+
+#: Prefix of hierarchical rollup-bound rules fed by
+#: :meth:`MonitorHub.observe_rollups`.
+ROLLUP_PREFIX = "rollup:"
+
+#: Statistics a rollup rule may bind to.
+ROLLUP_RULE_STATS = ("count", "sum", "mean", "min", "max", "std", "variance", "p50", "p99")
+
+
+def parse_rollup_metric(metric: str) -> Tuple[str, str, str]:
+    """Split ``rollup:<base>.<stat>@<scope>`` into its three parts.
+
+    >>> parse_rollup_metric("rollup:wchd.p99@shard")
+    ('wchd', 'p99', 'shard')
+    >>> parse_rollup_metric("rollup:worker.rss_kb.max@worker")
+    ('worker.rss_kb', 'max', 'worker')
+    """
+    if not metric.startswith(ROLLUP_PREFIX):
+        raise ConfigurationError(f"not a rollup metric: {metric!r}")
+    body, sep, scope = metric[len(ROLLUP_PREFIX):].partition("@")
+    if not sep or not scope:
+        raise ConfigurationError(
+            f"rollup metric {metric!r} must name a scope: rollup:<base>.<stat>@<scope>"
+        )
+    base, sep, stat = body.rpartition(".")
+    if not sep or not base:
+        raise ConfigurationError(
+            f"rollup metric {metric!r} must name a statistic: rollup:<base>.<stat>@<scope>"
+        )
+    if stat not in ROLLUP_RULE_STATS:
+        raise ConfigurationError(
+            f"unknown rollup statistic {stat!r} in {metric!r}; "
+            f"expected one of {ROLLUP_RULE_STATS}"
+        )
+    return base, stat, scope
 
 _SEVERITY_LOG_LEVELS = {
     "info": logging.INFO,
@@ -80,6 +117,10 @@ class MonitorHub:
         clock: Optional[Callable[[], float]] = None,
     ):
         self._states: Dict[str, List[_RuleState]] = {}
+        self._rollup_rules: List[AlertRule] = []
+        self._rollup_states: Dict[Tuple[str, str], _RuleState] = {}
+        self._rollup_parsed: Dict[str, Tuple[str, str, str]] = {}
+        self._rollup_paths: Dict[Tuple[str, str], str] = {}
         self._rule_names: Dict[str, AlertRule] = {}
         self._alerts: List[Alert] = []
         self._alert_log = alert_log
@@ -97,9 +138,23 @@ class MonitorHub:
             self.add_rule(rule)
 
     def add_rule(self, rule: AlertRule) -> None:
-        """Install ``rule`` (names must be unique within the hub)."""
+        """Install ``rule`` (names must be unique within the hub).
+
+        Rules whose metric starts with ``rollup:`` bind hierarchically:
+        they are evaluated by :meth:`observe_rollups` against every
+        summary matching their scope, with one detector state per
+        concrete series (so a shard rule tracks each shard's own
+        hysteresis/cooldown independently).
+        """
         if rule.name in self._rule_names:
             raise ConfigurationError(f"duplicate rule name {rule.name!r}")
+        if rule.metric.startswith(ROLLUP_PREFIX):
+            # Validate eagerly and keep the parse — observe_rollups
+            # runs every poll and should not re-parse rule grammar.
+            self._rollup_parsed[rule.metric] = parse_rollup_metric(rule.metric)
+            self._rule_names[rule.name] = rule
+            self._rollup_rules.append(rule)
+            return
         self._rule_names[rule.name] = rule
         self._states.setdefault(rule.metric, []).append(_RuleState(rule))
 
@@ -140,20 +195,84 @@ class MonitorHub:
         self._observations.inc()
         emitted: List[Alert] = []
         for state in self._states.get(metric, ()):
-            decision = state.detector.update(value, index)
-            if state.cooldown_remaining > 0:
-                state.cooldown_remaining -= 1
-                continue
-            if not decision.triggered:
-                state.streak = 0
-                continue
-            state.streak += 1
-            if state.streak < state.rule.hysteresis:
-                continue
-            state.streak = 0
-            state.cooldown_remaining = state.rule.cooldown
-            emitted.append(self._emit(state.rule, decision, index))
+            emitted += self._advance(state, value, index, metric, "")
         return emitted
+
+    def _advance(
+        self, state: _RuleState, value: float, index: int, metric: str, path: str
+    ) -> List[Alert]:
+        """Run one observation through a rule state's hysteresis machine."""
+        decision = state.detector.update(value, index)
+        if state.cooldown_remaining > 0:
+            state.cooldown_remaining -= 1
+            return []
+        if not decision.triggered:
+            state.streak = 0
+            return []
+        state.streak += 1
+        if state.streak < state.rule.hysteresis:
+            return []
+        state.streak = 0
+        state.cooldown_remaining = state.rule.cooldown
+        return [self._emit(state.rule, decision, index, metric=metric, path=path)]
+
+    @property
+    def rollup_rule_count(self) -> int:
+        """Number of ``rollup:``-bound hierarchical rules on the hub."""
+        return len(self._rollup_rules)
+
+    @property
+    def rollup_series_count(self) -> int:
+        """Concrete (rule, series) detector states created by rollup rules.
+
+        This is the hub's hierarchical footprint: O(rules x shards),
+        independent of device count — the scaling property the 100k
+        fleet relies on.
+        """
+        return len(self._rollup_states)
+
+    def observe_rollups(self, rollups=None, index: int = 0) -> List[Alert]:
+        """Evaluate every ``rollup:``-bound rule against its scope's summaries.
+
+        ``rollups`` defaults to the process-global
+        :class:`~repro.telemetry.rollup.RollupRegistry`.  Matching
+        summaries are visited in canonical-name order and each concrete
+        series gets its own lazily created detector state, so the
+        alert stream is deterministic across execution paths.  Empty
+        summaries are skipped (their statistics are NaN, not signal).
+        """
+        if rollups is None:
+            rollups = get_rollups()
+        emitted: List[Alert] = []
+        for rule in self._rollup_rules:
+            base, stat, scope = self._rollup_parsed[rule.metric]
+            for name, summary in rollups.select(f"rollup.{base}", scope=scope):
+                if summary.count == 0:
+                    continue
+                value = summary.stat(stat)
+                if math.isnan(value):
+                    continue
+                key = (rule.name, name)
+                state = self._rollup_states.get(key)
+                if state is None:
+                    state = _RuleState(rule)
+                    self._rollup_states[key] = state
+                    self._rollup_paths[key] = self._drilldown_path(
+                        name, base, stat, scope
+                    )
+                self._observations.inc()
+                emitted += self._advance(
+                    state, value, index, rule.metric, self._rollup_paths[key]
+                )
+        return emitted
+
+    @staticmethod
+    def _drilldown_path(series_name: str, base: str, stat: str, scope: str) -> str:
+        """Human/machine-readable breach locator, e.g. ``shard=3/wchd.p99``."""
+        _, labels = parse_labeled_name(series_name)
+        parts = [f"{k}={v}" for k, v in sorted(labels.items()) if k != "scope"]
+        prefix = ",".join(parts) if parts else scope
+        return f"{prefix}/{base}.{stat}"
 
     def observe_evaluation(self, evaluation) -> List[Alert]:
         """Feed one monthly snapshot's derived quality series.
@@ -220,18 +339,31 @@ class MonitorHub:
         return emitted
 
     def reset(self) -> None:
-        """Drop emitted alerts and all detector/rule state."""
+        """Drop emitted alerts and all detector/rule state.
+
+        Rollup-bound series states are dropped outright (they are
+        lazily recreated on the next :meth:`observe_rollups` pass, in
+        the same deterministic order).
+        """
         self._alerts = []
         self._counter_baselines = {}
         self._poll_sequence = 0
+        self._rollup_states.clear()
         for states in self._states.values():
             for state in states:
                 state.reset()
 
-    def _emit(self, rule: AlertRule, decision, index: int) -> Alert:
+    def _emit(
+        self,
+        rule: AlertRule,
+        decision,
+        index: int,
+        metric: Optional[str] = None,
+        path: str = "",
+    ) -> Alert:
         alert = Alert(
             rule=rule.name,
-            metric=rule.metric,
+            metric=metric if metric is not None else rule.metric,
             severity=rule.severity,
             index=index,
             value=decision.value,
@@ -239,20 +371,30 @@ class MonitorHub:
             direction=decision.direction,
             detail=decision.detail,
             timestamp=self._clock() if self._clock is not None else None,
+            path=path,
         )
         self._alerts.append(alert)
         self._alert_counter.inc()
         self._severity_counters[rule.severity].inc()
         logger.log(
             _SEVERITY_LOG_LEVELS[rule.severity],
-            "alert [%s] %s at index %d: %s",
+            "alert [%s] %s at index %d%s: %s",
             rule.severity,
             rule.name,
             index,
+            f" ({path})" if path else "",
             decision.detail or f"value {decision.value:.6g}",
         )
         if self._alert_log is not None:
             append_alert(alert, self._alert_log)
+        get_flight_recorder().record(
+            "alert",
+            rule=rule.name,
+            severity=rule.severity,
+            index=index,
+            path=path,
+            value=decision.value,
+        )
         return alert
 
     def render_rule_table(self) -> str:

@@ -14,15 +14,39 @@ from repro.monitor.alerts import Alert
 from repro.monitor.hub import MonitorHub
 
 
-def replay_campaign(result, hub: MonitorHub) -> List[Alert]:
+def replay_campaign(
+    result, hub: MonitorHub, rollup_shards: Optional[int] = None
+) -> List[Alert]:
     """Feed every snapshot of a finished campaign through ``hub``.
 
     ``result`` is a :class:`~repro.analysis.campaign.CampaignResult`
     (duck-typed: anything with ``snapshots``).  Returns the alerts the
     replay emitted, in emission order.
+
+    When the hub carries hierarchical ``rollup:`` rules, shard rollups
+    are rebuilt from each snapshot's per-board statistics — exactly the
+    numbers a live monitored run aggregates — so replayed hierarchical
+    alert sequences match the live run's.  ``rollup_shards`` overrides
+    the shard count (default: one shard per 32 boards, at least one,
+    at most eight — the live campaign's auto choice).
     """
     emitted: List[Alert] = []
-    for snapshot in result.snapshots:
+    rebuild = hub.rollup_rule_count > 0 and len(result.snapshots) > 0
+    if rebuild:
+        from repro.exec.plan import rollup_shard_of
+        from repro.telemetry.rollup import evaluation_shard_docs, fold_rollup_docs
+        from repro.telemetry.runtime import get_rollups
+
+        fleet = len(result.snapshots[0].board_ids)
+        shards = rollup_shards if rollup_shards else min(8, fleet)
+        rollups = get_rollups()
+    for index, snapshot in enumerate(result.snapshots):
+        if rebuild:
+            docs = evaluation_shard_docs(
+                snapshot, lambda b: rollup_shard_of(b, fleet, shards)
+            )
+            fold_rollup_docs(rollups, docs)
+            emitted += hub.observe_rollups(index=index)
         emitted += hub.observe_evaluation(snapshot)
     return emitted
 

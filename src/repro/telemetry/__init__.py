@@ -17,6 +17,8 @@ Quick tour
 >>> set_tracing(False)
 """
 
+from repro.telemetry.flight import FlightRecorder, flight_record_path_for
+from repro.telemetry.labels import canonical_labels, labeled_name, parse_labeled_name
 from repro.telemetry.logconfig import init_logging, verbosity_to_level
 from repro.telemetry.manifest import MANIFEST_VERSION, RunManifest, manifest_path_for
 from repro.telemetry.metrics import (
@@ -26,10 +28,26 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.telemetry.resources import ResourceSampler, current_rss_kb
+from repro.telemetry.rollup import (
+    ROLLUP_STATS,
+    UNIT_BOUNDS,
+    WIDE_BOUNDS,
+    RollupRegistry,
+    RollupSummary,
+    ShardRollupBuilder,
+    combine_rollup_docs,
+    evaluation_shard_docs,
+    fold_rollup_docs,
+)
 from repro.telemetry.runtime import (
+    get_flight_recorder,
     get_metrics,
+    get_rollups,
     get_tracer,
     reset_telemetry,
+    rollups_enabled,
+    set_rollups_enabled,
     set_tracing,
     tracing_enabled,
 )
@@ -38,19 +56,39 @@ from repro.telemetry.tracing import NULL_SPAN, Span, Tracer
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MANIFEST_VERSION",
     "MetricsRegistry",
     "NULL_SPAN",
+    "ROLLUP_STATS",
+    "ResourceSampler",
+    "RollupRegistry",
+    "RollupSummary",
     "RunManifest",
+    "ShardRollupBuilder",
     "Span",
     "Tracer",
+    "UNIT_BOUNDS",
+    "WIDE_BOUNDS",
+    "canonical_labels",
+    "combine_rollup_docs",
+    "current_rss_kb",
+    "evaluation_shard_docs",
+    "flight_record_path_for",
+    "fold_rollup_docs",
+    "get_flight_recorder",
     "get_metrics",
+    "get_rollups",
     "get_tracer",
     "init_logging",
+    "labeled_name",
     "manifest_path_for",
+    "parse_labeled_name",
     "reset_telemetry",
+    "rollups_enabled",
+    "set_rollups_enabled",
     "set_tracing",
     "tracing_enabled",
     "verbosity_to_level",

@@ -1,0 +1,96 @@
+"""Crash flight recorder: a bounded ring of recent telemetry events.
+
+Long campaigns that die mid-flight (a worker raising
+``CampaignExecutionError``, an operator ``kill -9`` one process too
+wide) leave only whatever made it to disk.  The flight recorder keeps
+the last N events — month completions, alerts, heartbeats, counter
+deltas — in a bounded in-memory ring and dumps them atomically through
+:mod:`repro.store` when the campaign driver or CLI catches a crash, so
+postmortems start from the moments *before* the failure, not after.
+
+Events are plain dicts stamped with a monotonically increasing
+``seq``; once the ring is full the oldest events are dropped and the
+``dropped`` count in the dump records how much history was lost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: Default ring capacity — enough for hundreds of months of events
+#: while staying trivially small next to campaign state.
+DEFAULT_CAPACITY = 256
+
+
+def flight_record_path_for(artifact_path: str) -> str:
+    """Conventional flight-record path next to a campaign artifact.
+
+    >>> flight_record_path_for("campaign.json")
+    'campaign.flight.json'
+    """
+    if artifact_path.endswith(".json"):
+        return artifact_path[: -len(".json")] + ".flight.json"
+    return artifact_path + ".flight.json"
+
+
+class FlightRecorder:
+    """Bounded in-memory event ring with atomic crash dumps."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self._seq = 0
+        self._dropped = 0
+
+    def record(self, kind: str, **data: Any) -> None:
+        """Append one event (oldest events fall off past capacity)."""
+        if len(self._events) == self.capacity:
+            self._dropped += 1
+        event: Dict[str, Any] = {"seq": self._seq, "kind": kind}
+        event.update(data)
+        self._events.append(event)
+        self._seq += 1
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (including since-dropped ones)."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """Events lost off the back of the ring."""
+        return self._dropped
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def to_doc(self, reason: Optional[str] = None) -> Dict[str, Any]:
+        """The dump document: ring contents plus loss accounting."""
+        return {
+            "capacity": self.capacity,
+            "recorded": self._seq,
+            "dropped": self._dropped,
+            "reason": reason,
+            "events": self.events(),
+        }
+
+    def dump(self, path: str, reason: Optional[str] = None) -> Dict[str, Any]:
+        """Atomically write the dump document to ``path`` via the store."""
+        from repro.store.artifact import ArtifactStore
+
+        doc = self.to_doc(reason=reason)
+        store, name = ArtifactStore.locate(path)
+        store.write_json(name, doc, indent=2, sort_keys=True)
+        return doc
+
+    def reset(self) -> None:
+        """Clear the ring and all counters (used between campaigns/tests)."""
+        self._events.clear()
+        self._seq = 0
+        self._dropped = 0

@@ -1,0 +1,121 @@
+"""Canonical metric labels: validation, ordering and name rendering.
+
+Dimensional instruments (``campaign.powerups{shard=3}``) need one
+canonical spelling per label set, or the same logical series would
+register twice and snapshots would depend on call order.  This module
+pins the convention used across the registry, the rollup layer and the
+Prometheus exporter:
+
+* label keys and values are non-empty tokens drawn from
+  ``[A-Za-z0-9_.:+-]`` (no spaces, no ``{}=,`` — the name grammar's
+  own separators);
+* labels are rendered **sorted by key**: ``base{k1=v1,k2=v2}``;
+* an empty label set renders as the bare base name (never ``base{}``).
+
+The canonical name doubles as the registry key and the stable sort key
+of every snapshot, which is what keeps labeled snapshots byte-identical
+across execution paths (see ``docs/telemetry.md``).
+
+Examples
+--------
+>>> labeled_name("campaign.powerups", {"shard": 3, "scope": "shard"})
+'campaign.powerups{scope=shard,shard=3}'
+>>> parse_labeled_name("campaign.powerups{scope=shard,shard=3}")
+('campaign.powerups', {'scope': 'shard', 'shard': '3'})
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+#: Permitted characters of a label key or value.
+LABEL_TOKEN_RE = re.compile(r"^[A-Za-z0-9_.:+-]+$")
+
+LabelValue = Union[str, int, float, bool]
+Labels = Mapping[str, LabelValue]
+
+
+def _validate_token(kind: str, token: str) -> str:
+    """One validated label key or value (always returned as ``str``)."""
+    if not token or not LABEL_TOKEN_RE.match(token):
+        raise ConfigurationError(
+            f"invalid label {kind} {token!r}: must be a non-empty token of "
+            "[A-Za-z0-9_.:+-]"
+        )
+    return token
+
+
+def canonical_labels(labels: Optional[Labels]) -> Tuple[Tuple[str, str], ...]:
+    """Validate and sort a label mapping into its canonical tuple form.
+
+    Values are stringified (``3`` and ``"3"`` are the same label), then
+    both keys and values are validated against :data:`LABEL_TOKEN_RE`.
+    """
+    if not labels:
+        return ()
+    out = []
+    for key in sorted(labels):
+        out.append(
+            (_validate_token("key", str(key)), _validate_token("value", str(labels[key])))
+        )
+    return tuple(out)
+
+
+def labeled_name(base: str, labels: Optional[Labels] = None) -> str:
+    """The canonical registry name of ``base`` with ``labels`` attached.
+
+    >>> labeled_name("x.y")
+    'x.y'
+    >>> labeled_name("x.y", {"b": 2, "a": "1"})
+    'x.y{a=1,b=2}'
+    """
+    if not base:
+        raise ConfigurationError("metric base name cannot be empty")
+    if "{" in base or "}" in base:
+        raise ConfigurationError(
+            f"metric base name {base!r} may not contain braces; pass labels "
+            "separately"
+        )
+    pairs = canonical_labels(labels)
+    if not pairs:
+        return base
+    rendered = ",".join(f"{key}={value}" for key, value in pairs)
+    return f"{base}{{{rendered}}}"
+
+
+#: Parsed labeled names, memoized — registries re-parse the same bounded
+#: set of canonical names every poll.  Capped so adversarial name churn
+#: (tests, ad-hoc exporters) cannot grow it without bound.
+_PARSE_CACHE: Dict[str, Tuple[str, Dict[str, str]]] = {}
+_PARSE_CACHE_MAX = 4096
+
+
+def parse_labeled_name(name: str) -> Tuple[str, Dict[str, str]]:
+    """Split a canonical name back into ``(base, labels)``.
+
+    Accepts both bare and labeled spellings; raises on malformed label
+    blocks so registry corruption is loud, not silent.
+    """
+    if "{" not in name:
+        return name, {}
+    cached = _PARSE_CACHE.get(name)
+    if cached is not None:
+        # Copy the labels so callers may mutate their dict freely.
+        return cached[0], dict(cached[1])
+    if not name.endswith("}"):
+        raise ConfigurationError(f"malformed labeled metric name {name!r}")
+    base, _, block = name[:-1].partition("{")
+    labels: Dict[str, str] = {}
+    for pair in block.split(","):
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise ConfigurationError(
+                f"malformed label pair {pair!r} in metric name {name!r}"
+            )
+        labels[_validate_token("key", key)] = _validate_token("value", value)
+    if len(_PARSE_CACHE) < _PARSE_CACHE_MAX:
+        _PARSE_CACHE[name] = (base, dict(labels))
+    return base, labels

@@ -13,6 +13,16 @@ Naming convention: dotted ``subsystem.quantity`` names, e.g.
 ``campaign.powerups`` or ``keygen.decode_failures`` — see
 ``docs/telemetry.md`` for the full catalogue.
 
+Instruments may carry **labels** (``registry.counter("campaign.powerups",
+labels={"shard": 3})``): the registry key becomes the canonical labeled
+name (:func:`repro.telemetry.labels.labeled_name` — keys sorted, values
+stringified), so the same logical series always lands on the same
+instrument regardless of call order.  Cardinality is bounded: past
+:attr:`MetricsRegistry.max_label_sets` distinct label sets per base
+name the registry refuses new ones, keeping a 100k-device fleet from
+materializing 100k series in the parent process (per-device dimensions
+belong in :mod:`repro.telemetry.rollup` instead).
+
 Examples
 --------
 >>> registry = MetricsRegistry()
@@ -21,6 +31,9 @@ Examples
 16
 >>> registry.snapshot()["campaign.powerups"]["value"]
 16
+>>> registry.counter("campaign.powerups", labels={"shard": 0}).inc(7)
+>>> registry.snapshot()["campaign.powerups{shard=0}"]["value"]
+7
 """
 
 from __future__ import annotations
@@ -28,11 +41,30 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
+from repro.telemetry.labels import Labels, labeled_name, parse_labeled_name
 
 Number = Union[int, float]
 
 
-class Counter:
+class _LabeledNameMixin:
+    """Shared ``base_name``/``labels`` views of an instrument's name."""
+
+    __slots__ = ()
+
+    name: str
+
+    @property
+    def base_name(self) -> str:
+        """The name with any label block stripped."""
+        return parse_labeled_name(self.name)[0]
+
+    @property
+    def labels(self) -> Dict[str, str]:
+        """The instrument's labels (empty for unlabeled instruments)."""
+        return parse_labeled_name(self.name)[1]
+
+
+class Counter(_LabeledNameMixin):
     """A monotonically increasing count."""
 
     __slots__ = ("name", "_value")
@@ -65,7 +97,7 @@ class Counter:
         return f"Counter({self.name!r}, {self._value})"
 
 
-class Gauge:
+class Gauge(_LabeledNameMixin):
     """A value that can move both ways (fleet size, queue depth...)."""
 
     __slots__ = ("name", "_value")
@@ -103,7 +135,7 @@ class Gauge:
 DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
 
 
-class Histogram:
+class Histogram(_LabeledNameMixin):
     """Fixed-bucket histogram of observed values.
 
     Parameters
@@ -234,27 +266,52 @@ class MetricsRegistry:
     call registers the instrument (so it appears in snapshots even at
     zero), later calls return the same object.  Requesting an existing
     name as a different type is a bug and raises.
+
+    ``labels`` on any of the getters resolves to the canonical labeled
+    name (sorted keys — see :mod:`repro.telemetry.labels`); distinct
+    label sets per base name are capped at :attr:`max_label_sets` so a
+    mis-labeled hot path (e.g. a per-device label on a 100k fleet)
+    fails loudly instead of exhausting memory.
     """
 
-    def __init__(self):
+    #: Default bound on distinct label sets per base name.
+    DEFAULT_MAX_LABEL_SETS = 64
+
+    def __init__(self, max_label_sets: int = DEFAULT_MAX_LABEL_SETS):
+        if max_label_sets < 1:
+            raise ConfigurationError(
+                f"max_label_sets must be >= 1, got {max_label_sets}"
+            )
         self._instruments: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+        self._label_set_counts: Dict[str, int] = {}
+        self.max_label_sets = max_label_sets
 
-    def counter(self, name: str) -> Counter:
-        """Get or create the counter ``name``."""
-        return self._get_or_create(name, Counter)
+    def _resolve_name(self, name: str, labels: Optional[Labels]) -> str:
+        """Canonical registry key for ``name`` + ``labels``."""
+        if labels:
+            return labeled_name(name, labels)
+        return name
 
-    def gauge(self, name: str) -> Gauge:
-        """Get or create the gauge ``name``."""
-        return self._get_or_create(name, Gauge)
+    def counter(self, name: str, labels: Optional[Labels] = None) -> Counter:
+        """Get or create the counter ``name`` (optionally labeled)."""
+        return self._get_or_create(self._resolve_name(name, labels), Counter)
+
+    def gauge(self, name: str, labels: Optional[Labels] = None) -> Gauge:
+        """Get or create the gauge ``name`` (optionally labeled)."""
+        return self._get_or_create(self._resolve_name(name, labels), Gauge)
 
     def histogram(
-        self, name: str, buckets: Optional[Sequence[Number]] = None
+        self,
+        name: str,
+        buckets: Optional[Sequence[Number]] = None,
+        labels: Optional[Labels] = None,
     ) -> Histogram:
-        """Get or create the histogram ``name``.
+        """Get or create the histogram ``name`` (optionally labeled).
 
         ``buckets`` only applies on first creation; later callers get
         the existing instrument regardless.
         """
+        name = self._resolve_name(name, labels)
         existing = self._instruments.get(name)
         if existing is not None:
             if not isinstance(existing, Histogram):
@@ -262,9 +319,24 @@ class MetricsRegistry:
                     f"metric {name!r} is a {type(existing).__name__}, not a Histogram"
                 )
             return existing
+        self._check_cardinality(name)
         instrument = Histogram(name, buckets if buckets is not None else DEFAULT_BUCKETS)
         self._instruments[name] = instrument
         return instrument
+
+    def _check_cardinality(self, name: str) -> None:
+        """Refuse a new labeled instrument past the per-base bound."""
+        if "{" not in name:
+            return
+        base = parse_labeled_name(name)[0]
+        count = self._label_set_counts.get(base, 0)
+        if count >= self.max_label_sets:
+            raise ConfigurationError(
+                f"metric {base!r} exceeds the {self.max_label_sets} label-set "
+                "bound; high-cardinality dimensions belong in "
+                "repro.telemetry.rollup, not labeled instruments"
+            )
+        self._label_set_counts[base] = count + 1
 
     def _get_or_create(self, name: str, kind: type):
         existing = self._instruments.get(name)
@@ -277,6 +349,7 @@ class MetricsRegistry:
             return existing
         if not name:
             raise ConfigurationError("metric name cannot be empty")
+        self._check_cardinality(name)
         instrument = kind(name)
         self._instruments[name] = instrument
         return instrument

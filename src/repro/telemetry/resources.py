@@ -1,0 +1,54 @@
+"""Process resource sampling for worker telemetry.
+
+Worker processes sample their own resident set size and CPU/wall time
+around each month-window so pool behavior (memory growth, stragglers)
+is visible as rollups without attaching a profiler.  The functions live
+in the telemetry layer — below both ``repro.exec`` and
+``repro.monitor`` — so either side can import them without a cycle.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+try:  # pragma: no cover - platform-dependent availability
+    import resource
+except ImportError:  # pragma: no cover - e.g. Windows
+    resource = None  # type: ignore[assignment]
+
+
+def current_rss_kb() -> Optional[int]:
+    """Peak resident set size in KiB, or ``None`` where unsupported."""
+    if resource is None:
+        return None
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    # ru_maxrss is KiB on Linux, bytes on macOS; normalise to KiB.
+    rss = int(usage.ru_maxrss)
+    if rss > 1 << 30:  # implausible as KiB -> must be bytes
+        rss //= 1024
+    return rss
+
+
+class ResourceSampler:
+    """Wall/CPU/RSS deltas around a unit of work.
+
+    Usage: construct before the work, call :meth:`sample` after; the
+    returned dict is JSON-safe and feeds the ``rollup.worker.*``
+    resource rollups.
+    """
+
+    def __init__(self, clock=time.perf_counter, cpu_clock=time.process_time):
+        self._clock = clock
+        self._cpu_clock = cpu_clock
+        self._wall_start = clock()
+        self._cpu_start = cpu_clock()
+
+    def sample(self) -> Dict[str, float]:
+        """Elapsed wall/CPU seconds and current peak RSS in KiB."""
+        rss = current_rss_kb()
+        return {
+            "wall_s": self._clock() - self._wall_start,
+            "cpu_s": self._cpu_clock() - self._cpu_start,
+            "rss_kb": float(rss) if rss is not None else 0.0,
+        }

@@ -1,0 +1,542 @@
+"""Mergeable streaming rollup summaries for hierarchical observability.
+
+A 100k-device fleet cannot materialize one metric series per device in
+the parent process.  Instead, workers fold each device's per-month
+statistics into a small per-shard **rollup summary** and ship the
+summary through the existing counter-delta channel; the parent merges
+shard summaries associatively into fleet-level views.  The monitor
+layer then polls O(shards) rollups instead of O(devices) series.
+
+Bit-identity is the design constraint: serial and parallel campaigns
+must produce byte-identical artifacts, so the merge must be exact under
+*any* grouping of observations.  Floating-point accumulation is not
+associative, so :class:`RollupSummary` keeps its accumulators exact:
+
+* ``count`` — int;
+* ``sum`` and ``sumsq`` — dyadic rationals (an integer numerator over a
+  power-of-two denominator; every float is one, and dyadic addition is
+  exact and associative), exposed as :class:`fractions.Fraction`;
+* ``min``/``max`` — floats (min/max are associative as-is);
+* quantiles — a deterministic fixed-bin sketch: integer counts over a
+  pinned, monotonically increasing bound tuple.
+
+Derived statistics (mean, variance via M2, p50/p99) are *finalized*
+from the exact accumulators, so every merge grouping yields the same
+float down to the last bit.  Population variance matches
+``numpy.var(values)`` (``ddof=0``) exactly for streams of floats.
+
+Examples
+--------
+>>> a = RollupSummary(bounds=UNIT_BOUNDS)
+>>> b = RollupSummary(bounds=UNIT_BOUNDS)
+>>> for v in (0.1, 0.2, 0.3):
+...     a.observe(v)
+>>> for v in (0.4, 0.5):
+...     b.observe(v)
+>>> merged = RollupSummary(bounds=UNIT_BOUNDS)
+>>> merged.merge(a)
+>>> merged.merge(b)
+>>> merged.count, round(merged.mean, 12)
+(5, 0.3)
+"""
+
+from __future__ import annotations
+
+import math
+import operator
+from bisect import bisect_left
+from fractions import Fraction
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.telemetry.labels import Labels, labeled_name, parse_labeled_name
+
+#: Quality statistics live in [0, 1]; 128 uniform bins give ~0.8%
+#: quantile resolution, plenty for alerting thresholds.
+UNIT_BOUNDS: Tuple[float, ...] = tuple(i / 128 for i in range(1, 129))
+
+#: Resource telemetry (KiB of RSS, seconds of wall/CPU) spans decades;
+#: log-spaced bounds from 1e-3 to 1e7 at 8 bins per decade.
+WIDE_BOUNDS: Tuple[float, ...] = tuple(10 ** (k / 8) for k in range(-24, 57))
+
+#: Per-board scalar statistics rolled up each month, in the order they
+#: appear on :class:`repro.analysis.monthly.BoardMonthMetrics`.
+ROLLUP_STATS: Tuple[str, ...] = ("wchd", "fhw", "stable_ratio", "noise_entropy")
+
+
+#: Already-validated bound tuples, interned so the strictly-increasing
+#: check runs once per distinct tuple, not once per summary (hot path:
+#: every ``from_doc`` during a month's merge builds summaries).
+_BOUNDS_CACHE: Dict[Tuple[float, ...], Tuple[float, ...]] = {}
+
+
+def _validate_bounds(bounds: Sequence[float]) -> Tuple[float, ...]:
+    """Pin and validate a sketch bound tuple (strictly increasing)."""
+    key = bounds if type(bounds) is tuple else tuple(bounds)
+    cached = _BOUNDS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    out = tuple(float(b) for b in key)
+    cached = _BOUNDS_CACHE.get(out)
+    if cached is not None:
+        _BOUNDS_CACHE[key] = cached
+        return cached
+    if not out:
+        raise ConfigurationError("rollup sketch needs at least one bound")
+    for lo, hi in zip(out, out[1:]):
+        if not lo < hi:
+            raise ConfigurationError(
+                f"rollup sketch bounds must be strictly increasing, got {lo} >= {hi}"
+            )
+    _BOUNDS_CACHE[out] = out
+    return out
+
+
+def _shift_pair(numerator: int, denominator: int) -> Tuple[int, int]:
+    """Decompose ``numerator / denominator`` into a ``(n, s)`` dyadic pair.
+
+    Observations are Python floats, so every exact accumulator in this
+    module is a **dyadic rational**: an integer numerator over a
+    power-of-two denominator (``float.as_integer_ratio`` guarantees
+    this).  ``(n, s)`` encodes ``n / 2**s``; adding two such pairs is a
+    bit-shift plus an integer add — far cheaper than ``Fraction``
+    arithmetic, and exactly as associative.
+    """
+    if denominator <= 0 or denominator & (denominator - 1):
+        raise ConfigurationError(
+            "rollup accumulators are dyadic rationals; denominator "
+            f"{denominator} is not a power of two"
+        )
+    return numerator, denominator.bit_length() - 1
+
+
+def _shift_add(n_a: int, s_a: int, n_b: int, s_b: int) -> Tuple[int, int]:
+    """Exactly add two dyadic pairs ``n/2**s`` (associative, commutative)."""
+    if s_a >= s_b:
+        return n_a + (n_b << (s_a - s_b)), s_a
+    return (n_a << (s_b - s_a)) + n_b, s_b
+
+
+class RollupSummary:
+    """One mergeable summary: exact moments plus a fixed-bin sketch.
+
+    Accumulators are exact — integer counts plus dyadic-rational sums
+    (integer numerator over a power-of-two exponent, see
+    :func:`_shift_pair`) — so ``merge`` is associative and commutative
+    and finalized statistics are bit-identical under any grouping of
+    the same observations.  :attr:`sum` and :attr:`sumsq` expose the
+    accumulators as :class:`fractions.Fraction` for finalization.
+    """
+
+    __slots__ = (
+        "bounds",
+        "count",
+        "_sum_n",
+        "_sum_s",
+        "_sq_n",
+        "_sq_s",
+        "min",
+        "max",
+        "bin_counts",
+    )
+
+    def __init__(self, bounds: Sequence[float] = UNIT_BOUNDS):
+        self.bounds = _validate_bounds(bounds)
+        self.count: int = 0
+        self._sum_n: int = 0
+        self._sum_s: int = 0
+        self._sq_n: int = 0
+        self._sq_s: int = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.bin_counts: List[int] = [0] * (len(self.bounds) + 1)
+
+    @property
+    def sum(self) -> Fraction:
+        """Exact sum of all observations, as a :class:`Fraction`."""
+        return Fraction(self._sum_n, 1 << self._sum_s)
+
+    @property
+    def sumsq(self) -> Fraction:
+        """Exact sum of squared observations, as a :class:`Fraction`."""
+        return Fraction(self._sq_n, 1 << self._sq_s)
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        value = float(value)
+        n, d = value.as_integer_ratio()
+        s = d.bit_length() - 1
+        self.count += 1
+        self._sum_n, self._sum_s = _shift_add(self._sum_n, self._sum_s, n, s)
+        self._sq_n, self._sq_s = _shift_add(self._sq_n, self._sq_s, n * n, 2 * s)
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.bin_counts[bisect_left(self.bounds, value)] += 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Fold a stream of observations into the summary."""
+        for value in values:
+            self.observe(value)
+
+    def merge(self, other: "RollupSummary") -> None:
+        """Fold ``other`` into this summary (exact, associative)."""
+        if other.bounds != self.bounds:
+            raise ConfigurationError(
+                "cannot merge rollup summaries with different sketch bounds"
+            )
+        self.count += other.count
+        self._sum_n, self._sum_s = _shift_add(
+            self._sum_n, self._sum_s, other._sum_n, other._sum_s
+        )
+        self._sq_n, self._sq_s = _shift_add(
+            self._sq_n, self._sq_s, other._sq_n, other._sq_s
+        )
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        self.bin_counts[:] = map(operator.add, self.bin_counts, other.bin_counts)
+
+    # -- finalized statistics -------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Exact mean, finalized to a float (NaN when empty)."""
+        if self.count == 0:
+            return math.nan
+        return float(self.sum / self.count)
+
+    @property
+    def m2(self) -> float:
+        """Sum of squared deviations from the mean (Welford's M2), exact."""
+        if self.count == 0:
+            return math.nan
+        return float(self.sumsq - self.sum * self.sum / self.count)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (``ddof=0``, matches ``numpy.var``)."""
+        if self.count == 0:
+            return math.nan
+        return float((self.sumsq - self.sum * self.sum / self.count) / self.count)
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation."""
+        if self.count == 0:
+            return math.nan
+        return math.sqrt(max(0.0, self.variance))
+
+    def quantile(self, q: float) -> float:
+        """Sketch quantile: the upper bound of the bin holding rank ``q``.
+
+        Deterministic by construction — the answer depends only on the
+        pinned bounds and the integer bin counts, never on observation
+        order.  Returns NaN when empty; the overflow bin reports the
+        exact maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for i, n in enumerate(self.bin_counts):
+            seen += n
+            if seen >= rank:
+                if i >= len(self.bounds):
+                    return float(self.max)
+                return min(self.bounds[i], float(self.max))
+        return float(self.max)
+
+    @property
+    def p50(self) -> float:
+        """Median estimate from the sketch."""
+        return self.quantile(0.5)
+
+    @property
+    def p99(self) -> float:
+        """99th-percentile estimate from the sketch."""
+        return self.quantile(0.99)
+
+    def stat(self, name: str) -> float:
+        """Look up a finalized statistic by name (for detector binding)."""
+        if name == "count":
+            return float(self.count)
+        if name == "sum":
+            return math.nan if self.count == 0 else float(self.sum)
+        if name in ("mean", "m2", "variance", "std", "p50", "p99"):
+            return getattr(self, name)
+        if name == "min":
+            return math.nan if self.min is None else self.min
+        if name == "max":
+            return math.nan if self.max is None else self.max
+        raise ConfigurationError(f"unknown rollup statistic {name!r}")
+
+    # -- wire form ------------------------------------------------------------
+
+    def copy(self) -> "RollupSummary":
+        """An independent deep copy (exact accumulators are immutable)."""
+        clone = RollupSummary.__new__(RollupSummary)
+        clone.bounds = self.bounds
+        clone.count = self.count
+        clone._sum_n = self._sum_n
+        clone._sum_s = self._sum_s
+        clone._sq_n = self._sq_n
+        clone._sq_s = self._sq_s
+        clone.min = self.min
+        clone.max = self.max
+        clone.bin_counts = list(self.bin_counts)
+        return clone
+
+    def to_doc(self) -> Dict[str, object]:
+        """JSON-safe document form (Fractions as numerator/denominator)."""
+        return {
+            "count": self.count,
+            "sum_n": self.sum.numerator,
+            "sum_d": self.sum.denominator,
+            "sq_n": self.sumsq.numerator,
+            "sq_d": self.sumsq.denominator,
+            "min": self.min,
+            "max": self.max,
+            "bin_counts": list(self.bin_counts),
+            "bounds": list(self.bounds),
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Mapping[str, object]) -> "RollupSummary":
+        """Rebuild a summary from :meth:`to_doc` output (exact)."""
+        summary = cls(bounds=doc["bounds"])  # type: ignore[arg-type]
+        summary.count = int(doc["count"])  # type: ignore[arg-type]
+        summary._sum_n, summary._sum_s = _shift_pair(
+            int(doc["sum_n"]), int(doc["sum_d"])  # type: ignore[arg-type]
+        )
+        summary._sq_n, summary._sq_s = _shift_pair(
+            int(doc["sq_n"]), int(doc["sq_d"])  # type: ignore[arg-type]
+        )
+        summary.min = None if doc["min"] is None else float(doc["min"])  # type: ignore[arg-type]
+        summary.max = None if doc["max"] is None else float(doc["max"])  # type: ignore[arg-type]
+        counts = list(map(int, doc["bin_counts"]))  # type: ignore[call-overload]
+        if len(counts) != len(summary.bin_counts):
+            raise ConfigurationError("rollup document bin_counts length mismatch")
+        summary.bin_counts = counts
+        return summary
+
+    def snapshot(self) -> Dict[str, float]:
+        """Finalized statistics as a plain dict (for heartbeats/status)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": math.nan if self.min is None else self.min,
+            "max": math.nan if self.max is None else self.max,
+            "std": self.std,
+            "p50": self.p50,
+            "p99": self.p99,
+        }
+
+
+class RollupRegistry:
+    """Named rollup summaries, keyed by canonical labeled name.
+
+    Names follow the metric convention (``rollup.wchd{scope=shard,shard=3}``)
+    so snapshots sort deterministically and the Prometheus exporter can
+    reuse the label grammar.
+    """
+
+    def __init__(self):
+        self._summaries: Dict[str, RollupSummary] = {}
+        self._sorted_names: Optional[List[str]] = None
+
+    def summary(
+        self,
+        base: str,
+        labels: Optional[Labels] = None,
+        bounds: Sequence[float] = UNIT_BOUNDS,
+    ) -> RollupSummary:
+        """Get or create the summary for ``base`` + ``labels``.
+
+        ``bounds`` applies on first creation only; later callers get the
+        existing summary regardless.
+        """
+        return self.summary_named(labeled_name(base, labels), bounds)
+
+    def summary_named(
+        self, name: str, bounds: Sequence[float] = UNIT_BOUNDS
+    ) -> RollupSummary:
+        """Get or create the summary under already-canonical ``name``.
+
+        The hot ingestion path (folding per-shard documents whose keys
+        are canonical by construction) uses this to skip re-rendering
+        the label block every month.
+        """
+        existing = self._summaries.get(name)
+        if existing is not None:
+            return existing
+        summary = RollupSummary(bounds=bounds)
+        self._summaries[name] = summary
+        self._sorted_names = None
+        return summary
+
+    def get(self, name: str) -> Optional[RollupSummary]:
+        """The summary registered under canonical ``name``, if any."""
+        return self._summaries.get(name)
+
+    def names(self) -> List[str]:
+        """All registered canonical names, sorted (cached between inserts)."""
+        if self._sorted_names is None:
+            self._sorted_names = sorted(self._summaries)
+        return list(self._sorted_names)
+
+    def select(self, base: str, **labels: object) -> List[Tuple[str, RollupSummary]]:
+        """Summaries whose base name matches and whose labels include ``labels``.
+
+        Returned sorted by canonical name, so iteration order is
+        deterministic across processes and execution paths.
+        """
+        want = {key: str(value) for key, value in labels.items()}
+        prefix = base + "{"
+        out = []
+        for name in self.names():
+            if name != base and not name.startswith(prefix):
+                continue
+            _, got_labels = parse_labeled_name(name)
+            if any(got_labels.get(k) != v for k, v in want.items()):
+                continue
+            out.append((name, self._summaries[name]))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._summaries)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Finalized statistics of every summary, keyed by sorted name."""
+        return {name: self._summaries[name].snapshot() for name in self.names()}
+
+    def reset(self) -> None:
+        """Drop every summary (used between campaigns/tests)."""
+        self._summaries.clear()
+        self._sorted_names = None
+
+
+# -- shared ingestion pipeline ------------------------------------------------
+#
+# Workers, the sharded parent path, the serial path and checkpoint-resume
+# replay all feed rollups through the same three functions below, which is
+# what makes every execution path produce bit-identical registries.
+
+
+#: Memoized document keys — ``rollup_doc_name`` runs once per board per
+#: statistic per month, and the label rendering dominates its cost.
+_DOC_NAME_CACHE: Dict[Tuple[str, int], str] = {}
+
+
+def rollup_doc_name(stat: str, shard: int) -> str:
+    """Canonical document key for one shard-scope statistic."""
+    key = (stat, shard)
+    name = _DOC_NAME_CACHE.get(key)
+    if name is None:
+        name = labeled_name(f"rollup.{stat}", {"scope": "shard", "shard": shard})
+        _DOC_NAME_CACHE[key] = name
+    return name
+
+
+class ShardRollupBuilder:
+    """Worker-side accumulator of per-month shard rollup documents.
+
+    ``shard_of`` maps a board id to its *logical* rollup shard — a
+    partition independent of how many executor workers happen to run, so
+    shard-scoped series are identical across worker counts.
+    """
+
+    def __init__(self, shard_of: Callable[[int], int]):
+        self._shard_of = shard_of
+        self._summaries: Dict[str, RollupSummary] = {}
+
+    def observe_board(self, board_id: int, stats: Mapping[str, float]) -> None:
+        """Fold one board-month's named statistics into its shard summaries."""
+        shard = self._shard_of(board_id)
+        for stat in ROLLUP_STATS:
+            key = rollup_doc_name(stat, shard)
+            summary = self._summaries.get(key)
+            if summary is None:
+                summary = RollupSummary(bounds=UNIT_BOUNDS)
+                self._summaries[key] = summary
+            summary.observe(float(stats[stat]))
+
+    def take(self) -> Dict[str, dict]:
+        """Drain the month's partial documents (keyed by canonical name)."""
+        docs = {name: self._summaries[name].to_doc() for name in sorted(self._summaries)}
+        self._summaries.clear()
+        return docs
+
+
+def evaluation_shard_docs(evaluation, shard_of: Callable[[int], int]) -> Dict[str, dict]:
+    """Shard rollup documents for one assembled :class:`MonthlyEvaluation`.
+
+    Produces bit-identical documents to the worker-side
+    :class:`ShardRollupBuilder` because ``assemble_evaluation`` stores
+    each board's scalar statistics verbatim in its arrays.
+    """
+    builder = ShardRollupBuilder(shard_of)
+    for i, board_id in enumerate(evaluation.board_ids):
+        builder.observe_board(
+            int(board_id),
+            {stat: float(getattr(evaluation, stat)[i]) for stat in ROLLUP_STATS},
+        )
+    return builder.take()
+
+
+def combine_rollup_docs(doc_maps: Sequence[Mapping[str, dict]]) -> Dict[str, dict]:
+    """Exactly merge partial document maps from several workers.
+
+    Multiple executor shards may contribute observations to the same
+    logical rollup shard; because the merge is exact, the combined
+    documents are independent of how many workers produced the partials.
+    """
+    merged: Dict[str, RollupSummary] = {}
+    for doc_map in doc_maps:
+        for name in sorted(doc_map):
+            partial = RollupSummary.from_doc(doc_map[name])
+            existing = merged.get(name)
+            if existing is None:
+                merged[name] = partial
+            else:
+                existing.merge(partial)
+    return {name: merged[name].to_doc() for name in sorted(merged)}
+
+
+def fold_rollup_docs(registry: RollupRegistry, docs: Mapping[str, dict], metrics=None) -> None:
+    """Fold one month's shard documents into ``registry`` and derive fleet scope.
+
+    Every execution path (serial, sharded, windowed, resume replay)
+    calls this with identical documents in identical order, which keeps
+    the registry — and the ``rollup.*`` counters it increments — byte
+    identical across paths.  ``metrics`` defaults to the global
+    registry; pass ``None``-like explicitly only in tests.
+    """
+    if metrics is None:
+        from repro.telemetry.runtime import get_metrics
+
+        metrics = get_metrics()
+    observations = 0
+    fleet_partials: Dict[str, RollupSummary] = {}
+    for name in sorted(docs):
+        partial = RollupSummary.from_doc(docs[name])
+        base, labels = parse_labeled_name(name)
+        target = registry.summary_named(name, bounds=partial.bounds)
+        target.merge(partial)
+        if labels.get("scope") == "shard":
+            observations += partial.count
+            fleet = fleet_partials.get(base)
+            if fleet is None:
+                fleet_partials[base] = partial.copy()
+            else:
+                fleet.merge(partial)
+    for base in sorted(fleet_partials):
+        partial = fleet_partials[base]
+        target = registry.summary(base, {"scope": "fleet"}, bounds=partial.bounds)
+        target.merge(partial)
+    metrics.counter("rollup.updates").inc()
+    metrics.counter("rollup.observations").inc(observations)

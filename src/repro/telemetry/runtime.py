@@ -20,11 +20,16 @@ can never change a simulation's scientific output.
 
 from __future__ import annotations
 
+from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.rollup import RollupRegistry
 from repro.telemetry.tracing import Tracer
 
 _tracer = Tracer(enabled=False)
 _metrics = MetricsRegistry()
+_rollups = RollupRegistry()
+_flight = FlightRecorder()
+_rollups_enabled = True
 
 
 def get_tracer() -> Tracer:
@@ -35,6 +40,31 @@ def get_tracer() -> Tracer:
 def get_metrics() -> MetricsRegistry:
     """The process-global metrics registry."""
     return _metrics
+
+
+def get_rollups() -> RollupRegistry:
+    """The process-global rollup registry."""
+    return _rollups
+
+
+def get_flight_recorder() -> FlightRecorder:
+    """The process-global crash flight recorder."""
+    return _flight
+
+
+def set_rollups_enabled(enabled: bool) -> None:
+    """Globally enable/disable rollup ingestion (benchmark toggle).
+
+    Rollups never touch a random stream, so toggling them cannot
+    change scientific output — only whether summaries accumulate.
+    """
+    global _rollups_enabled
+    _rollups_enabled = bool(enabled)
+
+
+def rollups_enabled() -> bool:
+    """Whether campaign paths feed the rollup registry."""
+    return _rollups_enabled
 
 
 def set_tracing(enabled: bool) -> None:
@@ -52,6 +82,12 @@ def reset_telemetry() -> None:
 
     Metric instrument identities survive (values reset in place), so
     modules that cached a counter keep counting into the same object.
+    Rollup summaries and the flight recorder are dropped outright, and
+    rollup ingestion is re-enabled.
     """
+    global _rollups_enabled
     _tracer.reset()
     _metrics.reset()
+    _rollups.reset()
+    _flight.reset()
+    _rollups_enabled = True

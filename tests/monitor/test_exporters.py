@@ -7,6 +7,7 @@ import pytest
 
 from repro.monitor.exporters import (
     PROMETHEUS_CONTENT_TYPE,
+    ROLLUP_EXPORT_STATS,
     MetricsJSONLSink,
     prometheus_name,
     render_prometheus,
@@ -14,6 +15,7 @@ from repro.monitor.exporters import (
     write_prometheus,
 )
 from repro.telemetry import MetricsRegistry
+from repro.telemetry.rollup import RollupRegistry, UNIT_BOUNDS
 
 GOLDEN = os.path.join(os.path.dirname(__file__), "golden_prometheus.txt")
 
@@ -70,6 +72,99 @@ class TestPrometheus:
 
     def test_empty_registry_renders_empty(self):
         assert render_prometheus(MetricsRegistry()) == "\n"
+
+
+class TestLabeledFamilies:
+    def labeled_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("campaign.powerups").inc(8)
+        registry.counter("campaign.powerups", labels={"shard": 1}).inc(5)
+        registry.counter("campaign.powerups", labels={"shard": 0}).inc(3)
+        return registry
+
+    def test_one_header_per_family(self):
+        rendered = render_prometheus(self.labeled_registry())
+        assert rendered.count("# HELP repro_campaign_powerups_total") == 1
+        assert rendered.count("# TYPE repro_campaign_powerups_total counter") == 1
+
+    def test_label_sets_render_sorted_without_spaces(self):
+        rendered = render_prometheus(self.labeled_registry())
+        assert 'repro_campaign_powerups_total{shard="0"} 3' in rendered
+        assert 'repro_campaign_powerups_total{shard="1"} 5' in rendered
+        # Samples stay two space-separated tokens: no spaces inside a
+        # label block, ever.
+        for line in rendered.strip().splitlines():
+            assert line.startswith("#") or len(line.split(" ")) == 2, line
+
+    def test_multi_label_canonical_order(self):
+        registry = MetricsRegistry()
+        registry.gauge("fleet.health", labels={"shard": 2, "board": "b9"}).set(1)
+        rendered = render_prometheus(registry)
+        assert 'repro_fleet_health{board="b9",shard="2"} 1' in rendered
+
+    def test_label_values_are_escaped(self):
+        from repro.monitor.exporters import _escape_label_value
+
+        assert _escape_label_value('a"b') == 'a\\"b'
+        assert _escape_label_value("a\\b") == "a\\\\b"
+        assert _escape_label_value("a\nb") == "a\\nb"
+
+    def test_labeled_histogram_merges_le_label(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat.s", buckets=[1.0], labels={"w": "a"}).observe(0.5)
+        rendered = render_prometheus(registry)
+        assert 'repro_lat_s_bucket{le="1",w="a"} 1' in rendered
+        assert 'repro_lat_s_bucket{le="+Inf",w="a"} 1' in rendered
+        assert 'repro_lat_s_sum{w="a"} 0.5' in rendered
+        assert 'repro_lat_s_count{w="a"} 1' in rendered
+
+    def test_unlabeled_rendering_unchanged(self):
+        """The historical exposition (and golden file) is untouched."""
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            assert render_prometheus(reference_registry()) == handle.read()
+
+
+class TestRollupExport:
+    def rollups(self) -> RollupRegistry:
+        registry = RollupRegistry()
+        shard = registry.summary(
+            "rollup.wchd", {"scope": "shard", "shard": 3}, UNIT_BOUNDS
+        )
+        shard.observe(0.01)
+        shard.observe(0.03)
+        fleet = registry.summary("rollup.wchd", {"scope": "fleet"}, UNIT_BOUNDS)
+        fleet.observe(0.01)
+        fleet.observe(0.03)
+        registry.summary("rollup.fhw", {"scope": "fleet"}, UNIT_BOUNDS)  # empty
+        return registry
+
+    def test_each_statistic_is_a_gauge_family(self):
+        rendered = render_prometheus(MetricsRegistry(), rollups=self.rollups())
+        for stat in ROLLUP_EXPORT_STATS:
+            assert f"# TYPE repro_rollup_wchd_{stat} gauge" in rendered
+
+    def test_samples_carry_scope_labels(self):
+        rendered = render_prometheus(MetricsRegistry(), rollups=self.rollups())
+        assert 'repro_rollup_wchd_count{scope="fleet"} 2' in rendered
+        assert 'repro_rollup_wchd_count{scope="shard",shard="3"} 2' in rendered
+        assert 'repro_rollup_wchd_max{scope="shard",shard="3"} 0.03' in rendered
+
+    def test_empty_summaries_are_skipped(self):
+        rendered = render_prometheus(MetricsRegistry(), rollups=self.rollups())
+        assert "repro_rollup_fhw" not in rendered
+
+    def test_rollup_lines_keep_the_two_token_contract(self):
+        rendered = render_prometheus(MetricsRegistry(), rollups=self.rollups())
+        for line in rendered.strip().splitlines():
+            assert line.startswith("#") or len(line.split(" ")) == 2, line
+
+    def test_write_prometheus_with_rollups(self, tmp_path):
+        path = str(tmp_path / "metrics.prom")
+        write_prometheus(reference_registry(), path, rollups=self.rollups())
+        with open(path, "r", encoding="utf-8") as handle:
+            assert handle.read() == render_prometheus(
+                reference_registry(), rollups=self.rollups()
+            )
 
 
 class TestJSONLSink:

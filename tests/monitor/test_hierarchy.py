@@ -1,0 +1,159 @@
+"""The hierarchical observability acceptance gate.
+
+The ISSUE's bar: a 256-board campaign sharded 8 ways must produce
+parent rollups **bit-identical** to the serial run, the hub must poll
+O(shards) rollup series (not O(boards)), and a shard-scoped rule breach
+must land in the JSONL alert log with a drill-down path naming the
+breaching shard.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.campaign import LongTermCampaign
+from repro.errors import ConfigurationError
+from repro.exec.executor import ParallelExecutor
+from repro.monitor.alerts import AlertRule
+from repro.monitor.defaults import hierarchical_ruleset
+from repro.monitor.detectors import StaticThresholdDetector
+from repro.monitor.hub import MonitorHub, parse_rollup_metric
+from repro.sram.profiles import ATMEGA32U4
+from repro.telemetry import get_metrics, get_rollups, reset_telemetry
+
+#: 256 boards on a shrunk profile: the fleet scale the gate demands,
+#: at test-suite speed.
+TINY = ATMEGA32U4.with_overrides(sram_bytes=64, read_bytes=32)
+FLEET = 256
+SHARDS = 8
+MONTHS = 2
+SEED = 21
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    reset_telemetry()
+    yield
+    reset_telemetry()
+
+
+def run_fleet(workers: int, hub=None):
+    """One 256-board campaign at the given worker count."""
+    reset_telemetry()
+    campaign = LongTermCampaign(
+        device_count=FLEET,
+        months=MONTHS,
+        measurements=24,
+        profile=TINY,
+        statistical=True,
+        random_state=SEED,
+        rollup_shards=SHARDS,
+    )
+    executor = ParallelExecutor(max_workers=workers) if workers > 1 else None
+    result = campaign.run(executor=executor, monitor=hub)
+    rollups = get_rollups()
+    docs = {
+        name: rollups.get(name).to_doc()
+        for name in rollups.names()
+        if not name.startswith("rollup.worker")
+    }
+    metrics = {
+        name: doc
+        for name, doc in get_metrics().snapshot().items()
+        if not name.startswith("rollup.worker")
+    }
+    return result, docs, metrics
+
+
+class TestHierarchicalGate:
+    def test_parent_rollups_bit_identical_serial_vs_8_way(self):
+        _, serial_docs, serial_metrics = run_fleet(workers=1)
+        _, parallel_docs, parallel_metrics = run_fleet(workers=8)
+        # Exact documents — Fraction numerators/denominators and bin
+        # counts included — not approximate statistics.
+        assert serial_docs == parallel_docs
+        assert serial_metrics == parallel_metrics
+
+    def test_hub_polls_o_shards_not_o_boards(self):
+        hub = MonitorHub(hierarchical_ruleset())
+        run_fleet(workers=8, hub=hub)
+        rollups = get_rollups()
+        scoped = [n for n in rollups.names() if not n.startswith("rollup.worker")]
+        # 4 statistics x (8 shard scopes + 1 fleet scope): independent
+        # of the 256-board fleet size.
+        assert len(scoped) == 4 * (SHARDS + 1)
+        # Detector states: shard rules see SHARDS series, fleet rules 1.
+        shard_rules = sum(
+            1
+            for rule in hierarchical_ruleset()
+            if parse_rollup_metric(rule.metric)[2] == "shard"
+        )
+        fleet_rules = len(hierarchical_ruleset()) - shard_rules
+        assert hub.rollup_rule_count == len(hierarchical_ruleset())
+        assert (
+            hub.rollup_series_count == shard_rules * SHARDS + fleet_rules
+        ), "hub state must scale with shards, not boards"
+
+    def test_shard_breach_carries_drilldown_path(self, tmp_path):
+        alert_log = str(tmp_path / "alerts.jsonl")
+        # A threshold below the simulated WCHD makes every shard breach;
+        # the drill-down path must name the concrete shard.
+        tripwire = AlertRule(
+            name="shard-wchd-tripwire",
+            metric="rollup:wchd.p99@shard",
+            detector_factory=lambda: StaticThresholdDetector(upper=0.0),
+            severity="warning",
+            hysteresis=1,
+            cooldown=MONTHS + 1,
+        )
+        hub = MonitorHub([tripwire], alert_log=alert_log)
+        run_fleet(workers=8, hub=hub)
+
+        assert hub.alert_count == SHARDS  # one breach per shard (cooldown caps)
+        paths = sorted(alert.path for alert in hub.alerts)
+        assert paths == [f"shard={i}/wchd.p99" for i in range(SHARDS)]
+        with open(alert_log, "r", encoding="utf-8") as handle:
+            logged = [json.loads(line) for line in handle if line.strip()]
+        assert sorted(doc["path"] for doc in logged) == paths
+        assert all(doc["rule"] == "shard-wchd-tripwire" for doc in logged)
+
+    def test_alert_sequence_identical_across_worker_counts(self, tmp_path):
+        def monitored(workers: int) -> list:
+            log = str(tmp_path / f"alerts-{workers}.jsonl")
+            hub = MonitorHub(hierarchical_ruleset(), alert_log=log)
+            run_fleet(workers=workers, hub=hub)
+            return [alert.to_dict() for alert in hub.alerts]
+
+        serial = monitored(1)
+        parallel = monitored(8)
+        assert [
+            {k: v for k, v in a.items() if k != "timestamp"} for a in serial
+        ] == [{k: v for k, v in a.items() if k != "timestamp"} for a in parallel]
+
+
+class TestRollupMetricGrammar:
+    def test_parse_round_trip(self):
+        assert parse_rollup_metric("rollup:wchd.p99@shard") == (
+            "wchd",
+            "p99",
+            "shard",
+        )
+        assert parse_rollup_metric("rollup:stable_ratio.min@fleet") == (
+            "stable_ratio",
+            "min",
+            "fleet",
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "rollup:wchd.p99",  # missing scope
+            "rollup:wchd@shard",  # missing statistic
+            "rollup:wchd.bogus@shard",  # unknown statistic
+        ],
+    )
+    def test_malformed_metrics_are_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            parse_rollup_metric(bad)

@@ -1,0 +1,132 @@
+"""The status dashboard: tolerant readers and rendering."""
+
+from __future__ import annotations
+
+import json
+
+from repro.monitor.status import (
+    CampaignStatus,
+    load_status,
+    read_jsonl_tolerant,
+    render_status,
+)
+from repro.store.artifact import ArtifactStore
+
+
+class TestTolerantReader:
+    def test_reads_complete_lines(self, tmp_path):
+        path = tmp_path / "beat.jsonl"
+        path.write_text('{"a": 1}\n{"a": 2}\n', encoding="utf-8")
+        assert read_jsonl_tolerant(str(path)) == [{"a": 1}, {"a": 2}]
+
+    def test_skips_torn_final_line(self, tmp_path):
+        path = tmp_path / "beat.jsonl"
+        path.write_text('{"a": 1}\n{"a": 2, "b"', encoding="utf-8")
+        assert read_jsonl_tolerant(str(path)) == [{"a": 1}]
+
+    def test_skips_blank_and_non_object_lines(self, tmp_path):
+        path = tmp_path / "beat.jsonl"
+        path.write_text('\n{"a": 1}\n[1, 2]\n42\n', encoding="utf-8")
+        assert read_jsonl_tolerant(str(path)) == [{"a": 1}]
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert read_jsonl_tolerant(str(tmp_path / "absent.jsonl")) == []
+
+
+class TestLoadStatus:
+    def test_derives_conventional_paths(self, tmp_path):
+        target = str(tmp_path / "campaign.json")
+        store = ArtifactStore(str(tmp_path))
+        store.append_jsonl(
+            "campaign.heartbeat.jsonl",
+            {"sequence": 0, "month": 0, "completed": 1, "total": 3,
+             "wall_s": 1.0, "cpu_s": 0.9, "rss_kb": 1000, "alerts": 0},
+        )
+        store.append_jsonl(
+            "campaign.alerts.jsonl",
+            {"rule": "r", "severity": "warning", "index": 1,
+             "metric": "rollup:wchd.p99@shard", "value": 0.1,
+             "path": "shard=3/wchd.p99"},
+        )
+        store.write_json(
+            "campaign.flight.json",
+            {"reason": "boom", "dropped": 0,
+             "events": [{"seq": 0, "kind": "crash"}]},
+        )
+        status = load_status(target)
+        assert status.heartbeat["completed"] == 1
+        assert len(status.alerts) == 1
+        assert status.flight["reason"] == "boom"
+
+    def test_empty_directory(self, tmp_path):
+        status = load_status(str(tmp_path / "campaign.json"))
+        assert status.heartbeat is None
+        assert status.alerts == []
+        assert status.flight is None
+
+
+class TestRenderStatus:
+    def test_renders_progress_and_rollups(self):
+        status = CampaignStatus(
+            target="campaign.json",
+            heartbeat={
+                "sequence": 2, "month": 2, "completed": 3, "total": 25,
+                "wall_s": 6.0, "cpu_s": 5.5, "rss_kb": 90000, "alerts": 1,
+                "rollups": {
+                    "rollup.wchd{scope=fleet}": {
+                        "count": 48, "mean": 0.025, "min": 0.01, "max": 0.04,
+                        "std": 0.002, "p50": 0.024, "p99": 0.039,
+                    },
+                    "rollup.wchd{scope=shard,shard=3}": {
+                        "count": 6, "mean": 0.030, "min": 0.02, "max": 0.04,
+                        "std": 0.003, "p50": 0.029, "p99": 0.04,
+                    },
+                },
+            },
+            alerts=[{
+                "rule": "shard-wchd-p99", "severity": "warning", "index": 2,
+                "metric": "rollup:wchd.p99@shard", "value": 0.04,
+                "path": "shard=3/wchd.p99",
+            }],
+        )
+        text = render_status(status)
+        assert "3/25 snapshots" in text
+        assert "fleet" in text and "shard=3" in text
+        assert "[shard=3/wchd.p99]" in text
+        assert "0.5" in text.replace("0.50", "0.5")  # snapshots/s figure
+
+    def test_renders_crash_banner(self):
+        status = CampaignStatus(
+            target="campaign.json",
+            flight={"reason": "board 3 died", "dropped": 2,
+                    "events": [{"seq": 9, "kind": "crash"}]},
+        )
+        text = render_status(status)
+        assert "CRASH" in text
+        assert "board 3 died" in text
+        assert "(1 events, 2 dropped)" in text
+
+    def test_renders_empty_state(self):
+        text = render_status(CampaignStatus(target="campaign.json"))
+        assert "no heartbeat yet" in text
+        assert "alerts: none" in text
+
+    def test_round_trips_through_cli_shape(self, tmp_path):
+        """The dashboard consumes exactly what SnapshotEmitter writes."""
+        from repro.monitor.heartbeat import SnapshotEmitter, heartbeat_path_for
+        from repro.telemetry.rollup import RollupRegistry
+
+        target = str(tmp_path / "campaign.json")
+        rollups = RollupRegistry()
+        rollups.summary("rollup.wchd", {"scope": "fleet"}).observe(0.02)
+        emitter = SnapshotEmitter(heartbeat_path_for(target), rollups=rollups)
+        emitter.emit(1, 4)
+        status = load_status(target)
+        text = render_status(status)
+        assert "1/4 snapshots" in text
+        assert "rollup.wchd" in text
+        # The rendered document survived the JSONL round trip intact.
+        line = json.loads(
+            open(heartbeat_path_for(target), encoding="utf-8").readline()
+        )
+        assert status.heartbeat == line

@@ -1,0 +1,73 @@
+"""Flight recorder: bounded ring, event ordering, atomic crash dumps."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.flight import (
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    flight_record_path_for,
+)
+
+
+class TestRing:
+    def test_records_in_order_with_sequence_numbers(self):
+        recorder = FlightRecorder()
+        recorder.record("month", month=0)
+        recorder.record("alert", rule="r")
+        events = recorder.events()
+        assert [e["kind"] for e in events] == ["month", "alert"]
+        assert [e["seq"] for e in events] == [0, 1]
+        assert events[0]["month"] == 0
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        recorder = FlightRecorder(capacity=4)
+        for i in range(10):
+            recorder.record("month", month=i)
+        events = recorder.events()
+        assert len(events) == 4
+        assert [e["month"] for e in events] == [6, 7, 8, 9]
+        assert recorder.dropped == 6
+        assert recorder.recorded == 10
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_reset_clears_everything(self):
+        recorder = FlightRecorder(capacity=2)
+        for i in range(5):
+            recorder.record("month", month=i)
+        recorder.reset()
+        assert recorder.events() == []
+        assert recorder.recorded == 0
+        assert recorder.dropped == 0
+
+
+class TestDump:
+    def test_dump_writes_parseable_json(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record("month", month=3)
+        recorder.record("crash", error="boom")
+        path = str(tmp_path / "flight.json")
+        recorder.dump(path, reason="boom")
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert doc["reason"] == "boom"
+        assert doc["dropped"] == 0
+        assert [e["kind"] for e in doc["events"]] == ["month", "crash"]
+
+    def test_to_doc_round_trips_through_json(self):
+        recorder = FlightRecorder()
+        recorder.record("heartbeat", sequence=0)
+        doc = recorder.to_doc(reason="test")
+        assert json.loads(json.dumps(doc)) == doc
+
+
+class TestPathConvention:
+    def test_path_next_to_campaign_artifact(self):
+        assert flight_record_path_for("campaign.json") == "campaign.flight.json"
+        assert flight_record_path_for("x/run.json") == "x/run.flight.json"
+
+    def test_non_json_target_gets_suffix(self):
+        assert flight_record_path_for("campaign") == "campaign.flight.json"

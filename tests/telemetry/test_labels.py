@@ -1,0 +1,74 @@
+"""Canonical label encoding: ordering, validation, round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.labels import canonical_labels, labeled_name, parse_labeled_name
+
+
+class TestCanonicalLabels:
+    def test_sorts_keys_and_stringifies_values(self):
+        assert canonical_labels({"shard": 3, "board": "b1"}) == (
+            ("board", "b1"),
+            ("shard", "3"),
+        )
+
+    def test_insertion_order_is_irrelevant(self):
+        a = canonical_labels({"x": 1, "y": 2})
+        b = canonical_labels({"y": 2, "x": 1})
+        assert a == b
+
+    def test_empty_labels(self):
+        assert canonical_labels({}) == ()
+        assert canonical_labels(None) == ()
+
+    @pytest.mark.parametrize("bad", ["", "has space", 'quo"te', "br{ace}"])
+    def test_rejects_invalid_tokens(self, bad):
+        with pytest.raises(ConfigurationError):
+            canonical_labels({"k": bad})
+        with pytest.raises(ConfigurationError):
+            canonical_labels({bad: "v"})
+
+
+class TestLabeledName:
+    def test_pins_label_order(self):
+        assert (
+            labeled_name("campaign.powerups", {"shard": 1, "board": 2})
+            == "campaign.powerups{board=2,shard=1}"
+        )
+
+    def test_no_labels_is_bare_name(self):
+        assert labeled_name("campaign.powerups", {}) == "campaign.powerups"
+        assert labeled_name("campaign.powerups", None) == "campaign.powerups"
+
+    def test_rejects_braced_base(self):
+        with pytest.raises(ConfigurationError):
+            labeled_name("already{branded}", {"k": "v"})
+
+    def test_rejects_empty_base(self):
+        with pytest.raises(ConfigurationError):
+            labeled_name("", {"k": "v"})
+
+
+class TestParseLabeledName:
+    def test_round_trip(self):
+        name = labeled_name("rollup.wchd", {"scope": "shard", "shard": 3})
+        base, labels = parse_labeled_name(name)
+        assert base == "rollup.wchd"
+        assert labels == {"scope": "shard", "shard": "3"}
+        assert labeled_name(base, labels) == name
+
+    def test_bare_name(self):
+        assert parse_labeled_name("campaign.powerups") == (
+            "campaign.powerups",
+            {},
+        )
+
+    @pytest.mark.parametrize(
+        "malformed", ["x{", "x{k}", "x{k=v", "x{=v}", "x{k=}"]
+    )
+    def test_rejects_malformed(self, malformed):
+        with pytest.raises(ConfigurationError):
+            parse_labeled_name(malformed)

@@ -1,0 +1,243 @@
+"""The rollup merge algebra: exactness is the whole point.
+
+The hierarchical observability layer only works because shard rollups
+merge *exactly*: any grouping of the same observations — one worker,
+two, four, or month-by-month windows — must finalize to bit-identical
+statistics.  These tests pin that algebra down: associativity and
+commutativity as properties, agreement with numpy on the moments, and
+exact document round-trips.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.plan import partition_boards, rollup_shard_of
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.rollup import (
+    ROLLUP_STATS,
+    UNIT_BOUNDS,
+    WIDE_BOUNDS,
+    RollupRegistry,
+    RollupSummary,
+    ShardRollupBuilder,
+    combine_rollup_docs,
+    evaluation_shard_docs,
+    fold_rollup_docs,
+)
+
+values = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32),
+    min_size=1,
+    max_size=40,
+)
+
+
+def summarize(observations) -> RollupSummary:
+    summary = RollupSummary(UNIT_BOUNDS)
+    summary.observe_many(observations)
+    return summary
+
+
+def finalized(summary: RollupSummary) -> tuple:
+    return (
+        summary.count,
+        summary.mean,
+        summary.m2,
+        summary.variance,
+        summary.std,
+        summary.min,
+        summary.max,
+        summary.p50,
+        summary.p99,
+        tuple(summary.bin_counts),
+    )
+
+
+class TestMergeAlgebra:
+    @given(values, values, values)
+    @settings(max_examples=60, deadline=None)
+    def test_associativity_is_exact(self, a, b, c):
+        left = summarize(a)
+        left.merge(summarize(b))
+        left.merge(summarize(c))
+
+        bc = summarize(b)
+        bc.merge(summarize(c))
+        right = summarize(a)
+        right.merge(bc)
+
+        assert finalized(left) == finalized(right)
+
+    @given(values, values)
+    @settings(max_examples=60, deadline=None)
+    def test_commutativity_is_exact(self, a, b):
+        ab = summarize(a)
+        ab.merge(summarize(b))
+        ba = summarize(b)
+        ba.merge(summarize(a))
+        assert finalized(ab) == finalized(ba)
+
+    @given(values)
+    @settings(max_examples=60, deadline=None)
+    def test_any_grouping_matches_one_pass(self, observations):
+        one_pass = summarize(observations)
+        for split in (1, max(1, len(observations) // 2)):
+            grouped = summarize(observations[:split])
+            grouped.merge(summarize(observations[split:]))
+            assert finalized(grouped) == finalized(one_pass)
+
+    def test_worker_count_independence(self):
+        """The serial ≡ 2-worker ≡ 4-worker identity at summary level."""
+        rng = np.random.default_rng(11)
+        observations = list(rng.random(64))
+
+        def grouped(parts: int) -> RollupSummary:
+            chunks = np.array_split(np.asarray(observations), parts)
+            total = summarize(list(chunks[0]))
+            for chunk in chunks[1:]:
+                total.merge(summarize(list(chunk)))
+            return total
+
+        assert finalized(grouped(1)) == finalized(grouped(2)) == finalized(grouped(4))
+
+
+class TestMoments:
+    @given(values)
+    @settings(max_examples=60, deadline=None)
+    def test_mean_and_variance_agree_with_numpy(self, observations):
+        summary = summarize(observations)
+        data = np.asarray(observations, dtype=float)
+        # Exact rational arithmetic can beat numpy's pairwise summation
+        # by an ulp, so the comparison is tight-tolerance, not equality;
+        # the equality guarantee is across merge groupings, not vs numpy.
+        assert summary.mean == pytest.approx(float(np.mean(data)), abs=1e-12)
+        assert summary.variance == pytest.approx(
+            float(np.var(data)), rel=1e-9, abs=1e-12
+        )
+
+    def test_min_max_are_exact(self):
+        summary = summarize([0.5, 0.125, 0.875, 0.25])
+        assert summary.min == 0.125
+        assert summary.max == 0.875
+
+    def test_empty_summary_statistics_are_nan(self):
+        summary = RollupSummary(UNIT_BOUNDS)
+        assert summary.count == 0
+        assert np.isnan(summary.mean)
+        assert np.isnan(summary.p50)
+        assert np.isnan(summary.p99)
+
+
+class TestQuantileSketch:
+    def test_quantiles_never_exceed_true_max(self):
+        summary = summarize([0.1, 0.2, 0.3])
+        assert summary.p99 <= summary.max
+
+    def test_p50_brackets_the_median_bin(self):
+        observations = [i / 100 for i in range(1, 101)]
+        summary = summarize(observations)
+        # Fixed 1/128 bins: the sketch answer is the bin upper bound
+        # holding the rank-50 observation.
+        assert abs(summary.p50 - 0.5) <= 1 / 128
+
+    def test_wide_bounds_cover_resource_scales(self):
+        summary = RollupSummary(WIDE_BOUNDS)
+        summary.observe_many([0.001, 1.0, 90000.0])
+        assert summary.count == 3
+        assert summary.p99 == 90000.0  # overflow bucket answers with max
+
+    def test_deterministic_binning_at_bound(self):
+        summary = RollupSummary((0.5, 1.0))
+        summary.observe(0.5)  # lands in the first bin (first bound >= value)
+        assert summary.bin_counts[0] == 1
+
+
+class TestDocRoundTrip:
+    @given(values)
+    @settings(max_examples=40, deadline=None)
+    def test_round_trip_is_exact(self, observations):
+        summary = summarize(observations)
+        restored = RollupSummary.from_doc(summary.to_doc())
+        assert finalized(restored) == finalized(summary)
+        assert restored.sum == summary.sum
+        assert restored.sumsq == summary.sumsq
+
+    def test_doc_is_json_safe(self):
+        import json
+
+        doc = summarize([0.1, 0.9]).to_doc()
+        assert json.loads(json.dumps(doc)) == doc
+
+
+class TestShardPipeline:
+    def test_rollup_shard_of_inverts_partition_boards(self):
+        for fleet, shards in ((7, 3), (8, 4), (16, 8), (5, 8), (256, 8)):
+            partition = partition_boards(range(fleet), shards)
+            for index, boards in enumerate(partition):
+                for board in boards:
+                    assert rollup_shard_of(board, fleet, shards) == index
+
+    def test_builder_matches_evaluation_docs(self):
+        """Worker-side builder ≡ parent-side fallback, doc for doc."""
+
+        class FakeEvaluation:
+            board_ids = (0, 1, 2, 3)
+            wchd = np.array([0.01, 0.02, 0.03, 0.04])
+            fhw = np.array([0.6, 0.61, 0.62, 0.63])
+            stable_ratio = np.array([0.9, 0.91, 0.92, 0.93])
+            noise_entropy = np.array([0.03, 0.031, 0.032, 0.033])
+
+        def shard_of(board):
+            return rollup_shard_of(board, 4, 2)
+
+        builder = ShardRollupBuilder(shard_of)
+        evaluation = FakeEvaluation()
+        for i, board in enumerate(evaluation.board_ids):
+            builder.observe_board(
+                board,
+                {stat: float(getattr(evaluation, stat)[i]) for stat in ROLLUP_STATS},
+            )
+        assert builder.take() == evaluation_shard_docs(evaluation, shard_of)
+
+    def test_combine_is_worker_count_independent(self):
+        rng = np.random.default_rng(3)
+        stats = [
+            {stat: float(rng.random()) for stat in ROLLUP_STATS} for _ in range(8)
+        ]
+
+        def docs_for(boards):
+            builder = ShardRollupBuilder(lambda b: rollup_shard_of(b, 8, 2))
+            for board in boards:
+                builder.observe_board(board, stats[board])
+            return builder.take()
+
+        two = combine_rollup_docs([docs_for(range(4)), docs_for(range(4, 8))])
+        four = combine_rollup_docs(
+            [docs_for(range(i, i + 2)) for i in range(0, 8, 2)]
+        )
+        one = combine_rollup_docs([docs_for(range(8))])
+        assert one == two == four
+
+    def test_fold_builds_fleet_scope_and_counters(self):
+        builder = ShardRollupBuilder(lambda b: rollup_shard_of(b, 4, 2))
+        for board in range(4):
+            builder.observe_board(
+                board, {stat: 0.1 * (board + 1) for stat in ROLLUP_STATS}
+            )
+        registry = RollupRegistry()
+        metrics = MetricsRegistry()
+        fold_rollup_docs(registry, builder.take(), metrics=metrics)
+
+        names = registry.names()
+        assert "rollup.wchd{scope=fleet}" in names
+        assert "rollup.wchd{scope=shard,shard=0}" in names
+        assert "rollup.wchd{scope=shard,shard=1}" in names
+        fleet = registry.get("rollup.wchd{scope=fleet}")
+        assert fleet.count == 4
+        snapshot = metrics.snapshot()
+        assert snapshot["rollup.updates"]["value"] == 1
+        assert snapshot["rollup.observations"]["value"] == 4 * len(ROLLUP_STATS)
