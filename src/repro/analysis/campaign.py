@@ -32,10 +32,16 @@ from repro.sram.aging import AgingSimulator
 from repro.sram.chip import SRAMChip
 from repro.sram.profiles import ATMEGA32U4, DeviceProfile
 from repro.telemetry import (
+    PHASE_AGING,
+    PHASE_MONITOR,
+    PHASE_STORE_IO,
     get_flight_recorder,
     get_metrics,
+    get_profiler,
     get_rollups,
     get_tracer,
+    graft_records,
+    profiling_enabled,
     rollups_enabled,
 )
 
@@ -460,9 +466,10 @@ class LongTermCampaign:
                     snapshots_done.inc()
                     self._ingest_rollups(snapshots[-1])
                     if monitor is not None:
-                        monitor.observe_evaluation(snapshots[-1])
-                        monitor.observe_rollups(index=month)
-                        monitor.poll_counters(index=month)
+                        with get_profiler().phase(PHASE_MONITOR):
+                            monitor.observe_evaluation(snapshots[-1])
+                            monitor.observe_rollups(index=month)
+                            monitor.poll_counters(index=month)
                     get_flight_recorder().record(
                         "month",
                         month=month,
@@ -470,12 +477,13 @@ class LongTermCampaign:
                     )
                     if month < self._months:
                         with tracer.span("campaign.age"):
-                            for chip in fleet:
-                                simulator.age_array_months(
-                                    chip.array,
-                                    self._aging_acceleration,
-                                    steps=self._aging_steps,
-                                )
+                            with get_profiler().phase(PHASE_AGING):
+                                for chip in fleet:
+                                    simulator.age_array_months(
+                                        chip.array,
+                                        self._aging_acceleration,
+                                        steps=self._aging_steps,
+                                    )
                             aging_steps.inc(self._aging_steps * len(fleet))
                 logger.debug(
                     "month %d/%d evaluated (WCHD mean %.4f)",
@@ -539,6 +547,30 @@ class LongTermCampaign:
             metrics.counter("campaign.powerups", labels={"shard": shard}).inc(
                 size * per_board
             )
+
+    def _graft_worker_spans(self, parent_span, results) -> None:
+        """Attach worker-side span records under the dispatching span.
+
+        Per-board records are concatenated across shards and sorted by
+        board id before grafting, so the merged tree's names, structure
+        and (after :meth:`~repro.telemetry.Tracer.assign_ids`) ids are
+        independent of worker count and dispatch order.  No-op when
+        tracing is off — workers then shipped no records.
+        """
+        if not get_tracer().enabled:
+            return
+        records = [record for result in results for record in result.spans]
+        records.sort(
+            key=lambda record: record.get("attributes", {}).get("board", -1)
+        )
+        graft_records(parent_span, records)
+
+    def _merge_worker_phases(self, results) -> None:
+        """Fold worker-side phase timer deltas into the parent profiler."""
+        profiler = get_profiler()
+        for result in results:
+            if result.phase_deltas:
+                profiler.merge(result.phase_deltas)
 
     def _ingest_worker_resources(self, samples) -> None:
         """Fold worker resource samples into the ``rollup.worker.*`` rollups.
@@ -611,6 +643,7 @@ class LongTermCampaign:
 
         temperatures = tuple(self._month_temperatures())
         worker_rollups = self._rollup_shards if rollups_enabled() else 0
+        trace = get_tracer().context(phases=profiling_enabled())
         return [
             ShardSpec(
                 shard_index=index,
@@ -628,6 +661,7 @@ class LongTermCampaign:
                 ),
                 rollup_shards=worker_rollups,
                 fleet_size=self._device_count,
+                trace=trace,
             )
             for index, boards in enumerate(
                 partition_boards(range(self._device_count), shard_count)
@@ -677,8 +711,10 @@ class LongTermCampaign:
                 self._months,
                 self._measurements,
             )
-            with tracer.span("campaign.shards", shards=len(specs)):
+            with tracer.span("campaign.shards", shards=len(specs)) as shards_span:
                 results = executor.run_shards(specs)
+                self._graft_worker_spans(shards_span, results)
+            self._merge_worker_phases(results)
             merged = collate_shard_results(board_ids, self._months, results)
             self._ingest_worker_resources(result.resources for result in results)
 
@@ -706,9 +742,10 @@ class LongTermCampaign:
                         ),
                     )
                     if monitor is not None:
-                        monitor.observe_evaluation(snapshots[-1])
-                        monitor.observe_rollups(index=month)
-                        monitor.poll_counters(index=month)
+                        with get_profiler().phase(PHASE_MONITOR):
+                            monitor.observe_evaluation(snapshots[-1])
+                            monitor.observe_rollups(index=month)
+                            monitor.poll_counters(index=month)
                     get_flight_recorder().record(
                         "month",
                         month=month,
@@ -933,13 +970,14 @@ class LongTermCampaign:
 
             shard_boards = partition_boards(board_ids, executor.max_workers)
             worker_rollups = self._rollup_shards if rollups_enabled() else 0
+            trace_context = tracer.context(phases=profiling_enabled())
             try:
                 for month in range(start_month, total_snapshots):
                     if walk:
                         temperature += float(temp_rng.normal(0.0, self._temperature_walk_k))
                     snapshot_temp = temperature if walk else None
                     apply_aging = month < self._months
-                    with tracer.span("campaign.month", month=month):
+                    with tracer.span("campaign.month", month=month) as month_span:
                         specs = [
                             WindowSpec(
                                 shard_index=index,
@@ -967,10 +1005,13 @@ class LongTermCampaign:
                                 ),
                                 rollup_shards=worker_rollups,
                                 fleet_size=self._device_count,
+                                trace=trace_context,
                             )
                             for index, boards in enumerate(shard_boards)
                         ]
                         results = executor.run_tasks(run_board_window, specs)
+                        self._graft_worker_spans(month_span, results)
+                        self._merge_worker_phases(results)
                         rows: Dict[int, "BoardMonthMetrics"] = {}
                         eval_deltas: Dict[str, int] = {}
                         aging_deltas: Dict[str, int] = {}
@@ -1008,9 +1049,10 @@ class LongTermCampaign:
                         )
                         counter_deltas.append(recorder.take())
                         if monitor is not None:
-                            monitor.observe_evaluation(snapshots[-1])
-                            monitor.observe_rollups(index=month)
-                            monitor.poll_counters(index=month)
+                            with get_profiler().phase(PHASE_MONITOR):
+                                monitor.observe_evaluation(snapshots[-1])
+                                monitor.observe_rollups(index=month)
+                                monitor.poll_counters(index=month)
                         get_flight_recorder().record(
                             "month",
                             month=month,
@@ -1018,26 +1060,28 @@ class LongTermCampaign:
                         )
                         fold_counter_deltas(metrics, aging_deltas)
                         with tracer.span("campaign.checkpoint", month=month):
-                            checkpointer.save(
-                                month,
-                                temperature,
-                                rng_state_doc(temp_rng) if walk else None,
-                                references,
-                                board_states,
-                                snapshots,
-                                counter_deltas,
-                                aging_deltas,
-                            )
-                        if stream is not None:
-                            if month == 0:
-                                stream.begin(
-                                    self._profile.name,
-                                    self._months,
-                                    self._measurements,
-                                    board_ids,
-                                    {board: references[board] for board in board_ids},
+                            with get_profiler().phase(PHASE_STORE_IO):
+                                checkpointer.save(
+                                    month,
+                                    temperature,
+                                    rng_state_doc(temp_rng) if walk else None,
+                                    references,
+                                    board_states,
+                                    snapshots,
+                                    counter_deltas,
+                                    aging_deltas,
                                 )
-                            stream.append_snapshot(snapshots[-1])
+                        if stream is not None:
+                            with get_profiler().phase(PHASE_STORE_IO):
+                                if month == 0:
+                                    stream.begin(
+                                        self._profile.name,
+                                        self._months,
+                                        self._measurements,
+                                        board_ids,
+                                        {board: references[board] for board in board_ids},
+                                    )
+                                stream.append_snapshot(snapshots[-1])
                     logger.debug(
                         "month %d/%d checkpointed (WCHD mean %.4f)",
                         month,

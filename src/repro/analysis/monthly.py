@@ -39,6 +39,8 @@ from repro.metrics.hamming import (
 from repro.metrics.stability import stable_cell_ratio_from_counts
 from repro.sram.chip import SRAMChip
 from repro.sram.powerup import sample_measurement_block
+from repro.telemetry.profiling import PHASE_METRICS
+from repro.telemetry.runtime import get_profiler
 
 
 @dataclass(frozen=True)
@@ -115,14 +117,15 @@ def evaluate_board(
     block = sample_measurement_block(
         chip, measurements, temperature_k=temperature_k, statistical=statistical
     )
-    return BoardMonthMetrics(
-        board_id=chip.chip_id,
-        wchd=within_class_hd_from_counts(block.ones_counts, measurements, reference),
-        fhw=fractional_hamming_weight_from_counts(block.ones_counts, measurements),
-        stable_ratio=stable_cell_ratio_from_counts(block.ones_counts, measurements),
-        noise_entropy=noise_min_entropy_from_counts(block.ones_counts, measurements),
-        first_readout=block.first_readout,
-    )
+    with get_profiler().phase(PHASE_METRICS):
+        return BoardMonthMetrics(
+            board_id=chip.chip_id,
+            wchd=within_class_hd_from_counts(block.ones_counts, measurements, reference),
+            fhw=fractional_hamming_weight_from_counts(block.ones_counts, measurements),
+            stable_ratio=stable_cell_ratio_from_counts(block.ones_counts, measurements),
+            noise_entropy=noise_min_entropy_from_counts(block.ones_counts, measurements),
+            first_readout=block.first_readout,
+        )
 
 
 def assemble_evaluation(
@@ -138,8 +141,9 @@ def assemble_evaluation(
         raise ConfigurationError("assemble_evaluation needs at least one board")
     first_readouts = [board.first_readout for board in boards]
     if len(boards) >= 2:
-        bchd = between_class_hd(first_readouts)
-        puf_h = puf_min_entropy(first_readouts)
+        with get_profiler().phase(PHASE_METRICS):
+            bchd = between_class_hd(first_readouts)
+            puf_h = puf_min_entropy(first_readouts)
     else:
         bchd = np.array([], dtype=float)
         puf_h = float("nan")

@@ -15,6 +15,9 @@
     python -m repro status campaign.json [--once | --interval S]
     python -m repro store inspect DIR [--clean] [--deep]
     python -m repro store compact DIR [--keep-keyframes N]
+    python -m repro bench record [--bench NAME] [--repeats N] [--ledger PATH]
+    python -m repro bench compare [--bench NAME] [--threshold T]
+    python -m repro bench list
 
 Global options (before the command):
 
@@ -24,6 +27,10 @@ Global options (before the command):
 ``--trace-json PATH``
     Enable tracing for the command and write the span tree to PATH
     as JSON.
+``--trace-chrome PATH``
+    Enable tracing and write the Chrome ``trace_event`` export to
+    PATH — loadable in Perfetto (https://ui.perfetto.dev) or
+    ``chrome://tracing``.  Combines with ``--trace-json``.
 
 Every command is a thin shell over the library; scripts that need the
 data programmatically should use :class:`repro.LongTermAssessment`
@@ -41,9 +48,12 @@ from repro.core.assessment import LongTermAssessment
 from repro.core.config import StudyConfig
 from repro.telemetry import (
     get_metrics,
+    get_profiler,
     get_tracer,
     init_logging,
+    profiling_enabled,
     reset_telemetry,
+    set_profiling,
     set_tracing,
     tracing_enabled,
 )
@@ -126,9 +136,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     """Run a small instrumented workload and print the telemetry report.
 
     Exercises every instrumented subsystem — campaign, testbed
-    scheduler, key generation, TRNG — so the span tree and the metric
-    catalogue (``campaign.powerups``, ``scheduler.events``,
-    ``keygen.decode_failures``, ...) all show real numbers.
+    scheduler, key generation, TRNG — so the span tree, the per-phase
+    CPU table and the metric catalogue (``campaign.powerups``,
+    ``scheduler.events``, ``keygen.decode_failures``, ...) all show
+    real numbers.  ``--workers N`` runs the campaign through the
+    sharded execution engine, so the tree shows the grafted worker
+    spans and the phase table the attribution merged back from the
+    worker processes.
     """
     from repro.hardware.testbed import Testbed
     from repro.keygen.keygen import SRAMKeyGenerator
@@ -136,6 +150,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.trng.trng import SRAMTRNG
 
     set_tracing(True)
+    set_profiling(True)
     reset_telemetry()
     tracer = get_tracer()
 
@@ -155,6 +170,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     print("== span tree ==")
     print(tracer.render_tree())
+    print()
+    print("== phases (campaign hot path) ==")
+    print(get_profiler().render_table())
     print()
     print("== metrics ==")
     print(get_metrics().render_table())
@@ -210,7 +228,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.monitor.heartbeat import SnapshotEmitter, heartbeat_path_for
     from repro.monitor.hub import MonitorHub
     from repro.store.artifact import ArtifactStore
-    from repro.telemetry import manifest_path_for
+    from repro.telemetry import manifest_path_for, run_id_for_config
     from repro.telemetry.flight import flight_record_path_for
     from repro.telemetry.runtime import get_flight_recorder, get_rollups
 
@@ -230,8 +248,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # The heartbeat always restarts: it narrates this process's run.
     store, name = ArtifactStore.locate(heartbeat)
     store.truncate(name)
+    config = _study_config(args)
+    # One correlation key stamped into alerts, heartbeats and traces.
+    # Deterministic (a hash of the config), so equal configs — straight
+    # or resumed, serial or sharded — produce byte-identical logs.
+    run_id = run_id_for_config(config)
     hub = MonitorHub(
-        default_ruleset() + hierarchical_ruleset(), alert_log=alert_log
+        default_ruleset() + hierarchical_ruleset(),
+        alert_log=alert_log,
+        run_id=run_id,
     )
     emitter = SnapshotEmitter(
         heartbeat,
@@ -239,9 +264,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         every=args.heartbeat_every,
         rollups=get_rollups(),
         flight=get_flight_recorder(),
+        run_id=run_id,
+        profiler=get_profiler(),
     )
     try:
-        result = LongTermAssessment(_study_config(args)).run(
+        result = LongTermAssessment(config).run(
             progress=emitter,
             monitor=hub,
             checkpoint_dir=args.checkpoint_dir,
@@ -425,6 +452,72 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """The perf-regression ledger: record, compare and list benchmarks.
+
+    ``record`` runs registered tiny benchmarks (:mod:`repro.perf`) and
+    appends their metrics to the JSONL ledger, keyed by benchmark name,
+    host fingerprint and git revision.  ``compare`` checks each
+    benchmark's newest run against the one before it on this host and
+    exits with code 5 when any metric regressed past ``--threshold`` —
+    the CI perf-smoke job fails on that code.  ``list`` shows the
+    registered benchmarks and the ledger history.
+    """
+    from repro.errors import StorageError
+    from repro.perf import BENCHMARKS, run_benchmark
+    from repro.store.bench import BenchLedger, render_comparison
+
+    ledger = BenchLedger(args.ledger)
+    if args.action == "record":
+        names = args.bench or sorted(BENCHMARKS)
+        for name in names:
+            metrics = run_benchmark(name, repeats=args.repeats)
+            document = ledger.record(name, metrics, meta={"repeats": args.repeats})
+            rendered = ", ".join(
+                f"{key}={value:.6g}" for key, value in sorted(metrics.items())
+            )
+            print(f"recorded {name} @ {document['git_rev'][:12]}: {rendered}")
+        print(f"ledger: {ledger.path}")
+        return 0
+    if args.action == "compare":
+        names = args.bench or ledger.names()
+        if not names:
+            print(f"error: ledger {ledger.path} is empty", file=sys.stderr)
+            return 2
+        regressed = False
+        for name in names:
+            try:
+                comparison = ledger.compare(name, threshold=args.threshold)
+            except StorageError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(render_comparison(comparison))
+            regressed = regressed or bool(comparison["regressions"])
+        if regressed:
+            print("PERF REGRESSION detected", file=sys.stderr)
+            return 5
+        return 0
+    # list
+    print("registered benchmarks:")
+    for name in sorted(BENCHMARKS):
+        print(f"  {name:<16} {BENCHMARKS[name].description}")
+    records = ledger.records(name=args.bench[0] if args.bench else None)
+    if not records:
+        print(f"ledger {ledger.path}: (empty)")
+        return 0
+    print(f"ledger {ledger.path} ({len(records)} runs, oldest first):")
+    for document in records:
+        rendered = ", ".join(
+            f"{key}={value:.6g}"
+            for key, value in sorted(document.get("metrics", {}).items())
+        )
+        print(
+            f"  {document['name']:<16} {document['git_rev'][:12]:<12} "
+            f"{document['created_at']}  {rendered}"
+        )
+    return 0
+
+
 def _cmd_accelerated(args: argparse.Namespace) -> int:
     from repro.analysis.accelerated import AcceleratedAgingStudy
 
@@ -458,6 +551,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-json",
         metavar="PATH",
         help="enable tracing and write the span tree to PATH as JSON",
+    )
+    parser.add_argument(
+        "--trace-chrome",
+        metavar="PATH",
+        help="enable tracing and write a Chrome trace_event export to PATH "
+        "(load it in Perfetto or chrome://tracing)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -503,6 +602,13 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--months", type=int, default=3, help="aging months")
     profile.add_argument(
         "--measurements", type=int, default=200, help="monthly block size"
+    )
+    profile.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel worker processes for the campaign part (1 = serial; "
+        "spans and phase attribution merge identically at any count)",
     )
     profile.add_argument(
         "--cycles", type=int, default=3, help="testbed power cycles to simulate"
@@ -651,6 +757,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compact.set_defaults(handler=_cmd_store_compact)
 
+    from repro.store.bench import BENCH_LEDGER_NAME, DEFAULT_THRESHOLD
+
+    bench = commands.add_parser(
+        "bench",
+        help="perf-regression ledger: record / compare / list tiny benchmarks",
+    )
+    bench_actions = bench.add_subparsers(dest="action", required=True)
+    bench_record = bench_actions.add_parser(
+        "record", help="run registered benchmarks and append results to the ledger"
+    )
+    bench_record.add_argument(
+        "--bench",
+        action="append",
+        metavar="NAME",
+        help="benchmark to run (repeatable; default: all registered)",
+    )
+    bench_record.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="repeats per benchmark; the median is recorded (default: 3)",
+    )
+    bench_compare = bench_actions.add_parser(
+        "compare",
+        help="compare each benchmark's newest ledger run against the previous "
+        "one on this host; exit 5 on regression",
+    )
+    bench_compare.add_argument(
+        "--bench",
+        action="append",
+        metavar="NAME",
+        help="benchmark to compare (repeatable; default: all in the ledger)",
+    )
+    bench_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        metavar="T",
+        help="relative change tolerated before a metric counts as regressed "
+        f"(default: {DEFAULT_THRESHOLD})",
+    )
+    bench_list = bench_actions.add_parser(
+        "list", help="show registered benchmarks and the ledger history"
+    )
+    bench_list.add_argument(
+        "--bench",
+        action="append",
+        metavar="NAME",
+        help="only show ledger runs of this benchmark",
+    )
+    for bench_sub in (bench_record, bench_compare, bench_list):
+        bench_sub.add_argument(
+            "--ledger",
+            default=BENCH_LEDGER_NAME,
+            metavar="PATH",
+            help=f"ledger file (default: ./{BENCH_LEDGER_NAME})",
+        )
+    bench.set_defaults(handler=_cmd_bench)
+
     monitor = commands.add_parser(
         "monitor", help="replay a saved campaign through the alert engine"
     )
@@ -675,17 +841,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     init_logging(args.verbose)
     tracing_before = tracing_enabled()
-    if args.trace_json:
+    profiling_before = profiling_enabled()
+    if args.trace_json or args.trace_chrome:
         set_tracing(True)
     try:
         code = args.handler(args)
         if args.trace_json:
             get_tracer().export_json(args.trace_json)
             print(f"trace written to {args.trace_json}")
+        if args.trace_chrome:
+            get_tracer().export_chrome(args.trace_chrome)
+            print(f"chrome trace written to {args.trace_chrome}")
     finally:
-        # Commands may enable tracing themselves (profile does); leave
-        # the process-global state as we found it.
+        # Commands may enable tracing/profiling themselves (profile
+        # does); leave the process-global state as we found it.
         set_tracing(tracing_before)
+        set_profiling(profiling_before)
     return code
 
 

@@ -189,6 +189,9 @@ class LongTermAssessment:
             stream = CampaignStreamWriter(stream_artifact)
         manifest = RunManifest.for_config(cfg, command="LongTermAssessment.run")
         tracer = get_tracer()
+        # One correlation key: the deterministic run id travels into
+        # trace exports, alert lines and heartbeats.
+        tracer.trace_id = manifest.run_id
         with tracer.span(
             "assessment.run", devices=cfg.device_count, months=cfg.months
         ):

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sram.profiles import DeviceProfile
+from repro.telemetry.tracing import TraceContext
 
 
 @dataclass(frozen=True)
@@ -67,6 +68,13 @@ class ShardSpec:
     fleet_size:
         Total board count of the campaign (needed to place this
         shard's boards in the fleet-wide rollup partition).
+    trace:
+        Observability context (``None`` when neither tracing nor phase
+        profiling is live — the spec then pickles exactly as before).
+        When :attr:`~repro.telemetry.tracing.TraceContext.spans` is
+        set the worker records per-board spans on a private tracer and
+        ships them back; :attr:`~repro.telemetry.tracing.TraceContext.phases`
+        likewise for hot-path phase timings.
     """
 
     shard_index: int
@@ -82,6 +90,7 @@ class ShardSpec:
     fail_board: Optional[int] = None
     rollup_shards: int = 0
     fleet_size: int = 0
+    trace: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         if not self.board_ids:

@@ -57,8 +57,11 @@ from repro.sram.chip import SRAMChip
 from repro.sram.profiles import DeviceProfile
 from repro.store.checkpoint import board_state_doc, restore_chip
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiling import PHASE_AGING, PhaseProfiler
 from repro.telemetry.resources import ResourceSampler
 from repro.telemetry.rollup import ROLLUP_STATS, ShardRollupBuilder
+from repro.telemetry.runtime import get_profiler, install_profiler
+from repro.telemetry.tracing import NULL_SPAN, TraceContext, Tracer, span_record
 
 logger = logging.getLogger(__name__)
 
@@ -160,6 +163,9 @@ class WindowSpec:
     fail_board: Optional[int] = None
     rollup_shards: int = 0
     fleet_size: int = 0
+    #: Observability context (``None`` keeps the spec byte-compatible
+    #: with the pre-tracing pickle); mirrors ``ShardSpec.trace``.
+    trace: Optional[TraceContext] = None
 
     @property
     def board_ids(self) -> Tuple[int, ...]:
@@ -186,6 +192,12 @@ class WindowResult:
     rollups: Dict[str, dict] = field(default_factory=dict, repr=False)
     #: Worker resource sample for this window (wall/CPU/RSS).
     resources: Dict[str, float] = field(default_factory=dict, repr=False)
+    #: Pickle-safe per-board span records in board order; empty unless
+    #: ``WindowSpec.trace.spans`` was set.
+    spans: list = field(default_factory=list, repr=False)
+    #: Hot-path phase totals of this window; empty unless
+    #: ``WindowSpec.trace.phases`` was set.
+    phase_deltas: Dict[str, Dict[str, float]] = field(default_factory=dict, repr=False)
 
 
 def _registry_deltas(registry: MetricsRegistry) -> Dict[str, int]:
@@ -217,57 +229,78 @@ def run_board_window(spec: WindowSpec) -> WindowResult:
             lambda b: rollup_shard_of(b, spec.fleet_size, spec.rollup_shards)
         )
 
+    trace = spec.trace
+    tracer: Optional[Tracer] = None
+    if trace is not None and trace.spans:
+        tracer = Tracer(enabled=True)
+    previous_profiler: Optional[PhaseProfiler] = None
+    phase_deltas: Dict[str, Dict[str, float]] = {}
+    if trace is not None and trace.phases:
+        previous_profiler = install_profiler(PhaseProfiler(enabled=True))
+
     rows: Dict[int, BoardMonthMetrics] = {}
     states: Dict[int, Dict[str, Any]] = {}
     references: Dict[int, np.ndarray] = {}
-    for board in spec.boards:
-        try:
-            if spec.fail_board == board.board_id:
-                raise RuntimeError("injected fault (WindowSpec.fail_board)")
-            if board.state is None:
-                seeds = SeedHierarchy(spec.root_seed)
-                chip = SRAMChip(board.board_id, spec.profile, random_state=seeds)
-                reference = chip.read_startup()
-                powerups.inc()  # the day-0 reference read-out
-                references[board.board_id] = reference
-            else:
-                chip = _cached_chip(board)
-                if chip is None:
-                    chip = restore_chip(board.board_id, spec.profile, board.state)
-                reference = board.reference
-            row = evaluate_board(
-                chip,
-                reference,
-                measurements=spec.measurements,
-                statistical=spec.statistical,
-                temperature_k=spec.temperature,
-            )
-            rows[board.board_id] = row
-            if builder is not None:
-                builder.observe_board(
-                    board.board_id,
-                    {stat: getattr(row, stat) for stat in ROLLUP_STATS},
-                )
-            powerups.inc(spec.measurements)
-            if spec.apply_aging:
-                simulator.age_array_months(
-                    chip.array,
-                    spec.aging_acceleration,
-                    steps=spec.aging_steps_per_month,
-                )
-                aging_steps.inc(spec.aging_steps_per_month)
-            state = board_state_doc(chip)
-            states[board.board_id] = state
-            _remember_chip(board.board_id, state_digest(state), chip, reference)
-        except CampaignExecutionError:
-            raise
-        except Exception as exc:
-            raise CampaignExecutionError(
-                f"board {board.board_id} failed in month-{spec.month} window "
-                f"of shard {spec.shard_index}: {exc}",
-                board_id=board.board_id,
-                shard_index=spec.shard_index,
-            ) from exc
+    try:
+        for board in spec.boards:
+            try:
+                if spec.fail_board == board.board_id:
+                    raise RuntimeError("injected fault (WindowSpec.fail_board)")
+                with tracer.span("worker.board", board=board.board_id) if tracer is not None else NULL_SPAN:
+                    if board.state is None:
+                        seeds = SeedHierarchy(spec.root_seed)
+                        chip = SRAMChip(board.board_id, spec.profile, random_state=seeds)
+                        reference = chip.read_startup()
+                        powerups.inc()  # the day-0 reference read-out
+                        references[board.board_id] = reference
+                    else:
+                        chip = _cached_chip(board)
+                        if chip is None:
+                            chip = restore_chip(board.board_id, spec.profile, board.state)
+                        reference = board.reference
+                    with tracer.span("board.measure") if tracer is not None else NULL_SPAN:
+                        row = evaluate_board(
+                            chip,
+                            reference,
+                            measurements=spec.measurements,
+                            statistical=spec.statistical,
+                            temperature_k=spec.temperature,
+                        )
+                    rows[board.board_id] = row
+                    if builder is not None:
+                        builder.observe_board(
+                            board.board_id,
+                            {stat: getattr(row, stat) for stat in ROLLUP_STATS},
+                        )
+                    powerups.inc(spec.measurements)
+                    if spec.apply_aging:
+                        with tracer.span("board.age") if tracer is not None else NULL_SPAN:
+                            with get_profiler().phase(PHASE_AGING):
+                                simulator.age_array_months(
+                                    chip.array,
+                                    spec.aging_acceleration,
+                                    steps=spec.aging_steps_per_month,
+                                )
+                        aging_steps.inc(spec.aging_steps_per_month)
+                    state = board_state_doc(chip)
+                    states[board.board_id] = state
+                    _remember_chip(board.board_id, state_digest(state), chip, reference)
+            except CampaignExecutionError:
+                raise
+            except Exception as exc:
+                raise CampaignExecutionError(
+                    f"board {board.board_id} failed in month-{spec.month} window "
+                    f"of shard {spec.shard_index}: {exc}",
+                    board_id=board.board_id,
+                    shard_index=spec.shard_index,
+                ) from exc
+    finally:
+        if previous_profiler is not None:
+            phase_deltas = install_profiler(previous_profiler).take()
+    span_records: list = []
+    if tracer is not None and tracer.roots:
+        epoch = tracer.roots[0].start_wall
+        span_records = [span_record(root, epoch) for root in tracer.roots]
     logger.debug(
         "window finished: shard %d month %d, %d boards",
         spec.shard_index,
@@ -284,4 +317,6 @@ def run_board_window(spec: WindowSpec) -> WindowResult:
         aging_deltas=_registry_deltas(aging_registry),
         rollups=builder.take() if builder is not None else {},
         resources=sampler.sample(),
+        spans=span_records,
+        phase_deltas=phase_deltas,
     )

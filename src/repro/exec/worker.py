@@ -34,8 +34,11 @@ from repro.rng import SeedHierarchy
 from repro.sram.aging import AgingSimulator
 from repro.sram.chip import SRAMChip
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiling import PHASE_AGING, PhaseProfiler
 from repro.telemetry.resources import ResourceSampler
 from repro.telemetry.rollup import ROLLUP_STATS, ShardRollupBuilder
+from repro.telemetry.runtime import get_profiler, install_profiler
+from repro.telemetry.tracing import NULL_SPAN, Tracer, span_record
 
 logger = logging.getLogger(__name__)
 
@@ -71,6 +74,16 @@ class ShardResult:
     #: Worker resource sample for the whole shard (wall/CPU seconds,
     #: peak RSS in KiB); diagnostic only, never merged into results.
     resources: Dict[str, float] = field(default_factory=dict, repr=False)
+    #: Pickle-safe per-board span records (:func:`span_record`), one
+    #: root per simulated board in board order; empty unless
+    #: ``ShardSpec.trace.spans`` was set.  The driver grafts them under
+    #: its dispatching span sorted by board id, so the merged tree is
+    #: independent of worker count.
+    spans: List[Dict[str, object]] = field(default_factory=list, repr=False)
+    #: Hot-path phase timer totals accumulated worker-side (a
+    #: :meth:`~repro.telemetry.profiling.PhaseProfiler.take` delta
+    #: map); empty unless ``ShardSpec.trace.phases`` was set.
+    phase_deltas: Dict[str, Dict[str, float]] = field(default_factory=dict, repr=False)
 
 
 class _DeltaTracker:
@@ -101,6 +114,7 @@ def _run_board(
     seeds: SeedHierarchy,
     tracker: _DeltaTracker,
     builders: Optional[List[ShardRollupBuilder]] = None,
+    tracer: Optional[Tracer] = None,
 ) -> BoardTrajectory:
     """Simulate one board's full trajectory (serial draw order)."""
     powerups = tracker.registry.counter("campaign.powerups")
@@ -112,27 +126,31 @@ def _run_board(
     powerups.inc()  # the day-0 reference read-out
     months: List[BoardMonthMetrics] = []
     for month in range(spec.months + 1):
-        row = evaluate_board(
-            chip,
-            reference,
-            measurements=spec.measurements,
-            statistical=spec.statistical,
-            temperature_k=spec.temperatures[month],
-        )
-        months.append(row)
-        if builders is not None:
-            builders[month].observe_board(
-                board_id, {stat: getattr(row, stat) for stat in ROLLUP_STATS}
-            )
-        powerups.inc(spec.measurements)
-        tracker.checkpoint(month)
-        if month < spec.months:
-            simulator.age_array_months(
-                chip.array,
-                spec.aging_acceleration,
-                steps=spec.aging_steps_per_month,
-            )
-            aging_steps.inc(spec.aging_steps_per_month)
+        with tracer.span("board.month", month=month) if tracer is not None else NULL_SPAN:
+            with tracer.span("board.measure") if tracer is not None else NULL_SPAN:
+                row = evaluate_board(
+                    chip,
+                    reference,
+                    measurements=spec.measurements,
+                    statistical=spec.statistical,
+                    temperature_k=spec.temperatures[month],
+                )
+            months.append(row)
+            if builders is not None:
+                builders[month].observe_board(
+                    board_id, {stat: getattr(row, stat) for stat in ROLLUP_STATS}
+                )
+            powerups.inc(spec.measurements)
+            tracker.checkpoint(month)
+            if month < spec.months:
+                with tracer.span("board.age") if tracer is not None else NULL_SPAN:
+                    with get_profiler().phase(PHASE_AGING):
+                        simulator.age_array_months(
+                            chip.array,
+                            spec.aging_acceleration,
+                            steps=spec.aging_steps_per_month,
+                        )
+                aging_steps.inc(spec.aging_steps_per_month)
     return BoardTrajectory(board_id=board_id, reference=reference, months=months)
 
 
@@ -155,20 +173,41 @@ def run_board_shard(spec: ShardSpec) -> ShardResult:
             )
             for _ in range(spec.months + 1)
         ]
+    trace = spec.trace
+    tracer: Optional[Tracer] = None
+    if trace is not None and trace.spans:
+        tracer = Tracer(enabled=True)
+    # Swap in a local profiler so every get_profiler() call site in the
+    # hot path attributes here; restored (and drained) in the finally.
+    previous_profiler: Optional[PhaseProfiler] = None
+    phase_deltas: Dict[str, Dict[str, float]] = {}
+    if trace is not None and trace.phases:
+        previous_profiler = install_profiler(PhaseProfiler(enabled=True))
     trajectories: List[BoardTrajectory] = []
-    for board_id in spec.board_ids:
-        try:
-            if spec.fail_board == board_id:
-                raise RuntimeError("injected fault (ShardSpec.fail_board)")
-            trajectories.append(_run_board(spec, board_id, seeds, tracker, builders))
-        except CampaignExecutionError:
-            raise
-        except Exception as exc:
-            raise CampaignExecutionError(
-                f"board {board_id} failed in shard {spec.shard_index}: {exc}",
-                board_id=board_id,
-                shard_index=spec.shard_index,
-            ) from exc
+    try:
+        for board_id in spec.board_ids:
+            try:
+                if spec.fail_board == board_id:
+                    raise RuntimeError("injected fault (ShardSpec.fail_board)")
+                with tracer.span("worker.board", board=board_id) if tracer is not None else NULL_SPAN:
+                    trajectories.append(
+                        _run_board(spec, board_id, seeds, tracker, builders, tracer)
+                    )
+            except CampaignExecutionError:
+                raise
+            except Exception as exc:
+                raise CampaignExecutionError(
+                    f"board {board_id} failed in shard {spec.shard_index}: {exc}",
+                    board_id=board_id,
+                    shard_index=spec.shard_index,
+                ) from exc
+    finally:
+        if previous_profiler is not None:
+            phase_deltas = install_profiler(previous_profiler).take()
+    span_records: List[Dict[str, object]] = []
+    if tracer is not None and tracer.roots:
+        epoch = tracer.roots[0].start_wall
+        span_records = [span_record(root, epoch) for root in tracer.roots]
     logger.debug(
         "shard %d finished: %d boards x %d snapshots",
         spec.shard_index,
@@ -182,4 +221,6 @@ def run_board_shard(spec: ShardSpec) -> ShardResult:
         counter_deltas=tracker.deltas,
         rollup_docs=[builder.take() for builder in builders] if builders else [],
         resources=sampler.sample(),
+        spans=span_records,
+        phase_deltas=phase_deltas,
     )

@@ -43,9 +43,19 @@ class Alert:
     #: Hierarchical drill-down locator of the breaching series, e.g.
     #: ``"shard=3/wchd.p99"``; empty for flat (fleet-wide) rules.
     path: str = ""
+    #: Correlation key of the run that emitted the alert — the
+    #: campaign's deterministic run id, matching the manifest's
+    #: ``run_id`` and the trace export's ``trace_id`` — so alerts,
+    #: heartbeats and traces join on one key.  ``None`` for hubs run
+    #: outside a campaign.
+    run_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready representation (one alert-log line)."""
+        """JSON-ready representation (one alert-log line).
+
+        ``run_id`` is always present (``null`` when unset), so logs
+        from monitored and bare hubs line up field for field.
+        """
         return {
             "rule": self.rule,
             "metric": self.metric,
@@ -57,6 +67,7 @@ class Alert:
             "detail": self.detail,
             "timestamp": self.timestamp,
             "path": self.path,
+            "run_id": self.run_id,
         }
 
     @classmethod
@@ -74,6 +85,7 @@ class Alert:
                 detail=str(doc.get("detail", "")),
                 timestamp=doc.get("timestamp"),
                 path=str(doc.get("path", "")),
+                run_id=doc.get("run_id"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise StorageError(f"malformed alert record: {exc}") from exc

@@ -5,7 +5,13 @@
 supports) that appends one JSON line per snapshot to a heartbeat file::
 
     {"sequence": 4, "month": 3, "completed": 4, "total": 25,
-     "wall_s": 1.93, "cpu_s": 1.91, "rss_kb": 91648, "alerts": 0}
+     "wall_s": 1.93, "cpu_s": 1.91, "rss_kb": 91648, "alerts": 0,
+     "run_id": "91c5ad9c0e3b17a2", "months_per_s": 2.073}
+
+Heartbeats carry the campaign's deterministic ``run_id`` (the same
+key stamped into alert lines and trace exports) and the live
+``months_per_s`` throughput; when phase profiling is on, a ``phases``
+table of per-phase wall/CPU totals rides along too.
 
 ``tail -f campaign.heartbeat.jsonl`` is then a live view of a run that
 may take hours at production scale: which month it is on, how much
@@ -61,6 +67,14 @@ class SnapshotEmitter:
     flight:
         Optional :class:`~repro.telemetry.flight.FlightRecorder` that
         receives a ``heartbeat`` event per emission.
+    run_id:
+        Correlation key of the run (the campaign's deterministic run
+        id) stamped into every heartbeat line, so the dashboard can
+        join heartbeats with alerts and traces.
+    profiler:
+        Optional :class:`~repro.telemetry.profiling.PhaseProfiler`
+        whose per-phase totals ride along in every heartbeat when it
+        is enabled (``repro status`` renders the top phases live).
     """
 
     def __init__(
@@ -72,6 +86,8 @@ class SnapshotEmitter:
         cpu_clock=time.process_time,
         rollups: Optional[RollupRegistry] = None,
         flight=None,
+        run_id: Optional[str] = None,
+        profiler=None,
     ):
         if every < 1:
             raise ConfigurationError(f"every must be >= 1, got {every}")
@@ -82,6 +98,8 @@ class SnapshotEmitter:
         self._cpu_clock = cpu_clock
         self._rollups = rollups
         self._flight = flight
+        self._run_id = run_id
+        self._profiler = profiler
         self._wall_start = clock()
         self._cpu_start = cpu_clock()
         self._sequence = 0
@@ -104,6 +122,7 @@ class SnapshotEmitter:
 
     def emit(self, completed: int, total: int) -> Dict[str, Any]:
         """Append one heartbeat line and return the written document."""
+        wall_s = round(self._clock() - self._wall_start, 6)
         document: Dict[str, Any] = {
             "sequence": self._sequence,
             # Progress arrives as completed snapshot counts; the last
@@ -111,13 +130,17 @@ class SnapshotEmitter:
             "month": completed - 1,
             "completed": completed,
             "total": total,
-            "wall_s": round(self._clock() - self._wall_start, 6),
+            "wall_s": wall_s,
             "cpu_s": round(self._cpu_clock() - self._cpu_start, 6),
             "rss_kb": current_rss_kb(),
             "alerts": self._hub.alert_count if self._hub is not None else None,
+            "run_id": self._run_id,
+            "months_per_s": round(completed / wall_s, 3) if wall_s > 0 else None,
         }
         if self._rollups is not None:
             document["rollups"] = self._rollups.snapshot()
+        if self._profiler is not None and self._profiler.enabled:
+            document["phases"] = self._profiler.snapshot()
         store, name = ArtifactStore.locate(self._path)
         store.append_jsonl(name, document, sort_keys=True)
         if self._flight is not None:

@@ -108,6 +108,12 @@ class MonitorHub:
         Optional zero-argument wall-clock callable (e.g. ``time.time``)
         used to stamp alerts; ``None`` (the default) leaves timestamps
         out so replayed runs produce byte-identical logs.
+    run_id:
+        Correlation key stamped into every emitted alert (the
+        campaign's deterministic run id — see
+        :func:`repro.telemetry.run_id_for_config`).  Deterministic by
+        construction, so stamped alert logs stay byte-identical across
+        the straight/resumed and serial/parallel equivalence gates.
     """
 
     def __init__(
@@ -115,6 +121,7 @@ class MonitorHub:
         rules: Iterable[AlertRule] = (),
         alert_log: Optional[str] = None,
         clock: Optional[Callable[[], float]] = None,
+        run_id: Optional[str] = None,
     ):
         self._states: Dict[str, List[_RuleState]] = {}
         self._rollup_rules: List[AlertRule] = []
@@ -125,6 +132,7 @@ class MonitorHub:
         self._alerts: List[Alert] = []
         self._alert_log = alert_log
         self._clock = clock
+        self._run_id = run_id
         self._counter_baselines: Dict[str, float] = {}
         self._poll_sequence = 0
         metrics = get_metrics()
@@ -167,6 +175,11 @@ class MonitorHub:
         uninterrupted run's.
         """
         return self._alert_log
+
+    @property
+    def run_id(self) -> Optional[str]:
+        """Correlation key stamped into emitted alerts (or ``None``)."""
+        return self._run_id
 
     @property
     def rules(self) -> List[AlertRule]:
@@ -372,6 +385,7 @@ class MonitorHub:
             detail=decision.detail,
             timestamp=self._clock() if self._clock is not None else None,
             path=path,
+            run_id=self._run_id,
         )
         self._alerts.append(alert)
         self._alert_counter.inc()

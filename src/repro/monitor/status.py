@@ -147,14 +147,19 @@ def render_status(status: CampaignStatus) -> str:
     if beat is None:
         lines.append("  (no heartbeat yet — campaign not started or not monitored)")
     else:
+        run_id = beat.get("run_id")
+        if run_id:
+            lines.append(f"  run id: {run_id}")
         completed = beat.get("completed", 0)
         total = beat.get("total", 0)
         wall = beat.get("wall_s") or 0.0
-        rate = completed / wall if wall else float("nan")
+        rate = beat.get("months_per_s")
+        if rate is None:
+            rate = completed / wall if wall else float("nan")
         lines.append(
             f"  progress: {completed}/{total} snapshots "
             f"(month {beat.get('month')}) in {wall:.1f}s "
-            f"({rate:.2f} snapshots/s)"
+            f"({rate:.2f} months/s)"
         )
         rss = beat.get("rss_kb")
         cpu = beat.get("cpu_s")
@@ -163,6 +168,17 @@ def render_status(status: CampaignStatus) -> str:
                 f"  resources: cpu {cpu if cpu is not None else '?'}s, "
                 f"rss {rss if rss is not None else '?'} KiB"
             )
+        phases = beat.get("phases")
+        if phases:
+            top = sorted(
+                phases.items(),
+                key=lambda item: -float(item[1].get("cpu_s", 0.0)),
+            )[:3]
+            rendered = ", ".join(
+                f"{name} {float(stats.get('cpu_s', 0.0)):.2f}s"
+                for name, stats in top
+            )
+            lines.append(f"  top phases (cpu): {rendered}")
         rollups = beat.get("rollups")
         if rollups:
             lines.append("rollups:")

@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.sram.chip import SRAMChip
+from repro.telemetry.profiling import PHASE_NOISE_DRAW, PHASE_POWERUP
+from repro.telemetry.runtime import get_profiler
 
 
 @dataclass(frozen=True)
@@ -63,7 +65,8 @@ def measure_power_ups(
     chip: SRAMChip, count: int, temperature_k: Optional[float] = None
 ) -> np.ndarray:
     """Measurement-level sampling: ``(count, read_bits)`` bit matrix."""
-    bits = chip.read_startup(count, temperature_k)
+    with get_profiler().phase(PHASE_POWERUP):
+        bits = chip.read_startup(count, temperature_k)
     return bits[np.newaxis, :] if bits.ndim == 1 else bits
 
 
@@ -71,7 +74,8 @@ def binomial_ones_counts(
     chip: SRAMChip, measurements: int, temperature_k: Optional[float] = None
 ) -> np.ndarray:
     """Statistical sampling: per-cell ones-counts over ``measurements``."""
-    return chip.read_window_ones_counts(measurements, temperature_k)
+    with get_profiler().phase(PHASE_NOISE_DRAW):
+        return chip.read_window_ones_counts(measurements, temperature_k)
 
 
 def sample_measurement_block(
@@ -91,11 +95,16 @@ def sample_measurement_block(
     if measurements <= 0:
         raise ConfigurationError(f"measurements must be positive, got {measurements}")
     if statistical:
-        first = chip.read_startup(1, temperature_k)
+        profiler = get_profiler()
+        with profiler.phase(PHASE_POWERUP):
+            first = chip.read_startup(1, temperature_k)
         if measurements == 1:
             counts = first.astype(np.int64)
         else:
-            counts = first + chip.read_window_ones_counts(measurements - 1, temperature_k)
+            with profiler.phase(PHASE_NOISE_DRAW):
+                counts = first + chip.read_window_ones_counts(
+                    measurements - 1, temperature_k
+                )
         return PowerUpSample(measurements, counts, first)
     block = measure_power_ups(chip, measurements, temperature_k)
     return PowerUpSample(

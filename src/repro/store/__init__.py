@@ -19,6 +19,8 @@ package:
   checkpointer, compaction and chain validation.
 * :mod:`repro.store.stream` — the incremental (JSON Lines) campaign
   artifact format and its writer/loader.
+* :mod:`repro.store.bench` — the append-only perf-regression ledger
+  behind ``repro bench`` (record / compare / list).
 
 Layering: this package sits *below* ``repro.io``, ``repro.monitor``,
 ``repro.telemetry`` and ``repro.exec`` (they persist through it) and
@@ -26,6 +28,15 @@ must not import them at module scope.  See ``docs/storage.md``.
 """
 
 from repro.store.artifact import ArtifactStore
+from repro.store.bench import (
+    BENCH_LEDGER_NAME,
+    BENCH_VERSION,
+    BenchLedger,
+    git_revision,
+    higher_is_better,
+    host_fingerprint,
+    render_comparison,
+)
 from repro.store.atomic import (
     TMP_SUFFIX,
     append_line,
@@ -82,6 +93,9 @@ from repro.store.stream import (
 
 __all__ = [
     "ArtifactStore",
+    "BENCH_LEDGER_NAME",
+    "BENCH_VERSION",
+    "BenchLedger",
     "CampaignCheckpointer",
     "CampaignStreamWriter",
     "CheckpointState",
@@ -109,6 +123,9 @@ __all__ = [
     "encode_float64_array",
     "find_stray_tmp_files",
     "fold_counter_deltas",
+    "git_revision",
+    "higher_is_better",
+    "host_fingerprint",
     "is_stream_header",
     "list_checkpoints",
     "load_campaign_stream_doc",
@@ -118,6 +135,7 @@ __all__ = [
     "parse_checkpoint_doc",
     "parse_delta_doc",
     "register_migration",
+    "render_comparison",
     "restore_chip",
     "write_campaign_stream",
     "restore_rng_state",

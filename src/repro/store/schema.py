@@ -34,7 +34,7 @@ SCHEMAS: Dict[str, Dict[str, Any]] = {
     "campaign-stream": {"field": "stream_version", "current": 1},
     "manifest": {"field": "manifest_version", "current": 1},
     "checkpoint": {"field": "checkpoint_version", "current": 2},
-    "trace": {"field": "version", "current": 1},
+    "trace": {"field": "version", "current": 2},
 }
 
 _MIGRATIONS: Dict[Tuple[str, int], Migration] = {}
@@ -155,6 +155,19 @@ def _checkpoint_v1_to_v2(document: Dict[str, Any]) -> Dict[str, Any]:
     """
     document["kind"] = "keyframe"
     document["checkpoint_version"] = 2
+    return document
+
+
+@register_migration("trace", 1)
+def _trace_v1_to_v2(document: Dict[str, Any]) -> Dict[str, Any]:
+    """v1 traces predate distributed tracing: no trace id, no span ids.
+
+    v2 added the ``trace_id`` correlation key and per-span
+    ``span_id``/``parent_id`` fields.  Old dumps gain a null trace id;
+    span ids stay absent (readers treat missing ids as unassigned).
+    """
+    document.setdefault("trace_id", None)
+    document["version"] = 2
     return document
 
 

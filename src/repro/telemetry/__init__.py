@@ -20,13 +20,30 @@ Quick tour
 from repro.telemetry.flight import FlightRecorder, flight_record_path_for
 from repro.telemetry.labels import canonical_labels, labeled_name, parse_labeled_name
 from repro.telemetry.logconfig import init_logging, verbosity_to_level
-from repro.telemetry.manifest import MANIFEST_VERSION, RunManifest, manifest_path_for
+from repro.telemetry.manifest import (
+    MANIFEST_VERSION,
+    RunManifest,
+    deterministic_run_id,
+    manifest_path_for,
+    run_id_for_config,
+)
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.telemetry.profiling import (
+    NULL_PHASE,
+    PHASES,
+    PHASE_AGING,
+    PHASE_METRICS,
+    PHASE_MONITOR,
+    PHASE_NOISE_DRAW,
+    PHASE_POWERUP,
+    PHASE_STORE_IO,
+    PhaseProfiler,
 )
 from repro.telemetry.resources import ResourceSampler, current_rss_kb
 from repro.telemetry.rollup import (
@@ -43,15 +60,29 @@ from repro.telemetry.rollup import (
 from repro.telemetry.runtime import (
     get_flight_recorder,
     get_metrics,
+    get_profiler,
     get_rollups,
     get_tracer,
+    install_profiler,
+    profiling_enabled,
     reset_telemetry,
     rollups_enabled,
+    set_profiling,
     set_rollups_enabled,
     set_tracing,
     tracing_enabled,
 )
-from repro.telemetry.tracing import NULL_SPAN, Span, Tracer
+from repro.telemetry.tracing import (
+    NULL_SPAN,
+    TRACE_VERSION,
+    Span,
+    TraceContext,
+    Tracer,
+    chrome_trace_events,
+    graft_records,
+    span_from_record,
+    span_record,
+)
 
 __all__ = [
     "Counter",
@@ -61,7 +92,16 @@ __all__ = [
     "Histogram",
     "MANIFEST_VERSION",
     "MetricsRegistry",
+    "NULL_PHASE",
     "NULL_SPAN",
+    "PHASES",
+    "PHASE_AGING",
+    "PHASE_METRICS",
+    "PHASE_MONITOR",
+    "PHASE_NOISE_DRAW",
+    "PHASE_POWERUP",
+    "PHASE_STORE_IO",
+    "PhaseProfiler",
     "ROLLUP_STATS",
     "ResourceSampler",
     "RollupRegistry",
@@ -69,27 +109,39 @@ __all__ = [
     "RunManifest",
     "ShardRollupBuilder",
     "Span",
+    "TRACE_VERSION",
+    "TraceContext",
     "Tracer",
     "UNIT_BOUNDS",
     "WIDE_BOUNDS",
     "canonical_labels",
+    "chrome_trace_events",
     "combine_rollup_docs",
     "current_rss_kb",
+    "deterministic_run_id",
     "evaluation_shard_docs",
     "flight_record_path_for",
     "fold_rollup_docs",
     "get_flight_recorder",
     "get_metrics",
+    "get_profiler",
     "get_rollups",
     "get_tracer",
+    "graft_records",
     "init_logging",
+    "install_profiler",
     "labeled_name",
     "manifest_path_for",
     "parse_labeled_name",
+    "profiling_enabled",
     "reset_telemetry",
     "rollups_enabled",
+    "run_id_for_config",
+    "set_profiling",
     "set_rollups_enabled",
     "set_tracing",
+    "span_from_record",
+    "span_record",
     "tracing_enabled",
     "verbosity_to_level",
 ]

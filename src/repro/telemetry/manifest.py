@@ -18,6 +18,8 @@ flatten their config before handing it over
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 import platform as _platform
 import sys
 import time
@@ -36,6 +38,48 @@ def _utc_timestamp() -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 
+def _flatten_config(config: Any) -> Dict[str, Any]:
+    """Flatten a config object to JSON-native values.
+
+    Dataclass fields keep JSON-native values as-is, named objects
+    (e.g. a :class:`~repro.sram.profiles.DeviceProfile`) flatten to
+    their ``name``, everything else to ``repr``.  Plain dicts pass
+    through.
+    """
+    if dataclasses.is_dataclass(config):
+        flat: Dict[str, Any] = {}
+        for f in dataclasses.fields(config):
+            value = getattr(config, f.name)
+            if isinstance(value, (int, float, str, bool, type(None))):
+                flat[f.name] = value
+            elif hasattr(value, "name"):
+                flat[f.name] = value.name
+            else:
+                flat[f.name] = repr(value)
+        return flat
+    if isinstance(config, dict):
+        return dict(config)
+    return {}
+
+
+def deterministic_run_id(flat_config: Dict[str, Any]) -> str:
+    """Content-derived run id: sha256 of the canonical config, 16 hex chars.
+
+    The id is a pure function of the flattened configuration
+    (sorted-key JSON), so the same study produces the same id whether
+    it runs straight through, resumed from a checkpoint, serial or
+    parallel — which is what lets alert logs and heartbeats carry the
+    id while staying byte-identical across those equivalence gates.
+    """
+    canonical = json.dumps(flat_config, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(canonical).hexdigest()[:16]
+
+
+def run_id_for_config(config: Any) -> str:
+    """The deterministic run id a config will be stamped with."""
+    return deterministic_run_id(_flatten_config(config))
+
+
 @dataclass
 class RunManifest:
     """Provenance record of one run.
@@ -43,7 +87,11 @@ class RunManifest:
     Attributes
     ----------
     run_id:
-        Unique id of this run (random UUID hex by default).
+        Id of this run.  :meth:`for_config` derives it
+        deterministically from the flattened configuration
+        (:func:`deterministic_run_id`) so equivalent runs — straight
+        or resumed, serial or parallel — share one correlation key;
+        a bare ``RunManifest()`` falls back to a random UUID hex.
     created_at:
         UTC creation timestamp, ISO-8601.
     package_version:
@@ -92,26 +140,18 @@ class RunManifest:
         Accepts a :class:`~repro.core.config.StudyConfig` (or any
         dataclass with an optional ``seed`` field and an optional
         ``profile`` with a ``name``); non-JSON values are flattened to
-        their names.
+        their names.  The manifest's ``run_id`` is derived from the
+        flattened config (:func:`deterministic_run_id`), never random.
         """
-        flat: Dict[str, Any] = {}
-        seed: Optional[int] = None
-        if dataclasses.is_dataclass(config):
-            for f in dataclasses.fields(config):
-                value = getattr(config, f.name)
-                if isinstance(value, (int, float, str, bool, type(None))):
-                    flat[f.name] = value
-                elif hasattr(value, "name"):
-                    flat[f.name] = value.name
-                else:
-                    flat[f.name] = repr(value)
-            seed_value = flat.get("seed")
-            seed = seed_value if isinstance(seed_value, int) else None
-        elif isinstance(config, dict):
-            flat = dict(config)
-            seed_value = flat.get("seed")
-            seed = seed_value if isinstance(seed_value, int) else None
-        return cls(command=command, config=flat, seed=seed)
+        flat = _flatten_config(config)
+        seed_value = flat.get("seed")
+        seed = seed_value if isinstance(seed_value, int) else None
+        return cls(
+            run_id=deterministic_run_id(flat),
+            command=command,
+            config=flat,
+            seed=seed,
+        )
 
     def record_phase(self, name: str, wall_s: float) -> None:
         """Record (or overwrite) one phase's wall-clock duration."""

@@ -13,6 +13,10 @@ Policy:
 * **Tracing is opt-in** (:func:`set_tracing`): a disabled tracer
   hands out a shared no-op span.  The CLI enables it for ``profile``
   runs and ``--trace-json``.
+* **Phase profiling is opt-in** (:func:`set_profiling`): a disabled
+  profiler hands out a shared no-op phase.  Shard workers swap in a
+  local profiler via :func:`install_profiler` so hot-path attribution
+  lands in the worker and ships home as deltas.
 
 Neither instrument touches any random stream, so toggling telemetry
 can never change a simulation's scientific output.
@@ -22,6 +26,7 @@ from __future__ import annotations
 
 from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.profiling import PhaseProfiler
 from repro.telemetry.rollup import RollupRegistry
 from repro.telemetry.tracing import Tracer
 
@@ -29,6 +34,7 @@ _tracer = Tracer(enabled=False)
 _metrics = MetricsRegistry()
 _rollups = RollupRegistry()
 _flight = FlightRecorder()
+_profiler = PhaseProfiler(enabled=False)
 _rollups_enabled = True
 
 
@@ -77,6 +83,37 @@ def tracing_enabled() -> bool:
     return _tracer.enabled
 
 
+def get_profiler() -> PhaseProfiler:
+    """The process-global phase profiler."""
+    return _profiler
+
+
+def set_profiling(enabled: bool) -> None:
+    """Enable or disable phase accumulation on the global profiler."""
+    _profiler.enabled = bool(enabled)
+
+
+def profiling_enabled() -> bool:
+    """Whether the global profiler accumulates phase timings."""
+    return _profiler.enabled
+
+
+def install_profiler(profiler: PhaseProfiler) -> PhaseProfiler:
+    """Swap in ``profiler`` as the process-global one; returns the old.
+
+    Shard workers install a *local* profiler for the duration of a
+    window so every ``get_profiler()`` call site in the hot path
+    attributes into it, then ship its deltas back and restore the
+    previous profiler.  The serial (in-process) executor uses the same
+    pattern, which is what makes serial and spawned attribution
+    identical.
+    """
+    global _profiler
+    previous = _profiler
+    _profiler = profiler
+    return previous
+
+
 def reset_telemetry() -> None:
     """Zero the global registry and drop all recorded spans.
 
@@ -90,4 +127,5 @@ def reset_telemetry() -> None:
     _metrics.reset()
     _rollups.reset()
     _flight.reset()
+    _profiler.reset()
     _rollups_enabled = True

@@ -11,6 +11,17 @@ so instrumented code pays one attribute check and nothing else.  The
 tracer never touches any random stream — enabling or disabling it
 cannot change a simulation's scientific output.
 
+Tracing is also *distributed*: a :class:`TraceContext` travels by
+value into shard workers (:mod:`repro.exec`), each worker records its
+own spans on a private tracer, ships them back as pickle-safe records
+(:func:`span_record`), and the campaign driver grafts them under the
+dispatching span (:func:`graft_records`) — one campaign, one coherent
+tree, regardless of worker count.  :meth:`Tracer.assign_ids` then
+numbers the merged tree deterministically (pre-order DFS), giving
+every span a stable ``span_id``/``parent_id`` pair, and
+:meth:`Tracer.export_chrome` emits the Chrome ``trace_event`` format
+that Perfetto and speedscope load directly.
+
 Examples
 --------
 >>> tracer = Tracer(enabled=True)
@@ -21,15 +32,42 @@ Examples
 ['outer']
 >>> tracer.roots[0].children[0].attributes["month"]
 3
+>>> tracer.assign_ids()
+>>> (tracer.roots[0].span_id, tracer.roots[0].children[0].parent_id)
+(1, 1)
 """
 
 from __future__ import annotations
 
 import json
 import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.errors import ConfigurationError
+
+#: Trace export document version (see :mod:`repro.store.schema`).
+TRACE_VERSION = 2
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Pickle-safe observability context handed to shard workers.
+
+    Carries *values only* — the campaign's trace id plus which layers
+    are live — so it survives the ``spawn`` start method.  Workers
+    never mutate the parent's tracer; they build a private one when
+    ``spans`` is set and return records for the parent to graft.
+    """
+
+    trace_id: Optional[str] = None
+    spans: bool = False
+    phases: bool = False
+
+    @property
+    def active(self) -> bool:
+        """Whether any observability layer is on for workers."""
+        return self.spans or self.phases
 
 
 class Span:
@@ -47,6 +85,8 @@ class Span:
         "end_wall",
         "start_cpu",
         "end_cpu",
+        "span_id",
+        "parent_id",
     )
 
     def __init__(self, name: str, attributes: Optional[Dict[str, Any]] = None):
@@ -59,6 +99,11 @@ class Span:
         self.end_wall: Optional[float] = None
         self.start_cpu: float = 0.0
         self.end_cpu: Optional[float] = None
+        #: Stable pre-order id within the merged tree; assigned by
+        #: :meth:`Tracer.assign_ids` (None until then).
+        self.span_id: Optional[int] = None
+        #: ``span_id`` of the parent span (None for roots).
+        self.parent_id: Optional[int] = None
 
     def _start(self) -> None:
         self.start_wall = time.perf_counter()
@@ -93,6 +138,8 @@ class Span:
         """JSON-ready representation of this span and its subtree."""
         return {
             "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
             "wall_s": self.wall_s,
             "cpu_s": self.cpu_s,
             "attributes": dict(self.attributes),
@@ -120,6 +167,108 @@ class _NullSpan:
 
 
 NULL_SPAN = _NullSpan()
+
+
+def span_record(span: Span, epoch: float) -> Dict[str, Any]:
+    """Pickle-safe record of ``span``'s subtree for cross-process shipping.
+
+    ``epoch`` is the worker's local time origin (typically the first
+    recorded span's ``start_wall``); every ``start_s`` in the record is
+    relative to it, so the receiving process can re-base the subtree
+    onto its own clock with :func:`graft_records`.  Only plain dicts,
+    strings and floats — records survive ``pickle`` under ``spawn``.
+    """
+    return {
+        "name": span.name,
+        "attributes": dict(span.attributes),
+        "start_s": span.start_wall - epoch,
+        "wall_s": span.wall_s,
+        "cpu_s": span.cpu_s,
+        "children": [span_record(child, epoch) for child in span.children],
+    }
+
+
+def span_from_record(record: Dict[str, Any], base_wall: float) -> Span:
+    """Rebuild a :class:`Span` subtree from a :func:`span_record`.
+
+    ``base_wall`` is the receiving process's anchor time (the grafting
+    parent's ``start_wall``): worker-relative offsets become absolute
+    positions on the parent's timeline, so Chrome exports render the
+    grafted work inside the span that dispatched it.
+    """
+    span = Span(str(record["name"]), record.get("attributes") or {})
+    start = base_wall + float(record.get("start_s", 0.0))
+    span.start_wall = start
+    span.end_wall = start + float(record["wall_s"])
+    span.start_cpu = 0.0
+    span.end_cpu = float(record["cpu_s"])
+    span.children = [
+        span_from_record(child, base_wall)
+        for child in record.get("children", ())
+    ]
+    return span
+
+
+def graft_records(parent: Span, records: List[Dict[str, Any]]) -> None:
+    """Attach worker span records as children of ``parent``.
+
+    The caller fixes the order (the campaign driver sorts per-board
+    records by board id), which is what makes the merged tree —
+    names, structure and ids — identical at any worker count.
+    """
+    for record in records:
+        parent.children.append(span_from_record(record, parent.start_wall))
+
+
+def chrome_trace_events(
+    roots: List[Span], trace_origin: Optional[float] = None
+) -> List[Dict[str, Any]]:
+    """Chrome ``trace_event`` complete events (``ph: "X"``) for a forest.
+
+    Timestamps are microseconds relative to ``trace_origin`` (default:
+    the earliest root start).  Spans carrying a ``board`` attribute get
+    their own ``tid`` track (``board + 1``, inherited by descendants),
+    so a parallel campaign renders one lane per board in Perfetto
+    instead of overlapping slices on a single track.
+    """
+    if not roots:
+        return []
+    origin = (
+        trace_origin
+        if trace_origin is not None
+        else min(root.start_wall for root in roots)
+    )
+    events: List[Dict[str, Any]] = []
+
+    def visit(span: Span, tid: int) -> None:
+        if "board" in span.attributes:
+            try:
+                tid = int(span.attributes["board"]) + 1
+            except (TypeError, ValueError):
+                pass
+        args: Dict[str, Any] = dict(span.attributes)
+        if span.span_id is not None:
+            args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": round((span.start_wall - origin) * 1e6, 3),
+                "dur": round(span.wall_s * 1e6, 3),
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        for child in span.children:
+            visit(child, tid)
+
+    for root in roots:
+        visit(root, 0)
+    return events
 
 
 class _ActiveSpan:
@@ -160,6 +309,10 @@ class Tracer:
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
+        #: Correlation key of the run being traced (the campaign's
+        #: deterministic ``run_id``); stamped into exports so traces,
+        #: alerts and heartbeats join on one key.
+        self.trace_id: Optional[str] = None
         self._roots: List[Span] = []
         self._stack: List[Span] = []
 
@@ -200,11 +353,45 @@ class Tracer:
 
     def reset(self) -> None:
         """Drop every recorded span (open spans are abandoned)."""
+        self.trace_id = None
         self._roots = []
         self._stack = []
 
+    def assign_ids(self) -> None:
+        """Number the span forest deterministically (pre-order DFS).
+
+        Ids depend only on tree *structure* — never on timings or on
+        which worker produced a subtree — so the same campaign yields
+        the same ids at any worker count.  Re-running after a graft
+        renumbers the whole forest consistently.
+        """
+        counter = [0]
+
+        def visit(span: Span, parent_id: Optional[int]) -> None:
+            counter[0] += 1
+            span.span_id = counter[0]
+            span.parent_id = parent_id
+            for child in span.children:
+                visit(child, span.span_id)
+
+        for root in self._roots:
+            visit(root, None)
+
+    def context(self, phases: bool = False) -> Optional[TraceContext]:
+        """The :class:`TraceContext` to hand shard workers, or ``None``.
+
+        ``None`` when nothing is live — specs then pickle exactly as
+        they did before the observability layer existed.
+        """
+        if not self.enabled and not phases:
+            return None
+        return TraceContext(
+            trace_id=self.trace_id, spans=self.enabled, phases=phases
+        )
+
     def to_dicts(self) -> List[Dict[str, Any]]:
-        """JSON-ready list of root span trees."""
+        """JSON-ready list of root span trees (ids freshly assigned)."""
+        self.assign_ids()
         return [root.to_dict() for root in self._roots]
 
     def export_json(self, path: str) -> None:
@@ -213,7 +400,33 @@ class Tracer:
         # repro.telemetry (store sits below telemetry in the layering).
         from repro.store.artifact import ArtifactStore
 
-        document = {"format": "repro-trace", "version": 1, "spans": self.to_dicts()}
+        document = {
+            "format": "repro-trace",
+            "version": TRACE_VERSION,
+            "trace_id": self.trace_id,
+            "spans": self.to_dicts(),
+        }
+        store, name = ArtifactStore.locate(path)
+        store.write_json(name, document, indent=2)
+
+    def export_chrome(self, path: str) -> None:
+        """Atomically write the forest as Chrome ``trace_event`` JSON.
+
+        The document loads directly in Perfetto (ui.perfetto.dev),
+        ``chrome://tracing`` and speedscope: one ``ph: "X"`` complete
+        event per span, per-board lanes, span/parent ids in ``args``.
+        """
+        from repro.store.artifact import ArtifactStore
+
+        self.assign_ids()
+        document = {
+            "traceEvents": chrome_trace_events(self._roots),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "format": "repro-trace-chrome",
+                "trace_id": self.trace_id,
+            },
+        }
         store, name = ArtifactStore.locate(path)
         store.write_json(name, document, indent=2)
 

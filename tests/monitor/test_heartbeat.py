@@ -90,3 +90,45 @@ class TestSnapshotEmitter:
     def test_every_must_be_positive(self, tmp_path):
         with pytest.raises(ConfigurationError):
             SnapshotEmitter(str(tmp_path / "x"), every=0)
+
+
+class TestCorrelationAndPhases:
+    def test_run_id_rides_in_every_heartbeat(self, tmp_path):
+        path = str(tmp_path / "heartbeat.jsonl")
+        emitter = SnapshotEmitter(path, run_id="91c5ad9c0e3b17a2")
+        emitter(1, 2)
+        emitter(2, 2)
+        assert [b["run_id"] for b in read_jsonl(path)] == [
+            "91c5ad9c0e3b17a2", "91c5ad9c0e3b17a2"
+        ]
+
+    def test_run_id_null_when_unset(self, tmp_path):
+        path = str(tmp_path / "heartbeat.jsonl")
+        SnapshotEmitter(path)(1, 1)
+        assert read_jsonl(path)[0]["run_id"] is None
+
+    def test_months_per_s_throughput(self, tmp_path):
+        path = str(tmp_path / "heartbeat.jsonl")
+        ticks = iter([10.0, 14.0])
+        emitter = SnapshotEmitter(path, clock=lambda: next(ticks))
+        document = emitter.emit(8, 10)
+        assert document["months_per_s"] == pytest.approx(2.0)
+
+    def test_phases_ride_when_profiler_enabled(self, tmp_path):
+        from repro.telemetry import PhaseProfiler
+
+        path = str(tmp_path / "heartbeat.jsonl")
+        profiler = PhaseProfiler(enabled=True)
+        profiler.add("aging", wall_s=2.0, cpu_s=1.5, calls=4)
+        SnapshotEmitter(path, profiler=profiler)(1, 1)
+        beat = read_jsonl(path)[0]
+        assert beat["phases"]["aging"] == {
+            "wall_s": 2.0, "cpu_s": 1.5, "calls": 4
+        }
+
+    def test_phases_absent_when_profiler_disabled(self, tmp_path):
+        from repro.telemetry import PhaseProfiler
+
+        path = str(tmp_path / "heartbeat.jsonl")
+        SnapshotEmitter(path, profiler=PhaseProfiler(enabled=False))(1, 1)
+        assert "phases" not in read_jsonl(path)[0]

@@ -137,6 +137,25 @@ class TestAlertLog:
         hub = MonitorHub([threshold_rule()], clock=lambda: 42.0)
         assert hub.observe("series", 2.0, 0)[0].timestamp == 42.0
 
+    def test_run_id_stamps_alerts_and_log_lines(self, tmp_path):
+        log = str(tmp_path / "alerts.jsonl")
+        hub = MonitorHub(
+            [threshold_rule()], alert_log=log, run_id="91c5ad9c0e3b17a2"
+        )
+        assert hub.run_id == "91c5ad9c0e3b17a2"
+        (alert,) = hub.observe("series", 2.0, 0)
+        assert alert.run_id == "91c5ad9c0e3b17a2"
+        with open(log, "r", encoding="utf-8") as handle:
+            (line,) = [json.loads(l) for l in handle if l.strip()]
+        assert line["run_id"] == "91c5ad9c0e3b17a2"
+
+    def test_run_id_field_always_serialised(self):
+        # Monitored and bare hubs must produce field-identical log
+        # lines — null, not absent, when no run id exists.
+        doc = Alert("r", "m", "warning", 1, 0.5).to_dict()
+        assert "run_id" in doc and doc["run_id"] is None
+        assert Alert.from_dict(doc).run_id is None
+
 
 class TestCounterPolling:
     def test_rate_rule_sees_deltas_not_totals(self):

@@ -95,6 +95,36 @@ class TestRenderStatus:
         assert "[shard=3/wchd.p99]" in text
         assert "0.5" in text.replace("0.50", "0.5")  # snapshots/s figure
 
+    def test_renders_run_id_throughput_and_top_phases(self):
+        status = CampaignStatus(
+            target="campaign.json",
+            heartbeat={
+                "sequence": 1, "month": 1, "completed": 2, "total": 25,
+                "wall_s": 4.0, "cpu_s": 3.5, "rss_kb": 90000, "alerts": 0,
+                "run_id": "91c5ad9c0e3b17a2", "months_per_s": 0.5,
+                "phases": {
+                    "noise_draw": {"wall_s": 2.0, "cpu_s": 1.8, "calls": 4},
+                    "aging": {"wall_s": 1.0, "cpu_s": 0.9, "calls": 2},
+                    "metrics": {"wall_s": 0.5, "cpu_s": 0.4, "calls": 3},
+                    "monitor": {"wall_s": 0.1, "cpu_s": 0.1, "calls": 2},
+                },
+            },
+        )
+        text = render_status(status)
+        assert "run id: 91c5ad9c0e3b17a2" in text
+        assert "0.50 months/s" in text
+        # Top three phases by CPU, most expensive first.
+        assert "top phases (cpu): noise_draw 1.80s, aging 0.90s, " \
+               "metrics 0.40s" in text
+        assert "monitor" not in text.split("top phases")[1]
+
+    def test_rate_falls_back_to_computed_when_absent(self):
+        status = CampaignStatus(
+            target="campaign.json",
+            heartbeat={"completed": 4, "total": 8, "wall_s": 2.0, "month": 3},
+        )
+        assert "2.00 months/s" in render_status(status)
+
     def test_renders_crash_banner(self):
         status = CampaignStatus(
             target="campaign.json",

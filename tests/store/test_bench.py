@@ -1,0 +1,187 @@
+"""Tests for the perf-regression ledger (repro.store.bench)."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, StorageError
+from repro.store.bench import (
+    BENCH_VERSION,
+    BenchLedger,
+    git_revision,
+    higher_is_better,
+    host_fingerprint,
+    render_comparison,
+)
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return BenchLedger(str(tmp_path / "bench_ledger.jsonl"))
+
+
+def _seed(ledger, *metric_dicts, name="kernel", host="h1"):
+    """Append one run per metrics dict, with increasing fake revisions."""
+    for index, metrics in enumerate(metric_dicts):
+        ledger.record(
+            name,
+            metrics,
+            host=host,
+            git_rev=f"rev{index}",
+            created_at=f"2026-08-0{index + 1}T00:00:00Z",
+        )
+
+
+class TestDirectionHeuristic:
+    @pytest.mark.parametrize(
+        "metric", ["months_per_s", "blocks_per_s", "throughput", "cache_hits",
+                   "decode_ops", "sample_rate"]
+    )
+    def test_throughput_shaped_metrics_improve_upward(self, metric):
+        assert higher_is_better(metric)
+
+    @pytest.mark.parametrize("metric", ["wall_s", "cpu_s", "rss_kb", "latency"])
+    def test_cost_shaped_metrics_improve_downward(self, metric):
+        assert not higher_is_better(metric)
+
+
+class TestIdentity:
+    def test_host_fingerprint_stable_hex(self):
+        fingerprint = host_fingerprint()
+        assert fingerprint == host_fingerprint()
+        assert len(fingerprint) == 12
+        int(fingerprint, 16)
+
+    def test_git_revision_in_this_repo(self):
+        rev = git_revision()
+        assert rev == "unknown" or len(rev) == 40
+
+    def test_git_revision_outside_a_checkout(self, tmp_path):
+        assert git_revision(cwd=str(tmp_path)) == "unknown"
+
+
+class TestRecord:
+    def test_record_writes_sorted_jsonl(self, ledger):
+        ledger.record("k", {"wall_s": 1.5}, host="h", git_rev="r", created_at="t")
+        with open(ledger.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 1
+        document = json.loads(lines[0])
+        assert document["bench_version"] == BENCH_VERSION
+        assert document["metrics"] == {"wall_s": 1.5}
+        assert list(document) == sorted(document)
+
+    def test_record_is_append_only(self, ledger):
+        _seed(ledger, {"wall_s": 1.0}, {"wall_s": 2.0})
+        with open(ledger.path, "r", encoding="utf-8") as handle:
+            assert len(handle.read().splitlines()) == 2
+
+    def test_empty_name_rejected(self, ledger):
+        with pytest.raises(ConfigurationError):
+            ledger.record("", {"wall_s": 1.0})
+
+    def test_empty_metrics_rejected(self, ledger):
+        with pytest.raises(ConfigurationError):
+            ledger.record("k", {})
+
+    def test_non_numeric_metric_rejected(self, ledger):
+        with pytest.raises(ConfigurationError, match="not numeric"):
+            ledger.record("k", {"wall_s": "fast"})
+
+    def test_defaults_fill_identity_fields(self, ledger):
+        document = ledger.record("k", {"wall_s": 1.0})
+        assert document["host"] == host_fingerprint()
+        assert document["git_rev"] == git_revision()
+        assert document["created_at"]
+
+
+class TestRecords:
+    def test_missing_ledger_reads_empty(self, ledger):
+        assert ledger.records() == []
+        assert ledger.names() == []
+
+    def test_filter_by_name_and_host(self, ledger):
+        _seed(ledger, {"wall_s": 1.0}, name="a", host="h1")
+        _seed(ledger, {"wall_s": 2.0}, name="b", host="h1")
+        _seed(ledger, {"wall_s": 3.0}, name="a", host="h2")
+        assert len(ledger.records(name="a")) == 2
+        assert len(ledger.records(name="a", host="h1")) == 1
+        assert ledger.names() == ["a", "b"]
+
+    def test_malformed_line_raises(self, ledger, tmp_path):
+        ledger.record("k", {"wall_s": 1.0})
+        with open(ledger.path, "a", encoding="utf-8") as handle:
+            handle.write('{"not": "a bench line"}\n')
+        with pytest.raises(StorageError, match="not a bench ledger line"):
+            ledger.records()
+
+
+class TestCompare:
+    def test_regression_in_time_metric(self, ledger):
+        _seed(ledger, {"wall_s": 1.0}, {"wall_s": 1.5})
+        comparison = ledger.compare("kernel", threshold=0.10, host="h1")
+        assert comparison["regressions"] == ["wall_s"]
+        assert comparison["metrics"]["wall_s"]["change"] == pytest.approx(0.5)
+
+    def test_regression_in_throughput_metric(self, ledger):
+        _seed(ledger, {"ops_per_s": 100.0}, {"ops_per_s": 80.0})
+        comparison = ledger.compare("kernel", threshold=0.10, host="h1")
+        assert comparison["regressions"] == ["ops_per_s"]
+
+    def test_improvement_is_not_a_regression(self, ledger):
+        _seed(ledger, {"wall_s": 1.5, "ops_per_s": 80.0},
+              {"wall_s": 1.0, "ops_per_s": 100.0})
+        comparison = ledger.compare("kernel", threshold=0.10, host="h1")
+        assert comparison["regressions"] == []
+
+    def test_within_threshold_passes(self, ledger):
+        _seed(ledger, {"wall_s": 1.0}, {"wall_s": 1.05})
+        comparison = ledger.compare("kernel", threshold=0.10, host="h1")
+        assert comparison["regressions"] == []
+
+    def test_newest_two_runs_compared(self, ledger):
+        _seed(ledger, {"wall_s": 9.0}, {"wall_s": 1.0}, {"wall_s": 1.01})
+        comparison = ledger.compare("kernel", threshold=0.10, host="h1")
+        assert comparison["baseline"]["git_rev"] == "rev1"
+        assert comparison["candidate"]["git_rev"] == "rev2"
+        assert comparison["regressions"] == []
+
+    def test_cross_host_runs_ignored(self, ledger):
+        _seed(ledger, {"wall_s": 1.0}, {"wall_s": 1.01})
+        _seed(ledger, {"wall_s": 99.0}, host="noisy-host")
+        comparison = ledger.compare("kernel", threshold=0.10, host="h1")
+        assert comparison["regressions"] == []
+
+    def test_fewer_than_two_runs_raises(self, ledger):
+        _seed(ledger, {"wall_s": 1.0})
+        with pytest.raises(StorageError, match="need at least 2"):
+            ledger.compare("kernel", host="h1")
+
+    def test_negative_threshold_rejected(self, ledger):
+        with pytest.raises(ConfigurationError):
+            ledger.compare("kernel", threshold=-0.1)
+
+    def test_zero_baseline_counts_as_regression_when_grown(self, ledger):
+        _seed(ledger, {"rss_kb": 0.0}, {"rss_kb": 10.0})
+        comparison = ledger.compare("kernel", threshold=0.10, host="h1")
+        assert comparison["regressions"] == ["rss_kb"]
+
+    def test_metric_missing_from_baseline_skipped(self, ledger):
+        _seed(ledger, {"wall_s": 1.0}, {"wall_s": 1.0, "cpu_s": 9.0})
+        comparison = ledger.compare("kernel", threshold=0.10, host="h1")
+        assert "cpu_s" not in comparison["metrics"]
+
+
+class TestRenderComparison:
+    def test_table_marks_regressions(self, ledger):
+        _seed(ledger, {"wall_s": 1.0, "ops_per_s": 100.0},
+              {"wall_s": 2.0, "ops_per_s": 99.0})
+        text = render_comparison(ledger.compare("kernel", host="h1"))
+        assert "REGRESSED" in text
+        assert "regressions: wall_s" in text
+        assert "rev0" in text and "rev1" in text
+
+    def test_table_reports_clean_pass(self, ledger):
+        _seed(ledger, {"wall_s": 1.0}, {"wall_s": 1.0})
+        text = render_comparison(ledger.compare("kernel", host="h1"))
+        assert "no regressions" in text

@@ -1,0 +1,163 @@
+"""Tests for phase attribution (PhaseProfiler and its runtime wiring)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    NULL_PHASE,
+    PHASES,
+    PhaseProfiler,
+    get_profiler,
+    install_profiler,
+    profiling_enabled,
+    reset_telemetry,
+    set_profiling,
+)
+
+
+class FakeClock:
+    """Deterministic clock: advances by a fixed step per call."""
+
+    def __init__(self, step):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestPhaseProfiler:
+    def test_disabled_records_nothing(self):
+        profiler = PhaseProfiler(enabled=False)
+        with profiler.phase("powerup"):
+            pass
+        assert profiler.snapshot() == {}
+        assert profiler.phase("powerup") is NULL_PHASE
+
+    def test_phase_accumulates_with_injected_clocks(self):
+        wall, cpu = FakeClock(1.0), FakeClock(0.25)
+        profiler = PhaseProfiler(enabled=True, clock=wall, cpu_clock=cpu)
+        with profiler.phase("powerup"):
+            pass
+        with profiler.phase("powerup"):
+            pass
+        snap = profiler.snapshot()
+        assert snap == {
+            "powerup": {"wall_s": 2.0, "cpu_s": 0.5, "calls": 2}
+        }
+
+    def test_add_and_total_cpu(self):
+        profiler = PhaseProfiler(enabled=True)
+        profiler.add("aging", wall_s=1.0, cpu_s=0.5)
+        profiler.add("aging", wall_s=2.0, cpu_s=1.5, calls=3)
+        profiler.add("metrics", wall_s=0.5, cpu_s=0.5)
+        snap = profiler.snapshot()
+        assert snap["aging"] == {"wall_s": 3.0, "cpu_s": 2.0, "calls": 4}
+        assert profiler.total_cpu_s() == pytest.approx(2.5)
+
+    def test_add_rejects_empty_name(self):
+        with pytest.raises(ConfigurationError):
+            PhaseProfiler(enabled=True).add("", 1.0, 1.0)
+
+    def test_merge_worker_deltas(self):
+        profiler = PhaseProfiler(enabled=True)
+        profiler.add("aging", 1.0, 1.0)
+        profiler.merge(
+            {
+                "aging": {"wall_s": 2.0, "cpu_s": 2.0, "calls": 2},
+                "noise_draw": {"wall_s": 0.5, "cpu_s": 0.5, "calls": 5},
+            }
+        )
+        snap = profiler.snapshot()
+        assert snap["aging"]["calls"] == 3
+        assert snap["aging"]["cpu_s"] == pytest.approx(3.0)
+        assert snap["noise_draw"]["calls"] == 5
+
+    def test_take_drains(self):
+        profiler = PhaseProfiler(enabled=True)
+        profiler.add("monitor", 1.0, 1.0)
+        taken = profiler.take()
+        assert taken["monitor"]["calls"] == 1
+        assert profiler.snapshot() == {}
+        assert profiler.enabled  # draining does not disable
+
+    def test_reset_preserves_enabled(self):
+        profiler = PhaseProfiler(enabled=True)
+        profiler.add("store_io", 1.0, 1.0)
+        profiler.reset()
+        assert profiler.snapshot() == {}
+        assert profiler.enabled
+
+    def test_exception_still_closes_phase(self):
+        profiler = PhaseProfiler(enabled=True)
+        with pytest.raises(ValueError):
+            with profiler.phase("metrics"):
+                raise ValueError("boom")
+        assert profiler.snapshot()["metrics"]["calls"] == 1
+
+
+class TestRenderTable:
+    def test_sorted_by_cpu_with_total_row(self):
+        profiler = PhaseProfiler(enabled=True)
+        profiler.add("powerup", 1.0, 0.5)
+        profiler.add("aging", 4.0, 3.0)
+        profiler.add("metrics", 2.0, 1.5)
+        table = profiler.render_table()
+        lines = [line for line in table.splitlines() if line]
+        body = [line.split()[0] for line in lines[2:-2]]
+        assert body == ["aging", "metrics", "powerup"]
+        assert "total" in lines[-1]
+        assert "% cpu" in lines[0]
+
+    def test_empty_table_message(self):
+        assert "no phases recorded" in PhaseProfiler().render_table()
+
+
+class TestRuntimeWiring:
+    def test_phase_catalogue(self):
+        assert PHASES == (
+            "noise_draw",
+            "powerup",
+            "aging",
+            "metrics",
+            "monitor",
+            "store_io",
+        )
+
+    def test_set_profiling_toggles_global(self):
+        assert not profiling_enabled()
+        set_profiling(True)
+        try:
+            assert profiling_enabled()
+            assert get_profiler().enabled
+        finally:
+            set_profiling(False)
+
+    def test_install_profiler_swaps_and_returns_previous(self):
+        original = get_profiler()
+        local = PhaseProfiler(enabled=True)
+        previous = install_profiler(local)
+        try:
+            assert previous is original
+            assert get_profiler() is local
+            with get_profiler().phase("aging"):
+                pass
+            # The worker drain pattern: swap back, take the deltas.
+            deltas = install_profiler(previous).take()
+            assert deltas["aging"]["calls"] == 1
+        finally:
+            install_profiler(original)
+        assert get_profiler() is original
+
+    def test_reset_telemetry_clears_phases(self):
+        set_profiling(True)
+        try:
+            get_profiler().add("powerup", 1.0, 1.0)
+            reset_telemetry()
+            assert get_profiler().snapshot() == {}
+            # The enabled bit is configuration, not accumulated state.
+            assert profiling_enabled()
+        finally:
+            set_profiling(False)

@@ -119,6 +119,43 @@ class TestTelemetryCli:
         for span in doc["spans"]:
             assert span["wall_s"] >= 0.0
 
+    def test_trace_chrome_written_and_parseable(self, capsys, tmp_path):
+        import json
+
+        path = str(tmp_path / "trace.chrome.json")
+        code, out = run_cli(
+            capsys, "--trace-chrome", path, "table1", *SMALL
+        )
+        assert code == 0
+        assert f"chrome trace written to {path}" in out
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert doc["otherData"]["format"] == "repro-trace-chrome"
+        # run_id doubles as the trace id on real runs.
+        assert doc["otherData"]["trace_id"]
+        names = {event["name"] for event in doc["traceEvents"]}
+        assert "assessment.run" in names
+        for event in doc["traceEvents"]:
+            assert event["ph"] == "X"
+            assert "span_id" in event["args"]
+
+    def test_profile_prints_phase_table(self, capsys):
+        code, out = run_cli(capsys, *PROFILE_SMALL)
+        assert code == 0
+        assert "== phases (campaign hot path) ==" in out
+        for phase in ("noise_draw", "powerup", "aging", "metrics"):
+            assert phase in out
+        assert "% cpu" in out
+
+    def test_profile_honors_workers_flag(self, capsys):
+        code, out = run_cli(capsys, *PROFILE_SMALL, "--workers", "2")
+        assert code == 0
+        # The sharded path shows grafted worker spans in the tree and
+        # the same phase attribution merged back from the workers.
+        assert "campaign.shards" in out
+        assert "worker.board" in out
+        assert "noise_draw" in out
+
     def test_verbose_flag_accepted(self, capsys):
         code, _ = run_cli(capsys, "-v", "calibrate")
         assert code == 0
@@ -257,6 +294,127 @@ class TestRunCommand:
             ["run", *SMALL, "--save", str(tmp_path / "c.json"), "--resume"]
         )
         assert code == 2
+
+    def test_run_stamps_run_id_through_all_logs(self, capsys, tmp_path):
+        import json
+
+        code, _ = run_cli(capsys, *self._run_args(tmp_path))
+        assert code == 0
+        from repro.io.jsonstore import load_manifest
+
+        manifest = load_manifest(str(tmp_path / "campaign.manifest.json"))
+        with open(tmp_path / "campaign.heartbeat.jsonl") as handle:
+            beats = [json.loads(line) for line in handle if line.strip()]
+        assert beats
+        for beat in beats:
+            # One correlation key across manifest, heartbeats, alerts.
+            assert beat["run_id"] == manifest.run_id
+            assert "months_per_s" in beat
+        with open(tmp_path / "campaign.alerts.jsonl") as handle:
+            alerts = [json.loads(line) for line in handle if line.strip()]
+        for alert in alerts:
+            assert alert["run_id"] == manifest.run_id
+
+    def test_run_id_deterministic_for_equal_configs(self, capsys, tmp_path):
+        import json
+
+        first = tmp_path / "first"
+        second = tmp_path / "second"
+        first.mkdir()
+        second.mkdir()
+        for directory in (first, second):
+            code, _ = run_cli(
+                capsys, "run", *SMALL, "--save", str(directory / "campaign.json")
+            )
+            assert code == 0
+
+        def run_id_of(directory):
+            with open(directory / "campaign.heartbeat.jsonl") as handle:
+                return json.loads(handle.readline())["run_id"]
+
+        assert run_id_of(first) == run_id_of(second)
+
+
+class TestBenchCommand:
+    def _record(self, capsys, tmp_path, *extra):
+        ledger = str(tmp_path / "ledger.jsonl")
+        code, out = run_cli(
+            capsys, "bench", "record", "--bench", "gram-bchd",
+            "--repeats", "1", "--ledger", ledger, *extra,
+        )
+        assert code == 0
+        return ledger, out
+
+    def test_record_appends_to_ledger(self, capsys, tmp_path):
+        import json
+
+        ledger, out = self._record(capsys, tmp_path)
+        assert "recorded gram-bchd" in out
+        with open(ledger, "r", encoding="utf-8") as handle:
+            (line,) = handle.read().splitlines()
+        document = json.loads(line)
+        assert document["name"] == "gram-bchd"
+        assert document["metrics"]["wall_s"] > 0.0
+        assert document["metrics"]["pairs_per_s"] > 0.0
+
+    def test_list_shows_registry_and_history(self, capsys, tmp_path):
+        ledger, _ = self._record(capsys, tmp_path)
+        code, out = run_cli(capsys, "bench", "list", "--ledger", ledger)
+        assert code == 0
+        assert "registered benchmarks:" in out
+        assert "powerup-block" in out and "campaign-small" in out
+        assert "1 runs" in out
+
+    def test_compare_needs_two_runs(self, capsys, tmp_path):
+        ledger, _ = self._record(capsys, tmp_path)
+        code = main(["bench", "compare", "--ledger", ledger])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "need at least 2" in captured.err
+
+    def test_compare_passes_on_steady_numbers(self, capsys, tmp_path):
+        ledger, _ = self._record(capsys, tmp_path)
+        self._record(capsys, tmp_path)
+        # Generous threshold: CI runners are noisy; this asserts the
+        # exit-code contract, not machine speed.
+        code, out = run_cli(
+            capsys, "bench", "compare", "--ledger", ledger, "--threshold", "5.0"
+        )
+        assert code == 0
+        assert "no regressions" in out
+
+    def test_compare_exits_5_on_injected_regression(self, capsys, tmp_path):
+        ledger, _ = self._record(capsys, tmp_path)
+        from repro.store.bench import BenchLedger
+
+        handle = BenchLedger(ledger)
+        last = handle.records(name="gram-bchd")[-1]
+        slowed = dict(last["metrics"])
+        slowed["wall_s"] = slowed["wall_s"] * 10
+        slowed["pairs_per_s"] = slowed["pairs_per_s"] / 10
+        handle.record("gram-bchd", slowed, host=last["host"], git_rev="injected")
+        code = main(["bench", "compare", "--ledger", ledger])
+        captured = capsys.readouterr()
+        assert code == 5
+        assert "REGRESSED" in captured.out
+        assert "PERF REGRESSION" in captured.err
+
+    def test_compare_empty_ledger_fails(self, capsys, tmp_path):
+        code = main(
+            ["bench", "compare", "--ledger", str(tmp_path / "none.jsonl")]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "empty" in captured.err
+
+    def test_record_unknown_benchmark_rejected(self, capsys, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown benchmark"):
+            main(
+                ["bench", "record", "--bench", "bogus",
+                 "--ledger", str(tmp_path / "l.jsonl")]
+            )
 
 
 class TestStoreCommand:
