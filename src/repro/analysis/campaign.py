@@ -30,6 +30,7 @@ from repro.errors import (
 from repro.rng import RandomState, SeedHierarchy
 from repro.sram.aging import AgingSimulator
 from repro.sram.chip import SRAMChip
+from repro.sram.fleetkernel import validate_kernel
 from repro.sram.profiles import ATMEGA32U4, DeviceProfile
 from repro.telemetry import (
     PHASE_AGING,
@@ -142,6 +143,13 @@ class LongTermCampaign:
         :class:`~repro.errors.CampaignExecutionError`.  Used by chaos
         drills and the CI flight-recorder smoke; leave ``None`` in
         production.
+    kernel:
+        Execution kernel: ``"scalar"`` (default) walks the fleet board
+        by board, ``"vector"`` batches each shard's boards on a
+        :class:`~repro.sram.fleetkernel.FleetKernel` (see
+        ``docs/kernel.md``).  Like ``max_workers``, a pure wall-clock
+        knob — results, artifacts, checkpoints and alert logs are
+        bit-identical under either kernel.
     random_state:
         Seed material; the same seed reproduces the same fleet and
         campaign.
@@ -161,6 +169,7 @@ class LongTermCampaign:
         keyframe_every: int = 6,
         rollup_shards: Optional[int] = None,
         fail_board: Optional[int] = None,
+        kernel: str = "scalar",
         random_state: RandomState = None,
     ):
         if device_count < 1:
@@ -195,11 +204,13 @@ class LongTermCampaign:
             raise ConfigurationError(
                 f"fail_board {fail_board} outside fleet of {device_count}"
             )
+        validate_kernel(kernel)
         self._rollup_shards_opt = rollup_shards
         self._rollup_shards = (
             rollup_shards if rollup_shards is not None else min(8, device_count)
         )
         self._fail_board = fail_board
+        self._kernel = kernel
         self._device_count = device_count
         self._months = months
         self._measurements = measurements
@@ -291,6 +302,12 @@ class LongTermCampaign:
         :func:`~repro.store.write_campaign_stream` of the finished
         result.
         """
+        if chips is not None and self._kernel == "vector":
+            raise ConfigurationError(
+                "an injected fleet cannot run on the vector kernel "
+                "(the fleet kernel re-manufactures boards from the seed "
+                "hierarchy); use kernel='scalar' with injected chips"
+            )
         if stream is not None and checkpoint_dir is None:
             raise ConfigurationError(
                 "a stream artifact rides the checkpointed month-window "
@@ -332,6 +349,12 @@ class LongTermCampaign:
             from repro.exec.executor import executor_for
 
             executor = executor_for(1)
+        if executor is None and self._kernel == "vector" and chips is None:
+            # The in-process serial loop has no fleet kernel; route
+            # through the (bit-identical) sharded path instead.
+            from repro.exec.executor import executor_for
+
+            executor = executor_for(1)
         if executor is not None:
             if chips is not None:
                 raise ConfigurationError(
@@ -351,6 +374,7 @@ class LongTermCampaign:
         executor: Optional["CampaignExecutor"] = None,
         max_workers: int = 1,
         abort_after_month: Optional[int] = None,
+        kernel: str = "scalar",
         stream=None,
     ) -> CampaignResult:
         """Continue a checkpointed campaign from its last complete month.
@@ -366,6 +390,12 @@ class LongTermCampaign:
         run's.  ``monitor`` must be freshly constructed (no prior
         observations); its alert log, if any, is truncated and
         regenerated by the replay.
+
+        ``kernel``, like ``max_workers``, is an execution knob of *this*
+        process, not part of the stored configuration: a campaign
+        checkpointed under either kernel resumes under either kernel
+        with byte-identical continuation (``tests/store`` pins the
+        kernel-swap resume in both directions).
 
         Under delta checkpointing (``docs/storage.md``) the resume
         point is the newest *keyframe*: the at most
@@ -392,6 +422,7 @@ class LongTermCampaign:
                 max_workers=max_workers,
                 keyframe_every=int(config.get("keyframe_every", 6)),
                 rollup_shards=config.get("rollup_shards"),
+                kernel=kernel,
                 random_state=int(config["root_seed"]),
             )
         except (KeyError, TypeError, ValueError) as exc:
@@ -662,6 +693,7 @@ class LongTermCampaign:
                 rollup_shards=worker_rollups,
                 fleet_size=self._device_count,
                 trace=trace,
+                kernel=self._kernel,
             )
             for index, boards in enumerate(
                 partition_boards(range(self._device_count), shard_count)
@@ -1006,6 +1038,7 @@ class LongTermCampaign:
                                 rollup_shards=worker_rollups,
                                 fleet_size=self._device_count,
                                 trace=trace_context,
+                                kernel=self._kernel,
                             )
                             for index, boards in enumerate(shard_boards)
                         ]

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.io.bitutil import ensure_bits
 from repro.metrics.entropy import noise_min_entropy_from_counts, puf_min_entropy
 from repro.metrics.hamming import (
     between_class_hd,
@@ -126,6 +127,68 @@ def evaluate_board(
             noise_entropy=noise_min_entropy_from_counts(block.ones_counts, measurements),
             first_readout=block.first_readout,
         )
+
+
+def evaluate_fleet(
+    kernel,
+    references: Dict[int, np.ndarray],
+    measurements: int = 1000,
+    statistical: bool = True,
+    temperature_k: Optional[float] = None,
+) -> List[BoardMonthMetrics]:
+    """Run the whole fleet's share of the monthly protocol, batched.
+
+    The vector-kernel counterpart of calling :func:`evaluate_board`
+    per board: ``kernel`` (a
+    :class:`~repro.sram.fleetkernel.FleetKernel`) draws one block for
+    every board, and the four per-board metrics are computed as
+    rowwise reductions over the ``(boards, read_bits)`` count matrix.
+    Each reduction is the *exact* vectorization of the scalar metric —
+    ``M.mean(axis=1)`` of a row equals that row's ``mean()`` bit for
+    bit, and every elementwise step matches the ``*_from_counts``
+    formula — so the returned rows equal the scalar path's
+    :class:`BoardMonthMetrics` exactly (the property suite in
+    ``tests/property/test_kernel_equivalence.py`` pins this).
+    """
+    if measurements < 2:
+        raise ConfigurationError(f"measurements must be >= 2, got {measurements}")
+    counts, first = kernel.measure_block(
+        measurements, temperature_k=temperature_k, statistical=statistical
+    )
+    with get_profiler().phase(PHASE_METRICS):
+        if counts.size and (
+            int(counts.min()) < 0 or int(counts.max()) > measurements
+        ):
+            raise ConfigurationError(
+                "ones_counts out of range for the measurement count"
+            )
+        reference_rows = np.stack(
+            [
+                ensure_bits(references[board_id], length=counts.shape[1])
+                for board_id in kernel.board_ids
+            ]
+        )
+        # WCHD: a reference-1 cell disagrees in (m - ones) power-ups, a
+        # reference-0 cell in ones — rowwise mean over cells, then / m.
+        disagreements = np.where(
+            reference_rows == 1, measurements - counts, counts
+        )
+        wchd = disagreements.mean(axis=1) / measurements
+        fhw = counts.mean(axis=1) / measurements
+        stable = ((counts == 0) | (counts == measurements)).mean(axis=1)
+        probs = counts / float(measurements)
+        noise_entropy = (-np.log2(np.maximum(probs, 1.0 - probs))).mean(axis=1)
+        return [
+            BoardMonthMetrics(
+                board_id=board_id,
+                wchd=float(wchd[index]),
+                fhw=float(fhw[index]),
+                stable_ratio=float(stable[index]),
+                noise_entropy=float(noise_entropy[index]),
+                first_readout=first[index],
+            )
+            for index, board_id in enumerate(kernel.board_ids)
+        ]
 
 
 def assemble_evaluation(

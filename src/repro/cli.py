@@ -73,6 +73,14 @@ def _add_study_arguments(parser: argparse.ArgumentParser) -> None:
         help="parallel worker processes sharding the fleet by board "
         "(1 = serial; results are bit-identical at any count)",
     )
+    parser.add_argument(
+        "--kernel",
+        choices=("scalar", "vector"),
+        default="scalar",
+        help="execution kernel: 'scalar' walks boards one by one, "
+        "'vector' batches the fleet as (boards, cells) matrices "
+        "(bit-identical results; see docs/kernel.md)",
+    )
 
 
 def _study_config(args: argparse.Namespace) -> StudyConfig:
@@ -85,6 +93,7 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
         keyframe_every=getattr(args, "keyframe_every", 6),
         rollup_shards=getattr(args, "rollup_shards", None),
         fail_board=getattr(args, "fail_board", None),
+        kernel=getattr(args, "kernel", "scalar"),
     )
 
 
@@ -609,6 +618,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="parallel worker processes for the campaign part (1 = serial; "
         "spans and phase attribution merge identically at any count)",
+    )
+    profile.add_argument(
+        "--kernel",
+        choices=("scalar", "vector"),
+        default="scalar",
+        help="execution kernel for the campaign part (bit-identical "
+        "results; see docs/kernel.md)",
     )
     profile.add_argument(
         "--cycles", type=int, default=3, help="testbed power cycles to simulate"

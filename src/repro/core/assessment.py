@@ -208,6 +208,7 @@ class LongTermAssessment:
                 keyframe_every=cfg.keyframe_every,
                 rollup_shards=cfg.rollup_shards,
                 fail_board=cfg.fail_board,
+                kernel=cfg.kernel,
                 random_state=cfg.seed,
             )
             phase_start = time.perf_counter()
@@ -219,6 +220,7 @@ class LongTermAssessment:
                     executor=executor,
                     max_workers=cfg.max_workers,
                     abort_after_month=abort_after_month,
+                    kernel=cfg.kernel,
                     stream=stream,
                 )
             else:

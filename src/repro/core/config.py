@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.errors import ConfigurationError
+from repro.sram.fleetkernel import validate_kernel
 from repro.sram.profiles import ATMEGA32U4, DeviceProfile
 
 
@@ -70,6 +71,15 @@ class StudyConfig:
         before touching it, crashing the campaign deterministically
         (the CI status-smoke job exercises the flight recorder with
         it).  ``None`` (the default) injects nothing.
+    kernel:
+        Campaign execution kernel: ``"scalar"`` (default) walks the
+        fleet board by board, ``"vector"`` batches the whole fleet as
+        ``(boards, cells)`` matrices
+        (:class:`~repro.sram.fleetkernel.FleetKernel`; see
+        ``docs/kernel.md``).  Like ``max_workers``, a pure wall-clock
+        knob: results, artifacts, checkpoints and alert logs are
+        bit-identical under either kernel, so equal configs still
+        produce equal results.
     """
 
     device_count: int = 16
@@ -86,6 +96,7 @@ class StudyConfig:
     keyframe_every: int = 6
     rollup_shards: Optional[int] = None
     fail_board: Optional[int] = None
+    kernel: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.device_count < 2:
@@ -132,3 +143,4 @@ class StudyConfig:
                 f"fail_board {self.fail_board} outside fleet of "
                 f"{self.device_count}"
             )
+        validate_kernel(self.kernel)

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.sram.fleetkernel import validate_kernel
 from repro.sram.profiles import DeviceProfile
 from repro.telemetry.tracing import TraceContext
 
@@ -75,6 +76,11 @@ class ShardSpec:
         set the worker records per-board spans on a private tracer and
         ships them back; :attr:`~repro.telemetry.tracing.TraceContext.phases`
         likewise for hot-path phase timings.
+    kernel:
+        Execution kernel of this shard's boards: ``"scalar"`` walks
+        them board by board, ``"vector"`` advances them together on a
+        :class:`~repro.sram.fleetkernel.FleetKernel` — bit-identical
+        results either way (``docs/kernel.md``).
     """
 
     shard_index: int
@@ -91,6 +97,7 @@ class ShardSpec:
     rollup_shards: int = 0
     fleet_size: int = 0
     trace: Optional[TraceContext] = None
+    kernel: str = "scalar"
 
     def __post_init__(self) -> None:
         if not self.board_ids:
@@ -100,6 +107,7 @@ class ShardSpec:
                 f"expected {self.months + 1} per-month temperatures, "
                 f"got {len(self.temperatures)}"
             )
+        validate_kernel(self.kernel)
 
 
 def partition_boards(

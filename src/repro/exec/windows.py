@@ -48,14 +48,20 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.monthly import BoardMonthMetrics, evaluate_board
+from repro.analysis.monthly import BoardMonthMetrics, evaluate_board, evaluate_fleet
 from repro.errors import CampaignExecutionError
 from repro.exec.plan import rollup_shard_of
 from repro.rng import SeedHierarchy
 from repro.sram.aging import AgingSimulator
 from repro.sram.chip import SRAMChip
+from repro.sram.fleetkernel import FleetKernel, validate_kernel
 from repro.sram.profiles import DeviceProfile
-from repro.store.checkpoint import board_state_doc, restore_chip
+from repro.store.checkpoint import (
+    board_state_doc,
+    board_state_from_doc,
+    board_state_to_doc,
+    restore_chip,
+)
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.profiling import PHASE_AGING, PhaseProfiler
 from repro.telemetry.resources import ResourceSampler
@@ -75,6 +81,16 @@ _BOARD_CACHE_LIMIT = 256
 
 _CACHE_STATS = {"hits": 0, "misses": 0}
 
+#: Warm per-process fleet cache for the vector kernel: the window's
+#: board-ids tuple -> (per-board state digests, live FleetKernel).
+#: Same provable-equivalence argument as the board cache — an entry is
+#: only reused when every board's inbound digest matches the cached
+#: fleet's exported state, so a hit merely skips B deserializations.
+_FLEET_CACHE: Dict[Tuple[int, ...], Tuple[Tuple[str, ...], Any]] = {}
+
+#: Fleet-cache safety valve (entries are whole fleets, so keep few).
+_FLEET_CACHE_LIMIT = 8
+
 
 def state_digest(state: Dict[str, Any]) -> str:
     """Canonical digest of a :func:`board_state_doc` document.
@@ -93,8 +109,9 @@ def window_cache_stats() -> Dict[str, int]:
 
 
 def clear_window_cache() -> None:
-    """Drop the warm board cache and zero its statistics."""
+    """Drop the warm board/fleet caches and zero their statistics."""
     _BOARD_CACHE.clear()
+    _FLEET_CACHE.clear()
     _CACHE_STATS["hits"] = 0
     _CACHE_STATS["misses"] = 0
 
@@ -120,6 +137,28 @@ def _remember_chip(board_id: int, digest: str, chip, reference) -> None:
     if board_id not in _BOARD_CACHE and len(_BOARD_CACHE) >= _BOARD_CACHE_LIMIT:
         _BOARD_CACHE.clear()
     _BOARD_CACHE[board_id] = (digest, chip, reference)
+
+
+def _cached_fleet(board_ids: Tuple[int, ...], digests: Tuple[str, ...]):
+    """The warm FleetKernel at these boards' inbound states, or ``None``.
+
+    Hit/miss statistics count one per board, mirroring the scalar board
+    cache, so ``window_cache_stats`` stays comparable across kernels.
+    """
+    cached = _FLEET_CACHE.get(board_ids)
+    if cached is not None and cached[0] == digests:
+        _CACHE_STATS["hits"] += len(board_ids)
+        return cached[1]
+    _CACHE_STATS["misses"] += len(board_ids)
+    return None
+
+
+def _remember_fleet(
+    board_ids: Tuple[int, ...], digests: Tuple[str, ...], kernel
+) -> None:
+    if board_ids not in _FLEET_CACHE and len(_FLEET_CACHE) >= _FLEET_CACHE_LIMIT:
+        _FLEET_CACHE.clear()
+    _FLEET_CACHE[board_ids] = (digests, kernel)
 
 
 @dataclass(frozen=True)
@@ -166,6 +205,13 @@ class WindowSpec:
     #: Observability context (``None`` keeps the spec byte-compatible
     #: with the pre-tracing pickle); mirrors ``ShardSpec.trace``.
     trace: Optional[TraceContext] = None
+    #: Execution kernel; mirrors ``ShardSpec.kernel`` — ``"vector"``
+    #: advances the window's boards together on a
+    #: :class:`~repro.sram.fleetkernel.FleetKernel`, bit-identically.
+    kernel: str = "scalar"
+
+    def __post_init__(self) -> None:
+        validate_kernel(self.kernel)
 
     @property
     def board_ids(self) -> Tuple[int, ...]:
@@ -209,6 +255,99 @@ def _registry_deltas(registry: MetricsRegistry) -> Dict[str, int]:
     }
 
 
+def _run_window_vector(
+    spec: WindowSpec,
+    powerups,
+    aging_steps,
+    builder: Optional[ShardRollupBuilder],
+    tracer: Optional[Tracer],
+):
+    """One month of the window's boards, batched on a FleetKernel.
+
+    Returns ``(rows, states, references)`` with exactly the scalar
+    loop's contents: same draw order per board, same counter deltas,
+    same rollup observation order, byte-identical state documents.
+    The fleet advances as one unit, so the ``fail_board`` fault hook
+    fires before any board is touched.
+    """
+    if spec.fail_board is not None and spec.fail_board in spec.board_ids:
+        raise CampaignExecutionError(
+            f"board {spec.fail_board} failed in month-{spec.month} window "
+            f"of shard {spec.shard_index}: injected fault (WindowSpec.fail_board)",
+            board_id=spec.fail_board,
+            shard_index=spec.shard_index,
+        )
+    board_ids = spec.board_ids
+    fresh = [board.board_id for board in spec.boards if board.state is None]
+    references: Dict[int, np.ndarray] = {}
+    new_references: Dict[int, np.ndarray] = {}
+    with tracer.span("worker.fleet", boards=len(board_ids)) if tracer is not None else NULL_SPAN:
+        if len(fresh) == len(spec.boards):
+            kernel = FleetKernel.manufacture(
+                board_ids, spec.profile, root_seed=spec.root_seed
+            )
+            reference_rows = kernel.read_startup()
+            powerups.inc(len(board_ids))  # the day-0 reference read-outs
+            for index, board_id in enumerate(board_ids):
+                references[board_id] = reference_rows[index]
+            new_references = dict(references)
+        elif fresh:
+            raise CampaignExecutionError(
+                f"vector kernel needs a uniform window: boards {fresh} have no "
+                f"state while others do (month-{spec.month} window of shard "
+                f"{spec.shard_index})",
+                shard_index=spec.shard_index,
+            )
+        else:
+            digests = tuple(state_digest(board.state) for board in spec.boards)
+            kernel = _cached_fleet(board_ids, digests)
+            if kernel is None:
+                kernel = FleetKernel.from_states(
+                    board_ids,
+                    spec.profile,
+                    {
+                        board.board_id: board_state_from_doc(board.state)
+                        for board in spec.boards
+                    },
+                )
+            references = {board.board_id: board.reference for board in spec.boards}
+        with tracer.span("fleet.measure") if tracer is not None else NULL_SPAN:
+            fleet_rows = evaluate_fleet(
+                kernel,
+                references,
+                measurements=spec.measurements,
+                statistical=spec.statistical,
+                temperature_k=spec.temperature,
+            )
+        rows = {row.board_id: row for row in fleet_rows}
+        if builder is not None:
+            for row in fleet_rows:
+                builder.observe_board(
+                    row.board_id,
+                    {stat: getattr(row, stat) for stat in ROLLUP_STATS},
+                )
+        powerups.inc(spec.measurements * len(board_ids))
+        if spec.apply_aging:
+            with tracer.span("fleet.age") if tracer is not None else NULL_SPAN:
+                with get_profiler().phase(PHASE_AGING):
+                    kernel.age_months(
+                        spec.aging_acceleration,
+                        steps=spec.aging_steps_per_month,
+                    )
+            aging_steps.inc(spec.aging_steps_per_month * len(board_ids))
+        raw_states = kernel.export_states()
+        states = {
+            board_id: board_state_to_doc(raw_states[board_id])
+            for board_id in board_ids
+        }
+        _remember_fleet(
+            board_ids,
+            tuple(state_digest(states[board_id]) for board_id in board_ids),
+            kernel,
+        )
+    return rows, states, new_references
+
+
 def run_board_window(spec: WindowSpec) -> WindowResult:
     """Execute one month for every board of one shard.
 
@@ -242,58 +381,72 @@ def run_board_window(spec: WindowSpec) -> WindowResult:
     states: Dict[int, Dict[str, Any]] = {}
     references: Dict[int, np.ndarray] = {}
     try:
-        for board in spec.boards:
+        if spec.kernel == "vector":
             try:
-                if spec.fail_board == board.board_id:
-                    raise RuntimeError("injected fault (WindowSpec.fail_board)")
-                with tracer.span("worker.board", board=board.board_id) if tracer is not None else NULL_SPAN:
-                    if board.state is None:
-                        seeds = SeedHierarchy(spec.root_seed)
-                        chip = SRAMChip(board.board_id, spec.profile, random_state=seeds)
-                        reference = chip.read_startup()
-                        powerups.inc()  # the day-0 reference read-out
-                        references[board.board_id] = reference
-                    else:
-                        chip = _cached_chip(board)
-                        if chip is None:
-                            chip = restore_chip(board.board_id, spec.profile, board.state)
-                        reference = board.reference
-                    with tracer.span("board.measure") if tracer is not None else NULL_SPAN:
-                        row = evaluate_board(
-                            chip,
-                            reference,
-                            measurements=spec.measurements,
-                            statistical=spec.statistical,
-                            temperature_k=spec.temperature,
-                        )
-                    rows[board.board_id] = row
-                    if builder is not None:
-                        builder.observe_board(
-                            board.board_id,
-                            {stat: getattr(row, stat) for stat in ROLLUP_STATS},
-                        )
-                    powerups.inc(spec.measurements)
-                    if spec.apply_aging:
-                        with tracer.span("board.age") if tracer is not None else NULL_SPAN:
-                            with get_profiler().phase(PHASE_AGING):
-                                simulator.age_array_months(
-                                    chip.array,
-                                    spec.aging_acceleration,
-                                    steps=spec.aging_steps_per_month,
-                                )
-                        aging_steps.inc(spec.aging_steps_per_month)
-                    state = board_state_doc(chip)
-                    states[board.board_id] = state
-                    _remember_chip(board.board_id, state_digest(state), chip, reference)
+                rows, states, references = _run_window_vector(
+                    spec, powerups, aging_steps, builder, tracer
+                )
             except CampaignExecutionError:
                 raise
             except Exception as exc:
                 raise CampaignExecutionError(
-                    f"board {board.board_id} failed in month-{spec.month} window "
-                    f"of shard {spec.shard_index}: {exc}",
-                    board_id=board.board_id,
+                    f"fleet of month-{spec.month} window of shard "
+                    f"{spec.shard_index} failed (vector kernel): {exc}",
                     shard_index=spec.shard_index,
                 ) from exc
+        else:
+            for board in spec.boards:
+                try:
+                    if spec.fail_board == board.board_id:
+                        raise RuntimeError("injected fault (WindowSpec.fail_board)")
+                    with tracer.span("worker.board", board=board.board_id) if tracer is not None else NULL_SPAN:
+                        if board.state is None:
+                            seeds = SeedHierarchy(spec.root_seed)
+                            chip = SRAMChip(board.board_id, spec.profile, random_state=seeds)
+                            reference = chip.read_startup()
+                            powerups.inc()  # the day-0 reference read-out
+                            references[board.board_id] = reference
+                        else:
+                            chip = _cached_chip(board)
+                            if chip is None:
+                                chip = restore_chip(board.board_id, spec.profile, board.state)
+                            reference = board.reference
+                        with tracer.span("board.measure") if tracer is not None else NULL_SPAN:
+                            row = evaluate_board(
+                                chip,
+                                reference,
+                                measurements=spec.measurements,
+                                statistical=spec.statistical,
+                                temperature_k=spec.temperature,
+                            )
+                        rows[board.board_id] = row
+                        if builder is not None:
+                            builder.observe_board(
+                                board.board_id,
+                                {stat: getattr(row, stat) for stat in ROLLUP_STATS},
+                            )
+                        powerups.inc(spec.measurements)
+                        if spec.apply_aging:
+                            with tracer.span("board.age") if tracer is not None else NULL_SPAN:
+                                with get_profiler().phase(PHASE_AGING):
+                                    simulator.age_array_months(
+                                        chip.array,
+                                        spec.aging_acceleration,
+                                        steps=spec.aging_steps_per_month,
+                                    )
+                            aging_steps.inc(spec.aging_steps_per_month)
+                        state = board_state_doc(chip)
+                        states[board.board_id] = state
+                        _remember_chip(board.board_id, state_digest(state), chip, reference)
+                except CampaignExecutionError:
+                    raise
+                except Exception as exc:
+                    raise CampaignExecutionError(
+                        f"board {board.board_id} failed in month-{spec.month} window "
+                        f"of shard {spec.shard_index}: {exc}",
+                        board_id=board.board_id,
+                        shard_index=spec.shard_index,
+                    ) from exc
     finally:
         if previous_profiler is not None:
             phase_deltas = install_profiler(previous_profiler).take()

@@ -27,12 +27,13 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.analysis.monthly import BoardMonthMetrics, evaluate_board
+from repro.analysis.monthly import BoardMonthMetrics, evaluate_board, evaluate_fleet
 from repro.errors import CampaignExecutionError
 from repro.exec.plan import ShardSpec, rollup_shard_of
 from repro.rng import SeedHierarchy
 from repro.sram.aging import AgingSimulator
 from repro.sram.chip import SRAMChip
+from repro.sram.fleetkernel import FleetKernel
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.profiling import PHASE_AGING, PhaseProfiler
 from repro.telemetry.resources import ResourceSampler
@@ -154,6 +155,81 @@ def _run_board(
     return BoardTrajectory(board_id=board_id, reference=reference, months=months)
 
 
+def _run_fleet_vector(
+    spec: ShardSpec,
+    tracker: _DeltaTracker,
+    builders: Optional[List[ShardRollupBuilder]] = None,
+    tracer: Optional[Tracer] = None,
+) -> List[BoardTrajectory]:
+    """Simulate the shard's boards together on a batched fleet kernel.
+
+    Month-major schedule: the whole fleet advances one month at a
+    time.  Boards never share random streams, so this reorders no
+    draws *within* any stream — every board's sequence (manufacture →
+    reference → monthly blocks → aging) is the scalar path's, and the
+    returned trajectories, counter-delta buckets and rollup
+    observation orders are identical to :func:`_run_board`'s.
+    """
+    powerups = tracker.registry.counter("campaign.powerups")
+    aging_steps = tracker.registry.counter("campaign.aging_steps")
+    if spec.fail_board is not None:
+        # The batched kernel advances the fleet as one unit, so the
+        # injected fault fires before any board is simulated (the
+        # scalar path fails mid-fleet instead; either way no partial
+        # results are merged).
+        raise CampaignExecutionError(
+            f"board {spec.fail_board} failed in shard {spec.shard_index}: "
+            "injected fault (ShardSpec.fail_board)",
+            board_id=spec.fail_board,
+            shard_index=spec.shard_index,
+        )
+    boards = len(spec.board_ids)
+    with tracer.span("worker.fleet", boards=boards) if tracer is not None else NULL_SPAN:
+        kernel = FleetKernel.manufacture(
+            spec.board_ids, spec.profile, spec.root_seed
+        )
+        reference_rows = kernel.read_startup()
+        powerups.inc(boards)  # the day-0 reference read-outs
+        references = {
+            board_id: reference_rows[index]
+            for index, board_id in enumerate(spec.board_ids)
+        }
+        month_rows: List[List[BoardMonthMetrics]] = []
+        for month in range(spec.months + 1):
+            with tracer.span("fleet.month", month=month) if tracer is not None else NULL_SPAN:
+                rows = evaluate_fleet(
+                    kernel,
+                    references,
+                    measurements=spec.measurements,
+                    statistical=spec.statistical,
+                    temperature_k=spec.temperatures[month],
+                )
+                month_rows.append(rows)
+                if builders is not None:
+                    for row in rows:
+                        builders[month].observe_board(
+                            row.board_id,
+                            {stat: getattr(row, stat) for stat in ROLLUP_STATS},
+                        )
+                powerups.inc(spec.measurements * boards)
+                tracker.checkpoint(month)
+                if month < spec.months:
+                    with get_profiler().phase(PHASE_AGING):
+                        kernel.age_months(
+                            spec.aging_acceleration,
+                            steps=spec.aging_steps_per_month,
+                        )
+                    aging_steps.inc(spec.aging_steps_per_month * boards)
+    return [
+        BoardTrajectory(
+            board_id=board_id,
+            reference=references[board_id],
+            months=[month_rows[month][index] for month in range(spec.months + 1)],
+        )
+        for index, board_id in enumerate(spec.board_ids)
+    ]
+
+
 def run_board_shard(spec: ShardSpec) -> ShardResult:
     """Execute one shard: every assigned board, end to end.
 
@@ -185,22 +261,34 @@ def run_board_shard(spec: ShardSpec) -> ShardResult:
         previous_profiler = install_profiler(PhaseProfiler(enabled=True))
     trajectories: List[BoardTrajectory] = []
     try:
-        for board_id in spec.board_ids:
+        if spec.kernel == "vector":
             try:
-                if spec.fail_board == board_id:
-                    raise RuntimeError("injected fault (ShardSpec.fail_board)")
-                with tracer.span("worker.board", board=board_id) if tracer is not None else NULL_SPAN:
-                    trajectories.append(
-                        _run_board(spec, board_id, seeds, tracker, builders, tracer)
-                    )
+                trajectories = _run_fleet_vector(spec, tracker, builders, tracer)
             except CampaignExecutionError:
                 raise
             except Exception as exc:
                 raise CampaignExecutionError(
-                    f"board {board_id} failed in shard {spec.shard_index}: {exc}",
-                    board_id=board_id,
+                    f"fleet of shard {spec.shard_index} failed "
+                    f"(vector kernel): {exc}",
                     shard_index=spec.shard_index,
                 ) from exc
+        else:
+            for board_id in spec.board_ids:
+                try:
+                    if spec.fail_board == board_id:
+                        raise RuntimeError("injected fault (ShardSpec.fail_board)")
+                    with tracer.span("worker.board", board=board_id) if tracer is not None else NULL_SPAN:
+                        trajectories.append(
+                            _run_board(spec, board_id, seeds, tracker, builders, tracer)
+                        )
+                except CampaignExecutionError:
+                    raise
+                except Exception as exc:
+                    raise CampaignExecutionError(
+                        f"board {board_id} failed in shard {spec.shard_index}: {exc}",
+                        board_id=board_id,
+                        shard_index=spec.shard_index,
+                    ) from exc
     finally:
         if previous_profiler is not None:
             phase_deltas = install_profiler(previous_profiler).take()

@@ -14,6 +14,10 @@ that a regression on the campaign hot path moves its numbers:
   (:class:`repro.core.assessment.LongTermAssessment`), catching
   regressions that live between the kernels (dispatch, monitoring,
   store traffic).
+* ``fleet-kernel`` — a mid-size fleet advanced on the batched vector
+  kernel (:class:`repro.sram.fleetkernel.FleetKernel` via
+  :func:`repro.exec.worker.run_board_shard`), the throughput the
+  ``BENCH_fleet_kernel.json`` ladder scales up.
 
 :func:`run_benchmark` runs one of them ``repeats`` times and returns
 the ledger-ready metrics dict — the *median* wall time (robust to one
@@ -88,6 +92,28 @@ def _bench_campaign_small() -> Tuple[int, str]:
     return len(result.campaign.snapshots), "months"
 
 
+def _bench_fleet_kernel() -> Tuple[int, str]:
+    from repro.exec.plan import ShardSpec
+    from repro.exec.worker import run_board_shard
+    from repro.sram.profiles import ATMEGA32U4
+
+    boards, months, measurements = 256, 2, 100
+    spec = ShardSpec(
+        shard_index=0,
+        root_seed=1,
+        board_ids=tuple(range(boards)),
+        months=months,
+        measurements=measurements,
+        profile=ATMEGA32U4.with_overrides(
+            name="atmega32u4-bench", sram_bytes=128, read_bytes=64
+        ),
+        temperatures=(None,) * (months + 1),
+        kernel="vector",
+    )
+    run_board_shard(spec)
+    return boards * (months + 1), "board_months"
+
+
 #: The registry ``repro bench record --bench <name>`` resolves against.
 BENCHMARKS: Dict[str, Benchmark] = {
     benchmark.name: benchmark
@@ -106,6 +132,12 @@ BENCHMARKS: Dict[str, Benchmark] = {
             "campaign-small",
             "end-to-end serial study: 4 boards, 6 months, 200 measurements",
             _bench_campaign_small,
+        ),
+        Benchmark(
+            "fleet-kernel",
+            "vector fleet kernel: 256 boards x 1024 cells, 2 months, "
+            "100 measurements/month",
+            _bench_fleet_kernel,
         ),
     )
 }

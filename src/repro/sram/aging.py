@@ -68,6 +68,28 @@ class DataPolicy(enum.Enum):
     ALL_ONE = "all-one"
 
 
+def drift_direction(
+    data_policy: DataPolicy, probs: Optional[np.ndarray], shape: tuple
+) -> np.ndarray:
+    """Per-cell drift direction of one aging step, shared by both kernels.
+
+    Net drift per unit tau is ``A * (P(store 0) - P(store 1))``; the
+    policy decides what cells store (see :class:`DataPolicy`).
+    ``probs`` are the one-probabilities (only consulted by the
+    power-up-dependent policies); ``shape`` sizes the constant-policy
+    result — ``(cells,)`` for the scalar kernel, ``(boards, cells)``
+    for the vector kernel.  The arithmetic is elementwise, so both
+    kernels get bitwise-equal directions for equal inputs.
+    """
+    if data_policy is DataPolicy.POWER_UP:
+        return -(2.0 * probs - 1.0)
+    if data_policy is DataPolicy.INVERTED:
+        return 2.0 * probs - 1.0
+    if data_policy is DataPolicy.ALL_ZERO:
+        return np.ones(shape)
+    return -np.ones(shape)  # DataPolicy.ALL_ONE
+
+
 class AgingSimulator:
     """Applies BTI aging to :class:`~repro.sram.array.SRAMArray` state.
 
@@ -103,6 +125,24 @@ class AgingSimulator:
             duty=nominal.duty if duty is None else duty,
         )
         return self._model.condition_factor(stress) / self._model.condition_factor(nominal)
+
+    def equivalent_nominal_seconds(
+        self,
+        seconds: float,
+        temperature_k: Optional[float] = None,
+        voltage_v: Optional[float] = None,
+        duty: Optional[float] = None,
+    ) -> float:
+        """Nominal-condition seconds equivalent to ``seconds`` of stress.
+
+        An amplitude acceleration AF is a *time* acceleration
+        ``AF ** (1/n)`` on the ``t**n`` aging clock.  Both kernels
+        derive their age advance through this one routine, so the
+        stress-to-clock conversion cannot diverge between them.
+        """
+        factor = self.acceleration_factor(temperature_k, voltage_v, duty)
+        n = self._profile.bti_time_exponent
+        return seconds * factor ** (1.0 / n)
 
     def age_array(
         self,
@@ -141,11 +181,10 @@ class AgingSimulator:
         if seconds == 0:
             return
 
-        factor = self.acceleration_factor(temperature_k, voltage_v, duty)
-        # Equivalent nominal-condition aging time: amplitude acceleration
-        # AF is a time acceleration AF**(1/n) on the t**n clock.
         n = self._profile.bti_time_exponent
-        equivalent_seconds = seconds * factor ** (1.0 / n)
+        equivalent_seconds = self.equivalent_nominal_seconds(
+            seconds, temperature_k, voltage_v, duty
+        )
 
         start_months = array.age_seconds / SECONDS_PER_MONTH
         end_months = (array.age_seconds + equivalent_seconds) / SECONDS_PER_MONTH
@@ -154,19 +193,11 @@ class AgingSimulator:
         rng = array._noise_rng()
         amplitude = self._profile.bti_amplitude_v
         dispersion = self._profile.bti_dispersion_v
+        needs_probs = data_policy in (DataPolicy.POWER_UP, DataPolicy.INVERTED)
         for t_start, t_end in zip(boundaries[:-1], boundaries[1:]):
             d_tau = t_end**n - t_start**n
-            # Net drift = A * (P(store 0) - P(store 1)) per unit tau.
-            if data_policy is DataPolicy.POWER_UP:
-                probs = array.one_probabilities()
-                direction = -(2.0 * probs - 1.0)
-            elif data_policy is DataPolicy.INVERTED:
-                probs = array.one_probabilities()
-                direction = 2.0 * probs - 1.0
-            elif data_policy is DataPolicy.ALL_ZERO:
-                direction = np.ones(array.cell_count)
-            else:  # DataPolicy.ALL_ONE
-                direction = -np.ones(array.cell_count)
+            probs = array.one_probabilities() if needs_probs else None
+            direction = drift_direction(data_policy, probs, (array.cell_count,))
             drift = direction * amplitude * d_tau
             if dispersion > 0.0:
                 drift = drift + dispersion * np.sqrt(d_tau) * rng.standard_normal(

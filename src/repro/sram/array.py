@@ -15,10 +15,10 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
-from scipy.stats import norm
 
 from repro.errors import ConfigurationError
 from repro.rng import RandomState, as_generator
+from repro.sram.powerup import one_probabilities_from_skew, resolve_power_up_states
 from repro.sram.profiles import DeviceProfile
 
 
@@ -97,7 +97,7 @@ class SRAMArray:
         sigma = self._noise.sigma_at(
             self._profile.temperature_k if temperature_k is None else temperature_k
         )
-        return norm.cdf(self._skew_v / sigma)
+        return one_probabilities_from_skew(self._skew_v, sigma)
 
     def power_up(
         self, count: int = 1, temperature_k: Optional[float] = None
@@ -114,7 +114,7 @@ class SRAMArray:
         )
         noise = self._rng.normal(0.0, sigma, size=(count, self._skew_v.size))
         self._power_up_count += count
-        return (self._skew_v[np.newaxis, :] + noise > 0.0).astype(np.uint8)
+        return resolve_power_up_states(self._skew_v[np.newaxis, :], noise)
 
     def power_up_once(self, temperature_k: Optional[float] = None) -> np.ndarray:
         """Simulate a single power-up; returns a 1-D uint8 bit vector."""

@@ -1,0 +1,418 @@
+"""Batched fleet kernel: a whole fleet's month in a few vectorized ops.
+
+:class:`FleetKernel` is the ``kernel="vector"`` backend of the
+campaign (``StudyConfig.kernel``; see ``docs/kernel.md``).  Where the
+scalar path walks the fleet board by board — one
+:class:`~repro.sram.chip.SRAMChip` per board, one Python call chain
+per board-month — the kernel keeps the *whole fleet* as matrices:
+
+* ``skew``  — ``(boards, cells)`` float64, the per-cell mismatch;
+* ``age_seconds`` / ``power_up_count`` — ``(boards,)`` running state;
+* one :class:`numpy.random.Generator` per board (the board's
+  ``chip-<id>`` stream).
+
+One month of an arbitrary-size fleet is then a handful of array ops:
+draw the noise matrix, resolve power-up signs, draw the Binomial
+window counts, apply the BTI drift — all shared with the scalar kernel
+through :func:`~repro.sram.powerup.one_probabilities_from_skew`,
+:func:`~repro.sram.powerup.resolve_power_up_states` and
+:func:`~repro.sram.aging.drift_direction`, so there is exactly one
+implementation of the physics.
+
+**Bit-identity contract.**  Every random draw still happens on the
+board's own generator, in the board's serial draw order (manufacture →
+day-0 reference → monthly block → aging steps → next month), and every
+arithmetic step is an elementwise/rowwise operation whose per-board
+evaluation order matches the scalar kernel's exactly.  The vector
+kernel therefore produces **bit-identical** results — power-up bits,
+drift states, metrics, RNG stream positions, exported state documents
+— to the scalar path; ``tests/sram/test_fleetkernel_identity.py`` and
+``tests/property/test_kernel_equivalence.py`` enforce this, and the
+campaign's artifacts/checkpoints inherit it (``tests/exec``,
+``tests/store``).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.physics.constants import SECONDS_PER_MONTH
+from repro.rng import SeedHierarchy
+from repro.sram.aging import AgingSimulator, DataPolicy, drift_direction
+from repro.sram.powerup import one_probabilities_from_skew, resolve_power_up_states
+from repro.sram.profiles import ATMEGA32U4, DeviceProfile
+from repro.telemetry.profiling import PHASE_NOISE_DRAW, PHASE_POWERUP
+from repro.telemetry.runtime import get_profiler
+
+logger = logging.getLogger(__name__)
+
+#: The two campaign execution kernels (``StudyConfig.kernel``).
+KERNELS = ("scalar", "vector")
+
+
+def validate_kernel(kernel: str) -> str:
+    """Validate a kernel name; returns it for chaining."""
+    if kernel not in KERNELS:
+        raise ConfigurationError(
+            f"kernel must be one of {KERNELS}, got {kernel!r}"
+        )
+    return kernel
+
+
+class FleetKernel:
+    """Batched state and physics of a whole fleet of SRAM devices.
+
+    Build via :meth:`manufacture` (fresh fleet from a seed hierarchy,
+    exactly the boards' ``chip-<id>`` streams) or :meth:`from_states`
+    (restore from per-board state snapshots in
+    :meth:`~repro.sram.array.SRAMArray.export_state` form).
+    """
+
+    def __init__(
+        self,
+        board_ids: Sequence[int],
+        profile: DeviceProfile,
+        skew_v: np.ndarray,
+        rngs: Sequence[np.random.Generator],
+        age_seconds: np.ndarray,
+        power_up_counts: np.ndarray,
+    ):
+        ids = [int(b) for b in board_ids]
+        if not ids:
+            raise ConfigurationError("a fleet kernel needs at least one board")
+        if len(set(ids)) != len(ids):
+            raise ConfigurationError(f"duplicate board ids in fleet: {ids}")
+        if any(b < 0 for b in ids):
+            raise ConfigurationError(f"board ids cannot be negative: {ids}")
+        expected = (len(ids), profile.cell_count)
+        if skew_v.shape != expected:
+            raise ConfigurationError(
+                f"skew matrix shape {skew_v.shape} != (boards, cells) {expected}"
+            )
+        if len(rngs) != len(ids):
+            raise ConfigurationError("one random stream per board required")
+        self._board_ids: Tuple[int, ...] = tuple(ids)
+        self._profile = profile
+        self._skew_v = skew_v
+        self._rngs = list(rngs)
+        self._age_seconds = age_seconds
+        self._power_up_counts = power_up_counts
+        self._noise = profile.noise_model()
+
+    # Construction --------------------------------------------------------
+
+    @classmethod
+    def manufacture(
+        cls,
+        board_ids: Sequence[int],
+        profile: DeviceProfile = ATMEGA32U4,
+        root_seed: int = 0,
+    ) -> "FleetKernel":
+        """Manufacture a fresh fleet from the campaign seed hierarchy.
+
+        Per board this replays :class:`~repro.sram.chip.SRAMChip`
+        manufacture draw for draw — the chip-mean offset (when the
+        profile spreads chips) followed by the per-cell skew draw, both
+        on the board's own ``chip-<id>`` stream — so the skew matrix
+        rows equal the scalar chips' skew vectors bit for bit.
+        """
+        seeds = (
+            root_seed
+            if isinstance(root_seed, SeedHierarchy)
+            else SeedHierarchy(int(root_seed))
+        )
+        ids = [int(b) for b in board_ids]
+        cells = profile.cell_count
+        skew = np.empty((len(ids), cells), dtype=np.float64)
+        rngs: List[np.random.Generator] = []
+        for index, board_id in enumerate(ids):
+            rng = seeds.stream(f"chip-{board_id}")
+            chip_mean_v = profile.skew_mean_v
+            if profile.chip_mean_sigma_v > 0.0:
+                chip_mean_v += rng.normal(0.0, profile.chip_mean_sigma_v)
+            skew[index] = rng.normal(chip_mean_v, profile.skew_sigma_v, size=cells)
+            rngs.append(rng)
+        return cls(
+            ids,
+            profile,
+            skew,
+            rngs,
+            np.zeros(len(ids), dtype=np.float64),
+            np.zeros(len(ids), dtype=np.int64),
+        )
+
+    @classmethod
+    def from_states(
+        cls,
+        board_ids: Sequence[int],
+        profile: DeviceProfile,
+        states: Dict[int, dict],
+    ) -> "FleetKernel":
+        """Restore a fleet from per-board state snapshots.
+
+        ``states`` maps each board id to an
+        :meth:`~repro.sram.array.SRAMArray.export_state` dictionary
+        (the raw form; the checkpoint layer owns the serialized one).
+        The restored kernel reproduces every board's future draws bit
+        for bit, exactly like restoring scalar chips would.
+        """
+        ids = [int(b) for b in board_ids]
+        cells = profile.cell_count
+        skew = np.empty((len(ids), cells), dtype=np.float64)
+        age = np.empty(len(ids), dtype=np.float64)
+        counts = np.empty(len(ids), dtype=np.int64)
+        rngs: List[np.random.Generator] = []
+        for index, board_id in enumerate(ids):
+            try:
+                state = states[board_id]
+            except KeyError:
+                raise ConfigurationError(
+                    f"no state snapshot for board {board_id}"
+                ) from None
+            skew_v = np.asarray(state["skew_v"], dtype=np.float64)
+            if skew_v.shape != (cells,):
+                raise ConfigurationError(
+                    f"board {board_id} skew shape {skew_v.shape} != ({cells},)"
+                )
+            skew[index] = skew_v
+            age[index] = float(state["age_seconds"])
+            counts[index] = int(state["power_up_count"])
+            rng = np.random.default_rng(0)
+            rng.bit_generator.state = state["rng_state"]
+            rngs.append(rng)
+        return cls(ids, profile, skew, rngs, age, counts)
+
+    # Introspection -------------------------------------------------------
+
+    @property
+    def board_ids(self) -> Tuple[int, ...]:
+        """The fleet's board ids, in fleet order."""
+        return self._board_ids
+
+    @property
+    def board_count(self) -> int:
+        """Number of boards in the fleet."""
+        return len(self._board_ids)
+
+    @property
+    def profile(self) -> DeviceProfile:
+        """The fleet's (shared) device profile."""
+        return self._profile
+
+    @property
+    def cell_count(self) -> int:
+        """Cells per board."""
+        return int(self._skew_v.shape[1])
+
+    @property
+    def skew_v(self) -> np.ndarray:
+        """Read-only view of the ``(boards, cells)`` skew matrix."""
+        view = self._skew_v.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def age_seconds(self) -> np.ndarray:
+        """Read-only view of the per-board equivalent nominal age."""
+        view = self._age_seconds.view()
+        view.flags.writeable = False
+        return view
+
+    def _sigma_at(self, temperature_k: Optional[float]) -> float:
+        return self._noise.sigma_at(
+            self._profile.temperature_k if temperature_k is None else temperature_k
+        )
+
+    def _draw_noise_rows(self, sigma: float) -> np.ndarray:
+        """One power-up noise vector per board, each on its own stream."""
+        noise = np.empty_like(self._skew_v)
+        cells = self.cell_count
+        for index, rng in enumerate(self._rngs):
+            noise[index] = rng.normal(0.0, sigma, size=cells)
+        return noise
+
+    # Measurement ---------------------------------------------------------
+
+    def read_startup(self, temperature_k: Optional[float] = None) -> np.ndarray:
+        """One power-up per board; the fleet's ``(boards, read_bits)`` bits.
+
+        Row ``i`` equals board ``board_ids[i]``'s
+        :meth:`~repro.sram.chip.SRAMChip.read_startup` result for the
+        same draw position (the day-0 reference when called first).
+        """
+        sigma = self._sigma_at(temperature_k)
+        with get_profiler().phase(PHASE_POWERUP):
+            noise = self._draw_noise_rows(sigma)
+            states = resolve_power_up_states(self._skew_v, noise)
+        self._power_up_counts += 1
+        return states[:, : self._profile.read_bits]
+
+    def measure_block(
+        self,
+        measurements: int,
+        temperature_k: Optional[float] = None,
+        statistical: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One monthly measurement block for the whole fleet.
+
+        Returns ``(ones_counts, first_readouts)`` — ``(boards,
+        read_bits)`` int64 and uint8 matrices whose rows equal the
+        scalar :func:`~repro.sram.powerup.sample_measurement_block`
+        outputs board for board.  The statistical fidelity draws each
+        board's first read-out at measurement level and the remaining
+        ``measurements - 1`` as one Binomial row (consuming the full
+        cell range of the stream, exactly like
+        :meth:`~repro.sram.array.SRAMArray.sample_ones_counts`).
+        """
+        if measurements <= 0:
+            raise ConfigurationError(
+                f"measurements must be positive, got {measurements}"
+            )
+        read_bits = self._profile.read_bits
+        sigma = self._sigma_at(temperature_k)
+        profiler = get_profiler()
+        if not statistical:
+            boards = self.board_count
+            counts = np.empty((boards, read_bits), dtype=np.int64)
+            first = np.empty((boards, read_bits), dtype=np.uint8)
+            with profiler.phase(PHASE_POWERUP):
+                for index, rng in enumerate(self._rngs):
+                    noise = rng.normal(
+                        0.0, sigma, size=(measurements, self.cell_count)
+                    )
+                    block = resolve_power_up_states(
+                        self._skew_v[index][np.newaxis, :], noise
+                    )[:, :read_bits]
+                    counts[index] = block.sum(axis=0, dtype=np.int64)
+                    first[index] = block[0].astype(np.uint8)
+            self._power_up_counts += measurements
+            return counts, first
+        with profiler.phase(PHASE_POWERUP):
+            noise = self._draw_noise_rows(sigma)
+            first = resolve_power_up_states(self._skew_v, noise)[:, :read_bits]
+        self._power_up_counts += 1
+        if measurements == 1:
+            return first.astype(np.int64), first
+        with profiler.phase(PHASE_NOISE_DRAW):
+            probs = one_probabilities_from_skew(self._skew_v, sigma)
+            window = np.empty_like(self._skew_v, dtype=np.int64)
+            for index, rng in enumerate(self._rngs):
+                window[index] = rng.binomial(measurements - 1, probs[index])
+            counts = first + window[:, :read_bits]
+        self._power_up_counts += measurements - 1
+        return counts, first
+
+    # Aging ---------------------------------------------------------------
+
+    def _step_d_taus(self, equivalent_seconds: float, steps: int) -> np.ndarray:
+        """Per-step power-law clock advances, ``(steps, boards)``.
+
+        Computed with the scalar kernel's exact expressions —
+        ``linspace`` month boundaries, ``t_end**n - t_start**n`` per
+        step.  Fleets whose boards share one age (every campaign path)
+        take the single-``linspace`` fast path; mixed-age fleets fall
+        back to per-board boundaries, still bit-equal to per-board
+        scalar aging.
+        """
+        n = self._profile.bti_time_exponent
+        ages = self._age_seconds
+        out = np.empty((steps, self.board_count), dtype=np.float64)
+
+        def fill(column, age_seconds: float) -> None:
+            start_months = age_seconds / SECONDS_PER_MONTH
+            end_months = (age_seconds + equivalent_seconds) / SECONDS_PER_MONTH
+            boundaries = np.linspace(start_months, end_months, steps + 1)
+            for step, (t_start, t_end) in enumerate(
+                zip(boundaries[:-1], boundaries[1:])
+            ):
+                out[step, column] = t_end**n - t_start**n
+
+        if np.all(ages == ages[0]):
+            fill(slice(None), float(ages[0]))
+        else:
+            for index in range(self.board_count):
+                fill(index, float(ages[index]))
+        return out
+
+    def age_months(
+        self,
+        months: float,
+        steps: int = 1,
+        data_policy: DataPolicy = DataPolicy.POWER_UP,
+        temperature_k: Optional[float] = None,
+        voltage_v: Optional[float] = None,
+        duty: Optional[float] = None,
+    ) -> None:
+        """Age the whole fleet by ``months`` of (shared) stress.
+
+        Mirrors :meth:`~repro.sram.aging.AgingSimulator.age_array` —
+        same stress-to-clock conversion
+        (:meth:`~repro.sram.aging.AgingSimulator.equivalent_nominal_seconds`),
+        same per-step drift expression, same per-board dispersion draw
+        order — with the per-board loop collapsed to matrix arithmetic.
+        """
+        if months < 0:
+            raise ConfigurationError(f"months cannot be negative, got {months}")
+        if steps <= 0:
+            raise ConfigurationError(f"steps must be positive, got {steps}")
+        seconds = months * SECONDS_PER_MONTH
+        if seconds == 0:
+            return
+        simulator = AgingSimulator(self._profile)
+        equivalent_seconds = simulator.equivalent_nominal_seconds(
+            seconds, temperature_k, voltage_v, duty
+        )
+        amplitude = self._profile.bti_amplitude_v
+        dispersion = self._profile.bti_dispersion_v
+        sigma = self._sigma_at(None)
+        needs_probs = data_policy in (DataPolicy.POWER_UP, DataPolicy.INVERTED)
+        cells = self.cell_count
+        # No profiler phase here: call sites wrap aging in PHASE_AGING,
+        # exactly like the scalar simulator's call sites do.
+        d_taus = self._step_d_taus(equivalent_seconds, steps)
+        for step in range(steps):
+            d_tau = d_taus[step]
+            probs = (
+                one_probabilities_from_skew(self._skew_v, sigma)
+                if needs_probs
+                else None
+            )
+            direction = drift_direction(data_policy, probs, self._skew_v.shape)
+            drift = direction * amplitude * d_tau[:, np.newaxis]
+            if dispersion > 0.0:
+                xi = np.empty_like(self._skew_v)
+                for index, rng in enumerate(self._rngs):
+                    xi[index] = rng.standard_normal(cells)
+                drift = drift + (dispersion * np.sqrt(d_tau))[:, np.newaxis] * xi
+            self._skew_v = self._skew_v + drift
+        self._age_seconds = self._age_seconds + equivalent_seconds
+
+    # Checkpoint support --------------------------------------------------
+
+    def export_states(self) -> Dict[int, dict]:
+        """Per-board state snapshots, board id → raw state dictionary.
+
+        Each value equals the corresponding scalar array's
+        :meth:`~repro.sram.array.SRAMArray.export_state` output for the
+        same draw position, so checkpoints cut from either kernel are
+        byte-identical once serialized.
+        """
+        return {
+            board_id: {
+                "rng_state": self._rngs[index].bit_generator.state,
+                "skew_v": np.array(self._skew_v[index], dtype=np.float64, copy=True),
+                "age_seconds": float(self._age_seconds[index]),
+                "power_up_count": int(self._power_up_counts[index]),
+            }
+            for index, board_id in enumerate(self._board_ids)
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetKernel({self.board_count} boards x {self.cell_count} cells, "
+            f"{self._profile.name})"
+        )

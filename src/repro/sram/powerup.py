@@ -4,19 +4,60 @@ Free-function conveniences over the two simulation fidelities, plus
 :class:`PowerUpSample` — the bundle a monthly evaluation consumes: the
 ones-counts of a block of consecutive measurements together with the
 first full read-out of that block (needed for BCHD).
+
+This module also owns the **single source of truth** for the power-up
+physics shared by the scalar (:class:`~repro.sram.array.SRAMArray`)
+and vector (:class:`~repro.sram.fleetkernel.FleetKernel`) kernels:
+:func:`one_probabilities_from_skew` derives the per-cell
+one-probability ``Phi(skew / sigma)`` and
+:func:`resolve_power_up_states` turns skew plus drawn noise into
+observed bits.  Both kernels call these two routines, so the
+scalar-vs-vector identity gate (``docs/kernel.md``) verifies one
+derivation, not two parallel copies.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+from scipy.special import ndtr
 
 from repro.errors import ConfigurationError
-from repro.sram.chip import SRAMChip
 from repro.telemetry.profiling import PHASE_NOISE_DRAW, PHASE_POWERUP
 from repro.telemetry.runtime import get_profiler
+
+if TYPE_CHECKING:  # pragma: no cover - typing aid only
+    from repro.sram.chip import SRAMChip
+
+
+def one_probabilities_from_skew(skew_v: np.ndarray, sigma_v: float) -> np.ndarray:
+    """Per-cell probability of powering up to 1: ``Phi(skew / sigma)``.
+
+    The shared one-probability derivation of both kernels.  Uses the
+    standard-normal CDF ``scipy.special.ndtr`` directly — bitwise
+    identical to ``scipy.stats.norm.cdf`` (which wraps it) without the
+    distribution-object overhead, and shape-polymorphic: a scalar
+    array gives per-cell probabilities, a ``(boards, cells)`` matrix
+    gives the whole fleet's in one call.
+    """
+    if sigma_v <= 0:
+        raise ConfigurationError(f"noise sigma must be positive, got {sigma_v}")
+    return ndtr(np.asarray(skew_v) / sigma_v)
+
+
+def resolve_power_up_states(skew_v: np.ndarray, noise_v: np.ndarray) -> np.ndarray:
+    """Observed power-up bits from skew plus drawn noise.
+
+    A cell reads 1 exactly when its skew-plus-noise is positive.  The
+    arguments broadcast, so the scalar kernel passes
+    ``skew[newaxis, :]`` against a ``(count, cells)`` noise block and
+    the vector kernel passes a ``(boards, cells)`` skew matrix against
+    same-shape noise; the elementwise arithmetic — and therefore every
+    resolved bit — is identical either way.
+    """
+    return (skew_v + noise_v > 0.0).astype(np.uint8)
 
 
 @dataclass(frozen=True)

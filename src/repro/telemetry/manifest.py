@@ -38,17 +38,29 @@ def _utc_timestamp() -> str:
     return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
 
 
+#: Config fields that select *how* a study executes, never *what* it
+#: computes — results are bit-identical across their values, so they
+#: stay out of the flattened config (and therefore out of the
+#: deterministic run id and the stored manifest config): a scalar and a
+#: vector run of the same study must share one correlation key and
+#: byte-identical alert logs, heartbeats and manifests.
+_EXECUTION_ONLY_FIELDS = frozenset({"kernel"})
+
+
 def _flatten_config(config: Any) -> Dict[str, Any]:
     """Flatten a config object to JSON-native values.
 
     Dataclass fields keep JSON-native values as-is, named objects
     (e.g. a :class:`~repro.sram.profiles.DeviceProfile`) flatten to
     their ``name``, everything else to ``repr``.  Plain dicts pass
-    through.
+    through.  Execution-only fields (``_EXECUTION_ONLY_FIELDS``) are
+    dropped.
     """
     if dataclasses.is_dataclass(config):
         flat: Dict[str, Any] = {}
         for f in dataclasses.fields(config):
+            if f.name in _EXECUTION_ONLY_FIELDS:
+                continue
             value = getattr(config, f.name)
             if isinstance(value, (int, float, str, bool, type(None))):
                 flat[f.name] = value

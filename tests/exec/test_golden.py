@@ -22,6 +22,8 @@ import pytest
 
 from repro.core.assessment import AssessmentResult, LongTermAssessment
 from repro.core.config import StudyConfig
+from repro.io.resultstore import save_campaign
+from repro.telemetry import reset_telemetry
 
 from tests.exec.conftest import worker_counts
 
@@ -36,11 +38,16 @@ def _golden() -> dict:
         return json.load(fh)
 
 
-def _run_reference(max_workers: int = 1) -> AssessmentResult:
+def _run_reference(
+    max_workers: int = 1,
+    kernel: str = "scalar",
+    checkpoint_dir: str = None,
+) -> AssessmentResult:
     golden_config = _golden()["config"]
+    reset_telemetry()
     return LongTermAssessment(
-        StudyConfig(max_workers=max_workers, **golden_config)
-    ).run()
+        StudyConfig(max_workers=max_workers, kernel=kernel, **golden_config)
+    ).run(checkpoint_dir=checkpoint_dir)
 
 
 def _summaries(result: AssessmentResult) -> dict:
@@ -91,6 +98,54 @@ class TestGoldenSnapshot:
         assert wchd.start_avg < wchd.end_avg < 0.040
         stable = reference.table["Ratio of Stable Cells"]
         assert 0.80 < stable.end_avg < stable.start_avg < 0.95
+
+
+def _tree_bytes(root: Path) -> dict:
+    """Every file under ``root`` as ``{relative path: bytes}``."""
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in sorted(root.rglob("*"))
+        if path.is_file()
+    }
+
+
+class TestVectorKernelGolden:
+    """The vector kernel against the same golden file.
+
+    ``StudyConfig.kernel`` is an execution knob, not a model knob: the
+    batched engine must land on the *same* golden numbers — and, run
+    side by side with the scalar engine, on byte-identical artifacts
+    and checkpoint chains.
+    """
+
+    def test_serial_vector_run_matches_golden(self):
+        assert_matches_golden(_run_reference(kernel="vector"))
+
+    def test_parallel_vector_run_matches_golden(self):
+        assert_matches_golden(
+            _run_reference(max_workers=max(worker_counts()), kernel="vector")
+        )
+
+    def test_table_cells_equal_scalar_exactly(self):
+        """Not just within-golden-tolerance: '==' against the scalar run."""
+        scalar = _summaries(_run_reference())
+        vector = _summaries(_run_reference(kernel="vector"))
+        assert scalar == vector
+
+    def test_artifact_and_checkpoint_chain_byte_identical(self, tmp_path):
+        results = {}
+        for kernel in ("scalar", "vector"):
+            checkpoint_dir = tmp_path / kernel / "checkpoints"
+            result = _run_reference(kernel=kernel, checkpoint_dir=str(checkpoint_dir))
+            artifact = tmp_path / kernel / "campaign.json"
+            save_campaign(result.campaign, str(artifact))
+            results[kernel] = (artifact.read_bytes(), _tree_bytes(checkpoint_dir))
+        scalar_artifact, scalar_chain = results["scalar"]
+        vector_artifact, vector_chain = results["vector"]
+        assert scalar_artifact == vector_artifact
+        assert sorted(scalar_chain) == sorted(vector_chain)
+        for name, payload in scalar_chain.items():
+            assert payload == vector_chain[name], f"checkpoint file {name} differs"
 
 
 def main() -> None:  # pragma: no cover - maintenance helper

@@ -1,0 +1,132 @@
+"""Property-based scalar ≡ vector equivalence (hypothesis).
+
+``tests/sram/test_fleetkernel_identity.py`` pins the kernel contract at
+hand-picked settings; here hypothesis draws the settings — fleet size,
+geometry, noise amplitude, fidelity, measurement count, acceleration —
+and asserts the same bit-identity after *every* month: power-up bits,
+drifted skew states, and the exact RNG stream position of every board.
+Any vectorized op that consumes randomness in a different order or
+rounds differently from the scalar path fails here on a shrunk,
+reproducible counterexample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assessment import LongTermAssessment
+from repro.core.config import StudyConfig
+from repro.rng import SeedHierarchy
+from repro.sram.aging import AgingSimulator
+from repro.sram.chip import SRAMChip
+from repro.sram.fleetkernel import FleetKernel
+from repro.sram.powerup import sample_measurement_block
+from repro.sram.profiles import ATMEGA32U4
+from repro.telemetry import reset_telemetry
+
+#: One randomized kernel-level scenario.
+kernel_configs = st.fixed_dictionaries(
+    {
+        "boards": st.integers(1, 5),
+        "sram_bytes": st.integers(4, 40),
+        "read_fraction": st.sampled_from((0.25, 0.5, 1.0)),
+        "noise_sigma_v": st.floats(0.005, 0.08),
+        "months": st.integers(1, 3),
+        "measurements": st.integers(2, 30),
+        "statistical": st.booleans(),
+        "acceleration": st.sampled_from((1.0, 6.0, 24.0)),
+        "steps": st.integers(1, 3),
+        "seed": st.integers(0, 2**32 - 1),
+    }
+)
+
+
+def _profile(cfg):
+    read_bytes = max(1, int(cfg["sram_bytes"] * cfg["read_fraction"]))
+    return ATMEGA32U4.with_overrides(
+        name="atmega32u4-proptest",
+        sram_bytes=cfg["sram_bytes"],
+        read_bytes=read_bytes,
+        noise_sigma_v=cfg["noise_sigma_v"],
+    )
+
+
+class TestKernelEquivalenceProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(kernel_configs)
+    def test_month_loop_bit_identical(self, cfg):
+        """Scalar and vector agree after every month of a random study."""
+        profile = _profile(cfg)
+        board_ids = tuple(range(cfg["boards"]))
+        kernel = FleetKernel.manufacture(board_ids, profile, root_seed=cfg["seed"])
+        seeds = SeedHierarchy(cfg["seed"])
+        chips = [SRAMChip(b, profile, random_state=seeds) for b in board_ids]
+        simulator = AgingSimulator(profile)
+
+        references = kernel.read_startup()
+        for index, chip in enumerate(chips):
+            np.testing.assert_array_equal(references[index], chip.read_startup())
+
+        for month in range(cfg["months"] + 1):
+            counts, first = kernel.measure_block(
+                cfg["measurements"], statistical=cfg["statistical"]
+            )
+            for index, chip in enumerate(chips):
+                sample = sample_measurement_block(
+                    chip, cfg["measurements"], statistical=cfg["statistical"]
+                )
+                np.testing.assert_array_equal(counts[index], sample.ones_counts)
+                np.testing.assert_array_equal(first[index], sample.first_readout)
+            if month < cfg["months"]:
+                kernel.age_months(cfg["acceleration"], steps=cfg["steps"])
+                for chip in chips:
+                    simulator.age_array_months(
+                        chip.array, cfg["acceleration"], steps=cfg["steps"]
+                    )
+            # Drift state and stream position must agree *every* month,
+            # not just at the end — a transient divergence that happens
+            # to cancel is still a broken kernel.
+            states = kernel.export_states()
+            for chip in chips:
+                scalar_state = chip.array.export_state()
+                state = states[chip.chip_id]
+                np.testing.assert_array_equal(state["skew_v"], scalar_state["skew_v"])
+                assert state["age_seconds"] == scalar_state["age_seconds"]
+                assert state["rng_state"] == scalar_state["rng_state"]
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.fixed_dictionaries(
+            {
+                "device_count": st.integers(2, 4),
+                "months": st.integers(1, 2),
+                "measurements": st.integers(5, 25),
+                "statistical": st.booleans(),
+                "temperature_walk_k": st.sampled_from((0.0, 1.5)),
+                "seed": st.integers(0, 2**16 - 1),
+            }
+        )
+    )
+    def test_campaign_snapshots_bit_identical(self, cfg):
+        """End-to-end: ``StudyConfig(kernel=...)`` is a pure perf knob."""
+        results = {}
+        for kernel in ("scalar", "vector"):
+            reset_telemetry()
+            result = LongTermAssessment(StudyConfig(kernel=kernel, **cfg)).run()
+            results[kernel] = result.campaign
+        scalar, vector = results["scalar"], results["vector"]
+        assert len(scalar.snapshots) == len(vector.snapshots)
+        for snap_s, snap_v in zip(scalar.snapshots, vector.snapshots):
+            assert snap_s.month == snap_v.month
+            np.testing.assert_array_equal(snap_s.wchd, snap_v.wchd)
+            np.testing.assert_array_equal(snap_s.fhw, snap_v.fhw)
+            np.testing.assert_array_equal(snap_s.stable_ratio, snap_v.stable_ratio)
+            np.testing.assert_array_equal(snap_s.noise_entropy, snap_v.noise_entropy)
+            np.testing.assert_array_equal(snap_s.bchd_pairs, snap_v.bchd_pairs)
+            # nan == nan must pass: a 1-board fleet has no PUF entropy.
+            np.testing.assert_array_equal(snap_s.puf_entropy, snap_v.puf_entropy)
+        assert scalar.references.keys() == vector.references.keys()
+        for board_id, ref_s in scalar.references.items():
+            np.testing.assert_array_equal(ref_s, vector.references[board_id])

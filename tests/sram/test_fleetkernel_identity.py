@@ -1,0 +1,249 @@
+"""Scalar ≡ vector identity at the kernel level.
+
+The :class:`~repro.sram.fleetkernel.FleetKernel` contract is absolute:
+for the same seed, every batched operation — manufacture, power-up
+reads, measurement blocks at either fidelity, aging, state export —
+produces **bit-identical** per-board results to a fleet of scalar
+:class:`~repro.sram.chip.SRAMChip` objects, and leaves every board's
+random stream at the same position.  These tests enforce the contract
+operation by operation; the campaign-level suites (``tests/exec``,
+``tests/store``) then inherit it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedHierarchy
+from repro.sram.aging import AgingSimulator, DataPolicy
+from repro.sram.chip import SRAMChip
+from repro.sram.fleetkernel import KERNELS, FleetKernel, validate_kernel
+from repro.sram.powerup import sample_measurement_block
+from repro.sram.profiles import ATMEGA32U4
+
+SEED = 11
+BOARD_IDS = (0, 1, 2, 5)
+#: Small enough to keep every test fast, big enough to be a real array.
+PROFILE = ATMEGA32U4.with_overrides(
+    name="atmega32u4-kerneltest", sram_bytes=48, read_bytes=24
+)
+
+
+def scalar_fleet(board_ids=BOARD_IDS, profile=PROFILE, seed=SEED):
+    seeds = SeedHierarchy(seed)
+    return [SRAMChip(b, profile, random_state=seeds) for b in board_ids]
+
+
+def vector_fleet(board_ids=BOARD_IDS, profile=PROFILE, seed=SEED):
+    return FleetKernel.manufacture(board_ids, profile, root_seed=seed)
+
+
+def assert_streams_aligned(kernel: FleetKernel, chips) -> None:
+    """Both kernels' generators must sit at the same stream position."""
+    states = kernel.export_states()
+    for chip in chips:
+        scalar_state = chip.array.export_state()
+        assert states[chip.chip_id]["rng_state"] == scalar_state["rng_state"]
+
+
+class TestManufacture:
+    def test_skew_rows_equal_scalar_chips(self):
+        kernel = vector_fleet()
+        chips = scalar_fleet()
+        for index, chip in enumerate(chips):
+            np.testing.assert_array_equal(
+                kernel.skew_v[index], chip.array.export_state()["skew_v"]
+            )
+        assert_streams_aligned(kernel, chips)
+
+    def test_board_order_is_caller_order_not_sorted(self):
+        ids = (3, 0, 7)
+        kernel = FleetKernel.manufacture(ids, PROFILE, root_seed=SEED)
+        assert kernel.board_ids == ids
+        for index, board_id in enumerate(ids):
+            chip = SRAMChip(board_id, PROFILE, random_state=SeedHierarchy(SEED))
+            np.testing.assert_array_equal(
+                kernel.skew_v[index], chip.array.export_state()["skew_v"]
+            )
+
+    def test_rejects_empty_duplicate_and_negative_fleets(self):
+        with pytest.raises(ConfigurationError):
+            FleetKernel.manufacture((), PROFILE)
+        with pytest.raises(ConfigurationError):
+            FleetKernel.manufacture((1, 1), PROFILE)
+        with pytest.raises(ConfigurationError):
+            FleetKernel.manufacture((-1, 0), PROFILE)
+
+
+class TestReadStartup:
+    def test_rows_equal_scalar_read_startup(self):
+        kernel = vector_fleet()
+        chips = scalar_fleet()
+        for _ in range(3):  # repeated reads must stay in lockstep
+            rows = kernel.read_startup()
+            for index, chip in enumerate(chips):
+                np.testing.assert_array_equal(rows[index], chip.read_startup())
+        assert_streams_aligned(kernel, chips)
+
+    def test_temperature_override_matches_scalar(self):
+        kernel = vector_fleet()
+        chips = scalar_fleet()
+        rows = kernel.read_startup(temperature_k=320.0)
+        for index, chip in enumerate(chips):
+            np.testing.assert_array_equal(
+                rows[index], chip.read_startup(temperature_k=320.0)
+            )
+
+
+class TestMeasureBlock:
+    @pytest.mark.parametrize("statistical", [True, False], ids=["statistical", "full-sim"])
+    def test_counts_and_first_readout_equal_scalar(self, statistical):
+        kernel = vector_fleet()
+        chips = scalar_fleet()
+        counts, first = kernel.measure_block(60, statistical=statistical)
+        for index, chip in enumerate(chips):
+            sample = sample_measurement_block(chip, 60, statistical=statistical)
+            np.testing.assert_array_equal(counts[index], sample.ones_counts)
+            assert counts[index].dtype == sample.ones_counts.dtype
+            np.testing.assert_array_equal(first[index], sample.first_readout)
+            assert first[index].dtype == sample.first_readout.dtype
+        assert_streams_aligned(kernel, chips)
+
+    def test_single_measurement_block(self):
+        kernel = vector_fleet()
+        chips = scalar_fleet()
+        counts, first = kernel.measure_block(1)
+        for index, chip in enumerate(chips):
+            sample = sample_measurement_block(chip, 1)
+            np.testing.assert_array_equal(counts[index], sample.ones_counts)
+            np.testing.assert_array_equal(first[index], sample.first_readout)
+
+    def test_temperature_override_matches_scalar(self):
+        kernel = vector_fleet()
+        chips = scalar_fleet()
+        counts, _ = kernel.measure_block(40, temperature_k=310.0)
+        for index, chip in enumerate(chips):
+            sample = sample_measurement_block(chip, 40, temperature_k=310.0)
+            np.testing.assert_array_equal(counts[index], sample.ones_counts)
+
+    def test_rejects_nonpositive_measurements(self):
+        with pytest.raises(ConfigurationError):
+            vector_fleet().measure_block(0)
+
+
+class TestAging:
+    @pytest.mark.parametrize("policy", list(DataPolicy))
+    def test_drift_equals_scalar_simulator(self, policy):
+        kernel = vector_fleet()
+        chips = scalar_fleet()
+        simulator = AgingSimulator(PROFILE)
+        for months in (1.0, 2.5):
+            kernel.age_months(months, steps=2, data_policy=policy)
+            for chip in chips:
+                simulator.age_array_months(
+                    chip.array, months, steps=2, data_policy=policy
+                )
+            for index, chip in enumerate(chips):
+                scalar_state = chip.array.export_state()
+                np.testing.assert_array_equal(
+                    kernel.skew_v[index], scalar_state["skew_v"]
+                )
+                assert kernel.age_seconds[index] == scalar_state["age_seconds"]
+        assert_streams_aligned(kernel, chips)
+
+    def test_stress_overrides_match_scalar(self):
+        kernel = vector_fleet()
+        chips = scalar_fleet()
+        simulator = AgingSimulator(PROFILE)
+        kernel.age_months(1.0, steps=3, temperature_k=350.0, voltage_v=5.5)
+        for chip in chips:
+            simulator.age_array_months(
+                chip.array, 1.0, steps=3, temperature_k=350.0, voltage_v=5.5
+            )
+        for index, chip in enumerate(chips):
+            np.testing.assert_array_equal(
+                kernel.skew_v[index], chip.array.export_state()["skew_v"]
+            )
+
+    def test_aging_after_measurement_stays_aligned(self):
+        """The campaign's interleaving: measure, age, measure again."""
+        kernel = vector_fleet()
+        chips = scalar_fleet()
+        simulator = AgingSimulator(PROFILE)
+        for _ in range(2):
+            counts, _ = kernel.measure_block(30)
+            samples = [sample_measurement_block(chip, 30) for chip in chips]
+            for index, sample in enumerate(samples):
+                np.testing.assert_array_equal(counts[index], sample.ones_counts)
+            kernel.age_months(1.0, steps=2)
+            for chip in chips:
+                simulator.age_array_months(chip.array, 1.0, steps=2)
+        assert_streams_aligned(kernel, chips)
+
+    def test_zero_months_is_a_no_op(self):
+        kernel = vector_fleet()
+        before = kernel.export_states()
+        kernel.age_months(0.0)
+        after = kernel.export_states()
+        for board_id in kernel.board_ids:
+            assert before[board_id]["rng_state"] == after[board_id]["rng_state"]
+            np.testing.assert_array_equal(
+                before[board_id]["skew_v"], after[board_id]["skew_v"]
+            )
+
+    def test_rejects_bad_arguments(self):
+        kernel = vector_fleet()
+        with pytest.raises(ConfigurationError):
+            kernel.age_months(-1.0)
+        with pytest.raises(ConfigurationError):
+            kernel.age_months(1.0, steps=0)
+
+
+class TestStateRoundTrip:
+    def test_export_states_equal_scalar_exports(self):
+        kernel = vector_fleet()
+        chips = scalar_fleet()
+        kernel.read_startup()
+        for chip in chips:
+            chip.read_startup()
+        states = kernel.export_states()
+        for chip in chips:
+            scalar_state = chip.array.export_state()
+            state = states[chip.chip_id]
+            assert state["rng_state"] == scalar_state["rng_state"]
+            np.testing.assert_array_equal(state["skew_v"], scalar_state["skew_v"])
+            assert state["age_seconds"] == scalar_state["age_seconds"]
+            assert state["power_up_count"] == scalar_state["power_up_count"]
+
+    def test_from_states_continues_bit_identically(self):
+        kernel = vector_fleet()
+        kernel.measure_block(25)
+        kernel.age_months(1.0, steps=2)
+        restored = FleetKernel.from_states(
+            kernel.board_ids, PROFILE, kernel.export_states()
+        )
+        counts_a, first_a = kernel.measure_block(25)
+        counts_b, first_b = restored.measure_block(25)
+        np.testing.assert_array_equal(counts_a, counts_b)
+        np.testing.assert_array_equal(first_a, first_b)
+
+    def test_from_states_rejects_missing_board_and_bad_shape(self):
+        kernel = vector_fleet()
+        states = kernel.export_states()
+        with pytest.raises(ConfigurationError):
+            FleetKernel.from_states((0, 99), PROFILE, states)
+        states[BOARD_IDS[0]]["skew_v"] = np.zeros(3)
+        with pytest.raises(ConfigurationError):
+            FleetKernel.from_states(kernel.board_ids, PROFILE, states)
+
+
+class TestValidateKernel:
+    def test_accepts_the_registered_kernels(self):
+        for kernel in KERNELS:
+            assert validate_kernel(kernel) == kernel
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ConfigurationError, match="kernel"):
+            validate_kernel("simd")

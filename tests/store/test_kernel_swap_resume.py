@@ -1,0 +1,113 @@
+"""Kernel-swap resume: checkpoints are kernel-neutral.
+
+The kernel is an execution knob of the *process*, not part of the
+stored study (``_checkpoint_config`` never records it).  So a campaign
+checkpointed under one kernel must resume under the other — in either
+direction, at any worker count — and continue **byte-identically**:
+the same CampaignResult, the same saved artifact, the same re-written
+checkpoint files as a run that never switched (or never stopped).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.campaign import LongTermCampaign
+from repro.errors import CampaignInterrupted
+from repro.io.resultstore import save_campaign
+from repro.telemetry import get_metrics, reset_telemetry
+
+from tests.exec.conftest import assert_campaigns_identical, worker_counts
+
+#: Small statistical campaign with the temperature walk exercised.
+SMALL = dict(device_count=4, months=3, measurements=120, temperature_walk_k=1.5)
+SEED = 7
+
+SWAPS = [("scalar", "vector"), ("vector", "scalar")]
+SWAP_IDS = ["scalar-to-vector", "vector-to-scalar"]
+
+
+def make_campaign(kernel: str, max_workers: int = 1) -> LongTermCampaign:
+    return LongTermCampaign(
+        max_workers=max_workers, random_state=SEED, kernel=kernel, **SMALL
+    )
+
+
+def interrupted_checkpoints(kernel: str, checkpoint_dir: str, month: int = 1) -> None:
+    reset_telemetry()
+    with pytest.raises(CampaignInterrupted):
+        make_campaign(kernel).run(
+            checkpoint_dir=checkpoint_dir, abort_after_month=month
+        )
+
+
+class TestKernelSwapResume:
+    @pytest.mark.parametrize("first,second", SWAPS, ids=SWAP_IDS)
+    def test_swapped_resume_matches_uninterrupted_run(self, tmp_path, first, second):
+        reset_telemetry()
+        baseline = make_campaign("scalar").run()
+        baseline_metrics = get_metrics().snapshot()
+
+        checkpoint_dir = str(tmp_path / "ckpt")
+        interrupted_checkpoints(first, checkpoint_dir)
+        reset_telemetry()
+        resumed = LongTermCampaign.resume(checkpoint_dir, kernel=second)
+        assert_campaigns_identical(baseline, resumed)
+        assert get_metrics().snapshot() == baseline_metrics
+
+    @pytest.mark.parametrize("first,second", SWAPS, ids=SWAP_IDS)
+    def test_swapped_resume_artifact_byte_identical(self, tmp_path, first, second):
+        reset_telemetry()
+        straight = tmp_path / "straight.json"
+        save_campaign(make_campaign("scalar").run(), str(straight))
+
+        checkpoint_dir = str(tmp_path / "ckpt")
+        interrupted_checkpoints(first, checkpoint_dir)
+        reset_telemetry()
+        resumed = tmp_path / "resumed.json"
+        save_campaign(
+            LongTermCampaign.resume(checkpoint_dir, kernel=second), str(resumed)
+        )
+        assert straight.read_bytes() == resumed.read_bytes()
+
+    @pytest.mark.parametrize("first,second", SWAPS, ids=SWAP_IDS)
+    def test_swapped_resume_rewrites_identical_checkpoints(
+        self, tmp_path, first, second
+    ):
+        """The continued chain matches an uninterrupted *scalar* chain."""
+        straight_dir = tmp_path / "straight"
+        reset_telemetry()
+        make_campaign("scalar").run(checkpoint_dir=str(straight_dir))
+
+        swapped_dir = tmp_path / "swapped"
+        interrupted_checkpoints(first, str(swapped_dir))
+        reset_telemetry()
+        LongTermCampaign.resume(str(swapped_dir), kernel=second)
+
+        straight = {p.name: p.read_bytes() for p in sorted(straight_dir.glob("*.json"))}
+        swapped = {p.name: p.read_bytes() for p in sorted(swapped_dir.glob("*.json"))}
+        assert straight, "straight run produced no checkpoints"
+        assert straight == swapped
+
+    def test_swap_to_vector_under_sharded_executor(self, tmp_path):
+        """Scalar checkpoint, vector resume at every worker count."""
+        reset_telemetry()
+        baseline = make_campaign("scalar").run()
+        for workers in worker_counts():
+            checkpoint_dir = str(tmp_path / f"ckpt-w{workers}")
+            interrupted_checkpoints("scalar", checkpoint_dir)
+            reset_telemetry()
+            resumed = LongTermCampaign.resume(
+                checkpoint_dir, kernel="vector", max_workers=workers
+            )
+            assert_campaigns_identical(baseline, resumed)
+
+    def test_swap_after_late_abort(self, tmp_path):
+        """Only the final month is left; the vector kernel finishes it."""
+        reset_telemetry()
+        baseline = make_campaign("scalar").run()
+        checkpoint_dir = str(tmp_path / "ckpt")
+        interrupted_checkpoints("scalar", checkpoint_dir, month=SMALL["months"] - 1)
+        reset_telemetry()
+        resumed = LongTermCampaign.resume(checkpoint_dir, kernel="vector")
+        assert_campaigns_identical(baseline, resumed)
