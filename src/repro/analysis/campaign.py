@@ -31,6 +31,7 @@ from repro.rng import RandomState, SeedHierarchy
 from repro.sram.aging import AgingSimulator
 from repro.sram.chip import SRAMChip
 from repro.sram.fleetkernel import validate_kernel
+from repro.sram.population import PopulationSpec
 from repro.sram.profiles import ATMEGA32U4, DeviceProfile
 from repro.telemetry import (
     PHASE_AGING,
@@ -102,7 +103,15 @@ class LongTermCampaign:
     measurements:
         Monthly block size (1,000 in the paper).
     profile:
-        Device profile of the fleet.
+        Device profile of the fleet (every board identical — the
+        paper's testbed).  Ignored when ``population`` is given.
+    population:
+        Optional :class:`~repro.sram.population.PopulationSpec`
+        describing a *heterogeneous* fleet: each board's profile is
+        materialized deterministically from ``(spec, root_seed,
+        board_id)`` (see ``docs/population.md``).  ``None`` (the
+        default) keeps the homogeneous fleet byte-identical to
+        pre-population releases.
     statistical:
         Simulation fidelity of the monthly blocks (see DESIGN.md §2).
     temperature_walk_k:
@@ -161,6 +170,7 @@ class LongTermCampaign:
         months: int = 24,
         measurements: int = 1000,
         profile: DeviceProfile = ATMEGA32U4,
+        population: Optional[PopulationSpec] = None,
         statistical: bool = True,
         temperature_walk_k: float = 0.0,
         aging_steps_per_month: int = 2,
@@ -226,11 +236,79 @@ class LongTermCampaign:
             if isinstance(random_state, SeedHierarchy)
             else SeedHierarchy(random_state if isinstance(random_state, int) else 0)
         )
+        if population is not None and not isinstance(population, PopulationSpec):
+            raise ConfigurationError(
+                f"population must be a PopulationSpec, "
+                f"got {type(population).__name__}"
+            )
+        self._population = population
+        if population is None:
+            # Homogeneous fleet: exactly the pre-population layout, so
+            # artifacts, checkpoints and manifests stay byte-identical.
+            self._profile_table: tuple = (profile,)
+            self._profile_index: tuple = (0,) * device_count
+            self._profile_labels: Optional[tuple] = None
+            self._nominal_temperature = profile.temperature_k
+        else:
+            boards = range(device_count)
+            table, index = population.materialize(self._seeds.root_seed, boards)
+            self._profile_table = table
+            self._profile_index = index
+            self._profile_labels = population.member_labels(
+                self._seeds.root_seed, boards
+            )
+            nominal = population.temperature_k
+            if nominal is None and temperature_walk_k > 0:
+                raise ConfigurationError(
+                    "temperature_walk_k needs one nominal start temperature, "
+                    "but the population mixes members with different "
+                    "temperature_k"
+                )
+            self._nominal_temperature = (
+                nominal if nominal is not None else profile.temperature_k
+            )
+
+    def _board_profile(self, board_id: int) -> DeviceProfile:
+        """The materialized profile of fleet board ``board_id``."""
+        return self._profile_table[self._profile_index[board_id]]
+
+    def _profile_label_of(self, board_id: int) -> str:
+        """Cohort label (member base-profile name) for rollup scopes."""
+        return self._profile_labels[board_id]
+
+    def _result_profile_name(self) -> str:
+        """Fleet handle stamped into results and stream headers."""
+        if self._population is not None:
+            return self._population.display_name
+        return self._profile.name
+
+    def _profile_spec_fields(self, boards) -> Dict[str, object]:
+        """Profile kwargs for one shard's Shard/Window spec.
+
+        Homogeneous campaigns pass ``profile=`` exactly as before the
+        population layer existed; heterogeneous ones pass a shard-local
+        re-interned ``profiles`` table plus per-board indices, so each
+        distinct profile pickles once per spawn payload.
+        """
+        if self._population is None:
+            return {"profile": self._profile}
+        local: Dict[int, int] = {}
+        profiles: List[DeviceProfile] = []
+        index: List[int] = []
+        for board in boards:
+            slot = self._profile_index[board]
+            pos = local.get(slot)
+            if pos is None:
+                pos = len(profiles)
+                local[slot] = pos
+                profiles.append(self._profile_table[slot])
+            index.append(pos)
+        return {"profiles": tuple(profiles), "profile_index": tuple(index)}
 
     def build_fleet(self) -> List[SRAMChip]:
         """Manufacture the campaign's devices (deterministic per seed)."""
         return [
-            SRAMChip(chip_id, self._profile, random_state=self._seeds)
+            SRAMChip(chip_id, self._board_profile(chip_id), random_state=self._seeds)
             for chip_id in range(self._device_count)
         ]
 
@@ -302,6 +380,12 @@ class LongTermCampaign:
         :func:`~repro.store.write_campaign_stream` of the finished
         result.
         """
+        if chips is not None and self._population is not None:
+            raise ConfigurationError(
+                "an injected fleet cannot be combined with a population "
+                "(board profiles are materialized from the spec); run "
+                "without chips, or without population"
+            )
         if chips is not None and self._kernel == "vector":
             raise ConfigurationError(
                 "an injected fleet cannot run on the vector kernel "
@@ -409,12 +493,18 @@ class LongTermCampaign:
 
         state = load_latest_checkpoint(checkpoint_dir)
         config = state.config
+        population_doc = config.get("population")
         try:
             campaign = cls(
                 device_count=int(config["device_count"]),
                 months=int(config["months"]),
                 measurements=int(config["measurements"]),
                 profile=DeviceProfile(**config["profile"]),
+                population=(
+                    PopulationSpec.from_doc(population_doc)
+                    if population_doc
+                    else None
+                ),
                 statistical=bool(config["statistical"]),
                 temperature_walk_k=float(config["temperature_walk_k"]),
                 aging_steps_per_month=int(config["aging_steps_per_month"]),
@@ -471,11 +561,16 @@ class LongTermCampaign:
             references = {chip.chip_id: chip.read_startup() for chip in fleet}
             powerups.inc(len(fleet))  # the day-0 reference read-outs
             temp_rng = self._seeds.stream("ambient-temperature")
-            simulator = AgingSimulator(self._profile)
+            # One simulator per distinct profile (an injected fleet may
+            # carry profiles the campaign's table does not know about).
+            simulators = {
+                chip_profile: AgingSimulator(chip_profile)
+                for chip_profile in dict.fromkeys(chip.profile for chip in fleet)
+            }
 
             total_snapshots = self._months + 1
             snapshots: List[MonthlyEvaluation] = []
-            temperature = self._profile.temperature_k
+            temperature = self._nominal_temperature
             for month in range(self._months + 1):
                 if self._temperature_walk_k > 0.0:
                     temperature += float(temp_rng.normal(0.0, self._temperature_walk_k))
@@ -510,7 +605,7 @@ class LongTermCampaign:
                         with tracer.span("campaign.age"):
                             with get_profiler().phase(PHASE_AGING):
                                 for chip in fleet:
-                                    simulator.age_array_months(
+                                    simulators[chip.profile].age_array_months(
                                         chip.array,
                                         self._aging_acceleration,
                                         steps=self._aging_steps,
@@ -527,7 +622,7 @@ class LongTermCampaign:
             logger.info("campaign finished: %d snapshots", len(snapshots))
 
         return CampaignResult(
-            profile_name=self._profile.name,
+            profile_name=self._result_profile_name(),
             months=self._months,
             measurements=self._measurements,
             board_ids=[chip.chip_id for chip in fleet],
@@ -639,10 +734,23 @@ class LongTermCampaign:
         """
         if not rollups_enabled():
             return
-        from repro.telemetry.rollup import evaluation_shard_docs, fold_rollup_docs
+        from repro.telemetry.rollup import (
+            evaluation_profile_docs,
+            evaluation_shard_docs,
+            fold_rollup_docs,
+        )
 
         if not docs:
             docs = evaluation_shard_docs(evaluation, self._rollup_shard_of)
+        if self._population is not None:
+            # Profile-cohort scopes are derived parent-side from the
+            # assembled evaluation (never shipped by workers), so they
+            # are identical across worker counts, kernels, and resume
+            # replay by construction.
+            docs = dict(docs)
+            docs.update(
+                evaluation_profile_docs(evaluation, self._profile_label_of)
+            )
         fold_rollup_docs(get_rollups(), docs, get_metrics())
 
     def _month_temperatures(self) -> List[Optional[float]]:
@@ -657,7 +765,7 @@ class LongTermCampaign:
         if self._temperature_walk_k <= 0.0:
             return [None] * (self._months + 1)
         temp_rng = self._seeds.stream("ambient-temperature")
-        temperature = self._profile.temperature_k
+        temperature = self._nominal_temperature
         temperatures: List[Optional[float]] = []
         for _ in range(self._months + 1):
             temperature += float(temp_rng.normal(0.0, self._temperature_walk_k))
@@ -682,7 +790,6 @@ class LongTermCampaign:
                 board_ids=boards,
                 months=self._months,
                 measurements=self._measurements,
-                profile=self._profile,
                 statistical=self._statistical,
                 temperatures=temperatures,
                 aging_steps_per_month=self._aging_steps,
@@ -694,6 +801,7 @@ class LongTermCampaign:
                 fleet_size=self._device_count,
                 trace=trace,
                 kernel=self._kernel,
+                **self._profile_spec_fields(boards),
             )
             for index, boards in enumerate(
                 partition_boards(range(self._device_count), shard_count)
@@ -798,7 +906,7 @@ class LongTermCampaign:
             )
 
         return CampaignResult(
-            profile_name=self._profile.name,
+            profile_name=self._result_profile_name(),
             months=self._months,
             measurements=self._measurements,
             board_ids=board_ids,
@@ -814,7 +922,7 @@ class LongTermCampaign:
         """
         import dataclasses
 
-        return {
+        config = {
             "device_count": self._device_count,
             "months": self._months,
             "measurements": self._measurements,
@@ -827,6 +935,12 @@ class LongTermCampaign:
             "root_seed": self._seeds.root_seed,
             "profile": dataclasses.asdict(self._profile),
         }
+        if self._population is not None:
+            # Only heterogeneous campaigns record the key: its absence
+            # keeps homogeneous checkpoints on schema v2, byte-identical
+            # to pre-population releases (docs/storage.md).
+            config["population"] = self._population.to_doc()
+        return config
 
     def _run_windowed(
         self,
@@ -924,7 +1038,7 @@ class LongTermCampaign:
             if resume_state is None:
                 checkpointer.reset()
                 start_month = 0
-                temperature = self._profile.temperature_k
+                temperature = self._nominal_temperature
                 references: Dict[int, np.ndarray] = {}
                 board_states: Dict[int, Optional[Dict]] = {b: None for b in board_ids}
                 snapshots: List[MonthlyEvaluation] = []
@@ -970,7 +1084,7 @@ class LongTermCampaign:
                     # replay; live months then append exactly as in the
                     # uninterrupted run, so the final bytes match.
                     stream.begin(
-                        self._profile.name,
+                        self._result_profile_name(),
                         self._months,
                         self._measurements,
                         board_ids,
@@ -1016,7 +1130,6 @@ class LongTermCampaign:
                                 month=month,
                                 root_seed=self._seeds.root_seed,
                                 measurements=self._measurements,
-                                profile=self._profile,
                                 statistical=self._statistical,
                                 temperature=snapshot_temp,
                                 apply_aging=apply_aging,
@@ -1039,6 +1152,7 @@ class LongTermCampaign:
                                 fleet_size=self._device_count,
                                 trace=trace_context,
                                 kernel=self._kernel,
+                                **self._profile_spec_fields(boards),
                             )
                             for index, boards in enumerate(shard_boards)
                         ]
@@ -1108,7 +1222,7 @@ class LongTermCampaign:
                             with get_profiler().phase(PHASE_STORE_IO):
                                 if month == 0:
                                     stream.begin(
-                                        self._profile.name,
+                                        self._result_profile_name(),
                                         self._months,
                                         self._measurements,
                                         board_ids,
@@ -1140,7 +1254,7 @@ class LongTermCampaign:
             logger.info("campaign finished (checkpointed): %d snapshots", len(snapshots))
 
         return CampaignResult(
-            profile_name=self._profile.name,
+            profile_name=self._result_profile_name(),
             months=self._months,
             measurements=self._measurements,
             board_ids=board_ids,

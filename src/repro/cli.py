@@ -46,6 +46,7 @@ from typing import List, Optional
 
 from repro.core.assessment import LongTermAssessment
 from repro.core.config import StudyConfig
+from repro.errors import ConfigurationError
 from repro.telemetry import (
     get_metrics,
     get_profiler,
@@ -81,6 +82,44 @@ def _add_study_arguments(parser: argparse.ArgumentParser) -> None:
         "'vector' batches the fleet as (boards, cells) matrices "
         "(bit-identical results; see docs/kernel.md)",
     )
+    parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="NAME",
+        help="named device profile of the (homogeneous) fleet, from the "
+        "profile registry (see 'docs/population.md')",
+    )
+    parser.add_argument(
+        "--population",
+        default=None,
+        metavar="SPEC.json",
+        help="heterogeneous fleet population spec (JSON document; "
+        "mutually exclusive with --profile, see docs/population.md)",
+    )
+
+
+def _study_fleet_kwargs(args: argparse.Namespace) -> dict:
+    """``profile``/``population`` StudyConfig kwargs from CLI flags.
+
+    Omitted flags contribute nothing, so flag-free invocations build
+    exactly the pre-population config (same deterministic run id).
+    """
+    from repro.sram.population import load_population
+    from repro.sram.profiles import profile_by_name
+
+    kwargs: dict = {}
+    profile_name = getattr(args, "profile", None)
+    population_path = getattr(args, "population", None)
+    if profile_name and population_path:
+        raise ConfigurationError(
+            "--profile and --population are mutually exclusive "
+            "(a population spec already names its member profiles)"
+        )
+    if profile_name:
+        kwargs["profile"] = profile_by_name(profile_name)
+    if population_path:
+        kwargs["population"] = load_population(population_path)
+    return kwargs
 
 
 def _study_config(args: argparse.Namespace) -> StudyConfig:
@@ -94,6 +133,7 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
         rollup_shards=getattr(args, "rollup_shards", None),
         fail_board=getattr(args, "fail_board", None),
         kernel=getattr(args, "kernel", "scalar"),
+        **_study_fleet_kwargs(args),
     )
 
 
@@ -233,7 +273,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.errors import CampaignExecutionError, CampaignInterrupted
     from repro.io.resultstore import save_campaign
     from repro.monitor.alerts import alert_log_path_for
-    from repro.monitor.defaults import default_ruleset, hierarchical_ruleset
+    from repro.monitor.defaults import (
+        default_ruleset,
+        hierarchical_ruleset,
+        population_ruleset,
+    )
     from repro.monitor.heartbeat import SnapshotEmitter, heartbeat_path_for
     from repro.monitor.hub import MonitorHub
     from repro.store.artifact import ArtifactStore
@@ -262,8 +306,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     # Deterministic (a hash of the config), so equal configs — straight
     # or resumed, serial or sharded — produce byte-identical logs.
     run_id = run_id_for_config(config)
+    rules = default_ruleset() + hierarchical_ruleset()
+    if config.population is not None:
+        # Heterogeneous fleets additionally watch each profile cohort's
+        # pinned rollup scope, so a drifting cohort is attributable.
+        rules += population_ruleset(config.population)
     hub = MonitorHub(
-        default_ruleset() + hierarchical_ruleset(),
+        rules,
         alert_log=alert_log,
         run_id=run_id,
     )
@@ -868,6 +917,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.trace_chrome:
             get_tracer().export_chrome(args.trace_chrome)
             print(f"chrome trace written to {args.trace_chrome}")
+    except ConfigurationError as exc:
+        # Bad flag combinations and registry misses (e.g. --profile
+        # with an unknown name) are usage errors, not crashes.
+        print(f"error: {exc}", file=sys.stderr)
+        code = 2
     finally:
         # Commands may enable tracing/profiling themselves (profile
         # does); leave the process-global state as we found it.

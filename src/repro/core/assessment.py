@@ -200,6 +200,7 @@ class LongTermAssessment:
                 months=cfg.months,
                 measurements=cfg.measurements,
                 profile=cfg.profile,
+                population=cfg.population,
                 statistical=cfg.statistical,
                 temperature_walk_k=cfg.temperature_walk_k,
                 aging_steps_per_month=cfg.aging_steps_per_month,

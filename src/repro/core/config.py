@@ -13,6 +13,7 @@ from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.sram.fleetkernel import validate_kernel
+from repro.sram.population import PopulationSpec
 from repro.sram.profiles import ATMEGA32U4, DeviceProfile
 
 
@@ -33,7 +34,17 @@ class StudyConfig:
     measurements:
         Monthly block size.
     profile:
-        Device profile of the fleet.
+        Device profile of the fleet (every board identical).  Ignored
+        for board materialization when ``population`` is set, but still
+        supplies the temperature-walk starting point's fallback.
+    population:
+        Optional :class:`~repro.sram.population.PopulationSpec` drawing
+        a *heterogeneous* fleet: board ``i``'s profile is a pure
+        function of ``(population, seed, i)`` (see
+        ``docs/population.md``).  ``None`` (the default) keeps today's
+        homogeneous fleet and is the seed-identity escape hatch — a
+        config without a population produces bit-identical results to
+        releases that predate the field.
     seed:
         Root seed of the run.
     statistical:
@@ -86,6 +97,7 @@ class StudyConfig:
     months: int = 24
     measurements: int = 1000
     profile: DeviceProfile = field(default=ATMEGA32U4)
+    population: Optional[PopulationSpec] = None
     seed: int = 0
     statistical: bool = True
     temperature_walk_k: float = 0.0
@@ -144,3 +156,15 @@ class StudyConfig:
                 f"{self.device_count}"
             )
         validate_kernel(self.kernel)
+        if self.population is not None:
+            if not isinstance(self.population, PopulationSpec):
+                raise ConfigurationError(
+                    "population must be a PopulationSpec or None, got "
+                    f"{type(self.population).__name__}"
+                )
+            if self.temperature_walk_k > 0 and self.population.temperature_k is None:
+                raise ConfigurationError(
+                    "temperature_walk_k needs one fleet-wide starting "
+                    "temperature, but the population mixes profiles with "
+                    "different temperature_k"
+                )

@@ -45,7 +45,18 @@ class ShardSpec:
     measurements:
         Monthly block size.
     profile:
-        Device profile (a frozen dataclass, pickled by value).
+        Device profile shared by every board of the shard (a frozen
+        dataclass, pickled by value).  Homogeneous shorthand: when set,
+        ``profiles``/``profile_index`` are derived from it.  Exactly
+        one of ``profile`` / ``profiles`` must be given.
+    profiles:
+        Interned table of the *distinct* profiles this shard's boards
+        use — each :class:`~repro.sram.profiles.DeviceProfile` pickles
+        once no matter how many boards share it, keeping spawn payloads
+        sublinear in fleet size (``tests/exec/test_spawn_payload.py``).
+    profile_index:
+        Per-board indices into ``profiles``, aligned with
+        ``board_ids``.
     statistical:
         Monthly-block simulation fidelity.
     temperatures:
@@ -88,7 +99,9 @@ class ShardSpec:
     board_ids: Tuple[int, ...]
     months: int
     measurements: int
-    profile: DeviceProfile = field(repr=False)
+    profile: Optional[DeviceProfile] = field(default=None, repr=False)
+    profiles: Tuple[DeviceProfile, ...] = field(default=(), repr=False)
+    profile_index: Tuple[int, ...] = ()
     statistical: bool = True
     temperatures: Tuple[Optional[float], ...] = ()
     aging_steps_per_month: int = 2
@@ -108,6 +121,66 @@ class ShardSpec:
                 f"got {len(self.temperatures)}"
             )
         validate_kernel(self.kernel)
+        normalize_profile_fields(self, len(self.board_ids))
+
+    def profile_for_position(self, position: int) -> DeviceProfile:
+        """The profile of the board at ``board_ids[position]``."""
+        return self.profiles[self.profile_index[position]]
+
+    @property
+    def board_profiles(self) -> Tuple[DeviceProfile, ...]:
+        """Per-board profiles, aligned with ``board_ids``."""
+        return tuple(self.profiles[i] for i in self.profile_index)
+
+    @property
+    def homogeneous(self) -> bool:
+        """True when every board of the shard shares one profile."""
+        return len(self.profiles) == 1
+
+
+def normalize_profile_fields(spec, board_count: int) -> None:
+    """Reconcile a spec's ``profile`` / ``profiles`` / ``profile_index``.
+
+    Shared by :class:`ShardSpec` and
+    :class:`~repro.exec.windows.WindowSpec` ``__post_init__``: the
+    homogeneous shorthand (``profile=...``) expands to a one-entry
+    table, an explicit table is validated against ``board_count``, and
+    a homogeneous table back-fills ``profile`` so existing call sites
+    reading ``spec.profile`` keep working.  Mutates via
+    ``object.__setattr__`` (the specs are frozen dataclasses).
+    """
+    if spec.profile is not None and spec.profiles:
+        # A normalized homogeneous spec round-trips through
+        # dataclasses.replace with both fields set; accept the
+        # consistent case and re-expand the shorthand below.
+        if tuple(spec.profiles) != (spec.profile,):
+            raise ConfigurationError(
+                "pass either profile (homogeneous) or profiles/profile_index, "
+                "not both"
+            )
+        object.__setattr__(spec, "profiles", ())
+    if spec.profile is not None:
+        object.__setattr__(spec, "profiles", (spec.profile,))
+        object.__setattr__(spec, "profile_index", (0,) * board_count)
+        return
+    if not spec.profiles:
+        raise ConfigurationError("a spec needs a profile or a profiles table")
+    object.__setattr__(spec, "profiles", tuple(spec.profiles))
+    object.__setattr__(spec, "profile_index", tuple(int(i) for i in spec.profile_index))
+    if len(spec.profile_index) != board_count:
+        raise ConfigurationError(
+            f"profile_index must align with the {board_count} board(s), "
+            f"got {len(spec.profile_index)} entries"
+        )
+    if spec.profile_index and not all(
+        0 <= i < len(spec.profiles) for i in spec.profile_index
+    ):
+        raise ConfigurationError(
+            f"profile_index entries must point into the {len(spec.profiles)}-"
+            "entry profiles table"
+        )
+    if len(spec.profiles) == 1:
+        object.__setattr__(spec, "profile", spec.profiles[0])
 
 
 def partition_boards(

@@ -50,11 +50,11 @@ import numpy as np
 
 from repro.analysis.monthly import BoardMonthMetrics, evaluate_board, evaluate_fleet
 from repro.errors import CampaignExecutionError
-from repro.exec.plan import rollup_shard_of
+from repro.exec.plan import normalize_profile_fields, rollup_shard_of
 from repro.rng import SeedHierarchy
 from repro.sram.aging import AgingSimulator
 from repro.sram.chip import SRAMChip
-from repro.sram.fleetkernel import FleetKernel, validate_kernel
+from repro.sram.fleetkernel import build_fleet_kernel, validate_kernel
 from repro.sram.profiles import DeviceProfile
 from repro.store.checkpoint import (
     board_state_doc,
@@ -192,7 +192,13 @@ class WindowSpec:
     month: int
     root_seed: int
     measurements: int
-    profile: DeviceProfile = field(repr=False)
+    #: Homogeneous shorthand — every board shares this profile.  Mixed
+    #: windows instead carry the interned ``profiles`` table plus
+    #: per-board ``profile_index`` entries (aligned with ``boards``),
+    #: mirroring :class:`~repro.exec.plan.ShardSpec`.
+    profile: Optional[DeviceProfile] = field(default=None, repr=False)
+    profiles: Tuple[DeviceProfile, ...] = field(default=(), repr=False)
+    profile_index: Tuple[int, ...] = ()
     statistical: bool = True
     temperature: Optional[float] = None
     apply_aging: bool = True
@@ -212,11 +218,21 @@ class WindowSpec:
 
     def __post_init__(self) -> None:
         validate_kernel(self.kernel)
+        normalize_profile_fields(self, len(self.boards))
 
     @property
     def board_ids(self) -> Tuple[int, ...]:
         """Boards of this window (for executor error reports)."""
         return tuple(board.board_id for board in self.boards)
+
+    def profile_for_position(self, position: int) -> DeviceProfile:
+        """The profile of ``boards[position]``."""
+        return self.profiles[self.profile_index[position]]
+
+    @property
+    def board_profiles(self) -> Tuple[DeviceProfile, ...]:
+        """Per-board profiles, aligned with ``boards``."""
+        return tuple(self.profiles[i] for i in self.profile_index)
 
 
 @dataclass(frozen=True)
@@ -283,12 +299,12 @@ def _run_window_vector(
     new_references: Dict[int, np.ndarray] = {}
     with tracer.span("worker.fleet", boards=len(board_ids)) if tracer is not None else NULL_SPAN:
         if len(fresh) == len(spec.boards):
-            kernel = FleetKernel.manufacture(
-                board_ids, spec.profile, root_seed=spec.root_seed
+            kernel = build_fleet_kernel(
+                board_ids, spec.board_profiles, root_seed=spec.root_seed
             )
             reference_rows = kernel.read_startup()
             powerups.inc(len(board_ids))  # the day-0 reference read-outs
-            for index, board_id in enumerate(board_ids):
+            for index, board_id in enumerate(kernel.board_ids):
                 references[board_id] = reference_rows[index]
             new_references = dict(references)
         elif fresh:
@@ -302,10 +318,10 @@ def _run_window_vector(
             digests = tuple(state_digest(board.state) for board in spec.boards)
             kernel = _cached_fleet(board_ids, digests)
             if kernel is None:
-                kernel = FleetKernel.from_states(
+                kernel = build_fleet_kernel(
                     board_ids,
-                    spec.profile,
-                    {
+                    spec.board_profiles,
+                    states={
                         board.board_id: board_state_from_doc(board.state)
                         for board in spec.boards
                     },
@@ -361,7 +377,11 @@ def run_board_window(spec: WindowSpec) -> WindowResult:
     aging_registry = MetricsRegistry()
     powerups = eval_registry.counter("campaign.powerups")
     aging_steps = aging_registry.counter("campaign.aging_steps")
-    simulator = AgingSimulator(spec.profile)
+    # One simulator per distinct profile: the aging law is profile
+    # physics, so a mixed window ages each board with its own model.
+    simulators = {
+        profile: AgingSimulator(profile) for profile in spec.profiles
+    }
     builder: Optional[ShardRollupBuilder] = None
     if spec.rollup_shards > 0:
         builder = ShardRollupBuilder(
@@ -395,21 +415,22 @@ def run_board_window(spec: WindowSpec) -> WindowResult:
                     shard_index=spec.shard_index,
                 ) from exc
         else:
-            for board in spec.boards:
+            for position, board in enumerate(spec.boards):
                 try:
                     if spec.fail_board == board.board_id:
                         raise RuntimeError("injected fault (WindowSpec.fail_board)")
+                    profile = spec.profile_for_position(position)
                     with tracer.span("worker.board", board=board.board_id) if tracer is not None else NULL_SPAN:
                         if board.state is None:
                             seeds = SeedHierarchy(spec.root_seed)
-                            chip = SRAMChip(board.board_id, spec.profile, random_state=seeds)
+                            chip = SRAMChip(board.board_id, profile, random_state=seeds)
                             reference = chip.read_startup()
                             powerups.inc()  # the day-0 reference read-out
                             references[board.board_id] = reference
                         else:
                             chip = _cached_chip(board)
                             if chip is None:
-                                chip = restore_chip(board.board_id, spec.profile, board.state)
+                                chip = restore_chip(board.board_id, profile, board.state)
                             reference = board.reference
                         with tracer.span("board.measure") if tracer is not None else NULL_SPAN:
                             row = evaluate_board(
@@ -429,7 +450,7 @@ def run_board_window(spec: WindowSpec) -> WindowResult:
                         if spec.apply_aging:
                             with tracer.span("board.age") if tracer is not None else NULL_SPAN:
                                 with get_profiler().phase(PHASE_AGING):
-                                    simulator.age_array_months(
+                                    simulators[profile].age_array_months(
                                         chip.array,
                                         spec.aging_acceleration,
                                         steps=spec.aging_steps_per_month,

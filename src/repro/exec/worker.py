@@ -33,7 +33,8 @@ from repro.exec.plan import ShardSpec, rollup_shard_of
 from repro.rng import SeedHierarchy
 from repro.sram.aging import AgingSimulator
 from repro.sram.chip import SRAMChip
-from repro.sram.fleetkernel import FleetKernel
+from repro.sram.fleetkernel import build_fleet_kernel
+from repro.sram.profiles import DeviceProfile
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.profiling import PHASE_AGING, PhaseProfiler
 from repro.telemetry.resources import ResourceSampler
@@ -112,6 +113,7 @@ class _DeltaTracker:
 def _run_board(
     spec: ShardSpec,
     board_id: int,
+    profile: DeviceProfile,
     seeds: SeedHierarchy,
     tracker: _DeltaTracker,
     builders: Optional[List[ShardRollupBuilder]] = None,
@@ -120,8 +122,8 @@ def _run_board(
     """Simulate one board's full trajectory (serial draw order)."""
     powerups = tracker.registry.counter("campaign.powerups")
     aging_steps = tracker.registry.counter("campaign.aging_steps")
-    chip = SRAMChip(board_id, spec.profile, random_state=seeds)
-    simulator = AgingSimulator(spec.profile)
+    chip = SRAMChip(board_id, profile, random_state=seeds)
+    simulator = AgingSimulator(profile)
 
     reference = chip.read_startup()
     powerups.inc()  # the day-0 reference read-out
@@ -185,14 +187,14 @@ def _run_fleet_vector(
         )
     boards = len(spec.board_ids)
     with tracer.span("worker.fleet", boards=boards) if tracer is not None else NULL_SPAN:
-        kernel = FleetKernel.manufacture(
-            spec.board_ids, spec.profile, spec.root_seed
+        kernel = build_fleet_kernel(
+            spec.board_ids, spec.board_profiles, root_seed=spec.root_seed
         )
         reference_rows = kernel.read_startup()
         powerups.inc(boards)  # the day-0 reference read-outs
         references = {
             board_id: reference_rows[index]
-            for index, board_id in enumerate(spec.board_ids)
+            for index, board_id in enumerate(kernel.board_ids)
         }
         month_rows: List[List[BoardMonthMetrics]] = []
         for month in range(spec.months + 1):
@@ -220,13 +222,16 @@ def _run_fleet_vector(
                             steps=spec.aging_steps_per_month,
                         )
                     aging_steps.inc(spec.aging_steps_per_month * boards)
+    by_id = [
+        {row.board_id: row for row in rows} for rows in month_rows
+    ]
     return [
         BoardTrajectory(
             board_id=board_id,
             reference=references[board_id],
-            months=[month_rows[month][index] for month in range(spec.months + 1)],
+            months=[by_id[month][board_id] for month in range(spec.months + 1)],
         )
-        for index, board_id in enumerate(spec.board_ids)
+        for board_id in spec.board_ids
     ]
 
 
@@ -273,13 +278,21 @@ def run_board_shard(spec: ShardSpec) -> ShardResult:
                     shard_index=spec.shard_index,
                 ) from exc
         else:
-            for board_id in spec.board_ids:
+            for position, board_id in enumerate(spec.board_ids):
                 try:
                     if spec.fail_board == board_id:
                         raise RuntimeError("injected fault (ShardSpec.fail_board)")
                     with tracer.span("worker.board", board=board_id) if tracer is not None else NULL_SPAN:
                         trajectories.append(
-                            _run_board(spec, board_id, seeds, tracker, builders, tracer)
+                            _run_board(
+                                spec,
+                                board_id,
+                                spec.profile_for_position(position),
+                                seeds,
+                                tracker,
+                                builders,
+                                tracer,
+                            )
                         )
                 except CampaignExecutionError:
                     raise

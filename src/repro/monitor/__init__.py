@@ -34,6 +34,7 @@ from repro.monitor.alerts import (
 from repro.monitor.defaults import (
     default_ruleset,
     hierarchical_ruleset,
+    population_ruleset,
     paper_wchd_trend,
 )
 from repro.monitor.detectors import (
@@ -94,6 +95,7 @@ __all__ = [
     "default_ruleset",
     "heartbeat_path_for",
     "hierarchical_ruleset",
+    "population_ruleset",
     "load_alert_log",
     "load_status",
     "paper_wchd_trend",

@@ -246,3 +246,76 @@ def hierarchical_ruleset(
             description="fleet WCHD p99 above Table I worst case + margin",
         ),
     ]
+
+
+def population_ruleset(
+    population,
+    paper: PaperFacts = PAPER,
+) -> List[AlertRule]:
+    """Per-cohort floor rules for heterogeneous fleet populations.
+
+    ``population`` is a
+    :class:`~repro.sram.population.PopulationSpec`; each distinct
+    member base profile gets a WCHD-p99 ceiling and a stable-cell-ratio
+    floor bound to its pinned ``@profile=<name>`` rollup scope (see
+    :meth:`repro.monitor.hub.MonitorHub.observe_rollups`), so a
+    drifting cohort is attributable by name in ``repro status`` and in
+    the alert drill-down path.
+
+    The Table I envelopes are measurements of the paper's ATmega32u4
+    testbed, so the margins are *profile-parameterized*: a profile
+    whose noise-to-mismatch ratio (``noise_sigma_v / skew_sigma_v``) is
+    ``s`` times the reference profile's gets its instability envelopes
+    widened by ``max(s, 1)`` — noisier silicon legitimately flips more
+    cells, and alarming a healthy cohort for being built from different
+    silicon would train operators to ignore the rule.
+    """
+    from repro.sram.profiles import ATMEGA32U4, profile_by_name
+
+    reference = ATMEGA32U4.noise_sigma_v / ATMEGA32U4.skew_sigma_v
+    rules: List[AlertRule] = []
+    for name in population.profile_names:
+        profile = profile_by_name(name)
+        scale = max(
+            (profile.noise_sigma_v / profile.skew_sigma_v) / reference, 1.0
+        )
+        wchd_ceiling = paper.wchd.end_worst * scale + WCHD_WORST_MARGIN
+        ratio_floor = max(
+            0.0,
+            1.0
+            - (1.0 - paper.stable_cells.end_worst) * scale
+            - STABLE_RATIO_MARGIN,
+        )
+        rules.append(
+            AlertRule(
+                name=f"profile-wchd-p99-{name}",
+                metric=f"rollup:wchd.p99@profile={name}",
+                detector_factory=lambda upper=wchd_ceiling: StaticThresholdDetector(
+                    upper=upper
+                ),
+                severity="warning",
+                hysteresis=1,
+                cooldown=3,
+                description=(
+                    f"cohort {name}: WCHD p99 above its scaled Table I "
+                    "worst case + margin"
+                ),
+            )
+        )
+        rules.append(
+            AlertRule(
+                name=f"profile-stable-ratio-min-{name}",
+                metric=f"rollup:stable_ratio.min@profile={name}",
+                detector_factory=lambda lower=ratio_floor: StaticThresholdDetector(
+                    lower=lower
+                ),
+                severity="warning",
+                hysteresis=2,
+                cooldown=3,
+                description=(
+                    f"cohort {name}: stable-cell ratio under its scaled "
+                    "Table I floor - margin"
+                ),
+            )
+        )
+    return rules

@@ -45,10 +45,17 @@ ROLLUP_RULE_STATS = ("count", "sum", "mean", "min", "max", "std", "variance", "p
 def parse_rollup_metric(metric: str) -> Tuple[str, str, str]:
     """Split ``rollup:<base>.<stat>@<scope>`` into its three parts.
 
+    The scope may be *pinned* to one series with ``@<scope>=<value>``
+    (e.g. ``@profile=ATmega32u4`` watches a single profile cohort of a
+    heterogeneous fleet, ``@shard=3`` one rollup shard); a bare scope
+    binds every series of that scope.
+
     >>> parse_rollup_metric("rollup:wchd.p99@shard")
     ('wchd', 'p99', 'shard')
     >>> parse_rollup_metric("rollup:worker.rss_kb.max@worker")
     ('worker.rss_kb', 'max', 'worker')
+    >>> parse_rollup_metric("rollup:wchd.p99@profile=ATmega32u4")
+    ('wchd', 'p99', 'profile=ATmega32u4')
     """
     if not metric.startswith(ROLLUP_PREFIX):
         raise ConfigurationError(f"not a rollup metric: {metric!r}")
@@ -56,6 +63,12 @@ def parse_rollup_metric(metric: str) -> Tuple[str, str, str]:
     if not sep or not scope:
         raise ConfigurationError(
             f"rollup metric {metric!r} must name a scope: rollup:<base>.<stat>@<scope>"
+        )
+    scope_name, pin_sep, pin = scope.partition("=")
+    if not scope_name or (pin_sep and not pin):
+        raise ConfigurationError(
+            f"rollup metric {metric!r} has a malformed scope {scope!r}; "
+            "expected <scope> or <scope>=<value>"
         )
     base, sep, stat = body.rpartition(".")
     if not sep or not base:
@@ -68,6 +81,21 @@ def parse_rollup_metric(metric: str) -> Tuple[str, str, str]:
             f"expected one of {ROLLUP_RULE_STATS}"
         )
     return base, stat, scope
+
+
+def rollup_scope_selector(scope: str) -> Dict[str, str]:
+    """Label filter a rule scope resolves to, for ``RollupRegistry.select``.
+
+    >>> rollup_scope_selector("shard")
+    {'scope': 'shard'}
+    >>> rollup_scope_selector("profile=ATmega32u4")
+    {'scope': 'profile', 'profile': 'ATmega32u4'}
+    """
+    scope_name, sep, pin = scope.partition("=")
+    selector = {"scope": scope_name}
+    if sep:
+        selector[scope_name] = pin
+    return selector
 
 _SEVERITY_LOG_LEVELS = {
     "info": logging.INFO,
@@ -259,7 +287,8 @@ class MonitorHub:
         emitted: List[Alert] = []
         for rule in self._rollup_rules:
             base, stat, scope = self._rollup_parsed[rule.metric]
-            for name, summary in rollups.select(f"rollup.{base}", scope=scope):
+            selector = rollup_scope_selector(scope)
+            for name, summary in rollups.select(f"rollup.{base}", **selector):
                 if summary.count == 0:
                     continue
                 value = summary.stat(stat)

@@ -101,19 +101,25 @@ def load_status(target: str) -> CampaignStatus:
 
 
 def _shard_table(rollups: Dict[str, Dict[str, Any]]) -> List[str]:
-    """Per-scope rollup rows: fleet first, then shards in order."""
+    """Per-scope rollup rows: fleet, then shards, then profile cohorts."""
 
     def sort_key(item):
         base, labels = item
         scope = labels.get("scope", "")
         shard = labels.get("shard")
-        return (0 if scope == "fleet" else 1, int(shard) if shard else -1, base)
+        order = {"fleet": 0, "shard": 1}.get(scope, 2)
+        return (
+            order,
+            int(shard) if shard else -1,
+            labels.get("profile", ""),
+            base,
+        )
 
     rows: List[str] = []
     parsed = []
     for name, stats in rollups.items():
         base, labels = parse_labeled_name(name)
-        if labels.get("scope") in ("fleet", "shard"):
+        if labels.get("scope") in ("fleet", "shard", "profile"):
             parsed.append(((base, labels), stats))
     if not parsed:
         return rows
@@ -123,7 +129,12 @@ def _shard_table(rollups: Dict[str, Dict[str, Any]]) -> List[str]:
     )
     for (base, labels), stats in sorted(parsed, key=lambda p: sort_key(p[0])):
         scope = labels.get("scope", "")
-        label = scope if scope == "fleet" else f"shard={labels.get('shard')}"
+        if scope == "fleet":
+            label = scope
+        elif scope == "profile":
+            label = f"profile={labels.get('profile')}"
+        else:
+            label = f"shard={labels.get('shard')}"
         rows.append(
             f"  {label:<10} {base:<22} {stats.get('count', 0):>6} "
             f"{stats.get('mean', float('nan')):>10.4g} "

@@ -29,13 +29,22 @@ from repro.sram.powerup import (
     measure_power_ups,
     sample_measurement_block,
 )
+from repro.sram.population import (
+    PopulationMember,
+    PopulationSpec,
+    load_population,
+    single_profile_population,
+)
 from repro.sram.profiles import (
     ATMEGA32U4,
     BUSKEEPER_PUF,
     DFF_PUF,
     TESTCHIP_65NM,
+    REGISTRY,
     DeviceProfile,
     NOISE_SIGMA_V,
+    profile_by_name,
+    register_profile,
 )
 from repro.sram.ramp import VoltageRamp, read_startup_with_ramp
 
@@ -55,6 +64,13 @@ __all__ = [
     "TESTCHIP_65NM",
     "DeviceProfile",
     "NOISE_SIGMA_V",
+    "REGISTRY",
+    "profile_by_name",
+    "register_profile",
+    "PopulationMember",
+    "PopulationSpec",
+    "load_population",
+    "single_profile_population",
     "VoltageRamp",
     "read_startup_with_ramp",
 ]

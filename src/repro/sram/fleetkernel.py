@@ -416,3 +416,232 @@ class FleetKernel:
             f"FleetKernel({self.board_count} boards x {self.cell_count} cells, "
             f"{self._profile.name})"
         )
+
+
+class CohortFleetKernel:
+    """A heterogeneous fleet as profile-homogeneous sub-kernels.
+
+    Mixed fleets (``StudyConfig.population``) cannot live in one
+    ``(boards, cells)`` matrix — cell counts and physics parameters
+    differ per board.  This kernel groups boards sharing an identical
+    :class:`~repro.sram.profiles.DeviceProfile` into one
+    :class:`FleetKernel` *cohort* each (first-appearance order,
+    fleet order preserved inside a cohort) and presents the same
+    interface as a single kernel: measurement results are gathered
+    back into fleet order, so :func:`~repro.analysis.monthly.evaluate_fleet`
+    and the exec layer cannot tell the difference.
+
+    Because every random draw rides the board's own ``chip-<id>``
+    stream, cohort iteration order has no effect on any board's bits —
+    results stay byte-identical to the scalar per-board path (and to
+    any other cohort grouping).
+
+    All cohorts must share ``read_bits``: the monthly metrics compare
+    equal-length readouts (:class:`~repro.sram.population.PopulationSpec`
+    enforces the same rule at spec level).
+    """
+
+    def __init__(self, cohorts: Sequence[FleetKernel]):
+        if not cohorts:
+            raise ConfigurationError("a cohort kernel needs at least one cohort")
+        read_bits = {cohort.profile.read_bits for cohort in cohorts}
+        if len(read_bits) > 1:
+            raise ConfigurationError(
+                f"cohorts must share read_bits, got {sorted(read_bits)}"
+            )
+        all_ids: List[int] = []
+        for cohort in cohorts:
+            all_ids.extend(cohort.board_ids)
+        if len(set(all_ids)) != len(all_ids):
+            raise ConfigurationError(f"duplicate board ids across cohorts: {all_ids}")
+        self._cohorts = list(cohorts)
+        # Fleet order = ascending board id (campaign order); remember
+        # each fleet position's (cohort, row) for the result gather.
+        self._board_ids: Tuple[int, ...] = tuple(sorted(all_ids))
+        locate = {
+            board_id: (c, r)
+            for c, cohort in enumerate(cohorts)
+            for r, board_id in enumerate(cohort.board_ids)
+        }
+        self._gather: List[Tuple[int, int]] = [
+            locate[board_id] for board_id in self._board_ids
+        ]
+        self._read_bits = read_bits.pop()
+
+    @classmethod
+    def manufacture(
+        cls,
+        board_ids: Sequence[int],
+        profiles: Sequence[DeviceProfile],
+        root_seed: int = 0,
+    ) -> "CohortFleetKernel":
+        """Manufacture a mixed fleet; ``profiles[i]`` is board ``i``'s profile."""
+        groups = _group_by_profile(board_ids, profiles)
+        return cls(
+            [
+                FleetKernel.manufacture(ids, profile, root_seed=root_seed)
+                for profile, ids in groups
+            ]
+        )
+
+    @classmethod
+    def from_states(
+        cls,
+        board_ids: Sequence[int],
+        profiles: Sequence[DeviceProfile],
+        states: Dict[int, dict],
+    ) -> "CohortFleetKernel":
+        """Restore a mixed fleet from per-board state snapshots."""
+        groups = _group_by_profile(board_ids, profiles)
+        return cls(
+            [
+                FleetKernel.from_states(
+                    ids, profile, {b: states[b] for b in ids if b in states}
+                )
+                for profile, ids in groups
+            ]
+        )
+
+    # Introspection -------------------------------------------------------
+
+    @property
+    def board_ids(self) -> Tuple[int, ...]:
+        """The fleet's board ids, in fleet (ascending-id) order."""
+        return self._board_ids
+
+    @property
+    def board_count(self) -> int:
+        return len(self._board_ids)
+
+    @property
+    def cohorts(self) -> Tuple[FleetKernel, ...]:
+        """The homogeneous sub-kernels, in first-appearance order."""
+        return tuple(self._cohorts)
+
+    @property
+    def profiles(self) -> Tuple[DeviceProfile, ...]:
+        """Per-board profiles, aligned with :attr:`board_ids`."""
+        return tuple(
+            self._cohorts[c].profile for c, _ in self._gather
+        )
+
+    def _gathered(self, parts: List[np.ndarray], dtype) -> np.ndarray:
+        out = np.empty((self.board_count, self._read_bits), dtype=dtype)
+        for index, (c, r) in enumerate(self._gather):
+            out[index] = parts[c][r]
+        return out
+
+    # Measurement ---------------------------------------------------------
+
+    def read_startup(self, temperature_k: Optional[float] = None) -> np.ndarray:
+        """One power-up per board, gathered to fleet order.
+
+        With ``temperature_k=None`` each cohort reads at its own
+        profile's nominal temperature.
+        """
+        parts = [cohort.read_startup(temperature_k) for cohort in self._cohorts]
+        return self._gathered(parts, parts[0].dtype)
+
+    def measure_block(
+        self,
+        measurements: int,
+        temperature_k: Optional[float] = None,
+        statistical: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """One monthly block per board; ``(counts, first)`` in fleet order."""
+        counts_parts: List[np.ndarray] = []
+        first_parts: List[np.ndarray] = []
+        for cohort in self._cohorts:
+            counts, first = cohort.measure_block(
+                measurements, temperature_k=temperature_k, statistical=statistical
+            )
+            counts_parts.append(counts)
+            first_parts.append(first)
+        return (
+            self._gathered(counts_parts, np.int64),
+            self._gathered(first_parts, np.uint8),
+        )
+
+    # Aging ---------------------------------------------------------------
+
+    def age_months(
+        self,
+        months: float,
+        steps: int = 1,
+        data_policy: DataPolicy = DataPolicy.POWER_UP,
+        temperature_k: Optional[float] = None,
+        voltage_v: Optional[float] = None,
+        duty: Optional[float] = None,
+    ) -> None:
+        """Age every cohort; each applies its own profile's stress model."""
+        for cohort in self._cohorts:
+            cohort.age_months(
+                months,
+                steps=steps,
+                data_policy=data_policy,
+                temperature_k=temperature_k,
+                voltage_v=voltage_v,
+                duty=duty,
+            )
+
+    # Checkpoint support --------------------------------------------------
+
+    def export_states(self) -> Dict[int, dict]:
+        """Per-board state snapshots (all cohorts merged)."""
+        states: Dict[int, dict] = {}
+        for cohort in self._cohorts:
+            states.update(cohort.export_states())
+        return states
+
+    def __repr__(self) -> str:
+        shape = ", ".join(
+            f"{cohort.board_count}x{cohort.cell_count}:{cohort.profile.name}"
+            for cohort in self._cohorts
+        )
+        return f"CohortFleetKernel({shape})"
+
+
+def _group_by_profile(
+    board_ids: Sequence[int], profiles: Sequence[DeviceProfile]
+) -> List[Tuple[DeviceProfile, List[int]]]:
+    """Group boards by identical profile, first-appearance cohort order."""
+    ids = [int(b) for b in board_ids]
+    if len(profiles) != len(ids):
+        raise ConfigurationError(
+            f"need one profile per board: {len(ids)} boards, "
+            f"{len(profiles)} profiles"
+        )
+    groups: Dict[DeviceProfile, List[int]] = {}
+    order: List[DeviceProfile] = []
+    for board_id, profile in zip(ids, profiles):
+        if profile not in groups:
+            groups[profile] = []
+            order.append(profile)
+        groups[profile].append(board_id)
+    return [(profile, groups[profile]) for profile in order]
+
+
+def build_fleet_kernel(
+    board_ids: Sequence[int],
+    profiles: Sequence[DeviceProfile],
+    root_seed: int = 0,
+    states: Optional[Dict[int, dict]] = None,
+):
+    """Build the cheapest kernel for a fleet's profile assignment.
+
+    A homogeneous fleet (every board the *same* profile object value)
+    gets the plain :class:`FleetKernel` — exactly the pre-population
+    code path, preserving byte-identity for ``population=None`` runs —
+    and a mixed fleet gets a :class:`CohortFleetKernel`.  With
+    ``states`` the fleet is restored instead of manufactured.
+    """
+    if not profiles:
+        raise ConfigurationError("need at least one profile")
+    distinct = len(set(profiles))
+    if distinct == 1:
+        if states is not None:
+            return FleetKernel.from_states(board_ids, profiles[0], states)
+        return FleetKernel.manufacture(board_ids, profiles[0], root_seed=root_seed)
+    if states is not None:
+        return CohortFleetKernel.from_states(board_ids, profiles, states)
+    return CohortFleetKernel.manufacture(board_ids, profiles, root_seed=root_seed)

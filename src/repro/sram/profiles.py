@@ -264,3 +264,51 @@ TESTCHIP_65NM = DeviceProfile(
     bti_time_exponent=_BTI_TIME_EXPONENT,
     power_duty=1.0,
 )
+
+
+#: Registry of the calibrated profiles shipped with the library, keyed
+#: by :attr:`DeviceProfile.name`.  The population layer
+#: (:mod:`repro.sram.population`) and the CLI ``--profile`` /
+#: ``--population`` flags resolve names through here; register custom
+#: profiles before building a :class:`~repro.sram.population.PopulationSpec`
+#: from documents that mention them.
+REGISTRY = {
+    profile.name: profile
+    for profile in (ATMEGA32U4, DFF_PUF, BUSKEEPER_PUF, TESTCHIP_65NM)
+}
+
+
+def profile_by_name(name):
+    """Look up a calibrated :class:`DeviceProfile` by its name.
+
+    Raises :class:`~repro.errors.ConfigurationError` listing the known
+    names when ``name`` is not registered, so a CLI typo fails with the
+    menu instead of a bare KeyError.
+
+    >>> profile_by_name("ATmega32u4").sram_bytes
+    2560
+    """
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise ConfigurationError(
+            f"unknown device profile {name!r}; known profiles: {known}"
+        ) from None
+
+
+def register_profile(profile):
+    """Add ``profile`` to :data:`REGISTRY` (idempotent for equal values).
+
+    Re-registering a name with a *different* parameter set raises
+    :class:`~repro.errors.ConfigurationError` — silently shadowing a
+    calibrated profile would break run reproducibility.
+    """
+    existing = REGISTRY.get(profile.name)
+    if existing is not None and existing != profile:
+        raise ConfigurationError(
+            f"profile {profile.name!r} is already registered with "
+            "different parameters"
+        )
+    REGISTRY[profile.name] = profile
+    return profile

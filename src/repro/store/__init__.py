@@ -56,6 +56,7 @@ from repro.store.checkpoint import (
     build_checkpoint_doc,
     build_delta_doc,
     checkpoint_chain_report,
+    checkpoint_doc_version,
     checkpoint_kind,
     checkpoint_name,
     compact_checkpoints,
@@ -114,6 +115,7 @@ __all__ = [
     "build_checkpoint_doc",
     "build_delta_doc",
     "checkpoint_chain_report",
+    "checkpoint_doc_version",
     "checkpoint_kind",
     "checkpoint_name",
     "compact_checkpoints",

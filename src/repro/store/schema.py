@@ -33,7 +33,7 @@ SCHEMAS: Dict[str, Dict[str, Any]] = {
     "campaign": {"field": "format_version", "current": 1},
     "campaign-stream": {"field": "stream_version", "current": 1},
     "manifest": {"field": "manifest_version", "current": 1},
-    "checkpoint": {"field": "checkpoint_version", "current": 2},
+    "checkpoint": {"field": "checkpoint_version", "current": 3},
     "trace": {"field": "version", "current": 2},
 }
 
@@ -155,6 +155,28 @@ def _checkpoint_v1_to_v2(document: Dict[str, Any]) -> Dict[str, Any]:
     """
     document["kind"] = "keyframe"
     document["checkpoint_version"] = 2
+    return document
+
+
+@register_migration("checkpoint", 2)
+def _checkpoint_v2_to_v3(document: Dict[str, Any]) -> Dict[str, Any]:
+    """v2 checkpoints predate heterogeneous fleet populations.
+
+    v3 keyframe configs carry a ``population`` key
+    (:class:`~repro.sram.population.PopulationSpec` document, or
+    ``None`` for the homogeneous fleet).  A v2 directory is by
+    definition homogeneous, so the migration defaults the key and old
+    checkpoint directories resume transparently.  Delta documents carry
+    no config and only gain the version stamp.  Writers *downlevel* on
+    purpose: a population-free campaign still writes v2 bytes (see
+    :func:`repro.store.checkpoint.checkpoint_doc_version`), keeping
+    homogeneous checkpoint files byte-identical to pre-population
+    releases.
+    """
+    config = document.get("config")
+    if isinstance(config, dict):
+        config.setdefault("population", None)
+    document["checkpoint_version"] = 3
     return document
 
 

@@ -46,6 +46,13 @@ def _utc_timestamp() -> str:
 #: byte-identical alert logs, heartbeats and manifests.
 _EXECUTION_ONLY_FIELDS = frozenset({"kernel"})
 
+#: Config fields dropped from the flattened config while unset (None).
+#: Fields added to StudyConfig *after* artifacts shipped must not
+#: retroactively change the run ids of configs that never set them —
+#: ``StudyConfig()`` flattens to the same document (and id) it did
+#: before the field existed.
+_OMIT_WHEN_NONE = frozenset({"population"})
+
 
 def _flatten_config(config: Any) -> Dict[str, Any]:
     """Flatten a config object to JSON-native values.
@@ -62,8 +69,15 @@ def _flatten_config(config: Any) -> Dict[str, Any]:
             if f.name in _EXECUTION_ONLY_FIELDS:
                 continue
             value = getattr(config, f.name)
+            if value is None and f.name in _OMIT_WHEN_NONE:
+                continue
             if isinstance(value, (int, float, str, bool, type(None))):
                 flat[f.name] = value
+            elif hasattr(value, "manifest_token"):
+                # e.g. a PopulationSpec: name alone would let two specs
+                # sharing a display name collide, so the token commits
+                # to the full document via a content digest.
+                flat[f.name] = value.manifest_token
             elif hasattr(value, "name"):
                 flat[f.name] = value.name
             else:

@@ -488,6 +488,53 @@ def evaluation_shard_docs(evaluation, shard_of: Callable[[int], int]) -> Dict[st
     return builder.take()
 
 
+#: Memoized profile-scope document keys, mirroring ``_DOC_NAME_CACHE``.
+_PROFILE_DOC_NAME_CACHE: Dict[Tuple[str, str], str] = {}
+
+
+def profile_rollup_doc_name(stat: str, profile: str) -> str:
+    """Canonical document key for one profile-cohort statistic.
+
+    Profile-scope documents ride the same label grammar as shard docs
+    (``rollup.wchd{profile=ATmega32u4,scope=profile}``), so
+    ``rollup:``-rules can pin a cohort with ``@profile=<name>`` (see
+    ``docs/monitoring.md`` and ``docs/population.md``).
+    """
+    key = (stat, profile)
+    name = _PROFILE_DOC_NAME_CACHE.get(key)
+    if name is None:
+        name = labeled_name(f"rollup.{stat}", {"scope": "profile", "profile": profile})
+        _PROFILE_DOC_NAME_CACHE[key] = name
+    return name
+
+
+def evaluation_profile_docs(
+    evaluation, profile_of: Callable[[int], str]
+) -> Dict[str, dict]:
+    """Profile-cohort rollup documents for one :class:`MonthlyEvaluation`.
+
+    ``profile_of`` maps a board id to its cohort's profile label (a
+    population member's base-profile name).  Only heterogeneous
+    campaigns (``StudyConfig.population``) emit these — homogeneous
+    runs keep their registries byte-identical to pre-population
+    releases.  Derived parent-side from the assembled evaluation, so
+    the documents are identical across worker counts and kernels by
+    construction, and — like all ``rollup.*`` state — they are excluded
+    from checkpoints and rebuilt by resume replay.
+    """
+    summaries: Dict[str, RollupSummary] = {}
+    for i, board_id in enumerate(evaluation.board_ids):
+        profile = profile_of(int(board_id))
+        for stat in ROLLUP_STATS:
+            key = profile_rollup_doc_name(stat, profile)
+            summary = summaries.get(key)
+            if summary is None:
+                summary = RollupSummary(bounds=UNIT_BOUNDS)
+                summaries[key] = summary
+            summary.observe(float(getattr(evaluation, stat)[i]))
+    return {name: summaries[name].to_doc() for name in sorted(summaries)}
+
+
 def combine_rollup_docs(doc_maps: Sequence[Mapping[str, dict]]) -> Dict[str, dict]:
     """Exactly merge partial document maps from several workers.
 

@@ -1,0 +1,214 @@
+"""Population layer: named-profile registry and deterministic mixtures."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sram.population import (
+    PopulationMember,
+    PopulationSpec,
+    load_population,
+    single_profile_population,
+)
+from repro.sram.profiles import (
+    ATMEGA32U4,
+    REGISTRY,
+    DeviceProfile,
+    profile_by_name,
+    register_profile,
+)
+
+
+class TestRegistry:
+    def test_shipped_profiles_resolve(self):
+        for name, profile in REGISTRY.items():
+            assert profile_by_name(name) is profile
+
+    def test_unknown_name_lists_known_profiles(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            profile_by_name("atmega")
+        message = str(excinfo.value)
+        assert "atmega" in message
+        for name in REGISTRY:
+            assert name in message
+
+    def test_register_profile_idempotent_for_equal_values(self):
+        register_profile(ATMEGA32U4)
+        assert profile_by_name(ATMEGA32U4.name) is not None
+
+    def test_register_profile_rejects_conflicting_redefinition(self):
+        imposter = ATMEGA32U4.with_overrides(noise_sigma_v=0.1)
+        with pytest.raises(ConfigurationError):
+            register_profile(imposter)
+
+
+def mixed_spec() -> PopulationSpec:
+    return PopulationSpec(
+        name="mix3",
+        members=(
+            PopulationMember(
+                "ATmega32u4",
+                weight=2.0,
+                lots=2,
+                skew_mean_spread_v=0.002,
+                skew_sigma_spread=0.05,
+            ),
+            PopulationMember("dff-puf", noise_sigma_spread=0.1),
+            PopulationMember(
+                "65nm-testchip", lots=3, sram_bytes_choices=(4096, 8192)
+            ),
+        ),
+    )
+
+
+class TestPopulationSpec:
+    def test_board_profile_is_pure_in_seed_and_board(self):
+        spec = mixed_spec()
+        for board in range(16):
+            assert spec.profile_for_board(7, board) == spec.profile_for_board(
+                7, board
+            )
+
+    def test_different_seeds_redraw_the_fleet(self):
+        spec = mixed_spec()
+        fleets = {
+            tuple(p.name for p in spec.materialize(seed, range(32))[0])
+            for seed in range(4)
+        }
+        assert len(fleets) > 1
+
+    def test_draws_independent_of_materialization_order(self):
+        spec = mixed_spec()
+        full_table, full_index = spec.materialize(7, range(12))
+        expanded = [full_table[i] for i in full_index]
+        # Materializing any subset, in any order, yields the same
+        # per-board profiles: draws are pure in (spec, seed, board).
+        sub_table, sub_index = spec.materialize(7, [11, 3, 5])
+        assert [sub_table[i] for i in sub_index] == [
+            expanded[11], expanded[3], expanded[5]
+        ]
+
+    def test_lot_quantization_bounds_distinct_profiles(self):
+        spec = mixed_spec()
+        table, index = spec.materialize(3, range(200))
+        assert len(table) <= sum(m.lots for m in spec.members)
+        assert len(index) == 200
+        assert set(index) == set(range(len(table)))
+
+    def test_member_labels_use_base_names(self):
+        spec = mixed_spec()
+        labels = spec.member_labels(7, range(64))
+        bases = {m.profile for m in spec.members}
+        assert set(labels) <= bases
+        table, index = spec.materialize(7, range(64))
+        for board, label in enumerate(labels):
+            assert table[index[board]].name.startswith(label)
+
+    def test_lot_profiles_are_named_and_spread(self):
+        spec = mixed_spec()
+        table, _ = spec.materialize(7, range(300))
+        atmega_lots = [p for p in table if p.name.startswith("ATmega32u4.lot")]
+        assert atmega_lots, "expected at least one materialized ATmega lot"
+        for lot in atmega_lots:
+            assert lot.read_bits == ATMEGA32U4.read_bits
+            assert lot.skew_sigma_v > 0
+            assert lot.noise_sigma_v > 0
+
+    def test_cell_count_choices_respected(self):
+        spec = mixed_spec()
+        table, _ = spec.materialize(7, range(500))
+        testchip = [p for p in table if p.name.startswith("65nm-testchip")]
+        assert testchip
+        assert {p.sram_bytes for p in testchip} <= {4096, 8192}
+
+    def test_doc_roundtrip_preserves_digest(self):
+        spec = mixed_spec()
+        clone = PopulationSpec.from_doc(spec.to_doc())
+        assert clone == spec
+        assert clone.digest() == spec.digest()
+        assert clone.manifest_token == spec.manifest_token
+
+    def test_manifest_token_commits_to_content(self):
+        spec = mixed_spec()
+        other = PopulationSpec(
+            name="mix3", members=spec.members[:2]
+        )
+        assert spec.manifest_token != other.manifest_token
+        assert spec.manifest_token.startswith("mix3:")
+
+    def test_display_name(self):
+        assert mixed_spec().display_name == "population:mix3"
+
+    def test_load_population(self, tmp_path):
+        path = tmp_path / "pop.json"
+        path.write_text(json.dumps(mixed_spec().to_doc()))
+        assert load_population(str(path)) == mixed_spec()
+
+    def test_load_population_bad_file(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_population(str(path))
+
+    def test_single_profile_population_is_degenerate(self):
+        spec = single_profile_population(ATMEGA32U4)
+        table, index = spec.materialize(5, range(8))
+        assert table == (ATMEGA32U4,)
+        assert index == (0,) * 8
+        assert spec.temperature_k == ATMEGA32U4.temperature_k
+
+
+class TestValidation:
+    def test_unknown_member_profile(self):
+        with pytest.raises(ConfigurationError, match="known profiles"):
+            PopulationMember("nope")
+
+    def test_negative_weight(self):
+        with pytest.raises(ConfigurationError, match="weight"):
+            PopulationMember("ATmega32u4", weight=0.0)
+
+    def test_fractional_spread_cap(self):
+        with pytest.raises(ConfigurationError, match="skew_sigma_spread"):
+            PopulationMember("ATmega32u4", skew_sigma_spread=0.6)
+
+    def test_sram_choice_below_read_bytes(self):
+        with pytest.raises(ConfigurationError, match="read_bytes"):
+            PopulationMember("ATmega32u4", sram_bytes_choices=(512,))
+
+    def test_empty_members(self):
+        with pytest.raises(ConfigurationError, match="at least one member"):
+            PopulationSpec(members=())
+
+    def test_member_doc_unknown_keys_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown keys"):
+            PopulationMember.from_doc({"profile": "ATmega32u4", "wieght": 2})
+
+    def test_mixed_read_bytes_rejected(self):
+        wide = DeviceProfile(
+            name="wide-readout-test",
+            technology="test",
+            sram_bytes=4096,
+            read_bytes=2048,
+            supply_v=ATMEGA32U4.supply_v,
+            temperature_k=ATMEGA32U4.temperature_k,
+            skew_mean_v=ATMEGA32U4.skew_mean_v,
+            skew_sigma_v=ATMEGA32U4.skew_sigma_v,
+            chip_mean_sigma_v=ATMEGA32U4.chip_mean_sigma_v,
+            noise_sigma_v=ATMEGA32U4.noise_sigma_v,
+            bti_amplitude_v=ATMEGA32U4.bti_amplitude_v,
+            bti_dispersion_v=ATMEGA32U4.bti_dispersion_v,
+            bti_time_exponent=ATMEGA32U4.bti_time_exponent,
+            power_duty=ATMEGA32U4.power_duty,
+        )
+        register_profile(wide)
+        try:
+            with pytest.raises(ConfigurationError, match="read_bytes"):
+                PopulationSpec(
+                    members=(
+                        PopulationMember("ATmega32u4"),
+                        PopulationMember("wide-readout-test"),
+                    )
+                )
+        finally:
+            REGISTRY.pop("wide-readout-test", None)

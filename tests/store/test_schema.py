@@ -138,7 +138,32 @@ class TestManifestV0Migration:
 
 
 class TestCheckpointV1Migration:
-    def test_v1_becomes_v2_keyframe(self):
+    def test_v1_becomes_current_keyframe(self):
         migrated = migrate("checkpoint", {"checkpoint_version": 1, "config": {}})
-        assert migrated["checkpoint_version"] == 2
+        assert migrated["checkpoint_version"] == current_version("checkpoint")
         assert migrated["kind"] == "keyframe"
+
+
+class TestCheckpointV2Migration:
+    def test_v2_keyframe_gains_null_population(self):
+        migrated = migrate(
+            "checkpoint",
+            {"checkpoint_version": 2, "kind": "keyframe", "config": {"months": 3}},
+        )
+        assert migrated["checkpoint_version"] == 3
+        assert migrated["config"] == {"months": 3, "population": None}
+
+    def test_v2_delta_only_gains_the_stamp(self):
+        migrated = migrate(
+            "checkpoint", {"checkpoint_version": 2, "kind": "delta"}
+        )
+        assert migrated["checkpoint_version"] == 3
+        assert "config" not in migrated
+
+    def test_v3_population_config_passes_through(self):
+        doc = {
+            "checkpoint_version": 3,
+            "kind": "keyframe",
+            "config": {"population": {"name": "mix", "members": []}},
+        }
+        assert migrate("checkpoint", doc) is doc

@@ -50,11 +50,11 @@ class TestCommands:
         with open(serial, "rb") as a, open(parallel, "rb") as b:
             assert a.read() == b.read()
 
-    def test_workers_must_be_positive(self):
-        from repro.errors import ConfigurationError
-
-        with pytest.raises(ConfigurationError, match="max_workers"):
-            main(["fig6", "--workers", "0", *SMALL])
+    def test_workers_must_be_positive(self, capsys):
+        code = main(["fig6", "--workers", "0", *SMALL])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "max_workers" in captured.err
 
     def test_calibrate(self, capsys):
         code, out = run_cli(capsys, "calibrate")
@@ -408,13 +408,13 @@ class TestBenchCommand:
         assert "empty" in captured.err
 
     def test_record_unknown_benchmark_rejected(self, capsys, tmp_path):
-        from repro.errors import ConfigurationError
-
-        with pytest.raises(ConfigurationError, match="unknown benchmark"):
-            main(
-                ["bench", "record", "--bench", "bogus",
-                 "--ledger", str(tmp_path / "l.jsonl")]
-            )
+        code = main(
+            ["bench", "record", "--bench", "bogus",
+             "--ledger", str(tmp_path / "l.jsonl")]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown benchmark" in captured.err
 
 
 class TestStoreCommand:
@@ -606,3 +606,70 @@ class TestStoreDeepAndCompactCli:
         captured = capsys.readouterr()
         assert code == 1
         assert "no checkpoints found" in captured.err
+
+
+class TestPopulationCli:
+    """The ``--profile`` / ``--population`` fleet-selection flags."""
+
+    def test_unknown_profile_fails_with_the_menu(self, capsys):
+        code = main(["fig6", "--profile", "bogus", *SMALL])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown device profile 'bogus'" in captured.err
+        assert "known profiles:" in captured.err
+        assert "ATmega32u4" in captured.err
+
+    def test_profile_and_population_are_mutually_exclusive(self, capsys, tmp_path):
+        import json
+
+        spec = str(tmp_path / "pop.json")
+        with open(spec, "w", encoding="utf-8") as handle:
+            json.dump({"name": "m", "members": [{"profile": "dff-puf"}]}, handle)
+        code = main(
+            ["fig6", "--profile", "dff-puf", "--population", spec, *SMALL]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--profile and --population are mutually exclusive" in captured.err
+
+    def test_profile_flag_selects_the_named_device(self, capsys, tmp_path):
+        from repro.io.resultstore import load_campaign
+
+        path = str(tmp_path / "campaign.json")
+        code, _ = run_cli(
+            capsys, "fig6", "--save", path, "--profile", "dff-puf", *SMALL
+        )
+        assert code == 0
+        assert load_campaign(path).profile_name == "dff-puf"
+
+    def test_population_flag_runs_a_mixed_fleet(self, capsys, tmp_path):
+        import json
+
+        from repro.io.resultstore import load_campaign
+
+        spec = str(tmp_path / "pop.json")
+        with open(spec, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "name": "cli-mix",
+                    "members": [
+                        {"profile": "ATmega32u4", "weight": 2},
+                        {"profile": "dff-puf"},
+                    ],
+                },
+                handle,
+            )
+        path = str(tmp_path / "campaign.json")
+        code, _ = run_cli(
+            capsys, "fig6", "--save", path, "--population", spec, *SMALL
+        )
+        assert code == 0
+        assert load_campaign(path).profile_name == "population:cli-mix"
+
+    def test_missing_population_file_fails_cleanly(self, capsys, tmp_path):
+        code = main(
+            ["fig6", "--population", str(tmp_path / "nope.json"), *SMALL]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot read population spec" in captured.err
