@@ -159,6 +159,16 @@ class LongTermCampaign:
         ``docs/kernel.md``).  Like ``max_workers``, a pure wall-clock
         knob — results, artifacts, checkpoints and alert logs are
         bit-identical under either kernel.
+    shard_store:
+        Sharded persistence (requires ``checkpoint_dir`` at run time):
+        each window worker owns a store under ``shards/<shard-dir>/``
+        and writes its shard's keyframed chain and results stream
+        locally; the parent keeps only a campaign manifest and an
+        O(counters) month log (see :mod:`repro.store.shardstore` and
+        ``docs/storage.md``).  Like ``max_workers``/``kernel`` a pure
+        scaling knob: the monolithic artifact reassembled by ``store
+        merge`` / :func:`~repro.io.resultstore.load_campaign` is
+        byte-identical to the single-writer output.
     random_state:
         Seed material; the same seed reproduces the same fleet and
         campaign.
@@ -180,6 +190,7 @@ class LongTermCampaign:
         rollup_shards: Optional[int] = None,
         fail_board: Optional[int] = None,
         kernel: str = "scalar",
+        shard_store: bool = False,
         random_state: RandomState = None,
     ):
         if device_count < 1:
@@ -215,6 +226,7 @@ class LongTermCampaign:
                 f"fail_board {fail_board} outside fleet of {device_count}"
             )
         validate_kernel(kernel)
+        self._shard_store = bool(shard_store)
         self._rollup_shards_opt = rollup_shards
         self._rollup_shards = (
             rollup_shards if rollup_shards is not None else min(8, device_count)
@@ -398,6 +410,18 @@ class LongTermCampaign:
                 "pipeline; pass checkpoint_dir (or save the finished result "
                 "with save_campaign(..., stream=True))"
             )
+        if self._shard_store:
+            if checkpoint_dir is None:
+                raise ConfigurationError(
+                    "shard_store shards the checkpointed persistence layer; "
+                    "pass checkpoint_dir (docs/storage.md)"
+                )
+            if stream is not None:
+                raise ConfigurationError(
+                    "a sharded store already streams per shard; merge to a "
+                    "stream artifact afterwards with `repro store merge "
+                    "--stream` instead of passing stream"
+                )
         if abort_after_month is not None:
             if checkpoint_dir is None:
                 raise ConfigurationError(
@@ -490,8 +514,27 @@ class LongTermCampaign:
         """
         from repro.exec.executor import executor_for
         from repro.store.checkpoint import load_latest_checkpoint
+        from repro.store.shardstore import (
+            is_sharded_checkpoint,
+            load_sharded_checkpoint,
+        )
 
-        state = load_latest_checkpoint(checkpoint_dir)
+        sharded = is_sharded_checkpoint(checkpoint_dir)
+        if sharded:
+            # The layout is self-describing: a campaign manifest marks a
+            # sharded directory, and the resume month is whatever the
+            # parent log *and every shard* fully persisted.  The shard
+            # map travels in resume_state so the re-executed months
+            # keep the original partition regardless of max_workers.
+            if stream is not None:
+                raise ConfigurationError(
+                    "a sharded store already streams per shard; merge to a "
+                    "stream artifact afterwards with `repro store merge "
+                    "--stream` instead of passing stream"
+                )
+            state = load_sharded_checkpoint(checkpoint_dir)
+        else:
+            state = load_latest_checkpoint(checkpoint_dir)
         config = state.config
         population_doc = config.get("population")
         try:
@@ -513,6 +556,7 @@ class LongTermCampaign:
                 keyframe_every=int(config.get("keyframe_every", 6)),
                 rollup_shards=config.get("rollup_shards"),
                 kernel=kernel,
+                shard_store=sharded,
                 random_state=int(config["root_seed"]),
             )
         except (KeyError, TypeError, ValueError) as exc:
@@ -1013,6 +1057,16 @@ class LongTermCampaign:
             fold_counter_deltas,
         )
         from repro.store.codecs import restore_rng_state, rng_state_doc
+        from repro.store.shardstore import (
+            ShardStoreSpec,
+            append_parent_month_record,
+            build_parent_month_record,
+            campaign_config_digest,
+            prepare_shard_resume,
+            reset_sharded_layout,
+            shard_root,
+            write_shard_manifest,
+        )
         from repro.telemetry.rollup import combine_rollup_docs
 
         metrics = get_metrics()
@@ -1036,17 +1090,25 @@ class LongTermCampaign:
             workers=executor.max_workers,
         ):
             if resume_state is None:
+                # A fresh run clears *both* layouts' residue: stale
+                # month files of a previous monolithic run and the
+                # manifest/log/shards tree of a previous sharded one —
+                # resume auto-detects the layout from what it finds, so
+                # leftovers of the other mode would shadow this run.
                 checkpointer.reset()
+                reset_sharded_layout(checkpoint_dir)
                 start_month = 0
                 temperature = self._nominal_temperature
                 references: Dict[int, np.ndarray] = {}
                 board_states: Dict[int, Optional[Dict]] = {b: None for b in board_ids}
                 snapshots: List[MonthlyEvaluation] = []
                 counter_deltas: List[Dict[str, int]] = []
+                temp_history: List[Optional[float]] = []
                 recorder = CounterDeltaRecorder(metrics)
                 logger.info(
-                    "campaign started (checkpointed): %d devices, %d months, "
-                    "%d measurements/month, %d workers -> %s",
+                    "campaign started (checkpointed, %s store): %d devices, "
+                    "%d months, %d measurements/month, %d workers -> %s",
+                    "sharded" if self._shard_store else "monolithic",
                     self._device_count,
                     self._months,
                     self._measurements,
@@ -1076,6 +1138,14 @@ class LongTermCampaign:
                 board_states = {b: state.boards[b] for b in board_ids}
                 snapshots = list(state.snapshots)
                 counter_deltas = [dict(poll) for poll in state.counter_deltas]
+                temp_history = (
+                    list(state.temperatures) if self._shard_store else []
+                )
+                if self._shard_store:
+                    # Roll the shard streams and parent log back to the
+                    # resume month; the re-executed months then append
+                    # exactly as the uninterrupted run would have.
+                    prepare_shard_resume(checkpoint_dir, state)
                 if monitor is not None and monitor.alert_log is not None:
                     log_store, log_name = ArtifactStore.locate(monitor.alert_log)
                     log_store.truncate(log_name)
@@ -1114,7 +1184,26 @@ class LongTermCampaign:
                     executor.max_workers,
                 )
 
-            shard_boards = partition_boards(board_ids, executor.max_workers)
+            if self._shard_store and resume_state is not None:
+                # The shard map is part of the persisted layout, not an
+                # execution knob: resume follows the manifest's map even
+                # under a different max_workers (the executor just runs
+                # more specs than workers, or vice versa), so each
+                # worker keeps appending to the same shard directories.
+                shard_boards = [list(boards) for boards in resume_state.shard_boards]
+            else:
+                shard_boards = partition_boards(board_ids, executor.max_workers)
+            config_digest = None
+            if self._shard_store:
+                config_digest = campaign_config_digest(self._checkpoint_config())
+                if resume_state is None:
+                    write_shard_manifest(
+                        checkpoint_dir,
+                        self._checkpoint_config(),
+                        self._result_profile_name(),
+                        self._keyframe_every,
+                        shard_boards,
+                    )
             worker_rollups = self._rollup_shards if rollups_enabled() else 0
             trace_context = tracer.context(phases=profiling_enabled())
             try:
@@ -1123,6 +1212,11 @@ class LongTermCampaign:
                         temperature += float(temp_rng.normal(0.0, self._temperature_walk_k))
                     snapshot_temp = temperature if walk else None
                     apply_aging = month < self._months
+                    if self._shard_store:
+                        # Workers replay cold-restored months with the
+                        # recorded block temperatures, so every spec
+                        # carries the history up to its own month.
+                        temp_history.append(snapshot_temp)
                     with tracer.span("campaign.month", month=month) as month_span:
                         specs = [
                             WindowSpec(
@@ -1152,6 +1246,18 @@ class LongTermCampaign:
                                 fleet_size=self._device_count,
                                 trace=trace_context,
                                 kernel=self._kernel,
+                                shard_store=(
+                                    ShardStoreSpec(
+                                        root=shard_root(checkpoint_dir, index),
+                                        shard_index=index,
+                                        config_digest=config_digest,
+                                        keyframe_every=self._keyframe_every,
+                                        months=self._months,
+                                        temperatures=tuple(temp_history),
+                                    )
+                                    if self._shard_store
+                                    else None
+                                ),
                                 **self._profile_spec_fields(boards),
                             )
                             for index, boards in enumerate(shard_boards)
@@ -1208,16 +1314,32 @@ class LongTermCampaign:
                         fold_counter_deltas(metrics, aging_deltas)
                         with tracer.span("campaign.checkpoint", month=month):
                             with get_profiler().phase(PHASE_STORE_IO):
-                                checkpointer.save(
-                                    month,
-                                    temperature,
-                                    rng_state_doc(temp_rng) if walk else None,
-                                    references,
-                                    board_states,
-                                    snapshots,
-                                    counter_deltas,
-                                    aging_deltas,
-                                )
+                                if self._shard_store:
+                                    # The fleet's device state and rows
+                                    # are already on disk, written by
+                                    # the workers; the parent persists
+                                    # only its O(counters) month record.
+                                    append_parent_month_record(
+                                        checkpoint_dir,
+                                        build_parent_month_record(
+                                            month,
+                                            temperature,
+                                            rng_state_doc(temp_rng) if walk else None,
+                                            counter_deltas[-1],
+                                            aging_deltas,
+                                        ),
+                                    )
+                                else:
+                                    checkpointer.save(
+                                        month,
+                                        temperature,
+                                        rng_state_doc(temp_rng) if walk else None,
+                                        references,
+                                        board_states,
+                                        snapshots,
+                                        counter_deltas,
+                                        aging_deltas,
+                                    )
                         if stream is not None:
                             with get_profiler().phase(PHASE_STORE_IO):
                                 if month == 0:

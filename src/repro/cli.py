@@ -10,11 +10,13 @@
     python -m repro profile [--devices 4] [--months 3] [--prometheus PATH]
     python -m repro monitor campaign.json [--alerts PATH]
     python -m repro run --save campaign.json [--checkpoint-dir DIR] [--resume]
-                        [--stream-artifact] [--keyframe-every K]
-                        [--rollup-shards N] [--heartbeat-every K]
+                        [--stream-artifact] [--shard-store]
+                        [--keyframe-every K] [--rollup-shards N]
+                        [--heartbeat-every K]
     python -m repro status campaign.json [--once | --interval S]
     python -m repro store inspect DIR [--clean] [--deep]
     python -m repro store compact DIR [--keep-keyframes N]
+    python -m repro store merge DIR --out OUT.json [--stream]
     python -m repro bench record [--bench NAME] [--repeats N] [--ledger PATH]
     python -m repro bench compare [--bench NAME] [--threshold T]
     python -m repro bench list
@@ -133,6 +135,7 @@ def _study_config(args: argparse.Namespace) -> StudyConfig:
         rollup_shards=getattr(args, "rollup_shards", None),
         fail_board=getattr(args, "fail_board", None),
         kernel=getattr(args, "kernel", "scalar"),
+        shard_store=getattr(args, "shard_store", False),
         **_study_fleet_kwargs(args),
     )
 
@@ -264,6 +267,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     the finished result is stream-encoded at once.  Either way the
     bytes are identical and ``load_campaign`` reads both formats.
 
+    ``--shard-store`` (requires ``--checkpoint-dir``) shards the
+    persistence layer: each window worker writes its own keyframed
+    checkpoint chain and results stream under ``shards/<shard>/``
+    instead of the parent writing one monolithic checkpoint per month
+    — see ``docs/storage.md``.  The saved artifact is byte-identical
+    either way, and ``repro store merge`` reassembles one from the
+    shard streams alone.
+
     Every run heartbeats to ``<save>.heartbeat.jsonl`` (tail it, or
     point ``repro status`` at the artifact) and keeps a flight recorder
     of recent events; a crashed campaign (including one injected with
@@ -285,9 +296,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.telemetry.flight import flight_record_path_for
     from repro.telemetry.runtime import get_flight_recorder, get_rollups
 
+    from repro.store.shardstore import is_sharded_checkpoint
+
     if args.resume and not args.checkpoint_dir:
         print("error: --resume requires --checkpoint-dir", file=sys.stderr)
         return 2
+    if args.shard_store and not args.checkpoint_dir:
+        print("error: --shard-store requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.shard_store and args.stream_artifact:
+        print(
+            "error: --shard-store and --stream-artifact are mutually "
+            "exclusive; merge to a stream artifact afterwards with "
+            "'repro store merge --stream'",
+            file=sys.stderr,
+        )
+        return 2
+    # A resumed sharded layout is auto-detected from the manifest, so
+    # the heartbeat's store tag matches what the campaign will do.
+    sharded = bool(args.shard_store) or bool(
+        args.resume
+        and args.checkpoint_dir
+        and is_sharded_checkpoint(args.checkpoint_dir)
+    )
     # Incremental streaming rides the checkpointed pipeline; without a
     # checkpoint dir the stream is written at once after the run.
     incremental = bool(args.stream_artifact and args.checkpoint_dir)
@@ -324,6 +355,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         flight=get_flight_recorder(),
         run_id=run_id,
         profiler=get_profiler(),
+        store_mode=("sharded" if sharded else "monolithic")
+        if args.checkpoint_dir
+        else None,
     )
     try:
         result = LongTermAssessment(config).run(
@@ -395,13 +429,34 @@ def _cmd_status(args: argparse.Namespace) -> int:
             return 0
 
 
+def _shard_chain_dirs(path: str) -> List[str]:
+    """``shards/shard-*`` subdirectories of a sharded checkpoint dir.
+
+    Discovered from the filesystem rather than the manifest, so a
+    corrupt manifest still lets ``store inspect --deep`` and ``store
+    compact`` reach every shard's chain.
+    """
+    shards_parent = os.path.join(path, "shards")
+    if not os.path.isdir(shards_parent):
+        return []
+    return sorted(
+        os.path.join("shards", name)
+        for name in os.listdir(shards_parent)
+        if os.path.isdir(os.path.join(shards_parent, name))
+        and name.startswith("shard-")
+    )
+
+
 def _cmd_store_inspect(args: argparse.Namespace) -> int:
     """Print an artifact directory's contents, versions and integrity.
 
     ``--deep`` additionally validates checkpoint internals: every month
     file is parsed at full strictness and the keyframe/delta chain is
     checked link by link (see
-    :func:`repro.store.checkpoint.checkpoint_chain_report`).
+    :func:`repro.store.checkpoint.checkpoint_chain_report`).  On a
+    sharded checkpoint directory (``docs/storage.md``) every shard's
+    chain is validated the same way; ``--clean`` always sweeps stray
+    temp files recursively, shard subdirectories included.
     """
     from repro.errors import StorageError
     from repro.store.artifact import ArtifactStore
@@ -429,11 +484,27 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
     for name in report["stray_tmp_files"]:
         print(f"  stray temp file: {name} (interrupted write; "
               "re-run with --clean to remove)")
+    for shard in report.get("shards", []):
+        status = "ok" if shard["ok"] else "PROBLEMS"
+        print(
+            f"  shard {shard['dir']:<26} {shard['files']:>3} file(s), "
+            f"{shard['stray_tmp_files']} stray temp  {status}"
+        )
     ok = report["ok"]
     if args.deep:
+        chain_dirs = []
         if list_checkpoints(args.path):
-            chain = checkpoint_chain_report(args.path)
-            print("checkpoint chain:")
+            chain_dirs.append(("", args.path))
+        chain_dirs += [
+            (relative, os.path.join(args.path, relative))
+            for relative in _shard_chain_dirs(args.path)
+        ]
+        if not chain_dirs:
+            print("checkpoint chain: (no checkpoints to validate)")
+        for relative, chain_dir in chain_dirs:
+            chain = checkpoint_chain_report(chain_dir)
+            label = f" [{relative}]" if relative else ""
+            print(f"checkpoint chain{label}:")
             for entry in chain["entries"]:
                 kind = entry["kind"] or "?"
                 detail = f"  {entry['detail']}" if entry.get("detail") else ""
@@ -443,27 +514,70 @@ def _cmd_store_inspect(args: argparse.Namespace) -> int:
             else:
                 print("  resume point: NONE (no parseable keyframe)")
             ok = ok and chain["ok"]
-        else:
-            print("checkpoint chain: (no checkpoints to validate)")
     print(f"integrity: {'ok' if ok else 'PROBLEMS FOUND'}")
     return 0 if ok else 1
 
 
 def _cmd_store_compact(args: argparse.Namespace) -> int:
-    """Prune checkpoint months no longer needed for resume."""
-    from repro.errors import StorageError
-    from repro.store.checkpoint import compact_checkpoints
+    """Prune checkpoint months no longer needed for resume.
 
+    A sharded checkpoint directory has one keyframe/delta chain per
+    shard under ``shards/shard-*``; each is compacted independently
+    with the same keep policy.
+    """
+    from repro.errors import StorageError
+    from repro.store.checkpoint import compact_checkpoints, list_checkpoints
+
+    removed: List[str] = []
     try:
-        removed = compact_checkpoints(
-            args.path, keep_keyframes=args.keep_keyframes
-        )
+        targets = []
+        if list_checkpoints(args.path):
+            targets.append(("", args.path))
+        targets += [
+            (relative, os.path.join(args.path, relative))
+            for relative in _shard_chain_dirs(args.path)
+        ]
+        if not targets:
+            # Chainless directory: let the compactor raise its usual
+            # "no checkpoints found" instead of reporting a clean no-op.
+            targets.append(("", args.path))
+        for relative, chain_dir in targets:
+            for name in compact_checkpoints(
+                chain_dir, keep_keyframes=args.keep_keyframes
+            ):
+                removed.append(os.path.join(relative, name) if relative else name)
     except StorageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     for name in removed:
         print(f"removed {name}")
     print(f"compacted {args.path}: {len(removed)} checkpoint(s) removed")
+    return 0
+
+
+def _cmd_store_merge(args: argparse.Namespace) -> int:
+    """Reassemble one campaign artifact from a sharded checkpoint dir.
+
+    Reads every shard's results stream (``docs/storage.md``), rebuilds
+    the monthly snapshots in fleet order and writes the merged artifact
+    with the same encoders a single-writer run uses — the output is
+    byte-identical to the artifact the campaign itself saved.
+    """
+    from repro.errors import StorageError
+    from repro.io.resultstore import save_campaign
+    from repro.store.shardstore import merge_sharded_campaign
+
+    try:
+        result = merge_sharded_campaign(args.path)
+    except StorageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    save_campaign(result, args.out, stream=args.stream)
+    print(
+        f"merged {len(result.board_ids)} boards x {result.months} months "
+        f"from {args.path}"
+    )
+    print(f"campaign saved to {args.out}")
     return 0
 
 
@@ -733,6 +847,14 @@ def build_parser() -> argparse.ArgumentParser:
         "with --checkpoint-dir it grows on disk month by month",
     )
     run.add_argument(
+        "--shard-store",
+        action="store_true",
+        help="sharded persistence (requires --checkpoint-dir): each window "
+        "worker writes its own checkpoint chain and results stream under "
+        "shards/<shard>/; 'repro store merge' reassembles the artifact "
+        "byte-identically (see docs/storage.md)",
+    )
+    run.add_argument(
         "--keyframe-every",
         type=int,
         default=6,
@@ -787,7 +909,8 @@ def build_parser() -> argparse.ArgumentParser:
     status.set_defaults(handler=_cmd_status)
 
     store = commands.add_parser(
-        "store", help="artifact-store maintenance (inspect directories)"
+        "store",
+        help="artifact-store maintenance (inspect, compact, merge directories)",
     )
     store_actions = store.add_subparsers(dest="action", required=True)
     inspect = store_actions.add_parser(
@@ -821,6 +944,25 @@ def build_parser() -> argparse.ArgumentParser:
         "the oldest kept one) to retain (default: 1)",
     )
     compact.set_defaults(handler=_cmd_store_compact)
+    merge = store_actions.add_parser(
+        "merge",
+        help="reassemble one campaign artifact from a sharded checkpoint "
+        "directory's shard streams",
+    )
+    merge.add_argument("path", help="sharded checkpoint directory to merge")
+    merge.add_argument(
+        "-o",
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="merged campaign artifact destination",
+    )
+    merge.add_argument(
+        "--stream",
+        action="store_true",
+        help="write the merged artifact in the JSON Lines stream format",
+    )
+    merge.set_defaults(handler=_cmd_store_merge)
 
     from repro.store.bench import BENCH_LEDGER_NAME, DEFAULT_THRESHOLD
 

@@ -210,6 +210,7 @@ class LongTermAssessment:
                 rollup_shards=cfg.rollup_shards,
                 fail_board=cfg.fail_board,
                 kernel=cfg.kernel,
+                shard_store=cfg.shard_store,
                 random_state=cfg.seed,
             )
             phase_start = time.perf_counter()

@@ -91,6 +91,14 @@ class StudyConfig:
         knob: results, artifacts, checkpoints and alert logs are
         bit-identical under either kernel, so equal configs still
         produce equal results.
+    shard_store:
+        Sharded persistence (requires ``checkpoint_dir`` at run time):
+        window workers persist their shard's checkpoint chain and
+        results stream under ``shards/<shard-dir>/`` instead of the
+        parent writing one monolithic file per month (see
+        :mod:`repro.store.shardstore` and ``docs/storage.md``).  A pure
+        scaling knob — the artifact merged back with ``repro store
+        merge`` is byte-identical to the single-writer one.
     """
 
     device_count: int = 16
@@ -109,6 +117,7 @@ class StudyConfig:
     rollup_shards: Optional[int] = None
     fail_board: Optional[int] = None
     kernel: str = "scalar"
+    shard_store: bool = False
 
     def __post_init__(self) -> None:
         if self.device_count < 2:

@@ -40,6 +40,7 @@ the serial≡parallel byte-identity gates hold with the cache on.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import json
 import logging
@@ -60,10 +61,12 @@ from repro.store.checkpoint import (
     board_state_doc,
     board_state_from_doc,
     board_state_to_doc,
+    load_latest_shard_keyframe,
     restore_chip,
 )
+from repro.store.shardstore import ShardStoreSpec, persist_shard_window
 from repro.telemetry.metrics import MetricsRegistry
-from repro.telemetry.profiling import PHASE_AGING, PhaseProfiler
+from repro.telemetry.profiling import PHASE_AGING, PHASE_STORE_IO, PhaseProfiler
 from repro.telemetry.resources import ResourceSampler
 from repro.telemetry.rollup import ROLLUP_STATS, ShardRollupBuilder
 from repro.telemetry.runtime import get_profiler, install_profiler
@@ -91,6 +94,19 @@ _FLEET_CACHE: Dict[Tuple[int, ...], Tuple[Tuple[str, ...], Any]] = {}
 #: Fleet-cache safety valve (entries are whole fleets, so keep few).
 _FLEET_CACHE_LIMIT = 8
 
+#: Sharded-store state carry: ``(shard root, config digest)`` ->
+#: ``(completed month, board state docs)``.  Under a sharded store the
+#: driver sends ``state=None`` for every board (device state never
+#: leaves the worker); the worker that ran the shard's previous month
+#: finds it here, any other worker cold-restores from the shard's own
+#: newest keyframe and silently replays the gap.  Keyed by config
+#: digest so two campaigns sharing a process can never cross-feed.
+_SHARD_STATE_CACHE: Dict[Tuple[str, str], Tuple[int, Dict[int, Dict[str, Any]]]] = {}
+
+#: Shard-state safety valve: entries hold a whole shard's state docs,
+#: and a serial executor walks every shard through one process.
+_SHARD_STATE_CACHE_LIMIT = 64
+
 
 def state_digest(state: Dict[str, Any]) -> str:
     """Canonical digest of a :func:`board_state_doc` document.
@@ -109,9 +125,10 @@ def window_cache_stats() -> Dict[str, int]:
 
 
 def clear_window_cache() -> None:
-    """Drop the warm board/fleet caches and zero their statistics."""
+    """Drop the warm board/fleet/shard caches and zero their statistics."""
     _BOARD_CACHE.clear()
     _FLEET_CACHE.clear()
+    _SHARD_STATE_CACHE.clear()
     _CACHE_STATS["hits"] = 0
     _CACHE_STATS["misses"] = 0
 
@@ -159,6 +176,131 @@ def _remember_fleet(
     if board_ids not in _FLEET_CACHE and len(_FLEET_CACHE) >= _FLEET_CACHE_LIMIT:
         _FLEET_CACHE.clear()
     _FLEET_CACHE[board_ids] = (digests, kernel)
+
+
+def _remember_shard_states(
+    shard_store: ShardStoreSpec, month: int, states: Dict[int, Dict[str, Any]]
+) -> None:
+    key = (shard_store.root, shard_store.config_digest)
+    if key not in _SHARD_STATE_CACHE and len(_SHARD_STATE_CACHE) >= _SHARD_STATE_CACHE_LIMIT:
+        _SHARD_STATE_CACHE.clear()
+    _SHARD_STATE_CACHE[key] = (month, states)
+
+
+def _restore_shard_states(spec: "WindowSpec") -> Dict[int, Dict[str, Any]]:
+    """Cold-restore a shard's board states for a month-``m`` window.
+
+    Loads the shard's newest keyframe at or below month ``m-1`` and
+    *silently replays* the months in between — the same measurement and
+    aging calls the original months made, with the recorded block
+    temperatures, so every board's RNG stream lands on exactly the draw
+    position the warm path would have.  Replay touches no telemetry
+    registries and no rollup builders: the replayed months were already
+    counted and persisted by the run that first executed them.
+    """
+    shard_store = spec.shard_store
+    if len(shard_store.temperatures) < spec.month:
+        raise CampaignExecutionError(
+            f"shard store spec of shard {spec.shard_index} carries "
+            f"{len(shard_store.temperatures)} month temperatures, month "
+            f"{spec.month} window needs the full history",
+            shard_index=spec.shard_index,
+        )
+    keyframe = load_latest_shard_keyframe(shard_store.root, max_month=spec.month - 1)
+    states = {board: dict(doc) for board, doc in keyframe.boards.items()}
+    if set(states) != set(spec.board_ids):
+        raise CampaignExecutionError(
+            f"shard {spec.shard_index} keyframe covers boards "
+            f"{sorted(states)}, window expects {sorted(spec.board_ids)}",
+            shard_index=spec.shard_index,
+        )
+    gap = range(keyframe.completed_month + 1, spec.month)
+    logger.info(
+        "shard %d cold restore from keyframe month %d (replaying %d month(s))",
+        spec.shard_index,
+        keyframe.completed_month,
+        len(gap),
+    )
+    if not gap:
+        return states
+    references = {board.board_id: board.reference for board in spec.boards}
+    if spec.kernel == "vector":
+        kernel = build_fleet_kernel(
+            spec.board_ids,
+            spec.board_profiles,
+            states={
+                board: board_state_from_doc(states[board])
+                for board in spec.board_ids
+            },
+        )
+        for month in gap:
+            evaluate_fleet(
+                kernel,
+                references,
+                measurements=spec.measurements,
+                statistical=spec.statistical,
+                temperature_k=shard_store.temperatures[month],
+            )
+            kernel.age_months(
+                spec.aging_acceleration, steps=spec.aging_steps_per_month
+            )
+        raw_states = kernel.export_states()
+        states = {
+            board: board_state_to_doc(raw_states[board])
+            for board in spec.board_ids
+        }
+        _remember_fleet(
+            spec.board_ids,
+            tuple(state_digest(states[board]) for board in spec.board_ids),
+            kernel,
+        )
+    else:
+        simulators = {profile: AgingSimulator(profile) for profile in spec.profiles}
+        replayed: Dict[int, Dict[str, Any]] = {}
+        for position, board in enumerate(spec.boards):
+            profile = spec.profile_for_position(position)
+            chip = restore_chip(board.board_id, profile, states[board.board_id])
+            for month in gap:
+                evaluate_board(
+                    chip,
+                    board.reference,
+                    measurements=spec.measurements,
+                    statistical=spec.statistical,
+                    temperature_k=shard_store.temperatures[month],
+                )
+                simulators[profile].age_array_months(
+                    chip.array,
+                    spec.aging_acceleration,
+                    steps=spec.aging_steps_per_month,
+                )
+            doc = board_state_doc(chip)
+            replayed[board.board_id] = doc
+            _remember_chip(board.board_id, state_digest(doc), chip, board.reference)
+        states = replayed
+    return states
+
+
+def _attach_shard_states(spec: "WindowSpec") -> "WindowSpec":
+    """Fill a sharded window's ``state=None`` boards with real state.
+
+    The warm path is the shard-state carry of the worker that ran this
+    shard's previous month; any other worker (or a resumed process)
+    cold-restores from the shard's own keyframe chain via
+    :func:`_restore_shard_states`.
+    """
+    shard_store = spec.shard_store
+    cached = _SHARD_STATE_CACHE.get((shard_store.root, shard_store.config_digest))
+    if cached is not None and cached[0] == spec.month - 1:
+        states = cached[1]
+        if set(states) != set(spec.board_ids):
+            states = _restore_shard_states(spec)
+    else:
+        states = _restore_shard_states(spec)
+    boards = tuple(
+        dataclasses.replace(board, state=states[board.board_id])
+        for board in spec.boards
+    )
+    return dataclasses.replace(spec, boards=boards)
 
 
 @dataclass(frozen=True)
@@ -215,6 +357,13 @@ class WindowSpec:
     #: advances the window's boards together on a
     #: :class:`~repro.sram.fleetkernel.FleetKernel`, bit-identically.
     kernel: str = "scalar"
+    #: Sharded persistence order (``None`` = monolithic: the driver
+    #: checkpoints centrally and boards travel by value).  When set,
+    #: the worker owns the shard's store: device state stays local
+    #: (``boards`` arrive with ``state=None`` after month 0 and the
+    #: result ships ``states={}``), and the worker persists the month's
+    #: rows + chain file itself before returning.
+    shard_store: Optional[ShardStoreSpec] = None
 
     def __post_init__(self) -> None:
         validate_kernel(self.kernel)
@@ -371,7 +520,15 @@ def run_board_window(spec: WindowSpec) -> WindowResult:
     reference (exactly the serial campaign's draw order).  Failures
     surface as :class:`~repro.errors.CampaignExecutionError` naming the
     board and shard, like the full-trajectory worker's.
+
+    Under a sharded store (``spec.shard_store``) the boards arrive
+    with ``state=None`` after month 0; the worker attaches its own
+    carried (or keyframe-restored) state first, and persists the
+    month's rows and chain file to the shard's store before returning
+    a result with ``states={}``.
     """
+    if spec.shard_store is not None and spec.month > 0:
+        spec = _attach_shard_states(spec)
     sampler = ResourceSampler()
     eval_registry = MetricsRegistry()
     aging_registry = MetricsRegistry()
@@ -468,6 +625,17 @@ def run_board_window(spec: WindowSpec) -> WindowResult:
                         board_id=board.board_id,
                         shard_index=spec.shard_index,
                     ) from exc
+        if spec.shard_store is not None:
+            # The month is only "done" once the shard's own store says
+            # so: rows record first, chain file (the commit mark)
+            # second.  The heavy state documents then stay in this
+            # process — the result ships no board state at all.
+            with get_profiler().phase(PHASE_STORE_IO):
+                persist_shard_window(
+                    spec.shard_store, spec.month, rows, states, references
+                )
+            _remember_shard_states(spec.shard_store, spec.month, states)
+            states = {}
     finally:
         if previous_profiler is not None:
             phase_deltas = install_profiler(previous_profiler).take()

@@ -22,6 +22,7 @@ run travel the same way: pass ``alerts`` (e.g.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
@@ -166,9 +167,23 @@ def load_campaign(path: str):
     line either is the whole single-line document, which has no
     ``kind`` field, or the ``{`` of an indented one, which is not
     valid JSON on its own — so the sniff cannot misfire.)
+
+    A *directory* with a campaign manifest is a sharded checkpoint
+    layout (``docs/storage.md``): the result is reassembled from the
+    shard streams on read, identical to what ``repro store merge``
+    writes.
     """
     from repro.store.stream import is_stream_header, load_campaign_stream_doc
 
+    if os.path.isdir(path):
+        from repro.store.shardstore import is_sharded_checkpoint, merge_sharded_campaign
+
+        if is_sharded_checkpoint(path):
+            return merge_sharded_campaign(path)
+        raise StorageError(
+            f"{path} is a directory without a campaign manifest; "
+            "pass an artifact file or a sharded checkpoint directory"
+        )
     try:
         with open(path, "r", encoding="utf-8") as handle:
             first_line = handle.readline()

@@ -18,6 +18,11 @@ that a regression on the campaign hot path moves its numbers:
   kernel (:class:`repro.sram.fleetkernel.FleetKernel` via
   :func:`repro.exec.worker.run_board_shard`), the throughput the
   ``BENCH_fleet_kernel.json`` ladder scales up.
+* ``shard-store`` — a short checkpointed campaign on the sharded
+  persistence layer (:mod:`repro.store.shardstore`): worker-side
+  shard streams and keyframe chains plus the parent's month records,
+  catching regressions in the per-shard store write path the
+  ``BENCH_shard_store.json`` ladder scales up.
 
 :func:`run_benchmark` runs one of them ``repeats`` times and returns
 the ledger-ready metrics dict — the *median* wall time (robust to one
@@ -114,6 +119,31 @@ def _bench_fleet_kernel() -> Tuple[int, str]:
     return boards * (months + 1), "board_months"
 
 
+def _bench_shard_store() -> Tuple[int, str]:
+    import os
+    import shutil
+    import tempfile
+
+    from repro.analysis.campaign import LongTermCampaign
+    from repro.telemetry import reset_telemetry
+
+    reset_telemetry()
+    boards, months = 8, 6
+    workdir = tempfile.mkdtemp(prefix="bench-shard-store-")
+    try:
+        campaign = LongTermCampaign(
+            device_count=boards,
+            months=months,
+            measurements=200,
+            shard_store=True,
+            random_state=1,
+        )
+        campaign.run(checkpoint_dir=os.path.join(workdir, "ckpt"))
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return boards * (months + 1), "board_months"
+
+
 #: The registry ``repro bench record --bench <name>`` resolves against.
 BENCHMARKS: Dict[str, Benchmark] = {
     benchmark.name: benchmark
@@ -138,6 +168,12 @@ BENCHMARKS: Dict[str, Benchmark] = {
             "vector fleet kernel: 256 boards x 1024 cells, 2 months, "
             "100 measurements/month",
             _bench_fleet_kernel,
+        ),
+        Benchmark(
+            "shard-store",
+            "checkpointed campaign on the sharded store: 8 boards, "
+            "6 months, 200 measurements/month",
+            _bench_shard_store,
         ),
     )
 }

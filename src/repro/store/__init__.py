@@ -19,6 +19,10 @@ package:
   checkpointer, compaction and chain validation.
 * :mod:`repro.store.stream` — the incremental (JSON Lines) campaign
   artifact format and its writer/loader.
+* :mod:`repro.store.shardstore` — the sharded campaign layout: one
+  store per worker shard (keyframed v4 chain + results stream), a
+  small parent manifest/month log, the per-shard resume scan and the
+  merge-on-read reassembly behind ``store merge``.
 * :mod:`repro.store.bench` — the append-only perf-regression ledger
   behind ``repro bench`` (record / compare / list).
 
@@ -52,20 +56,50 @@ from repro.store.checkpoint import (
     CheckpointState,
     CounterDeltaRecorder,
     DeltaRecord,
+    ShardCheckpointState,
     board_state_doc,
     build_checkpoint_doc,
     build_delta_doc,
+    build_shard_delta_doc,
+    build_shard_keyframe_doc,
     checkpoint_chain_report,
     checkpoint_doc_version,
     checkpoint_kind,
     checkpoint_name,
+    checkpoint_scope,
     compact_checkpoints,
     fold_counter_deltas,
     list_checkpoints,
     load_latest_checkpoint,
+    load_latest_shard_keyframe,
     parse_checkpoint_doc,
     parse_delta_doc,
+    parse_shard_checkpoint_doc,
+    parse_shard_delta_doc,
     restore_chip,
+)
+from repro.store.shardstore import (
+    PARENT_LOG_NAME,
+    SHARD_MANIFEST_NAME,
+    SHARD_STREAM_NAME,
+    SHARDS_DIR,
+    ShardedCheckpointState,
+    ShardManifest,
+    ShardStoreSpec,
+    append_parent_month_record,
+    build_parent_month_record,
+    campaign_config_digest,
+    is_sharded_checkpoint,
+    load_shard_manifest,
+    load_sharded_checkpoint,
+    merge_sharded_campaign,
+    persist_shard_window,
+    prepare_shard_resume,
+    read_parent_log,
+    read_shard_stream,
+    reset_sharded_layout,
+    shard_root,
+    write_shard_manifest,
 )
 from repro.store.codecs import (
     JsonCodec,
@@ -105,8 +139,17 @@ __all__ = [
     "DeltaRecord",
     "JsonCodec",
     "JsonLinesCodec",
+    "PARENT_LOG_NAME",
     "SCHEMAS",
+    "SHARDS_DIR",
+    "SHARD_MANIFEST_NAME",
+    "SHARD_STREAM_NAME",
+    "ShardCheckpointState",
+    "ShardManifest",
+    "ShardStoreSpec",
+    "ShardedCheckpointState",
     "TMP_SUFFIX",
+    "append_parent_month_record",
     "append_line",
     "append_lines",
     "atomic_write_bytes",
@@ -114,10 +157,15 @@ __all__ = [
     "board_state_doc",
     "build_checkpoint_doc",
     "build_delta_doc",
+    "build_parent_month_record",
+    "build_shard_delta_doc",
+    "build_shard_keyframe_doc",
+    "campaign_config_digest",
     "checkpoint_chain_report",
     "checkpoint_doc_version",
     "checkpoint_kind",
     "checkpoint_name",
+    "checkpoint_scope",
     "compact_checkpoints",
     "current_version",
     "decode_float64_array",
@@ -128,18 +176,32 @@ __all__ = [
     "git_revision",
     "higher_is_better",
     "host_fingerprint",
+    "is_sharded_checkpoint",
     "is_stream_header",
     "list_checkpoints",
     "load_campaign_stream_doc",
     "load_latest_checkpoint",
+    "load_latest_shard_keyframe",
+    "load_shard_manifest",
+    "load_sharded_checkpoint",
+    "merge_sharded_campaign",
     "migrate",
     "pack_bits_hex",
     "parse_checkpoint_doc",
     "parse_delta_doc",
+    "parse_shard_checkpoint_doc",
+    "parse_shard_delta_doc",
+    "persist_shard_window",
+    "prepare_shard_resume",
+    "read_parent_log",
+    "read_shard_stream",
     "register_migration",
     "render_comparison",
+    "reset_sharded_layout",
     "restore_chip",
+    "shard_root",
     "write_campaign_stream",
+    "write_shard_manifest",
     "restore_rng_state",
     "rng_state_doc",
     "schema_field",

@@ -266,7 +266,25 @@ class ArtifactStore:
             "detail": "",
         }
         try:
-            if kind in ("alert-log", "heartbeat", "jsonl"):
+            if kind == "jsonl" and os.path.basename(name) == "stream.jsonl":
+                # A shard's results stream (repro.store.shardstore):
+                # opens with a header record carrying its version.
+                records = self.read_jsonl(name)
+                header = records[0] if records else None
+                if isinstance(header, dict) and "shard_stream_version" in header:
+                    entry["kind"] = "shard-stream"
+                    entry["version"] = document_version("shard-stream", header)
+                    months = sum(
+                        1
+                        for record in records
+                        if isinstance(record, dict) and record.get("kind") == "rows"
+                    )
+                    entry["detail"] = (
+                        f"shard {header.get('shard_index')}, {months} month(s)"
+                    )
+                else:
+                    entry["detail"] = f"{len(records)} records"
+            elif kind in ("alert-log", "heartbeat", "jsonl"):
                 entry["detail"] = f"{len(self.read_jsonl(name))} records"
             elif kind == "json" and self._is_campaign_stream(name):
                 # Stream-format campaign artifacts are JSON Lines living
@@ -314,17 +332,44 @@ class ArtifactStore:
         """Validate and classify every member of the directory.
 
         Returns ``{"root", "files": [...], "stray_tmp_files": [...],
-        "ok": bool}`` where each file entry carries its detected kind,
-        schema version (for versioned documents), byte size and
-        parse status.  ``ok`` is true when every file parses and no
-        stray temp files are present.
+        "shards": [...], "ok": bool}`` where each file entry carries
+        its detected kind, schema version (for versioned documents),
+        byte size and parse status.  Inspection recurses into
+        subdirectories, so a sharded checkpoint layout
+        (``shards/shard-*``, see :mod:`repro.store.shardstore`) is
+        covered file by file; ``shards`` additionally rolls the per
+        shard-directory health up into one entry each.  ``ok`` is true
+        when every file parses and no stray temp files are present.
         """
         files = [self._inspect_file(name) for name in self.entries()]
         strays = self.stray_tmp_files()
+        shards: Dict[str, Dict[str, Any]] = {}
+        prefix = "shards" + os.sep
+        for entry in files:
+            if not entry["name"].startswith(prefix):
+                continue
+            shard_dir = os.path.join("shards", entry["name"].split(os.sep)[1])
+            shard = shards.setdefault(
+                shard_dir,
+                {"dir": shard_dir, "files": 0, "stray_tmp_files": 0, "ok": True},
+            )
+            shard["files"] += 1
+            shard["ok"] = shard["ok"] and entry["status"] == "ok"
+        for name in strays:
+            if not name.startswith(prefix):
+                continue
+            shard_dir = os.path.join("shards", name.split(os.sep)[1])
+            shard = shards.setdefault(
+                shard_dir,
+                {"dir": shard_dir, "files": 0, "stray_tmp_files": 0, "ok": True},
+            )
+            shard["stray_tmp_files"] += 1
+            shard["ok"] = False
         return {
             "root": self._root,
             "files": files,
             "stray_tmp_files": strays,
+            "shards": [shards[key] for key in sorted(shards)],
             "ok": not strays and all(f["status"] == "ok" for f in files),
         }
 

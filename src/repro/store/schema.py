@@ -33,8 +33,10 @@ SCHEMAS: Dict[str, Dict[str, Any]] = {
     "campaign": {"field": "format_version", "current": 1},
     "campaign-stream": {"field": "stream_version", "current": 1},
     "manifest": {"field": "manifest_version", "current": 1},
-    "checkpoint": {"field": "checkpoint_version", "current": 3},
+    "checkpoint": {"field": "checkpoint_version", "current": 4},
     "trace": {"field": "version", "current": 2},
+    "shard-manifest": {"field": "shard_manifest_version", "current": 1},
+    "shard-stream": {"field": "shard_stream_version", "current": 1},
 }
 
 _MIGRATIONS: Dict[Tuple[str, int], Migration] = {}
@@ -177,6 +179,25 @@ def _checkpoint_v2_to_v3(document: Dict[str, Any]) -> Dict[str, Any]:
     if isinstance(config, dict):
         config.setdefault("population", None)
     document["checkpoint_version"] = 3
+    return document
+
+
+@register_migration("checkpoint", 3)
+def _checkpoint_v3_to_v4(document: Dict[str, Any]) -> Dict[str, Any]:
+    """v3 checkpoints predate sharded per-worker stores.
+
+    v4 introduced *shard-scoped* checkpoint documents (``scope:
+    "shard"`` — one keyframed chain per shard directory, see
+    ``docs/storage.md``).  Monolithic documents are campaign-scoped;
+    every pre-v4 file is by definition monolithic, so the migration
+    stamps ``scope: "campaign"`` and old checkpoint directories resume
+    transparently.  Writers keep *downleveling* monolithic documents
+    (v2 homogeneous, v3 heterogeneous — see
+    :func:`repro.store.checkpoint.checkpoint_doc_version`), so only
+    shard chains actually carry v4 bytes.
+    """
+    document.setdefault("scope", "campaign")
+    document["checkpoint_version"] = 4
     return document
 
 

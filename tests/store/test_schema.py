@@ -150,14 +150,14 @@ class TestCheckpointV2Migration:
             "checkpoint",
             {"checkpoint_version": 2, "kind": "keyframe", "config": {"months": 3}},
         )
-        assert migrated["checkpoint_version"] == 3
+        assert migrated["checkpoint_version"] == current_version("checkpoint")
         assert migrated["config"] == {"months": 3, "population": None}
 
     def test_v2_delta_only_gains_the_stamp(self):
         migrated = migrate(
             "checkpoint", {"checkpoint_version": 2, "kind": "delta"}
         )
-        assert migrated["checkpoint_version"] == 3
+        assert migrated["checkpoint_version"] == current_version("checkpoint")
         assert "config" not in migrated
 
     def test_v3_population_config_passes_through(self):
@@ -165,5 +165,24 @@ class TestCheckpointV2Migration:
             "checkpoint_version": 3,
             "kind": "keyframe",
             "config": {"population": {"name": "mix", "members": []}},
+        }
+        migrated = migrate("checkpoint", doc)
+        assert migrated["config"] == doc["config"]
+        assert migrated["checkpoint_version"] == current_version("checkpoint")
+
+
+class TestCheckpointV3Migration:
+    def test_v3_gains_campaign_scope(self):
+        migrated = migrate(
+            "checkpoint", {"checkpoint_version": 3, "kind": "keyframe"}
+        )
+        assert migrated["checkpoint_version"] == current_version("checkpoint")
+        assert migrated["scope"] == "campaign"
+
+    def test_v4_shard_scope_passes_through(self):
+        doc = {
+            "checkpoint_version": 4,
+            "kind": "keyframe",
+            "scope": "shard",
         }
         assert migrate("checkpoint", doc) is doc
